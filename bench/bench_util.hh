@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Shared plumbing for the figure/table reproduction harnesses.
+ *
+ * Environment knobs:
+ *   REST_BENCH_KILOINSTS  target dynamic kilo-instructions per run
+ *                         (default 1000)
+ *   REST_BENCH_SEEDS      generator seeds averaged per measurement
+ *                         (default 2)
+ */
+
+#ifndef REST_BENCH_BENCH_UTIL_HH
+#define REST_BENCH_BENCH_UTIL_HH
+
+#include <cstdlib>
+#include <iomanip>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "sim/experiment.hh"
+#include "workload/spec_profiles.hh"
+
+namespace rest::bench
+{
+
+inline std::uint64_t
+kiloInsts()
+{
+    if (const char *env = std::getenv("REST_BENCH_KILOINSTS"))
+        return std::strtoull(env, nullptr, 10);
+    return 1000;
+}
+
+inline unsigned
+numSeeds()
+{
+    if (const char *env = std::getenv("REST_BENCH_SEEDS"))
+        return static_cast<unsigned>(std::strtoul(env, nullptr, 10));
+    return 2;
+}
+
+/**
+ * Run one benchmark under one configuration, averaged over generator
+ * seeds (the deterministic one-pass timing model has placement-
+ * resonance noise that seed-averaging removes; see EXPERIMENTS.md).
+ */
+inline Cycles
+measure(const workload::BenchProfile &base, sim::ExpConfig config,
+        core::TokenWidth width = core::TokenWidth::Bytes64,
+        bool inorder = false)
+{
+    double total = 0;
+    unsigned seeds = numSeeds();
+    for (unsigned s = 0; s < seeds; ++s) {
+        workload::BenchProfile p = base;
+        p.targetKiloInsts = kiloInsts();
+        p.seed = base.seed + 0x1000 * s;
+        total += static_cast<double>(
+            sim::runBench(p, config, width, inorder).cycles);
+    }
+    return static_cast<Cycles>(total / seeds);
+}
+
+/** Print one row of a percentage table. */
+inline void
+printRow(const std::string &name, const std::vector<double> &values)
+{
+    std::cout << std::left << std::setw(12) << name << std::right;
+    for (double v : values)
+        std::cout << std::setw(16) << std::fixed
+                  << std::setprecision(1) << v;
+    std::cout << "\n";
+}
+
+inline void
+printHeader(const std::vector<std::string> &columns)
+{
+    std::cout << std::left << std::setw(12) << "bench" << std::right;
+    for (const auto &c : columns)
+        std::cout << std::setw(16) << c;
+    std::cout << "\n" << std::string(12 + 16 * columns.size(), '-')
+              << "\n";
+}
+
+} // namespace rest::bench
+
+#endif // REST_BENCH_BENCH_UTIL_HH

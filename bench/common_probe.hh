@@ -1,0 +1,156 @@
+/**
+ * @file
+ * Empirical probes backing the REST row of the Table III harness:
+ * each claim the paper makes about REST's protection class is checked
+ * against the living implementation.
+ */
+
+#ifndef REST_BENCH_COMMON_PROBE_HH
+#define REST_BENCH_COMMON_PROBE_HH
+
+#include "isa/program.hh"
+#include "sim/experiment.hh"
+#include "sim/system.hh"
+#include "workload/attack_scenarios.hh"
+
+namespace rest::probe
+{
+
+struct Results
+{
+    bool linearCaught = false;
+    bool targetedMissed = false;
+    bool uafCaught = false;
+    bool uafAfterRecycleMissed = false;
+    bool usesShadowSpace = true;
+    bool composable = false;
+
+    bool spatialLinear = false;
+    bool temporalUntilRealloc = false;
+
+    bool
+    allConsistent() const
+    {
+        return spatialLinear && temporalUntilRealloc &&
+            !usesShadowSpace && composable;
+    }
+};
+
+/**
+ * A targeted (pointer-corruption style) access that jumps clean over
+ * the redzones from one allocation's payload into another's: the
+ * tripwire approach does not see it (Table III: "Linear" spatial
+ * protection).
+ */
+inline isa::Program
+targetedJumpProgram()
+{
+    using isa::Opcode;
+    isa::FuncBuilder b("main");
+    // a = malloc(64); b = malloc(64)
+    b.movImm(13, 64);
+    b.emit({Opcode::RtMalloc, isa::noReg, 13, isa::noReg, 8, 0, -1,
+            -1});
+    b.mov(1, isa::regRet);
+    b.emit({Opcode::RtMalloc, isa::noReg, 13, isa::noReg, 8, 0, -1,
+            -1});
+    b.mov(2, isa::regRet);
+    // Corrupted-pointer read: a + (b - a) lands exactly in b's
+    // payload, skipping both redzones.
+    b.alu(Opcode::Sub, 3, 2, 1);
+    b.alu(Opcode::Add, 4, 1, 3);
+    b.load(5, 4, 0, 8);
+    b.halt();
+    isa::Program prog;
+    prog.funcs.push_back(std::move(b).take());
+    return prog;
+}
+
+/**
+ * UAF after the chunk has left quarantine and been recycled: the
+ * dangling access hits a live allocation and goes undetected
+ * (Table III: temporal protection "until realloc").
+ */
+inline isa::Program
+uafAfterRecycleProgram()
+{
+    using isa::Opcode;
+    isa::FuncBuilder b("main");
+    b.movImm(13, 96);
+    b.emit({Opcode::RtMalloc, isa::noReg, 13, isa::noReg, 8, 0, -1,
+            -1});
+    b.mov(1, isa::regRet); // the dangling pointer
+    b.emit({Opcode::RtFree, isa::noReg, 1, isa::noReg, 8, 0, -1, -1});
+    // Churn until the quarantine recycles the chunk.
+    b.movImm(2, 80);
+    int loop = b.here();
+    b.movImm(13, 96);
+    b.emit({Opcode::RtMalloc, isa::noReg, 13, isa::noReg, 8, 0, -1,
+            -1});
+    b.mov(3, isa::regRet);
+    b.emit({Opcode::RtFree, isa::noReg, 3, isa::noReg, 8, 0, -1, -1});
+    b.addI(2, 2, -1);
+    b.branch(Opcode::Bne, 2, isa::regZero, loop);
+    // One live allocation that (very likely) recycles the chunk.
+    b.movImm(13, 96);
+    b.emit({Opcode::RtMalloc, isa::noReg, 13, isa::noReg, 8, 0, -1,
+            -1});
+    // The dangling access.
+    b.load(4, 1, 0, 8);
+    b.halt();
+    isa::Program prog;
+    prog.funcs.push_back(std::move(b).take());
+    return prog;
+}
+
+/** Run all probes against the REST implementation. */
+inline Results
+probeRest()
+{
+    Results res;
+    auto heap_cfg = sim::makeSystemConfig(sim::ExpConfig::RestSecureHeap);
+
+    { // Linear overflow: caught.
+        sim::System s(workload::attacks::heapOverflowWrite(64, 32),
+                      heap_cfg);
+        res.linearCaught = s.run().faulted();
+    }
+    { // Targeted jump: missed (by design of tripwires).
+        sim::System s(targetedJumpProgram(), heap_cfg);
+        res.targetedMissed = !s.run().faulted();
+    }
+    { // UAF while quarantined: caught.
+        sim::System s(workload::attacks::useAfterFree(96), heap_cfg);
+        res.uafCaught = s.run().faulted();
+    }
+    { // UAF after recycling: missed.
+        auto cfg = heap_cfg;
+        cfg.scheme.quarantineBudget = 2048; // drain quickly
+        sim::System s(uafAfterRecycleProgram(), cfg);
+        res.uafAfterRecycleMissed = !s.run().faulted();
+    }
+    { // Shadow space: no page of the shadow region is ever touched.
+        sim::System s(workload::attacks::heapOverflowWrite(64, 4),
+                      heap_cfg);
+        s.run();
+        res.usesShadowSpace =
+            s.memory().pagesTouchedIn(
+                runtime::AddressMap::shadowBase,
+                runtime::AddressMap::shadowBase + (1ull << 44)) != 0;
+    }
+    { // Composability: detection inside uninstrumented library code
+      // (the memcpy copy loop) with zero program instrumentation.
+        sim::System s(workload::attacks::heartbleed(64, 256),
+                      heap_cfg);
+        res.composable = s.run().faulted();
+    }
+
+    res.spatialLinear = res.linearCaught && res.targetedMissed;
+    res.temporalUntilRealloc =
+        res.uafCaught && res.uafAfterRecycleMissed;
+    return res;
+}
+
+} // namespace rest::probe
+
+#endif // REST_BENCH_COMMON_PROBE_HH

@@ -1,0 +1,206 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks of the building blocks: the token
+ * detector, REST L1-D operations, LSQ matching, the TAGE predictor,
+ * the allocators' service costs (in emitted guest ops), and raw
+ * simulator throughput.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <deque>
+
+#include "core/rest_engine.hh"
+#include "cpu/bpred.hh"
+#include "cpu/lsq.hh"
+#include "mem/cache.hh"
+#include "mem/dram.hh"
+#include "mem/rest_l1_cache.hh"
+#include "runtime/asan_allocator.hh"
+#include "runtime/libc_allocator.hh"
+#include "runtime/rest_allocator.hh"
+#include "sim/experiment.hh"
+#include "workload/spec_profiles.hh"
+
+using namespace rest;
+
+namespace
+{
+
+struct Rig
+{
+    Rig()
+    {
+        Xoshiro256ss rng(5);
+        tcr.writePrivileged(
+            core::TokenValue::generate(rng, core::TokenWidth::Bytes64),
+            core::RestMode::Secure);
+        dram = std::make_unique<mem::Dram>();
+        l2 = std::make_unique<mem::Cache>(mem::CacheConfig::l2(),
+                                          *dram);
+        l1 = std::make_unique<mem::RestL1Cache>(mem::CacheConfig::l1d(),
+                                                *l2, memory, tcr);
+    }
+
+    mem::GuestMemory memory;
+    core::TokenConfigRegister tcr;
+    std::unique_ptr<mem::Dram> dram;
+    std::unique_ptr<mem::Cache> l2;
+    std::unique_ptr<mem::RestL1Cache> l1;
+};
+
+void
+BM_TokenDetectorScan(benchmark::State &state)
+{
+    Rig rig;
+    mem::TokenDetector detector(rig.memory, rig.tcr);
+    rig.memory.writeBytes(0x1000, rig.tcr.token().bytes());
+    for (auto _ : state)
+        benchmark::DoNotOptimize(detector.scan(0x1000, 64));
+}
+BENCHMARK(BM_TokenDetectorScan);
+
+void
+BM_RestL1LoadHit(benchmark::State &state)
+{
+    Rig rig;
+    rig.l1->loadAccess(0x1000, 8, 0);
+    Cycles t = 100;
+    for (auto _ : state)
+        benchmark::DoNotOptimize(rig.l1->loadAccess(0x1000, 8, ++t));
+}
+BENCHMARK(BM_RestL1LoadHit);
+
+void
+BM_RestL1ArmDisarmRoundTrip(benchmark::State &state)
+{
+    Rig rig;
+    Cycles t = 0;
+    for (auto _ : state) {
+        rig.l1->armAccess(0x2000, ++t);
+        rig.l1->disarmAccess(0x2000, ++t);
+    }
+}
+BENCHMARK(BM_RestL1ArmDisarmRoundTrip);
+
+void
+BM_LsqCheckLoad(benchmark::State &state)
+{
+    cpu::Lsq lsq;
+    for (std::uint64_t i = 0; i < 16; ++i)
+        lsq.insert({i, 0x1000 + 64 * i, 8, i % 4 == 0, false,
+                    ~Cycles(0)});
+    for (auto _ : state)
+        benchmark::DoNotOptimize(lsq.checkLoad(100, 0x1200, 8));
+}
+BENCHMARK(BM_LsqCheckLoad);
+
+void
+BM_TagePredictUpdate(benchmark::State &state)
+{
+    cpu::TagePredictor tage;
+    std::uint64_t i = 0;
+    for (auto _ : state) {
+        ++i;
+        benchmark::DoNotOptimize(
+            tage.update(0x1000 + 4 * (i % 64), (i % 7) < 3));
+    }
+}
+BENCHMARK(BM_TagePredictUpdate);
+
+void
+BM_RestEngineCheckAccess(benchmark::State &state)
+{
+    Xoshiro256ss rng(9);
+    core::TokenConfigRegister tcr;
+    tcr.writePrivileged(
+        core::TokenValue::generate(rng, core::TokenWidth::Bytes64),
+        core::RestMode::Secure);
+    core::RestEngine engine(tcr);
+    for (Addr a = 0; a < 1024; ++a)
+        engine.arm(0x100000 + 64 * a);
+    Addr probe = 0x100000;
+    for (auto _ : state) {
+        probe += 64;
+        benchmark::DoNotOptimize(
+            engine.checkAccess(probe & 0x1fffff, 8));
+    }
+}
+BENCHMARK(BM_RestEngineCheckAccess);
+
+/** Guest ops emitted per allocator malloc/free pair (the paper's
+ *  allocator-cost comparison, reported as ops not wall time). */
+template <typename MakeAlloc>
+void
+allocatorPairCost(benchmark::State &state, MakeAlloc make)
+{
+    for (auto _ : state) {
+        state.PauseTiming();
+        mem::GuestMemory memory;
+        Xoshiro256ss rng(5);
+        core::TokenConfigRegister tcr;
+        tcr.writePrivileged(
+            core::TokenValue::generate(rng, core::TokenWidth::Bytes64),
+            core::RestMode::Secure);
+        core::RestEngine engine(tcr);
+        auto alloc = make(memory, engine);
+        std::deque<isa::DynOp> q;
+        runtime::OpEmitter em(q, 0x600000, false);
+        state.ResumeTiming();
+
+        Addr p = alloc->malloc(128, em);
+        alloc->free(p, em);
+        state.counters["guest_ops_per_pair"] = double(q.size());
+    }
+}
+
+void
+BM_LibcAllocatorPair(benchmark::State &state)
+{
+    allocatorPairCost(state, [](mem::GuestMemory &m,
+                                core::RestEngine &) {
+        return std::make_unique<runtime::LibcAllocator>(m);
+    });
+}
+BENCHMARK(BM_LibcAllocatorPair);
+
+void
+BM_AsanAllocatorPair(benchmark::State &state)
+{
+    allocatorPairCost(state, [](mem::GuestMemory &m,
+                                core::RestEngine &) {
+        return std::make_unique<runtime::AsanAllocator>(m, 1 << 20);
+    });
+}
+BENCHMARK(BM_AsanAllocatorPair);
+
+void
+BM_RestAllocatorPair(benchmark::State &state)
+{
+    allocatorPairCost(state, [](mem::GuestMemory &m,
+                                core::RestEngine &e) {
+        return std::make_unique<runtime::RestAllocator>(m, e,
+                                                        1 << 20);
+    });
+}
+BENCHMARK(BM_RestAllocatorPair);
+
+void
+BM_SimulatorThroughput(benchmark::State &state)
+{
+    // End-to-end simulated ops per second of host time.
+    auto p = workload::profileByName("hmmer");
+    p.targetKiloInsts = 50;
+    std::uint64_t ops = 0;
+    for (auto _ : state) {
+        auto m = sim::runBench(p, sim::ExpConfig::Plain);
+        ops += m.ops;
+    }
+    state.counters["sim_ops_per_s"] = benchmark::Counter(
+        double(ops), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_SimulatorThroughput)->Unit(benchmark::kMillisecond);
+
+} // namespace
+
+BENCHMARK_MAIN();

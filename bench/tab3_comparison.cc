@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Reproduces paper Table III: comparison of hardware memory-safety
+ * proposals. The rows for prior work are encoded from the paper; the
+ * REST row is *probed empirically* against this implementation:
+ *   - spatial protection: linear (sweeps caught, targeted jumps over
+ *     redzones missed),
+ *   - temporal protection: until reallocation (UAF caught while
+ *     quarantined, missed after recycling),
+ *   - no shadow space,
+ *   - composability: uninstrumented "library" code still protected,
+ *   - hardware cost: 1 metadata bit per L1-D granule + comparator.
+ */
+
+#include <iomanip>
+#include <iostream>
+
+#include "common_probe.hh"
+
+using namespace rest;
+
+namespace
+{
+
+struct PriorRow
+{
+    const char *name;
+    const char *spatial;
+    const char *temporal;
+    const char *shadow;
+    const char *composable;
+    const char *overhead;
+};
+
+const PriorRow priorWork[] = {
+    {"Hardbound", "Complete", "None", "yes", "no", "Low"},
+    {"SafeProc", "Complete", "Complete", "no", "no", "Low"},
+    {"Watchdog", "Complete", "Complete", "yes", "no", "Moderate"},
+    {"WatchdogLite", "Complete", "Complete", "yes", "no", "Moderate"},
+    {"Intel MPX", "Complete", "None", "no", "no*", "High"},
+    {"HDFI", "Linear", "None", "yes", "yes", "Negligible"},
+    {"SPARC ADI", "Linear", "Until realloc", "no", "yes",
+     "Negligible"},
+    {"CHERI", "Complete", "Complete", "no", "no", "Moderate"},
+    {"iWatcher", "N/A", "N/A", "no", "yes", "High"},
+    {"Unlim. watchpts", "N/A", "N/A", "no", "yes", "High"},
+    {"SafeMem", "Linear", "None", "no", "yes", "High"},
+    {"Memtracker", "Linear", "Until realloc", "yes", "yes", "Low"},
+    {"ARM PAC", "Targeted", "None", "no", "yes", "Negligible"},
+};
+
+} // namespace
+
+int
+main()
+{
+    std::cout << "====================================================\n"
+              << "Table III: hardware technique comparison\n"
+              << "(REST row derived empirically from this build)\n"
+              << "====================================================\n";
+
+    // ---- Empirical probes for the REST row ----
+    probe::Results rest_row = probe::probeRest();
+
+    auto print = [](const char *name, const char *spatial,
+                    const char *temporal, const char *shadow,
+                    const char *composable, const char *overhead) {
+        std::cout << std::left << std::setw(17) << name
+                  << std::setw(11) << spatial << std::setw(15)
+                  << temporal << std::setw(8) << shadow
+                  << std::setw(12) << composable << overhead << "\n";
+    };
+
+    print("Proposal", "Spatial", "Temporal", "Shadow", "Composable",
+          "HW cost");
+    std::cout << std::string(75, '-') << "\n";
+    for (const auto &row : priorWork)
+        print(row.name, row.spatial, row.temporal, row.shadow,
+              row.composable, row.overhead);
+    std::cout << std::string(75, '-') << "\n";
+    print("REST (this impl)",
+          rest_row.spatialLinear ? "Linear" : "BROKEN",
+          rest_row.temporalUntilRealloc ? "Until realloc" : "BROKEN",
+          rest_row.usesShadowSpace ? "yes" : "no",
+          rest_row.composable ? "yes" : "no",
+          "1 bit/L1-D granule + comparator");
+
+    std::cout << "\nProbe details:\n"
+              << "  linear overflow caught:        "
+              << rest_row.linearCaught << "\n"
+              << "  targeted jump over redzone:    "
+              << (rest_row.targetedMissed ? "missed (as specified)"
+                                          : "caught") << "\n"
+              << "  UAF while quarantined caught:  "
+              << rest_row.uafCaught << "\n"
+              << "  UAF after recycling missed:    "
+              << (rest_row.uafAfterRecycleMissed
+                      ? "missed (as specified)" : "caught") << "\n"
+              << "  uninstrumented-code detection: "
+              << rest_row.composable << "\n";
+    return rest_row.allConsistent() ? 0 : 1;
+}

@@ -1,0 +1,100 @@
+/**
+ * @file
+ * The paper's motivating example (Listing 1 / Fig. 1): a
+ * Heartbleed-style over-read where an attacker-controlled memcpy
+ * length walks past a request buffer into adjacent secrets.
+ *
+ * The example shows the leaked bytes on unprotected hardware, then
+ * the REST token redzone stopping the same copy cold.
+ */
+
+#include <iomanip>
+#include <iostream>
+
+#include "sim/experiment.hh"
+#include "sim/system.hh"
+#include "workload/attack_scenarios.hh"
+
+using namespace rest;
+
+namespace
+{
+
+constexpr std::uint32_t benignLen = 64;   // the real request payload
+constexpr std::uint32_t attackLen = 256;  // attacker-claimed length
+
+void
+showResponse(sim::System &system, Addr response, unsigned bytes)
+{
+    auto &memory = system.memory();
+    for (unsigned i = 0; i < bytes; i += 16) {
+        std::cout << "    +" << std::setw(3) << i << ": ";
+        for (unsigned j = 0; j < 16; ++j) {
+            std::cout << std::hex << std::setw(2) << std::setfill('0')
+                      << unsigned(memory.readByte(response + i + j))
+                      << std::dec << std::setfill(' ') << " ";
+        }
+        std::cout << "\n";
+    }
+}
+
+} // namespace
+
+int
+main()
+{
+    std::cout <<
+        "Heartbleed reproduction: memcpy(response, request, "
+        << attackLen << ") over a " << benignLen
+        << "-byte request buffer\n"
+        "(request bytes are 0x11, the adjacent 'secret' is 0xa5)\n\n";
+
+    // ---- Unprotected: secrets leak into the response ----
+    {
+        sim::System system(
+            workload::attacks::heartbleed(benignLen, attackLen),
+            sim::makeSystemConfig(sim::ExpConfig::Plain));
+        sim::SystemResult r = system.run();
+        std::cout << "[plain] faulted=" << r.faulted()
+                  << " -- response contents:\n";
+        // The attack program allocates request, secret, response in
+        // that order; find the response (3rd live allocation) by
+        // probing: it's the largest live chunk.
+        // For the example we simply re-derive it: the copy's source
+        // was the first chunk; scan the heap for the 0x11 run, then
+        // show what followed it in the response.
+        // Simpler: the response buffer is the last allocation, and
+        // the attack stored its address in guest r5; read it from
+        // the emulator.
+        Addr response = system.emulator().reg(5);
+        showResponse(system, response, 160);
+        unsigned leaked = 0;
+        auto &memory = system.memory();
+        for (unsigned i = benignLen; i < attackLen; ++i)
+            leaked += (memory.readByte(response + i) == 0xa5);
+        std::cout << "  -> " << leaked
+                  << " secret bytes (0xa5) leaked past the buffer\n\n";
+    }
+
+    // ---- REST heap protection (works on legacy binaries) ----
+    {
+        sim::System system(
+            workload::attacks::heartbleed(benignLen, attackLen),
+            sim::makeSystemConfig(sim::ExpConfig::RestSecureHeap));
+        sim::SystemResult r = system.run();
+        std::cout << "[REST]  faulted=" << r.faulted();
+        if (r.faulted())
+            std::cout << " -> " << r.run.violation.toString();
+        std::cout << "\n";
+        Addr response = system.emulator().reg(5);
+        unsigned leaked = 0;
+        auto &memory = system.memory();
+        for (unsigned i = benignLen; i < attackLen; ++i)
+            leaked += (memory.readByte(response + i) == 0xa5);
+        std::cout << "  -> " << leaked
+                  << " secret bytes leaked (copy stopped at the "
+                     "token redzone)\n";
+    }
+
+    return 0;
+}

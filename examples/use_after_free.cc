@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Temporal memory safety (paper §IV-A): freed allocations are filled
+ * with tokens and quarantined, so dangling-pointer reads and double
+ * frees trip the hardware until the chunk is finally recycled from
+ * the zeroed free pool.
+ */
+
+#include <iostream>
+
+#include "sim/experiment.hh"
+#include "sim/system.hh"
+#include "workload/attack_scenarios.hh"
+
+using namespace rest;
+
+namespace
+{
+
+void
+runCase(const char *label, isa::Program prog, sim::ExpConfig config)
+{
+    sim::System system(std::move(prog),
+                       sim::makeSystemConfig(config));
+    sim::SystemResult r = system.run();
+    std::cout << "  [" << label << "] faulted=" << r.faulted();
+    if (r.faulted())
+        std::cout << " -> " << r.run.violation.toString();
+    std::cout << "\n";
+}
+
+} // namespace
+
+int
+main()
+{
+    std::cout << "Use-after-free: load through a dangling pointer\n";
+    runCase("plain", workload::attacks::useAfterFree(128),
+            sim::ExpConfig::Plain);
+    runCase("REST ", workload::attacks::useAfterFree(128),
+            sim::ExpConfig::RestSecureHeap);
+    runCase("ASan ", workload::attacks::useAfterFree(128),
+            sim::ExpConfig::Asan);
+
+    std::cout << "\nDouble free: free() the same pointer twice\n";
+    runCase("plain", workload::attacks::doubleFree(64),
+            sim::ExpConfig::Plain);
+    runCase("REST ", workload::attacks::doubleFree(64),
+            sim::ExpConfig::RestSecureHeap);
+    runCase("ASan ", workload::attacks::doubleFree(64),
+            sim::ExpConfig::Asan);
+
+    std::cout <<
+        "\nThe REST quarantine keeps freed chunks armed until the\n"
+        "free pool runs low; recycled chunks return zeroed (the\n"
+        "relaxed invariant of paper §IV-A), so no stale data can\n"
+        "leak through reuse either.\n";
+    return 0;
+}

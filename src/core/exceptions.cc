@@ -1,0 +1,33 @@
+#include "core/exceptions.hh"
+
+#include <sstream>
+
+namespace rest::core
+{
+
+const char *
+violationKindName(ViolationKind kind)
+{
+    switch (kind) {
+      case ViolationKind::None: return "none";
+      case ViolationKind::TokenAccess: return "token-access";
+      case ViolationKind::TokenForward: return "token-forward";
+      case ViolationKind::DisarmUnarmed: return "disarm-unarmed";
+      case ViolationKind::MisalignedRestInst: return "misaligned-rest";
+      case ViolationKind::AsanCheckFailed: return "asan-check";
+      default: return "<bad>";
+    }
+}
+
+std::string
+Violation::toString() const
+{
+    std::ostringstream os;
+    os << violationKindName(kind) << " @addr=0x" << std::hex << faultAddr
+       << " pc=0x" << pc << std::dec << " seq=" << seq << " ("
+       << (precision == Precision::Precise ? "precise" : "imprecise")
+       << ", cycle " << reportCycle << ")";
+    return os.str();
+}
+
+} // namespace rest::core

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * REST exception types (paper §III-A).
+ *
+ * A REST exception is handled at the next-higher privilege level and
+ * cannot be masked from the faulting privilege level. In secure mode
+ * reporting may be imprecise; in debug mode the full program state at
+ * the faulting instruction is recoverable.
+ */
+
+#ifndef REST_CORE_EXCEPTIONS_HH
+#define REST_CORE_EXCEPTIONS_HH
+
+#include <cstdint>
+#include <string>
+
+#include "util/types.hh"
+
+namespace rest::core
+{
+
+/** Classification of a raised REST (or ASan-software) violation. */
+enum class ViolationKind : std::uint8_t
+{
+    None,
+    /** A regular load/store touched a token (the tripwire fired). */
+    TokenAccess,
+    /** A load would have forwarded from an in-flight arm in the LSQ. */
+    TokenForward,
+    /** disarm of a location that holds no token. */
+    DisarmUnarmed,
+    /** arm/disarm with an address not aligned to the token width. */
+    MisalignedRestInst,
+    /** ASan software check failed (for the baseline scheme). */
+    AsanCheckFailed,
+};
+
+/** How the exception was reported relative to the faulting op. */
+enum class Precision : std::uint8_t
+{
+    Precise,    ///< faulting instruction had not committed
+    Imprecise,  ///< reported after the faulting instruction retired
+};
+
+/** A record of one raised violation. */
+struct Violation
+{
+    ViolationKind kind = ViolationKind::None;
+    Precision precision = Precision::Precise;
+    Addr faultAddr = invalidAddr;  ///< faulting data address
+    Addr pc = 0;                   ///< PC of the offending instruction
+    std::uint64_t seq = 0;         ///< dynamic sequence number
+    Cycles reportCycle = 0;        ///< cycle the exception was raised
+
+    bool valid() const { return kind != ViolationKind::None; }
+
+    /** Human-readable description. */
+    std::string toString() const;
+};
+
+/** Mnemonic for a violation kind. */
+const char *violationKindName(ViolationKind kind);
+
+} // namespace rest::core
+
+#endif // REST_CORE_EXCEPTIONS_HH

@@ -1,0 +1,131 @@
+/**
+ * @file
+ * Functional semantics of the REST primitive.
+ *
+ * RestEngine is the architectural-level referee: it tracks which
+ * token-width granules are currently armed and adjudicates every
+ * arm/disarm/load/store the program performs, exactly as the hardware
+ * (token detector + token bits, paper §III-B) would. The timing-side
+ * L1-D model (mem::RestL1Cache) and LSQ model (cpu::Lsq) implement the
+ * same semantics microarchitecturally; tests cross-check the two.
+ */
+
+#ifndef REST_CORE_REST_ENGINE_HH
+#define REST_CORE_REST_ENGINE_HH
+
+#include <cstdint>
+#include <unordered_set>
+
+#include "core/exceptions.hh"
+#include "core/token.hh"
+#include "util/bit_utils.hh"
+#include "util/types.hh"
+
+namespace rest::core
+{
+
+/** Outcome of presenting one operation to the engine. */
+struct RestCheck
+{
+    ViolationKind violation = ViolationKind::None;
+    bool ok() const { return violation == ViolationKind::None; }
+};
+
+/**
+ * Architectural arm/disarm/access semantics over a set of armed
+ * granules.
+ */
+class RestEngine
+{
+  public:
+    explicit RestEngine(const TokenConfigRegister &tcr) : tcr_(tcr) {}
+
+    /**
+     * Execute an arm: blacklists the granule at 'addr'.
+     * @return MisalignedRestInst if addr is not token-width aligned.
+     */
+    RestCheck
+    arm(Addr addr)
+    {
+        if (!isAligned(addr, tcr_.granule()))
+            return {ViolationKind::MisalignedRestInst};
+        armed_.insert(addr);
+        ++armsExecuted_;
+        return {};
+    }
+
+    /**
+     * Execute a disarm: un-blacklists the granule at 'addr' (zeroing
+     * it is the caller's job, matching hardware clearing the line).
+     * @return MisalignedRestInst on bad alignment; DisarmUnarmed if no
+     *         token is present at the location (paper §III-A: disarm
+     *         requires precise knowledge of armed locations).
+     */
+    RestCheck
+    disarm(Addr addr)
+    {
+        if (!isAligned(addr, tcr_.granule()))
+            return {ViolationKind::MisalignedRestInst};
+        auto it = armed_.find(addr);
+        if (it == armed_.end())
+            return {ViolationKind::DisarmUnarmed};
+        armed_.erase(it);
+        ++disarmsExecuted_;
+        return {};
+    }
+
+    /**
+     * Adjudicate a regular data access of 'size' bytes at 'addr'.
+     * @return TokenAccess if any byte of the access lies in an armed
+     *         granule.
+     */
+    RestCheck
+    checkAccess(Addr addr, unsigned size) const
+    {
+        const unsigned g = tcr_.granule();
+        Addr first = alignDown(addr, g);
+        Addr last = alignDown(addr + size - 1, g);
+        for (Addr a = first; a <= last; a += g) {
+            if (armed_.count(a))
+                return {ViolationKind::TokenAccess};
+        }
+        return {};
+    }
+
+    /** Is the exact granule at 'addr' armed? */
+    bool isArmed(Addr addr) const { return armed_.count(addr) != 0; }
+
+    /** Does [addr, addr+size) overlap any armed granule? */
+    bool
+    overlapsArmed(Addr addr, unsigned size) const
+    {
+        return !checkAccess(addr, size).ok();
+    }
+
+    /** Number of currently armed granules. */
+    std::size_t armedCount() const { return armed_.size(); }
+
+    /** Lifetime counts, for the experiment harness's attribution. */
+    std::uint64_t armsExecuted() const { return armsExecuted_; }
+    std::uint64_t disarmsExecuted() const { return disarmsExecuted_; }
+
+    const TokenConfigRegister &configRegister() const { return tcr_; }
+
+    /** Drop all armed state (fresh program). */
+    void
+    reset()
+    {
+        armed_.clear();
+        armsExecuted_ = disarmsExecuted_ = 0;
+    }
+
+  private:
+    const TokenConfigRegister &tcr_;
+    std::unordered_set<Addr> armed_;
+    std::uint64_t armsExecuted_ = 0;
+    std::uint64_t disarmsExecuted_ = 0;
+};
+
+} // namespace rest::core
+
+#endif // REST_CORE_REST_ENGINE_HH

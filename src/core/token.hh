@@ -1,0 +1,166 @@
+/**
+ * @file
+ * The REST token: a large random secret value, and the privileged
+ * token configuration register that holds it (paper §III-A).
+ */
+
+#ifndef REST_CORE_TOKEN_HH
+#define REST_CORE_TOKEN_HH
+
+#include <array>
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <string>
+
+#include "util/bit_utils.hh"
+#include "util/random.hh"
+#include "util/types.hh"
+
+namespace rest::core
+{
+
+/** Maximum supported token width in bytes (one 64B cache line). */
+inline constexpr unsigned maxTokenBytes = 64;
+
+/** Supported token widths (paper §III-B "Modifying Token Width"). */
+enum class TokenWidth : std::uint8_t
+{
+    Bytes16 = 16,
+    Bytes32 = 32,
+    Bytes64 = 64,
+};
+
+/** Width in bytes as an integer. */
+constexpr unsigned
+tokenBytes(TokenWidth w)
+{
+    return static_cast<unsigned>(w);
+}
+
+/**
+ * A token value: up to 512 random bits. Comparison against memory
+ * contents is the primitive's whole job, so the representation is a
+ * flat byte array.
+ */
+class TokenValue
+{
+  public:
+    TokenValue() { bytes_.fill(0); }
+
+    /** Generate a fresh random token of the given width. */
+    static TokenValue
+    generate(Xoshiro256ss &rng, TokenWidth width)
+    {
+        TokenValue t;
+        t.width_ = width;
+        for (unsigned i = 0; i < tokenBytes(width); i += 8) {
+            std::uint64_t v = rng();
+            std::memcpy(&t.bytes_[i], &v, 8);
+        }
+        // An all-zero token would collide with zeroed memory; the
+        // generator cannot realistically produce one, but guard anyway.
+        bool all_zero = true;
+        for (unsigned i = 0; i < tokenBytes(width); ++i)
+            all_zero &= (t.bytes_[i] == 0);
+        if (all_zero)
+            t.bytes_[0] = 0x5a;
+        return t;
+    }
+
+    TokenWidth width() const { return width_; }
+    unsigned sizeBytes() const { return tokenBytes(width_); }
+
+    /** Raw bytes of the token (sizeBytes() long). */
+    std::span<const std::uint8_t> bytes() const
+    { return {bytes_.data(), sizeBytes()}; }
+
+    /**
+     * Does the given memory chunk equal the token value? 'chunk' must
+     * be exactly sizeBytes() long; this mirrors the hardware detector
+     * comparing a token-aligned granule during a cache fill.
+     */
+    bool
+    matches(std::span<const std::uint8_t> chunk) const
+    {
+        if (chunk.size() != sizeBytes())
+            return false;
+        return std::memcmp(chunk.data(), bytes_.data(), sizeBytes()) == 0;
+    }
+
+    bool
+    operator==(const TokenValue &o) const
+    {
+        return width_ == o.width_ &&
+            std::memcmp(bytes_.data(), o.bytes_.data(),
+                        sizeBytes()) == 0;
+    }
+
+  private:
+    std::array<std::uint8_t, maxTokenBytes> bytes_;
+    TokenWidth width_ = TokenWidth::Bytes64;
+};
+
+/** REST operating modes (paper §III-A). */
+enum class RestMode : std::uint8_t
+{
+    /** Deployment mode: imprecise REST exceptions, full speed. */
+    Secure,
+    /** Development mode: precise exceptions, stores held at commit. */
+    Debug,
+};
+
+/**
+ * The token configuration register. Holds the token value and the
+ * mode bit. Not accessible to user-level code: setting the value is
+ * done through privileged memory-mapped stores, modelled by
+ * writePrivileged(); user-mode write attempts must be routed to
+ * writeUser(), which refuses.
+ */
+class TokenConfigRegister
+{
+  public:
+    /** The memory-mapped address window used to program the register. */
+    static constexpr Addr mmioBase = 0xffffff0000000000ull;
+    static constexpr Addr mmioSize = maxTokenBytes + 8;
+
+    /** Install a token value and mode from privileged code. */
+    void
+    writePrivileged(const TokenValue &value, RestMode mode)
+    {
+        token_ = value;
+        mode_ = mode;
+        ++generation_;
+    }
+
+    /**
+     * A user-level write attempt to the register window.
+     * @return false always: the register is privileged (§III-A).
+     */
+    bool writeUser() const { return false; }
+
+    /** Rotate the token (e.g. at reboot, §IV-B), keeping the width. */
+    void
+    rotate(Xoshiro256ss &rng)
+    {
+        token_ = TokenValue::generate(rng, token_.width());
+        ++generation_;
+    }
+
+    const TokenValue &token() const { return token_; }
+    RestMode mode() const { return mode_; }
+    void setMode(RestMode m) { mode_ = m; }
+    std::uint64_t generation() const { return generation_; }
+
+    /** Token width in bytes (granule size for arm/disarm alignment). */
+    unsigned granule() const { return token_.sizeBytes(); }
+
+  private:
+    TokenValue token_;
+    RestMode mode_ = RestMode::Secure;
+    std::uint64_t generation_ = 0;
+};
+
+} // namespace rest::core
+
+#endif // REST_CORE_TOKEN_HH

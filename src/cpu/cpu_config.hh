@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Core configuration matching Table II of the paper.
+ */
+
+#ifndef REST_CPU_CPU_CONFIG_HH
+#define REST_CPU_CPU_CONFIG_HH
+
+#include <cstdint>
+
+#include "isa/opcode.hh"
+#include "util/types.hh"
+
+namespace rest::cpu
+{
+
+/** Out-of-order core parameters (Table II). */
+struct CpuConfig
+{
+    // Table II values
+    unsigned fetchWidth = 8;
+    unsigned issueWidth = 8;
+    unsigned writebackWidth = 8;
+    unsigned commitWidth = 8;
+    unsigned iqEntries = 64;
+    unsigned robEntries = 192;
+    unsigned lqEntries = 32;
+    unsigned sqEntries = 32;
+
+    /**
+     * Functional-unit pool sizes. The issue width bounds total issue
+     * per cycle, but each op also needs a unit of its class: memory
+     * ops contend for the load/store ports, which is where ASan's
+     * extra shadow loads hurt on real cores.
+     */
+    unsigned memPorts = 2;
+    unsigned aluUnits = 6;
+    unsigned fpUnits = 4;
+    unsigned mulDivUnits = 2;
+
+    /**
+     * Cycles from a store commit to the L1-D write acknowledgement
+     * (bank write + response). Only the debug mode's delayed store
+     * commit exposes this on the critical path.
+     */
+    unsigned storeCommitAckCycles = 2;
+
+    /** Decode+rename depth between fetch and dispatch. */
+    unsigned frontendDepth = 4;
+    /** Cycles from branch resolution to fetch restart. */
+    unsigned mispredictPenalty = 12;
+
+    /**
+     * When true, store-like ops (stores, arms, disarms) hold ROB
+     * commit until their cache write completes: the debug-mode
+     * precise-exception guarantee (paper §III-B "Exception
+     * Reporting"). Secure mode leaves this false, committing stores
+     * eagerly into the write buffer.
+     */
+    bool delayStoreCommit = false;
+
+    /**
+     * Ablation (paper §III-B "LSQ Modification"): serialize arm and
+     * disarm execution — each REST op waits for the whole pipeline to
+     * drain and stalls fetch until it commits — instead of using the
+     * modified LSQ matching logic. "Simple to implement, significant
+     * performance penalties."
+     */
+    bool serializeRestOps = false;
+
+    /**
+     * When true (paper's default hardware), the L1-D supports
+     * critical-word-first fills; secure-mode loads may commit before
+     * the whole line arrives and token checks resolve. Turning it off
+     * adds the fill-completion delay to every missing load (used by
+     * the ablation bench).
+     */
+    bool criticalWordFirst = true;
+};
+
+/** Execution latency of one op class, in cycles. */
+constexpr Cycles
+opLatency(isa::OpClass cls)
+{
+    using isa::OpClass;
+    switch (cls) {
+      case OpClass::IntAlu: return 1;
+      case OpClass::IntMult: return 3;
+      case OpClass::IntDiv: return 12;
+      case OpClass::FloatAdd: return 2;
+      case OpClass::FloatMult: return 4;
+      case OpClass::FloatDiv: return 10;
+      case OpClass::Branch: return 1;
+      case OpClass::MemRead:
+      case OpClass::MemWrite:
+      case OpClass::MemArm:
+      case OpClass::MemDisarm:
+        return 1; // address generation; memory latency added separately
+      default: return 1;
+    }
+}
+
+} // namespace rest::cpu
+
+#endif // REST_CPU_CPU_CONFIG_HH

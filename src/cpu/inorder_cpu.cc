@@ -1,0 +1,125 @@
+#include "cpu/inorder_cpu.hh"
+
+#include <algorithm>
+
+#include "util/bit_utils.hh"
+
+namespace rest::cpu
+{
+
+InOrderCpu::InOrderCpu(const InOrderConfig &cfg, mem::Cache &icache,
+                       mem::RestL1Cache &dcache)
+    : cfg_(cfg), icache_(icache), dcache_(dcache),
+      wbFreeAt_(cfg.writeBufferEntries, 0),
+      stats_("inorder"),
+      committedOps_(stats_.addScalar("committed_ops", "ops committed")),
+      totalCycles_(stats_.addScalar("cycles", "total cycles"))
+{
+}
+
+RunResult
+InOrderCpu::run(isa::TraceSource &src, std::uint64_t max_ops)
+{
+    RunResult result;
+    isa::DynOp op;
+    Cycles cycle = 0;
+    Addr last_line = invalidAddr;
+    std::uint64_t n_stores = 0;
+
+    while (result.committedOps < max_ops && src.next(op)) {
+        ++cycle; // scalar issue: one op per cycle at best
+
+        // I-cache: a new line stalls on a miss.
+        Addr line = alignDown(op.pc, icache_.blockSize());
+        if (line != last_line) {
+            Cycles ready = icache_.access(op.pc, false, cycle);
+            if (!icache_.lastWasHit())
+                cycle = ready;
+            last_line = line;
+        }
+
+        // Stall on source operands (loads stall on use).
+        if (op.rs1 != isa::noReg)
+            cycle = std::max(cycle, regReadyAt_[op.rs1]);
+        if (op.rs2 != isa::noReg)
+            cycle = std::max(cycle, regReadyAt_[op.rs2]);
+
+        Cycles complete = cycle + opLatency(op.cls);
+
+        if (op.isLoad()) {
+            mem::RestAccess acc =
+                dcache_.loadAccess(op.eaddr, op.size, cycle);
+            complete = acc.completeAt;
+        } else if (op.isStoreLike()) {
+            // Stores retire into the write buffer; a full buffer
+            // stalls the pipeline until the oldest entry drains.
+            auto slot = std::min_element(wbFreeAt_.begin(),
+                                         wbFreeAt_.end());
+            cycle = std::max(cycle, *slot);
+            mem::RestAccess wr;
+            wr.completeAt = cycle + 1;
+            if (op.fault == isa::FaultKind::RestMisaligned) {
+                // Faults at decode; no cache write is issued.
+            } else if (op.isArm()) {
+                wr = dcache_.armAccess(op.eaddr, cycle);
+            } else if (op.isDisarm()) {
+                wr = dcache_.disarmAccess(op.eaddr, cycle);
+            } else {
+                wr = dcache_.storeAccess(op.eaddr, op.size, cycle);
+            }
+            *slot = wr.completeAt;
+            complete = cycle + 1;
+            ++n_stores;
+        }
+
+        if (op.isBranch) {
+            using isa::Opcode;
+            bool mispredicted = false;
+            switch (op.op) {
+              case Opcode::Beq:
+              case Opcode::Bne:
+              case Opcode::Blt:
+              case Opcode::Bge:
+                mispredicted = !bpred_.resolveConditional(op.pc, op.taken);
+                break;
+              case Opcode::Call:
+                bpred_.pushReturn(op.pc + 4);
+                break;
+              case Opcode::Ret:
+                mispredicted = !bpred_.predictReturn(op.nextPc);
+                break;
+              default:
+                break;
+            }
+            if (mispredicted)
+                cycle += cfg_.mispredictPenalty;
+            if (op.taken)
+                last_line = invalidAddr;
+        }
+
+        if (op.rd != isa::noReg && op.rd != isa::regZero)
+            regReadyAt_[op.rd] = complete;
+
+        ++committedOps_;
+        ++result.committedOps;
+        ++result.opsBySource[static_cast<unsigned>(op.source)];
+
+        if (op.fault != isa::FaultKind::None) {
+            result.violation.kind =
+                op.fault == isa::FaultKind::AsanReport
+                    ? core::ViolationKind::AsanCheckFailed
+                    : core::ViolationKind::TokenAccess;
+            result.violation.pc = op.pc;
+            result.violation.faultAddr = op.eaddr;
+            result.violation.seq = result.committedOps - 1;
+            result.violation.reportCycle = cycle;
+            break;
+        }
+    }
+
+    result.cycles = cycle;
+    totalCycles_.set(cycle);
+    return result;
+}
+
+} // namespace rest::cpu

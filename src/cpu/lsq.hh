@@ -1,0 +1,187 @@
+/**
+ * @file
+ * Load/store queue model with the REST matching-logic extensions of
+ * paper Fig. 5 and Table I ("LSQ" column).
+ *
+ * Store-to-load forwarding normally lets a load take its value from an
+ * older in-flight store. Arm and disarm are store-like but must never
+ * forward their (implicit) values — the token is a secret. The REST
+ * LSQ therefore:
+ *   - raises a privileged exception when a load would forward from an
+ *     in-flight arm (TokenForward),
+ *   - raises when a store overlaps an in-flight arm's granule,
+ *   - raises when a disarm is inserted while another disarm to the
+ *     same granule is still in flight,
+ *   - stores no data value with arm/disarm entries (the value is
+ *     implicit and known by the cache).
+ */
+
+#ifndef REST_CPU_LSQ_HH
+#define REST_CPU_LSQ_HH
+
+#include <algorithm>
+#include <cstdint>
+#include <deque>
+
+#include "core/exceptions.hh"
+#include "util/types.hh"
+
+namespace rest::cpu
+{
+
+/** Result of presenting a load to the store queue. */
+struct LoadLsqCheck
+{
+    /** Load takes its value entirely from an older store: 1 cycle. */
+    bool forwarded = false;
+    /**
+     * Load partially overlaps an older normal store; it must wait for
+     * that store's write to complete before accessing the cache.
+     */
+    Cycles mustWaitUntil = 0;
+    /** The load hit an in-flight arm: privileged REST exception. */
+    core::ViolationKind violation = core::ViolationKind::None;
+};
+
+/** Store-queue timing/semantics model. */
+class Lsq
+{
+  public:
+    /** One in-flight store-like op (store, arm, or disarm). */
+    struct StoreEntry
+    {
+        std::uint64_t seq = 0;
+        Addr addr = 0;
+        unsigned size = 0;
+        bool isArm = false;
+        bool isDisarm = false;
+        /** Cycle the write completes at the cache (entry then frees). */
+        Cycles writeCompleteAt = 0;
+    };
+
+    explicit Lsq(unsigned sq_entries = 32) : sqEntries_(sq_entries) {}
+
+    /** Drop entries whose writes completed before 'now'. */
+    void
+    prune(Cycles now)
+    {
+        while (!entries_.empty() &&
+               entries_.front().writeCompleteAt <= now) {
+            entries_.pop_front();
+        }
+    }
+
+    /**
+     * Check a load of [addr, addr+size) against older in-flight
+     * store-like entries, youngest-first (paper Fig. 5 logic).
+     */
+    LoadLsqCheck
+    checkLoad(std::uint64_t load_seq, Addr addr, unsigned size) const
+    {
+        LoadLsqCheck res;
+        for (auto it = entries_.rbegin(); it != entries_.rend(); ++it) {
+            if (it->seq >= load_seq)
+                continue;
+            if (!overlaps(addr, size, it->addr, it->size))
+                continue;
+            if (it->isArm) {
+                // The load would "hit" the in-flight arm: the match
+                // logic detects the line-address + offset match and
+                // raises instead of forwarding the secret.
+                res.violation = core::ViolationKind::TokenForward;
+                return res;
+            }
+            if (it->isDisarm) {
+                // Disarm zeroes its granule; the value (zero) is
+                // implicit, but the entry carries no data to forward,
+                // so the load waits for the write to reach the cache.
+                res.mustWaitUntil =
+                    std::max(res.mustWaitUntil, it->writeCompleteAt);
+                return res;
+            }
+            if (covers(it->addr, it->size, addr, size)) {
+                res.forwarded = true;
+            } else {
+                // Partial overlap: not forwardable.
+                res.mustWaitUntil =
+                    std::max(res.mustWaitUntil, it->writeCompleteAt);
+            }
+            return res; // youngest matching entry decides
+        }
+        return res;
+    }
+
+    /**
+     * Check the REST rules for inserting a store-like op (Table I):
+     * stores fault when they overlap an in-flight arm; disarms fault
+     * when another disarm to the same granule is in flight.
+     */
+    core::ViolationKind
+    checkInsert(Addr addr, unsigned size, bool is_arm,
+                bool is_disarm) const
+    {
+        for (const auto &e : entries_) {
+            if (!overlaps(addr, size, e.addr, e.size))
+                continue;
+            if (is_disarm && e.isDisarm)
+                return core::ViolationKind::DisarmUnarmed;
+            if (!is_arm && !is_disarm && e.isArm)
+                return core::ViolationKind::TokenForward;
+        }
+        return core::ViolationKind::None;
+    }
+
+    /**
+     * Insert a store-like entry (after checkInsert passed). The SQ
+     * drains to the cache in program order, so an entry cannot
+     * complete before its elders: completion times are made monotone
+     * at insert.
+     */
+    void
+    insert(StoreEntry entry)
+    {
+        if (!entries_.empty()) {
+            entry.writeCompleteAt = std::max(
+                entry.writeCompleteAt,
+                entries_.back().writeCompleteAt);
+        }
+        entries_.push_back(entry);
+    }
+
+    /** Number of in-flight entries. */
+    std::size_t occupancy() const { return entries_.size(); }
+
+    /** Is the SQ structurally full? */
+    bool full() const { return entries_.size() >= sqEntries_; }
+
+    /** First cycle at which an entry will free (valid when full()). */
+    Cycles
+    earliestFree() const
+    {
+        // In-order drain: the oldest entry frees first.
+        return entries_.empty() ? 0 : entries_.front().writeCompleteAt;
+    }
+
+    void clear() { entries_.clear(); }
+
+  private:
+    static bool
+    overlaps(Addr a1, unsigned s1, Addr a2, unsigned s2)
+    {
+        return a1 < a2 + s2 && a2 < a1 + s1;
+    }
+
+    /** Does [a1, a1+s1) fully cover [a2, a2+s2)? */
+    static bool
+    covers(Addr a1, unsigned s1, Addr a2, unsigned s2)
+    {
+        return a1 <= a2 && a2 + s2 <= a1 + s1;
+    }
+
+    unsigned sqEntries_;
+    std::deque<StoreEntry> entries_;
+};
+
+} // namespace rest::cpu
+
+#endif // REST_CPU_LSQ_HH

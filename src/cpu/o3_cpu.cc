@@ -1,0 +1,408 @@
+#include "cpu/o3_cpu.hh"
+#include <cstdio>
+#include <cstdlib>
+
+#include <algorithm>
+
+#include "util/bit_utils.hh"
+#include "util/logging.hh"
+
+namespace rest::cpu
+{
+
+O3Cpu::O3Cpu(const CpuConfig &cfg, core::RestMode mode,
+             mem::Cache &icache, mem::RestL1Cache &dcache)
+    : cfg_(cfg), mode_(mode), icache_(icache), dcache_(dcache),
+      lsq_(cfg.sqEntries),
+      robFreeAt_(cfg.robEntries, 0),
+      iqFreeAt_(cfg.iqEntries, 0),
+      lqFreeAt_(cfg.lqEntries, 0),
+      issueCnt_(issueWindow, 0), issueEpoch_(issueWindow, ~Cycles(0)),
+      stats_("o3cpu"),
+      committedOps_(stats_.addScalar("committed_ops",
+          "dynamic ops committed")),
+      totalCycles_(stats_.addScalar("cycles", "total cycles simulated")),
+      iqFullStallCycles_(stats_.addScalar("iq_full_stall_cycles",
+          "dispatch cycles lost to a full IQ")),
+      robStallCycles_(stats_.addScalar("rob_full_stall_cycles",
+          "dispatch cycles lost to a full ROB")),
+      sqFullStallCycles_(stats_.addScalar("sq_full_stall_cycles",
+          "dispatch cycles lost to a full SQ")),
+      robStoreBlockedCycles_(stats_.addScalar("rob_store_blocked_cycles",
+          "commit cycles the ROB head was blocked by a store write "
+          "(debug mode)")),
+      branchMispredicts_(stats_.addScalar("branch_mispredicts",
+          "resolved branch mispredictions")),
+      loadsForwarded_(stats_.addScalar("loads_forwarded",
+          "loads satisfied by store-to-load forwarding")),
+      storesCommitted_(stats_.addScalar("stores_committed", "")),
+      armsCommitted_(stats_.addScalar("arms_committed", "")),
+      disarmsCommitted_(stats_.addScalar("disarms_committed", ""))
+{
+    fuPoolSize_ = {cfg.memPorts, cfg.aluUnits, cfg.fpUnits,
+                   cfg.mulDivUnits};
+    for (unsigned pool = 0; pool < 4; ++pool) {
+        fuCnt_[pool].assign(issueWindow, 0);
+        fuEpoch_[pool].assign(issueWindow, ~Cycles(0));
+    }
+}
+
+Cycles
+O3Cpu::claimIssueSlot(Cycles when, unsigned pool, Cycles fu_busy)
+{
+    for (Cycles t = when;; ++t) {
+        unsigned idx = static_cast<unsigned>(t % issueWindow);
+        if (issueEpoch_[idx] != t) {
+            issueEpoch_[idx] = t;
+            issueCnt_[idx] = 0;
+        }
+        if (fuEpoch_[pool][idx] != t) {
+            fuEpoch_[pool][idx] = t;
+            fuCnt_[pool][idx] = 0;
+        }
+        if (issueCnt_[idx] >= cfg_.issueWidth ||
+            fuCnt_[pool][idx] >= fuPoolSize_[pool]) {
+            continue;
+        }
+        ++issueCnt_[idx];
+        ++fuCnt_[pool][idx];
+        // Non-pipelined units (dividers) stay busy past the issue
+        // cycle.
+        for (Cycles k = 1; k < fu_busy; ++k) {
+            unsigned j = static_cast<unsigned>((t + k) % issueWindow);
+            if (fuEpoch_[pool][j] != t + k) {
+                fuEpoch_[pool][j] = t + k;
+                fuCnt_[pool][j] = 0;
+            }
+            if (fuCnt_[pool][j] < 255)
+                ++fuCnt_[pool][j];
+        }
+        return t;
+    }
+}
+
+Cycles
+O3Cpu::fetchOp(Addr pc, Cycles earliest)
+{
+    if (fetchCycle_ < earliest) {
+        fetchCycle_ = earliest;
+        fetchedThisCycle_ = 0;
+    }
+
+    // One I-cache line feeds the fetch group; a new line probes the
+    // I-cache, and only a miss stalls the (pipelined) front end.
+    Addr line = alignDown(pc, icache_.blockSize());
+    if (line != lastFetchLine_) {
+        Cycles ready = icache_.access(pc, false, fetchCycle_);
+        if (!icache_.lastWasHit()) {
+            fetchCycle_ = ready;
+            fetchedThisCycle_ = 0;
+        }
+        lastFetchLine_ = line;
+    }
+
+    if (fetchedThisCycle_ >= cfg_.fetchWidth) {
+        ++fetchCycle_;
+        fetchedThisCycle_ = 0;
+    }
+    ++fetchedThisCycle_;
+    return fetchCycle_;
+}
+
+RunResult
+O3Cpu::run(isa::TraceSource &src, std::uint64_t max_ops)
+{
+    RunResult result;
+    isa::DynOp op;
+
+    std::uint64_t n = 0;          // dynamic index
+    serializeUntil_ = false;
+    std::uint64_t n_loads = 0;    // loads seen (LQ ring index)
+    Cycles redirect_at = 0;       // earliest fetch after a mispredict
+    const bool debug_mode = mode_ == core::RestMode::Debug;
+    const bool delay_stores = debug_mode || cfg_.delayStoreCommit;
+    // Cycles a load miss waits for the rest of the line after the
+    // critical word arrives. Debug mode always pays it (a load is not
+    // released from the MSHR while the delivered word partially
+    // matches the token, SIII-B); disabling critical-word-first pays
+    // it in every mode (ablation).
+    const Cycles fill_tail = 4;
+    const bool pay_fill_tail = debug_mode || !cfg_.criticalWordFirst;
+
+    while (n < max_ops && src.next(op)) {
+        // ---------------- Fetch ----------------
+        Cycles fetch_cycle = fetchOp(op.pc, redirect_at);
+
+        // ---------------- Branch prediction ----------------
+        bool mispredicted = false;
+        if (op.isBranch) {
+            using isa::Opcode;
+            switch (op.op) {
+              case Opcode::Beq:
+              case Opcode::Bne:
+              case Opcode::Blt:
+              case Opcode::Bge:
+                mispredicted = !bpred_.resolveConditional(op.pc, op.taken);
+                break;
+              case Opcode::Call:
+                bpred_.pushReturn(op.pc + 4);
+                break;
+              case Opcode::Ret:
+                mispredicted = !bpred_.predictReturn(op.nextPc);
+                break;
+              default:
+                break; // direct jumps: BTB assumed to hit
+            }
+            if (op.taken) {
+                // A (predicted-)taken branch ends the fetch group.
+                ++fetchCycle_;
+                fetchedThisCycle_ = 0;
+                lastFetchLine_ = invalidAddr;
+            }
+        }
+
+        // ---------------- Dispatch ----------------
+        Cycles dispatch = fetch_cycle + cfg_.frontendDepth;
+
+        if (cfg_.serializeRestOps && (op.isArm() || op.isDisarm())) {
+            // Serialization ablation (§III-B): the REST op must be
+            // the only one in flight — wait for everything older to
+            // commit, and hold fetch until this op is done.
+            dispatch = std::max(dispatch, lastCommitCycle_ + 1);
+            serializeUntil_ = true;
+        }
+
+        Cycles rob_free = robFreeAt_[n % cfg_.robEntries];
+        if (rob_free > dispatch) {
+            robStallCycles_ += rob_free - dispatch;
+            dispatch = rob_free;
+        }
+        // IQ slots free out of order (any issued entry releases its
+        // slot): take the earliest-freeing one.
+        auto iq_slot = std::min_element(iqFreeAt_.begin(),
+                                        iqFreeAt_.end());
+        if (*iq_slot > dispatch) {
+            iqFullStallCycles_ += *iq_slot - dispatch;
+            dispatch = *iq_slot;
+        }
+        if (op.isLoad()) {
+            Cycles lq_free = lqFreeAt_[n_loads % cfg_.lqEntries];
+            dispatch = std::max(dispatch, lq_free);
+        }
+        if (op.isStoreLike()) {
+            lsq_.prune(dispatch);
+            if (lsq_.full()) {
+                Cycles free_at = lsq_.earliestFree();
+                if (free_at > dispatch) {
+                    sqFullStallCycles_ += free_at - dispatch;
+                    dispatch = free_at;
+                }
+                lsq_.prune(dispatch);
+            }
+        }
+
+        // Back-pressure: a stalled dispatch fills the fetch buffer and
+        // halts fetch. Keep the front end within a small skid of
+        // dispatch so fetch timing stays meaningful.
+        constexpr Cycles fetch_skid = 2;
+        if (dispatch > fetchCycle_ + cfg_.frontendDepth + fetch_skid)
+            fetchCycle_ = dispatch - cfg_.frontendDepth - fetch_skid;
+
+        // ---------------- Issue ----------------
+        Cycles ready = dispatch + 1;
+        if (op.rs1 != isa::noReg)
+            ready = std::max(ready, regReadyAt_[op.rs1]);
+        if (op.rs2 != isa::noReg)
+            ready = std::max(ready, regReadyAt_[op.rs2]);
+
+        // Pick the functional-unit pool for this op class.
+        unsigned pool_idx;
+        switch (op.cls) {
+          case isa::OpClass::MemRead:
+          case isa::OpClass::MemWrite:
+          case isa::OpClass::MemArm:
+          case isa::OpClass::MemDisarm:
+            pool_idx = 0;
+            break;
+          case isa::OpClass::FloatAdd:
+          case isa::OpClass::FloatMult:
+          case isa::OpClass::FloatDiv:
+            pool_idx = 2;
+            break;
+          case isa::OpClass::IntMult:
+          case isa::OpClass::IntDiv:
+            pool_idx = 3;
+            break;
+          default:
+            pool_idx = 1;
+            break;
+        }
+        // Units are pipelined except the dividers.
+        Cycles fu_busy = (op.cls == isa::OpClass::IntDiv ||
+                          op.cls == isa::OpClass::FloatDiv)
+            ? opLatency(op.cls) : 1;
+        Cycles issue = claimIssueSlot(ready, pool_idx, fu_busy);
+
+        // IQ entry occupied from dispatch until issue.
+        *iq_slot = issue + 1;
+        if (getenv("REST_TRACE_PIPE") && n >= 100000 && n < 100050)
+            fprintf(stderr,
+                "n=%llu op=%d fetch=%llu disp=%llu ready=%llu "
+                "issue=%llu complete(pre)=%llu rs1=%d\n",
+                (unsigned long long)n, (int)op.op,
+                (unsigned long long)fetch_cycle,
+                (unsigned long long)dispatch,
+                (unsigned long long)ready, (unsigned long long)issue,
+                (unsigned long long)(issue + opLatency(op.cls)),
+                (int)op.rs1);
+
+        // ---------------- Execute ----------------
+        Cycles complete = issue + opLatency(op.cls);
+        core::ViolationKind lsq_violation = core::ViolationKind::None;
+        mem::RestAccess store_wr;
+
+        if (op.isLoad()) {
+            lsq_.prune(issue);
+            LoadLsqCheck chk = lsq_.checkLoad(n, op.eaddr, op.size);
+            if (chk.violation != core::ViolationKind::None) {
+                lsq_violation = chk.violation;
+                complete = issue + 1;
+            } else if (chk.forwarded) {
+                ++loadsForwarded_;
+                complete = issue + 1;
+            } else {
+                Cycles start = std::max(issue + 1, chk.mustWaitUntil);
+                mem::RestAccess acc =
+                    dcache_.loadAccess(op.eaddr, op.size, start);
+                complete = acc.completeAt;
+                if (pay_fill_tail && !acc.hit)
+                    complete += fill_tail;
+            }
+        } else if (op.isStoreLike()) {
+            lsq_.prune(issue);
+            lsq_violation = lsq_.checkInsert(op.eaddr, op.size,
+                                             op.isArm(), op.isDisarm());
+            complete = issue + 1; // address + data ready
+        }
+
+        // ---------------- Commit (in order) ----------------
+        Cycles commit = std::max(complete + 1, lastCommitCycle_);
+        if (commit == lastCommitCycle_ &&
+            commitsThisCycle_ >= cfg_.commitWidth) {
+            ++commit;
+        }
+
+        if (op.isStoreLike() &&
+            lsq_violation == core::ViolationKind::None) {
+            // Secure mode: the line fetch (store RFO) starts at
+            // execute and overlaps younger work; commit is never
+            // blocked. Debug mode: like gem5's O3 + classic caches,
+            // the store is presented to the L1-D when it reaches the
+            // ROB head, and commit waits for the write (and any line
+            // fill) to complete -- this is precisely the cost of the
+            // precise-exception guarantee (§III-B).
+            Cycles write_start = delay_stores ? commit : issue + 1;
+            if (op.fault != isa::FaultKind::RestMisaligned) {
+                if (op.isArm()) {
+                    store_wr = dcache_.armAccess(op.eaddr, write_start);
+                    ++armsCommitted_;
+                } else if (op.isDisarm()) {
+                    store_wr = dcache_.disarmAccess(op.eaddr,
+                                                    write_start);
+                    ++disarmsCommitted_;
+                } else {
+                    store_wr = dcache_.storeAccess(op.eaddr, op.size,
+                                                   write_start);
+                    ++storesCommitted_;
+                }
+            }
+            Cycles write_done = std::max(store_wr.completeAt,
+                commit + cfg_.storeCommitAckCycles);
+            if (delay_stores) {
+                // Debug mode: hold commit until the write completes so
+                // a REST violation arrives while the op is still in
+                // the ROB (precise exceptions).
+                if (write_done > commit) {
+                    robStoreBlockedCycles_ += write_done - commit;
+                    commit = write_done;
+                }
+            }
+            lsq_.insert({n, op.eaddr, op.size, op.isArm(),
+                         op.isDisarm(), write_done});
+        }
+
+        if (commit > lastCommitCycle_) {
+            lastCommitCycle_ = commit;
+            commitsThisCycle_ = 1;
+        } else {
+            ++commitsThisCycle_;
+        }
+
+        // Writeback: result becomes available to consumers.
+        if (op.rd != isa::noReg && op.rd != isa::regZero)
+            regReadyAt_[op.rd] = complete;
+
+        robFreeAt_[n % cfg_.robEntries] = commit;
+        if (op.isLoad())
+            lqFreeAt_[n_loads++ % cfg_.lqEntries] = commit;
+
+        if (mispredicted) {
+            ++branchMispredicts_;
+            redirect_at = complete + cfg_.mispredictPenalty;
+        }
+        if (serializeUntil_) {
+            // The serialized REST op stalls fetch until it commits.
+            redirect_at = std::max(redirect_at, commit + 1);
+            serializeUntil_ = false;
+        }
+
+        ++n;
+        ++committedOps_;
+        ++result.committedOps;
+        ++result.opsBySource[static_cast<unsigned>(op.source)];
+
+        // ---------------- Exceptions ----------------
+        core::ViolationKind arch_fault = core::ViolationKind::None;
+        switch (op.fault) {
+          case isa::FaultKind::RestTokenAccess:
+            arch_fault = core::ViolationKind::TokenAccess;
+            break;
+          case isa::FaultKind::RestDisarmUnarmed:
+            arch_fault = core::ViolationKind::DisarmUnarmed;
+            break;
+          case isa::FaultKind::RestMisaligned:
+            arch_fault = core::ViolationKind::MisalignedRestInst;
+            break;
+          case isa::FaultKind::AsanReport:
+            arch_fault = core::ViolationKind::AsanCheckFailed;
+            break;
+          case isa::FaultKind::None:
+            break;
+        }
+        if (lsq_violation != core::ViolationKind::None)
+            arch_fault = lsq_violation;
+
+        if (arch_fault != core::ViolationKind::None) {
+            result.violation.kind = arch_fault;
+            result.violation.faultAddr = op.eaddr;
+            result.violation.pc = op.pc;
+            result.violation.seq = n - 1;
+            result.violation.reportCycle = commit;
+            // Misaligned REST instructions fault precisely at decode;
+            // everything else is precise only in debug mode.
+            bool precise = debug_mode ||
+                arch_fault == core::ViolationKind::MisalignedRestInst ||
+                arch_fault == core::ViolationKind::AsanCheckFailed;
+            result.violation.precision = precise
+                ? core::Precision::Precise
+                : core::Precision::Imprecise;
+            break;
+        }
+    }
+
+    result.cycles = lastCommitCycle_;
+    totalCycles_.set(lastCommitCycle_);
+    return result;
+}
+
+} // namespace rest::cpu

@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Dynamic-instruction record exchanged between the functional emulator
+ * and the timing CPU models.
+ *
+ * The reproduction uses an emulate-ahead / timing-behind organisation:
+ * the functional emulator executes the guest program (including runtime
+ * expansion of allocator and libc-interceptor work) and streams DynOps
+ * to a timing model, which charges cycles through its pipeline, branch
+ * predictor and cache hierarchy. No timing-dependent functional
+ * behaviour exists in the modelled system, so this split is exact.
+ */
+
+#ifndef REST_ISA_DYN_OP_HH
+#define REST_ISA_DYN_OP_HH
+
+#include <cstdint>
+
+#include "isa/inst.hh"
+#include "isa/opcode.hh"
+#include "util/types.hh"
+
+namespace rest::isa
+{
+
+/** Why an op faults, determined functionally, reported by timing. */
+enum class FaultKind : std::uint8_t
+{
+    None,
+    /** Access touched a REST token (privileged REST exception). */
+    RestTokenAccess,
+    /** Disarm of a location that holds no token. */
+    RestDisarmUnarmed,
+    /** Misaligned arm/disarm (precise invalid-REST-instruction). */
+    RestMisaligned,
+    /** ASan shadow check failed (software-detected violation). */
+    AsanReport,
+};
+
+/** One dynamic operation as consumed by a timing CPU model. */
+struct DynOp
+{
+    std::uint64_t seq = 0;  ///< global dynamic sequence number
+    Addr pc = 0;            ///< instruction PC (for I-cache and bpred)
+    Opcode op = Opcode::Nop;
+    OpClass cls = OpClass::No_OpClass;
+    OpSource source = OpSource::Program;
+
+    RegId rd = noReg;
+    RegId rs1 = noReg;
+    RegId rs2 = noReg;
+
+    // Memory ops
+    Addr eaddr = invalidAddr; ///< effective address
+    std::uint8_t size = 0;    ///< access size in bytes
+
+    // Control flow (resolved outcome from the functional emulator)
+    bool isBranch = false;
+    bool taken = false;
+    Addr nextPc = 0;          ///< architecturally correct next PC
+
+    FaultKind fault = FaultKind::None;
+
+    bool isLoad() const { return op == Opcode::Load; }
+    bool isStore() const { return op == Opcode::Store; }
+    bool isArm() const { return op == Opcode::Arm; }
+    bool isDisarm() const { return op == Opcode::Disarm; }
+    bool isMem() const { return eaddr != invalidAddr; }
+    /** Anything handled by the store queue (writes memory). */
+    bool isStoreLike() const { return isStore() || isArm() || isDisarm(); }
+};
+
+/**
+ * Pull interface for dynamic op streams. The functional emulator and
+ * the directed test drivers implement this; CPU models consume it.
+ */
+class TraceSource
+{
+  public:
+    virtual ~TraceSource() = default;
+
+    /**
+     * Produce the next dynamic op.
+     * @param out filled with the next op on success.
+     * @return false when the stream is exhausted (program halted).
+     */
+    virtual bool next(DynOp &out) = 0;
+};
+
+} // namespace rest::isa
+
+#endif // REST_ISA_DYN_OP_HH

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Static instruction representation for the mini-ISA.
+ */
+
+#ifndef REST_ISA_INST_HH
+#define REST_ISA_INST_HH
+
+#include <cstdint>
+#include <string>
+
+#include "isa/opcode.hh"
+#include "util/types.hh"
+
+namespace rest::isa
+{
+
+/** Number of architectural integer registers. */
+inline constexpr unsigned numRegs = 32;
+
+/** Register id type; regZero reads as 0 and ignores writes. */
+using RegId = std::uint8_t;
+
+inline constexpr RegId regZero = 0;   ///< hardwired zero
+inline constexpr RegId regSp = 30;    ///< stack pointer
+inline constexpr RegId regFp = 29;    ///< frame pointer
+inline constexpr RegId regRet = 28;   ///< return-value register
+inline constexpr RegId noReg = 0xff;  ///< "no register" sentinel
+
+/**
+ * One static instruction.
+ *
+ * Addressing mode for memory ops: effective addr = reg[rs1] + imm.
+ * Conditional branches compare reg[rs1] with reg[rs2] and jump to
+ * 'target' (an instruction index within the same function). Call's
+ * 'target' is a function index within the program.
+ *
+ * 'bufId' >= 0 marks an immediate that symbolically refers to a stack
+ * buffer of the enclosing function; the frame-layout pass rewrites
+ * 'imm' to the buffer's frame offset for the configured protection
+ * scheme (see runtime/instrumentation.hh).
+ */
+struct Inst
+{
+    Opcode op = Opcode::Nop;
+    RegId rd = noReg;
+    RegId rs1 = noReg;
+    RegId rs2 = noReg;
+    std::uint8_t width = 8;   ///< access width in bytes for Load/Store
+    std::int64_t imm = 0;
+    std::int32_t target = -1; ///< branch target (inst idx) / callee idx
+    std::int32_t bufId = -1;  ///< symbolic stack-buffer reference
+    /** Attribution tag, set by the instrumentation passes. */
+    OpSource tag = OpSource::Program;
+
+    /** Render this instruction as assembly-like text. */
+    std::string toString() const;
+};
+
+} // namespace rest::isa
+
+#endif // REST_ISA_INST_HH

@@ -1,0 +1,154 @@
+#include "isa/opcode.hh"
+
+#include "util/logging.hh"
+
+namespace rest::isa
+{
+
+OpClass
+opClassOf(Opcode op)
+{
+    switch (op) {
+      case Opcode::Nop:
+      case Opcode::Halt:
+        return OpClass::No_OpClass;
+      case Opcode::Add:
+      case Opcode::Sub:
+      case Opcode::And:
+      case Opcode::Or:
+      case Opcode::Xor:
+      case Opcode::Shl:
+      case Opcode::Shr:
+      case Opcode::AddI:
+      case Opcode::AndI:
+      case Opcode::OrI:
+      case Opcode::XorI:
+      case Opcode::ShlI:
+      case Opcode::ShrI:
+      case Opcode::MovImm:
+      case Opcode::Mov:
+      case Opcode::Slt:
+      case Opcode::SltI:
+      case Opcode::AsanCheck:
+        return OpClass::IntAlu;
+      case Opcode::Mul:
+        return OpClass::IntMult;
+      case Opcode::Div:
+        return OpClass::IntDiv;
+      case Opcode::FAdd:
+        return OpClass::FloatAdd;
+      case Opcode::FMul:
+        return OpClass::FloatMult;
+      case Opcode::FDiv:
+        return OpClass::FloatDiv;
+      case Opcode::Load:
+        return OpClass::MemRead;
+      case Opcode::Store:
+        return OpClass::MemWrite;
+      case Opcode::Arm:
+        return OpClass::MemArm;
+      case Opcode::Disarm:
+        return OpClass::MemDisarm;
+      case Opcode::Beq:
+      case Opcode::Bne:
+      case Opcode::Blt:
+      case Opcode::Bge:
+      case Opcode::Jmp:
+      case Opcode::Call:
+      case Opcode::Ret:
+        return OpClass::Branch;
+      default:
+        rest_panic("opClassOf: runtime pseudo-op or bad opcode ",
+                   static_cast<int>(op));
+    }
+}
+
+std::string_view
+mnemonic(Opcode op)
+{
+    switch (op) {
+      case Opcode::Nop: return "nop";
+      case Opcode::Halt: return "halt";
+      case Opcode::Add: return "add";
+      case Opcode::Sub: return "sub";
+      case Opcode::Mul: return "mul";
+      case Opcode::Div: return "div";
+      case Opcode::And: return "and";
+      case Opcode::Or: return "or";
+      case Opcode::Xor: return "xor";
+      case Opcode::Shl: return "shl";
+      case Opcode::Shr: return "shr";
+      case Opcode::AddI: return "addi";
+      case Opcode::AndI: return "andi";
+      case Opcode::OrI: return "ori";
+      case Opcode::XorI: return "xori";
+      case Opcode::ShlI: return "shli";
+      case Opcode::ShrI: return "shri";
+      case Opcode::MovImm: return "movi";
+      case Opcode::Mov: return "mov";
+      case Opcode::Slt: return "slt";
+      case Opcode::SltI: return "slti";
+      case Opcode::FAdd: return "fadd";
+      case Opcode::FMul: return "fmul";
+      case Opcode::FDiv: return "fdiv";
+      case Opcode::Load: return "ld";
+      case Opcode::Store: return "st";
+      case Opcode::Beq: return "beq";
+      case Opcode::Bne: return "bne";
+      case Opcode::Blt: return "blt";
+      case Opcode::Bge: return "bge";
+      case Opcode::Jmp: return "jmp";
+      case Opcode::Call: return "call";
+      case Opcode::Ret: return "ret";
+      case Opcode::Arm: return "arm";
+      case Opcode::Disarm: return "disarm";
+      case Opcode::AsanCheck: return "asancheck";
+      case Opcode::RtMalloc: return "rt.malloc";
+      case Opcode::RtFree: return "rt.free";
+      case Opcode::RtMemcpy: return "rt.memcpy";
+      case Opcode::RtMemset: return "rt.memset";
+      case Opcode::RtStrcpy: return "rt.strcpy";
+      default: return "<bad>";
+    }
+}
+
+bool
+isMemOp(Opcode op)
+{
+    return op == Opcode::Load || op == Opcode::Store ||
+           op == Opcode::Arm || op == Opcode::Disarm;
+}
+
+bool
+isControlOp(Opcode op)
+{
+    switch (op) {
+      case Opcode::Beq:
+      case Opcode::Bne:
+      case Opcode::Blt:
+      case Opcode::Bge:
+      case Opcode::Jmp:
+      case Opcode::Call:
+      case Opcode::Ret:
+        return true;
+      default:
+        return false;
+    }
+}
+
+bool
+isRuntimeOp(Opcode op)
+{
+    switch (op) {
+      case Opcode::RtMalloc:
+      case Opcode::RtFree:
+      case Opcode::RtMemcpy:
+      case Opcode::RtMemset:
+      case Opcode::RtStrcpy:
+        return true;
+      default:
+        return false;
+    }
+}
+
+} // namespace rest::isa

@@ -1,0 +1,142 @@
+/**
+ * @file
+ * Opcode and operation-class definitions for the reproduction's
+ * mini-ISA.
+ *
+ * The paper implements REST on x86 inside gem5, appropriating the
+ * xsave/xrstor encodings for the new arm/disarm instructions. Our
+ * substitution is a small RISC-like ISA with first-class Arm/Disarm
+ * opcodes (see DESIGN.md §1); only the dynamic operation mix matters
+ * for the measured effects, not the encoding.
+ */
+
+#ifndef REST_ISA_OPCODE_HH
+#define REST_ISA_OPCODE_HH
+
+#include <cstdint>
+#include <string_view>
+
+namespace rest::isa
+{
+
+/** The complete opcode set of the mini-ISA. */
+enum class Opcode : std::uint8_t
+{
+    Nop,
+    Halt,
+
+    // Integer ALU
+    Add,
+    Sub,
+    Mul,
+    Div,
+    And,
+    Or,
+    Xor,
+    Shl,
+    Shr,
+    AddI,
+    AndI,
+    OrI,
+    XorI,
+    ShlI,
+    ShrI,
+    MovImm,
+    Mov,
+    Slt,
+    SltI,
+
+    // Floating point (modelled on the integer register file; only the
+    // latency class differs)
+    FAdd,
+    FMul,
+    FDiv,
+
+    // Memory (width field selects 1/2/4/8 bytes)
+    Load,
+    Store,
+
+    // Control flow
+    Beq,
+    Bne,
+    Blt,
+    Bge,
+    Jmp,
+    Call,
+    Ret,
+
+    // REST primitive (ISA extension, §III-A of the paper)
+    Arm,
+    Disarm,
+
+    // AddressSanitizer check trap: given a shadow byte and the original
+    // access address/width, fault if the access is invalid. Stands in
+    // for ASan's compare+branch+report slow path as one 1-cycle op.
+    AsanCheck,
+
+    // Runtime pseudo-ops, expanded by the functional emulator into the
+    // injected instruction stream of the configured runtime (allocator,
+    // libc interceptors). They never reach the timing model themselves.
+    RtMalloc,
+    RtFree,
+    RtMemcpy,
+    RtMemset,
+    RtStrcpy,
+
+    NumOpcodes,
+};
+
+/** Timing classes consumed by the CPU models' latency tables. */
+enum class OpClass : std::uint8_t
+{
+    No_OpClass,
+    IntAlu,
+    IntMult,
+    IntDiv,
+    FloatAdd,
+    FloatMult,
+    FloatDiv,
+    MemRead,
+    MemWrite,
+    MemArm,     // REST arm: functionally a (wide) store
+    MemDisarm,  // REST disarm: functionally a (wide) store
+    Branch,
+    NumOpClasses,
+};
+
+/**
+ * Attribution of a dynamic op to the component that produced it, used
+ * by the Figure-3/Figure-7 overhead breakdowns. "Program" ops come
+ * from the original workload; the rest are added by instrumentation
+ * or injected by the runtime models.
+ */
+enum class OpSource : std::uint8_t
+{
+    Program,       ///< original workload instruction
+    AccessCheck,   ///< ASan shadow-check sequence
+    StackSetup,    ///< stack redzone poison/arm code
+    Allocator,     ///< allocator bookkeeping / redzone management
+    Interceptor,   ///< libc interceptor validation work
+};
+
+/** Number of OpSource kinds. */
+inline constexpr unsigned numOpSources = 5;
+
+/** Map an opcode to its timing class. */
+OpClass opClassOf(Opcode op);
+
+/** Human-readable mnemonic for an opcode. */
+std::string_view mnemonic(Opcode op);
+
+/** True for Load/Store/Arm/Disarm (ops that carry an effective addr). */
+bool isMemOp(Opcode op);
+
+/** True for conditional branches and jumps/calls/returns. */
+bool isControlOp(Opcode op);
+
+/** True for the runtime pseudo-ops. */
+bool isRuntimeOp(Opcode op);
+
+} // namespace rest::isa
+
+#endif // REST_ISA_OPCODE_HH

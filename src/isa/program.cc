@@ -1,0 +1,88 @@
+#include "isa/program.hh"
+
+#include <sstream>
+
+#include "util/logging.hh"
+
+namespace rest::isa
+{
+
+std::string
+Inst::toString() const
+{
+    std::ostringstream os;
+    os << mnemonic(op);
+    if (op == Opcode::Load) {
+        os << int(width) << " r" << int(rd) << ", [r" << int(rs1) << (imm >= 0 ?
+            "+" : "") << imm << "]";
+    } else if (op == Opcode::Store || op == Opcode::Arm ||
+               op == Opcode::Disarm) {
+        os << (op == Opcode::Store ? std::to_string(int(width)) : "")
+           << " [r" << int(rs1) << (imm >= 0 ? "+" : "") << imm << "]";
+        if (op == Opcode::Store)
+            os << ", r" << int(rs2);
+    } else if (isControlOp(op)) {
+        if (rs1 != noReg)
+            os << " r" << int(rs1) << ", r" << int(rs2) << ",";
+        os << " ->" << target;
+    } else {
+        if (rd != noReg)
+            os << " r" << int(rd);
+        if (rs1 != noReg)
+            os << ", r" << int(rs1);
+        if (rs2 != noReg)
+            os << ", r" << int(rs2);
+        if (op == Opcode::MovImm || op == Opcode::AddI ||
+            op == Opcode::AndI || op == Opcode::OrI ||
+            op == Opcode::XorI || op == Opcode::ShlI ||
+            op == Opcode::ShrI || op == Opcode::SltI) {
+            os << ", " << imm;
+        }
+    }
+    if (bufId >= 0)
+        os << "  ; buf#" << bufId;
+    return os.str();
+}
+
+std::string
+Function::toString() const
+{
+    std::ostringstream os;
+    os << name << ":  ; frame=" << frameSize << " bufs=" << bufs.size()
+       << "\n";
+    for (std::size_t i = 0; i < insts.size(); ++i)
+        os << "  " << i << ":\t" << insts[i].toString() << "\n";
+    return os.str();
+}
+
+Addr
+Program::pcBase(std::size_t func_idx) const
+{
+    rest_assert(func_idx < funcs.size(), "bad function index ", func_idx);
+    // Lay functions out back to back in a synthetic text segment
+    // starting at 0x400000, 4 bytes per instruction.
+    Addr base = 0x400000;
+    for (std::size_t i = 0; i < func_idx; ++i)
+        base += 4 * funcs[i].insts.size();
+    return base;
+}
+
+std::size_t
+Program::numInsts() const
+{
+    std::size_t n = 0;
+    for (const auto &f : funcs)
+        n += f.insts.size();
+    return n;
+}
+
+std::string
+Program::toString() const
+{
+    std::ostringstream os;
+    for (const auto &f : funcs)
+        os << f.toString() << "\n";
+    return os.str();
+}
+
+} // namespace rest::isa

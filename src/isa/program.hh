@@ -1,0 +1,150 @@
+/**
+ * @file
+ * Program and function containers for the mini-ISA, plus a builder
+ * used by the workload generators and instrumentation passes.
+ */
+
+#ifndef REST_ISA_PROGRAM_HH
+#define REST_ISA_PROGRAM_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "isa/inst.hh"
+#include "util/types.hh"
+
+namespace rest::isa
+{
+
+/**
+ * A stack-allocated buffer declared by a function.
+ *
+ * The generator declares buffers symbolically; the frame-layout pass of
+ * the configured protection scheme assigns 'offset' (relative to the
+ * frame pointer) and may surround the buffer with redzones.
+ */
+struct StackBuf
+{
+    std::uint32_t size = 0;     ///< requested size in bytes
+    bool vulnerable = true;     ///< eligible for redzone protection
+    std::int64_t offset = -1;   ///< assigned fp-relative offset
+};
+
+/**
+ * One function: a straight vector of instructions with branch targets
+ * as indices into that vector, plus stack-frame metadata.
+ */
+struct Function
+{
+    std::string name;
+    std::vector<Inst> insts;
+    std::vector<StackBuf> bufs;
+    std::int64_t frameSize = 0; ///< assigned by the layout pass
+
+    /** Render the function as assembly-like text. */
+    std::string toString() const;
+};
+
+/**
+ * A whole program. Function 0 is the entry point. Each static
+ * instruction has a global PC: pcBase(func) + 4 * inst index, used by
+ * the I-cache and branch predictor models.
+ */
+struct Program
+{
+    std::vector<Function> funcs;
+
+    /** Base PC of a function. */
+    Addr pcBase(std::size_t func_idx) const;
+
+    /** Total static instruction count. */
+    std::size_t numInsts() const;
+
+    /** Render the whole program as assembly-like text. */
+    std::string toString() const;
+};
+
+/**
+ * Fluent helper for emitting instructions into a function. Wraps label
+ * management so generators and passes never hand-compute branch
+ * targets.
+ */
+class FuncBuilder
+{
+  public:
+    explicit FuncBuilder(std::string name) { fn_.name = std::move(name); }
+
+    /** Declare a stack buffer; returns its symbolic id. */
+    int
+    stackBuf(std::uint32_t size, bool vulnerable = true)
+    {
+        fn_.bufs.push_back({size, vulnerable, -1});
+        return static_cast<int>(fn_.bufs.size()) - 1;
+    }
+
+    /** Append an instruction; returns its index. */
+    int
+    emit(Inst inst)
+    {
+        fn_.insts.push_back(inst);
+        return static_cast<int>(fn_.insts.size()) - 1;
+    }
+
+    /** Current next-instruction index (forward-label placeholder). */
+    int here() const { return static_cast<int>(fn_.insts.size()); }
+
+    /** Patch the branch target of the instruction at 'idx' to 'tgt'. */
+    void
+    patchTarget(int idx, int tgt)
+    {
+        fn_.insts.at(static_cast<std::size_t>(idx)).target = tgt;
+    }
+
+    // --- Conveniences for the common emission patterns ---
+
+    void movImm(RegId rd, std::int64_t v)
+    { emit({Opcode::MovImm, rd, noReg, noReg, 8, v, -1, -1}); }
+
+    void mov(RegId rd, RegId rs)
+    { emit({Opcode::Mov, rd, rs, noReg, 8, 0, -1, -1}); }
+
+    void addI(RegId rd, RegId rs, std::int64_t v)
+    { emit({Opcode::AddI, rd, rs, noReg, 8, v, -1, -1}); }
+
+    void alu(Opcode op, RegId rd, RegId rs1, RegId rs2)
+    { emit({op, rd, rs1, rs2, 8, 0, -1, -1}); }
+
+    void load(RegId rd, RegId base, std::int64_t off, std::uint8_t w = 8)
+    { emit({Opcode::Load, rd, base, noReg, w, off, -1, -1}); }
+
+    void store(RegId val, RegId base, std::int64_t off, std::uint8_t w = 8)
+    { emit({Opcode::Store, noReg, base, val, w, off, -1, -1}); }
+
+    /** lea of a symbolic stack buffer: rd = fp + offset(buf). */
+    void leaBuf(RegId rd, int buf_id)
+    { emit({Opcode::AddI, rd, regFp, noReg, 8, 0, -1, buf_id}); }
+
+    int branch(Opcode op, RegId rs1, RegId rs2, int tgt = -1)
+    { return emit({op, noReg, rs1, rs2, 8, 0, tgt, -1}); }
+
+    int jmp(int tgt = -1)
+    { return emit({Opcode::Jmp, noReg, noReg, noReg, 8, 0, tgt, -1}); }
+
+    void call(int func_idx)
+    { emit({Opcode::Call, noReg, noReg, noReg, 8, 0, func_idx, -1}); }
+
+    void ret() { emit({Opcode::Ret, noReg, noReg, noReg, 8, 0, -1, -1}); }
+
+    void halt() { emit({Opcode::Halt, noReg, noReg, noReg, 8, 0, -1, -1}); }
+
+    /** Take the finished function. */
+    Function take() { return std::move(fn_); }
+
+  private:
+    Function fn_;
+};
+
+} // namespace rest::isa
+
+#endif // REST_ISA_PROGRAM_HH

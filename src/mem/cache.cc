@@ -1,0 +1,172 @@
+#include "mem/cache.hh"
+
+#include <algorithm>
+
+#include "util/logging.hh"
+
+namespace rest::mem
+{
+
+Cache::Cache(const CacheConfig &cfg, MemoryDevice &below)
+    : cfg_(cfg), below_(below), blockSize_(cfg.blockSize),
+      stats_(cfg.name),
+      hits_(stats_.addScalar("hits", "accesses that hit")),
+      misses_(stats_.addScalar("misses", "accesses that missed")),
+      writebacks_(stats_.addScalar("writebacks",
+                                   "dirty lines written back")),
+      mshrMerges_(stats_.addScalar("mshr_merges",
+                                   "misses merged into in-flight MSHRs")),
+      mshrStallCycles_(stats_.addScalar("mshr_stall_cycles",
+                                        "cycles stalled on full MSHRs"))
+{
+    rest_assert(isPowerOfTwo(blockSize_), "block size must be pow2");
+    rest_assert(cfg.sizeBytes % (blockSize_ * cfg.assoc) == 0,
+                "cache geometry does not divide evenly");
+    numSets_ = cfg.sizeBytes / (blockSize_ * cfg.assoc);
+    rest_assert(isPowerOfTwo(numSets_), "number of sets must be pow2");
+    sets_.assign(numSets_, std::vector<Line>(cfg.assoc));
+}
+
+unsigned
+Cache::setIndex(Addr addr) const
+{
+    return (addr / blockSize_) & (numSets_ - 1);
+}
+
+Cache::Line *
+Cache::findLine(Addr addr)
+{
+    Addr la = lineAddr(addr);
+    for (auto &line : sets_[setIndex(addr)]) {
+        if (line.valid && line.tag == la)
+            return &line;
+    }
+    return nullptr;
+}
+
+const Cache::Line *
+Cache::findLine(Addr addr) const
+{
+    return const_cast<Cache *>(this)->findLine(addr);
+}
+
+bool
+Cache::probe(Addr addr) const
+{
+    return findLine(addr) != nullptr;
+}
+
+Cache::Line &
+Cache::fillLine(Addr addr, Cycles now)
+{
+    Addr la = lineAddr(addr);
+    auto &set = sets_[setIndex(addr)];
+
+    // Victim selection: first invalid way, else LRU.
+    Line *victim = &set[0];
+    for (auto &line : set) {
+        if (!line.valid) {
+            victim = &line;
+            break;
+        }
+        if (line.lastUsed < victim->lastUsed)
+            victim = &line;
+    }
+
+    if (victim->valid) {
+        onEvict(victim->tag, *victim);
+        if (victim->dirty) {
+            ++writebacks_;
+            // Writebacks drain through the write buffer off the
+            // critical path; charge them to the level below for
+            // bandwidth accounting only.
+            below_.access(victim->tag, true, now);
+        }
+    }
+
+    victim->tag = la;
+    victim->valid = true;
+    victim->dirty = false;
+    victim->tokenBits = 0;
+    victim->lastUsed = ++useCounter_;
+    onFill(la, *victim);
+    return *victim;
+}
+
+Cycles
+Cache::resolveMiss(Addr line_addr, Cycles now)
+{
+    // Prune completed fetches.
+    for (auto it = outstanding_.begin(); it != outstanding_.end();) {
+        if (it->second <= now)
+            it = outstanding_.erase(it);
+        else
+            ++it;
+    }
+
+    // Merge with an in-flight fetch of the same line.
+    if (auto it = outstanding_.find(line_addr); it != outstanding_.end()) {
+        ++mshrMerges_;
+        return it->second;
+    }
+
+    // All MSHRs busy: stall until the earliest one frees.
+    Cycles start = now;
+    if (outstanding_.size() >= cfg_.numMshrs) {
+        Cycles earliest = ~Cycles(0);
+        for (const auto &kv : outstanding_)
+            earliest = std::min(earliest, kv.second);
+        mshrStallCycles_ += earliest - now;
+        start = earliest;
+    }
+
+    Cycles ready = below_.access(line_addr, false, start + cfg_.latency);
+    outstanding_[line_addr] = ready;
+    return ready;
+}
+
+Cycles
+Cache::access(Addr addr, bool is_write, Cycles now)
+{
+    if (Line *line = findLine(addr)) {
+        lastHit_ = true;
+        ++hits_;
+        line->lastUsed = ++useCounter_;
+        if (is_write)
+            line->dirty = true;
+        // A "hit" on a line whose fill is still in flight waits for
+        // the data (MSHR target merge).
+        if (line->readyAt > now) {
+            ++mshrMerges_;
+            return line->readyAt;
+        }
+        return now + cfg_.latency;
+    }
+
+    lastHit_ = false;
+    ++misses_;
+    Cycles ready = resolveMiss(lineAddr(addr), now);
+    Line &line = fillLine(addr, ready);
+    line.readyAt = ready;
+    if (is_write)
+        line.dirty = true;
+    return ready;
+}
+
+void
+Cache::flushAll()
+{
+    for (auto &set : sets_) {
+        for (auto &line : set) {
+            if (line.valid) {
+                onEvict(line.tag, line);
+                if (line.dirty)
+                    ++writebacks_;
+            }
+            line = Line{};
+        }
+    }
+    outstanding_.clear();
+}
+
+} // namespace rest::mem

@@ -1,0 +1,127 @@
+/**
+ * @file
+ * A classic set-associative, write-back, write-allocate cache timing
+ * model with MSHRs and a write buffer, in the style of gem5's classic
+ * caches. Latency-oracle organisation: access() returns the cycle at
+ * which the request completes; lower levels are consulted recursively
+ * on a miss.
+ */
+
+#ifndef REST_MEM_CACHE_HH
+#define REST_MEM_CACHE_HH
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "mem/cache_config.hh"
+#include "mem/dram.hh"
+#include "util/bit_utils.hh"
+#include "util/stats.hh"
+#include "util/types.hh"
+
+namespace rest::mem
+{
+
+/**
+ * One cache level. Subclassed by RestL1Cache, which adds the per-line
+ * token bits and the fill-path token detector.
+ */
+class Cache : public MemoryDevice
+{
+  public:
+    /** Per-line metadata. Data contents live in GuestMemory. */
+    struct Line
+    {
+        Addr tag = 0;
+        bool valid = false;
+        bool dirty = false;
+        std::uint64_t lastUsed = 0;
+        /** Cycle the line's data arrives (in-flight fill tracking). */
+        Cycles readyAt = 0;
+        /**
+         * REST token bits: one bit per token granule in the line
+         * (1 bit for 64B tokens, 2 for 32B, 4 for 16B). Unused by
+         * plain caches; maintained by RestL1Cache.
+         */
+        std::uint8_t tokenBits = 0;
+    };
+
+    Cache(const CacheConfig &cfg, MemoryDevice &below);
+
+    /**
+     * Timing access.
+     * @param addr byte address (any alignment; a single access is
+     *        assumed not to straddle a block).
+     * @param is_write true for stores (and arm/disarm writes).
+     * @param now cycle the request is issued.
+     * @return completion cycle.
+     */
+    Cycles access(Addr addr, bool is_write, Cycles now) override;
+
+    /** Did the most recent access() hit in this level? */
+    bool lastWasHit() const { return lastHit_; }
+
+    /** Block-align an address. */
+    Addr lineAddr(Addr addr) const { return alignDown(addr, blockSize_); }
+
+    /** Is the line currently resident? (no LRU side effects) */
+    bool probe(Addr addr) const;
+
+    /** Invalidate and write back everything (test support). */
+    void flushAll();
+
+    unsigned blockSize() const { return blockSize_; }
+    const stats::StatGroup &statGroup() const { return stats_; }
+    stats::StatGroup &statGroup() { return stats_; }
+
+  protected:
+    /** Locate a resident line; nullptr on miss. */
+    Line *findLine(Addr addr);
+    const Line *findLine(Addr addr) const;
+
+    /**
+     * Install a line, evicting the LRU victim.
+     * @return reference to the installed line.
+     */
+    Line &fillLine(Addr addr, Cycles now);
+
+    /** Hook: called after a line is installed (token detector). */
+    virtual void onFill(Addr /*line_addr*/, Line & /*line*/) { }
+
+    /** Hook: called when a valid line is evicted (token write-out). */
+    virtual void onEvict(Addr /*line_addr*/, Line & /*line*/) { }
+
+    /**
+     * Resolve a miss through the MSHRs: merge with an outstanding
+     * fetch of the same line if one exists, otherwise allocate an
+     * MSHR (stalling for a free one if necessary) and fetch from
+     * below.
+     * @return cycle at which the line's data is available.
+     */
+    Cycles resolveMiss(Addr line_addr, Cycles now);
+
+    unsigned setIndex(Addr addr) const;
+
+    CacheConfig cfg_;
+    MemoryDevice &below_;
+    unsigned blockSize_;
+    unsigned numSets_;
+    std::vector<std::vector<Line>> sets_;
+    std::uint64_t useCounter_ = 0;
+    bool lastHit_ = false;
+
+    /** Outstanding line fetches: line addr -> data-ready cycle. */
+    std::map<Addr, Cycles> outstanding_;
+
+    stats::StatGroup stats_;
+    stats::Scalar &hits_;
+    stats::Scalar &misses_;
+    stats::Scalar &writebacks_;
+    stats::Scalar &mshrMerges_;
+    stats::Scalar &mshrStallCycles_;
+};
+
+} // namespace rest::mem
+
+#endif // REST_MEM_CACHE_HH

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Memory-system configuration structures matching Table II of the
+ * paper.
+ */
+
+#ifndef REST_MEM_CACHE_CONFIG_HH
+#define REST_MEM_CACHE_CONFIG_HH
+
+#include <cstdint>
+#include <string>
+
+#include "util/types.hh"
+
+namespace rest::mem
+{
+
+/** Parameters of one cache level. */
+struct CacheConfig
+{
+    std::string name = "cache";
+    std::size_t sizeBytes = 64 * 1024;
+    unsigned assoc = 8;
+    unsigned blockSize = 64;
+    Cycles latency = 2;          ///< tag+data access latency
+    unsigned numMshrs = 4;       ///< miss-status holding registers
+    unsigned mshrTargets = 20;   ///< merged targets per MSHR
+    unsigned writeBufferEntries = 8;
+
+    /** Table II L1 instruction cache. */
+    static CacheConfig
+    l1i()
+    {
+        return {"l1i", 64 * 1024, 8, 64, 2, 4, 20, 0};
+    }
+
+    /** Table II L1 data cache. */
+    static CacheConfig
+    l1d()
+    {
+        return {"l1d", 64 * 1024, 8, 64, 2, 4, 20, 8};
+    }
+
+    /** Table II unified L2. */
+    static CacheConfig
+    l2()
+    {
+        return {"l2", 2 * 1024 * 1024, 16, 64, 20, 20, 12, 8};
+    }
+};
+
+/** Parameters of the DRAM model (Table II: DDR3-800, 8 GB). */
+struct DramConfig
+{
+    /**
+     * End-to-end access latency in core cycles. At 2 GHz, the Table-II
+     * timings (13.75 ns CAS + precharge, 35 ns RAS) put a typical
+     * access around 50-60 ns; 110 core cycles models that with
+     * controller overheads.
+     */
+    Cycles accessLatency = 110;
+    /** Minimum spacing between successive DRAM services (bandwidth). */
+    Cycles servicePeriod = 4;
+};
+
+} // namespace rest::mem
+
+#endif // REST_MEM_CACHE_CONFIG_HH

@@ -1,0 +1,124 @@
+/**
+ * @file
+ * Sparse, page-backed guest physical/virtual memory.
+ *
+ * The reproduction runs guest programs in a flat 48-bit address space
+ * (no TLB is modelled; the paper's mechanism is address-translation
+ * agnostic). Pages are allocated lazily on first touch and zero-filled,
+ * matching anonymous-mmap semantics.
+ */
+
+#ifndef REST_MEM_GUEST_MEMORY_HH
+#define REST_MEM_GUEST_MEMORY_HH
+
+#include <array>
+#include <cstdint>
+#include <cstring>
+#include <memory>
+#include <span>
+#include <unordered_map>
+
+#include "util/types.hh"
+
+namespace rest::mem
+{
+
+/** Lazily allocated sparse memory. */
+class GuestMemory
+{
+  public:
+    static constexpr unsigned pageBits = 12;
+    static constexpr std::size_t pageSize = 1ull << pageBits;
+
+    /** Read a little-endian unsigned value of 'size' (1/2/4/8) bytes. */
+    std::uint64_t
+    read(Addr addr, unsigned size) const
+    {
+        std::uint64_t v = 0;
+        readBytes(addr, {reinterpret_cast<std::uint8_t *>(&v), size});
+        return v;
+    }
+
+    /** Write a little-endian unsigned value of 'size' (1/2/4/8) bytes. */
+    void
+    write(Addr addr, std::uint64_t value, unsigned size)
+    {
+        writeBytes(addr,
+                   {reinterpret_cast<const std::uint8_t *>(&value), size});
+    }
+
+    /** Copy out a byte range (zero for untouched pages). */
+    void
+    readBytes(Addr addr, std::span<std::uint8_t> out) const
+    {
+        for (std::size_t i = 0; i < out.size(); ++i)
+            out[i] = readByte(addr + i);
+    }
+
+    /** Copy in a byte range. */
+    void
+    writeBytes(Addr addr, std::span<const std::uint8_t> in)
+    {
+        for (std::size_t i = 0; i < in.size(); ++i)
+            writeByte(addr + i, in[i]);
+    }
+
+    /** Fill [addr, addr+len) with a byte value. */
+    void
+    fill(Addr addr, std::uint8_t value, std::size_t len)
+    {
+        for (std::size_t i = 0; i < len; ++i)
+            writeByte(addr + i, value);
+    }
+
+    std::uint8_t
+    readByte(Addr addr) const
+    {
+        auto it = pages_.find(addr >> pageBits);
+        if (it == pages_.end())
+            return 0;
+        return (*it->second)[addr & (pageSize - 1)];
+    }
+
+    void
+    writeByte(Addr addr, std::uint8_t value)
+    {
+        page(addr)[addr & (pageSize - 1)] = value;
+    }
+
+    /** Number of pages touched so far (footprint accounting). */
+    std::size_t pagesTouched() const { return pages_.size(); }
+
+    /** Pages touched inside [lo, hi) (region footprint accounting). */
+    std::size_t
+    pagesTouchedIn(Addr lo, Addr hi) const
+    {
+        std::size_t n = 0;
+        for (const auto &kv : pages_) {
+            Addr base = kv.first << pageBits;
+            if (base >= lo && base < hi)
+                ++n;
+        }
+        return n;
+    }
+
+  private:
+    using Page = std::array<std::uint8_t, pageSize>;
+
+    Page &
+    page(Addr addr)
+    {
+        auto &slot = pages_[addr >> pageBits];
+        if (!slot) {
+            slot = std::make_unique<Page>();
+            slot->fill(0);
+        }
+        return *slot;
+    }
+
+    std::unordered_map<Addr, std::unique_ptr<Page>> pages_;
+};
+
+} // namespace rest::mem
+
+#endif // REST_MEM_GUEST_MEMORY_HH

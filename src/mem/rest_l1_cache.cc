@@ -1,0 +1,169 @@
+#include "mem/rest_l1_cache.hh"
+
+#include <array>
+
+#include "util/logging.hh"
+
+namespace rest::mem
+{
+
+RestL1Cache::RestL1Cache(const CacheConfig &cfg, MemoryDevice &below,
+                         GuestMemory &memory,
+                         const core::TokenConfigRegister &tcr)
+    : Cache(cfg, below), memory_(memory), detector_(memory, tcr),
+      tcr_(tcr),
+      tokenFills_(stats_.addScalar("token_fills",
+          "line fills in which the detector found a token")),
+      tokenEvictions_(stats_.addScalar("token_evictions",
+          "evictions of lines with token bits set")),
+      armHits_(stats_.addScalar("arm_hits", "arm ops that hit")),
+      armMisses_(stats_.addScalar("arm_misses", "arm ops that missed")),
+      disarmOps_(stats_.addScalar("disarm_ops", "disarm ops executed")),
+      tokenViolations_(stats_.addScalar("token_violations",
+          "accesses that touched a token granule"))
+{
+}
+
+std::uint8_t
+RestL1Cache::coverMask(Addr addr, unsigned size) const
+{
+    const unsigned g = tcr_.granule();
+    const unsigned first = detector_.granuleIndex(addr, blockSize_);
+    const unsigned last =
+        detector_.granuleIndex(addr + size - 1, blockSize_);
+    std::uint8_t mask = 0;
+    for (unsigned i = first; i <= last; ++i)
+        mask |= static_cast<std::uint8_t>(1u << i);
+    (void)g;
+    return mask;
+}
+
+std::pair<Cache::Line *, Cycles>
+RestL1Cache::ensureLine(Addr addr, Cycles now)
+{
+    if (Line *line = findLine(addr)) {
+        lastHit_ = true;
+        ++hits_;
+        line->lastUsed = ++useCounter_;
+        if (line->readyAt > now) {
+            ++mshrMerges_;
+            return {line, line->readyAt};
+        }
+        return {line, now + cfg_.latency};
+    }
+    lastHit_ = false;
+    ++misses_;
+    Cycles ready = resolveMiss(lineAddr(addr), now);
+    Line &line = fillLine(addr, ready);
+    line.readyAt = ready;
+    return {&line, ready};
+}
+
+RestAccess
+RestL1Cache::loadAccess(Addr addr, unsigned size, Cycles now)
+{
+    auto [line, ready] = ensureLine(addr, now);
+    RestAccess res;
+    res.hit = lastHit_;
+    res.completeAt = ready;
+    if (line->tokenBits & coverMask(addr, size)) {
+        ++tokenViolations_;
+        res.violation = core::ViolationKind::TokenAccess;
+    }
+    return res;
+}
+
+RestAccess
+RestL1Cache::storeAccess(Addr addr, unsigned size, Cycles now)
+{
+    auto [line, ready] = ensureLine(addr, now);
+    RestAccess res;
+    res.hit = lastHit_;
+    res.completeAt = ready;
+    if (line->tokenBits & coverMask(addr, size)) {
+        ++tokenViolations_;
+        res.violation = core::ViolationKind::TokenAccess;
+        return res;
+    }
+    line->dirty = true;
+    return res;
+}
+
+RestAccess
+RestL1Cache::armAccess(Addr addr, Cycles now)
+{
+    rest_assert(isAligned(addr, tcr_.granule()),
+                "arm address must be granule-aligned at the cache");
+    auto [line, ready] = ensureLine(addr, now);
+    RestAccess res;
+    res.hit = lastHit_;
+    if (res.hit)
+        ++armHits_;
+    else
+        ++armMisses_;
+    // Setting the token bit completes in a single cycle on a hit: the
+    // token value itself is not written until eviction (paper §III-B).
+    line->tokenBits |= coverMask(addr, 1);
+    line->dirty = true;
+    res.completeAt = ready;
+    return res;
+}
+
+RestAccess
+RestL1Cache::disarmAccess(Addr addr, Cycles now)
+{
+    rest_assert(isAligned(addr, tcr_.granule()),
+                "disarm address must be granule-aligned at the cache");
+    auto [line, ready] = ensureLine(addr, now);
+    RestAccess res;
+    res.hit = lastHit_;
+    ++disarmOps_;
+    std::uint8_t mask = coverMask(addr, 1);
+    if (!(line->tokenBits & mask)) {
+        res.violation = core::ViolationKind::DisarmUnarmed;
+        res.completeAt = ready;
+        return res;
+    }
+    // Clear the granule: involves all data banks, one extra cycle.
+    line->tokenBits &= static_cast<std::uint8_t>(~mask);
+    line->dirty = true;
+    memory_.fill(addr, 0, tcr_.granule());
+    res.completeAt = ready + 1;
+    return res;
+}
+
+bool
+RestL1Cache::tokenBitSet(Addr addr) const
+{
+    const Line *line = findLine(addr);
+    if (!line)
+        return false;
+    const unsigned idx = detector_.granuleIndex(addr, blockSize_);
+    return (line->tokenBits >> idx) & 1u;
+}
+
+void
+RestL1Cache::onFill(Addr line_addr, Line &line)
+{
+    line.tokenBits = detector_.scan(line_addr, blockSize_);
+    if (line.tokenBits)
+        ++tokenFills_;
+}
+
+void
+RestL1Cache::onEvict(Addr line_addr, Line &line)
+{
+    if (!line.tokenBits)
+        return;
+    ++tokenEvictions_;
+    // Fill the token value into the outgoing packet (Table I): armed
+    // granules leave the cache carrying the token value.
+    const unsigned g = tcr_.granule();
+    auto token = tcr_.token().bytes();
+    for (unsigned i = 0; i * g < blockSize_; ++i) {
+        if ((line.tokenBits >> i) & 1u)
+            memory_.writeBytes(line_addr + i * g, token);
+    }
+}
+
+} // namespace rest::mem

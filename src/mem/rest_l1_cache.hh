@@ -1,0 +1,99 @@
+/**
+ * @file
+ * The REST-modified L1 data cache (paper §III-B, Table I, Fig. 4).
+ *
+ * Extends the classic cache with one token bit per token granule per
+ * line, a fill-path token detector, and arm/disarm operations:
+ *   - arm: sets the token bit; the token value itself is written out
+ *     lazily when the line is evicted (single-cycle arm hits).
+ *   - disarm: faults if the token bit is unset, otherwise clears the
+ *     bit and zeroes the granule (one extra cycle: all data banks).
+ *   - load/store: fault when they touch a granule whose token bit is
+ *     set.
+ */
+
+#ifndef REST_MEM_REST_L1_CACHE_HH
+#define REST_MEM_REST_L1_CACHE_HH
+
+#include "core/exceptions.hh"
+#include "mem/cache.hh"
+#include "mem/guest_memory.hh"
+#include "mem/token_detector.hh"
+
+namespace rest::mem
+{
+
+/** Outcome of a REST-aware L1-D access. */
+struct RestAccess
+{
+    Cycles completeAt = 0;
+    bool hit = false;
+    core::ViolationKind violation = core::ViolationKind::None;
+
+    bool faulted() const
+    { return violation != core::ViolationKind::None; }
+};
+
+/** L1 data cache with REST token tracking. */
+class RestL1Cache : public Cache
+{
+  public:
+    RestL1Cache(const CacheConfig &cfg, MemoryDevice &below,
+                GuestMemory &memory,
+                const core::TokenConfigRegister &tcr);
+
+    /**
+     * A demand load. Faults with TokenAccess if any granule covered
+     * by [addr, addr+size) has its token bit set.
+     */
+    RestAccess loadAccess(Addr addr, unsigned size, Cycles now);
+
+    /** A demand store; same fault rule as loads (Table I). */
+    RestAccess storeAccess(Addr addr, unsigned size, Cycles now);
+
+    /**
+     * Execute an arm at 'addr' (must be granule-aligned; alignment is
+     * checked upstream at decode). Sets the token bit; does not write
+     * the token value (deferred to eviction). Single-cycle on a hit.
+     */
+    RestAccess armAccess(Addr addr, Cycles now);
+
+    /**
+     * Execute a disarm at 'addr'. Faults with DisarmUnarmed when the
+     * token bit is not set; otherwise zeroes the granule and clears
+     * the bit, with one extra cycle of latency (all banks involved).
+     */
+    RestAccess disarmAccess(Addr addr, Cycles now);
+
+    /** Test support: is the token bit for 'addr''s granule set? */
+    bool tokenBitSet(Addr addr) const;
+
+    /** Test support: is the line holding 'addr' resident? */
+    bool lineResident(Addr addr) const { return probe(addr); }
+
+  protected:
+    void onFill(Addr line_addr, Line &line) override;
+    void onEvict(Addr line_addr, Line &line) override;
+
+  private:
+    /** Bitmask of granules covered by [addr, addr+size). */
+    std::uint8_t coverMask(Addr addr, unsigned size) const;
+
+    /** Bring the line in (hit or miss path), returning data-ready. */
+    std::pair<Line *, Cycles> ensureLine(Addr addr, Cycles now);
+
+    GuestMemory &memory_;
+    TokenDetector detector_;
+    const core::TokenConfigRegister &tcr_;
+
+    stats::Scalar &tokenFills_;
+    stats::Scalar &tokenEvictions_;
+    stats::Scalar &armHits_;
+    stats::Scalar &armMisses_;
+    stats::Scalar &disarmOps_;
+    stats::Scalar &tokenViolations_;
+};
+
+} // namespace rest::mem
+
+#endif // REST_MEM_REST_L1_CACHE_HH

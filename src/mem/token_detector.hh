@@ -1,0 +1,71 @@
+/**
+ * @file
+ * The REST token detector (paper Fig. 4): examines a cache line's
+ * contents as it is filled into the L1 data cache and reports which
+ * token-width granules hold the token value. Decomposable into narrow
+ * compares per fill beat in real hardware; here one call per fill.
+ */
+
+#ifndef REST_MEM_TOKEN_DETECTOR_HH
+#define REST_MEM_TOKEN_DETECTOR_HH
+
+#include <array>
+#include <cstdint>
+
+#include "core/token.hh"
+#include "mem/guest_memory.hh"
+#include "util/bit_utils.hh"
+#include "util/types.hh"
+
+namespace rest::mem
+{
+
+/** Fill-path comparator against the token configuration register. */
+class TokenDetector
+{
+  public:
+    TokenDetector(const GuestMemory &memory,
+                  const core::TokenConfigRegister &tcr)
+        : memory_(memory), tcr_(tcr)
+    {}
+
+    /**
+     * Scan one cache line for token granules.
+     * @param line_addr block-aligned address of the incoming line.
+     * @param block_size line size in bytes (64 in Table II).
+     * @return bitmask with bit i set iff granule i of the line equals
+     *         the token value.
+     */
+    std::uint8_t
+    scan(Addr line_addr, unsigned block_size) const
+    {
+        const unsigned g = tcr_.granule();
+        std::uint8_t mask = 0;
+        std::array<std::uint8_t, core::maxTokenBytes> buf;
+        for (unsigned i = 0; i * g < block_size; ++i) {
+            memory_.readBytes(line_addr + i * g, {buf.data(), g});
+            if (tcr_.token().matches({buf.data(), g}))
+                mask |= static_cast<std::uint8_t>(1u << i);
+        }
+        return mask;
+    }
+
+    /** Granule index of an address within its line. */
+    unsigned
+    granuleIndex(Addr addr, unsigned block_size) const
+    {
+        const unsigned g = tcr_.granule();
+        return static_cast<unsigned>((addr & (block_size - 1)) / g);
+    }
+
+    const core::TokenConfigRegister &configRegister() const
+    { return tcr_; }
+
+  private:
+    const GuestMemory &memory_;
+    const core::TokenConfigRegister &tcr_;
+};
+
+} // namespace rest::mem
+
+#endif // REST_MEM_TOKEN_DETECTOR_HH

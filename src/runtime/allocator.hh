@@ -1,0 +1,162 @@
+/**
+ * @file
+ * Guest heap allocator interface and shared machinery.
+ *
+ * Three allocators implement it (paper §II and §IV-A):
+ *   - LibcAllocator: performance-first, immediate reuse (baseline),
+ *   - AsanAllocator: shadow-poisoned redzones, quarantined frees,
+ *   - RestAllocator: token redzones, armed quarantine, zeroed free
+ *     pool (the relaxed invariant of §IV-A).
+ *
+ * Allocators are functional (they really place chunks in the guest
+ * address space) and also cost models: every service call emits the
+ * dynamic ops the real runtime would execute through an OpEmitter.
+ */
+
+#ifndef REST_RUNTIME_ALLOCATOR_HH
+#define REST_RUNTIME_ALLOCATOR_HH
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <unordered_map>
+#include <vector>
+
+#include "mem/guest_memory.hh"
+#include "runtime/op_emitter.hh"
+#include "runtime/runtime_config.hh"
+#include "util/bit_utils.hh"
+#include "util/logging.hh"
+
+namespace rest::runtime
+{
+
+/** Bookkeeping record for one live or pooled chunk. */
+struct Chunk
+{
+    Addr base = 0;          ///< first byte of the chunk (incl. redzone)
+    Addr payload = 0;       ///< first byte handed to the program
+    std::size_t size = 0;   ///< requested payload size
+    std::size_t chunkBytes = 0; ///< full footprint incl. redzones
+    int sizeClass = -1;
+    Addr metaAddr = 0;      ///< address of out-of-band metadata record
+};
+
+/** Abstract allocator. */
+class Allocator
+{
+  public:
+    virtual ~Allocator() = default;
+
+    /**
+     * Allocate 'size' bytes.
+     * @param size requested payload size (> 0).
+     * @param em emitter receiving the runtime's instruction stream.
+     * @return guest address of the payload.
+     */
+    virtual Addr malloc(std::size_t size, OpEmitter &em) = 0;
+
+    /**
+     * Free a previously allocated payload address.
+     * @param payload address returned by malloc.
+     * @param em emitter receiving the runtime's instruction stream.
+     */
+    virtual void free(Addr payload, OpEmitter &em) = 0;
+
+    virtual const char *name() const = 0;
+
+    /** Payload size of a live allocation (0 if unknown). */
+    virtual std::size_t allocationSize(Addr payload) const = 0;
+
+    /** Number of live (not yet freed) allocations. */
+    virtual std::size_t liveAllocations() const = 0;
+};
+
+/** Segregated size-class helpers shared by all three allocators. */
+class SizeClassTable
+{
+  public:
+    /** Round a payload size up to its size class. */
+    static std::size_t
+    roundToClass(std::size_t size)
+    {
+        return classes()[classIndex(size)];
+    }
+
+    /** Index of the size class for 'size'. */
+    static int
+    classIndex(std::size_t size)
+    {
+        const auto &cs = classes();
+        for (std::size_t i = 0; i < cs.size(); ++i) {
+            if (size <= cs[i])
+                return static_cast<int>(i);
+        }
+        // Huge allocations: the last class is a catch-all handled by
+        // direct bump allocation with no reuse.
+        return static_cast<int>(cs.size()) - 1;
+    }
+
+    static const std::vector<std::size_t> &
+    classes()
+    {
+        static const std::vector<std::size_t> cs = {
+            16, 32, 48, 64, 96, 128, 192, 256, 384, 512, 768, 1024,
+            1536, 2048, 3072, 4096, 6144, 8192, 12288, 16384, 32768,
+            65536, 131072, 262144, 1048576, 2097152, 4194304, 8388608,
+            16777216,
+        };
+        return cs;
+    }
+};
+
+/**
+ * Shared chunk bookkeeping: bump region, live map, per-class free
+ * lists, and metadata-record addresses (the out-of-band allocation
+ * metadata of paper Fig. 6).
+ */
+class HeapState
+{
+  public:
+    explicit HeapState(Addr region_base = AddressMap::heapBase,
+                       unsigned alignment = 16)
+        : bump_(region_base), align_(alignment)
+    {}
+
+    /** Carve a fresh chunk of 'bytes' from the region. */
+    Addr
+    carve(std::size_t bytes)
+    {
+        Addr a = alignUp(bump_, align_);
+        bump_ = a + bytes;
+        return a;
+    }
+
+    /** Metadata record address for the n-th chunk ever created. */
+    Addr
+    newMetaAddr()
+    {
+        return AddressMap::heapMetaBase + 32 * metaCount_++;
+    }
+
+    std::unordered_map<Addr, Chunk> live;          ///< by payload addr
+    /**
+     * Free pools keyed by exact chunk footprint: a recycled chunk is
+     * only handed to requests with an identical footprint, so redzone
+     * geometry always matches (and no slack is ever mis-armed).
+     */
+    std::map<std::size_t, std::vector<Chunk>> freeLists;
+
+    std::uint64_t mallocCalls = 0;
+    std::uint64_t freeCalls = 0;
+    Addr bumpCursor() const { return bump_; }
+
+  private:
+    Addr bump_;
+    unsigned align_;
+    std::uint64_t metaCount_ = 0;
+};
+
+} // namespace rest::runtime
+
+#endif // REST_RUNTIME_ALLOCATOR_HH

@@ -1,0 +1,141 @@
+#include "runtime/asan_allocator.hh"
+
+#include <algorithm>
+
+namespace rest::runtime
+{
+
+namespace
+{
+
+/**
+ * ASan records a malloc/free stack trace with every allocator event
+ * (malloc_context_size defaults to 30 frames): a serial frame-pointer
+ * walk — each load depends on the previous one — plus storing the
+ * trace into the metadata record.
+ */
+void
+captureStackTrace(OpEmitter &em, Addr meta_addr)
+{
+    constexpr unsigned frames = 24;
+    for (unsigned k = 0; k < frames; ++k) {
+        // Dependent chain: the next frame pointer comes from the
+        // current frame.
+        em.load(scratch2, AddressMap::stackTop - 64 - 16 * k, 8,
+                scratch2);
+        em.alu(scratch3, scratch2);
+    }
+    for (unsigned k = 0; k < frames / 8; ++k)
+        em.store(meta_addr + 16 + 8 * k, 8);
+}
+
+} // namespace
+
+std::size_t
+AsanAllocator::redzoneBytes(std::size_t payload_size)
+{
+    std::size_t rz = alignUp(payload_size / 4, 8);
+    return std::clamp<std::size_t>(rz, 16, 2048);
+}
+
+Addr
+AsanAllocator::malloc(std::size_t size, OpEmitter &em)
+{
+    em.setSource(isa::OpSource::Allocator);
+    ++heap_.mallocCalls;
+
+    std::size_t payload_bytes = alignUp(size, 8);
+    std::size_t rz = redzoneBytes(size);
+    int cls = SizeClassTable::classIndex(payload_bytes + 2 * rz);
+    // Exact footprint (no class rounding): the slack of a rounded
+    // class must never be poisoned as redzone.
+    std::size_t chunk_bytes = alignUp(payload_bytes + 2 * rz, 16);
+
+    // Size-class dispatch, freelist inspection, stats update: ASan's
+    // allocator front end is noticeably heavier than libc's.
+    em.aluChain(8);
+    em.load(scratch1, AddressMap::heapMetaBase + 8 * cls);
+
+    Chunk chunk;
+    auto &fl = heap_.freeLists[chunk_bytes];
+    if (!fl.empty()) {
+        chunk = fl.back();
+        fl.pop_back();
+        em.load(scratch2, chunk.metaAddr);
+        em.store(AddressMap::heapMetaBase + 8 * cls);
+    } else {
+        chunk.base = heap_.carve(chunk_bytes);
+        chunk.chunkBytes = chunk_bytes;
+        chunk.sizeClass = cls;
+        chunk.metaAddr = heap_.newMetaAddr();
+        em.aluChain(3);
+    }
+    chunk.payload = chunk.base + rz;
+    chunk.size = size;
+
+    // Poison both redzones, unpoison the payload (shadow stores).
+    shadow_.poison(chunk.base, rz, shadow_poison::heapLeftRz, &em);
+    shadow_.unpoison(chunk.payload, size, &em);
+    shadow_.poison(chunk.payload + payload_bytes,
+                   chunk.base + chunk_bytes - (chunk.payload +
+                                               payload_bytes),
+                   shadow_poison::heapRightRz, &em);
+
+    // Out-of-band metadata record (size, alloc stack trace).
+    memory_.write(chunk.metaAddr, size, 8);
+    em.store(chunk.metaAddr, 8);
+    em.store(chunk.metaAddr + 8, 8);
+    captureStackTrace(em, chunk.metaAddr);
+
+    heap_.live[chunk.payload] = chunk;
+    em.alu(isa::regRet, scratch1);
+    return chunk.payload;
+}
+
+void
+AsanAllocator::free(Addr payload, OpEmitter &em)
+{
+    em.setSource(isa::OpSource::Allocator);
+    ++heap_.freeCalls;
+
+    // Metadata lookup + shadow state inspection.
+    em.aluChain(6);
+    em.load(scratch1, ShadowMemory::shadowOf(payload), 1);
+
+    auto it = heap_.live.find(payload);
+    if (it == heap_.live.end()) {
+        // Double free / invalid free: ASan's runtime detects this
+        // from the shadow state and reports.
+        em.faultLast(isa::FaultKind::AsanReport);
+        return;
+    }
+
+    Chunk chunk = it->second;
+    heap_.live.erase(it);
+
+    // Poison the whole payload as freed and quarantine the chunk.
+    shadow_.poison(chunk.payload, alignUp(chunk.size, 8),
+                   shadow_poison::heapFreed, &em);
+    em.store(chunk.metaAddr + 8, 8); // record free stack trace
+    captureStackTrace(em, chunk.metaAddr);
+    quarantine_.push(chunk);
+    drainQuarantine(em);
+}
+
+void
+AsanAllocator::drainQuarantine(OpEmitter &em)
+{
+    while (quarantine_.overBudget()) {
+        auto chunk = quarantine_.pop();
+        if (!chunk)
+            break;
+        // Return to the free pool; shadow remains poisoned until the
+        // next malloc of this chunk rewrites it (ASan's invariant
+        // that pooled memory stays blacklisted).
+        em.aluChain(3);
+        em.store(chunk->metaAddr, 8);
+        heap_.freeLists[chunk->chunkBytes].push_back(*chunk);
+    }
+}
+
+} // namespace rest::runtime

@@ -1,0 +1,329 @@
+#include "runtime/instrumentation.hh"
+
+#include <vector>
+
+#include "runtime/shadow_memory.hh"
+#include "util/bit_utils.hh"
+#include "util/logging.hh"
+
+namespace rest::runtime
+{
+
+namespace
+{
+
+using isa::Function;
+using isa::Inst;
+using isa::Opcode;
+using isa::RegId;
+
+constexpr RegId rScratchA = 16; // address scratch of injected code
+constexpr RegId rScratchB = 17;
+
+/** One protected region of the frame that needs poisoning/arming. */
+struct Redzone
+{
+    std::int64_t offset;
+    unsigned size;
+    std::uint8_t poison;
+};
+
+struct Layout
+{
+    std::int64_t frameSize = 0;
+    std::vector<Redzone> redzones;
+};
+
+/** Packed layout: no redzones (plain and heap-only schemes). */
+Layout
+layoutPlain(Function &fn)
+{
+    Layout lay;
+    std::int64_t cum = 0;
+    for (auto &buf : fn.bufs) {
+        buf.offset = cum;
+        cum += static_cast<std::int64_t>(alignUp(buf.size, 16));
+    }
+    lay.frameSize = static_cast<std::int64_t>(
+        alignUp(static_cast<Addr>(cum) + 64, 64));
+    return lay;
+}
+
+/**
+ * ASan layout: each vulnerable buffer gets a 32-byte left redzone;
+ * one extra right redzone closes the group (redzones between buffers
+ * are shared).
+ */
+Layout
+layoutAsan(Function &fn)
+{
+    Layout lay;
+    std::int64_t cum = 0;
+    // Non-vulnerable variables pack first, uninstrumented.
+    for (auto &buf : fn.bufs) {
+        if (!buf.vulnerable) {
+            buf.offset = cum;
+            cum += static_cast<std::int64_t>(alignUp(buf.size, 16));
+        }
+    }
+    cum = static_cast<std::int64_t>(alignUp(static_cast<Addr>(cum), 32));
+    bool any = false;
+    for (auto &buf : fn.bufs) {
+        if (!buf.vulnerable)
+            continue;
+        any = true;
+        lay.redzones.push_back({cum, 32, shadow_poison::stackLeftRz});
+        cum += 32;
+        buf.offset = cum;
+        cum += static_cast<std::int64_t>(alignUp(buf.size, 32));
+    }
+    if (any) {
+        lay.redzones.push_back({cum, 32, shadow_poison::stackRightRz});
+        cum += 32;
+    }
+    lay.frameSize = static_cast<std::int64_t>(
+        alignUp(static_cast<Addr>(cum) + 64, 64));
+    return lay;
+}
+
+/**
+ * REST layout (Fig. 6): token-granule redzones around each vulnerable
+ * buffer, with the buffer padded up to the granule (the pad is the
+ * §V-C false-negative gap).
+ */
+Layout
+layoutRest(Function &fn, unsigned g)
+{
+    Layout lay;
+    std::int64_t cum = 0;
+    for (auto &buf : fn.bufs) {
+        if (!buf.vulnerable) {
+            buf.offset = cum;
+            cum += static_cast<std::int64_t>(alignUp(buf.size, 16));
+        }
+    }
+    cum = static_cast<std::int64_t>(alignUp(static_cast<Addr>(cum), g));
+    bool prev_protected = false;
+    for (auto &buf : fn.bufs) {
+        if (!buf.vulnerable)
+            continue;
+        // Left redzone (shared with the previous buffer's right one
+        // only in the sense that they are adjacent granules).
+        if (!prev_protected) {
+            lay.redzones.push_back({cum, g, 0});
+            cum += g;
+        }
+        buf.offset = cum;
+        cum += static_cast<std::int64_t>(alignUp(buf.size, g)); // + pad
+        lay.redzones.push_back({cum, g, 0});
+        cum += g;
+        prev_protected = true;
+    }
+    lay.frameSize = static_cast<std::int64_t>(
+        alignUp(static_cast<Addr>(cum) + 64, 64));
+    return lay;
+}
+
+/** Emit ASan shadow poisoning of one frame region (32B granularity). */
+/** Tag instructions [from, end) with an attribution source. */
+void
+tagFrom(std::vector<Inst> &out, std::size_t from, isa::OpSource tag)
+{
+    for (std::size_t i = from; i < out.size(); ++i)
+        out[i].tag = tag;
+}
+
+void
+emitPoison(std::vector<Inst> &out, std::int64_t offset, unsigned size,
+           std::uint8_t poison, InstrumentationSummary &sum)
+{
+    std::size_t from = out.size();
+    std::uint32_t pattern = poison
+        ? (poison | (poison << 8) | (poison << 16) |
+           (std::uint32_t(poison) << 24))
+        : 0;
+    out.push_back({Opcode::AddI, rScratchB, isa::regFp, isa::noReg, 8,
+                   offset, -1, -1});
+    out.push_back({Opcode::ShrI, rScratchB, rScratchB, isa::noReg, 8,
+                   3, -1, -1});
+    out.push_back({Opcode::AddI, rScratchB, rScratchB, isa::noReg, 8,
+                   static_cast<std::int64_t>(AddressMap::shadowBase),
+                   -1, -1});
+    out.push_back({Opcode::MovImm, rScratchA, isa::noReg, isa::noReg, 8,
+                   pattern, -1, -1});
+    for (unsigned off = 0; off < size; off += 32) {
+        // One 4-byte shadow store covers 32 application bytes.
+        out.push_back({Opcode::Store, isa::noReg, rScratchB, rScratchA,
+                       4, off / 8, -1, -1});
+        ++sum.stackPoisonStores;
+    }
+    tagFrom(out, from, isa::OpSource::StackSetup);
+}
+
+/** Emit REST arms or disarms for one redzone's granules. */
+void
+emitArmRegion(std::vector<Inst> &out, std::int64_t offset, unsigned size,
+              unsigned g, bool is_arm, InstrumentationSummary &sum)
+{
+    std::size_t from = out.size();
+    for (unsigned off = 0; off < size; off += g) {
+        out.push_back({Opcode::AddI, rScratchA, isa::regFp, isa::noReg,
+                       8, offset + off, -1, -1});
+        out.push_back({is_arm ? Opcode::Arm : Opcode::Disarm,
+                       isa::noReg, rScratchA, isa::noReg, 8, 0, -1, -1});
+        if (is_arm)
+            ++sum.armsInserted;
+        else
+            ++sum.disarmsInserted;
+    }
+    tagFrom(out, from, isa::OpSource::StackSetup);
+}
+
+/** Emit the 5-op ASan shadow-check sequence for one access. */
+void
+emitAccessCheck(std::vector<Inst> &out, const Inst &access,
+                InstrumentationSummary &sum)
+{
+    std::size_t from = out.size();
+    out.push_back({Opcode::AddI, rScratchB, access.rs1, isa::noReg, 8,
+                   access.imm, -1, -1});
+    out.push_back({Opcode::ShrI, rScratchA, rScratchB, isa::noReg, 8,
+                   3, -1, -1});
+    out.push_back({Opcode::AddI, rScratchA, rScratchA, isa::noReg, 8,
+                   static_cast<std::int64_t>(AddressMap::shadowBase),
+                   -1, -1});
+    out.push_back({Opcode::Load, rScratchA, rScratchA, isa::noReg, 1,
+                   0, -1, -1});
+    out.push_back({Opcode::AsanCheck, isa::noReg, rScratchA, rScratchB,
+                   access.width, 0, -1, -1});
+    ++sum.accessChecksInserted;
+    tagFrom(out, from, isa::OpSource::AccessCheck);
+}
+
+void
+instrumentFunction(Function &fn, const SchemeConfig &scheme, unsigned g,
+                   InstrumentationSummary &sum)
+{
+    // 1. Frame layout.
+    Layout lay;
+    if (scheme.restStackArming)
+        lay = layoutRest(fn, g);
+    else if (scheme.asanStackSetup)
+        lay = layoutAsan(fn);
+    else
+        lay = layoutPlain(fn);
+    fn.frameSize = lay.frameSize;
+    sum.frameBytesTotal += static_cast<std::uint64_t>(lay.frameSize);
+
+    rest_assert(!fn.insts.empty(), "empty function ", fn.name);
+    Opcode last_op = fn.insts.back().op;
+    rest_assert(last_op == Opcode::Ret || last_op == Opcode::Halt,
+                "function ", fn.name, " must end in ret/halt");
+
+    // 2. Prologue.
+    std::vector<Inst> out;
+    out.push_back({Opcode::AddI, isa::regSp, isa::regSp, isa::noReg, 8,
+                   -lay.frameSize, -1, -1});
+    out.push_back({Opcode::Mov, isa::regFp, isa::regSp, isa::noReg, 8,
+                   0, -1, -1});
+    if (scheme.restStackArming) {
+        for (const auto &rz : lay.redzones)
+            emitArmRegion(out, rz.offset, rz.size, g, true, sum);
+        if (scheme.zeroStackPadding) {
+            // SV-C: zero the pad between each buffer and its right
+            // redzone so stale stack data cannot leak through it.
+            std::size_t from = out.size();
+            for (const auto &buf : fn.bufs) {
+                if (!buf.vulnerable)
+                    continue;
+                std::int64_t pad_begin = buf.offset +
+                    static_cast<std::int64_t>(alignDown(buf.size, 8));
+                std::int64_t pad_end = buf.offset +
+                    static_cast<std::int64_t>(alignUp(buf.size, g));
+                for (std::int64_t off = pad_begin; off < pad_end;
+                     off += 8) {
+                    out.push_back({Opcode::Store, isa::noReg,
+                                   isa::regFp, isa::regZero, 8, off,
+                                   -1, -1});
+                    ++sum.padZeroStores;
+                }
+            }
+            tagFrom(out, from, isa::OpSource::StackSetup);
+        }
+    } else if (scheme.asanStackSetup) {
+        for (const auto &rz : lay.redzones)
+            emitPoison(out, rz.offset, rz.size, rz.poison, sum);
+    }
+
+    // 3. Body with target remapping and optional access checks.
+    std::vector<int> map(fn.insts.size(), -1);
+    for (std::size_t i = 0; i + 1 < fn.insts.size(); ++i) {
+        Inst inst = fn.insts[i];
+        map[i] = static_cast<int>(out.size());
+        // Resolve symbolic stack-buffer references.
+        if (inst.bufId >= 0) {
+            inst.imm += fn.bufs.at(inst.bufId).offset;
+            inst.bufId = -1;
+        }
+        if (scheme.asanAccessChecks &&
+            (inst.op == Opcode::Load || inst.op == Opcode::Store)) {
+            emitAccessCheck(out, inst, sum);
+        }
+        out.push_back(inst);
+    }
+
+    // 4. Epilogue before the trailing Ret/Halt.
+    if (scheme.restStackArming) {
+        for (const auto &rz : lay.redzones)
+            emitArmRegion(out, rz.offset, rz.size, g, false, sum);
+    } else if (scheme.asanStackSetup && !lay.redzones.empty()) {
+        // Unpoison the whole protected span of the frame.
+        std::int64_t begin = lay.redzones.front().offset;
+        std::int64_t end = lay.redzones.back().offset +
+            lay.redzones.back().size;
+        emitPoison(out, begin, static_cast<unsigned>(end - begin), 0,
+                   sum);
+    }
+    out.push_back({Opcode::AddI, isa::regSp, isa::regSp, isa::noReg, 8,
+                   lay.frameSize, -1, -1});
+    map[fn.insts.size() - 1] = static_cast<int>(out.size());
+    out.push_back(fn.insts.back()); // Ret or Halt
+
+    // 5. Remap intra-function branch targets (Call targets index
+    // functions, not instructions, and stay untouched).
+    for (auto &inst : out) {
+        if (inst.target >= 0 && inst.op != Opcode::Call) {
+            rest_assert(static_cast<std::size_t>(inst.target) <
+                            map.size() && map[inst.target] >= 0,
+                        "branch into unmapped slot in ", fn.name);
+            inst.target = map[inst.target];
+        }
+    }
+    fn.insts = std::move(out);
+}
+
+} // namespace
+
+InstrumentationSummary
+applyScheme(isa::Program &program, const SchemeConfig &scheme,
+            unsigned token_granule)
+{
+    InstrumentationSummary sum;
+    for (auto &fn : program.funcs)
+        instrumentFunction(fn, scheme, token_granule, sum);
+    return sum;
+}
+
+std::vector<std::int64_t>
+restRedzoneOffsets(const isa::Function &fn, unsigned token_granule)
+{
+    // Recompute the layout on a copy to report redzone offsets.
+    isa::Function copy = fn;
+    Layout lay = layoutRest(copy, token_granule);
+    std::vector<std::int64_t> offsets;
+    for (const auto &rz : lay.redzones)
+        offsets.push_back(rz.offset);
+    return offsets;
+}
+
+} // namespace rest::runtime

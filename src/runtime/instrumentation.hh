@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Compile-time instrumentation passes (the "< 1.5 KLoC of LLVM/ASan
+ * changes" of the paper, §IV-A).
+ *
+ * applyScheme() finalises a generator-produced program for one
+ * protection scheme:
+ *   - assigns the stack-frame layout (plain, ASan redzones, or REST
+ *     token redzones with their alignment padding, Fig. 6),
+ *   - inserts prologue/epilogue protection code (shadow poisoning for
+ *     ASan, arm/disarm for REST),
+ *   - under ASan, instruments every program load/store with the
+ *     shadow-check sequence,
+ *   - resolves symbolic stack-buffer references to frame offsets.
+ *
+ * Generator-produced functions must be single-exit (one trailing Ret)
+ * with branch targets that never point at the Ret; the passes rely on
+ * this to splice code without a full CFG rebuild.
+ */
+
+#ifndef REST_RUNTIME_INSTRUMENTATION_HH
+#define REST_RUNTIME_INSTRUMENTATION_HH
+
+#include <cstdint>
+
+#include "isa/program.hh"
+#include "runtime/runtime_config.hh"
+
+namespace rest::runtime
+{
+
+/** Per-function summary of what a pass did (test/bench support). */
+struct InstrumentationSummary
+{
+    std::uint64_t accessChecksInserted = 0;
+    std::uint64_t stackPoisonStores = 0;
+    std::uint64_t armsInserted = 0;
+    std::uint64_t disarmsInserted = 0;
+    std::uint64_t padZeroStores = 0;
+    std::uint64_t frameBytesTotal = 0;
+};
+
+/**
+ * Finalise 'program' in place for 'scheme'.
+ * @param program generator-produced program (symbolic buffers).
+ * @param scheme active protection configuration.
+ * @param token_granule REST token width in bytes (alignment of stack
+ *        redzones); ignored unless restStackArming.
+ * @return summary of inserted instrumentation.
+ */
+InstrumentationSummary applyScheme(isa::Program &program,
+                                   const SchemeConfig &scheme,
+                                   unsigned token_granule = 64);
+
+/**
+ * The fp-relative offsets of the REST stack redzones of a function,
+ * in layout order (used by the emulator-independent layout tests).
+ */
+std::vector<std::int64_t> restRedzoneOffsets(const isa::Function &fn,
+                                             unsigned token_granule);
+
+} // namespace rest::runtime
+
+#endif // REST_RUNTIME_INSTRUMENTATION_HH

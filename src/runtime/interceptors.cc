@@ -1,0 +1,168 @@
+#include "runtime/interceptors.hh"
+
+#include <array>
+
+namespace rest::runtime
+{
+
+bool
+Interceptors::checkRange(Addr addr, std::size_t len, OpEmitter &em)
+{
+    em.setSource(isa::OpSource::Interceptor);
+    // Interceptor preamble: argument marshalling, bounds arithmetic.
+    em.aluChain(4);
+    for (Addr a = addr; a < addr + len; a += 64) {
+        std::size_t span = std::min<std::size_t>(64, addr + len - a);
+        em.load(scratch2, ShadowMemory::shadowOf(a), 8);
+        em.alu(scratch3, scratch2); // compare/branch over 8 shadow B
+        if (!shadow_.accessOk(a, static_cast<unsigned>(span))) {
+            em.faultLast(isa::FaultKind::AsanReport);
+            return true;
+        }
+    }
+    return false;
+}
+
+InterceptResult
+Interceptors::memcpy(Addr dst, Addr src, std::size_t len, OpEmitter &em)
+{
+    InterceptResult res;
+    em_perfect_ = em.perfectHw();
+
+    if (scheme_.asanIntercept) {
+        if (checkRange(src, len, em) || checkRange(dst, len, em)) {
+            res.faulted = true;
+            return res;
+        }
+    }
+
+    // The copy loop itself is plain library code, present under every
+    // scheme: 8 bytes per load/store pair, loop overhead per 64 B.
+    em.setSource(isa::OpSource::Program);
+    std::array<std::uint8_t, 8> buf;
+    for (std::size_t i = 0; i < len; i += 8) {
+        unsigned span = static_cast<unsigned>(std::min<std::size_t>(
+            8, len - i));
+        if (i % 64 == 0) {
+            em.alu(scratch3, scratch3);
+            em.branch(i + 64 < len);
+        }
+        em.load(scratch2, src + i, span);
+        if (tokenHit(src + i, span)) {
+            em.faultLast(isa::FaultKind::RestTokenAccess);
+            res.faulted = true;
+            res.bytesDone = i;
+            return res;
+        }
+        em.store(dst + i, span, scratch2);
+        if (tokenHit(dst + i, span)) {
+            em.faultLast(isa::FaultKind::RestTokenAccess);
+            res.faulted = true;
+            res.bytesDone = i;
+            return res;
+        }
+        memory_.readBytes(src + i, {buf.data(), span});
+        memory_.writeBytes(dst + i, {buf.data(), span});
+        res.bytesDone = i + span;
+    }
+    return res;
+}
+
+InterceptResult
+Interceptors::memset(Addr dst, std::uint8_t value, std::size_t len,
+                     OpEmitter &em)
+{
+    InterceptResult res;
+    em_perfect_ = em.perfectHw();
+
+    if (scheme_.asanIntercept) {
+        if (checkRange(dst, len, em)) {
+            res.faulted = true;
+            return res;
+        }
+    }
+
+    em.setSource(isa::OpSource::Program);
+    for (std::size_t i = 0; i < len; i += 8) {
+        unsigned span = static_cast<unsigned>(std::min<std::size_t>(
+            8, len - i));
+        if (i % 64 == 0) {
+            em.alu(scratch3, scratch3);
+            em.branch(i + 64 < len);
+        }
+        em.store(dst + i, span, scratch2);
+        if (tokenHit(dst + i, span)) {
+            em.faultLast(isa::FaultKind::RestTokenAccess);
+            res.faulted = true;
+            res.bytesDone = i;
+            return res;
+        }
+        memory_.fill(dst + i, value, span);
+        res.bytesDone = i + span;
+    }
+    return res;
+}
+
+InterceptResult
+Interceptors::strcpy(Addr dst, Addr src, OpEmitter &em)
+{
+    InterceptResult res;
+    em_perfect_ = em.perfectHw();
+
+    // Functional length (bounded: a lost NUL ends at 64 KiB).
+    std::size_t len = 0;
+    while (len < (64u << 10) && memory_.readByte(src + len) != 0)
+        ++len;
+    std::size_t total = len + 1; // include the NUL
+
+    if (scheme_.asanIntercept) {
+        // ASan's interceptor runs strlen (reads, caught by REST too)
+        // then validates both ranges before copying.
+        em.setSource(isa::OpSource::Interceptor);
+        for (std::size_t i = 0; i < total; i += 8) {
+            em.load(scratch2, src + i, 1);
+            if (tokenHit(src + i, 1)) {
+                em.faultLast(isa::FaultKind::RestTokenAccess);
+                res.faulted = true;
+                return res;
+            }
+        }
+        if (checkRange(src, total, em) || checkRange(dst, total, em)) {
+            res.faulted = true;
+            return res;
+        }
+    }
+
+    // The copy loop itself: byte-oriented in spirit, word-at-a-time
+    // in cost, like real string routines.
+    em.setSource(isa::OpSource::Program);
+    std::array<std::uint8_t, 8> buf;
+    for (std::size_t i = 0; i < total; i += 8) {
+        unsigned span = static_cast<unsigned>(std::min<std::size_t>(
+            8, total - i));
+        if (i % 64 == 0) {
+            em.alu(scratch3, scratch3);
+            em.branch(i + 64 < total);
+        }
+        em.load(scratch2, src + i, span);
+        if (tokenHit(src + i, span)) {
+            em.faultLast(isa::FaultKind::RestTokenAccess);
+            res.faulted = true;
+            res.bytesDone = i;
+            return res;
+        }
+        em.store(dst + i, span, scratch2);
+        if (tokenHit(dst + i, span)) {
+            em.faultLast(isa::FaultKind::RestTokenAccess);
+            res.faulted = true;
+            res.bytesDone = i;
+            return res;
+        }
+        memory_.readBytes(src + i, {buf.data(), span});
+        memory_.writeBytes(dst + i, {buf.data(), span});
+        res.bytesDone = i + span;
+    }
+    return res;
+}
+
+} // namespace rest::runtime

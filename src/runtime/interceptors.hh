@@ -1,0 +1,89 @@
+/**
+ * @file
+ * libc data-handling interceptors (paper §II item 4).
+ *
+ * memcpy/memset are expanded into their copy/fill loops at emulation
+ * time (the loop ops exist under every scheme — they are the library
+ * code itself). Under ASan with interception enabled, a range-check
+ * pass over the shadow runs first, attributed to OpSource::
+ * Interceptor. Under REST no checks exist: the copy loop's own
+ * loads/stores trip over tokens in hardware.
+ */
+
+#ifndef REST_RUNTIME_INTERCEPTORS_HH
+#define REST_RUNTIME_INTERCEPTORS_HH
+
+#include "core/rest_engine.hh"
+#include "mem/guest_memory.hh"
+#include "runtime/op_emitter.hh"
+#include "runtime/runtime_config.hh"
+#include "runtime/shadow_memory.hh"
+
+namespace rest::runtime
+{
+
+/** Result of an intercepted service call. */
+struct InterceptResult
+{
+    /** A fault was emitted; the op stream must stop after it. */
+    bool faulted = false;
+    /** Bytes actually transferred before any fault. */
+    std::size_t bytesDone = 0;
+};
+
+/** The interceptor/library-call expansion engine. */
+class Interceptors
+{
+  public:
+    Interceptors(mem::GuestMemory &memory, core::RestEngine &engine,
+                 const SchemeConfig &scheme)
+        : memory_(memory), engine_(engine), shadow_(memory),
+          scheme_(scheme)
+    {}
+
+    /**
+     * memcpy(dst, src, len): optional ASan range validation, then the
+     * 8-bytes-per-iteration copy loop. Functionally copies the bytes.
+     * REST token hits (or ASan range failures) fault mid-stream.
+     */
+    InterceptResult memcpy(Addr dst, Addr src, std::size_t len,
+                           OpEmitter &em);
+
+    /** memset(dst, value, len): same structure, stores only. */
+    InterceptResult memset(Addr dst, std::uint8_t value,
+                           std::size_t len, OpEmitter &em);
+
+    /**
+     * strcpy(dst, src): the classic unbounded copy. The interceptor
+     * (under ASan) measures strlen(src) and validates both ranges
+     * before copying; otherwise the copy loop runs until the NUL --
+     * straight through any redzone in its way, where the hardware
+     * stops it.
+     */
+    InterceptResult strcpy(Addr dst, Addr src, OpEmitter &em);
+
+  private:
+    /**
+     * ASan interceptor range check over [addr, addr+len): one shadow
+     * load + check per 64 bytes. Emits a faulting check op and
+     * returns true if the range is poisoned.
+     */
+    bool checkRange(Addr addr, std::size_t len, OpEmitter &em);
+
+    /** Does a REST token overlap [addr, addr+size)? */
+    bool
+    tokenHit(Addr addr, unsigned size) const
+    {
+        return !em_perfect_ && engine_.overlapsArmed(addr, size);
+    }
+
+    mem::GuestMemory &memory_;
+    core::RestEngine &engine_;
+    ShadowMemory shadow_;
+    const SchemeConfig &scheme_;
+    bool em_perfect_ = false;
+};
+
+} // namespace rest::runtime
+
+#endif // REST_RUNTIME_INTERCEPTORS_HH

@@ -1,0 +1,75 @@
+#include "runtime/libc_allocator.hh"
+
+namespace rest::runtime
+{
+
+Addr
+LibcAllocator::malloc(std::size_t size, OpEmitter &em)
+{
+    em.setSource(isa::OpSource::Allocator);
+    ++heap_.mallocCalls;
+
+    int cls = SizeClassTable::classIndex(size);
+    std::size_t payload_bytes = SizeClassTable::roundToClass(size);
+    std::size_t chunk_bytes = headerBytes + payload_bytes;
+
+    // Size-class dispatch + freelist head load.
+    em.aluChain(4);
+    em.load(scratch1, AddressMap::heapMetaBase + 8 * cls);
+
+    Chunk chunk;
+    auto &fl = heap_.freeLists[chunk_bytes];
+    if (!fl.empty()) {
+        chunk = fl.back();
+        fl.pop_back();
+        // Unlink: read next pointer from the chunk, store new head.
+        em.load(scratch2, chunk.base);
+        em.store(AddressMap::heapMetaBase + 8 * cls);
+    } else {
+        chunk.base = heap_.carve(chunk_bytes);
+        chunk.payload = chunk.base + headerBytes;
+        chunk.chunkBytes = chunk_bytes;
+        chunk.sizeClass = cls;
+        chunk.metaAddr = chunk.base; // header is in-band
+        em.aluChain(2); // bump-pointer arithmetic
+    }
+    chunk.size = size;
+
+    // Write the in-band header (size + class).
+    memory_.write(chunk.base, size, 8);
+    em.store(chunk.base, 8);
+    em.store(chunk.base + 8, 8);
+
+    heap_.live[chunk.payload] = chunk;
+    em.alu(isa::regRet, scratch1);
+    return chunk.payload;
+}
+
+void
+LibcAllocator::free(Addr payload, OpEmitter &em)
+{
+    em.setSource(isa::OpSource::Allocator);
+    ++heap_.freeCalls;
+
+    auto it = heap_.live.find(payload);
+    // Header read + size-class dispatch.
+    em.load(scratch1, payload - headerBytes, 8);
+    em.aluChain(3);
+
+    if (it == heap_.live.end()) {
+        // Double/invalid free: the baseline allocator silently
+        // corrupts its free list, exactly like the real thing.
+        em.store(payload - headerBytes, 8);
+        return;
+    }
+
+    Chunk chunk = it->second;
+    heap_.live.erase(it);
+
+    // Push onto the class free list (store link + head).
+    em.store(chunk.base, 8);
+    em.store(AddressMap::heapMetaBase + 8 * chunk.sizeClass, 8);
+    heap_.freeLists[chunk.chunkBytes].push_back(chunk);
+}
+
+} // namespace rest::runtime

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Baseline performance-first allocator ("stock libc" in the paper's
+ * plain configuration): segregated size-class free lists with
+ * immediate LIFO reuse and an inline 16-byte chunk header. No
+ * redzones, no quarantine, no safety.
+ */
+
+#ifndef REST_RUNTIME_LIBC_ALLOCATOR_HH
+#define REST_RUNTIME_LIBC_ALLOCATOR_HH
+
+#include "mem/guest_memory.hh"
+#include "runtime/allocator.hh"
+
+namespace rest::runtime
+{
+
+/** The baseline allocator. */
+class LibcAllocator : public Allocator
+{
+  public:
+    explicit LibcAllocator(mem::GuestMemory &memory)
+        : memory_(memory)
+    {}
+
+    Addr malloc(std::size_t size, OpEmitter &em) override;
+    void free(Addr payload, OpEmitter &em) override;
+
+    const char *name() const override { return "libc"; }
+
+    std::size_t
+    allocationSize(Addr payload) const override
+    {
+        auto it = heap_.live.find(payload);
+        return it == heap_.live.end() ? 0 : it->second.size;
+    }
+
+    std::size_t liveAllocations() const override
+    { return heap_.live.size(); }
+
+    const HeapState &heapState() const { return heap_; }
+
+  private:
+    static constexpr std::size_t headerBytes = 16;
+
+    mem::GuestMemory &memory_;
+    HeapState heap_;
+};
+
+} // namespace rest::runtime
+
+#endif // REST_RUNTIME_LIBC_ALLOCATOR_HH

@@ -1,0 +1,171 @@
+/**
+ * @file
+ * OpEmitter: how runtime services (allocators, interceptors) inject
+ * their work into the dynamic op stream.
+ *
+ * The paper's runtime components are real machine code; their cost is
+ * the instructions they execute. Our runtime models are C++ objects,
+ * so each service call emits an equivalent dynamic instruction
+ * sequence — with genuine register dependencies, memory addresses and
+ * PCs — that the timing models execute like any other code. Scratch
+ * registers r16..r27 are reserved for runtime sequences so injected
+ * code interacts with program code only through memory and r28 (the
+ * return-value register), exactly like a calling convention.
+ */
+
+#ifndef REST_RUNTIME_OP_EMITTER_HH
+#define REST_RUNTIME_OP_EMITTER_HH
+
+#include <deque>
+
+#include "isa/dyn_op.hh"
+#include "runtime/runtime_config.hh"
+
+namespace rest::runtime
+{
+
+/** First scratch register available to injected sequences. */
+inline constexpr isa::RegId scratch0 = 16;
+inline constexpr isa::RegId scratch1 = 17;
+inline constexpr isa::RegId scratch2 = 18;
+inline constexpr isa::RegId scratch3 = 19;
+
+/** Builder for injected dynamic-op sequences. */
+class OpEmitter
+{
+  public:
+    /**
+     * @param queue destination op queue (owned by the emulator).
+     * @param pc_base synthetic text address of the emitting service,
+     *        so the I-cache and branch predictor see stable PCs.
+     * @param perfect_hw when true, arm/disarm emit as plain stores
+     *        (the PerfectHW limit study).
+     */
+    OpEmitter(std::deque<isa::DynOp> &queue, Addr pc_base,
+              bool perfect_hw)
+        : queue_(queue), pcBase_(pc_base), perfectHw_(perfect_hw)
+    {}
+
+    /** Set the attribution source for subsequently emitted ops. */
+    void setSource(isa::OpSource s) { source_ = s; }
+    isa::OpSource source() const { return source_; }
+
+    /** Emit a 1-cycle ALU op writing rd from rs1/rs2. */
+    void
+    alu(isa::RegId rd, isa::RegId rs1 = isa::noReg,
+        isa::RegId rs2 = isa::noReg)
+    {
+        push(isa::Opcode::AddI, rd, rs1, rs2);
+    }
+
+    /** Emit 'n' dependent ALU ops on a scratch register (fixed work). */
+    void
+    aluChain(unsigned n, isa::RegId reg = scratch3)
+    {
+        for (unsigned i = 0; i < n; ++i)
+            push(isa::Opcode::AddI, reg, reg, isa::noReg);
+    }
+
+    /** Emit a load of 'size' bytes at 'addr' into rd. */
+    void
+    load(isa::RegId rd, Addr addr, unsigned size = 8,
+         isa::RegId addr_reg = scratch0)
+    {
+        push(isa::Opcode::Load, rd, addr_reg, isa::noReg, addr, size);
+    }
+
+    /** Emit a store of 'size' bytes at 'addr' from rs. */
+    void
+    store(Addr addr, unsigned size = 8, isa::RegId rs = scratch1,
+          isa::RegId addr_reg = scratch0)
+    {
+        push(isa::Opcode::Store, isa::noReg, addr_reg, rs, addr, size);
+    }
+
+    /**
+     * Emit an arm of the granule at 'addr' (or a plain store under
+     * PerfectHW). The caller is responsible for the architectural
+     * effect (RestEngine update + token bytes in memory).
+     */
+    void
+    arm(Addr addr)
+    {
+        if (perfectHw_)
+            push(isa::Opcode::Store, isa::noReg, scratch0, scratch1,
+                 addr, 8);
+        else
+            push(isa::Opcode::Arm, isa::noReg, scratch0, isa::noReg,
+                 addr, 0);
+    }
+
+    /** Emit a disarm of the granule at 'addr' (store under PerfectHW). */
+    void
+    disarm(Addr addr)
+    {
+        if (perfectHw_)
+            push(isa::Opcode::Store, isa::noReg, scratch0, scratch1,
+                 addr, 8);
+        else
+            push(isa::Opcode::Disarm, isa::noReg, scratch0, isa::noReg,
+                 addr, 0);
+    }
+
+    /** Emit a conditional-branch op (loop backedge of a service). */
+    void
+    branch(bool taken)
+    {
+        isa::DynOp op = make(isa::Opcode::Bne, isa::noReg, scratch3,
+                             isa::noReg);
+        op.isBranch = true;
+        op.taken = taken;
+        queue_.push_back(op);
+    }
+
+    /** Mark the most recently emitted op as faulting. */
+    void
+    faultLast(isa::FaultKind kind)
+    {
+        if (!queue_.empty())
+            queue_.back().fault = kind;
+    }
+
+    bool perfectHw() const { return perfectHw_; }
+
+  private:
+    isa::DynOp
+    make(isa::Opcode opc, isa::RegId rd, isa::RegId rs1, isa::RegId rs2,
+         Addr eaddr = invalidAddr, unsigned size = 0)
+    {
+        isa::DynOp op;
+        op.op = opc;
+        op.cls = isa::opClassOf(opc);
+        op.source = source_;
+        op.rd = rd;
+        op.rs1 = rs1;
+        op.rs2 = rs2;
+        op.eaddr = eaddr;
+        op.size = static_cast<std::uint8_t>(size);
+        // Cycle through a small synthetic code footprint so the
+        // I-cache sees a realistic (hot) runtime text region.
+        op.pc = pcBase_ + (pcCursor_++ % 64) * 4;
+        return op;
+    }
+
+    void
+    push(isa::Opcode opc, isa::RegId rd, isa::RegId rs1,
+         isa::RegId rs2 = isa::noReg, Addr eaddr = invalidAddr,
+         unsigned size = 0)
+    {
+        queue_.push_back(make(opc, rd, rs1, rs2, eaddr, size));
+    }
+
+    std::deque<isa::DynOp> &queue_;
+    Addr pcBase_;
+    bool perfectHw_;
+    isa::OpSource source_ = isa::OpSource::Allocator;
+    std::uint64_t pcCursor_ = 0;
+};
+
+} // namespace rest::runtime
+
+#endif // REST_RUNTIME_OP_EMITTER_HH

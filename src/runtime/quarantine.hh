@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Deallocation quarantine (paper §IV-A, Fig. 6): freed chunks are
+ * held in a FIFO pool — blacklisted — instead of being reused, until
+ * the pool exceeds its byte budget. Use-after-free through a dangling
+ * pointer faults for as long as the chunk is quarantined.
+ */
+
+#ifndef REST_RUNTIME_QUARANTINE_HH
+#define REST_RUNTIME_QUARANTINE_HH
+
+#include <deque>
+#include <optional>
+
+#include "runtime/allocator.hh"
+
+namespace rest::runtime
+{
+
+/** FIFO quarantine with a byte budget. */
+class Quarantine
+{
+  public:
+    explicit Quarantine(std::size_t budget_bytes)
+        : budget_(budget_bytes)
+    {}
+
+    /** Add a freed chunk. */
+    void
+    push(const Chunk &chunk)
+    {
+        bytes_ += chunk.chunkBytes;
+        fifo_.push_back(chunk);
+    }
+
+    /** Over budget: the oldest chunk should be drained. */
+    bool overBudget() const { return bytes_ > budget_; }
+
+    /** Pop the oldest chunk (caller drains it to the free pool). */
+    std::optional<Chunk>
+    pop()
+    {
+        if (fifo_.empty())
+            return std::nullopt;
+        Chunk c = fifo_.front();
+        fifo_.pop_front();
+        bytes_ -= c.chunkBytes;
+        return c;
+    }
+
+    /** Is this payload address currently quarantined? */
+    bool
+    contains(Addr payload) const
+    {
+        for (const auto &c : fifo_) {
+            if (c.payload == payload)
+                return true;
+        }
+        return false;
+    }
+
+    std::size_t bytes() const { return bytes_; }
+    std::size_t chunks() const { return fifo_.size(); }
+    std::size_t budget() const { return budget_; }
+
+  private:
+    std::size_t budget_;
+    std::size_t bytes_ = 0;
+    std::deque<Chunk> fifo_;
+};
+
+} // namespace rest::runtime
+
+#endif // REST_RUNTIME_QUARANTINE_HH

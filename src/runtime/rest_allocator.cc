@@ -1,0 +1,175 @@
+#include "runtime/rest_allocator.hh"
+
+#include <algorithm>
+
+namespace rest::runtime
+{
+
+std::size_t
+RestAllocator::redzoneBytes(std::size_t payload_size) const
+{
+    const unsigned g = granule();
+    std::size_t rz = alignUp(payload_size / 4, g);
+    return std::clamp<std::size_t>(rz, g, 2048);
+}
+
+void
+RestAllocator::armGranule(Addr addr, OpEmitter &em)
+{
+    em.arm(addr);
+    if (!em.perfectHw()) {
+        engine_.arm(addr);
+        // Architecturally the granule now holds the token value (the
+        // hardware defers the write until eviction; observationally
+        // equivalent since armed granules fault on access).
+        memory_.writeBytes(addr,
+                           engine_.configRegister().token().bytes());
+    }
+}
+
+void
+RestAllocator::disarmGranule(Addr addr, OpEmitter &em)
+{
+    em.disarm(addr);
+    if (!em.perfectHw()) {
+        auto chk = engine_.disarm(addr);
+        rest_assert(chk.ok(),
+                    "allocator disarmed an unarmed granule @", addr);
+        memory_.fill(addr, 0, granule());
+    }
+}
+
+Addr
+RestAllocator::malloc(std::size_t size, OpEmitter &em)
+{
+    em.setSource(isa::OpSource::Allocator);
+    ++heap_.mallocCalls;
+
+    const unsigned g = granule();
+    std::size_t payload_bytes = alignUp(size, g);
+    std::size_t rz = redzoneBytes(size);
+    int cls = SizeClassTable::classIndex(payload_bytes + 2 * rz);
+    // Exact footprint (no class rounding): the slack of a rounded
+    // class must never be armed as redzone.
+    std::size_t chunk_bytes = alignUp(payload_bytes + 2 * rz, g);
+
+    // Front-end bookkeeping mirrors the ASan-derived allocator.
+    em.aluChain(8);
+    em.load(scratch1, AddressMap::heapMetaBase + 8 * cls);
+
+    Chunk chunk;
+    auto &fl = heap_.freeLists[chunk_bytes];
+    if (!fl.empty()) {
+        // Free-pool chunks are zeroed (relaxed invariant): no
+        // blacklist-rewriting work is needed for the payload.
+        chunk = fl.back();
+        fl.pop_back();
+        em.load(scratch2, chunk.metaAddr);
+        em.store(AddressMap::heapMetaBase + 8 * cls);
+    } else {
+        chunk.base = heap_.carve(chunk_bytes);
+        chunk.chunkBytes = chunk_bytes;
+        chunk.sizeClass = cls;
+        chunk.metaAddr = heap_.newMetaAddr();
+        em.aluChain(3);
+    }
+    chunk.payload = chunk.base + rz;
+    chunk.size = size;
+
+    // Bookend the allocation with token redzones (Fig. 6): one arm
+    // per granule on each side. The payload itself is left zeroed.
+    for (Addr a = chunk.base; a < chunk.payload; a += g)
+        armGranule(a, em);
+    Addr right_begin = chunk.payload + payload_bytes;
+    Addr chunk_end = chunk.base + chunk_bytes;
+    for (Addr a = right_begin; a < chunk_end; a += g)
+        armGranule(a, em);
+
+    // Out-of-band metadata record, separated from the data by the
+    // redzones themselves.
+    memory_.write(chunk.metaAddr, size, 8);
+    em.store(chunk.metaAddr, 8);
+    em.store(chunk.metaAddr + 8, 8);
+
+    heap_.live[chunk.payload] = chunk;
+
+    // SV-C "Predictability" hardening: periodically drop an armed
+    // decoy granule at an unpredictable gap in the heap, so jumping
+    // over redzones risks landing on a token.
+    if (sprinkleEvery_ && heap_.mallocCalls % sprinkleEvery_ == 0) {
+        sprinkleLcg_ = sprinkleLcg_ * 6364136223846793005ull + 1442695040888963407ull;
+        std::size_t gap = g * (1 + (sprinkleLcg_ >> 60) % 4);
+        Addr decoy = heap_.carve(gap + g) + gap;
+        decoy = alignDown(decoy, g);
+        armGranule(decoy, em);
+        ++decoysArmed_;
+    }
+
+    em.alu(isa::regRet, scratch1);
+    return chunk.payload;
+}
+
+void
+RestAllocator::free(Addr payload, OpEmitter &em)
+{
+    em.setSource(isa::OpSource::Allocator);
+    ++heap_.freeCalls;
+
+    // Metadata lookup: the runtime reads its out-of-band record.
+    em.aluChain(6);
+
+    auto it = heap_.live.find(payload);
+    if (it == heap_.live.end()) {
+        // Double free: the runtime's header probe touches the armed
+        // (quarantined) chunk and the hardware faults.
+        em.load(scratch1, payload, 8);
+        if (!em.perfectHw() && engine_.overlapsArmed(payload, 8))
+            em.faultLast(isa::FaultKind::RestTokenAccess);
+        return;
+    }
+    em.load(scratch1, it->second.metaAddr, 8);
+
+    Chunk chunk = it->second;
+    heap_.live.erase(it);
+
+    // Fill the freed payload with tokens and quarantine the chunk:
+    // dangling-pointer accesses now fault in hardware.
+    const unsigned g = granule();
+    std::size_t payload_bytes = alignUp(chunk.size, g);
+    for (Addr a = chunk.payload; a < chunk.payload + payload_bytes;
+         a += g) {
+        armGranule(a, em);
+    }
+    em.store(chunk.metaAddr + 8, 8);
+    quarantine_.push(chunk);
+    drainQuarantine(em);
+}
+
+void
+RestAllocator::drainQuarantine(OpEmitter &em)
+{
+    const unsigned g = granule();
+    while (quarantine_.overBudget()) {
+        auto chunk = quarantine_.pop();
+        if (!chunk)
+            break;
+        // Disarm every granule of the chunk (redzones + payload);
+        // disarm zeroes the memory, establishing the zeroed-free-pool
+        // invariant before the chunk becomes reusable.
+        std::size_t payload_bytes = alignUp(chunk->size, g);
+        Addr payload_end = chunk->payload + payload_bytes;
+        for (Addr a = chunk->base; a < chunk->payload; a += g)
+            disarmGranule(a, em);
+        for (Addr a = chunk->payload; a < payload_end; a += g)
+            disarmGranule(a, em);
+        for (Addr a = payload_end; a < chunk->base + chunk->chunkBytes;
+             a += g) {
+            disarmGranule(a, em);
+        }
+        em.aluChain(3);
+        em.store(chunk->metaAddr, 8);
+        heap_.freeLists[chunk->chunkBytes].push_back(*chunk);
+    }
+}
+
+} // namespace rest::runtime

@@ -1,0 +1,95 @@
+/**
+ * @file
+ * The REST allocator (paper §IV-A, Fig. 6): adapted from ASan's, but
+ * redzones are token granules installed with arm instructions instead
+ * of shadow poisoning; freed chunks are filled with tokens and
+ * quarantined; and — REST's relaxed invariant — chunks in the free
+ * pool are zeroed (disarm zeroes them in hardware), not blacklisted,
+ * so fresh mappings need no blacklisting work and reuse cannot leak
+ * uninitialised data.
+ *
+ * Because detection is in hardware, this allocator protects legacy
+ * binaries too: no program instrumentation is required, only linking
+ * (or LD_PRELOAD-ing) this allocator.
+ */
+
+#ifndef REST_RUNTIME_REST_ALLOCATOR_HH
+#define REST_RUNTIME_REST_ALLOCATOR_HH
+
+#include "core/rest_engine.hh"
+#include "mem/guest_memory.hh"
+#include "runtime/allocator.hh"
+#include "runtime/quarantine.hh"
+
+namespace rest::runtime
+{
+
+/** REST's heap allocator. */
+class RestAllocator : public Allocator
+{
+  public:
+    /**
+     * @param sprinkle_every when nonzero, every Nth malloc also arms
+     *        a decoy granule at an unpredictable heap offset (SV-C
+     *        "Predictability" hardening).
+     */
+    RestAllocator(mem::GuestMemory &memory, core::RestEngine &engine,
+                  std::size_t quarantine_budget,
+                  unsigned sprinkle_every = 0)
+        : memory_(memory), engine_(engine),
+          quarantine_(quarantine_budget),
+          heap_(AddressMap::heapBase, engine.configRegister().granule()),
+          sprinkleEvery_(sprinkle_every)
+    {}
+
+    Addr malloc(std::size_t size, OpEmitter &em) override;
+    void free(Addr payload, OpEmitter &em) override;
+
+    const char *name() const override { return "rest"; }
+
+    std::size_t
+    allocationSize(Addr payload) const override
+    {
+        auto it = heap_.live.find(payload);
+        return it == heap_.live.end() ? 0 : it->second.size;
+    }
+
+    std::size_t liveAllocations() const override
+    { return heap_.live.size(); }
+
+    /**
+     * Redzone size for a payload: a multiple of the token width,
+     * scaling with the allocation (paper §IV-A), clamped to
+     * [granule, 2048].
+     */
+    std::size_t redzoneBytes(std::size_t payload_size) const;
+
+    const Quarantine &quarantine() const { return quarantine_; }
+    /** Decoy granules armed so far (sprinkling hardening). */
+    std::uint64_t decoysArmed() const { return decoysArmed_; }
+    const HeapState &heapState() const { return heap_; }
+    const core::RestEngine &engine() const { return engine_; }
+
+  private:
+    unsigned granule() const
+    { return engine_.configRegister().granule(); }
+
+    /** Emit + architecturally perform an arm of one granule. */
+    void armGranule(Addr addr, OpEmitter &em);
+    /** Emit + architecturally perform a disarm of one granule. */
+    void disarmGranule(Addr addr, OpEmitter &em);
+
+    void drainQuarantine(OpEmitter &em);
+
+    mem::GuestMemory &memory_;
+    core::RestEngine &engine_;
+    Quarantine quarantine_;
+    HeapState heap_;
+    unsigned sprinkleEvery_ = 0;
+    std::uint64_t decoysArmed_ = 0;
+    std::uint64_t sprinkleLcg_ = 0x2545f4914f6cdd1dull;
+};
+
+} // namespace rest::runtime
+
+#endif // REST_RUNTIME_REST_ALLOCATOR_HH

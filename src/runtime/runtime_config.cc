@@ -1,0 +1,30 @@
+#include "runtime/runtime_config.hh"
+
+#include <sstream>
+
+namespace rest::runtime
+{
+
+std::string
+SchemeConfig::name() const
+{
+    std::ostringstream os;
+    switch (allocator) {
+      case AllocatorKind::Libc: os << "libc"; break;
+      case AllocatorKind::Asan: os << "asan"; break;
+      case AllocatorKind::Rest: os << "rest"; break;
+    }
+    if (asanAccessChecks)
+        os << "+checks";
+    if (asanStackSetup)
+        os << "+stack";
+    if (asanIntercept)
+        os << "+intercept";
+    if (restStackArming)
+        os << "+arming";
+    if (perfectHw)
+        os << "+perfecthw";
+    return os.str();
+}
+
+} // namespace rest::runtime

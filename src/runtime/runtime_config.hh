@@ -1,0 +1,123 @@
+/**
+ * @file
+ * Protection-scheme configuration and the guest address-space map.
+ *
+ * A SchemeConfig captures which software components are active; the
+ * paper's evaluated configurations (plain, ASan, REST full/heap,
+ * PerfectHW) are presets over these flags, and Figure 3's component
+ * breakdown toggles them cumulatively.
+ */
+
+#ifndef REST_RUNTIME_RUNTIME_CONFIG_HH
+#define REST_RUNTIME_RUNTIME_CONFIG_HH
+
+#include <cstdint>
+#include <string>
+
+#include "util/types.hh"
+
+namespace rest::runtime
+{
+
+/** Which allocator implementation the guest links against. */
+enum class AllocatorKind : std::uint8_t
+{
+    Libc,  ///< stock performance-first allocator, immediate reuse
+    Asan,  ///< shadow-poisoning redzones + quarantine
+    Rest,  ///< token redzones + armed quarantine, zeroed free pool
+};
+
+/** Guest address-space layout. */
+struct AddressMap
+{
+    static constexpr Addr textBase = 0x400000;
+    static constexpr Addr runtimeTextBase = 0x600000;
+    static constexpr Addr interceptTextBase = 0x700000;
+    static constexpr Addr globalsBase = 0x10000000;
+    static constexpr Addr heapBase = 0x20000000;
+    static constexpr Addr heapMetaBase = 0x18000000;
+    static constexpr Addr stackTop = 0x7fff0000;
+    /** ASan shadow region: shadow(a) = (a >> 3) + shadowBase. */
+    static constexpr Addr shadowBase = 0x100000000000ull;
+
+    static constexpr Addr shadowOf(Addr a) { return (a >> 3) + shadowBase; }
+};
+
+/** Full software-side configuration of one experiment run. */
+struct SchemeConfig
+{
+    AllocatorKind allocator = AllocatorKind::Libc;
+
+    /** ASan: instrument every program load/store with a shadow check. */
+    bool asanAccessChecks = false;
+    /** ASan: poison/unpoison stack redzones in prologue/epilogue. */
+    bool asanStackSetup = false;
+    /** ASan: libc interceptors validate memcpy/memset argument ranges. */
+    bool asanIntercept = false;
+
+    /** REST: arm/disarm stack redzones in prologue/epilogue. */
+    bool restStackArming = false;
+
+    /**
+     * PerfectHW limit study (paper §VI-B "Software vs. Hardware"):
+     * every arm/disarm is replaced by one regular store on stock
+     * hardware. No protection is provided; isolates software cost.
+     */
+    bool perfectHw = false;
+
+    /** Quarantine budget in bytes before drain (ASan/REST frees). */
+    std::size_t quarantineBudget = 1 << 20;
+
+    /**
+     * REST extension (SV-C "Predictability"): every Nth allocation,
+     * the allocator carves and arms one extra decoy granule at an
+     * unpredictable spot in the heap, so attackers who try to jump
+     * over redzones risk landing on a token. 0 disables.
+     */
+    unsigned sprinkleTokensEvery = 0;
+
+    /**
+     * REST extension (SV-C "False Negatives"): zero the alignment pad
+     * between a stack buffer and its token redzone in the prologue,
+     * closing the uninitialised-data-leak gap the pad introduces.
+     */
+    bool zeroStackPadding = false;
+
+    // ---- Presets for the paper's configurations ----
+
+    static SchemeConfig plain() { return {}; }
+
+    static SchemeConfig
+    asanFull()
+    {
+        SchemeConfig c;
+        c.allocator = AllocatorKind::Asan;
+        c.asanAccessChecks = true;
+        c.asanStackSetup = true;
+        c.asanIntercept = true;
+        return c;
+    }
+
+    static SchemeConfig
+    restFull()
+    {
+        SchemeConfig c;
+        c.allocator = AllocatorKind::Rest;
+        c.restStackArming = true;
+        return c;
+    }
+
+    static SchemeConfig
+    restHeap()
+    {
+        SchemeConfig c;
+        c.allocator = AllocatorKind::Rest;
+        return c;
+    }
+
+    std::string name() const;
+};
+
+} // namespace rest::runtime
+
+#endif // REST_RUNTIME_RUNTIME_CONFIG_HH

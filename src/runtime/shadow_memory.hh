@@ -1,0 +1,140 @@
+/**
+ * @file
+ * AddressSanitizer-style shadow memory (paper §II, Fig. 2).
+ *
+ * Every 8 bytes of application memory map to one shadow byte at
+ * shadow(a) = (a >> 3) + shadowBase. Shadow encodings follow ASan:
+ *   0          all 8 bytes addressable
+ *   1..7       only the first k bytes addressable
+ *   >= 0x80    poisoned (redzone / freed), by kind
+ *
+ * Methods both perform the functional shadow update on guest memory
+ * and, when given an OpEmitter, emit the store instructions the real
+ * runtime would execute to do it (one 8-byte store per 8 shadow
+ * bytes).
+ */
+
+#ifndef REST_RUNTIME_SHADOW_MEMORY_HH
+#define REST_RUNTIME_SHADOW_MEMORY_HH
+
+#include <cstdint>
+
+#include "mem/guest_memory.hh"
+#include "runtime/op_emitter.hh"
+#include "runtime/runtime_config.hh"
+
+namespace rest::runtime
+{
+
+/** ASan shadow poison values. */
+namespace shadow_poison
+{
+inline constexpr std::uint8_t heapLeftRz = 0xfa;
+inline constexpr std::uint8_t heapRightRz = 0xfb;
+inline constexpr std::uint8_t heapFreed = 0xfd;
+inline constexpr std::uint8_t stackLeftRz = 0xf1;
+inline constexpr std::uint8_t stackMidRz = 0xf2;
+inline constexpr std::uint8_t stackRightRz = 0xf3;
+} // namespace shadow_poison
+
+/** The shadow map plus its maintenance-cost model. */
+class ShadowMemory
+{
+  public:
+    explicit ShadowMemory(mem::GuestMemory &memory) : memory_(memory) {}
+
+    /** Shadow address of an application address. */
+    static Addr shadowOf(Addr a) { return AddressMap::shadowOf(a); }
+
+    /**
+     * Poison [addr, addr+size) with 'value'. addr must be 8-aligned;
+     * a partial tail granule is fully poisoned (conservative, like
+     * ASan redzones which are 8-aligned by construction).
+     */
+    void
+    poison(Addr addr, std::size_t size, std::uint8_t value,
+           OpEmitter *emitter = nullptr)
+    {
+        writeShadowRange(addr, size, value, emitter);
+    }
+
+    /**
+     * Unpoison [addr, addr+size): zero shadow for whole granules and
+     * write the partial-byte count for a trailing partial granule.
+     */
+    void
+    unpoison(Addr addr, std::size_t size, OpEmitter *emitter = nullptr)
+    {
+        std::size_t whole = size & ~std::size_t(7);
+        writeShadowRange(addr, whole, 0, emitter);
+        if (size % 8) {
+            memory_.writeByte(shadowOf(addr + whole),
+                              static_cast<std::uint8_t>(size % 8));
+            if (emitter)
+                emitter->store(shadowOf(addr + whole), 1);
+        }
+    }
+
+    /**
+     * Would an access of 'size' bytes at 'addr' pass ASan's check?
+     * Mirrors the instrumented fast/slow path.
+     */
+    bool
+    accessOk(Addr addr, unsigned size) const
+    {
+        Addr last = addr + size - 1;
+        for (Addr a = addr; ; a = (a | 7) + 1) {
+            std::uint8_t s = memory_.readByte(shadowOf(a));
+            if (s != 0) {
+                if (s >= 0x80)
+                    return false;
+                // Partially addressable granule: the highest touched
+                // byte inside this granule must be below s.
+                Addr granule_end = std::min<Addr>(last, a | 7);
+                if ((granule_end & 7) >= s)
+                    return false;
+            }
+            if ((a | 7) >= last)
+                break;
+        }
+        return true;
+    }
+
+    /** Raw shadow byte for an application address (test support). */
+    std::uint8_t
+    shadowByte(Addr addr) const
+    {
+        return memory_.readByte(shadowOf(addr));
+    }
+
+  private:
+    void
+    writeShadowRange(Addr addr, std::size_t size, std::uint8_t value,
+                     OpEmitter *emitter)
+    {
+        if (size == 0)
+            return;
+        Addr s_begin = shadowOf(addr);
+        Addr s_end = shadowOf(addr + size + 7);
+        memory_.fill(s_begin, value, s_end - s_begin);
+        if (emitter) {
+            if (s_end - s_begin >= 128) {
+                // Large ranges are written with the runtime's
+                // vectorized memset: model one wide store per 64
+                // shadow bytes (512 application bytes).
+                for (Addr a = s_begin; a < s_end; a += 64)
+                    emitter->store(a, 8);
+            } else {
+                // One 8-byte shadow store covers 64 application bytes.
+                for (Addr a = s_begin; a < s_end; a += 8)
+                    emitter->store(a, 8);
+            }
+        }
+    }
+
+    mem::GuestMemory &memory_;
+};
+
+} // namespace rest::runtime
+
+#endif // REST_RUNTIME_SHADOW_MEMORY_HH

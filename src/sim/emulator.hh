@@ -1,0 +1,107 @@
+/**
+ * @file
+ * The functional emulator: executes a finalised guest program against
+ * guest memory, the configured allocator/runtime and the REST engine,
+ * and streams dynamic ops (isa::TraceSource) to a timing CPU model.
+ *
+ * Faults are detected here architecturally — every load/store is
+ * checked against the armed-granule set (what the L1-D token bits
+ * would catch), AsanCheck ops evaluate the shadow, arm/disarm enforce
+ * alignment and pairing — and are carried on the faulting DynOp for
+ * the timing model to report with the configured precision.
+ */
+
+#ifndef REST_SIM_EMULATOR_HH
+#define REST_SIM_EMULATOR_HH
+
+#include <array>
+#include <deque>
+#include <memory>
+#include <vector>
+
+#include "core/rest_engine.hh"
+#include "isa/dyn_op.hh"
+#include "isa/program.hh"
+#include "mem/guest_memory.hh"
+#include "runtime/allocator.hh"
+#include "runtime/interceptors.hh"
+#include "runtime/runtime_config.hh"
+
+namespace rest::sim
+{
+
+/** Functional execution + trace generation. */
+class Emulator : public isa::TraceSource
+{
+  public:
+    /**
+     * @param program finalised (instrumented) program.
+     * @param memory guest memory.
+     * @param engine REST architectural referee.
+     * @param allocator the linked-in allocator model.
+     * @param scheme active software configuration.
+     */
+    Emulator(const isa::Program &program, mem::GuestMemory &memory,
+             core::RestEngine &engine, runtime::Allocator &allocator,
+             const runtime::SchemeConfig &scheme);
+
+    /** TraceSource: produce the next dynamic op. */
+    bool next(isa::DynOp &out) override;
+
+    /** Architectural register read (test support). */
+    std::uint64_t reg(isa::RegId r) const { return regs_[r]; }
+
+    /** Has the program halted (or faulted)? */
+    bool halted() const { return halted_ && queue_.empty(); }
+
+    /** Did execution fault, and how? */
+    isa::FaultKind faultKind() const { return fault_; }
+
+    /** Total ops produced so far. */
+    std::uint64_t opsProduced() const { return seq_; }
+
+    mem::GuestMemory &memory() { return memory_; }
+    runtime::Allocator &allocator() { return allocator_; }
+
+  private:
+    struct Frame
+    {
+        std::size_t funcIdx;
+        std::size_t retInstIdx;
+        std::uint64_t savedFp;
+        std::uint64_t savedSp;
+    };
+
+    /** Execute one static instruction, emitting op(s) to the queue. */
+    void step();
+
+    /** Emit the program-level DynOp for the current static inst. */
+    isa::DynOp makeOp(const isa::Inst &inst) const;
+
+    /** Mark execution faulted at the given queued op. */
+    void raise(isa::DynOp &op, isa::FaultKind kind);
+
+    const isa::Program &program_;
+    mem::GuestMemory &memory_;
+    core::RestEngine &engine_;
+    runtime::Allocator &allocator_;
+    runtime::SchemeConfig scheme_;
+    runtime::Interceptors interceptors_;
+
+    std::array<std::uint64_t, isa::numRegs> regs_{};
+    std::vector<Frame> callStack_;
+    std::size_t funcIdx_ = 0;
+    std::size_t instIdx_ = 0;
+    std::vector<Addr> pcBases_;
+
+    std::deque<isa::DynOp> queue_;
+    std::unique_ptr<runtime::OpEmitter> emitter_;
+
+    bool halted_ = false;
+    isa::FaultKind fault_ = isa::FaultKind::None;
+    std::uint64_t seq_ = 0;
+};
+
+} // namespace rest::sim
+
+#endif // REST_SIM_EMULATOR_HH

@@ -1,0 +1,126 @@
+#include "sim/experiment.hh"
+
+#include <cmath>
+
+#include "util/logging.hh"
+
+namespace rest::sim
+{
+
+const char *
+expConfigName(ExpConfig config)
+{
+    switch (config) {
+      case ExpConfig::Plain: return "Plain";
+      case ExpConfig::Asan: return "ASan";
+      case ExpConfig::RestDebugFull: return "Debug Full";
+      case ExpConfig::RestSecureFull: return "Secure Full";
+      case ExpConfig::PerfectHwFull: return "PerfectHW Full";
+      case ExpConfig::RestDebugHeap: return "Debug Heap";
+      case ExpConfig::RestSecureHeap: return "Secure Heap";
+      case ExpConfig::PerfectHwHeap: return "PerfectHW Heap";
+      default: return "<bad>";
+    }
+}
+
+SystemConfig
+makeSystemConfig(ExpConfig config, core::TokenWidth width, bool inorder)
+{
+    SystemConfig cfg;
+    cfg.tokenWidth = width;
+    cfg.useInOrderCpu = inorder;
+    using runtime::SchemeConfig;
+
+    switch (config) {
+      case ExpConfig::Plain:
+        cfg.scheme = SchemeConfig::plain();
+        break;
+      case ExpConfig::Asan:
+        cfg.scheme = SchemeConfig::asanFull();
+        break;
+      case ExpConfig::RestDebugFull:
+        cfg.scheme = SchemeConfig::restFull();
+        cfg.mode = core::RestMode::Debug;
+        break;
+      case ExpConfig::RestSecureFull:
+        cfg.scheme = SchemeConfig::restFull();
+        break;
+      case ExpConfig::PerfectHwFull:
+        cfg.scheme = SchemeConfig::restFull();
+        cfg.scheme.perfectHw = true;
+        break;
+      case ExpConfig::RestDebugHeap:
+        cfg.scheme = SchemeConfig::restHeap();
+        cfg.mode = core::RestMode::Debug;
+        break;
+      case ExpConfig::RestSecureHeap:
+        cfg.scheme = SchemeConfig::restHeap();
+        break;
+      case ExpConfig::PerfectHwHeap:
+        cfg.scheme = SchemeConfig::restHeap();
+        cfg.scheme.perfectHw = true;
+        break;
+    }
+    return cfg;
+}
+
+Measurement
+runBench(const workload::BenchProfile &profile, ExpConfig config,
+         core::TokenWidth width, bool inorder)
+{
+    isa::Program program = workload::generate(profile);
+    System system(std::move(program),
+                  makeSystemConfig(config, width, inorder));
+    SystemResult result = system.run();
+    rest_assert(!result.faulted(),
+                "benign benchmark ", profile.name, " faulted under ",
+                expConfigName(config), ": ",
+                result.run.violation.toString());
+
+    Measurement m;
+    m.bench = profile.name;
+    m.config = config;
+    m.cycles = result.cycles();
+    m.ops = result.run.committedOps;
+    m.detail = result;
+    return m;
+}
+
+double
+overheadPct(Cycles plain_cycles, Cycles scheme_cycles)
+{
+    rest_assert(plain_cycles > 0, "plain run has zero cycles");
+    return 100.0 * (static_cast<double>(scheme_cycles) /
+                        static_cast<double>(plain_cycles) - 1.0);
+}
+
+double
+wtdAriMeanOverheadPct(const std::vector<Cycles> &plain,
+                      const std::vector<Cycles> &scheme)
+{
+    rest_assert(plain.size() == scheme.size() && !plain.empty(),
+                "mismatched overhead vectors");
+    double sum_plain = 0, sum_scheme = 0;
+    for (std::size_t i = 0; i < plain.size(); ++i) {
+        sum_plain += static_cast<double>(plain[i]);
+        sum_scheme += static_cast<double>(scheme[i]);
+    }
+    return 100.0 * (sum_scheme / sum_plain - 1.0);
+}
+
+double
+geoMeanOverheadPct(const std::vector<Cycles> &plain,
+                   const std::vector<Cycles> &scheme)
+{
+    rest_assert(plain.size() == scheme.size() && !plain.empty(),
+                "mismatched overhead vectors");
+    double log_sum = 0;
+    for (std::size_t i = 0; i < plain.size(); ++i) {
+        log_sum += std::log(static_cast<double>(scheme[i]) /
+                            static_cast<double>(plain[i]));
+    }
+    return 100.0 * (std::exp(log_sum /
+                             static_cast<double>(plain.size())) - 1.0);
+}
+
+} // namespace rest::sim

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Experiment harness: the paper's evaluated configurations as presets,
+ * per-benchmark runs, and the aggregation formulas of §VI-B
+ * (weighted arithmetic mean, footnote 5; geometric mean, footnote 6).
+ */
+
+#ifndef REST_SIM_EXPERIMENT_HH
+#define REST_SIM_EXPERIMENT_HH
+
+#include <string>
+#include <vector>
+
+#include "sim/system.hh"
+#include "workload/spec_profiles.hh"
+
+namespace rest::sim
+{
+
+/** The named configurations of Figures 7 and 8. */
+enum class ExpConfig
+{
+    Plain,
+    Asan,
+    RestDebugFull,
+    RestSecureFull,
+    PerfectHwFull,
+    RestDebugHeap,
+    RestSecureHeap,
+    PerfectHwHeap,
+};
+
+/** Display name ("Secure Full", ...). */
+const char *expConfigName(ExpConfig config);
+
+/**
+ * Build the SystemConfig for a named experiment configuration.
+ * @param config which preset.
+ * @param width token width (Figure 8 sweeps this; 64 B elsewhere).
+ * @param inorder use the in-order core (Figure 3 setup).
+ */
+SystemConfig makeSystemConfig(ExpConfig config,
+                              core::TokenWidth width =
+                                  core::TokenWidth::Bytes64,
+                              bool inorder = false);
+
+/** One benchmark × configuration measurement. */
+struct Measurement
+{
+    std::string bench;
+    ExpConfig config = ExpConfig::Plain;
+    Cycles cycles = 0;
+    std::uint64_t ops = 0;
+    SystemResult detail;
+};
+
+/**
+ * Run one benchmark under one configuration.
+ * @param profile workload profile (generate() is called internally).
+ * @param config experiment preset.
+ * @param width token width.
+ * @param inorder use the in-order core.
+ */
+Measurement runBench(const workload::BenchProfile &profile,
+                     ExpConfig config,
+                     core::TokenWidth width = core::TokenWidth::Bytes64,
+                     bool inorder = false);
+
+/** Per-benchmark overhead in percent relative to a plain run. */
+double overheadPct(Cycles plain_cycles, Cycles scheme_cycles);
+
+/**
+ * Weighted arithmetic mean overhead (paper footnote 5): equivalent to
+ * sum(scheme runtimes) / sum(plain runtimes) - 1, in percent.
+ */
+double wtdAriMeanOverheadPct(const std::vector<Cycles> &plain,
+                             const std::vector<Cycles> &scheme);
+
+/** Geometric mean overhead (paper footnote 6), in percent. */
+double geoMeanOverheadPct(const std::vector<Cycles> &plain,
+                          const std::vector<Cycles> &scheme);
+
+} // namespace rest::sim
+
+#endif // REST_SIM_EXPERIMENT_HH

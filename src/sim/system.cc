@@ -1,0 +1,95 @@
+#include "sim/system.hh"
+
+#include "runtime/asan_allocator.hh"
+#include "runtime/libc_allocator.hh"
+#include "runtime/rest_allocator.hh"
+#include "util/logging.hh"
+
+namespace rest::sim
+{
+
+System::System(isa::Program program, const SystemConfig &cfg)
+    : cfg_(cfg), rng_(cfg.tokenSeed), engine_(tcr_), dram_(cfg.dramConfig),
+      l2_(cfg.l2Config, dram_), l1i_(cfg.l1iConfig, l2_),
+      l1d_(cfg.l1dConfig, l2_, memory_, tcr_),
+      program_(std::move(program))
+{
+    // Install a fresh random token at the configured width/mode
+    // (privileged memory-mapped write, §III-A).
+    tcr_.writePrivileged(
+        core::TokenValue::generate(rng_, cfg.tokenWidth), cfg.mode);
+
+    switch (cfg_.scheme.allocator) {
+      case runtime::AllocatorKind::Libc:
+        allocator_ = std::make_unique<runtime::LibcAllocator>(memory_);
+        break;
+      case runtime::AllocatorKind::Asan:
+        allocator_ = std::make_unique<runtime::AsanAllocator>(
+            memory_, cfg_.scheme.quarantineBudget);
+        break;
+      case runtime::AllocatorKind::Rest:
+        allocator_ = std::make_unique<runtime::RestAllocator>(
+            memory_, engine_, cfg_.scheme.quarantineBudget,
+            cfg_.scheme.sprinkleTokensEvery);
+        break;
+    }
+
+    instrumentation_ = runtime::applyScheme(
+        program_, cfg_.scheme, tcr_.granule());
+
+    emulator_ = std::make_unique<Emulator>(
+        program_, memory_, engine_, *allocator_, cfg_.scheme);
+
+    if (cfg_.useInOrderCpu) {
+        inorder_ = std::make_unique<cpu::InOrderCpu>(
+            cfg_.inorderConfig, l1i_, l1d_);
+    } else {
+        o3_ = std::make_unique<cpu::O3Cpu>(
+            cfg_.cpuConfig, cfg_.mode, l1i_, l1d_);
+    }
+}
+
+SystemResult
+System::run()
+{
+    SystemResult res;
+    res.instrumentation = instrumentation_;
+    res.run = o3_ ? o3_->run(*emulator_, cfg_.maxOps)
+                  : inorder_->run(*emulator_, cfg_.maxOps);
+    res.armsExecuted = engine_.armsExecuted();
+    res.disarmsExecuted = engine_.disarmsExecuted();
+
+    // Allocator call counts (per concrete type).
+    if (auto *a = dynamic_cast<runtime::LibcAllocator *>(
+            allocator_.get())) {
+        res.mallocCalls = a->heapState().mallocCalls;
+        res.freeCalls = a->heapState().freeCalls;
+    } else if (auto *a = dynamic_cast<runtime::AsanAllocator *>(
+                   allocator_.get())) {
+        res.mallocCalls = a->heapState().mallocCalls;
+        res.freeCalls = a->heapState().freeCalls;
+    } else if (auto *a = dynamic_cast<runtime::RestAllocator *>(
+                   allocator_.get())) {
+        res.mallocCalls = a->heapState().mallocCalls;
+        res.freeCalls = a->heapState().freeCalls;
+    }
+    return res;
+}
+
+const stats::StatGroup &
+System::cpuStats() const
+{
+    return o3_ ? o3_->statGroup() : inorder_->statGroup();
+}
+
+void
+System::dumpStats(std::ostream &os) const
+{
+    cpuStats().dump(os);
+    l1i_.statGroup().dump(os);
+    l1d_.statGroup().dump(os);
+    l2_.statGroup().dump(os);
+    dram_.statGroup().dump(os);
+}
+
+} // namespace rest::sim

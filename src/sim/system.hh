@@ -1,0 +1,118 @@
+/**
+ * @file
+ * System: assembles one complete simulated machine — guest memory,
+ * token configuration register + REST engine, DRAM/L2/L1 hierarchy
+ * with the REST L1-D, the configured allocator and instrumentation,
+ * the functional emulator, and a timing CPU (out-of-order or
+ * in-order) — and runs a program on it.
+ */
+
+#ifndef REST_SIM_SYSTEM_HH
+#define REST_SIM_SYSTEM_HH
+
+#include <memory>
+
+#include "core/rest_engine.hh"
+#include "core/token.hh"
+#include "cpu/inorder_cpu.hh"
+#include "cpu/o3_cpu.hh"
+#include "isa/program.hh"
+#include "mem/cache.hh"
+#include "mem/dram.hh"
+#include "mem/guest_memory.hh"
+#include "mem/rest_l1_cache.hh"
+#include "runtime/allocator.hh"
+#include "runtime/instrumentation.hh"
+#include "runtime/runtime_config.hh"
+#include "sim/emulator.hh"
+
+namespace rest::sim
+{
+
+/** Everything configurable about one run. */
+struct SystemConfig
+{
+    runtime::SchemeConfig scheme;
+    core::RestMode mode = core::RestMode::Secure;
+    core::TokenWidth tokenWidth = core::TokenWidth::Bytes64;
+    bool useInOrderCpu = false;
+
+    cpu::CpuConfig cpuConfig;
+    cpu::InOrderConfig inorderConfig;
+    mem::CacheConfig l1iConfig = mem::CacheConfig::l1i();
+    mem::CacheConfig l1dConfig = mem::CacheConfig::l1d();
+    mem::CacheConfig l2Config = mem::CacheConfig::l2();
+    mem::DramConfig dramConfig;
+
+    std::uint64_t maxOps = ~std::uint64_t(0);
+    std::uint64_t tokenSeed = 0xc0ffee;
+};
+
+/** Outcome of a System::run(). */
+struct SystemResult
+{
+    cpu::RunResult run;
+    runtime::InstrumentationSummary instrumentation;
+    std::uint64_t armsExecuted = 0;
+    std::uint64_t disarmsExecuted = 0;
+    std::uint64_t mallocCalls = 0;
+    std::uint64_t freeCalls = 0;
+
+    bool faulted() const { return run.faulted(); }
+    Cycles cycles() const { return run.cycles; }
+};
+
+/** One simulated machine instance. */
+class System
+{
+  public:
+    /**
+     * @param program un-instrumented program (copied, then finalised
+     *        for the configured scheme).
+     * @param cfg machine + scheme configuration.
+     */
+    System(isa::Program program, const SystemConfig &cfg);
+
+    /** Run to completion / fault / op cap. */
+    SystemResult run();
+
+    // Component access for tests, examples and benches.
+    mem::GuestMemory &memory() { return memory_; }
+    core::RestEngine &engine() { return engine_; }
+    const core::TokenConfigRegister &tokenRegister() const
+    { return tcr_; }
+    runtime::Allocator &allocator() { return *allocator_; }
+    Emulator &emulator() { return *emulator_; }
+    mem::RestL1Cache &dcache() { return l1d_; }
+    mem::Cache &icache() { return l1i_; }
+    mem::Cache &l2cache() { return l2_; }
+    const isa::Program &program() const { return program_; }
+    const SystemConfig &config() const { return cfg_; }
+
+    /** Timing-CPU stats (whichever model is active). */
+    const stats::StatGroup &cpuStats() const;
+
+    /** Dump all component stats. */
+    void dumpStats(std::ostream &os) const;
+
+  private:
+    SystemConfig cfg_;
+    mem::GuestMemory memory_;
+    Xoshiro256ss rng_;
+    core::TokenConfigRegister tcr_;
+    core::RestEngine engine_;
+    mem::Dram dram_;
+    mem::Cache l2_;
+    mem::Cache l1i_;
+    mem::RestL1Cache l1d_;
+    std::unique_ptr<runtime::Allocator> allocator_;
+    isa::Program program_;
+    runtime::InstrumentationSummary instrumentation_;
+    std::unique_ptr<Emulator> emulator_;
+    std::unique_ptr<cpu::O3Cpu> o3_;
+    std::unique_ptr<cpu::InOrderCpu> inorder_;
+};
+
+} // namespace rest::sim
+
+#endif // REST_SIM_SYSTEM_HH

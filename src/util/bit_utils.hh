@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Alignment and bit-manipulation helpers used throughout the memory
+ * system and the REST primitive (token alignment checks in particular).
+ */
+
+#ifndef REST_UTIL_BIT_UTILS_HH
+#define REST_UTIL_BIT_UTILS_HH
+
+#include <bit>
+#include <cstdint>
+
+#include "util/types.hh"
+
+namespace rest
+{
+
+/** True iff x is a power of two (and nonzero). */
+constexpr bool
+isPowerOfTwo(std::uint64_t x)
+{
+    return x != 0 && (x & (x - 1)) == 0;
+}
+
+/** Round addr down to a multiple of align (align must be a power of 2). */
+constexpr Addr
+alignDown(Addr addr, std::uint64_t align)
+{
+    return addr & ~(static_cast<Addr>(align) - 1);
+}
+
+/** Round addr up to a multiple of align (align must be a power of 2). */
+constexpr Addr
+alignUp(Addr addr, std::uint64_t align)
+{
+    return (addr + align - 1) & ~(static_cast<Addr>(align) - 1);
+}
+
+/** True iff addr is a multiple of align (align must be a power of 2). */
+constexpr bool
+isAligned(Addr addr, std::uint64_t align)
+{
+    return (addr & (align - 1)) == 0;
+}
+
+/** log2 of a power of two. */
+constexpr unsigned
+floorLog2(std::uint64_t x)
+{
+    return 63u - static_cast<unsigned>(std::countl_zero(x));
+}
+
+} // namespace rest
+
+#endif // REST_UTIL_BIT_UTILS_HH

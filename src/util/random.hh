@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation for the simulator.
+ *
+ * All stochastic behaviour in the reproduction (workload generation,
+ * token value selection, allocator entropy) flows through Xoshiro256ss
+ * instances seeded explicitly, so every experiment is exactly
+ * reproducible from its seed.
+ */
+
+#ifndef REST_UTIL_RANDOM_HH
+#define REST_UTIL_RANDOM_HH
+
+#include <array>
+#include <cstdint>
+
+namespace rest
+{
+
+/**
+ * xoshiro256** generator (Blackman & Vigna). Small, fast, and good
+ * enough statistical quality for workload synthesis and token values.
+ */
+class Xoshiro256ss
+{
+  public:
+    using result_type = std::uint64_t;
+
+    /** Construct from a 64-bit seed, expanded via splitmix64. */
+    explicit Xoshiro256ss(std::uint64_t seed = 0x9e3779b97f4a7c15ull)
+    {
+        std::uint64_t x = seed;
+        for (auto &word : state_) {
+            // splitmix64 step
+            x += 0x9e3779b97f4a7c15ull;
+            std::uint64_t z = x;
+            z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+            z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+            word = z ^ (z >> 31);
+        }
+    }
+
+    static constexpr result_type min() { return 0; }
+    static constexpr result_type max() { return ~result_type(0); }
+
+    /** Next 64 uniformly distributed bits. */
+    result_type
+    operator()()
+    {
+        const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+        const std::uint64_t t = state_[1] << 17;
+        state_[2] ^= state_[0];
+        state_[3] ^= state_[1];
+        state_[1] ^= state_[2];
+        state_[0] ^= state_[3];
+        state_[2] ^= t;
+        state_[3] = rotl(state_[3], 45);
+        return result;
+    }
+
+    /** Uniform integer in [0, bound). bound must be nonzero. */
+    std::uint64_t
+    below(std::uint64_t bound)
+    {
+        // Lemire-style rejection-free-enough reduction; bias is
+        // negligible for the bounds used in workload synthesis.
+        return static_cast<std::uint64_t>(
+            (static_cast<unsigned __int128>(operator()()) * bound) >> 64);
+    }
+
+    /** Uniform integer in [lo, hi] inclusive. */
+    std::uint64_t
+    range(std::uint64_t lo, std::uint64_t hi)
+    {
+        return lo + below(hi - lo + 1);
+    }
+
+    /** Uniform double in [0, 1). */
+    double
+    real()
+    {
+        return (operator()() >> 11) * (1.0 / 9007199254740992.0);
+    }
+
+    /** Bernoulli draw with probability p. */
+    bool chance(double p) { return real() < p; }
+
+  private:
+    static std::uint64_t
+    rotl(std::uint64_t x, int k)
+    {
+        return (x << k) | (x >> (64 - k));
+    }
+
+    std::array<std::uint64_t, 4> state_;
+};
+
+} // namespace rest
+
+#endif // REST_UTIL_RANDOM_HH

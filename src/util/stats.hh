@@ -1,0 +1,189 @@
+/**
+ * @file
+ * A small statistics package in the spirit of gem5's Stats.
+ *
+ * Components register named statistics with a StatGroup; the group can
+ * be dumped in a stable, machine-parsable "name value # desc" format.
+ * Three kinds are provided:
+ *   - Scalar:    a named 64-bit counter (also usable as a gauge),
+ *   - Distribution: a bucketed histogram with min/max/mean tracking,
+ *   - Formula:   a derived value computed at dump time.
+ */
+
+#ifndef REST_UTIL_STATS_HH
+#define REST_UTIL_STATS_HH
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "util/logging.hh"
+
+namespace rest::stats
+{
+
+/** A named 64-bit counter. */
+class Scalar
+{
+  public:
+    Scalar() = default;
+
+    Scalar &operator++() { ++value_; return *this; }
+    Scalar &operator+=(std::uint64_t n) { value_ += n; return *this; }
+    void set(std::uint64_t v) { value_ = v; }
+    void reset() { value_ = 0; }
+
+    std::uint64_t value() const { return value_; }
+
+  private:
+    std::uint64_t value_ = 0;
+};
+
+/** A bucketed histogram with running sum for the mean. */
+class Distribution
+{
+  public:
+    /** Configure with bucket boundaries (upper edges, ascending). */
+    void
+    init(std::vector<std::uint64_t> upper_edges)
+    {
+        edges_ = std::move(upper_edges);
+        buckets_.assign(edges_.size() + 1, 0);
+    }
+
+    /** Record one sample. */
+    void
+    sample(std::uint64_t v)
+    {
+        ++count_;
+        sum_ += v;
+        if (count_ == 1 || v < min_) min_ = v;
+        if (v > max_) max_ = v;
+        std::size_t i = 0;
+        while (i < edges_.size() && v > edges_[i])
+            ++i;
+        if (i < buckets_.size())
+            ++buckets_[i];
+    }
+
+    void
+    reset()
+    {
+        count_ = sum_ = min_ = max_ = 0;
+        buckets_.assign(buckets_.size(), 0);
+    }
+
+    std::uint64_t count() const { return count_; }
+    std::uint64_t sum() const { return sum_; }
+    std::uint64_t minValue() const { return min_; }
+    std::uint64_t maxValue() const { return max_; }
+    double mean() const { return count_ ? double(sum_) / count_ : 0.0; }
+    const std::vector<std::uint64_t> &buckets() const { return buckets_; }
+    const std::vector<std::uint64_t> &edges() const { return edges_; }
+
+  private:
+    std::vector<std::uint64_t> edges_;
+    std::vector<std::uint64_t> buckets_;
+    std::uint64_t count_ = 0;
+    std::uint64_t sum_ = 0;
+    std::uint64_t min_ = 0;
+    std::uint64_t max_ = 0;
+};
+
+/** A derived statistic evaluated lazily at dump time. */
+class Formula
+{
+  public:
+    Formula() = default;
+    explicit Formula(std::function<double()> fn) : fn_(std::move(fn)) {}
+
+    void set(std::function<double()> fn) { fn_ = std::move(fn); }
+    double value() const { return fn_ ? fn_() : 0.0; }
+
+  private:
+    std::function<double()> fn_;
+};
+
+/**
+ * A registry of named statistics belonging to one simulated component.
+ * Groups can nest via dotted prefixes supplied by the owner.
+ */
+class StatGroup
+{
+  public:
+    explicit StatGroup(std::string name) : name_(std::move(name)) {}
+
+    StatGroup(const StatGroup &) = delete;
+    StatGroup &operator=(const StatGroup &) = delete;
+
+    /** Register a scalar under this group; returns a reference. */
+    Scalar &
+    addScalar(const std::string &stat, const std::string &desc)
+    {
+        auto [it, inserted] = scalars_.try_emplace(stat);
+        rest_assert(inserted, "duplicate scalar stat ", name_, ".", stat);
+        descs_[stat] = desc;
+        return it->second;
+    }
+
+    /** Register a distribution under this group. */
+    Distribution &
+    addDistribution(const std::string &stat, const std::string &desc,
+                    std::vector<std::uint64_t> edges)
+    {
+        auto [it, inserted] = dists_.try_emplace(stat);
+        rest_assert(inserted, "duplicate dist stat ", name_, ".", stat);
+        it->second.init(std::move(edges));
+        descs_[stat] = desc;
+        return it->second;
+    }
+
+    /** Register a formula under this group. */
+    Formula &
+    addFormula(const std::string &stat, const std::string &desc,
+               std::function<double()> fn)
+    {
+        auto [it, inserted] = formulas_.try_emplace(stat,
+                                                    Formula(std::move(fn)));
+        rest_assert(inserted, "duplicate formula stat ", name_, ".", stat);
+        descs_[stat] = desc;
+        return it->second;
+    }
+
+    /** Look up a scalar's current value (0 if absent). */
+    std::uint64_t
+    scalarValue(const std::string &stat) const
+    {
+        auto it = scalars_.find(stat);
+        return it == scalars_.end() ? 0 : it->second.value();
+    }
+
+    /** Reset every statistic in the group. */
+    void
+    resetAll()
+    {
+        for (auto &kv : scalars_)
+            kv.second.reset();
+        for (auto &kv : dists_)
+            kv.second.reset();
+    }
+
+    /** Dump all stats in "group.stat  value  # desc" format. */
+    void dump(std::ostream &os) const;
+
+    const std::string &name() const { return name_; }
+
+  private:
+    std::string name_;
+    std::map<std::string, Scalar> scalars_;
+    std::map<std::string, Distribution> dists_;
+    std::map<std::string, Formula> formulas_;
+    std::map<std::string, std::string> descs_;
+};
+
+} // namespace rest::stats
+
+#endif // REST_UTIL_STATS_HH

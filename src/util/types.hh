@@ -1,0 +1,37 @@
+/**
+ * @file
+ * Fundamental scalar types shared across the REST simulator.
+ *
+ * These mirror the conventions of classic architecture simulators:
+ * a guest (virtual) address type, a simulated-time tick type, and a
+ * cycle count type. Keeping them distinct typedefs makes interfaces
+ * self-documenting even though they share an underlying representation.
+ */
+
+#ifndef REST_UTIL_TYPES_HH
+#define REST_UTIL_TYPES_HH
+
+#include <cstddef>
+#include <cstdint>
+
+namespace rest
+{
+
+/** Guest (simulated) virtual address. */
+using Addr = std::uint64_t;
+
+/** Simulated time in cycles of the core clock. */
+using Cycles = std::uint64_t;
+
+/** Simulated time in abstract ticks (1 tick == 1 core cycle here). */
+using Tick = std::uint64_t;
+
+/** A count of dynamic instructions. */
+using InstCount = std::uint64_t;
+
+/** An invalid / "no address" sentinel. */
+inline constexpr Addr invalidAddr = ~static_cast<Addr>(0);
+
+} // namespace rest
+
+#endif // REST_UTIL_TYPES_HH

@@ -1,0 +1,192 @@
+#include "workload/attack_scenarios.hh"
+
+#include "util/logging.hh"
+
+namespace rest::workload::attacks
+{
+
+using isa::FuncBuilder;
+using isa::Opcode;
+using isa::RegId;
+
+namespace
+{
+
+constexpr RegId r1 = 1, r2 = 2, r3 = 3, r4 = 4, r5 = 5, r13 = 13;
+
+/** Emit: r_dst = malloc(bytes). */
+void
+emitMalloc(FuncBuilder &b, RegId r_dst, std::int64_t bytes)
+{
+    b.movImm(r13, bytes);
+    b.emit({Opcode::RtMalloc, isa::noReg, r13, isa::noReg, 8, 0, -1,
+            -1});
+    b.mov(r_dst, isa::regRet);
+}
+
+/** Emit: memset(r_dst, value, bytes). */
+void
+emitMemset(FuncBuilder &b, RegId r_dst, std::uint8_t value,
+           std::int64_t bytes)
+{
+    b.movImm(r13, bytes);
+    b.movImm(r2, value);
+    b.emit({Opcode::RtMemset, r13, r_dst, r2, 8, 0, -1, -1});
+}
+
+/** Emit a store loop writing 'words' 8-byte words from [r_base]. */
+void
+emitStoreSweep(FuncBuilder &b, RegId r_base, std::int64_t words)
+{
+    b.movImm(r2, words);
+    b.mov(r3, r_base);
+    int loop = b.here();
+    b.store(r2, r3, 0, 8);
+    b.addI(r3, r3, 8);
+    b.addI(r2, r2, -1);
+    b.branch(Opcode::Bne, r2, isa::regZero, loop);
+}
+
+/** A single-function program from a builder body. */
+isa::Program
+soloProgram(FuncBuilder &&b)
+{
+    isa::Program prog;
+    prog.funcs.push_back(std::move(b).take());
+    return prog;
+}
+
+} // namespace
+
+isa::Program
+heartbleed(std::uint32_t benign_len, std::uint32_t payload_len)
+{
+    rest_assert(payload_len > benign_len,
+                "heartbleed needs an over-read length");
+    FuncBuilder b("main");
+    // The benign request buffer, filled with marker bytes.
+    emitMalloc(b, r1, benign_len);
+    emitMemset(b, r1, 0x11, benign_len);
+    // A "secret" allocation nearby (passwords, keys...).
+    emitMalloc(b, r4, 64);
+    emitMemset(b, r4, 0xa5, 64);
+    // The response buffer the server will send back.
+    emitMalloc(b, r5, payload_len);
+    // The bug: attacker-controlled length, no validation (Listing 1
+    // line 14: memcpy(buffer, p, payload)).
+    b.movImm(r3, payload_len);
+    b.emit({Opcode::RtMemcpy, r3, r5, r1, 8, 0, -1, -1});
+    b.halt();
+    return soloProgram(std::move(b));
+}
+
+isa::Program
+heapOverflowWrite(std::uint32_t buf_len, std::uint32_t n)
+{
+    FuncBuilder b("main");
+    emitMalloc(b, r1, buf_len);
+    emitStoreSweep(b, r1, n);
+    b.halt();
+    return soloProgram(std::move(b));
+}
+
+isa::Program
+heapUnderflowRead(std::uint32_t buf_len, std::uint32_t offset)
+{
+    FuncBuilder b("main");
+    emitMalloc(b, r1, buf_len);
+    b.load(r2, r1, -static_cast<std::int64_t>(offset), 8);
+    b.halt();
+    return soloProgram(std::move(b));
+}
+
+isa::Program
+useAfterFree(std::uint32_t buf_len)
+{
+    FuncBuilder b("main");
+    emitMalloc(b, r1, buf_len);
+    emitMemset(b, r1, 0x22, buf_len);
+    b.emit({Opcode::RtFree, isa::noReg, r1, isa::noReg, 8, 0, -1, -1});
+    // The dangling dereference.
+    b.load(r2, r1, 0, 8);
+    b.halt();
+    return soloProgram(std::move(b));
+}
+
+isa::Program
+doubleFree(std::uint32_t buf_len)
+{
+    FuncBuilder b("main");
+    emitMalloc(b, r1, buf_len);
+    b.emit({Opcode::RtFree, isa::noReg, r1, isa::noReg, 8, 0, -1, -1});
+    b.emit({Opcode::RtFree, isa::noReg, r1, isa::noReg, 8, 0, -1, -1});
+    b.halt();
+    return soloProgram(std::move(b));
+}
+
+namespace
+{
+
+/** Shared body for the stack overflow scenarios. */
+isa::Program
+stackSweepProgram(std::uint32_t buf_len, std::int64_t words)
+{
+    isa::Program prog;
+
+    FuncBuilder main_fn("main");
+    main_fn.call(1);
+    main_fn.halt();
+    prog.funcs.push_back(std::move(main_fn).take());
+
+    FuncBuilder victim("victim");
+    int buf = victim.stackBuf(buf_len, true);
+    victim.leaBuf(r1, buf);
+    emitStoreSweep(victim, r1, words);
+    victim.ret();
+    prog.funcs.push_back(std::move(victim).take());
+    return prog;
+}
+
+} // namespace
+
+isa::Program
+stackOverflowWrite(std::uint32_t buf_len, std::uint32_t n)
+{
+    return stackSweepProgram(buf_len, n);
+}
+
+isa::Program
+stackPadOverflow(std::uint32_t buf_len, std::uint32_t overflow_bytes)
+{
+    return stackSweepProgram(buf_len,
+                             (buf_len + overflow_bytes + 7) / 8);
+}
+
+isa::Program
+strcpyOverflow(std::uint32_t buf_len, std::uint32_t str_len)
+{
+    FuncBuilder b("main");
+    // The source string: str_len non-zero bytes, NUL-terminated.
+    emitMalloc(b, r4, str_len + 8);
+    emitMemset(b, r4, 0x41, str_len); // "AAAA..."; NUL follows
+    // The undersized destination.
+    emitMalloc(b, r1, buf_len);
+    // strcpy(dst = r1, src = r4)
+    b.emit({Opcode::RtStrcpy, isa::noReg, r1, r4, 8, 0, -1, -1});
+    b.halt();
+    return soloProgram(std::move(b));
+}
+
+isa::Program
+bruteForceDisarm()
+{
+    FuncBuilder b("main");
+    // Allocate something so the heap is live, then blind-disarm its
+    // (unarmed) payload: the attacker does not know the armed layout.
+    emitMalloc(b, r1, 64);
+    b.emit({Opcode::Disarm, isa::noReg, r1, isa::noReg, 8, 0, -1, -1});
+    b.halt();
+    return soloProgram(std::move(b));
+}
+
+} // namespace rest::workload::attacks

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Directed attack-scenario programs exercising the detection paths of
+ * the paper:
+ *   - heartbleed: the Listing-1 bug — an attacker-controlled memcpy
+ *     length over-reads a heap buffer (Fig. 1),
+ *   - heap overflow/underflow: sequential out-of-bounds writes/reads,
+ *   - use-after-free and double free (temporal safety, §IV-A),
+ *   - stack buffer overflow (Fig. 6 stack layout),
+ *   - brute-force disarm (§V-B: disarming an unarmed location),
+ *   - pad overflow: a small overflow that lands in the alignment pad,
+ *     the documented false-negative gap (§V-C).
+ *
+ * Every builder returns an un-instrumented program; finalise with
+ * runtime::applyScheme() for the scheme under test.
+ */
+
+#ifndef REST_WORKLOAD_ATTACK_SCENARIOS_HH
+#define REST_WORKLOAD_ATTACK_SCENARIOS_HH
+
+#include <cstdint>
+
+#include "isa/program.hh"
+
+namespace rest::workload::attacks
+{
+
+/**
+ * The Heartbleed pattern: allocate a request buffer of
+ * 'benign_len' bytes, a response buffer of 'payload_len' bytes, then
+ * memcpy(response, request, payload_len) with payload_len >
+ * benign_len. A "secret" allocation adjacent to the request buffer
+ * holds the byte pattern 0xA5. Under REST the over-read trips the
+ * right redzone; unprotected, secret bytes are leaked into the
+ * response.
+ */
+isa::Program heartbleed(std::uint32_t benign_len,
+                        std::uint32_t payload_len);
+
+/** Sequential heap overflow: write 'n' 8-byte words from buf[0]. */
+isa::Program heapOverflowWrite(std::uint32_t buf_len, std::uint32_t n);
+
+/** Heap underflow read: load at buf[-offset]. */
+isa::Program heapUnderflowRead(std::uint32_t buf_len,
+                               std::uint32_t offset);
+
+/** Use-after-free: malloc, free, then load through the stale ptr. */
+isa::Program useAfterFree(std::uint32_t buf_len);
+
+/** Double free of the same allocation. */
+isa::Program doubleFree(std::uint32_t buf_len);
+
+/**
+ * Stack overflow: a leaf function with a 'buf_len'-byte buffer writes
+ * 'n' 8-byte words from buf[0] upward.
+ */
+isa::Program stackOverflowWrite(std::uint32_t buf_len, std::uint32_t n);
+
+/**
+ * Brute-force disarm (§V-B): the program executes a disarm on a heap
+ * location that holds no token, modelling an attacker guessing armed
+ * addresses through a disarm gadget.
+ */
+isa::Program bruteForceDisarm();
+
+/**
+ * strcpy overflow: copy a 'str_len'-byte string (plus NUL) into a
+ * 'buf_len'-byte heap buffer through the unbounded libc strcpy.
+ */
+isa::Program strcpyOverflow(std::uint32_t buf_len,
+                            std::uint32_t str_len);
+
+/**
+ * Pad overflow (§V-C false negative): overflow a stack buffer by
+ * 'overflow_bytes' — if that lands inside the alignment pad rather
+ * than the token granule, REST does not detect it.
+ */
+isa::Program stackPadOverflow(std::uint32_t buf_len,
+                              std::uint32_t overflow_bytes);
+
+} // namespace rest::workload::attacks
+
+#endif // REST_WORKLOAD_ATTACK_SCENARIOS_HH

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * SPEC CPU2006-like synthetic workload profiles and their program
+ * generator.
+ *
+ * The paper evaluates the 12 C/C++ SPEC CPU2006 benchmarks shown in
+ * its Figures 3/7/8. We cannot ship SPEC, so each benchmark is
+ * replaced by a deterministic synthetic program parameterised by the
+ * characteristics that drive the protection-scheme overheads:
+ * instruction mix, working-set size and access pattern, heap
+ * allocation rate and size distribution (the paper quotes xalancbmk
+ * at ~0.2 allocations per kilo-instruction and lbm/sjeng at fewer
+ * than 10 allocation calls total), memcpy intensity, function-call
+ * rate (stack-protection cost) and branch behaviour. See DESIGN.md §1
+ * for the substitution argument.
+ */
+
+#ifndef REST_WORKLOAD_SPEC_PROFILES_HH
+#define REST_WORKLOAD_SPEC_PROFILES_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "isa/program.hh"
+
+namespace rest::workload
+{
+
+/** Tunable characteristics of one synthetic benchmark. */
+struct BenchProfile
+{
+    std::string name;
+
+    // Instruction mix of the inner-loop body (approximate fractions;
+    // the remainder becomes integer ALU work).
+    double loadFrac = 0.25;
+    double storeFrac = 0.10;
+    double fpFrac = 0.0;
+    double mulFrac = 0.02;
+
+    // Memory behaviour.
+    std::size_t workingSetBytes = 256 * 1024; ///< power of two
+    bool pointerChase = false;   ///< linked-list traversal pattern
+
+    // Heap behaviour.
+    double allocsPerKiloInst = 0.0;
+    std::size_t allocSizeMin = 32;
+    std::size_t allocSizeMax = 512;
+    unsigned liveRingSlots = 64; ///< live churn allocations
+
+    // libc-call behaviour.
+    double memcpysPerKiloInst = 0.0;
+    std::size_t memcpyLen = 256;
+
+    // Call/stack behaviour.
+    unsigned numWorkFuncs = 4;
+    unsigned innerIters = 24;    ///< inner-loop trips per call
+    unsigned stackBufsPerFunc = 1;
+    std::size_t stackBufBytes = 32;
+
+    // Control behaviour.
+    double irregularBranchFrac = 0.0; ///< data-independent but noisy
+
+    /** Target dynamic length of the uninstrumented program. */
+    std::uint64_t targetKiloInsts = 2000;
+
+    std::uint64_t seed = 0x5eed;
+};
+
+/** The 12 benchmarks of the paper's figures. */
+std::vector<BenchProfile> specSuite();
+
+/** Look up one profile by name (fatal if unknown). */
+BenchProfile profileByName(const std::string &name);
+
+/**
+ * Generate the synthetic program for a profile. The result is
+ * un-instrumented (symbolic stack buffers, single-exit functions);
+ * finalise it with runtime::applyScheme() before emulation.
+ */
+isa::Program generate(const BenchProfile &profile);
+
+} // namespace rest::workload
+
+#endif // REST_WORKLOAD_SPEC_PROFILES_HH

@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Shared helpers for the test suite.
+ */
+
+#ifndef REST_TESTS_COMMON_TEST_UTIL_HH
+#define REST_TESTS_COMMON_TEST_UTIL_HH
+
+#include "sim/experiment.hh"
+#include "sim/system.hh"
+#include "workload/attack_scenarios.hh"
+
+namespace rest::test
+{
+
+/** Run a program to completion under a config; return the result. */
+inline sim::SystemResult
+runProgram(isa::Program program, const sim::SystemConfig &cfg)
+{
+    sim::System system(std::move(program), cfg);
+    return system.run();
+}
+
+/** Run a program under a named experiment preset. */
+inline sim::SystemResult
+runUnder(isa::Program program, sim::ExpConfig config,
+         core::TokenWidth width = core::TokenWidth::Bytes64)
+{
+    return runProgram(std::move(program),
+                      sim::makeSystemConfig(config, width));
+}
+
+/** Shorthand: the violation kind a run raised (None if clean). */
+inline core::ViolationKind
+violationOf(const sim::SystemResult &result)
+{
+    return result.run.violation.kind;
+}
+
+} // namespace rest::test
+
+#endif // REST_TESTS_COMMON_TEST_UTIL_HH

@@ -1,0 +1,120 @@
+#include <gtest/gtest.h>
+
+#include "core/rest_engine.hh"
+
+namespace rest::core
+{
+
+class RestEngineTest : public ::testing::TestWithParam<TokenWidth>
+{
+  protected:
+    void
+    SetUp() override
+    {
+        Xoshiro256ss rng(11);
+        tcr_.writePrivileged(TokenValue::generate(rng, GetParam()),
+                             RestMode::Secure);
+        engine_ = std::make_unique<RestEngine>(tcr_);
+    }
+
+    unsigned g() const { return tcr_.granule(); }
+
+    TokenConfigRegister tcr_;
+    std::unique_ptr<RestEngine> engine_;
+};
+
+TEST_P(RestEngineTest, ArmThenAccessFaults)
+{
+    Addr a = 0x1000;
+    EXPECT_TRUE(engine_->arm(a).ok());
+    EXPECT_TRUE(engine_->isArmed(a));
+    EXPECT_EQ(engine_->checkAccess(a, 8).violation,
+              ViolationKind::TokenAccess);
+    EXPECT_EQ(engine_->checkAccess(a + g() - 1, 1).violation,
+              ViolationKind::TokenAccess);
+}
+
+TEST_P(RestEngineTest, UnarmedAccessOk)
+{
+    EXPECT_TRUE(engine_->checkAccess(0x1000, 8).ok());
+    engine_->arm(0x1000);
+    // The granule after the armed one is clean.
+    EXPECT_TRUE(engine_->checkAccess(0x1000 + g(), 8).ok());
+}
+
+TEST_P(RestEngineTest, StraddlingAccessFaults)
+{
+    engine_->arm(0x1000 + g()); // arm the second granule
+    // 8-byte access straddling the granule boundary touches it.
+    EXPECT_EQ(engine_->checkAccess(0x1000 + g() - 4, 8).violation,
+              ViolationKind::TokenAccess);
+}
+
+TEST_P(RestEngineTest, MisalignedArmFaults)
+{
+    EXPECT_EQ(engine_->arm(0x1001).violation,
+              ViolationKind::MisalignedRestInst);
+    EXPECT_EQ(engine_->arm(0x1000 + g() / 2).violation,
+              ViolationKind::MisalignedRestInst);
+    EXPECT_EQ(engine_->armedCount(), 0u);
+}
+
+TEST_P(RestEngineTest, MisalignedDisarmFaults)
+{
+    EXPECT_EQ(engine_->disarm(0x1001).violation,
+              ViolationKind::MisalignedRestInst);
+}
+
+TEST_P(RestEngineTest, DisarmUnarmedFaults)
+{
+    // §V-B brute-force disarm: precise location required.
+    EXPECT_EQ(engine_->disarm(0x1000).violation,
+              ViolationKind::DisarmUnarmed);
+}
+
+TEST_P(RestEngineTest, ArmDisarmRoundTrip)
+{
+    engine_->arm(0x2000);
+    EXPECT_TRUE(engine_->disarm(0x2000).ok());
+    EXPECT_FALSE(engine_->isArmed(0x2000));
+    EXPECT_TRUE(engine_->checkAccess(0x2000, 8).ok());
+    // Second disarm faults: token already removed.
+    EXPECT_EQ(engine_->disarm(0x2000).violation,
+              ViolationKind::DisarmUnarmed);
+}
+
+TEST_P(RestEngineTest, ArmIsIdempotent)
+{
+    engine_->arm(0x3000);
+    engine_->arm(0x3000);
+    EXPECT_EQ(engine_->armedCount(), 1u);
+    EXPECT_TRUE(engine_->disarm(0x3000).ok());
+    EXPECT_EQ(engine_->armedCount(), 0u);
+}
+
+TEST_P(RestEngineTest, CountsAndReset)
+{
+    engine_->arm(0x1000);
+    engine_->arm(0x1000 + g());
+    engine_->disarm(0x1000);
+    EXPECT_EQ(engine_->armsExecuted(), 2u);
+    EXPECT_EQ(engine_->disarmsExecuted(), 1u);
+    EXPECT_EQ(engine_->armedCount(), 1u);
+    engine_->reset();
+    EXPECT_EQ(engine_->armedCount(), 0u);
+    EXPECT_EQ(engine_->armsExecuted(), 0u);
+}
+
+TEST_P(RestEngineTest, OverlapsArmedMatchesCheckAccess)
+{
+    engine_->arm(0x4000);
+    EXPECT_TRUE(engine_->overlapsArmed(0x4000 + g() / 2, 4));
+    EXPECT_FALSE(engine_->overlapsArmed(0x4000 + g(), 4));
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, RestEngineTest,
+                         ::testing::Values(TokenWidth::Bytes16,
+                                           TokenWidth::Bytes32,
+                                           TokenWidth::Bytes64));
+
+} // namespace rest::core

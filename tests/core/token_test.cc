@@ -1,0 +1,113 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/token.hh"
+
+namespace rest::core
+{
+
+TEST(TokenValue, GenerateRespectsWidth)
+{
+    Xoshiro256ss rng(1);
+    for (auto w : {TokenWidth::Bytes16, TokenWidth::Bytes32,
+                   TokenWidth::Bytes64}) {
+        TokenValue t = TokenValue::generate(rng, w);
+        EXPECT_EQ(t.sizeBytes(), tokenBytes(w));
+        EXPECT_EQ(t.bytes().size(), tokenBytes(w));
+    }
+}
+
+TEST(TokenValue, MatchesOwnBytes)
+{
+    Xoshiro256ss rng(2);
+    TokenValue t = TokenValue::generate(rng, TokenWidth::Bytes64);
+    EXPECT_TRUE(t.matches(t.bytes()));
+}
+
+TEST(TokenValue, DoesNotMatchPerturbedBytes)
+{
+    Xoshiro256ss rng(3);
+    TokenValue t = TokenValue::generate(rng, TokenWidth::Bytes32);
+    std::vector<std::uint8_t> buf(t.bytes().begin(), t.bytes().end());
+    buf[7] ^= 1;
+    EXPECT_FALSE(t.matches(buf));
+}
+
+TEST(TokenValue, DoesNotMatchWrongLength)
+{
+    Xoshiro256ss rng(4);
+    TokenValue t = TokenValue::generate(rng, TokenWidth::Bytes64);
+    std::vector<std::uint8_t> buf(t.bytes().begin(),
+                                  t.bytes().begin() + 32);
+    EXPECT_FALSE(t.matches(buf));
+}
+
+TEST(TokenValue, ZeroChunkNeverMatchesGeneratedToken)
+{
+    // A zeroed granule must never look like a token, or zeroed free
+    // pools would fault (§V-B false positives).
+    Xoshiro256ss rng(5);
+    for (int i = 0; i < 100; ++i) {
+        TokenValue t = TokenValue::generate(rng, TokenWidth::Bytes16);
+        std::vector<std::uint8_t> zeros(t.sizeBytes(), 0);
+        EXPECT_FALSE(t.matches(zeros));
+    }
+}
+
+TEST(TokenValue, GeneratedTokensAreDistinct)
+{
+    Xoshiro256ss rng(6);
+    TokenValue a = TokenValue::generate(rng, TokenWidth::Bytes64);
+    TokenValue b = TokenValue::generate(rng, TokenWidth::Bytes64);
+    EXPECT_FALSE(a == b);
+}
+
+TEST(TokenConfigRegister, PrivilegedWriteInstalls)
+{
+    Xoshiro256ss rng(7);
+    TokenConfigRegister tcr;
+    TokenValue t = TokenValue::generate(rng, TokenWidth::Bytes32);
+    tcr.writePrivileged(t, RestMode::Debug);
+    EXPECT_TRUE(tcr.token() == t);
+    EXPECT_EQ(tcr.mode(), RestMode::Debug);
+    EXPECT_EQ(tcr.granule(), 32u);
+}
+
+TEST(TokenConfigRegister, UserWriteRefused)
+{
+    TokenConfigRegister tcr;
+    EXPECT_FALSE(tcr.writeUser());
+}
+
+TEST(TokenConfigRegister, RotationChangesValueKeepsWidth)
+{
+    Xoshiro256ss rng(8);
+    TokenConfigRegister tcr;
+    tcr.writePrivileged(TokenValue::generate(rng, TokenWidth::Bytes16),
+                        RestMode::Secure);
+    TokenValue before = tcr.token();
+    auto gen = tcr.generation();
+    tcr.rotate(rng);
+    EXPECT_FALSE(tcr.token() == before);
+    EXPECT_EQ(tcr.granule(), 16u);
+    EXPECT_GT(tcr.generation(), gen);
+}
+
+TEST(TokenConfigRegister, FalsePositiveProbabilityIsNegligible)
+{
+    // §V-B: the chance of program data matching a 128-bit-plus token
+    // is ~2^-128. Empirically: random chunks never match.
+    Xoshiro256ss rng(9);
+    TokenConfigRegister tcr;
+    tcr.writePrivileged(TokenValue::generate(rng, TokenWidth::Bytes16),
+                        RestMode::Secure);
+    std::vector<std::uint8_t> chunk(16);
+    for (int i = 0; i < 100000; ++i) {
+        for (auto &byte : chunk)
+            byte = static_cast<std::uint8_t>(rng());
+        ASSERT_FALSE(tcr.token().matches(chunk));
+    }
+}
+
+} // namespace rest::core

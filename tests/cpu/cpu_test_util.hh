@@ -1,0 +1,171 @@
+/**
+ * @file
+ * Helpers for driving the CPU timing models with synthetic op streams.
+ */
+
+#ifndef REST_TESTS_CPU_CPU_TEST_UTIL_HH
+#define REST_TESTS_CPU_CPU_TEST_UTIL_HH
+
+#include <vector>
+
+#include "core/token.hh"
+#include "isa/dyn_op.hh"
+#include "mem/cache.hh"
+#include "mem/dram.hh"
+#include "mem/guest_memory.hh"
+#include "mem/rest_l1_cache.hh"
+#include "util/random.hh"
+
+namespace rest::test
+{
+
+/** TraceSource over a pre-built vector of ops. */
+class VectorTrace : public isa::TraceSource
+{
+  public:
+    explicit VectorTrace(std::vector<isa::DynOp> ops)
+        : ops_(std::move(ops))
+    {}
+
+    bool
+    next(isa::DynOp &out) override
+    {
+        if (pos_ >= ops_.size())
+            return false;
+        out = ops_[pos_];
+        out.seq = pos_++;
+        return true;
+    }
+
+  private:
+    std::vector<isa::DynOp> ops_;
+    std::size_t pos_ = 0;
+};
+
+/** Builder for synthetic op vectors. */
+class OpStream
+{
+  public:
+    std::vector<isa::DynOp> ops;
+
+    isa::DynOp &
+    alu(isa::RegId rd = isa::noReg, isa::RegId rs1 = isa::noReg,
+        isa::RegId rs2 = isa::noReg)
+    {
+        isa::DynOp op;
+        op.op = isa::Opcode::Add;
+        op.cls = isa::OpClass::IntAlu;
+        op.rd = rd;
+        op.rs1 = rs1;
+        op.rs2 = rs2;
+        op.pc = nextPc();
+        ops.push_back(op);
+        return ops.back();
+    }
+
+    isa::DynOp &
+    load(Addr addr, isa::RegId rd = 1, isa::RegId rs1 = isa::noReg,
+         unsigned size = 8)
+    {
+        isa::DynOp op;
+        op.op = isa::Opcode::Load;
+        op.cls = isa::OpClass::MemRead;
+        op.rd = rd;
+        op.rs1 = rs1;
+        op.eaddr = addr;
+        op.size = static_cast<std::uint8_t>(size);
+        op.pc = nextPc();
+        ops.push_back(op);
+        return ops.back();
+    }
+
+    isa::DynOp &
+    store(Addr addr, isa::RegId rs2 = isa::noReg, unsigned size = 8)
+    {
+        isa::DynOp op;
+        op.op = isa::Opcode::Store;
+        op.cls = isa::OpClass::MemWrite;
+        op.rs2 = rs2;
+        op.eaddr = addr;
+        op.size = static_cast<std::uint8_t>(size);
+        op.pc = nextPc();
+        ops.push_back(op);
+        return ops.back();
+    }
+
+    isa::DynOp &
+    arm(Addr addr, unsigned granule = 64)
+    {
+        isa::DynOp op;
+        op.op = isa::Opcode::Arm;
+        op.cls = isa::OpClass::MemArm;
+        op.eaddr = addr;
+        op.size = static_cast<std::uint8_t>(granule);
+        op.pc = nextPc();
+        ops.push_back(op);
+        return ops.back();
+    }
+
+    isa::DynOp &
+    disarm(Addr addr, unsigned granule = 64)
+    {
+        isa::DynOp op;
+        op.op = isa::Opcode::Disarm;
+        op.cls = isa::OpClass::MemDisarm;
+        op.eaddr = addr;
+        op.size = static_cast<std::uint8_t>(granule);
+        op.pc = nextPc();
+        ops.push_back(op);
+        return ops.back();
+    }
+
+    isa::DynOp &
+    branch(bool taken)
+    {
+        isa::DynOp op;
+        op.op = isa::Opcode::Bne;
+        op.cls = isa::OpClass::Branch;
+        op.isBranch = true;
+        op.taken = taken;
+        op.pc = nextPc();
+        op.nextPc = op.pc + 4;
+        ops.push_back(op);
+        return ops.back();
+    }
+
+  private:
+    // Loop over a 1 KiB code footprint so the I-cache warms up like
+    // real loop code would; straight-line gigabyte text would make
+    // every test I-cache bound.
+    Addr nextPc() { return 0x400000 + 4 * (ops.size() % 256); }
+};
+
+/** A complete little memory system for CPU tests. */
+struct MemSystem
+{
+    MemSystem()
+    {
+        Xoshiro256ss rng(99);
+        tcr.writePrivileged(
+            core::TokenValue::generate(rng, core::TokenWidth::Bytes64),
+            core::RestMode::Secure);
+        dram = std::make_unique<mem::Dram>();
+        l2 = std::make_unique<mem::Cache>(mem::CacheConfig::l2(),
+                                          *dram);
+        l1i = std::make_unique<mem::Cache>(mem::CacheConfig::l1i(),
+                                           *l2);
+        l1d = std::make_unique<mem::RestL1Cache>(
+            mem::CacheConfig::l1d(), *l2, memory, tcr);
+    }
+
+    mem::GuestMemory memory;
+    core::TokenConfigRegister tcr;
+    std::unique_ptr<mem::Dram> dram;
+    std::unique_ptr<mem::Cache> l2;
+    std::unique_ptr<mem::Cache> l1i;
+    std::unique_ptr<mem::RestL1Cache> l1d;
+};
+
+} // namespace rest::test
+
+#endif // REST_TESTS_CPU_CPU_TEST_UTIL_HH

@@ -1,0 +1,95 @@
+#include <gtest/gtest.h>
+
+#include "cpu/cpu_test_util.hh"
+#include "cpu/inorder_cpu.hh"
+
+namespace rest::cpu
+{
+
+using test::MemSystem;
+using test::OpStream;
+using test::VectorTrace;
+
+namespace
+{
+
+RunResult
+runStream(OpStream &s)
+{
+    MemSystem ms;
+    InOrderCpu cpu({}, *ms.l1i, *ms.l1d);
+    VectorTrace trace(s.ops);
+    return cpu.run(trace);
+}
+
+} // namespace
+
+TEST(InOrderCpu, ScalarIssueIsOnePerCycle)
+{
+    OpStream s;
+    const unsigned n = 2000;
+    for (unsigned i = 0; i < n; ++i)
+        s.alu(static_cast<isa::RegId>(1 + i % 8));
+    RunResult r = runStream(s);
+    // Even independent ALU ops cannot beat 1 IPC on a scalar core
+    // (the slack allows the one-time cold I-cache warmup).
+    EXPECT_GE(r.cycles, n);
+    EXPECT_LT(r.cycles, n + n / 4 + 4000);
+}
+
+TEST(InOrderCpu, LoadMissesStallDependents)
+{
+    OpStream cold, warm;
+    for (unsigned i = 0; i < 200; ++i) {
+        cold.load(0x100000 + 4096 * i, 1);
+        cold.alu(2, 1); // stalls on use
+        warm.load(0x100000, 1);
+        warm.alu(2, 1);
+    }
+    RunResult rc = runStream(cold);
+    RunResult rw = runStream(warm);
+    EXPECT_GT(rc.cycles, rw.cycles * 3);
+}
+
+TEST(InOrderCpu, FaultStopsExecution)
+{
+    OpStream s;
+    s.alu(1);
+    s.load(0x2000, 2).fault = isa::FaultKind::AsanReport;
+    s.alu(3);
+    s.alu(4);
+    RunResult r = runStream(s);
+    ASSERT_TRUE(r.faulted());
+    EXPECT_EQ(r.violation.kind, core::ViolationKind::AsanCheckFailed);
+    EXPECT_EQ(r.committedOps, 2u);
+}
+
+TEST(InOrderCpu, SlowerThanOutOfOrderOnIlp)
+{
+    OpStream a, b;
+    for (unsigned i = 0; i < 30000; ++i) {
+        a.alu(static_cast<isa::RegId>(1 + i % 8));
+        b.alu(static_cast<isa::RegId>(1 + i % 8));
+    }
+    MemSystem ms1, ms2;
+    InOrderCpu in({}, *ms1.l1i, *ms1.l1d);
+    O3Cpu o3({}, core::RestMode::Secure, *ms2.l1i, *ms2.l1d);
+    VectorTrace t1(a.ops), t2(b.ops);
+    RunResult ri = in.run(t1);
+    RunResult ro = o3.run(t2);
+    EXPECT_GT(ri.cycles, ro.cycles * 3);
+}
+
+TEST(InOrderCpu, ArmAndDisarmExecuteAsStores)
+{
+    OpStream s;
+    s.arm(0x1000);
+    for (unsigned i = 0; i < 64; ++i)
+        s.alu(1);
+    s.disarm(0x1000);
+    RunResult r = runStream(s);
+    EXPECT_FALSE(r.faulted());
+    EXPECT_EQ(r.committedOps, 66u);
+}
+
+} // namespace rest::cpu

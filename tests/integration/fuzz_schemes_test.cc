@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Fuzz-style whole-system properties: many randomly-generated benign
+ * workloads, run under every protection scheme and token width, must
+ * (a) never fault, (b) preserve program semantics across schemes, and
+ * (c) respect the basic cost ordering the paper establishes.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/test_util.hh"
+#include "workload/spec_profiles.hh"
+
+namespace rest
+{
+
+using sim::ExpConfig;
+
+namespace
+{
+
+workload::BenchProfile
+randomProfile(std::uint64_t seed)
+{
+    Xoshiro256ss rng(seed);
+    workload::BenchProfile p;
+    p.name = "fuzz-" + std::to_string(seed);
+    p.loadFrac = 0.1 + 0.25 * rng.real();
+    p.storeFrac = 0.05 + 0.15 * rng.real();
+    p.fpFrac = rng.chance(0.4) ? 0.2 * rng.real() : 0.0;
+    p.mulFrac = 0.05 * rng.real();
+    p.workingSetBytes = std::size_t(1) << rng.range(14, 19);
+    p.pointerChase = rng.chance(0.25);
+    p.allocsPerKiloInst = rng.chance(0.5) ? 2.0 * rng.real() : 0.0;
+    p.allocSizeMin = 16 << rng.below(3);
+    p.allocSizeMax = p.allocSizeMin * (2 + rng.below(15));
+    p.memcpysPerKiloInst = rng.chance(0.4) ? 0.2 * rng.real() : 0.0;
+    p.memcpyLen = 32 + 8 * rng.below(64);
+    p.numWorkFuncs = 1 + unsigned(rng.below(6));
+    p.innerIters = 8 + unsigned(rng.below(40));
+    p.stackBufsPerFunc = unsigned(rng.below(3));
+    p.stackBufBytes = 16 + 8 * rng.below(12);
+    p.irregularBranchFrac = rng.chance(0.3) ? 0.08 * rng.real() : 0.0;
+    p.targetKiloInsts = 30;
+    p.seed = seed * 77;
+    return p;
+}
+
+} // namespace
+
+class FuzzSchemes : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(FuzzSchemes, BenignUnderEverySchemeAndWidth)
+{
+    auto profile = randomProfile(GetParam());
+    std::uint64_t ref_program_ops = 0;
+    bool first = true;
+    for (auto config : {ExpConfig::Plain, ExpConfig::Asan,
+                        ExpConfig::RestSecureFull,
+                        ExpConfig::RestDebugFull,
+                        ExpConfig::PerfectHwFull,
+                        ExpConfig::RestSecureHeap}) {
+        for (auto width : {core::TokenWidth::Bytes16,
+                           core::TokenWidth::Bytes64}) {
+            auto r = test::runUnder(workload::generate(profile),
+                                    config, width);
+            ASSERT_FALSE(r.faulted())
+                << profile.name << " under "
+                << sim::expConfigName(config) << "/"
+                << core::tokenBytes(width) << "B: "
+                << r.run.violation.toString();
+            std::uint64_t program_ops =
+                r.run.opsBySource[unsigned(isa::OpSource::Program)];
+            if (first) {
+                ref_program_ops = program_ops;
+                first = false;
+            } else {
+                ASSERT_EQ(program_ops, ref_program_ops)
+                    << "program semantics diverged under "
+                    << sim::expConfigName(config);
+            }
+        }
+    }
+}
+
+TEST_P(FuzzSchemes, CostOrderingHolds)
+{
+    auto profile = randomProfile(GetParam());
+    auto plain = test::runUnder(workload::generate(profile),
+                                ExpConfig::Plain);
+    auto secure = test::runUnder(workload::generate(profile),
+                                 ExpConfig::RestSecureFull);
+    auto debug = test::runUnder(workload::generate(profile),
+                                ExpConfig::RestDebugFull);
+    // Debug never beats secure by more than model noise; secure stays
+    // within a modest envelope of plain even on adversarial profiles.
+    EXPECT_GE(double(debug.cycles()) * 1.02,
+              double(secure.cycles()));
+    EXPECT_LT(double(secure.cycles()),
+              double(plain.cycles()) * 1.60);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FuzzSchemes,
+                         ::testing::Range<std::uint64_t>(1, 9));
+
+} // namespace rest

@@ -1,0 +1,197 @@
+/**
+ * @file
+ * End-to-end Table I semantics: small guest programs drive every
+ * action row (arm, disarm, load, store) through the full System —
+ * emulator, LSQ, REST L1-D — in both secure and debug modes.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/test_util.hh"
+
+namespace rest
+{
+
+using isa::FuncBuilder;
+using isa::Opcode;
+using sim::ExpConfig;
+using core::ViolationKind;
+
+namespace
+{
+
+isa::Program
+wrap(FuncBuilder &&b)
+{
+    isa::Program prog;
+    prog.funcs.push_back(std::move(b).take());
+    return prog;
+}
+
+/** Heap address that is granule-aligned for every width. */
+constexpr Addr spot = 0x10000440;
+
+} // namespace
+
+class Table1Test : public ::testing::TestWithParam<ExpConfig>
+{
+  protected:
+    sim::SystemResult
+    run(isa::Program prog)
+    {
+        return test::runProgram(std::move(prog),
+                                sim::makeSystemConfig(GetParam()));
+    }
+};
+
+// Row "Arm": create entry, set token bit — no exception, ever.
+TEST_P(Table1Test, ArmIsSilent)
+{
+    FuncBuilder b("main");
+    b.movImm(1, spot);
+    b.emit({Opcode::Arm, isa::noReg, 1, isa::noReg, 8, 0, -1, -1});
+    b.halt();
+    EXPECT_FALSE(run(wrap(std::move(b))).faulted());
+}
+
+// Row "Disarm": disarm of an armed location succeeds.
+TEST_P(Table1Test, DisarmOfArmedSucceeds)
+{
+    FuncBuilder b("main");
+    b.movImm(1, spot);
+    b.emit({Opcode::Arm, isa::noReg, 1, isa::noReg, 8, 0, -1, -1});
+    // Separate the two wide ops so they do not overlap in the SQ.
+    for (int i = 0; i < 64; ++i)
+        b.addI(2, 2, 1);
+    b.emit({Opcode::Disarm, isa::noReg, 1, isa::noReg, 8, 0, -1, -1});
+    b.halt();
+    EXPECT_FALSE(run(wrap(std::move(b))).faulted());
+}
+
+// Row "Disarm": disarm with no token raises.
+TEST_P(Table1Test, DisarmOfUnarmedRaises)
+{
+    FuncBuilder b("main");
+    b.movImm(1, spot);
+    b.emit({Opcode::Disarm, isa::noReg, 1, isa::noReg, 8, 0, -1, -1});
+    b.halt();
+    auto r = run(wrap(std::move(b)));
+    ASSERT_TRUE(r.faulted());
+    EXPECT_EQ(r.run.violation.kind, ViolationKind::DisarmUnarmed);
+}
+
+// Row "Load": load of an armed granule raises.
+TEST_P(Table1Test, LoadOfArmedRaises)
+{
+    FuncBuilder b("main");
+    b.movImm(1, spot);
+    b.emit({Opcode::Arm, isa::noReg, 1, isa::noReg, 8, 0, -1, -1});
+    for (int i = 0; i < 64; ++i)
+        b.addI(2, 2, 1);
+    b.load(3, 1, 0, 8);
+    b.halt();
+    auto r = run(wrap(std::move(b)));
+    ASSERT_TRUE(r.faulted());
+    EXPECT_EQ(r.run.violation.kind, ViolationKind::TokenAccess);
+}
+
+// Fig. 5: a load racing an in-flight arm in the LSQ also raises.
+TEST_P(Table1Test, LoadRacingInflightArmRaises)
+{
+    FuncBuilder b("main");
+    b.movImm(1, spot);
+    b.emit({Opcode::Arm, isa::noReg, 1, isa::noReg, 8, 0, -1, -1});
+    b.load(3, 1, 0, 8); // back to back: hits the SQ entry
+    b.halt();
+    auto r = run(wrap(std::move(b)));
+    ASSERT_TRUE(r.faulted());
+    // Either the forwarding check or the token bit catches it.
+    EXPECT_TRUE(r.run.violation.kind == ViolationKind::TokenForward ||
+                r.run.violation.kind == ViolationKind::TokenAccess);
+}
+
+// Row "Store": store to an armed granule raises.
+TEST_P(Table1Test, StoreToArmedRaises)
+{
+    FuncBuilder b("main");
+    b.movImm(1, spot);
+    b.emit({Opcode::Arm, isa::noReg, 1, isa::noReg, 8, 0, -1, -1});
+    for (int i = 0; i < 64; ++i)
+        b.addI(2, 2, 1);
+    b.store(2, 1, 0, 8);
+    b.halt();
+    auto r = run(wrap(std::move(b)));
+    ASSERT_TRUE(r.faulted());
+    EXPECT_EQ(r.run.violation.kind, ViolationKind::TokenAccess);
+}
+
+// Loads/stores to unarmed locations proceed as usual.
+TEST_P(Table1Test, CleanAccessesProceed)
+{
+    FuncBuilder b("main");
+    b.movImm(1, spot);
+    b.movImm(2, 0x1234);
+    b.store(2, 1, 0, 8);
+    b.load(3, 1, 0, 8);
+    b.halt();
+    EXPECT_FALSE(run(wrap(std::move(b))).faulted());
+}
+
+// After disarm, the location is ordinary memory again (and zeroed).
+TEST_P(Table1Test, DisarmRestoresNormalAccess)
+{
+    FuncBuilder b("main");
+    b.movImm(1, spot);
+    b.emit({Opcode::Arm, isa::noReg, 1, isa::noReg, 8, 0, -1, -1});
+    for (int i = 0; i < 64; ++i)
+        b.addI(2, 2, 1);
+    b.emit({Opcode::Disarm, isa::noReg, 1, isa::noReg, 8, 0, -1, -1});
+    for (int i = 0; i < 64; ++i)
+        b.addI(2, 2, 1);
+    b.load(3, 1, 0, 8);
+    b.halt();
+    EXPECT_FALSE(run(wrap(std::move(b))).faulted());
+}
+
+// Misaligned arm: precise invalid-REST-instruction exception.
+TEST_P(Table1Test, MisalignedArmPrecise)
+{
+    FuncBuilder b("main");
+    b.movImm(1, spot + 4);
+    b.emit({Opcode::Arm, isa::noReg, 1, isa::noReg, 8, 0, -1, -1});
+    b.halt();
+    auto r = run(wrap(std::move(b)));
+    ASSERT_TRUE(r.faulted());
+    EXPECT_EQ(r.run.violation.kind,
+              ViolationKind::MisalignedRestInst);
+    EXPECT_EQ(r.run.violation.precision, core::Precision::Precise);
+}
+
+INSTANTIATE_TEST_SUITE_P(Modes, Table1Test,
+                         ::testing::Values(ExpConfig::RestSecureHeap,
+                                           ExpConfig::RestDebugHeap));
+
+// Precision differs by mode (§III-B "Exception Reporting").
+TEST(Table1Precision, SecureImpreciseDebugPrecise)
+{
+    auto build = [] {
+        FuncBuilder b("main");
+        b.movImm(1, spot);
+        b.emit({Opcode::Arm, isa::noReg, 1, isa::noReg, 8, 0, -1, -1});
+        for (int i = 0; i < 64; ++i)
+            b.addI(2, 2, 1);
+        b.load(3, 1, 0, 8);
+        b.halt();
+        return wrap(std::move(b));
+    };
+    auto secure = test::runUnder(build(), ExpConfig::RestSecureHeap);
+    auto debug = test::runUnder(build(), ExpConfig::RestDebugHeap);
+    ASSERT_TRUE(secure.faulted());
+    ASSERT_TRUE(debug.faulted());
+    EXPECT_EQ(secure.run.violation.precision,
+              core::Precision::Imprecise);
+    EXPECT_EQ(debug.run.violation.precision,
+              core::Precision::Precise);
+}
+
+} // namespace rest

@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Property sweeps over token widths (§III-B "Modifying Token Width"
+ * and §V-C "False Negatives"): the detection boundary of a stack
+ * overflow is exactly the alignment pad implied by the token width,
+ * and heap detection is width-independent for crossing overflows.
+ */
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "common/test_util.hh"
+#include "util/bit_utils.hh"
+
+namespace rest
+{
+
+using sim::ExpConfig;
+using core::TokenWidth;
+using test::runUnder;
+
+using WidthCase = std::tuple<TokenWidth, unsigned /*buf*/,
+                             unsigned /*overflow*/>;
+
+class StackPadProperty : public ::testing::TestWithParam<WidthCase>
+{};
+
+TEST_P(StackPadProperty, DetectionMatchesPadGeometry)
+{
+    auto [width, buf_len, overflow] = GetParam();
+    unsigned g = core::tokenBytes(width);
+    // The paper's §V-C property: an overflow is detected iff it
+    // crosses the pad and reaches the token granule.
+    std::uint64_t end = buf_len + overflow;
+    bool expect_detected = end > alignUp(buf_len, g);
+
+    auto result = runUnder(
+        workload::attacks::stackPadOverflow(buf_len, overflow),
+        ExpConfig::RestSecureFull, width);
+    EXPECT_EQ(result.faulted(), expect_detected)
+        << "width=" << g << " buf=" << buf_len << " ovf=" << overflow;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, StackPadProperty,
+    ::testing::Combine(::testing::Values(TokenWidth::Bytes16,
+                                         TokenWidth::Bytes32,
+                                         TokenWidth::Bytes64),
+                       ::testing::Values(16u, 32u, 48u),
+                       ::testing::Values(8u, 16u, 32u, 64u)));
+
+class HeapWidthProperty : public ::testing::TestWithParam<TokenWidth>
+{};
+
+TEST_P(HeapWidthProperty, CrossingOverflowAlwaysDetected)
+{
+    // A sweep far past the payload always reaches the right redzone,
+    // for every width.
+    auto result = runUnder(workload::attacks::heapOverflowWrite(64, 64),
+                           ExpConfig::RestSecureHeap, GetParam());
+    EXPECT_TRUE(result.faulted());
+}
+
+TEST_P(HeapWidthProperty, UafDetectedAtEveryWidth)
+{
+    auto result = runUnder(workload::attacks::useAfterFree(96),
+                           ExpConfig::RestSecureHeap, GetParam());
+    EXPECT_TRUE(result.faulted());
+}
+
+TEST_P(HeapWidthProperty, HeartbleedDetectedAtEveryWidth)
+{
+    auto result = runUnder(workload::attacks::heartbleed(64, 192),
+                           ExpConfig::RestSecureHeap, GetParam());
+    EXPECT_TRUE(result.faulted());
+}
+
+TEST_P(HeapWidthProperty, BenignProgramCleanAtEveryWidth)
+{
+    auto p = workload::profileByName("hmmer");
+    p.targetKiloInsts = 20;
+    auto result = runUnder(workload::generate(p),
+                           ExpConfig::RestSecureFull, GetParam());
+    EXPECT_FALSE(result.faulted());
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, HeapWidthProperty,
+                         ::testing::Values(TokenWidth::Bytes16,
+                                           TokenWidth::Bytes32,
+                                           TokenWidth::Bytes64));
+
+} // namespace rest

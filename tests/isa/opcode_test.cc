@@ -1,0 +1,67 @@
+#include <gtest/gtest.h>
+
+#include "isa/opcode.hh"
+
+namespace rest::isa
+{
+
+TEST(Opcode, MemOpClassification)
+{
+    EXPECT_TRUE(isMemOp(Opcode::Load));
+    EXPECT_TRUE(isMemOp(Opcode::Store));
+    EXPECT_TRUE(isMemOp(Opcode::Arm));
+    EXPECT_TRUE(isMemOp(Opcode::Disarm));
+    EXPECT_FALSE(isMemOp(Opcode::Add));
+    EXPECT_FALSE(isMemOp(Opcode::Beq));
+    EXPECT_FALSE(isMemOp(Opcode::AsanCheck));
+}
+
+TEST(Opcode, ControlOpClassification)
+{
+    for (Opcode op : {Opcode::Beq, Opcode::Bne, Opcode::Blt,
+                      Opcode::Bge, Opcode::Jmp, Opcode::Call,
+                      Opcode::Ret}) {
+        EXPECT_TRUE(isControlOp(op));
+    }
+    EXPECT_FALSE(isControlOp(Opcode::Load));
+    EXPECT_FALSE(isControlOp(Opcode::Arm));
+}
+
+TEST(Opcode, RuntimeOpClassification)
+{
+    for (Opcode op : {Opcode::RtMalloc, Opcode::RtFree,
+                      Opcode::RtMemcpy, Opcode::RtMemset}) {
+        EXPECT_TRUE(isRuntimeOp(op));
+    }
+    EXPECT_FALSE(isRuntimeOp(Opcode::Call));
+}
+
+TEST(Opcode, RestOpClasses)
+{
+    EXPECT_EQ(opClassOf(Opcode::Arm), OpClass::MemArm);
+    EXPECT_EQ(opClassOf(Opcode::Disarm), OpClass::MemDisarm);
+    EXPECT_EQ(opClassOf(Opcode::Load), OpClass::MemRead);
+    EXPECT_EQ(opClassOf(Opcode::Store), OpClass::MemWrite);
+    EXPECT_EQ(opClassOf(Opcode::Mul), OpClass::IntMult);
+    EXPECT_EQ(opClassOf(Opcode::FDiv), OpClass::FloatDiv);
+    EXPECT_EQ(opClassOf(Opcode::Ret), OpClass::Branch);
+}
+
+TEST(Opcode, EveryNonRuntimeOpcodeHasClassAndMnemonic)
+{
+    for (unsigned i = 0;
+         i < static_cast<unsigned>(Opcode::NumOpcodes); ++i) {
+        Opcode op = static_cast<Opcode>(i);
+        EXPECT_NE(mnemonic(op), "<bad>");
+        if (!isRuntimeOp(op)) {
+            EXPECT_NO_FATAL_FAILURE((void)opClassOf(op));
+        }
+    }
+}
+
+TEST(Opcode, RuntimeOpcodeClassPanics)
+{
+    EXPECT_DEATH((void)opClassOf(Opcode::RtMalloc), "opClassOf");
+}
+
+} // namespace rest::isa

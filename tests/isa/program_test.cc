@@ -1,0 +1,93 @@
+#include <gtest/gtest.h>
+
+#include "isa/program.hh"
+
+namespace rest::isa
+{
+
+TEST(FuncBuilder, EmitsAndPatchesTargets)
+{
+    FuncBuilder b("f");
+    b.movImm(1, 5);
+    int loop = b.here();
+    b.addI(1, 1, -1);
+    int br = b.branch(Opcode::Bne, 1, regZero);
+    b.patchTarget(br, loop);
+    b.ret();
+    Function fn = b.take();
+
+    ASSERT_EQ(fn.insts.size(), 4u);
+    EXPECT_EQ(fn.insts[2].target, loop);
+    EXPECT_EQ(fn.insts.back().op, Opcode::Ret);
+}
+
+TEST(FuncBuilder, StackBufIds)
+{
+    FuncBuilder b("f");
+    int a = b.stackBuf(16);
+    int c = b.stackBuf(64, false);
+    EXPECT_EQ(a, 0);
+    EXPECT_EQ(c, 1);
+    b.halt();
+    Function fn = b.take();
+    ASSERT_EQ(fn.bufs.size(), 2u);
+    EXPECT_EQ(fn.bufs[0].size, 16u);
+    EXPECT_TRUE(fn.bufs[0].vulnerable);
+    EXPECT_FALSE(fn.bufs[1].vulnerable);
+}
+
+TEST(FuncBuilder, LeaBufCarriesSymbolicId)
+{
+    FuncBuilder b("f");
+    int buf = b.stackBuf(32);
+    b.leaBuf(3, buf);
+    b.halt();
+    Function fn = b.take();
+    EXPECT_EQ(fn.insts[0].bufId, buf);
+    EXPECT_EQ(fn.insts[0].rs1, regFp);
+}
+
+TEST(Program, PcBasesAreContiguous)
+{
+    Program prog;
+    {
+        FuncBuilder b("main");
+        b.movImm(1, 0);
+        b.movImm(2, 0);
+        b.halt();
+        prog.funcs.push_back(std::move(b).take());
+    }
+    {
+        FuncBuilder b("f1");
+        b.ret();
+        prog.funcs.push_back(std::move(b).take());
+    }
+    EXPECT_EQ(prog.pcBase(0), 0x400000u);
+    EXPECT_EQ(prog.pcBase(1), 0x400000u + 4 * 3);
+    EXPECT_EQ(prog.numInsts(), 4u);
+}
+
+TEST(Program, ToStringRendersInstructions)
+{
+    FuncBuilder b("main");
+    b.load(2, 1, 8, 4);
+    b.store(3, 1, 16, 8);
+    b.halt();
+    Program prog;
+    prog.funcs.push_back(std::move(b).take());
+    std::string text = prog.toString();
+    EXPECT_NE(text.find("ld4"), std::string::npos);
+    EXPECT_NE(text.find("st"), std::string::npos);
+    EXPECT_NE(text.find("main"), std::string::npos);
+}
+
+TEST(Inst, DefaultsAreSane)
+{
+    Inst inst;
+    EXPECT_EQ(inst.op, Opcode::Nop);
+    EXPECT_EQ(inst.rd, noReg);
+    EXPECT_EQ(inst.bufId, -1);
+    EXPECT_EQ(inst.tag, OpSource::Program);
+}
+
+} // namespace rest::isa

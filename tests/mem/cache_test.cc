@@ -1,0 +1,145 @@
+#include <gtest/gtest.h>
+
+#include "mem/cache.hh"
+#include "mem/dram.hh"
+
+namespace rest::mem
+{
+
+namespace
+{
+
+CacheConfig
+tinyCache(Cycles latency = 2)
+{
+    CacheConfig cfg;
+    cfg.name = "tiny";
+    cfg.sizeBytes = 1024; // 16 lines
+    cfg.assoc = 2;
+    cfg.blockSize = 64;
+    cfg.latency = latency;
+    cfg.numMshrs = 2;
+    return cfg;
+}
+
+} // namespace
+
+TEST(Cache, HitAfterFill)
+{
+    Dram dram;
+    Cache c(tinyCache(), dram);
+    Cycles t1 = c.access(0x1000, false, 0);
+    EXPECT_FALSE(c.lastWasHit());
+    EXPECT_GT(t1, 2u); // paid the DRAM trip
+    Cycles t2 = c.access(0x1010, false, t1);
+    EXPECT_TRUE(c.lastWasHit());
+    EXPECT_EQ(t2, t1 + 2);
+    EXPECT_EQ(c.statGroup().scalarValue("hits"), 1u);
+    EXPECT_EQ(c.statGroup().scalarValue("misses"), 1u);
+}
+
+TEST(Cache, ProbeDoesNotDisturbState)
+{
+    Dram dram;
+    Cache c(tinyCache(), dram);
+    EXPECT_FALSE(c.probe(0x1000));
+    c.access(0x1000, false, 0);
+    EXPECT_TRUE(c.probe(0x1000));
+    EXPECT_TRUE(c.probe(0x103f));
+    EXPECT_FALSE(c.probe(0x1040));
+}
+
+TEST(Cache, LruEviction)
+{
+    Dram dram;
+    Cache c(tinyCache(), dram);
+    // 8 sets; lines 0x0000, 0x0200, 0x0400 map to set 0 (2-way).
+    c.access(0x0000, false, 0);
+    c.access(0x0200, false, 100);
+    c.access(0x0000, false, 200); // touch: 0x0200 becomes LRU
+    c.access(0x0400, false, 300); // evicts 0x0200
+    EXPECT_TRUE(c.probe(0x0000));
+    EXPECT_FALSE(c.probe(0x0200));
+    EXPECT_TRUE(c.probe(0x0400));
+}
+
+TEST(Cache, DirtyEvictionWritesBack)
+{
+    Dram dram;
+    Cache c(tinyCache(), dram);
+    c.access(0x0000, true, 0); // dirty
+    c.access(0x0200, false, 100);
+    c.access(0x0400, false, 200); // evicts dirty 0x0000
+    EXPECT_EQ(c.statGroup().scalarValue("writebacks"), 1u);
+    EXPECT_EQ(dram.statGroup().scalarValue("writes"), 1u);
+}
+
+TEST(Cache, CleanEvictionDoesNotWriteBack)
+{
+    Dram dram;
+    Cache c(tinyCache(), dram);
+    c.access(0x0000, false, 0);
+    c.access(0x0200, false, 100);
+    c.access(0x0400, false, 200);
+    EXPECT_EQ(c.statGroup().scalarValue("writebacks"), 0u);
+}
+
+TEST(Cache, MshrMergeOfConcurrentMisses)
+{
+    Dram dram;
+    Cache c(tinyCache(), dram);
+    Cycles t1 = c.access(0x1000, false, 0);
+    // Second access to the same missing line right away merges.
+    Cycles t2 = c.access(0x1020, false, 1);
+    EXPECT_LE(t2, t1);
+    EXPECT_EQ(c.statGroup().scalarValue("mshr_merges"), 1u);
+}
+
+TEST(Cache, MshrExhaustionStalls)
+{
+    Dram dram;
+    Cache c(tinyCache(), dram);
+    // numMshrs = 2: a third concurrent miss must wait.
+    c.access(0x1000, false, 0);
+    c.access(0x2000, false, 0);
+    c.access(0x3000, false, 0);
+    EXPECT_GT(c.statGroup().scalarValue("mshr_stall_cycles"), 0u);
+}
+
+TEST(Cache, TwoLevelHierarchy)
+{
+    Dram dram;
+    Cache l2(CacheConfig::l2(), dram);
+    Cache l1(CacheConfig::l1d(), l2);
+    Cycles cold = l1.access(0x8000, false, 0);
+    // L2 now has it; evict from L1 and re-access: L2-hit latency.
+    l1.flushAll();
+    Cycles warm = l1.access(0x8000, false, cold);
+    EXPECT_LT(warm - cold, cold);
+    EXPECT_GE(warm - cold, 20u); // at least the L2 latency
+}
+
+TEST(Cache, FlushAllInvalidates)
+{
+    Dram dram;
+    Cache c(tinyCache(), dram);
+    c.access(0x1000, true, 0);
+    c.flushAll();
+    EXPECT_FALSE(c.probe(0x1000));
+    EXPECT_EQ(c.statGroup().scalarValue("writebacks"), 1u);
+}
+
+TEST(Dram, BandwidthQueueing)
+{
+    DramConfig cfg;
+    cfg.accessLatency = 100;
+    cfg.servicePeriod = 10;
+    Dram dram(cfg);
+    Cycles a = dram.access(0, false, 0);
+    Cycles b = dram.access(64, false, 0);
+    EXPECT_EQ(a, 100u);
+    EXPECT_EQ(b, 110u); // queued behind the first
+    EXPECT_EQ(dram.statGroup().scalarValue("queue_cycles"), 10u);
+}
+
+} // namespace rest::mem

@@ -1,0 +1,214 @@
+/**
+ * @file
+ * Directed tests of the REST L1-D semantics, cell by cell against
+ * Table I of the paper (cache-hit and cache-miss columns; the LSQ
+ * column is covered in cpu/lsq_test.cc).
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/token.hh"
+#include "mem/cache.hh"
+#include "mem/dram.hh"
+#include "mem/rest_l1_cache.hh"
+
+namespace rest::mem
+{
+
+class RestL1CacheTest
+    : public ::testing::TestWithParam<core::TokenWidth>
+{
+  protected:
+    void
+    SetUp() override
+    {
+        Xoshiro256ss rng(33);
+        tcr_.writePrivileged(
+            core::TokenValue::generate(rng, GetParam()),
+            core::RestMode::Secure);
+        dram_ = std::make_unique<Dram>();
+        l2_ = std::make_unique<Cache>(CacheConfig::l2(), *dram_);
+        l1_ = std::make_unique<RestL1Cache>(CacheConfig::l1d(), *l2_,
+                                            memory_, tcr_);
+    }
+
+    unsigned g() const { return tcr_.granule(); }
+
+    void
+    writeTokenToMemory(Addr addr)
+    {
+        memory_.writeBytes(addr, tcr_.token().bytes());
+    }
+
+    GuestMemory memory_;
+    core::TokenConfigRegister tcr_;
+    std::unique_ptr<Dram> dram_;
+    std::unique_ptr<Cache> l2_;
+    std::unique_ptr<RestL1Cache> l1_;
+};
+
+// Table I, row "Arm", cache hit: set token bit.
+TEST_P(RestL1CacheTest, ArmOnHitSetsTokenBit)
+{
+    l1_->loadAccess(0x1000, 8, 0); // bring the line in
+    RestAccess res = l1_->armAccess(0x1000, 100);
+    EXPECT_TRUE(res.hit);
+    EXPECT_FALSE(res.faulted());
+    EXPECT_TRUE(l1_->tokenBitSet(0x1000));
+}
+
+// Table I, row "Arm", cache miss: fetch line, set token bit.
+TEST_P(RestL1CacheTest, ArmOnMissFetchesAndSetsBit)
+{
+    RestAccess res = l1_->armAccess(0x2000, 0);
+    EXPECT_FALSE(res.hit);
+    EXPECT_FALSE(res.faulted());
+    EXPECT_TRUE(l1_->lineResident(0x2000));
+    EXPECT_TRUE(l1_->tokenBitSet(0x2000));
+}
+
+// §III-B: arm does not write the token value into the line; the value
+// goes out at eviction.
+TEST_P(RestL1CacheTest, ArmDefersTokenValueUntilEviction)
+{
+    l1_->armAccess(0x3000, 0);
+    // Memory does not hold the token value yet.
+    std::vector<std::uint8_t> buf(g());
+    memory_.readBytes(0x3000, {buf.data(), buf.size()});
+    EXPECT_FALSE(tcr_.token().matches({buf.data(), buf.size()}));
+
+    // Evict everything: the token value is written out.
+    l1_->flushAll();
+    memory_.readBytes(0x3000, {buf.data(), buf.size()});
+    EXPECT_TRUE(tcr_.token().matches({buf.data(), buf.size()}));
+    EXPECT_GE(l1_->statGroup().scalarValue("token_evictions"), 1u);
+}
+
+// Fill-path detector: a line whose memory content holds the token
+// arrives with its token bit set (Table I load/store miss rows:
+// "fetch line, set token bit if it has token").
+TEST_P(RestL1CacheTest, FillDetectorSetsBitFromMemory)
+{
+    writeTokenToMemory(0x4000);
+    // For sub-line tokens, touch a clean granule of the same line;
+    // at full width the only granule is the token itself.
+    Addr touch = 0x4000 + (g() == 64 ? 0 : g());
+    RestAccess res = l1_->loadAccess(touch, 8, 0);
+    EXPECT_EQ(res.faulted(), g() == 64);
+    EXPECT_TRUE(l1_->tokenBitSet(0x4000));
+    EXPECT_GE(l1_->statGroup().scalarValue("token_fills"), 1u);
+}
+
+// Table I, row "Load", hit with token bit set: raise exception.
+TEST_P(RestL1CacheTest, LoadOnArmedGranuleFaults)
+{
+    l1_->armAccess(0x5000, 0);
+    RestAccess res = l1_->loadAccess(0x5000, 8, 10);
+    EXPECT_EQ(res.violation, core::ViolationKind::TokenAccess);
+}
+
+// Table I, row "Load", miss on a line with a token: proceed as hit
+// (fetch, set bit, raise).
+TEST_P(RestL1CacheTest, LoadMissOnTokenLineFaults)
+{
+    writeTokenToMemory(0x6000);
+    RestAccess res = l1_->loadAccess(0x6000, 8, 0);
+    EXPECT_FALSE(res.hit);
+    EXPECT_EQ(res.violation, core::ViolationKind::TokenAccess);
+}
+
+// Table I, row "Load": clean access reads data normally.
+TEST_P(RestL1CacheTest, LoadCleanGranuleOk)
+{
+    l1_->armAccess(0x7000, 0);
+    RestAccess res = l1_->loadAccess(0x7000 + g(), 8, 10);
+    EXPECT_FALSE(res.faulted());
+}
+
+// Table I, row "Store (Secure)": token bit set -> exception; else
+// write data.
+TEST_P(RestL1CacheTest, StoreOnArmedGranuleFaults)
+{
+    l1_->armAccess(0x8000, 0);
+    RestAccess res = l1_->storeAccess(0x8000 + g() / 2, 4, 10);
+    EXPECT_EQ(res.violation, core::ViolationKind::TokenAccess);
+}
+
+TEST_P(RestL1CacheTest, StoreCleanGranuleOk)
+{
+    RestAccess res = l1_->storeAccess(0x9000, 8, 0);
+    EXPECT_FALSE(res.faulted());
+}
+
+// Table I, row "Disarm", hit with token bit set: clear line, unset
+// bit; one extra cycle.
+TEST_P(RestL1CacheTest, DisarmClearsBitAndZeroesGranule)
+{
+    writeTokenToMemory(0xa000);
+    l1_->loadAccess(0xa000, 8, 0); // fill; detector sets the bit
+    ASSERT_TRUE(l1_->tokenBitSet(0xa000));
+
+    // Reference: a plain store hit on another (warmed) resident line.
+    l1_->loadAccess(0xa100, 8, 0);
+    Cycles t0 = 5000; // both fills long since complete
+    RestAccess plain_store = l1_->storeAccess(0xa100, 8, t0);
+    RestAccess res = l1_->disarmAccess(0xa000, t0);
+    EXPECT_FALSE(res.faulted());
+    EXPECT_FALSE(l1_->tokenBitSet(0xa000));
+    // Disarm takes one cycle longer than a plain hit (all banks).
+    EXPECT_EQ(res.completeAt, plain_store.completeAt + 1);
+    // The granule is zeroed.
+    for (unsigned i = 0; i < g(); ++i)
+        EXPECT_EQ(memory_.readByte(0xa000 + i), 0u);
+}
+
+// Table I, row "Disarm", token bit unset: raise exception.
+TEST_P(RestL1CacheTest, DisarmUnarmedFaults)
+{
+    l1_->loadAccess(0xb000, 8, 0);
+    RestAccess res = l1_->disarmAccess(0xb000, 10);
+    EXPECT_EQ(res.violation, core::ViolationKind::DisarmUnarmed);
+}
+
+// Table I, row "Disarm", miss path: fetch line (detector restores the
+// bit), proceed as hit.
+TEST_P(RestL1CacheTest, DisarmOnMissFetchesThenClears)
+{
+    writeTokenToMemory(0xc000);
+    RestAccess res = l1_->disarmAccess(0xc000, 0);
+    EXPECT_FALSE(res.hit);
+    EXPECT_FALSE(res.faulted());
+    EXPECT_FALSE(l1_->tokenBitSet(0xc000));
+}
+
+// Arm/evict/refill round trip: the token survives eviction and the
+// detector re-tags the line on the way back in.
+TEST_P(RestL1CacheTest, TokenSurvivesEvictionRoundTrip)
+{
+    l1_->armAccess(0xd000, 0);
+    l1_->flushAll();
+    EXPECT_FALSE(l1_->lineResident(0xd000));
+    RestAccess res = l1_->loadAccess(0xd000, 8, 1000);
+    EXPECT_EQ(res.violation, core::ViolationKind::TokenAccess);
+    EXPECT_TRUE(l1_->tokenBitSet(0xd000));
+}
+
+// Sub-line widths: arming one granule must not poison its neighbours.
+TEST_P(RestL1CacheTest, NeighbourGranulesUnaffected)
+{
+    if (g() == 64)
+        return;
+    Addr line = 0xe000;
+    l1_->armAccess(line + g(), 0);
+    EXPECT_FALSE(l1_->tokenBitSet(line));
+    EXPECT_TRUE(l1_->tokenBitSet(line + g()));
+    EXPECT_FALSE(l1_->loadAccess(line, 8, 10).faulted());
+    EXPECT_TRUE(l1_->loadAccess(line + g(), 8, 10).faulted());
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, RestL1CacheTest,
+                         ::testing::Values(core::TokenWidth::Bytes16,
+                                           core::TokenWidth::Bytes32,
+                                           core::TokenWidth::Bytes64));
+
+} // namespace rest::mem

@@ -1,0 +1,108 @@
+#include <gtest/gtest.h>
+
+#include "core/token.hh"
+#include "mem/guest_memory.hh"
+#include "mem/token_detector.hh"
+
+namespace rest::mem
+{
+
+class TokenDetectorTest
+    : public ::testing::TestWithParam<core::TokenWidth>
+{
+  protected:
+    void
+    SetUp() override
+    {
+        Xoshiro256ss rng(21);
+        tcr_.writePrivileged(
+            core::TokenValue::generate(rng, GetParam()),
+            core::RestMode::Secure);
+        detector_ = std::make_unique<TokenDetector>(memory_, tcr_);
+    }
+
+    unsigned g() const { return tcr_.granule(); }
+
+    void
+    writeTokenAt(Addr addr)
+    {
+        memory_.writeBytes(addr, tcr_.token().bytes());
+    }
+
+    GuestMemory memory_;
+    core::TokenConfigRegister tcr_;
+    std::unique_ptr<TokenDetector> detector_;
+};
+
+TEST_P(TokenDetectorTest, CleanLineHasNoTokenBits)
+{
+    memory_.fill(0x1000, 0x7f, 64);
+    EXPECT_EQ(detector_->scan(0x1000, 64), 0u);
+}
+
+TEST_P(TokenDetectorTest, ZeroLineHasNoTokenBits)
+{
+    EXPECT_EQ(detector_->scan(0x2000, 64), 0u);
+}
+
+TEST_P(TokenDetectorTest, DetectsTokenInFirstGranule)
+{
+    writeTokenAt(0x1000);
+    EXPECT_EQ(detector_->scan(0x1000, 64) & 1u, 1u);
+}
+
+TEST_P(TokenDetectorTest, DetectsTokenInEveryGranulePosition)
+{
+    unsigned granules = 64 / g();
+    for (unsigned i = 0; i < granules; ++i) {
+        Addr line = 0x4000 + 64 * i;
+        writeTokenAt(line + i * g());
+        std::uint8_t mask = detector_->scan(line, 64);
+        EXPECT_EQ(mask, 1u << i) << "granule " << i;
+    }
+}
+
+TEST_P(TokenDetectorTest, DetectsMultipleTokensInOneLine)
+{
+    unsigned granules = 64 / g();
+    Addr line = 0x5000;
+    for (unsigned i = 0; i < granules; ++i)
+        writeTokenAt(line + i * g());
+    EXPECT_EQ(detector_->scan(line, 64), (1u << granules) - 1);
+}
+
+TEST_P(TokenDetectorTest, PartialTokenIsNotDetected)
+{
+    Addr line = 0x6000;
+    writeTokenAt(line);
+    memory_.writeByte(line + g() - 1,
+                      memory_.readByte(line + g() - 1) ^ 0xff);
+    EXPECT_EQ(detector_->scan(line, 64) & 1u, 0u);
+}
+
+TEST_P(TokenDetectorTest, MisalignedTokenValueNotDetected)
+{
+    // A token value written at a non-granule offset must not fire
+    // (condition 2 of §V-B: alignment required).
+    if (g() == 64)
+        return; // cannot misalign within a line at full width
+    Addr line = 0x7000;
+    memory_.writeBytes(line + 8, tcr_.token().bytes());
+    std::uint8_t mask = detector_->scan(line, 64);
+    EXPECT_EQ(mask, 0u);
+}
+
+TEST_P(TokenDetectorTest, GranuleIndex)
+{
+    EXPECT_EQ(detector_->granuleIndex(0x1000, 64), 0u);
+    EXPECT_EQ(detector_->granuleIndex(0x1000 + g(), 64),
+              g() == 64 ? 0u : 1u);
+    EXPECT_EQ(detector_->granuleIndex(0x1000 + 63, 64), 64 / g() - 1);
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, TokenDetectorTest,
+                         ::testing::Values(core::TokenWidth::Bytes16,
+                                           core::TokenWidth::Bytes32,
+                                           core::TokenWidth::Bytes64));
+
+} // namespace rest::mem

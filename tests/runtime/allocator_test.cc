@@ -1,0 +1,311 @@
+/**
+ * @file
+ * Tests of all three allocators: the libc baseline, the ASan
+ * allocator, and the REST allocator (paper §IV-A invariants).
+ */
+
+#include <gtest/gtest.h>
+
+#include <deque>
+
+#include "core/rest_engine.hh"
+#include "runtime/asan_allocator.hh"
+#include "runtime/libc_allocator.hh"
+#include "runtime/rest_allocator.hh"
+#include "util/random.hh"
+
+namespace rest::runtime
+{
+
+namespace
+{
+
+struct Emitted
+{
+    std::deque<isa::DynOp> q;
+    OpEmitter em{q, AddressMap::runtimeTextBase, false};
+
+    unsigned
+    count(isa::Opcode op)
+    {
+        unsigned n = 0;
+        for (auto &o : q)
+            n += (o.op == op);
+        return n;
+    }
+};
+
+} // namespace
+
+// ---------------------------------------------------------------
+// Libc baseline
+// ---------------------------------------------------------------
+
+TEST(LibcAllocator, MallocReturnsDistinctLiveChunks)
+{
+    mem::GuestMemory memory;
+    LibcAllocator alloc(memory);
+    Emitted e;
+    Addr a = alloc.malloc(100, e.em);
+    Addr b = alloc.malloc(100, e.em);
+    EXPECT_NE(a, b);
+    EXPECT_EQ(alloc.allocationSize(a), 100u);
+    EXPECT_EQ(alloc.liveAllocations(), 2u);
+}
+
+TEST(LibcAllocator, ImmediateReuse)
+{
+    // The performance-first allocator reuses a freed chunk right away
+    // (which is exactly why it has no temporal safety).
+    mem::GuestMemory memory;
+    LibcAllocator alloc(memory);
+    Emitted e;
+    Addr a = alloc.malloc(64, e.em);
+    alloc.free(a, e.em);
+    Addr b = alloc.malloc(64, e.em);
+    EXPECT_EQ(a, b);
+}
+
+TEST(LibcAllocator, EmitsNoArms)
+{
+    mem::GuestMemory memory;
+    LibcAllocator alloc(memory);
+    Emitted e;
+    Addr a = alloc.malloc(256, e.em);
+    alloc.free(a, e.em);
+    EXPECT_EQ(e.count(isa::Opcode::Arm), 0u);
+    EXPECT_EQ(e.count(isa::Opcode::Disarm), 0u);
+}
+
+// ---------------------------------------------------------------
+// ASan allocator
+// ---------------------------------------------------------------
+
+class AsanAllocatorTest : public ::testing::Test
+{
+  protected:
+    mem::GuestMemory memory;
+    AsanAllocator alloc{memory, 4096};
+    Emitted e;
+};
+
+TEST_F(AsanAllocatorTest, RedzonesArePoisoned)
+{
+    Addr p = alloc.malloc(100, e.em);
+    const ShadowMemory &sh = alloc.shadow();
+    EXPECT_TRUE(sh.accessOk(p, 8));
+    EXPECT_TRUE(sh.accessOk(p + 96, 4));
+    EXPECT_FALSE(sh.accessOk(p - 1, 1));        // left redzone
+    EXPECT_FALSE(sh.accessOk(p + 104, 1));      // right redzone
+    EXPECT_FALSE(sh.accessOk(p + 100, 4));      // partial-tail spill
+}
+
+TEST_F(AsanAllocatorTest, RedzoneScalesWithSize)
+{
+    EXPECT_EQ(AsanAllocator::redzoneBytes(8), 16u);
+    EXPECT_EQ(AsanAllocator::redzoneBytes(64), 16u);
+    EXPECT_EQ(AsanAllocator::redzoneBytes(1024), 256u);
+    EXPECT_EQ(AsanAllocator::redzoneBytes(1 << 20), 2048u);
+}
+
+TEST_F(AsanAllocatorTest, FreePoisonsAndQuarantines)
+{
+    Addr p = alloc.malloc(64, e.em);
+    alloc.free(p, e.em);
+    EXPECT_FALSE(alloc.shadow().accessOk(p, 8));
+    EXPECT_TRUE(alloc.quarantine().contains(p));
+    EXPECT_EQ(alloc.liveAllocations(), 0u);
+}
+
+TEST_F(AsanAllocatorTest, NoReuseWhileQuarantined)
+{
+    Addr p = alloc.malloc(64, e.em);
+    alloc.free(p, e.em);
+    Addr q = alloc.malloc(64, e.em);
+    EXPECT_NE(p, q);
+}
+
+TEST_F(AsanAllocatorTest, QuarantineDrainsOverBudget)
+{
+    // Budget 4096: freeing ~40 chunks of ~200B must trigger drains.
+    std::vector<Addr> ptrs;
+    for (int i = 0; i < 40; ++i)
+        ptrs.push_back(alloc.malloc(128, e.em));
+    for (Addr p : ptrs)
+        alloc.free(p, e.em);
+    EXPECT_LE(alloc.quarantine().bytes(), 4096u);
+    EXPECT_LT(alloc.quarantine().chunks(), 40u);
+}
+
+TEST_F(AsanAllocatorTest, DoubleFreeEmitsReport)
+{
+    Addr p = alloc.malloc(64, e.em);
+    alloc.free(p, e.em);
+    e.q.clear();
+    alloc.free(p, e.em);
+    bool saw_fault = false;
+    for (auto &op : e.q)
+        saw_fault |= (op.fault == isa::FaultKind::AsanReport);
+    EXPECT_TRUE(saw_fault);
+}
+
+TEST_F(AsanAllocatorTest, MallocEmitsShadowStores)
+{
+    alloc.malloc(256, e.em);
+    unsigned shadow_stores = 0;
+    for (auto &op : e.q) {
+        if (op.isStore() && op.eaddr >= AddressMap::shadowBase)
+            ++shadow_stores;
+    }
+    EXPECT_GT(shadow_stores, 2u);
+}
+
+// ---------------------------------------------------------------
+// REST allocator
+// ---------------------------------------------------------------
+
+class RestAllocatorTest
+    : public ::testing::TestWithParam<core::TokenWidth>
+{
+  protected:
+    void
+    SetUp() override
+    {
+        Xoshiro256ss rng(77);
+        tcr.writePrivileged(
+            core::TokenValue::generate(rng, GetParam()),
+            core::RestMode::Secure);
+        engine = std::make_unique<core::RestEngine>(tcr);
+        alloc = std::make_unique<RestAllocator>(memory, *engine, 4096);
+    }
+
+    unsigned g() const { return tcr.granule(); }
+
+    mem::GuestMemory memory;
+    core::TokenConfigRegister tcr;
+    std::unique_ptr<core::RestEngine> engine;
+    std::unique_ptr<RestAllocator> alloc;
+    Emitted e;
+};
+
+TEST_P(RestAllocatorTest, RedzonesAreArmed)
+{
+    Addr p = alloc->malloc(100, e.em);
+    // Payload clean.
+    EXPECT_FALSE(engine->overlapsArmed(p, 100));
+    // Both bookends armed (Fig. 6).
+    EXPECT_TRUE(engine->overlapsArmed(p - 1, 1));
+    EXPECT_TRUE(engine->overlapsArmed(p + alignUp(100, g()), 1));
+}
+
+TEST_P(RestAllocatorTest, TokenBytesActuallyInMemory)
+{
+    Addr p = alloc->malloc(64, e.em);
+    std::vector<std::uint8_t> buf(g());
+    memory.readBytes(p - g(), {buf.data(), buf.size()});
+    EXPECT_TRUE(tcr.token().matches({buf.data(), buf.size()}));
+}
+
+TEST_P(RestAllocatorTest, PayloadIsAlignedToGranule)
+{
+    for (std::size_t size : {1u, 17u, 64u, 100u, 4000u}) {
+        Addr p = alloc->malloc(size, e.em);
+        EXPECT_TRUE(isAligned(p, g())) << "size " << size;
+    }
+}
+
+TEST_P(RestAllocatorTest, FreeArmsPayloadAndQuarantines)
+{
+    Addr p = alloc->malloc(128, e.em);
+    alloc->free(p, e.em);
+    EXPECT_TRUE(engine->overlapsArmed(p, 8));
+    EXPECT_TRUE(alloc->quarantine().contains(p));
+}
+
+TEST_P(RestAllocatorTest, DrainZeroesAndDisarms)
+{
+    // Small budget: push enough frees to force drains, then check the
+    // zeroed-free-pool invariant (§IV-A).
+    std::vector<Addr> ptrs;
+    for (int i = 0; i < 50; ++i)
+        ptrs.push_back(alloc->malloc(96, e.em));
+    for (Addr p : ptrs)
+        alloc->free(p, e.em);
+    // The first freed chunk must have been drained by now.
+    Addr first = ptrs.front();
+    EXPECT_FALSE(alloc->quarantine().contains(first));
+    EXPECT_FALSE(engine->overlapsArmed(first, 96));
+    for (unsigned i = 0; i < 96; ++i)
+        EXPECT_EQ(memory.readByte(first + i), 0u);
+}
+
+TEST_P(RestAllocatorTest, ReuseComesFromZeroedPool)
+{
+    std::vector<Addr> ptrs;
+    for (int i = 0; i < 60; ++i)
+        ptrs.push_back(alloc->malloc(96, e.em));
+    for (Addr p : ptrs)
+        alloc->free(p, e.em);
+    Addr q = alloc->malloc(96, e.em);
+    // Reuses a drained chunk (same footprint class).
+    bool reused = false;
+    for (Addr p : ptrs)
+        reused |= (p == q);
+    EXPECT_TRUE(reused);
+    // Payload is zeroed, redzones re-armed.
+    for (unsigned i = 0; i < 96; ++i)
+        EXPECT_EQ(memory.readByte(q + i), 0u);
+    EXPECT_TRUE(engine->overlapsArmed(q - 1, 1));
+}
+
+TEST_P(RestAllocatorTest, MallocEmitsArms)
+{
+    alloc->malloc(64, e.em);
+    EXPECT_GE(e.count(isa::Opcode::Arm), 2u); // both redzones
+    EXPECT_EQ(e.count(isa::Opcode::Disarm), 0u);
+}
+
+TEST_P(RestAllocatorTest, PerfectHwEmitsStoresInstead)
+{
+    std::deque<isa::DynOp> q;
+    OpEmitter perfect(q, AddressMap::runtimeTextBase, true);
+    alloc->malloc(64, perfect);
+    unsigned arms = 0, stores = 0;
+    for (auto &op : q) {
+        arms += op.isArm();
+        stores += op.isStore();
+    }
+    EXPECT_EQ(arms, 0u);
+    EXPECT_GE(stores, 2u);
+    // No architectural arming happened.
+    EXPECT_EQ(engine->armedCount(), 0u);
+}
+
+TEST_P(RestAllocatorTest, DoubleFreeFaultsViaTokenAccess)
+{
+    Addr p = alloc->malloc(64, e.em);
+    alloc->free(p, e.em);
+    e.q.clear();
+    alloc->free(p, e.em);
+    bool saw_fault = false;
+    for (auto &op : e.q)
+        saw_fault |= (op.fault == isa::FaultKind::RestTokenAccess);
+    EXPECT_TRUE(saw_fault);
+}
+
+TEST_P(RestAllocatorTest, RedzoneIsMultipleOfGranule)
+{
+    for (std::size_t size : {8u, 100u, 5000u, 100000u}) {
+        std::size_t rz = alloc->redzoneBytes(size);
+        EXPECT_EQ(rz % g(), 0u) << size;
+        EXPECT_GE(rz, g());
+        EXPECT_LE(rz, 2048u);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, RestAllocatorTest,
+                         ::testing::Values(core::TokenWidth::Bytes16,
+                                           core::TokenWidth::Bytes32,
+                                           core::TokenWidth::Bytes64));
+
+} // namespace rest::runtime

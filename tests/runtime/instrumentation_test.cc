@@ -1,0 +1,185 @@
+#include <gtest/gtest.h>
+
+#include "isa/program.hh"
+#include "runtime/instrumentation.hh"
+
+namespace rest::runtime
+{
+
+namespace
+{
+
+/** A function with one vulnerable buffer, a loop, and buffer refs. */
+isa::Program
+sampleProgram()
+{
+    isa::Program prog;
+    isa::FuncBuilder b("main");
+    int buf = b.stackBuf(16, true);
+    b.movImm(1, 10);
+    b.leaBuf(2, buf);
+    int loop = b.here();
+    b.store(1, 2, 0, 8);
+    b.load(3, 2, 8, 8);
+    b.addI(1, 1, -1);
+    b.branch(isa::Opcode::Bne, 1, isa::regZero, loop);
+    b.halt();
+    prog.funcs.push_back(std::move(b).take());
+    return prog;
+}
+
+unsigned
+countOp(const isa::Function &fn, isa::Opcode op)
+{
+    unsigned n = 0;
+    for (auto &inst : fn.insts)
+        n += (inst.op == op);
+    return n;
+}
+
+} // namespace
+
+TEST(Instrumentation, PlainLayoutPacksBuffers)
+{
+    isa::Program prog = sampleProgram();
+    auto sum = applyScheme(prog, SchemeConfig::plain());
+    EXPECT_EQ(sum.armsInserted, 0u);
+    EXPECT_EQ(sum.accessChecksInserted, 0u);
+    EXPECT_EQ(sum.stackPoisonStores, 0u);
+    EXPECT_EQ(prog.funcs[0].bufs[0].offset, 0);
+    EXPECT_GT(prog.funcs[0].frameSize, 0);
+    EXPECT_EQ(prog.funcs[0].frameSize % 64, 0);
+}
+
+TEST(Instrumentation, RestLayoutBracketsBuffer)
+{
+    isa::Program prog = sampleProgram();
+    auto sum = applyScheme(prog, SchemeConfig::restFull(), 64);
+    // One buffer: two redzones, one granule each.
+    EXPECT_EQ(sum.armsInserted, 2u);
+    EXPECT_EQ(sum.disarmsInserted, 2u);
+    // Buffer sits one granule in (Fig. 6 layout).
+    EXPECT_EQ(prog.funcs[0].bufs[0].offset, 64);
+    EXPECT_EQ(countOp(prog.funcs[0], isa::Opcode::Arm), 2u);
+    EXPECT_EQ(countOp(prog.funcs[0], isa::Opcode::Disarm), 2u);
+}
+
+TEST(Instrumentation, RestLayoutScalesWithWidth)
+{
+    for (unsigned g : {16u, 32u, 64u}) {
+        isa::Program prog = sampleProgram();
+        applyScheme(prog, SchemeConfig::restFull(), g);
+        EXPECT_EQ(prog.funcs[0].bufs[0].offset,
+                  static_cast<std::int64_t>(g));
+        EXPECT_EQ(prog.funcs[0].frameSize % 64, 0) << g;
+    }
+}
+
+TEST(Instrumentation, AsanLayoutPoisonsRedzones)
+{
+    isa::Program prog = sampleProgram();
+    auto sum = applyScheme(prog, SchemeConfig::asanFull());
+    EXPECT_GT(sum.stackPoisonStores, 0u);
+    EXPECT_GT(sum.accessChecksInserted, 0u);
+    EXPECT_EQ(prog.funcs[0].bufs[0].offset, 32); // after left rz
+}
+
+TEST(Instrumentation, AsanChecksEveryProgramAccess)
+{
+    isa::Program prog = sampleProgram();
+    auto sum = applyScheme(prog, SchemeConfig::asanFull());
+    // The sample has one load and one store.
+    EXPECT_EQ(sum.accessChecksInserted, 2u);
+    EXPECT_EQ(countOp(prog.funcs[0], isa::Opcode::AsanCheck), 2u);
+}
+
+TEST(Instrumentation, BranchTargetsRemappedCorrectly)
+{
+    isa::Program prog = sampleProgram();
+    applyScheme(prog, SchemeConfig::asanFull());
+    const auto &fn = prog.funcs[0];
+    // Find the backward branch; its target must point at the start of
+    // the (instrumented) loop body: the check sequence before the
+    // store.
+    int branch_idx = -1;
+    for (std::size_t i = 0; i < fn.insts.size(); ++i) {
+        if (fn.insts[i].op == isa::Opcode::Bne)
+            branch_idx = static_cast<int>(i);
+    }
+    ASSERT_GE(branch_idx, 0);
+    int tgt = fn.insts[branch_idx].target;
+    ASSERT_GE(tgt, 0);
+    ASSERT_LT(tgt, branch_idx);
+    // The loop body (at the remapped target) starts with the inserted
+    // shadow-address computation, not the original store.
+    EXPECT_EQ(fn.insts[tgt].op, isa::Opcode::AddI);
+    EXPECT_EQ(fn.insts[tgt].tag, isa::OpSource::AccessCheck);
+}
+
+TEST(Instrumentation, SymbolicBufferRefsResolved)
+{
+    isa::Program prog = sampleProgram();
+    applyScheme(prog, SchemeConfig::restFull(), 64);
+    for (auto &inst : prog.funcs[0].insts)
+        EXPECT_EQ(inst.bufId, -1);
+}
+
+TEST(Instrumentation, PrologueSetsUpFrame)
+{
+    isa::Program prog = sampleProgram();
+    applyScheme(prog, SchemeConfig::plain());
+    const auto &fn = prog.funcs[0];
+    EXPECT_EQ(fn.insts[0].op, isa::Opcode::AddI);
+    EXPECT_EQ(fn.insts[0].rd, isa::regSp);
+    EXPECT_EQ(fn.insts[0].imm, -fn.frameSize);
+    EXPECT_EQ(fn.insts[1].op, isa::Opcode::Mov);
+    EXPECT_EQ(fn.insts[1].rd, isa::regFp);
+}
+
+TEST(Instrumentation, EpilogueRestoresStackBeforeExit)
+{
+    isa::Program prog = sampleProgram();
+    applyScheme(prog, SchemeConfig::restFull(), 64);
+    const auto &fn = prog.funcs[0];
+    ASSERT_GE(fn.insts.size(), 2u);
+    const auto &last = fn.insts.back();
+    const auto &sp_restore = fn.insts[fn.insts.size() - 2];
+    EXPECT_EQ(last.op, isa::Opcode::Halt);
+    EXPECT_EQ(sp_restore.op, isa::Opcode::AddI);
+    EXPECT_EQ(sp_restore.rd, isa::regSp);
+    EXPECT_EQ(sp_restore.imm, fn.frameSize);
+}
+
+TEST(Instrumentation, HeapOnlySchemeLeavesCodeUntouched)
+{
+    isa::Program prog = sampleProgram();
+    std::size_t before = prog.funcs[0].insts.size();
+    auto sum = applyScheme(prog, SchemeConfig::restHeap(), 64);
+    EXPECT_EQ(sum.armsInserted, 0u);
+    EXPECT_EQ(sum.accessChecksInserted, 0u);
+    // Only the frame prologue/epilogue wrapper is added.
+    EXPECT_EQ(prog.funcs[0].insts.size(), before + 3);
+}
+
+TEST(Instrumentation, NonVulnerableBuffersGetNoRedzones)
+{
+    isa::Program prog;
+    isa::FuncBuilder b("f");
+    b.stackBuf(32, /*vulnerable=*/false);
+    b.halt();
+    prog.funcs.push_back(std::move(b).take());
+    auto sum = applyScheme(prog, SchemeConfig::restFull(), 64);
+    EXPECT_EQ(sum.armsInserted, 0u);
+    EXPECT_EQ(prog.funcs[0].bufs[0].offset, 0);
+}
+
+TEST(Instrumentation, RestRedzoneOffsetsHelper)
+{
+    isa::Program prog = sampleProgram();
+    auto offsets = restRedzoneOffsets(prog.funcs[0], 64);
+    ASSERT_EQ(offsets.size(), 2u);
+    EXPECT_EQ(offsets[0], 0);
+    EXPECT_EQ(offsets[1], 128); // rz + alignUp(16, 64)
+}
+
+} // namespace rest::runtime

@@ -1,0 +1,205 @@
+#include <gtest/gtest.h>
+
+#include <deque>
+
+#include "core/rest_engine.hh"
+#include "runtime/interceptors.hh"
+#include "runtime/shadow_memory.hh"
+#include "util/random.hh"
+
+namespace rest::runtime
+{
+
+class InterceptorsTest : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        Xoshiro256ss rng(55);
+        tcr.writePrivileged(
+            core::TokenValue::generate(rng,
+                                       core::TokenWidth::Bytes64),
+            core::RestMode::Secure);
+        engine = std::make_unique<core::RestEngine>(tcr);
+    }
+
+    Interceptors
+    make(const SchemeConfig &scheme)
+    {
+        scheme_ = scheme;
+        return Interceptors(memory, *engine, scheme_);
+    }
+
+    mem::GuestMemory memory;
+    core::TokenConfigRegister tcr;
+    std::unique_ptr<core::RestEngine> engine;
+    SchemeConfig scheme_;
+    std::deque<isa::DynOp> q;
+};
+
+TEST_F(InterceptorsTest, MemcpyCopiesBytes)
+{
+    auto icp = make(SchemeConfig::plain());
+    OpEmitter em(q, AddressMap::interceptTextBase, false);
+    memory.fill(0x1000, 0xab, 100);
+    auto res = icp.memcpy(0x2000, 0x1000, 100, em);
+    EXPECT_FALSE(res.faulted);
+    EXPECT_EQ(res.bytesDone, 100u);
+    for (unsigned i = 0; i < 100; ++i)
+        EXPECT_EQ(memory.readByte(0x2000 + i), 0xabu);
+}
+
+TEST_F(InterceptorsTest, MemcpyEmitsCopyLoopOps)
+{
+    auto icp = make(SchemeConfig::plain());
+    OpEmitter em(q, AddressMap::interceptTextBase, false);
+    icp.memcpy(0x2000, 0x1000, 256, em);
+    unsigned loads = 0, stores = 0;
+    for (auto &op : q) {
+        loads += op.isLoad();
+        stores += op.isStore();
+    }
+    EXPECT_EQ(loads, 32u);  // 256 / 8
+    EXPECT_EQ(stores, 32u);
+}
+
+TEST_F(InterceptorsTest, MemsetFillsBytes)
+{
+    auto icp = make(SchemeConfig::plain());
+    OpEmitter em(q, AddressMap::interceptTextBase, false);
+    auto res = icp.memset(0x3000, 0x5a, 77, em);
+    EXPECT_FALSE(res.faulted);
+    EXPECT_EQ(res.bytesDone, 77u);
+    for (unsigned i = 0; i < 77; ++i)
+        EXPECT_EQ(memory.readByte(0x3000 + i), 0x5au);
+    EXPECT_EQ(memory.readByte(0x3000 + 77), 0u);
+}
+
+TEST_F(InterceptorsTest, RestTokenStopsMemcpyMidStream)
+{
+    // Arm a granule 128 bytes into the source: the copy must stop
+    // right there, like the Heartbleed over-read of Fig. 1.
+    auto icp = make(SchemeConfig::restHeap());
+    OpEmitter em(q, AddressMap::interceptTextBase, false);
+    engine->arm(0x1080);
+    memory.fill(0x1000, 0x11, 128);
+    auto res = icp.memcpy(0x2000, 0x1000, 256, em);
+    EXPECT_TRUE(res.faulted);
+    EXPECT_EQ(res.bytesDone, 128u); // stopped at the token
+    EXPECT_EQ(q.back().fault, isa::FaultKind::RestTokenAccess);
+    // Nothing beyond the redzone leaked into the destination.
+    EXPECT_EQ(memory.readByte(0x2000 + 127), 0x11u);
+    EXPECT_EQ(memory.readByte(0x2000 + 128), 0u);
+}
+
+TEST_F(InterceptorsTest, RestTokenStopsMemsetOnDestination)
+{
+    auto icp = make(SchemeConfig::restHeap());
+    OpEmitter em(q, AddressMap::interceptTextBase, false);
+    engine->arm(0x3040);
+    auto res = icp.memset(0x3000, 0xff, 128, em);
+    EXPECT_TRUE(res.faulted);
+    EXPECT_EQ(res.bytesDone, 64u);
+}
+
+TEST_F(InterceptorsTest, AsanInterceptChecksRangeUpFront)
+{
+    SchemeConfig scheme = SchemeConfig::asanFull();
+    auto icp = make(scheme);
+    OpEmitter em(q, AddressMap::interceptTextBase, false);
+    // Poison a byte inside the source range.
+    ShadowMemory shadow(memory);
+    shadow.poison(0x1080, 8, shadow_poison::heapRightRz);
+    auto res = icp.memcpy(0x2000, 0x1000, 256, em);
+    EXPECT_TRUE(res.faulted);
+    // The range check fires before any byte is copied.
+    EXPECT_EQ(res.bytesDone, 0u);
+    bool saw_asan_fault = false;
+    for (auto &op : q)
+        saw_asan_fault |= (op.fault == isa::FaultKind::AsanReport);
+    EXPECT_TRUE(saw_asan_fault);
+}
+
+TEST_F(InterceptorsTest, AsanInterceptEmitsCheckOps)
+{
+    auto icp = make(SchemeConfig::asanFull());
+    OpEmitter em(q, AddressMap::interceptTextBase, false);
+    icp.memcpy(0x2000, 0x1000, 256, em);
+    unsigned interceptor_ops = 0;
+    for (auto &op : q)
+        interceptor_ops +=
+            (op.source == isa::OpSource::Interceptor);
+    // 4 shadow loads + compares per range (256B / 64), two ranges,
+    // plus preamble.
+    EXPECT_GE(interceptor_ops, 16u);
+}
+
+TEST_F(InterceptorsTest, PlainSchemeEmitsNoInterceptorOps)
+{
+    auto icp = make(SchemeConfig::plain());
+    OpEmitter em(q, AddressMap::interceptTextBase, false);
+    icp.memcpy(0x2000, 0x1000, 256, em);
+    for (auto &op : q)
+        EXPECT_NE(op.source, isa::OpSource::Interceptor);
+}
+
+TEST_F(InterceptorsTest, PerfectHwIgnoresTokens)
+{
+    auto icp = make(SchemeConfig::restHeap());
+    OpEmitter em(q, AddressMap::interceptTextBase, /*perfect=*/true);
+    engine->arm(0x1080);
+    auto res = icp.memcpy(0x2000, 0x1000, 256, em);
+    EXPECT_FALSE(res.faulted);
+    EXPECT_EQ(res.bytesDone, 256u);
+}
+
+TEST_F(InterceptorsTest, StrcpyCopiesThroughNul)
+{
+    auto icp = make(SchemeConfig::plain());
+    OpEmitter em(q, AddressMap::interceptTextBase, false);
+    memory.fill(0x1000, 'A', 13); // NUL at +13 (fresh memory)
+    auto res = icp.strcpy(0x2000, 0x1000, em);
+    EXPECT_FALSE(res.faulted);
+    EXPECT_GE(res.bytesDone, 14u); // string + NUL
+    for (unsigned i = 0; i < 13; ++i)
+        EXPECT_EQ(memory.readByte(0x2000 + i), 'A');
+    EXPECT_EQ(memory.readByte(0x2000 + 13), 0u);
+}
+
+TEST_F(InterceptorsTest, StrcpyStopsAtDestinationToken)
+{
+    auto icp = make(SchemeConfig::restHeap());
+    OpEmitter em(q, AddressMap::interceptTextBase, false);
+    memory.fill(0x1000, 'B', 100); // long string
+    engine->arm(0x2040);           // redzone 64 bytes into dst
+    auto res = icp.strcpy(0x2000, 0x1000, em);
+    EXPECT_TRUE(res.faulted);
+    EXPECT_LE(res.bytesDone, 64u);
+    EXPECT_EQ(q.back().fault, isa::FaultKind::RestTokenAccess);
+}
+
+TEST_F(InterceptorsTest, AsanStrcpyChecksBeforeCopying)
+{
+    auto icp = make(SchemeConfig::asanFull());
+    OpEmitter em(q, AddressMap::interceptTextBase, false);
+    memory.fill(0x1000, 'C', 100);
+    ShadowMemory shadow(memory);
+    shadow.poison(0x2040, 8, shadow_poison::heapRightRz);
+    auto res = icp.strcpy(0x2000, 0x1000, em);
+    EXPECT_TRUE(res.faulted);
+    EXPECT_EQ(res.bytesDone, 0u); // nothing copied
+}
+
+TEST_F(InterceptorsTest, ShortAndUnalignedLengths)
+{
+    auto icp = make(SchemeConfig::plain());
+    OpEmitter em(q, AddressMap::interceptTextBase, false);
+    memory.fill(0x1000, 0x77, 13);
+    auto res = icp.memcpy(0x2000, 0x1000, 13, em);
+    EXPECT_EQ(res.bytesDone, 13u);
+    EXPECT_EQ(memory.readByte(0x2000 + 12), 0x77u);
+    EXPECT_EQ(memory.readByte(0x2000 + 13), 0u);
+}
+
+} // namespace rest::runtime

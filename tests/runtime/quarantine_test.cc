@@ -1,0 +1,70 @@
+#include <gtest/gtest.h>
+
+#include "runtime/quarantine.hh"
+
+namespace rest::runtime
+{
+
+namespace
+{
+
+Chunk
+chunk(Addr payload, std::size_t bytes)
+{
+    Chunk c;
+    c.base = payload - 16;
+    c.payload = payload;
+    c.size = bytes - 32;
+    c.chunkBytes = bytes;
+    return c;
+}
+
+} // namespace
+
+TEST(Quarantine, FifoOrder)
+{
+    Quarantine q(1000);
+    q.push(chunk(0x1000, 100));
+    q.push(chunk(0x2000, 100));
+    q.push(chunk(0x3000, 100));
+    EXPECT_EQ(q.pop()->payload, 0x1000u);
+    EXPECT_EQ(q.pop()->payload, 0x2000u);
+    EXPECT_EQ(q.pop()->payload, 0x3000u);
+    EXPECT_FALSE(q.pop().has_value());
+}
+
+TEST(Quarantine, BudgetAccounting)
+{
+    Quarantine q(250);
+    q.push(chunk(0x1000, 100));
+    EXPECT_FALSE(q.overBudget());
+    q.push(chunk(0x2000, 100));
+    EXPECT_FALSE(q.overBudget());
+    q.push(chunk(0x3000, 100));
+    EXPECT_TRUE(q.overBudget());
+    EXPECT_EQ(q.bytes(), 300u);
+    q.pop();
+    EXPECT_FALSE(q.overBudget());
+    EXPECT_EQ(q.bytes(), 200u);
+}
+
+TEST(Quarantine, ContainsLookup)
+{
+    Quarantine q(1000);
+    q.push(chunk(0x1000, 64));
+    EXPECT_TRUE(q.contains(0x1000));
+    EXPECT_FALSE(q.contains(0x2000));
+    q.pop();
+    EXPECT_FALSE(q.contains(0x1000));
+}
+
+TEST(Quarantine, ChunkCount)
+{
+    Quarantine q(1 << 20);
+    for (int i = 0; i < 10; ++i)
+        q.push(chunk(0x1000 + 0x100 * i, 64));
+    EXPECT_EQ(q.chunks(), 10u);
+    EXPECT_EQ(q.bytes(), 640u);
+}
+
+} // namespace rest::runtime

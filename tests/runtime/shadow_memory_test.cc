@@ -1,0 +1,102 @@
+#include <gtest/gtest.h>
+
+#include <deque>
+
+#include "runtime/shadow_memory.hh"
+
+namespace rest::runtime
+{
+
+class ShadowMemoryTest : public ::testing::Test
+{
+  protected:
+    mem::GuestMemory memory;
+    ShadowMemory shadow{memory};
+};
+
+TEST_F(ShadowMemoryTest, MappingFunction)
+{
+    EXPECT_EQ(ShadowMemory::shadowOf(0), AddressMap::shadowBase);
+    EXPECT_EQ(ShadowMemory::shadowOf(8), AddressMap::shadowBase + 1);
+    EXPECT_EQ(ShadowMemory::shadowOf(0x20000000),
+              AddressMap::shadowBase + 0x4000000);
+}
+
+TEST_F(ShadowMemoryTest, FreshMemoryIsAddressable)
+{
+    EXPECT_TRUE(shadow.accessOk(0x1000, 8));
+    EXPECT_TRUE(shadow.accessOk(0x1000, 1));
+}
+
+TEST_F(ShadowMemoryTest, PoisonBlocksAccess)
+{
+    shadow.poison(0x1000, 64, shadow_poison::heapLeftRz);
+    EXPECT_FALSE(shadow.accessOk(0x1000, 8));
+    EXPECT_FALSE(shadow.accessOk(0x1020, 1));
+    EXPECT_TRUE(shadow.accessOk(0x1040, 8)); // past the redzone
+    EXPECT_EQ(shadow.shadowByte(0x1000), shadow_poison::heapLeftRz);
+}
+
+TEST_F(ShadowMemoryTest, UnpoisonRestoresAccess)
+{
+    shadow.poison(0x2000, 64, shadow_poison::heapFreed);
+    shadow.unpoison(0x2000, 64);
+    EXPECT_TRUE(shadow.accessOk(0x2000, 8));
+    EXPECT_TRUE(shadow.accessOk(0x203f, 1));
+}
+
+TEST_F(ShadowMemoryTest, PartialGranuleSemantics)
+{
+    // Unpoison 12 bytes: granule 0 fully addressable, granule 1 has
+    // only 4 valid bytes.
+    shadow.poison(0x3000, 16, shadow_poison::heapRightRz);
+    shadow.unpoison(0x3000, 12);
+    EXPECT_TRUE(shadow.accessOk(0x3000, 8));
+    EXPECT_TRUE(shadow.accessOk(0x3008, 4));  // within partial granule
+    EXPECT_TRUE(shadow.accessOk(0x300b, 1));  // last valid byte
+    EXPECT_FALSE(shadow.accessOk(0x300c, 1)); // first invalid byte
+    EXPECT_FALSE(shadow.accessOk(0x3008, 8)); // spills past 12
+    EXPECT_EQ(shadow.shadowByte(0x3008), 4u);
+}
+
+TEST_F(ShadowMemoryTest, StraddlingAccessChecksBothGranules)
+{
+    shadow.poison(0x4008, 8, shadow_poison::stackMidRz);
+    EXPECT_TRUE(shadow.accessOk(0x4000, 8));
+    EXPECT_FALSE(shadow.accessOk(0x4004, 8)); // straddles into poison
+}
+
+TEST_F(ShadowMemoryTest, EmitterCountsPoisonStores)
+{
+    std::deque<isa::DynOp> q;
+    OpEmitter em(q, 0x600000, false);
+    // 64 application bytes = 8 shadow bytes = one 8-byte store.
+    shadow.poison(0x5000, 64, shadow_poison::heapLeftRz, &em);
+    unsigned stores = 0;
+    for (auto &op : q)
+        stores += op.isStore();
+    EXPECT_EQ(stores, 1u);
+}
+
+TEST_F(ShadowMemoryTest, LargeRangeUsesWideStores)
+{
+    std::deque<isa::DynOp> q;
+    OpEmitter em(q, 0x600000, false);
+    // 64 KiB app = 8 KiB shadow >= 128: vectorized path, one store
+    // per 64 shadow bytes = 128 stores.
+    shadow.poison(0x10000, 64 * 1024, shadow_poison::heapFreed, &em);
+    unsigned stores = 0;
+    for (auto &op : q)
+        stores += op.isStore();
+    EXPECT_EQ(stores, 128u);
+}
+
+TEST_F(ShadowMemoryTest, StackPoisonValuesDistinct)
+{
+    shadow.poison(0x6000, 32, shadow_poison::stackLeftRz);
+    shadow.poison(0x6020, 32, shadow_poison::stackRightRz);
+    EXPECT_EQ(shadow.shadowByte(0x6000), 0xf1u);
+    EXPECT_EQ(shadow.shadowByte(0x6020), 0xf3u);
+}
+
+} // namespace rest::runtime

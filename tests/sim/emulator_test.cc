@@ -1,0 +1,272 @@
+#include <gtest/gtest.h>
+
+#include "core/rest_engine.hh"
+#include "runtime/instrumentation.hh"
+#include "runtime/libc_allocator.hh"
+#include "sim/emulator.hh"
+#include "util/random.hh"
+
+namespace rest::sim
+{
+
+using isa::FuncBuilder;
+using isa::Opcode;
+
+class EmulatorTest : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        Xoshiro256ss rng(1);
+        tcr.writePrivileged(
+            core::TokenValue::generate(rng,
+                                       core::TokenWidth::Bytes64),
+            core::RestMode::Secure);
+        engine = std::make_unique<core::RestEngine>(tcr);
+        allocator = std::make_unique<runtime::LibcAllocator>(memory);
+    }
+
+    /** Finalise and wrap a program in an emulator. */
+    std::unique_ptr<Emulator>
+    make(isa::Program prog,
+         runtime::SchemeConfig scheme = runtime::SchemeConfig::plain())
+    {
+        runtime::applyScheme(prog, scheme, tcr.granule());
+        program = std::move(prog);
+        return std::make_unique<Emulator>(program, memory, *engine,
+                                          *allocator, scheme);
+    }
+
+    /** Drain the op stream; return the number of ops. */
+    std::uint64_t
+    drain(Emulator &emu)
+    {
+        isa::DynOp op;
+        std::uint64_t n = 0;
+        while (emu.next(op))
+            ++n;
+        return n;
+    }
+
+    mem::GuestMemory memory;
+    core::TokenConfigRegister tcr;
+    std::unique_ptr<core::RestEngine> engine;
+    std::unique_ptr<runtime::LibcAllocator> allocator;
+    isa::Program program;
+};
+
+TEST_F(EmulatorTest, AluAndImmediates)
+{
+    FuncBuilder b("main");
+    b.movImm(1, 40);
+    b.addI(2, 1, 2);
+    b.alu(Opcode::Add, 3, 1, 2);
+    b.alu(Opcode::Sub, 4, 3, 1);
+    b.alu(Opcode::Mul, 5, 2, 2);
+    b.halt();
+    isa::Program prog;
+    prog.funcs.push_back(std::move(b).take());
+    auto emu = make(std::move(prog));
+    drain(*emu);
+    EXPECT_EQ(emu->reg(1), 40u);
+    EXPECT_EQ(emu->reg(2), 42u);
+    EXPECT_EQ(emu->reg(3), 82u);
+    EXPECT_EQ(emu->reg(4), 42u);
+    EXPECT_EQ(emu->reg(5), 42u * 42u);
+}
+
+TEST_F(EmulatorTest, RegisterZeroIsHardwired)
+{
+    FuncBuilder b("main");
+    b.movImm(0, 99);
+    b.alu(Opcode::Add, 1, 0, 0);
+    b.halt();
+    isa::Program prog;
+    prog.funcs.push_back(std::move(b).take());
+    auto emu = make(std::move(prog));
+    drain(*emu);
+    EXPECT_EQ(emu->reg(0), 0u);
+    EXPECT_EQ(emu->reg(1), 0u);
+}
+
+TEST_F(EmulatorTest, LoadsAndStores)
+{
+    FuncBuilder b("main");
+    b.movImm(1, 0x10000000);
+    b.movImm(2, 0xdead);
+    b.store(2, 1, 8, 8);
+    b.load(3, 1, 8, 8);
+    b.load(4, 1, 8, 2);
+    b.halt();
+    isa::Program prog;
+    prog.funcs.push_back(std::move(b).take());
+    auto emu = make(std::move(prog));
+    drain(*emu);
+    EXPECT_EQ(emu->reg(3), 0xdeadu);
+    EXPECT_EQ(emu->reg(4), 0xdeadu);
+    EXPECT_EQ(memory.read(0x10000008, 8), 0xdeadu);
+}
+
+TEST_F(EmulatorTest, LoopExecutesCorrectTripCount)
+{
+    FuncBuilder b("main");
+    b.movImm(1, 10);
+    b.movImm(2, 0);
+    int loop = b.here();
+    b.addI(2, 2, 3);
+    b.addI(1, 1, -1);
+    b.branch(Opcode::Bne, 1, isa::regZero, loop);
+    b.halt();
+    isa::Program prog;
+    prog.funcs.push_back(std::move(b).take());
+    auto emu = make(std::move(prog));
+    drain(*emu);
+    EXPECT_EQ(emu->reg(2), 30u);
+}
+
+TEST_F(EmulatorTest, CallAndReturnPreserveFrame)
+{
+    isa::Program prog;
+    {
+        FuncBuilder b("main");
+        b.movImm(1, 7);
+        b.call(1);
+        b.alu(Opcode::Add, 3, 1, isa::regRet);
+        b.halt();
+        prog.funcs.push_back(std::move(b).take());
+    }
+    {
+        FuncBuilder b("callee");
+        b.movImm(isa::regRet, 5);
+        b.ret();
+        prog.funcs.push_back(std::move(b).take());
+    }
+    auto emu = make(std::move(prog));
+    drain(*emu);
+    EXPECT_EQ(emu->reg(3), 12u);
+}
+
+TEST_F(EmulatorTest, MallocExpandsToInjectedOps)
+{
+    FuncBuilder b("main");
+    b.movImm(1, 64);
+    b.emit({Opcode::RtMalloc, isa::noReg, 1, isa::noReg, 8, 0, -1,
+            -1});
+    b.mov(2, isa::regRet);
+    b.halt();
+    isa::Program prog;
+    prog.funcs.push_back(std::move(b).take());
+    auto emu = make(std::move(prog));
+
+    isa::DynOp op;
+    bool saw_allocator_op = false;
+    while (emu->next(op))
+        saw_allocator_op |=
+            (op.source == isa::OpSource::Allocator);
+    EXPECT_TRUE(saw_allocator_op);
+    EXPECT_NE(emu->reg(2), 0u);
+    EXPECT_EQ(allocator->liveAllocations(), 1u);
+}
+
+TEST_F(EmulatorTest, ProgramArmDisarmUpdateEngine)
+{
+    FuncBuilder b("main");
+    b.movImm(1, 0x10000040);
+    b.emit({Opcode::Arm, isa::noReg, 1, isa::noReg, 8, 0, -1, -1});
+    b.movImm(2, 1); // marker: reached past the arm
+    b.emit({Opcode::Disarm, isa::noReg, 1, isa::noReg, 8, 0, -1, -1});
+    b.movImm(3, 1);
+    b.halt();
+    isa::Program prog;
+    prog.funcs.push_back(std::move(b).take());
+    auto emu = make(std::move(prog));
+    drain(*emu);
+    EXPECT_EQ(emu->faultKind(), isa::FaultKind::None);
+    EXPECT_EQ(engine->armsExecuted(), 1u);
+    EXPECT_EQ(engine->disarmsExecuted(), 1u);
+    EXPECT_EQ(emu->reg(3), 1u);
+    // Disarm zeroed the granule.
+    EXPECT_EQ(memory.read(0x10000040, 8), 0u);
+}
+
+TEST_F(EmulatorTest, MisalignedArmFaults)
+{
+    FuncBuilder b("main");
+    b.movImm(1, 0x10000004);
+    b.emit({Opcode::Arm, isa::noReg, 1, isa::noReg, 8, 0, -1, -1});
+    b.halt();
+    isa::Program prog;
+    prog.funcs.push_back(std::move(b).take());
+    auto emu = make(std::move(prog));
+    drain(*emu);
+    EXPECT_EQ(emu->faultKind(), isa::FaultKind::RestMisaligned);
+}
+
+TEST_F(EmulatorTest, TokenAccessFaultStopsStream)
+{
+    FuncBuilder b("main");
+    b.movImm(1, 0x10000040);
+    b.emit({Opcode::Arm, isa::noReg, 1, isa::noReg, 8, 0, -1, -1});
+    b.load(2, 1, 0, 8); // touches the token
+    b.movImm(3, 1);     // must never execute
+    b.halt();
+    isa::Program prog;
+    prog.funcs.push_back(std::move(b).take());
+    auto emu = make(std::move(prog));
+
+    isa::DynOp op;
+    isa::FaultKind last = isa::FaultKind::None;
+    while (emu->next(op))
+        last = op.fault;
+    EXPECT_EQ(last, isa::FaultKind::RestTokenAccess);
+    EXPECT_EQ(emu->reg(3), 0u);
+}
+
+TEST_F(EmulatorTest, PcsAreStablePerInstruction)
+{
+    FuncBuilder b("main");
+    b.movImm(1, 3);
+    int loop = b.here();
+    b.addI(1, 1, -1);
+    b.branch(Opcode::Bne, 1, isa::regZero, loop);
+    b.halt();
+    isa::Program prog;
+    prog.funcs.push_back(std::move(b).take());
+    auto emu = make(std::move(prog));
+
+    isa::DynOp op;
+    std::map<Addr, unsigned> pc_counts;
+    while (emu->next(op))
+        ++pc_counts[op.pc];
+    // The loop body PC appears exactly 3 times.
+    bool found_tripled = false;
+    for (auto &[pc, count] : pc_counts)
+        found_tripled |= (count == 3);
+    EXPECT_TRUE(found_tripled);
+}
+
+TEST_F(EmulatorTest, BranchOpsCarryResolvedOutcome)
+{
+    FuncBuilder b("main");
+    b.movImm(1, 2);
+    int loop = b.here();
+    b.addI(1, 1, -1);
+    b.branch(Opcode::Bne, 1, isa::regZero, loop);
+    b.halt();
+    isa::Program prog;
+    prog.funcs.push_back(std::move(b).take());
+    auto emu = make(std::move(prog));
+
+    isa::DynOp op;
+    std::vector<bool> outcomes;
+    while (emu->next(op)) {
+        if (op.isBranch)
+            outcomes.push_back(op.taken);
+    }
+    ASSERT_EQ(outcomes.size(), 2u);
+    EXPECT_TRUE(outcomes[0]);  // loop back once
+    EXPECT_FALSE(outcomes[1]); // then fall through
+}
+
+} // namespace rest::sim

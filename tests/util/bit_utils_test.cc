@@ -1,0 +1,75 @@
+#include <gtest/gtest.h>
+
+#include "util/bit_utils.hh"
+
+namespace rest
+{
+
+TEST(BitUtils, PowerOfTwo)
+{
+    EXPECT_FALSE(isPowerOfTwo(0));
+    EXPECT_TRUE(isPowerOfTwo(1));
+    EXPECT_TRUE(isPowerOfTwo(2));
+    EXPECT_FALSE(isPowerOfTwo(3));
+    EXPECT_TRUE(isPowerOfTwo(64));
+    EXPECT_TRUE(isPowerOfTwo(1ull << 40));
+    EXPECT_FALSE(isPowerOfTwo((1ull << 40) + 1));
+}
+
+TEST(BitUtils, AlignDown)
+{
+    EXPECT_EQ(alignDown(0, 64), 0u);
+    EXPECT_EQ(alignDown(63, 64), 0u);
+    EXPECT_EQ(alignDown(64, 64), 64u);
+    EXPECT_EQ(alignDown(127, 64), 64u);
+    EXPECT_EQ(alignDown(0xdeadbeef, 16), 0xdeadbee0u);
+}
+
+TEST(BitUtils, AlignUp)
+{
+    EXPECT_EQ(alignUp(0, 64), 0u);
+    EXPECT_EQ(alignUp(1, 64), 64u);
+    EXPECT_EQ(alignUp(64, 64), 64u);
+    EXPECT_EQ(alignUp(65, 64), 128u);
+}
+
+TEST(BitUtils, IsAligned)
+{
+    EXPECT_TRUE(isAligned(0, 64));
+    EXPECT_TRUE(isAligned(128, 64));
+    EXPECT_FALSE(isAligned(129, 64));
+    EXPECT_TRUE(isAligned(48, 16));
+    EXPECT_FALSE(isAligned(48, 32));
+}
+
+TEST(BitUtils, FloorLog2)
+{
+    EXPECT_EQ(floorLog2(1), 0u);
+    EXPECT_EQ(floorLog2(2), 1u);
+    EXPECT_EQ(floorLog2(3), 1u);
+    EXPECT_EQ(floorLog2(64), 6u);
+    EXPECT_EQ(floorLog2((1ull << 33) + 5), 33u);
+}
+
+class AlignmentSweep : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(AlignmentSweep, RoundTripInvariants)
+{
+    const unsigned align = GetParam();
+    for (Addr a : {Addr(0), Addr(1), Addr(align - 1), Addr(align),
+                   Addr(align + 1), Addr(12345678)}) {
+        Addr down = alignDown(a, align);
+        Addr up = alignUp(a, align);
+        EXPECT_TRUE(isAligned(down, align));
+        EXPECT_TRUE(isAligned(up, align));
+        EXPECT_LE(down, a);
+        EXPECT_GE(up, a);
+        EXPECT_LT(a - down, Addr(align));
+        EXPECT_LT(up - a, Addr(align));
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Alignments, AlignmentSweep,
+                         ::testing::Values(8u, 16u, 32u, 64u, 4096u));
+
+} // namespace rest

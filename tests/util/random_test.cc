@@ -1,0 +1,82 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "util/random.hh"
+
+namespace rest
+{
+
+TEST(Random, DeterministicFromSeed)
+{
+    Xoshiro256ss a(42), b(42);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_EQ(a(), b());
+}
+
+TEST(Random, DifferentSeedsDiffer)
+{
+    Xoshiro256ss a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 100; ++i)
+        same += (a() == b());
+    EXPECT_LT(same, 2);
+}
+
+TEST(Random, BelowStaysInRange)
+{
+    Xoshiro256ss rng(7);
+    for (int i = 0; i < 10000; ++i)
+        EXPECT_LT(rng.below(17), 17u);
+}
+
+TEST(Random, RangeInclusive)
+{
+    Xoshiro256ss rng(9);
+    std::set<std::uint64_t> seen;
+    for (int i = 0; i < 1000; ++i) {
+        auto v = rng.range(5, 8);
+        EXPECT_GE(v, 5u);
+        EXPECT_LE(v, 8u);
+        seen.insert(v);
+    }
+    EXPECT_EQ(seen.size(), 4u); // all four values hit
+}
+
+TEST(Random, RealInUnitInterval)
+{
+    Xoshiro256ss rng(11);
+    double sum = 0;
+    for (int i = 0; i < 10000; ++i) {
+        double v = rng.real();
+        EXPECT_GE(v, 0.0);
+        EXPECT_LT(v, 1.0);
+        sum += v;
+    }
+    // Mean of U[0,1) should be near 0.5.
+    EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(Random, ChanceRespectsProbability)
+{
+    Xoshiro256ss rng(13);
+    int hits = 0;
+    for (int i = 0; i < 20000; ++i)
+        hits += rng.chance(0.25);
+    EXPECT_NEAR(hits / 20000.0, 0.25, 0.02);
+}
+
+TEST(Random, BitsLookUniformish)
+{
+    // Count set bits over many draws; expect close to half.
+    Xoshiro256ss rng(17);
+    std::uint64_t ones = 0;
+    const int draws = 4096;
+    for (int i = 0; i < draws; ++i)
+        ones += static_cast<std::uint64_t>(
+            __builtin_popcountll(rng()));
+    double frac = double(ones) / (64.0 * draws);
+    EXPECT_NEAR(frac, 0.5, 0.01);
+}
+
+} // namespace rest

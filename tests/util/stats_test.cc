@@ -1,0 +1,101 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "util/stats.hh"
+
+namespace rest::stats
+{
+
+TEST(Stats, ScalarBasics)
+{
+    StatGroup g("grp");
+    Scalar &s = g.addScalar("counter", "a counter");
+    EXPECT_EQ(s.value(), 0u);
+    ++s;
+    s += 41;
+    EXPECT_EQ(s.value(), 42u);
+    EXPECT_EQ(g.scalarValue("counter"), 42u);
+    s.reset();
+    EXPECT_EQ(s.value(), 0u);
+}
+
+TEST(Stats, MissingScalarReadsZero)
+{
+    StatGroup g("grp");
+    EXPECT_EQ(g.scalarValue("nope"), 0u);
+}
+
+TEST(Stats, DistributionTracksMoments)
+{
+    StatGroup g("grp");
+    Distribution &d = g.addDistribution("lat", "latencies",
+                                        {10, 100, 1000});
+    for (std::uint64_t v : {5u, 50u, 500u, 5000u})
+        d.sample(v);
+    EXPECT_EQ(d.count(), 4u);
+    EXPECT_EQ(d.minValue(), 5u);
+    EXPECT_EQ(d.maxValue(), 5000u);
+    EXPECT_DOUBLE_EQ(d.mean(), (5 + 50 + 500 + 5000) / 4.0);
+    ASSERT_EQ(d.buckets().size(), 4u);
+    for (auto b : d.buckets())
+        EXPECT_EQ(b, 1u); // one sample per bucket
+}
+
+TEST(Stats, DistributionReset)
+{
+    StatGroup g("grp");
+    Distribution &d = g.addDistribution("x", "", {10});
+    d.sample(3);
+    d.reset();
+    EXPECT_EQ(d.count(), 0u);
+    EXPECT_EQ(d.sum(), 0u);
+}
+
+TEST(Stats, FormulaEvaluatesLazily)
+{
+    StatGroup g("grp");
+    Scalar &num = g.addScalar("num", "");
+    Scalar &den = g.addScalar("den", "");
+    Formula &f = g.addFormula("ratio", "num/den", [&]() {
+        return den.value() ? double(num.value()) / den.value() : 0.0;
+    });
+    num += 10;
+    den += 4;
+    EXPECT_DOUBLE_EQ(f.value(), 2.5);
+    num += 10;
+    EXPECT_DOUBLE_EQ(f.value(), 5.0);
+}
+
+TEST(Stats, DumpContainsNamesAndValues)
+{
+    StatGroup g("mygroup");
+    g.addScalar("alpha", "first") += 7;
+    std::ostringstream os;
+    g.dump(os);
+    std::string out = os.str();
+    EXPECT_NE(out.find("mygroup.alpha"), std::string::npos);
+    EXPECT_NE(out.find("7"), std::string::npos);
+    EXPECT_NE(out.find("first"), std::string::npos);
+}
+
+TEST(Stats, DuplicateRegistrationPanics)
+{
+    StatGroup g("grp");
+    g.addScalar("dup", "");
+    EXPECT_DEATH(g.addScalar("dup", ""), "duplicate");
+}
+
+TEST(Stats, ResetAllClearsEverything)
+{
+    StatGroup g("grp");
+    Scalar &s = g.addScalar("s", "");
+    Distribution &d = g.addDistribution("d", "", {5});
+    s += 3;
+    d.sample(2);
+    g.resetAll();
+    EXPECT_EQ(s.value(), 0u);
+    EXPECT_EQ(d.count(), 0u);
+}
+
+} // namespace rest::stats

@@ -1,0 +1,152 @@
+#include <gtest/gtest.h>
+
+#include "common/test_util.hh"
+
+namespace rest::workload::attacks
+{
+
+using rest::test::runUnder;
+using rest::test::violationOf;
+using sim::ExpConfig;
+using core::ViolationKind;
+
+TEST(Heartbleed, UndetectedOnPlainHardwareAndLeaks)
+{
+    auto result = runUnder(heartbleed(64, 256), ExpConfig::Plain);
+    EXPECT_FALSE(result.faulted());
+}
+
+TEST(Heartbleed, RestHeapStopsTheOverRead)
+{
+    auto result = runUnder(heartbleed(64, 256),
+                           ExpConfig::RestSecureHeap);
+    ASSERT_TRUE(result.faulted());
+    EXPECT_EQ(violationOf(result), ViolationKind::TokenAccess);
+}
+
+TEST(Heartbleed, AsanInterceptorCatchesIt)
+{
+    auto result = runUnder(heartbleed(64, 256), ExpConfig::Asan);
+    ASSERT_TRUE(result.faulted());
+    EXPECT_EQ(violationOf(result), ViolationKind::AsanCheckFailed);
+}
+
+TEST(Heartbleed, DebugModeReportsPrecisely)
+{
+    auto result = runUnder(heartbleed(64, 256),
+                           ExpConfig::RestDebugHeap);
+    ASSERT_TRUE(result.faulted());
+    EXPECT_EQ(result.run.violation.precision,
+              core::Precision::Precise);
+}
+
+TEST(HeapOverflow, WriteSweepCaught)
+{
+    // 64-byte buffer, 32 words = 256 bytes written: well past bounds.
+    auto result = runUnder(heapOverflowWrite(64, 32),
+                           ExpConfig::RestSecureHeap);
+    ASSERT_TRUE(result.faulted());
+    EXPECT_EQ(violationOf(result), ViolationKind::TokenAccess);
+}
+
+TEST(HeapOverflow, InBoundsSweepIsClean)
+{
+    auto result = runUnder(heapOverflowWrite(64, 8),
+                           ExpConfig::RestSecureHeap);
+    EXPECT_FALSE(result.faulted());
+}
+
+TEST(HeapUnderflow, ReadBeforeBaseCaught)
+{
+    auto result = runUnder(heapUnderflowRead(64, 8),
+                           ExpConfig::RestSecureHeap);
+    ASSERT_TRUE(result.faulted());
+    EXPECT_EQ(violationOf(result), ViolationKind::TokenAccess);
+}
+
+TEST(UseAfterFree, DanglingLoadCaught)
+{
+    auto result = runUnder(useAfterFree(128),
+                           ExpConfig::RestSecureHeap);
+    ASSERT_TRUE(result.faulted());
+    EXPECT_EQ(violationOf(result), ViolationKind::TokenAccess);
+}
+
+TEST(UseAfterFree, UndetectedOnPlain)
+{
+    auto result = runUnder(useAfterFree(128), ExpConfig::Plain);
+    EXPECT_FALSE(result.faulted());
+}
+
+TEST(DoubleFree, CaughtByRest)
+{
+    auto result = runUnder(doubleFree(64), ExpConfig::RestSecureHeap);
+    ASSERT_TRUE(result.faulted());
+    EXPECT_EQ(violationOf(result), ViolationKind::TokenAccess);
+}
+
+TEST(DoubleFree, CaughtByAsan)
+{
+    auto result = runUnder(doubleFree(64), ExpConfig::Asan);
+    ASSERT_TRUE(result.faulted());
+    EXPECT_EQ(violationOf(result), ViolationKind::AsanCheckFailed);
+}
+
+TEST(StackOverflow, CaughtWithFullProtection)
+{
+    auto result = runUnder(stackOverflowWrite(16, 16),
+                           ExpConfig::RestSecureFull);
+    ASSERT_TRUE(result.faulted());
+    EXPECT_EQ(violationOf(result), ViolationKind::TokenAccess);
+}
+
+TEST(StackOverflow, MissedWithHeapOnlyProtection)
+{
+    // Heap-only REST (the legacy-binary mode) does not protect the
+    // stack: the overflow proceeds undetected.
+    auto result = runUnder(stackOverflowWrite(16, 16),
+                           ExpConfig::RestSecureHeap);
+    EXPECT_FALSE(result.faulted());
+}
+
+TEST(BruteForceDisarm, RaisesException)
+{
+    auto result = runUnder(bruteForceDisarm(),
+                           ExpConfig::RestSecureHeap);
+    ASSERT_TRUE(result.faulted());
+    EXPECT_EQ(violationOf(result), ViolationKind::DisarmUnarmed);
+}
+
+TEST(PadOverflow, SmallSpillIntoPaddingIsTheKnownFalseNegative)
+{
+    // 16-byte buffer, 64-byte tokens: bytes 16..63 are padding
+    // (§V-C). An 8-byte overflow lands there -- undetected.
+    auto result = runUnder(stackPadOverflow(16, 8),
+                           ExpConfig::RestSecureFull,
+                           core::TokenWidth::Bytes64);
+    EXPECT_FALSE(result.faulted());
+}
+
+TEST(PadOverflow, NarrowTokensCloseTheGap)
+{
+    // With 16-byte tokens the redzone starts at byte 16: the same
+    // 8-byte overflow is caught (§V-C mitigation).
+    auto result = runUnder(stackPadOverflow(16, 8),
+                           ExpConfig::RestSecureFull,
+                           core::TokenWidth::Bytes16);
+    ASSERT_TRUE(result.faulted());
+    EXPECT_EQ(violationOf(result), ViolationKind::TokenAccess);
+}
+
+TEST(Scenarios, AllBuildersProduceValidPrograms)
+{
+    for (auto prog : {heartbleed(64, 128), heapOverflowWrite(64, 4),
+                      heapUnderflowRead(64, 8), useAfterFree(64),
+                      doubleFree(64), stackOverflowWrite(16, 1),
+                      bruteForceDisarm(), stackPadOverflow(16, 4)}) {
+        EXPECT_GE(prog.funcs.size(), 1u);
+        EXPECT_GT(prog.numInsts(), 0u);
+    }
+}
+
+} // namespace rest::workload::attacks

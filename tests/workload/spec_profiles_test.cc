@@ -1,0 +1,127 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "util/bit_utils.hh"
+#include "workload/spec_profiles.hh"
+
+namespace rest::workload
+{
+
+TEST(SpecProfiles, SuiteHasTwelveBenchmarks)
+{
+    auto suite = specSuite();
+    EXPECT_EQ(suite.size(), 12u);
+    std::set<std::string> names;
+    for (auto &p : suite)
+        names.insert(p.name);
+    EXPECT_EQ(names.size(), 12u);
+    // The benchmarks the paper's figures report.
+    for (const char *name :
+         {"bzip2", "gobmk", "gcc", "libquantum", "astar", "h264ref",
+          "lbm", "namd", "sjeng", "soplex", "xalancbmk", "hmmer"}) {
+        EXPECT_TRUE(names.count(name)) << name;
+    }
+}
+
+TEST(SpecProfiles, LookupByName)
+{
+    auto p = profileByName("xalancbmk");
+    EXPECT_EQ(p.name, "xalancbmk");
+    EXPECT_GT(p.allocsPerKiloInst, 0.5); // the allocation-heavy one
+    EXPECT_DEATH((void)profileByName("nonexistent"), "unknown");
+}
+
+TEST(SpecProfiles, ProfilesAreWellFormed)
+{
+    for (auto &p : specSuite()) {
+        EXPECT_TRUE(isPowerOfTwo(p.workingSetBytes)) << p.name;
+        EXPECT_GT(p.numWorkFuncs, 0u) << p.name;
+        EXPECT_GT(p.innerIters, 0u) << p.name;
+        EXPECT_LE(p.loadFrac + p.storeFrac + p.fpFrac + p.mulFrac, 1.0)
+            << p.name;
+    }
+}
+
+TEST(SpecProfiles, PaperQuotedCharacteristics)
+{
+    // lbm and sjeng make fewer than 10 allocation calls (paper
+    // §VI-B): their profiles have no churn at all.
+    EXPECT_EQ(profileByName("lbm").allocsPerKiloInst, 0.0);
+    EXPECT_EQ(profileByName("sjeng").allocsPerKiloInst, 0.0);
+    // gcc and xalancbmk use the allocator most frequently.
+    double gcc_rate = profileByName("gcc").allocsPerKiloInst;
+    double xal_rate = profileByName("xalancbmk").allocsPerKiloInst;
+    for (auto &p : specSuite()) {
+        if (p.name != "gcc" && p.name != "xalancbmk") {
+            EXPECT_LT(p.allocsPerKiloInst, gcc_rate) << p.name;
+        }
+    }
+    EXPECT_GT(xal_rate, gcc_rate);
+}
+
+TEST(SpecProfiles, GeneratedProgramsAreWellFormed)
+{
+    for (auto &p : specSuite()) {
+        auto prof = p;
+        prof.targetKiloInsts = 10;
+        isa::Program prog = generate(prof);
+        ASSERT_GE(prog.funcs.size(), 1u + prof.numWorkFuncs) << p.name;
+        // main ends with Halt, work funcs with Ret.
+        EXPECT_EQ(prog.funcs[0].insts.back().op, isa::Opcode::Halt);
+        for (std::size_t f = 1; f < prog.funcs.size(); ++f) {
+            EXPECT_EQ(prog.funcs[f].insts.back().op, isa::Opcode::Ret)
+                << p.name;
+        }
+        // All branch targets are in range and never point at the
+        // trailing Ret/Halt (single-exit contract).
+        for (auto &fn : prog.funcs) {
+            for (auto &inst : fn.insts) {
+                if (inst.target >= 0 &&
+                    inst.op != isa::Opcode::Call) {
+                    EXPECT_LT(static_cast<std::size_t>(inst.target),
+                              fn.insts.size() - 1)
+                        << p.name;
+                }
+                if (inst.op == isa::Opcode::Call) {
+                    EXPECT_LT(static_cast<std::size_t>(inst.target),
+                              prog.funcs.size());
+                }
+            }
+        }
+    }
+}
+
+TEST(SpecProfiles, GenerationIsDeterministic)
+{
+    auto p = profileByName("gobmk");
+    p.targetKiloInsts = 10;
+    isa::Program a = generate(p);
+    isa::Program b = generate(p);
+    ASSERT_EQ(a.numInsts(), b.numInsts());
+    EXPECT_EQ(a.toString(), b.toString());
+}
+
+TEST(SpecProfiles, SeedChangesCode)
+{
+    auto p = profileByName("gobmk");
+    p.targetKiloInsts = 10;
+    isa::Program a = generate(p);
+    p.seed ^= 0x1234;
+    isa::Program b = generate(p);
+    EXPECT_NE(a.toString(), b.toString());
+}
+
+TEST(SpecProfiles, AllocRateProducesRuntimeCalls)
+{
+    auto p = profileByName("xalancbmk");
+    p.targetKiloInsts = 10;
+    isa::Program prog = generate(p);
+    unsigned mallocs = 0;
+    for (auto &inst : prog.funcs[0].insts)
+        mallocs += (inst.op == isa::Opcode::RtMalloc);
+    // Setup arrays + at least one churn alloc site.
+    EXPECT_GT(mallocs, p.numWorkFuncs);
+}
+
+} // namespace rest::workload
