@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_overheads.dir/fig7_overheads.cc.o"
+  "CMakeFiles/fig7_overheads.dir/fig7_overheads.cc.o.d"
+  "fig7_overheads"
+  "fig7_overheads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_overheads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_token_widths.dir/fig8_token_widths.cc.o"
+  "CMakeFiles/fig8_token_widths.dir/fig8_token_widths.cc.o.d"
+  "fig8_token_widths"
+  "fig8_token_widths.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_token_widths.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

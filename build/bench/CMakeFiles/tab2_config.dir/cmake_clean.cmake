@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab2_config.dir/tab2_config.cc.o"
+  "CMakeFiles/tab2_config.dir/tab2_config.cc.o.d"
+  "tab2_config"
+  "tab2_config.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab2_config.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

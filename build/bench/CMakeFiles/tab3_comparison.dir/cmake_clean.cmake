@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab3_comparison.dir/tab3_comparison.cc.o"
+  "CMakeFiles/tab3_comparison.dir/tab3_comparison.cc.o.d"
+  "tab3_comparison"
+  "tab3_comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab3_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

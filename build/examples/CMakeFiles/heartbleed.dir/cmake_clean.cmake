@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/heartbleed.dir/heartbleed.cc.o"
+  "CMakeFiles/heartbleed.dir/heartbleed.cc.o.d"
+  "heartbleed"
+  "heartbleed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/heartbleed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

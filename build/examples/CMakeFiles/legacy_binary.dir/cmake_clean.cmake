@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/legacy_binary.dir/legacy_binary.cc.o"
+  "CMakeFiles/legacy_binary.dir/legacy_binary.cc.o.d"
+  "legacy_binary"
+  "legacy_binary.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/legacy_binary.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

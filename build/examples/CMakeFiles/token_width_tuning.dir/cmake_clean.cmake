@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/token_width_tuning.dir/token_width_tuning.cc.o"
+  "CMakeFiles/token_width_tuning.dir/token_width_tuning.cc.o.d"
+  "token_width_tuning"
+  "token_width_tuning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/token_width_tuning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/use_after_free.dir/use_after_free.cc.o"
+  "CMakeFiles/use_after_free.dir/use_after_free.cc.o.d"
+  "use_after_free"
+  "use_after_free.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/use_after_free.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for use_after_free.
+# This may be replaced when dependencies are built.

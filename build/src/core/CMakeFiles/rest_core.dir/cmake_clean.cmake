@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rest_core.dir/exceptions.cc.o"
+  "CMakeFiles/rest_core.dir/exceptions.cc.o.d"
+  "librest_core.a"
+  "librest_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rest_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

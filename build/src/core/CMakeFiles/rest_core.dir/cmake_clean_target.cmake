@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "librest_core.a"
+)

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cpu/bpred.cc" "src/cpu/CMakeFiles/rest_cpu.dir/bpred.cc.o" "gcc" "src/cpu/CMakeFiles/rest_cpu.dir/bpred.cc.o.d"
+  "/root/repo/src/cpu/inorder_cpu.cc" "src/cpu/CMakeFiles/rest_cpu.dir/inorder_cpu.cc.o" "gcc" "src/cpu/CMakeFiles/rest_cpu.dir/inorder_cpu.cc.o.d"
+  "/root/repo/src/cpu/o3_cpu.cc" "src/cpu/CMakeFiles/rest_cpu.dir/o3_cpu.cc.o" "gcc" "src/cpu/CMakeFiles/rest_cpu.dir/o3_cpu.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/rest_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/rest_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/rest_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/rest_mem.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rest_cpu.dir/bpred.cc.o"
+  "CMakeFiles/rest_cpu.dir/bpred.cc.o.d"
+  "CMakeFiles/rest_cpu.dir/inorder_cpu.cc.o"
+  "CMakeFiles/rest_cpu.dir/inorder_cpu.cc.o.d"
+  "CMakeFiles/rest_cpu.dir/o3_cpu.cc.o"
+  "CMakeFiles/rest_cpu.dir/o3_cpu.cc.o.d"
+  "librest_cpu.a"
+  "librest_cpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rest_cpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rest_isa.dir/opcode.cc.o"
+  "CMakeFiles/rest_isa.dir/opcode.cc.o.d"
+  "CMakeFiles/rest_isa.dir/program.cc.o"
+  "CMakeFiles/rest_isa.dir/program.cc.o.d"
+  "librest_isa.a"
+  "librest_isa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rest_isa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

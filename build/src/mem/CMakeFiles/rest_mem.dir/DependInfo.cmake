@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mem/cache.cc" "src/mem/CMakeFiles/rest_mem.dir/cache.cc.o" "gcc" "src/mem/CMakeFiles/rest_mem.dir/cache.cc.o.d"
+  "/root/repo/src/mem/rest_l1_cache.cc" "src/mem/CMakeFiles/rest_mem.dir/rest_l1_cache.cc.o" "gcc" "src/mem/CMakeFiles/rest_mem.dir/rest_l1_cache.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/rest_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/rest_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rest_mem.dir/cache.cc.o"
+  "CMakeFiles/rest_mem.dir/cache.cc.o.d"
+  "CMakeFiles/rest_mem.dir/rest_l1_cache.cc.o"
+  "CMakeFiles/rest_mem.dir/rest_l1_cache.cc.o.d"
+  "librest_mem.a"
+  "librest_mem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rest_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

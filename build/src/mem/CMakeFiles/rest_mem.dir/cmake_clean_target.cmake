@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "librest_mem.a"
+)

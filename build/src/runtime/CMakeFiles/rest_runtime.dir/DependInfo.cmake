@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/runtime/asan_allocator.cc" "src/runtime/CMakeFiles/rest_runtime.dir/asan_allocator.cc.o" "gcc" "src/runtime/CMakeFiles/rest_runtime.dir/asan_allocator.cc.o.d"
+  "/root/repo/src/runtime/instrumentation.cc" "src/runtime/CMakeFiles/rest_runtime.dir/instrumentation.cc.o" "gcc" "src/runtime/CMakeFiles/rest_runtime.dir/instrumentation.cc.o.d"
+  "/root/repo/src/runtime/interceptors.cc" "src/runtime/CMakeFiles/rest_runtime.dir/interceptors.cc.o" "gcc" "src/runtime/CMakeFiles/rest_runtime.dir/interceptors.cc.o.d"
+  "/root/repo/src/runtime/libc_allocator.cc" "src/runtime/CMakeFiles/rest_runtime.dir/libc_allocator.cc.o" "gcc" "src/runtime/CMakeFiles/rest_runtime.dir/libc_allocator.cc.o.d"
+  "/root/repo/src/runtime/rest_allocator.cc" "src/runtime/CMakeFiles/rest_runtime.dir/rest_allocator.cc.o" "gcc" "src/runtime/CMakeFiles/rest_runtime.dir/rest_allocator.cc.o.d"
+  "/root/repo/src/runtime/runtime_config.cc" "src/runtime/CMakeFiles/rest_runtime.dir/runtime_config.cc.o" "gcc" "src/runtime/CMakeFiles/rest_runtime.dir/runtime_config.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/rest_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/rest_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/rest_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/rest_mem.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

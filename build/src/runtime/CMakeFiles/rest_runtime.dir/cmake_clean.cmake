@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rest_runtime.dir/asan_allocator.cc.o"
+  "CMakeFiles/rest_runtime.dir/asan_allocator.cc.o.d"
+  "CMakeFiles/rest_runtime.dir/instrumentation.cc.o"
+  "CMakeFiles/rest_runtime.dir/instrumentation.cc.o.d"
+  "CMakeFiles/rest_runtime.dir/interceptors.cc.o"
+  "CMakeFiles/rest_runtime.dir/interceptors.cc.o.d"
+  "CMakeFiles/rest_runtime.dir/libc_allocator.cc.o"
+  "CMakeFiles/rest_runtime.dir/libc_allocator.cc.o.d"
+  "CMakeFiles/rest_runtime.dir/rest_allocator.cc.o"
+  "CMakeFiles/rest_runtime.dir/rest_allocator.cc.o.d"
+  "CMakeFiles/rest_runtime.dir/runtime_config.cc.o"
+  "CMakeFiles/rest_runtime.dir/runtime_config.cc.o.d"
+  "librest_runtime.a"
+  "librest_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rest_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

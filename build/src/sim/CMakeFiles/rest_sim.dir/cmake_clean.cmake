@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rest_sim.dir/emulator.cc.o"
+  "CMakeFiles/rest_sim.dir/emulator.cc.o.d"
+  "CMakeFiles/rest_sim.dir/experiment.cc.o"
+  "CMakeFiles/rest_sim.dir/experiment.cc.o.d"
+  "CMakeFiles/rest_sim.dir/system.cc.o"
+  "CMakeFiles/rest_sim.dir/system.cc.o.d"
+  "librest_sim.a"
+  "librest_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rest_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

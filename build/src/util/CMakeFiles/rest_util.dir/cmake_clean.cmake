@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rest_util.dir/logging.cc.o"
+  "CMakeFiles/rest_util.dir/logging.cc.o.d"
+  "CMakeFiles/rest_util.dir/stats.cc.o"
+  "CMakeFiles/rest_util.dir/stats.cc.o.d"
+  "librest_util.a"
+  "librest_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rest_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workload/attack_scenarios.cc" "src/workload/CMakeFiles/rest_workload.dir/attack_scenarios.cc.o" "gcc" "src/workload/CMakeFiles/rest_workload.dir/attack_scenarios.cc.o.d"
+  "/root/repo/src/workload/spec_profiles.cc" "src/workload/CMakeFiles/rest_workload.dir/spec_profiles.cc.o" "gcc" "src/workload/CMakeFiles/rest_workload.dir/spec_profiles.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/isa/CMakeFiles/rest_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/rest_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/rest_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/rest_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/rest_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

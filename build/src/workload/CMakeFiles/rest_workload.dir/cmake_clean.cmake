@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rest_workload.dir/attack_scenarios.cc.o"
+  "CMakeFiles/rest_workload.dir/attack_scenarios.cc.o.d"
+  "CMakeFiles/rest_workload.dir/spec_profiles.cc.o"
+  "CMakeFiles/rest_workload.dir/spec_profiles.cc.o.d"
+  "librest_workload.a"
+  "librest_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rest_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/attack_scenarios_test.dir/workload/attack_scenarios_test.cc.o"
+  "CMakeFiles/attack_scenarios_test.dir/workload/attack_scenarios_test.cc.o.d"
+  "attack_scenarios_test"
+  "attack_scenarios_test.pdb"
+  "attack_scenarios_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/attack_scenarios_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

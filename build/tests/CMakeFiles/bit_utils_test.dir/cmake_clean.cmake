@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bit_utils_test.dir/util/bit_utils_test.cc.o"
+  "CMakeFiles/bit_utils_test.dir/util/bit_utils_test.cc.o.d"
+  "bit_utils_test"
+  "bit_utils_test.pdb"
+  "bit_utils_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bit_utils_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/detection_matrix_test.dir/integration/detection_matrix_test.cc.o"
+  "CMakeFiles/detection_matrix_test.dir/integration/detection_matrix_test.cc.o.d"
+  "detection_matrix_test"
+  "detection_matrix_test.pdb"
+  "detection_matrix_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/detection_matrix_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/emulator_test.dir/sim/emulator_test.cc.o"
+  "CMakeFiles/emulator_test.dir/sim/emulator_test.cc.o.d"
+  "emulator_test"
+  "emulator_test.pdb"
+  "emulator_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/emulator_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

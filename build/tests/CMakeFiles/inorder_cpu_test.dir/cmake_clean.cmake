@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/inorder_cpu_test.dir/cpu/inorder_cpu_test.cc.o"
+  "CMakeFiles/inorder_cpu_test.dir/cpu/inorder_cpu_test.cc.o.d"
+  "inorder_cpu_test"
+  "inorder_cpu_test.pdb"
+  "inorder_cpu_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/inorder_cpu_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

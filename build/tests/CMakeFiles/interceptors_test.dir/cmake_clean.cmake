@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/interceptors_test.dir/runtime/interceptors_test.cc.o"
+  "CMakeFiles/interceptors_test.dir/runtime/interceptors_test.cc.o.d"
+  "interceptors_test"
+  "interceptors_test.pdb"
+  "interceptors_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/interceptors_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

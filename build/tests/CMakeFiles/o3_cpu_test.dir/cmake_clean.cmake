@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/o3_cpu_test.dir/cpu/o3_cpu_test.cc.o"
+  "CMakeFiles/o3_cpu_test.dir/cpu/o3_cpu_test.cc.o.d"
+  "o3_cpu_test"
+  "o3_cpu_test.pdb"
+  "o3_cpu_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/o3_cpu_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

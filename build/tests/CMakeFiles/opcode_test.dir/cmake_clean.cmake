@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/opcode_test.dir/isa/opcode_test.cc.o"
+  "CMakeFiles/opcode_test.dir/isa/opcode_test.cc.o.d"
+  "opcode_test"
+  "opcode_test.pdb"
+  "opcode_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/opcode_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/runtime/quarantine_test.cc" "tests/CMakeFiles/quarantine_test.dir/runtime/quarantine_test.cc.o" "gcc" "tests/CMakeFiles/quarantine_test.dir/runtime/quarantine_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/rest_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/rest_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/cpu/CMakeFiles/rest_cpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/rest_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/rest_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/rest_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/rest_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/rest_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

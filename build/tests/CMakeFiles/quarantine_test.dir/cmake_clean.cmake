@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/quarantine_test.dir/runtime/quarantine_test.cc.o"
+  "CMakeFiles/quarantine_test.dir/runtime/quarantine_test.cc.o.d"
+  "quarantine_test"
+  "quarantine_test.pdb"
+  "quarantine_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/quarantine_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

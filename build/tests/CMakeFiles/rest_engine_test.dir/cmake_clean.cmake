@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rest_engine_test.dir/core/rest_engine_test.cc.o"
+  "CMakeFiles/rest_engine_test.dir/core/rest_engine_test.cc.o.d"
+  "rest_engine_test"
+  "rest_engine_test.pdb"
+  "rest_engine_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rest_engine_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rest_l1_cache_test.dir/mem/rest_l1_cache_test.cc.o"
+  "CMakeFiles/rest_l1_cache_test.dir/mem/rest_l1_cache_test.cc.o.d"
+  "rest_l1_cache_test"
+  "rest_l1_cache_test.pdb"
+  "rest_l1_cache_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rest_l1_cache_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

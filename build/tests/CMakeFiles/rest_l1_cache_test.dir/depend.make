@@ -1,0 +1,2 @@
+# Empty dependencies file for rest_l1_cache_test.
+# This may be replaced when dependencies are built.

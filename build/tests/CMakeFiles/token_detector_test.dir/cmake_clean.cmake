@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/token_detector_test.dir/mem/token_detector_test.cc.o"
+  "CMakeFiles/token_detector_test.dir/mem/token_detector_test.cc.o.d"
+  "token_detector_test"
+  "token_detector_test.pdb"
+  "token_detector_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/token_detector_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

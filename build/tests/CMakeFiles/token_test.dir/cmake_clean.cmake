@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/token_test.dir/core/token_test.cc.o"
+  "CMakeFiles/token_test.dir/core/token_test.cc.o.d"
+  "token_test"
+  "token_test.pdb"
+  "token_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/token_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/token_width_property_test.dir/integration/token_width_property_test.cc.o"
+  "CMakeFiles/token_width_property_test.dir/integration/token_width_property_test.cc.o.d"
+  "token_width_property_test"
+  "token_width_property_test.pdb"
+  "token_width_property_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/token_width_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
