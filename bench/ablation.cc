@@ -7,6 +7,9 @@
  *   2. debug-mode delayed store commit (the entire secure/debug gap),
  *   3. critical-word-first off (precise-exception support cost),
  *   4. quarantine budget sweep (temporal-protection window vs cost).
+ *
+ * Each ablation is a small matrix on the parallel sweep runner
+ * (--jobs N); all four sweeps land in BENCH_ablation.json.
  */
 
 #include "bench_util.hh"
@@ -18,117 +21,125 @@ using sim::ExpConfig;
 namespace
 {
 
-Cycles
-measureWith(const workload::BenchProfile &base,
-            const sim::SystemConfig &proto)
+std::vector<workload::BenchProfile>
+profiles(std::initializer_list<const char *> names)
 {
-    double total = 0;
-    unsigned seeds = bench::numSeeds();
-    for (unsigned s = 0; s < seeds; ++s) {
-        workload::BenchProfile p = base;
-        p.targetKiloInsts = bench::kiloInsts();
-        p.seed = base.seed + 0x1000 * s;
-        sim::System system(workload::generate(p), proto);
-        total += double(system.run().cycles());
-    }
-    return Cycles(total / seeds);
+    std::vector<workload::BenchProfile> out;
+    for (const char *name : names)
+        out.push_back(workload::profileByName(name));
+    return out;
 }
 
+/** Print a matrix (run with a Plain baseline) as overhead %. */
 void
-lsqSerializationAblation()
+printOverheads(const bench::MatrixResult &mat)
+{
+    bench::printHeader(mat.colNames);
+    for (std::size_t r = 0; r < mat.rowNames.size(); ++r) {
+        std::vector<double> row;
+        for (std::size_t c = 0; c < mat.colNames.size(); ++c)
+            row.push_back(sim::overheadPct(mat.baseline[r],
+                                           mat.cells[c][r]));
+        bench::printRow(mat.rowNames[r], row);
+    }
+}
+
+bench::MatrixResult
+lsqSerializationAblation(unsigned jobs)
 {
     std::cout << "\n--- Ablation 1: LSQ matching logic vs "
                  "serialization ---\n";
-    bench::printHeader({"matching(%)", "serialized(%)"});
-    for (const char *name : {"xalancbmk", "gcc", "gobmk"}) {
-        auto p = workload::profileByName(name);
-        Cycles base = bench::measure(p, ExpConfig::Plain);
-        auto cfg = sim::makeSystemConfig(ExpConfig::RestSecureFull);
-        Cycles matching = measureWith(p, cfg);
-        cfg.cpuConfig.serializeRestOps = true;
-        Cycles serialized = measureWith(p, cfg);
-        bench::printRow(name, {sim::overheadPct(base, matching),
-                               sim::overheadPct(base, serialized)});
-    }
+    auto matching = sim::makeSystemConfig(ExpConfig::RestSecureFull);
+    auto serialized = matching;
+    serialized.cpuConfig.serializeRestOps = true;
+    auto mat = bench::runMatrix(
+        "lsq_serialization", profiles({"xalancbmk", "gcc", "gobmk"}),
+        {bench::customColumn("matching(%)", matching),
+         bench::customColumn("serialized(%)", serialized)},
+        jobs);
+    printOverheads(mat);
     std::cout << "Expected: serialization costs strictly more, "
                  "especially with frequent arm/disarm.\n";
+    return mat;
 }
 
-void
-storeCommitAblation()
+bench::MatrixResult
+storeCommitAblation(unsigned jobs)
 {
     std::cout << "\n--- Ablation 2: delayed store commit in "
                  "isolation ---\n";
-    bench::printHeader({"secure(%)", "sec+delay(%)", "debug(%)"});
-    for (const char *name : {"xalancbmk", "soplex", "lbm"}) {
-        auto p = workload::profileByName(name);
-        Cycles base = bench::measure(p, ExpConfig::Plain);
-        Cycles secure = bench::measure(p, ExpConfig::RestSecureFull);
-        // Secure mode with only the delayed-store-commit change.
-        auto cfg = sim::makeSystemConfig(ExpConfig::RestSecureFull);
-        cfg.cpuConfig.delayStoreCommit = true;
-        Cycles delayed = measureWith(p, cfg);
-        Cycles debug = bench::measure(p, ExpConfig::RestDebugFull);
-        bench::printRow(name, {sim::overheadPct(base, secure),
-                               sim::overheadPct(base, delayed),
-                               sim::overheadPct(base, debug)});
-    }
+    // Secure mode with only the delayed-store-commit change.
+    auto delayed = sim::makeSystemConfig(ExpConfig::RestSecureFull);
+    delayed.cpuConfig.delayStoreCommit = true;
+    auto mat = bench::runMatrix(
+        "store_commit", profiles({"xalancbmk", "soplex", "lbm"}),
+        {bench::presetColumn("secure(%)", ExpConfig::RestSecureFull),
+         bench::customColumn("sec+delay(%)", delayed),
+         bench::presetColumn("debug(%)", ExpConfig::RestDebugFull)},
+        jobs);
+    printOverheads(mat);
     std::cout << "Expected: delayed store commit accounts for nearly "
                  "the whole secure->debug gap.\n";
+    return mat;
 }
 
-void
-quarantineSweep()
+bench::MatrixResult
+quarantineSweep(unsigned jobs)
 {
     std::cout << "\n--- Ablation 3: quarantine budget sweep "
                  "(xalancbmk, secure heap) ---\n";
-    bench::printHeader({"64KiB(%)", "256KiB(%)", "1MiB(%)",
-                        "4MiB(%)"});
-    auto p = workload::profileByName("xalancbmk");
-    Cycles base = bench::measure(p, ExpConfig::Plain);
-    std::vector<double> row;
-    for (std::size_t budget : {64ul << 10, 256ul << 10, 1ul << 20,
-                               4ul << 20}) {
+    std::vector<bench::MatrixColumn> columns;
+    for (auto [budget, name] :
+         {std::pair{64ul << 10, "64KiB(%)"},
+          std::pair{256ul << 10, "256KiB(%)"},
+          std::pair{1ul << 20, "1MiB(%)"},
+          std::pair{4ul << 20, "4MiB(%)"}}) {
         auto cfg = sim::makeSystemConfig(ExpConfig::RestSecureHeap);
         cfg.scheme.quarantineBudget = budget;
-        row.push_back(sim::overheadPct(base, measureWith(p, cfg)));
+        columns.push_back(bench::customColumn(name, cfg));
     }
-    bench::printRow("xalancbmk", row);
+    auto mat = bench::runMatrix("quarantine_budget",
+                                profiles({"xalancbmk"}), columns,
+                                jobs);
+    printOverheads(mat);
     std::cout << "Larger budgets widen the UAF detection window; the "
                  "cost moves with drain/recycle behaviour.\n";
+    return mat;
 }
 
-void
-criticalWordFirstAblation()
+bench::MatrixResult
+criticalWordFirstAblation(unsigned jobs)
 {
     std::cout << "\n--- Ablation 4: critical-word-first off "
                  "(precise-exception support, SIII-B) ---\n";
-    bench::printHeader({"cwf on(%)", "cwf off(%)"});
-    for (const char *name : {"astar", "libquantum"}) {
-        auto p = workload::profileByName(name);
-        Cycles base = bench::measure(p, ExpConfig::Plain);
-        auto cfg = sim::makeSystemConfig(ExpConfig::RestSecureFull);
-        Cycles on = measureWith(p, cfg);
-        cfg.cpuConfig.criticalWordFirst = false;
-        Cycles off = measureWith(p, cfg);
-        bench::printRow(name, {sim::overheadPct(base, on),
-                               sim::overheadPct(base, off)});
-    }
+    auto off = sim::makeSystemConfig(ExpConfig::RestSecureFull);
+    off.cpuConfig.criticalWordFirst = false;
+    auto mat = bench::runMatrix(
+        "critical_word_first", profiles({"astar", "libquantum"}),
+        {bench::presetColumn("cwf on(%)", ExpConfig::RestSecureFull),
+         bench::customColumn("cwf off(%)", off)},
+        jobs);
+    printOverheads(mat);
     std::cout << "The fill tail shows on latency-bound (chase) "
                  "workloads and hides on bandwidth-bound ones.\n";
+    return mat;
 }
 
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    auto opt = bench::parseOptions(argc, argv, "ablation");
+
     std::cout << "====================================\n"
               << "Design-choice ablations (see DESIGN.md)\n"
               << "====================================\n";
-    lsqSerializationAblation();
-    storeCommitAblation();
-    quarantineSweep();
-    criticalWordFirstAblation();
+    std::vector<sim::SweepResults> sweeps;
+    sweeps.push_back(lsqSerializationAblation(opt.jobs).sweep);
+    sweeps.push_back(storeCommitAblation(opt.jobs).sweep);
+    sweeps.push_back(quarantineSweep(opt.jobs).sweep);
+    sweeps.push_back(criticalWordFirstAblation(opt.jobs).sweep);
+    bench::writeResults(opt, "ablation", std::move(sweeps));
     return 0;
 }

@@ -2,48 +2,347 @@
  * @file
  * Shared plumbing for the figure/table reproduction harnesses.
  *
- * Environment knobs:
+ * Environment knobs (validated; bad values warn and fall back):
  *   REST_BENCH_KILOINSTS  target dynamic kilo-instructions per run
- *                         (default 1000)
+ *                         (default 1000, clamped to [1, 1000000])
  *   REST_BENCH_SEEDS      generator seeds averaged per measurement
- *                         (default 2)
+ *                         (default 2, clamped to [1, 64])
+ *   REST_BENCH_JOBS       default sweep worker threads (default:
+ *                         hardware concurrency, clamped to [1, 256])
+ *
+ * Command-line knobs (parseOptions()):
+ *   --jobs N / -j N       sweep worker threads for this invocation
+ *   --json PATH           results file (default BENCH_<figure>.json)
+ *   --no-json             disable the results file
+ *   --detail              extra per-figure detail where supported
+ *
+ * runMatrix() is the shared sweep driver: it expands a benchmark ×
+ * column matrix (× seeds) into sim::SweepJobs, runs them on a
+ * sim::SweepRunner, and aggregates exactly like the historical serial
+ * loop (per-cell seed average in seed order), so tables are identical
+ * at any --jobs value.
  */
 
 #ifndef REST_BENCH_BENCH_UTIL_HH
 #define REST_BENCH_BENCH_UTIL_HH
 
+#include <cerrno>
 #include <cstdlib>
+#include <cstring>
 #include <iomanip>
 #include <iostream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "sim/experiment.hh"
+#include "sim/results.hh"
+#include "sim/sweep.hh"
 #include "workload/spec_profiles.hh"
 
 namespace rest::bench
 {
 
+// ---------------------------------------------------------------------
+// Environment knobs
+// ---------------------------------------------------------------------
+
+/**
+ * Parse an unsigned environment variable defensively: empty,
+ * non-numeric, negative or overflowing values warn on stderr and fall
+ * back to `def`; out-of-range values warn and clamp to [lo, hi].
+ */
+inline std::uint64_t
+parseEnvU64(const char *name, std::uint64_t def, std::uint64_t lo,
+            std::uint64_t hi)
+{
+    const char *env = std::getenv(name);
+    if (!env || !*env)
+        return def;
+    errno = 0;
+    char *end = nullptr;
+    unsigned long long v = std::strtoull(env, &end, 10);
+    // strtoull silently wraps negative input; reject any '-' outright.
+    if (end == env || *end != '\0' || errno == ERANGE ||
+        std::strchr(env, '-')) {
+        rest_warn(name, "=\"", env, "\" is not a valid unsigned "
+                  "integer; using default ", def);
+        return def;
+    }
+    if (v < lo || v > hi) {
+        std::uint64_t clamped = v < lo ? lo : hi;
+        rest_warn(name, "=", v, " out of range [", lo, ", ", hi,
+                  "]; clamping to ", clamped);
+        return clamped;
+    }
+    return v;
+}
+
 inline std::uint64_t
 kiloInsts()
 {
-    if (const char *env = std::getenv("REST_BENCH_KILOINSTS"))
-        return std::strtoull(env, nullptr, 10);
-    return 1000;
+    static const std::uint64_t v =
+        parseEnvU64("REST_BENCH_KILOINSTS", 1000, 1, 1000000);
+    return v;
 }
 
 inline unsigned
 numSeeds()
 {
-    if (const char *env = std::getenv("REST_BENCH_SEEDS"))
-        return static_cast<unsigned>(std::strtoul(env, nullptr, 10));
-    return 2;
+    static const unsigned v = unsigned(
+        parseEnvU64("REST_BENCH_SEEDS", 2, 1, 64));
+    return v;
+}
+
+/** Default --jobs: REST_BENCH_JOBS, else hardware concurrency. */
+inline unsigned
+defaultJobs()
+{
+    unsigned hw = std::max(1u, std::thread::hardware_concurrency());
+    static const unsigned v = unsigned(
+        parseEnvU64("REST_BENCH_JOBS", hw, 1, 256));
+    return v;
+}
+
+// ---------------------------------------------------------------------
+// Command line
+// ---------------------------------------------------------------------
+
+struct Options
+{
+    unsigned jobs = 1;
+    bool json = true;
+    std::string jsonPath;
+    bool detail = false;
+};
+
+[[noreturn]] inline void
+usage(const std::string &figure, int status)
+{
+    (status ? std::cerr : std::cout)
+        << "usage: " << figure << " [--jobs N] [--json PATH] "
+        << "[--no-json] [--detail]\n"
+        << "  --jobs N / -j N  sweep worker threads (default "
+        << defaultJobs() << ")\n"
+        << "  --json PATH      write results JSON (default BENCH_"
+        << figure << ".json)\n"
+        << "  --no-json        disable the results file\n"
+        << "  --detail         extra per-figure detail\n";
+    std::exit(status);
+}
+
+/** Parse the shared harness flags; unknown flags are fatal. */
+inline Options
+parseOptions(int argc, char **argv, const std::string &figure)
+{
+    Options opt;
+    opt.jobs = defaultJobs();
+    opt.jsonPath = "BENCH_" + figure + ".json";
+
+    auto numArg = [&](int &i, const char *flag) -> unsigned {
+        if (i + 1 >= argc) {
+            std::cerr << figure << ": " << flag
+                      << " requires a value\n";
+            usage(figure, 1);
+        }
+        const char *s = argv[++i];
+        errno = 0;
+        char *end = nullptr;
+        unsigned long long v = std::strtoull(s, &end, 10);
+        if (end == s || *end != '\0' || errno == ERANGE ||
+            std::strchr(s, '-') || v < 1 || v > 256) {
+            std::cerr << figure << ": bad " << flag << " value \"" << s
+                      << "\" (want 1..256)\n";
+            usage(figure, 1);
+        }
+        return unsigned(v);
+    };
+
+    for (int i = 1; i < argc; ++i) {
+        const char *a = argv[i];
+        if (!std::strcmp(a, "--jobs") || !std::strcmp(a, "-j")) {
+            opt.jobs = numArg(i, a);
+        } else if (!std::strcmp(a, "--json")) {
+            if (i + 1 >= argc) {
+                std::cerr << figure << ": --json requires a path\n";
+                usage(figure, 1);
+            }
+            opt.jsonPath = argv[++i];
+            opt.json = true;
+        } else if (!std::strcmp(a, "--no-json")) {
+            opt.json = false;
+        } else if (!std::strcmp(a, "--detail")) {
+            opt.detail = true;
+        } else if (!std::strcmp(a, "--help") || !std::strcmp(a, "-h")) {
+            usage(figure, 0);
+        } else {
+            std::cerr << figure << ": unknown argument \"" << a
+                      << "\"\n";
+            usage(figure, 1);
+        }
+    }
+    return opt;
+}
+
+// ---------------------------------------------------------------------
+// The shared sweep driver
+// ---------------------------------------------------------------------
+
+/** One column of a benchmark × configuration matrix. */
+struct MatrixColumn
+{
+    std::string name;
+    sim::ExpConfig config = sim::ExpConfig::Plain;
+    core::TokenWidth width = core::TokenWidth::Bytes64;
+    bool inorder = false;
+    bool custom = false;
+    sim::SystemConfig customConfig;
+};
+
+inline MatrixColumn
+presetColumn(std::string name, sim::ExpConfig config,
+             core::TokenWidth width = core::TokenWidth::Bytes64,
+             bool inorder = false)
+{
+    MatrixColumn c;
+    c.name = std::move(name);
+    c.config = config;
+    c.width = width;
+    c.inorder = inorder;
+    return c;
+}
+
+inline MatrixColumn
+customColumn(std::string name, const sim::SystemConfig &cfg)
+{
+    MatrixColumn c;
+    c.name = std::move(name);
+    c.custom = true;
+    c.customConfig = cfg;
+    return c;
+}
+
+/** Aggregated matrix: table-shaped views plus the full JSON record. */
+struct MatrixResult
+{
+    std::vector<std::string> rowNames;
+    std::vector<std::string> colNames;
+    /** Plain baseline per row (empty when run without baseline). */
+    std::vector<Cycles> baseline;
+    /** Seed-averaged cycles, indexed [column][row]. */
+    std::vector<std::vector<Cycles>> cells;
+    /** Full per-cell record for the results file. */
+    sim::SweepResults sweep;
+};
+
+/**
+ * Run a benchmark × column matrix, seeds expanded per cell, on a
+ * SweepRunner with `jobs` threads. When `with_baseline` is set a Plain
+ * column is run first and the sweep's wtd-ari/geo mean overheads are
+ * computed against it.
+ */
+inline MatrixResult
+runMatrix(const std::string &sweep_name,
+          const std::vector<workload::BenchProfile> &rows,
+          const std::vector<MatrixColumn> &cols, unsigned jobs,
+          bool with_baseline = true)
+{
+    const unsigned seeds = numSeeds();
+    const std::uint64_t ki = kiloInsts();
+
+    // All columns as run, baseline first.
+    std::vector<MatrixColumn> all_cols;
+    if (with_baseline)
+        all_cols.push_back(presetColumn("Plain", sim::ExpConfig::Plain,
+                                        core::TokenWidth::Bytes64,
+                                        cols.empty()
+                                            ? false
+                                            : cols.front().inorder));
+    all_cols.insert(all_cols.end(), cols.begin(), cols.end());
+
+    std::vector<sim::SweepJob> jobs_list;
+    jobs_list.reserve(rows.size() * all_cols.size() * seeds);
+    for (const auto &row : rows) {
+        for (const auto &col : all_cols) {
+            for (unsigned s = 0; s < seeds; ++s) {
+                workload::BenchProfile p = row;
+                p.targetKiloInsts = ki;
+                p.seed = row.seed + 0x1000 * s;
+                sim::SweepJob job =
+                    col.custom
+                        ? sim::makeCustomJob(std::move(p),
+                                             col.customConfig, col.name)
+                        : sim::makePresetJob(std::move(p), col.config,
+                                             col.width, col.inorder);
+                job.label = col.name;
+                jobs_list.push_back(std::move(job));
+            }
+        }
+    }
+
+    const auto measurements =
+        sim::SweepRunner(jobs).run(jobs_list);
+
+    MatrixResult out;
+    out.sweep.name = sweep_name;
+    for (const auto &col : all_cols) {
+        out.sweep.columns.push_back(col.name);
+        if (!(with_baseline && &col == &all_cols.front()))
+            out.colNames.push_back(col.name);
+    }
+    out.cells.resize(out.colNames.size());
+
+    std::size_t idx = 0;
+    for (const auto &row : rows) {
+        out.rowNames.push_back(row.name);
+        out.sweep.rows.push_back(row.name);
+        for (std::size_t c = 0; c < all_cols.size(); ++c) {
+            sim::SweepCell cell;
+            cell.bench = row.name;
+            cell.column = all_cols[c].name;
+            // Seed-average in seed order, exactly like the historical
+            // serial measure() loop, so tables match bit-for-bit.
+            double total_cycles = 0, total_ops = 0;
+            for (unsigned s = 0; s < seeds; ++s) {
+                const sim::Measurement &m = measurements[idx++];
+                total_cycles += double(m.cycles);
+                total_ops += double(m.ops);
+                cell.seedCycles.push_back(m.cycles);
+                for (const auto &[name, v] : m.scalars)
+                    cell.scalars[name] += v;
+            }
+            cell.cycles = Cycles(total_cycles / seeds);
+            cell.ops = std::uint64_t(total_ops / seeds);
+
+            bool is_baseline = with_baseline && c == 0;
+            if (is_baseline) {
+                out.baseline.push_back(cell.cycles);
+                out.sweep.baselineCycles[row.name] = cell.cycles;
+            } else {
+                std::size_t ci = with_baseline ? c - 1 : c;
+                out.cells[ci].push_back(cell.cycles);
+            }
+            out.sweep.cells.push_back(std::move(cell));
+        }
+    }
+
+    if (with_baseline) {
+        for (std::size_t c = 0; c < out.colNames.size(); ++c) {
+            out.sweep.wtdAriMeanPct[out.colNames[c]] =
+                sim::wtdAriMeanOverheadPct(out.baseline, out.cells[c]);
+            out.sweep.geoMeanPct[out.colNames[c]] =
+                sim::geoMeanOverheadPct(out.baseline, out.cells[c]);
+        }
+    }
+    return out;
 }
 
 /**
  * Run one benchmark under one configuration, averaged over generator
  * seeds (the deterministic one-pass timing model has placement-
  * resonance noise that seed-averaging removes; see EXPERIMENTS.md).
+ * Serial reference path; the sweep tests compare runMatrix() output
+ * against per-job runBench() calls shaped like this.
  */
 inline Cycles
 measure(const workload::BenchProfile &base, sim::ExpConfig config,
@@ -61,6 +360,10 @@ measure(const workload::BenchProfile &base, sim::ExpConfig config,
     }
     return static_cast<Cycles>(total / seeds);
 }
+
+// ---------------------------------------------------------------------
+// Output
+// ---------------------------------------------------------------------
 
 /** Print one row of a percentage table. */
 inline void
@@ -81,6 +384,46 @@ printHeader(const std::vector<std::string> &columns)
         std::cout << std::setw(16) << c;
     std::cout << "\n" << std::string(12 + 16 * columns.size(), '-')
               << "\n";
+}
+
+/** The fig7/fig8 table shape: per-row overhead %, then the means. */
+inline void
+printOverheadTable(const MatrixResult &mat)
+{
+    printHeader(mat.colNames);
+    for (std::size_t r = 0; r < mat.rowNames.size(); ++r) {
+        std::vector<double> row;
+        for (std::size_t c = 0; c < mat.colNames.size(); ++c)
+            row.push_back(sim::overheadPct(mat.baseline[r],
+                                           mat.cells[c][r]));
+        printRow(mat.rowNames[r], row);
+    }
+    std::cout << std::string(12 + 16 * mat.colNames.size(), '-')
+              << "\n";
+    std::vector<double> wtd, geo;
+    for (const auto &name : mat.colNames) {
+        wtd.push_back(mat.sweep.wtdAriMeanPct.at(name));
+        geo.push_back(mat.sweep.geoMeanPct.at(name));
+    }
+    printRow("WtdAriMean", wtd);
+    printRow("GeoMean", geo);
+}
+
+/** Assemble and write BENCH_<figure>.json if enabled. */
+inline void
+writeResults(const Options &opt, const std::string &figure,
+             std::vector<sim::SweepResults> sweeps)
+{
+    if (!opt.json)
+        return;
+    sim::ResultsFile f;
+    f.figure = figure;
+    f.kiloInsts = kiloInsts();
+    f.seedsPerCell = numSeeds();
+    f.jobs = opt.jobs;
+    f.sweeps = std::move(sweeps);
+    if (sim::writeJsonFile(f, opt.jsonPath))
+        std::cout << "\nresults: " << opt.jsonPath << "\n";
 }
 
 } // namespace rest::bench

@@ -5,12 +5,14 @@
  * validation, and libc API interception — measured on an in-order
  * core (the paper's Fig. 3 setup) by enabling the components
  * cumulatively and differencing.
+ *
+ * The level sweep runs on the parallel sweep runner (--jobs N);
+ * results are written to BENCH_fig3.json.
  */
 
 #include "bench_util.hh"
 
 using namespace rest;
-using sim::ExpConfig;
 
 namespace
 {
@@ -31,55 +33,57 @@ schemeUpTo(int level)
     return s;
 }
 
-Cycles
-measureLevel(const workload::BenchProfile &base, int level)
-{
-    double total = 0;
-    unsigned seeds = bench::numSeeds();
-    for (unsigned s = 0; s < seeds; ++s) {
-        workload::BenchProfile p = base;
-        p.targetKiloInsts = bench::kiloInsts();
-        p.seed = base.seed + 0x1000 * s;
-        sim::SystemConfig cfg;
-        cfg.scheme = schemeUpTo(level);
-        cfg.useInOrderCpu = true; // Fig. 3 uses an in-order core
-        sim::System system(workload::generate(p), cfg);
-        auto r = system.run();
-        total += static_cast<double>(r.cycles());
-    }
-    return static_cast<Cycles>(total / seeds);
-}
-
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    auto opt = bench::parseOptions(argc, argv, "fig3");
+
     std::cout
         << "=====================================================\n"
         << "Figure 3: breakdown of ASan overhead components (%)\n"
         << "(in-order core; components enabled cumulatively)\n"
         << "=====================================================\n";
+
+    // Level 0 (plain scheme, in-order core) is the baseline column;
+    // columns are carried as explicit custom configs because the
+    // in-order default baseline is not a preset.
+    const char *level_names[] = {"Baseline", "Allocator", "StackSetup",
+                                 "AccessValid", "APIIntercept"};
+    std::vector<bench::MatrixColumn> columns;
+    for (int level = 0; level <= 4; ++level) {
+        sim::SystemConfig cfg;
+        cfg.scheme = schemeUpTo(level);
+        cfg.useInOrderCpu = true; // Fig. 3 uses an in-order core
+        columns.push_back(bench::customColumn(level_names[level], cfg));
+    }
+
+    auto mat = bench::runMatrix("asan_breakdown",
+                                workload::specSuite(), columns,
+                                opt.jobs, /*with_baseline=*/false);
+
     bench::printHeader({"Allocator", "StackSetup", "AccessValid",
                         "APIIntercept", "Total"});
-
-    for (const auto &profile : workload::specSuite()) {
-        Cycles base = measureLevel(profile, 0);
+    for (std::size_t r = 0; r < mat.rowNames.size(); ++r) {
+        Cycles base = mat.cells[0][r];
         std::vector<double> row;
         Cycles prev = base;
-        for (int level = 1; level <= 4; ++level) {
-            Cycles cur = measureLevel(profile, level);
+        for (std::size_t level = 1; level <= 4; ++level) {
+            Cycles cur = mat.cells[level][r];
             row.push_back(100.0 * (double(cur) - double(prev)) /
                           double(base));
             prev = cur;
         }
         row.push_back(100.0 * (double(prev) - double(base)) /
                       double(base));
-        bench::printRow(profile.name, row);
+        bench::printRow(mat.rowNames[r], row);
     }
 
     std::cout << "\nPaper reference: memory-access validation is the "
                  "most persistent component;\nthe allocator dominates "
                  "for allocation-heavy gcc/xalancbmk.\n";
+
+    bench::writeResults(opt, "fig3", {std::move(mat.sweep)});
     return 0;
 }

@@ -5,18 +5,18 @@
  * and heap-only protection, per benchmark, plus the weighted
  * arithmetic mean (footnote 5) and geometric mean (footnote 6).
  *
+ * The benchmark × configuration matrix runs on the parallel sweep
+ * runner (--jobs N); results are written to BENCH_fig7.json.
+ *
  * Pass --detail to additionally print the §VI-B microarchitectural
  * effects for xalancbmk (ROB-blocked-by-store and IQ-full cycles in
  * secure vs debug mode, and token traffic).
  */
 
-#include <cstring>
-
 #include "bench_util.hh"
 #include "sim/system.hh"
 
 using namespace rest;
-using bench::measure;
 using sim::ExpConfig;
 
 namespace
@@ -30,19 +30,15 @@ detailXalancbmk()
                         ExpConfig::RestDebugFull}) {
         auto p = workload::profileByName("xalancbmk");
         p.targetKiloInsts = bench::kiloInsts();
-        sim::System system(workload::generate(p),
-                           sim::makeSystemConfig(config));
-        auto r = system.run();
-        const auto &cpu = system.cpuStats();
-        const auto &l1d = system.dcache().statGroup();
-        double kinst = double(r.run.committedOps) / 1000.0;
+        sim::Measurement m = sim::runBench(p, config);
+        double kinst = double(m.ops) / 1000.0;
         std::cout << sim::expConfigName(config) << ":\n"
                   << "  rob_store_blocked_cycles = "
-                  << cpu.scalarValue("rob_store_blocked_cycles") << "\n"
+                  << m.scalars["o3cpu.rob_store_blocked_cycles"] << "\n"
                   << "  iq_full_stall_cycles     = "
-                  << cpu.scalarValue("iq_full_stall_cycles") << "\n"
+                  << m.scalars["o3cpu.iq_full_stall_cycles"] << "\n"
                   << "  tokens evicted L1->L2 per kinst = "
-                  << double(l1d.scalarValue("token_evictions")) / kinst
+                  << double(m.scalars["l1d.token_evictions"]) / kinst
                   << "\n";
     }
 }
@@ -52,57 +48,34 @@ detailXalancbmk()
 int
 main(int argc, char **argv)
 {
+    auto opt = bench::parseOptions(argc, argv, "fig7");
+
     std::cout << "==============================================\n"
               << "Figure 7: runtime overheads over plain (%)\n"
               << "==============================================\n";
 
-    const std::vector<std::pair<ExpConfig, std::string>> configs = {
-        {ExpConfig::Asan, "ASan"},
-        {ExpConfig::RestDebugFull, "DebugFull"},
-        {ExpConfig::RestSecureFull, "SecureFull"},
-        {ExpConfig::PerfectHwFull, "PerfectHWFull"},
-        {ExpConfig::RestDebugHeap, "DebugHeap"},
-        {ExpConfig::RestSecureHeap, "SecureHeap"},
-        {ExpConfig::PerfectHwHeap, "PerfectHWHeap"},
+    const std::vector<bench::MatrixColumn> columns = {
+        bench::presetColumn("ASan", ExpConfig::Asan),
+        bench::presetColumn("DebugFull", ExpConfig::RestDebugFull),
+        bench::presetColumn("SecureFull", ExpConfig::RestSecureFull),
+        bench::presetColumn("PerfectHWFull", ExpConfig::PerfectHwFull),
+        bench::presetColumn("DebugHeap", ExpConfig::RestDebugHeap),
+        bench::presetColumn("SecureHeap", ExpConfig::RestSecureHeap),
+        bench::presetColumn("PerfectHWHeap", ExpConfig::PerfectHwHeap),
     };
 
-    std::vector<std::string> headers;
-    for (auto &[cfg, name] : configs)
-        headers.push_back(name);
-    bench::printHeader(headers);
-
-    std::vector<Cycles> plain;
-    std::vector<std::vector<Cycles>> scheme(configs.size());
-
-    for (const auto &profile : workload::specSuite()) {
-        Cycles base = measure(profile, ExpConfig::Plain);
-        plain.push_back(base);
-        std::vector<double> row;
-        for (std::size_t c = 0; c < configs.size(); ++c) {
-            Cycles cycles = measure(profile, configs[c].first);
-            scheme[c].push_back(cycles);
-            row.push_back(sim::overheadPct(base, cycles));
-        }
-        bench::printRow(profile.name, row);
-    }
-
-    std::vector<double> wtd, geo;
-    for (std::size_t c = 0; c < configs.size(); ++c) {
-        wtd.push_back(sim::wtdAriMeanOverheadPct(plain, scheme[c]));
-        geo.push_back(sim::geoMeanOverheadPct(plain, scheme[c]));
-    }
-    std::cout << std::string(12 + 16 * configs.size(), '-') << "\n";
-    bench::printRow("WtdAriMean", wtd);
-    bench::printRow("GeoMean", geo);
+    auto mat = bench::runMatrix("overheads", workload::specSuite(),
+                                columns, opt.jobs);
+    bench::printOverheadTable(mat);
 
     std::cout << "\nPaper reference (WtdAriMean): ASan ~40%+ "
                  "(outliers to 450%), Debug ~25%, Secure ~2%, "
                  "PerfectHW within 0.2% of Secure;\nfull vs heap "
                  "differ by ~0.16% on average.\n";
 
-    for (int i = 1; i < argc; ++i) {
-        if (std::strcmp(argv[i], "--detail") == 0)
-            detailXalancbmk();
-    }
+    bench::writeResults(opt, "fig7", {std::move(mat.sweep)});
+
+    if (opt.detail)
+        detailXalancbmk();
     return 0;
 }

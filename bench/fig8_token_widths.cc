@@ -4,73 +4,47 @@
  * 16-byte, 32-byte and 64-byte tokens, for full and heap-only
  * protection. The paper's conclusion: width choice does not move
  * performance significantly, so robustness can be chosen freely.
+ *
+ * Runs on the parallel sweep runner (--jobs N); results are written
+ * to BENCH_fig8.json.
  */
 
 #include "bench_util.hh"
 
 using namespace rest;
-using bench::measure;
 using sim::ExpConfig;
 
 int
-main()
+main(int argc, char **argv)
 {
+    auto opt = bench::parseOptions(argc, argv, "fig8");
+
     std::cout << "==================================================\n"
               << "Figure 8: token width overheads, secure mode (%)\n"
               << "==================================================\n";
 
-    struct Column
-    {
-        core::TokenWidth width;
-        ExpConfig config;
-        const char *name;
-    };
-    const std::vector<Column> columns = {
-        {core::TokenWidth::Bytes16, ExpConfig::RestSecureFull,
-         "16 Full"},
-        {core::TokenWidth::Bytes32, ExpConfig::RestSecureFull,
-         "32 Full"},
-        {core::TokenWidth::Bytes64, ExpConfig::RestSecureFull,
-         "64 Full"},
-        {core::TokenWidth::Bytes16, ExpConfig::RestSecureHeap,
-         "16 Heap"},
-        {core::TokenWidth::Bytes32, ExpConfig::RestSecureHeap,
-         "32 Heap"},
-        {core::TokenWidth::Bytes64, ExpConfig::RestSecureHeap,
-         "64 Heap"},
+    const std::vector<bench::MatrixColumn> columns = {
+        bench::presetColumn("16 Full", ExpConfig::RestSecureFull,
+                            core::TokenWidth::Bytes16),
+        bench::presetColumn("32 Full", ExpConfig::RestSecureFull,
+                            core::TokenWidth::Bytes32),
+        bench::presetColumn("64 Full", ExpConfig::RestSecureFull,
+                            core::TokenWidth::Bytes64),
+        bench::presetColumn("16 Heap", ExpConfig::RestSecureHeap,
+                            core::TokenWidth::Bytes16),
+        bench::presetColumn("32 Heap", ExpConfig::RestSecureHeap,
+                            core::TokenWidth::Bytes32),
+        bench::presetColumn("64 Heap", ExpConfig::RestSecureHeap,
+                            core::TokenWidth::Bytes64),
     };
 
-    std::vector<std::string> headers;
-    for (auto &c : columns)
-        headers.push_back(c.name);
-    bench::printHeader(headers);
-
-    std::vector<Cycles> plain;
-    std::vector<std::vector<Cycles>> scheme(columns.size());
-
-    for (const auto &profile : workload::specSuite()) {
-        Cycles base = measure(profile, ExpConfig::Plain);
-        plain.push_back(base);
-        std::vector<double> row;
-        for (std::size_t c = 0; c < columns.size(); ++c) {
-            Cycles cycles = measure(profile, columns[c].config,
-                                    columns[c].width);
-            scheme[c].push_back(cycles);
-            row.push_back(sim::overheadPct(base, cycles));
-        }
-        bench::printRow(profile.name, row);
-    }
-
-    std::vector<double> wtd, geo;
-    for (std::size_t c = 0; c < columns.size(); ++c) {
-        wtd.push_back(sim::wtdAriMeanOverheadPct(plain, scheme[c]));
-        geo.push_back(sim::geoMeanOverheadPct(plain, scheme[c]));
-    }
-    std::cout << std::string(12 + 16 * columns.size(), '-') << "\n";
-    bench::printRow("WtdAriMean", wtd);
-    bench::printRow("GeoMean", geo);
+    auto mat = bench::runMatrix("token_widths", workload::specSuite(),
+                                columns, opt.jobs);
+    bench::printOverheadTable(mat);
 
     std::cout << "\nPaper reference: no single token width makes a "
                  "significant performance difference.\n";
+
+    bench::writeResults(opt, "fig8", {std::move(mat.sweep)});
     return 0;
 }

@@ -20,6 +20,7 @@
 #include "runtime/libc_allocator.hh"
 #include "runtime/rest_allocator.hh"
 #include "sim/experiment.hh"
+#include "sim/sweep.hh"
 #include "workload/spec_profiles.hh"
 
 using namespace rest;
@@ -200,6 +201,34 @@ BM_SimulatorThroughput(benchmark::State &state)
         double(ops), benchmark::Counter::kIsRate);
 }
 BENCHMARK(BM_SimulatorThroughput)->Unit(benchmark::kMillisecond);
+
+void
+BM_SweepRunnerThroughput(benchmark::State &state)
+{
+    // The parallel sweep engine end to end: simulated ops per second
+    // of host time across a small matrix, at the given thread count.
+    auto p = workload::profileByName("hmmer");
+    p.targetKiloInsts = 50;
+    std::vector<sim::SweepJob> jobs;
+    for (int i = 0; i < 4; ++i) {
+        auto pi = p;
+        pi.seed = p.seed + 0x1000 * i;
+        jobs.push_back(sim::makePresetJob(pi, sim::ExpConfig::Plain));
+    }
+    sim::SweepRunner runner(unsigned(state.range(0)));
+    std::uint64_t ops = 0;
+    for (auto _ : state) {
+        for (const auto &m : runner.run(jobs))
+            ops += m.ops;
+    }
+    state.counters["sim_ops_per_s"] = benchmark::Counter(
+        double(ops), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_SweepRunnerThroughput)
+    ->Arg(1)->Arg(2)->Arg(4)
+    ->Unit(benchmark::kMillisecond)
+    ->MeasureProcessCPUTime()
+    ->UseRealTime();
 
 } // namespace
 

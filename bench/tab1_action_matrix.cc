@@ -5,12 +5,15 @@
  * and prints the observed behaviour next to the specified one.
  */
 
+#include <fstream>
 #include <iomanip>
 #include <iostream>
 #include <string>
 #include <vector>
 
+#include "bench_util.hh"
 #include "core/rest_engine.hh"
+#include "util/json_writer.hh"
 #include "core/token.hh"
 #include "cpu/lsq.hh"
 #include "mem/cache.hh"
@@ -228,11 +231,46 @@ lsqCells()
     }
 }
 
+/** Table I is not a sweep; its JSON is the cell matrix itself. */
+void
+writeJson(const bench::Options &opt, int failures)
+{
+    if (!opt.json)
+        return;
+    std::ofstream out(opt.jsonPath);
+    if (!out) {
+        rest_warn("cannot open results file ", opt.jsonPath);
+        return;
+    }
+    util::JsonWriter w(out);
+    w.beginObject();
+    w.field("schema_version", std::uint64_t(1));
+    w.field("figure", "tab1");
+    w.key("cells");
+    w.beginArray();
+    for (const auto &row : rows) {
+        w.beginObject();
+        w.field("action", row.action);
+        w.field("column", row.column);
+        w.field("specified", row.specified);
+        w.field("observed", row.observed);
+        w.field("pass", row.pass);
+        w.endObject();
+    }
+    w.endArray();
+    w.field("failures", std::uint64_t(failures));
+    w.endObject();
+    out << "\n";
+    std::cout << "\nresults: " << opt.jsonPath << "\n";
+}
+
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    auto opt = bench::parseOptions(argc, argv, "tab1");
+
     std::cout << "=================================================\n"
               << "Table I: REST action matrix, observed vs spec\n"
               << "=================================================\n";
@@ -254,5 +292,6 @@ main()
     std::cout << std::string(78, '-') << "\n"
               << rows.size() - failures << "/" << rows.size()
               << " cells match Table I\n";
+    writeJson(opt, failures);
     return failures ? 1 : 0;
 }

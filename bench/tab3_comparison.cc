@@ -12,10 +12,13 @@
  *   - hardware cost: 1 metadata bit per L1-D granule + comparator.
  */
 
+#include <fstream>
 #include <iomanip>
 #include <iostream>
 
+#include "bench_util.hh"
 #include "common_probe.hh"
+#include "util/json_writer.hh"
 
 using namespace rest;
 
@@ -49,11 +52,45 @@ const PriorRow priorWork[] = {
     {"ARM PAC", "Targeted", "None", "no", "yes", "Negligible"},
 };
 
+/** The empirically probed REST row, machine-readable. */
+void
+writeJson(const bench::Options &opt, const probe::Results &rest_row)
+{
+    if (!opt.json)
+        return;
+    std::ofstream out(opt.jsonPath);
+    if (!out) {
+        rest_warn("cannot open results file ", opt.jsonPath);
+        return;
+    }
+    util::JsonWriter w(out);
+    w.beginObject();
+    w.field("schema_version", std::uint64_t(1));
+    w.field("figure", "tab3");
+    w.key("rest_row");
+    w.beginObject();
+    w.field("spatial_linear", rest_row.spatialLinear);
+    w.field("temporal_until_realloc", rest_row.temporalUntilRealloc);
+    w.field("uses_shadow_space", rest_row.usesShadowSpace);
+    w.field("composable", rest_row.composable);
+    w.field("linear_caught", rest_row.linearCaught);
+    w.field("targeted_missed", rest_row.targetedMissed);
+    w.field("uaf_caught", rest_row.uafCaught);
+    w.field("uaf_after_recycle_missed", rest_row.uafAfterRecycleMissed);
+    w.field("all_consistent", rest_row.allConsistent());
+    w.endObject();
+    w.endObject();
+    out << "\n";
+    std::cout << "\nresults: " << opt.jsonPath << "\n";
+}
+
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    auto opt = bench::parseOptions(argc, argv, "tab3");
+
     std::cout << "====================================================\n"
               << "Table III: hardware technique comparison\n"
               << "(REST row derived empirically from this build)\n"
@@ -98,5 +135,6 @@ main()
                       ? "missed (as specified)" : "caught") << "\n"
               << "  uninstrumented-code detection: "
               << rest_row.composable << "\n";
+    writeJson(opt, rest_row);
     return rest_row.allConsistent() ? 0 : 1;
 }

@@ -64,26 +64,52 @@ makeSystemConfig(ExpConfig config, core::TokenWidth width, bool inorder)
     return cfg;
 }
 
+namespace
+{
+
+/** Shared tail of runBench()/runCustom(): run, validate, snapshot. */
+Measurement
+runSystem(const workload::BenchProfile &profile, const SystemConfig &cfg,
+          const std::string &label, ExpConfig config)
+{
+    System system(workload::generate(profile), cfg);
+    SystemResult result = system.run();
+    rest_assert(!result.faulted(),
+                "benign benchmark ", profile.name, " faulted under ",
+                label, ": ", result.run.violation.toString());
+
+    Measurement m;
+    m.bench = profile.name;
+    m.label = label;
+    m.config = config;
+    m.seed = profile.seed;
+    m.cycles = result.cycles();
+    m.ops = result.run.committedOps;
+    m.detail = result;
+    auto snap = [&m](const std::string &name, std::uint64_t v) {
+        m.scalars.emplace(name, v);
+    };
+    system.cpuStats().forEachScalar(snap);
+    system.dcache().statGroup().forEachScalar(snap);
+    system.l2cache().statGroup().forEachScalar(snap);
+    return m;
+}
+
+} // namespace
+
 Measurement
 runBench(const workload::BenchProfile &profile, ExpConfig config,
          core::TokenWidth width, bool inorder)
 {
-    isa::Program program = workload::generate(profile);
-    System system(std::move(program),
-                  makeSystemConfig(config, width, inorder));
-    SystemResult result = system.run();
-    rest_assert(!result.faulted(),
-                "benign benchmark ", profile.name, " faulted under ",
-                expConfigName(config), ": ",
-                result.run.violation.toString());
+    return runSystem(profile, makeSystemConfig(config, width, inorder),
+                     expConfigName(config), config);
+}
 
-    Measurement m;
-    m.bench = profile.name;
-    m.config = config;
-    m.cycles = result.cycles();
-    m.ops = result.run.committedOps;
-    m.detail = result;
-    return m;
+Measurement
+runCustom(const workload::BenchProfile &profile, const SystemConfig &cfg,
+          const std::string &label)
+{
+    return runSystem(profile, cfg, label, ExpConfig::Plain);
 }
 
 double
@@ -98,13 +124,16 @@ double
 wtdAriMeanOverheadPct(const std::vector<Cycles> &plain,
                       const std::vector<Cycles> &scheme)
 {
-    rest_assert(plain.size() == scheme.size() && !plain.empty(),
+    rest_assert(plain.size() == scheme.size(),
                 "mismatched overhead vectors");
+    if (plain.empty())
+        return 0.0;
     double sum_plain = 0, sum_scheme = 0;
     for (std::size_t i = 0; i < plain.size(); ++i) {
         sum_plain += static_cast<double>(plain[i]);
         sum_scheme += static_cast<double>(scheme[i]);
     }
+    rest_assert(sum_plain > 0, "plain runs have zero total cycles");
     return 100.0 * (sum_scheme / sum_plain - 1.0);
 }
 
@@ -112,10 +141,14 @@ double
 geoMeanOverheadPct(const std::vector<Cycles> &plain,
                    const std::vector<Cycles> &scheme)
 {
-    rest_assert(plain.size() == scheme.size() && !plain.empty(),
+    rest_assert(plain.size() == scheme.size(),
                 "mismatched overhead vectors");
+    if (plain.empty())
+        return 0.0;
     double log_sum = 0;
     for (std::size_t i = 0; i < plain.size(); ++i) {
+        rest_assert(plain[i] > 0 && scheme[i] > 0,
+                    "zero-cycle run in geometric mean");
         log_sum += std::log(static_cast<double>(scheme[i]) /
                             static_cast<double>(plain[i]));
     }

@@ -8,6 +8,7 @@
 #ifndef REST_SIM_EXPERIMENT_HH
 #define REST_SIM_EXPERIMENT_HH
 
+#include <map>
 #include <string>
 #include <vector>
 
@@ -48,9 +49,15 @@ SystemConfig makeSystemConfig(ExpConfig config,
 struct Measurement
 {
     std::string bench;
+    /** Column label; expConfigName(config) for preset runs. */
+    std::string label;
     ExpConfig config = ExpConfig::Plain;
+    std::uint64_t seed = 0;
     Cycles cycles = 0;
     std::uint64_t ops = 0;
+    /** Component counters ("o3cpu.*", "l1d.*") snapshotted before the
+     *  System is torn down; feeds the JSON results layer. */
+    std::map<std::string, std::uint64_t> scalars;
     SystemResult detail;
 };
 
@@ -66,17 +73,32 @@ Measurement runBench(const workload::BenchProfile &profile,
                      core::TokenWidth width = core::TokenWidth::Bytes64,
                      bool inorder = false);
 
+/**
+ * Run one benchmark under an explicit SystemConfig (ablations and
+ * Figure 3's cumulative component stacks need configurations that are
+ * not expressible as a preset).
+ * @param label column label recorded in the Measurement.
+ */
+Measurement runCustom(const workload::BenchProfile &profile,
+                      const SystemConfig &cfg,
+                      const std::string &label);
+
 /** Per-benchmark overhead in percent relative to a plain run. */
 double overheadPct(Cycles plain_cycles, Cycles scheme_cycles);
 
 /**
  * Weighted arithmetic mean overhead (paper footnote 5): equivalent to
  * sum(scheme runtimes) / sum(plain runtimes) - 1, in percent.
+ * Empty vectors yield 0.0 (an empty sweep has no overhead);
+ * mismatched lengths are a caller bug and panic.
  */
 double wtdAriMeanOverheadPct(const std::vector<Cycles> &plain,
                              const std::vector<Cycles> &scheme);
 
-/** Geometric mean overhead (paper footnote 6), in percent. */
+/**
+ * Geometric mean overhead (paper footnote 6), in percent. Same
+ * empty/mismatch behaviour as wtdAriMeanOverheadPct().
+ */
 double geoMeanOverheadPct(const std::vector<Cycles> &plain,
                           const std::vector<Cycles> &scheme);
 

@@ -1,0 +1,79 @@
+#include "sim/sweep.hh"
+
+#include <utility>
+
+#include "util/thread_pool.hh"
+
+namespace rest::sim
+{
+
+namespace
+{
+
+Measurement
+runJob(const SweepJob &job)
+{
+    if (job.useCustomConfig) {
+        return runCustom(job.profile, job.customConfig,
+                         job.label.empty() ? std::string("custom")
+                                           : job.label);
+    }
+    Measurement m = runBench(job.profile, job.config, job.width,
+                             job.inorder);
+    if (!job.label.empty())
+        m.label = job.label;
+    return m;
+}
+
+} // namespace
+
+SweepJob
+makePresetJob(workload::BenchProfile profile, ExpConfig config,
+              core::TokenWidth width, bool inorder)
+{
+    SweepJob job;
+    job.profile = std::move(profile);
+    job.config = config;
+    job.width = width;
+    job.inorder = inorder;
+    return job;
+}
+
+SweepJob
+makeCustomJob(workload::BenchProfile profile, const SystemConfig &cfg,
+              std::string label)
+{
+    SweepJob job;
+    job.profile = std::move(profile);
+    job.useCustomConfig = true;
+    job.customConfig = cfg;
+    job.label = std::move(label);
+    return job;
+}
+
+SweepRunner::SweepRunner(unsigned num_threads)
+    : num_threads_(std::max(1u, num_threads))
+{}
+
+std::vector<Measurement>
+SweepRunner::run(const std::vector<SweepJob> &jobs) const
+{
+    std::vector<Measurement> results(jobs.size());
+    if (num_threads_ <= 1 || jobs.size() <= 1) {
+        for (std::size_t i = 0; i < jobs.size(); ++i)
+            results[i] = runJob(jobs[i]);
+        return results;
+    }
+
+    util::ThreadPool pool(std::min<std::size_t>(num_threads_,
+                                                jobs.size()));
+    for (std::size_t i = 0; i < jobs.size(); ++i) {
+        pool.submit([&jobs, &results, i] {
+            results[i] = runJob(jobs[i]);
+        });
+    }
+    pool.wait();
+    return results;
+}
+
+} // namespace rest::sim

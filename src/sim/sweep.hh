@@ -1,0 +1,77 @@
+/**
+ * @file
+ * SweepRunner: a parallel experiment-sweep engine.
+ *
+ * A sweep is a list of SweepJobs — each one a pure function of
+ * (profile, configuration, token width, seed). The runner executes the
+ * jobs on a work-stealing thread pool (util::ThreadPool), one
+ * sim::System per job, and returns the Measurements *in submission
+ * order*, so the output is bit-identical to running the same jobs
+ * serially through runBench()/runCustom() regardless of thread count
+ * or scheduling. This is what lets the figure harnesses regenerate the
+ * paper's evaluation at full core count without perturbing results
+ * (tests/sim/sweep_test.cc proves the invariance).
+ */
+
+#ifndef REST_SIM_SWEEP_HH
+#define REST_SIM_SWEEP_HH
+
+#include <vector>
+
+#include "sim/experiment.hh"
+
+namespace rest::sim
+{
+
+/** One cell of a sweep: a benchmark run under one configuration. */
+struct SweepJob
+{
+    workload::BenchProfile profile;
+
+    // Preset path (the common case).
+    ExpConfig config = ExpConfig::Plain;
+    core::TokenWidth width = core::TokenWidth::Bytes64;
+    bool inorder = false;
+
+    /** When set, run customConfig via runCustom() instead of the
+     *  preset — Figure 3 levels and the ablations need this. */
+    bool useCustomConfig = false;
+    SystemConfig customConfig;
+
+    /** Column label recorded in the Measurement; defaults to
+     *  expConfigName(config) when empty. */
+    std::string label;
+};
+
+/** Convenience builders. */
+SweepJob makePresetJob(workload::BenchProfile profile, ExpConfig config,
+                       core::TokenWidth width =
+                           core::TokenWidth::Bytes64,
+                       bool inorder = false);
+SweepJob makeCustomJob(workload::BenchProfile profile,
+                       const SystemConfig &cfg, std::string label);
+
+class SweepRunner
+{
+  public:
+    /**
+     * @param num_threads worker threads; 0 or 1 runs the jobs inline
+     *        on the calling thread (no pool is created).
+     */
+    explicit SweepRunner(unsigned num_threads = 1);
+
+    unsigned numThreads() const { return num_threads_; }
+
+    /**
+     * Run every job; the result vector is indexed like `jobs`
+     * (submission order), independent of execution interleaving.
+     */
+    std::vector<Measurement> run(const std::vector<SweepJob> &jobs) const;
+
+  private:
+    unsigned num_threads_;
+};
+
+} // namespace rest::sim
+
+#endif // REST_SIM_SWEEP_HH

@@ -1,0 +1,240 @@
+/**
+ * @file
+ * A minimal streaming JSON writer for machine-readable results files.
+ *
+ * Emits strictly valid JSON with deterministic formatting: keys and
+ * values appear exactly in emission order, strings are escaped per RFC
+ * 8259, and doubles are printed with round-trip precision via
+ * std::to_chars so identical inputs always serialise to identical
+ * bytes (the results regression tests rely on this).
+ *
+ *   JsonWriter w(os);
+ *   w.beginObject();
+ *   w.key("figure"); w.value("fig7");
+ *   w.key("cells"); w.beginArray();
+ *   ...
+ *   w.endArray();
+ *   w.endObject();
+ */
+
+#ifndef REST_UTIL_JSON_WRITER_HH
+#define REST_UTIL_JSON_WRITER_HH
+
+#include <charconv>
+#include <cmath>
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/logging.hh"
+
+namespace rest::util
+{
+
+class JsonWriter
+{
+  public:
+    /** @param indent spaces per nesting level; 0 emits compact JSON. */
+    explicit JsonWriter(std::ostream &os, unsigned indent = 2)
+        : os_(os), indent_(indent)
+    {}
+
+    ~JsonWriter()
+    {
+        rest_assert(stack_.empty(),
+                    "JsonWriter destroyed with open containers");
+    }
+
+    void
+    beginObject()
+    {
+        beforeValue();
+        os_ << '{';
+        stack_.push_back({'}', true});
+    }
+
+    void
+    endObject()
+    {
+        close('}');
+    }
+
+    void
+    beginArray()
+    {
+        beforeValue();
+        os_ << '[';
+        stack_.push_back({']', true});
+    }
+
+    void
+    endArray()
+    {
+        close(']');
+    }
+
+    void
+    key(std::string_view name)
+    {
+        rest_assert(!stack_.empty() && stack_.back().closer == '}',
+                    "JsonWriter::key() outside an object");
+        separate();
+        writeString(name);
+        os_ << (indent_ ? ": " : ":");
+        have_key_ = true;
+    }
+
+    void
+    value(std::string_view s)
+    {
+        beforeValue();
+        writeString(s);
+    }
+
+    void value(const char *s) { value(std::string_view(s)); }
+    void value(const std::string &s) { value(std::string_view(s)); }
+
+    void
+    value(bool b)
+    {
+        beforeValue();
+        os_ << (b ? "true" : "false");
+    }
+
+    void
+    value(std::uint64_t v)
+    {
+        beforeValue();
+        os_ << v;
+    }
+
+    void
+    value(std::int64_t v)
+    {
+        beforeValue();
+        os_ << v;
+    }
+
+    void value(int v) { value(std::int64_t(v)); }
+    void value(unsigned v) { value(std::uint64_t(v)); }
+
+    void
+    value(double d)
+    {
+        beforeValue();
+        // JSON has no NaN/Inf; results should never contain them, so
+        // treat one as a simulator bug rather than emit invalid JSON.
+        rest_assert(std::isfinite(d), "non-finite value in JSON output");
+        char buf[32];
+        auto [end, ec] = std::to_chars(buf, buf + sizeof(buf), d);
+        rest_assert(ec == std::errc(), "double format failure");
+        std::string_view sv(buf, std::size_t(end - buf));
+        os_ << sv;
+        // Bare integers like "2" are valid JSON numbers; keep them.
+    }
+
+    void
+    nullValue()
+    {
+        beforeValue();
+        os_ << "null";
+    }
+
+    /** key() + value() in one call. */
+    template <typename T>
+    void
+    field(std::string_view name, T &&v)
+    {
+        key(name);
+        value(std::forward<T>(v));
+    }
+
+  private:
+    struct Frame
+    {
+        char closer;
+        bool first;
+    };
+
+    void
+    beforeValue()
+    {
+        if (stack_.empty())
+            return;
+        if (stack_.back().closer == '}') {
+            rest_assert(have_key_, "JSON object value without a key");
+            have_key_ = false;
+            return;
+        }
+        separate();
+    }
+
+    void
+    separate()
+    {
+        auto &top = stack_.back();
+        if (!top.first)
+            os_ << ',';
+        top.first = false;
+        newlineIndent(stack_.size());
+    }
+
+    void
+    close(char closer)
+    {
+        rest_assert(!stack_.empty() && stack_.back().closer == closer,
+                    "mismatched JSON container close");
+        bool empty = stack_.back().first;
+        stack_.pop_back();
+        if (!empty)
+            newlineIndent(stack_.size());
+        os_ << closer;
+    }
+
+    void
+    newlineIndent(std::size_t depth)
+    {
+        if (!indent_)
+            return;
+        os_ << '\n';
+        for (std::size_t i = 0; i < depth * indent_; ++i)
+            os_ << ' ';
+    }
+
+    void
+    writeString(std::string_view s)
+    {
+        os_ << '"';
+        for (char c : s) {
+            switch (c) {
+              case '"': os_ << "\\\""; break;
+              case '\\': os_ << "\\\\"; break;
+              case '\b': os_ << "\\b"; break;
+              case '\f': os_ << "\\f"; break;
+              case '\n': os_ << "\\n"; break;
+              case '\r': os_ << "\\r"; break;
+              case '\t': os_ << "\\t"; break;
+              default:
+                if (static_cast<unsigned char>(c) < 0x20) {
+                    const char *hex = "0123456789abcdef";
+                    os_ << "\\u00" << hex[(c >> 4) & 0xf]
+                        << hex[c & 0xf];
+                } else {
+                    os_ << c;
+                }
+            }
+        }
+        os_ << '"';
+    }
+
+    std::ostream &os_;
+    unsigned indent_;
+    std::vector<Frame> stack_;
+    bool have_key_ = false;
+};
+
+} // namespace rest::util
+
+#endif // REST_UTIL_JSON_WRITER_HH

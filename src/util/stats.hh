@@ -161,6 +161,19 @@ class StatGroup
         return it == scalars_.end() ? 0 : it->second.value();
     }
 
+    /**
+     * Visit every scalar as ("group.stat", value), in stable
+     * (lexicographic) order — the results layer snapshots components'
+     * counters through this before a System is torn down.
+     */
+    template <typename Fn>
+    void
+    forEachScalar(Fn &&fn) const
+    {
+        for (const auto &[stat, scalar] : scalars_)
+            fn(name_ + "." + stat, scalar.value());
+    }
+
     /** Reset every statistic in the group. */
     void
     resetAll()

@@ -70,6 +70,69 @@ TEST(Experiment, MeansRejectMismatchedInputs)
     std::vector<Cycles> a = {1, 2};
     std::vector<Cycles> b = {1};
     EXPECT_DEATH((void)wtdAriMeanOverheadPct(a, b), "mismatched");
+    EXPECT_DEATH((void)geoMeanOverheadPct(a, b), "mismatched");
+}
+
+TEST(Experiment, MeansOnEmptyVectorsAreZero)
+{
+    // An empty sweep has no overhead — defined, not UB.
+    std::vector<Cycles> none;
+    EXPECT_DOUBLE_EQ(wtdAriMeanOverheadPct(none, none), 0.0);
+    EXPECT_DOUBLE_EQ(geoMeanOverheadPct(none, none), 0.0);
+}
+
+TEST(Experiment, MeansIdentityWhenSchemeEqualsPlain)
+{
+    // Property: scheme == plain ⇒ both means are exactly 0%.
+    std::vector<Cycles> cycles = {123, 456789, 1, 99999999};
+    EXPECT_NEAR(wtdAriMeanOverheadPct(cycles, cycles), 0.0, 1e-12);
+    EXPECT_NEAR(geoMeanOverheadPct(cycles, cycles), 0.0, 1e-12);
+}
+
+TEST(Experiment, MeansSingleElementEqualsOverheadPct)
+{
+    // Property: with one benchmark, every mean collapses to the
+    // per-benchmark overhead.
+    for (auto [p, s] : {std::pair<Cycles, Cycles>{100, 140},
+                        {1000, 1000},
+                        {200, 150},
+                        {7, 70000}}) {
+        std::vector<Cycles> plain = {p}, scheme = {s};
+        double expect = overheadPct(p, s);
+        EXPECT_NEAR(wtdAriMeanOverheadPct(plain, scheme), expect,
+                    1e-9);
+        EXPECT_NEAR(geoMeanOverheadPct(plain, scheme), expect, 1e-9);
+    }
+}
+
+TEST(Experiment, MeansScaleInvariance)
+{
+    // Property: scaling every runtime by the same factor changes
+    // neither mean (overheads are ratios).
+    std::vector<Cycles> plain = {900, 100, 5000};
+    std::vector<Cycles> scheme = {1800, 140, 5100};
+    std::vector<Cycles> plain10, scheme10;
+    for (std::size_t i = 0; i < plain.size(); ++i) {
+        plain10.push_back(plain[i] * 10);
+        scheme10.push_back(scheme[i] * 10);
+    }
+    EXPECT_NEAR(wtdAriMeanOverheadPct(plain, scheme),
+                wtdAriMeanOverheadPct(plain10, scheme10), 1e-9);
+    EXPECT_NEAR(geoMeanOverheadPct(plain, scheme),
+                geoMeanOverheadPct(plain10, scheme10), 1e-9);
+}
+
+TEST(Experiment, GeoMeanIsPermutationInvariant)
+{
+    // Property: benchmark order must not matter (log-sum commutes).
+    std::vector<Cycles> plain = {100, 200, 400};
+    std::vector<Cycles> scheme = {150, 180, 500};
+    std::vector<Cycles> plain_r = {400, 100, 200};
+    std::vector<Cycles> scheme_r = {500, 150, 180};
+    EXPECT_NEAR(geoMeanOverheadPct(plain, scheme),
+                geoMeanOverheadPct(plain_r, scheme_r), 1e-9);
+    EXPECT_NEAR(wtdAriMeanOverheadPct(plain, scheme),
+                wtdAriMeanOverheadPct(plain_r, scheme_r), 1e-9);
 }
 
 TEST(Experiment, RunBenchProducesMeasurement)

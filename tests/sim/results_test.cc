@@ -1,0 +1,418 @@
+/**
+ * @file
+ * Round-trip regression tests for the sweep results layer: a
+ * serialised ResultsFile parses back (with the minimal JSON reader
+ * below) with every cell, mean and configuration name present, and
+ * serialisation is byte-stable across runs with fixed seeds.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <fstream>
+#include <map>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "sim/results.hh"
+#include "sim/sweep.hh"
+
+namespace rest::sim
+{
+
+namespace
+{
+
+// ---- A minimal JSON reader, just enough to validate round trips ----
+
+struct JsonValue
+{
+    enum Kind { Null, Bool, Number, String, Array, Object } kind = Null;
+    bool boolean = false;
+    double number = 0;
+    std::string str;
+    std::vector<JsonValue> items;
+    std::map<std::string, JsonValue> members;
+
+    const JsonValue &
+    at(const std::string &key) const
+    {
+        auto it = members.find(key);
+        EXPECT_NE(it, members.end()) << "missing key " << key;
+        static const JsonValue nil;
+        return it == members.end() ? nil : it->second;
+    }
+    bool has(const std::string &key) const
+    { return members.count(key) != 0; }
+};
+
+class JsonParser
+{
+  public:
+    explicit JsonParser(const std::string &text) : s_(text) {}
+
+    JsonValue
+    parse()
+    {
+        JsonValue v = parseValue();
+        skipWs();
+        EXPECT_EQ(pos_, s_.size()) << "trailing garbage";
+        return v;
+    }
+
+    bool ok() const { return ok_; }
+
+  private:
+    void
+    skipWs()
+    {
+        while (pos_ < s_.size() &&
+               std::isspace(static_cast<unsigned char>(s_[pos_])))
+            ++pos_;
+    }
+
+    char
+    peek()
+    {
+        skipWs();
+        if (pos_ >= s_.size()) {
+            ok_ = false;
+            return '\0';
+        }
+        return s_[pos_];
+    }
+
+    void
+    expect(char c)
+    {
+        if (peek() != c)
+            ok_ = false;
+        else
+            ++pos_;
+    }
+
+    JsonValue
+    parseValue()
+    {
+        switch (peek()) {
+          case '{': return parseObject();
+          case '[': return parseArray();
+          case '"': return parseString();
+          case 't': case 'f': return parseBool();
+          case 'n': return parseNull();
+          default: return parseNumber();
+        }
+    }
+
+    JsonValue
+    parseObject()
+    {
+        JsonValue v;
+        v.kind = JsonValue::Object;
+        expect('{');
+        if (peek() == '}') {
+            ++pos_;
+            return v;
+        }
+        for (;;) {
+            JsonValue key = parseString();
+            expect(':');
+            v.members.emplace(key.str, parseValue());
+            if (peek() == ',') {
+                ++pos_;
+                continue;
+            }
+            break;
+        }
+        expect('}');
+        return v;
+    }
+
+    JsonValue
+    parseArray()
+    {
+        JsonValue v;
+        v.kind = JsonValue::Array;
+        expect('[');
+        if (peek() == ']') {
+            ++pos_;
+            return v;
+        }
+        for (;;) {
+            v.items.push_back(parseValue());
+            if (peek() == ',') {
+                ++pos_;
+                continue;
+            }
+            break;
+        }
+        expect(']');
+        return v;
+    }
+
+    JsonValue
+    parseString()
+    {
+        JsonValue v;
+        v.kind = JsonValue::String;
+        expect('"');
+        while (pos_ < s_.size() && s_[pos_] != '"') {
+            char c = s_[pos_++];
+            if (c == '\\' && pos_ < s_.size()) {
+                char e = s_[pos_++];
+                switch (e) {
+                  case 'n': v.str += '\n'; break;
+                  case 't': v.str += '\t'; break;
+                  case 'r': v.str += '\r'; break;
+                  case 'b': v.str += '\b'; break;
+                  case 'f': v.str += '\f'; break;
+                  case 'u':
+                    // Only \u00XX is emitted by the writer.
+                    if (pos_ + 4 <= s_.size()) {
+                        v.str += char(std::stoi(s_.substr(pos_ + 2, 2),
+                                                nullptr, 16));
+                        pos_ += 4;
+                    }
+                    break;
+                  default: v.str += e;
+                }
+            } else {
+                v.str += c;
+            }
+        }
+        expect('"');
+        return v;
+    }
+
+    JsonValue
+    parseBool()
+    {
+        JsonValue v;
+        v.kind = JsonValue::Bool;
+        if (s_.compare(pos_, 4, "true") == 0) {
+            v.boolean = true;
+            pos_ += 4;
+        } else if (s_.compare(pos_, 5, "false") == 0) {
+            v.boolean = false;
+            pos_ += 5;
+        } else {
+            ok_ = false;
+        }
+        return v;
+    }
+
+    JsonValue
+    parseNull()
+    {
+        JsonValue v;
+        if (s_.compare(pos_, 4, "null") == 0)
+            pos_ += 4;
+        else
+            ok_ = false;
+        return v;
+    }
+
+    JsonValue
+    parseNumber()
+    {
+        JsonValue v;
+        v.kind = JsonValue::Number;
+        std::size_t start = pos_;
+        while (pos_ < s_.size() &&
+               (std::isdigit(static_cast<unsigned char>(s_[pos_])) ||
+                s_[pos_] == '-' || s_[pos_] == '+' || s_[pos_] == '.' ||
+                s_[pos_] == 'e' || s_[pos_] == 'E'))
+            ++pos_;
+        if (pos_ == start) {
+            ok_ = false;
+            return v;
+        }
+        v.number = std::stod(s_.substr(start, pos_ - start));
+        return v;
+    }
+
+    const std::string &s_;
+    std::size_t pos_ = 0;
+    bool ok_ = true;
+};
+
+// ---- Fixtures ----
+
+/** A small but fully populated results file. */
+ResultsFile
+sampleResults()
+{
+    ResultsFile f;
+    f.figure = "fig7";
+    f.kiloInsts = 10;
+    f.seedsPerCell = 2;
+    f.jobs = 4;
+
+    SweepResults sweep;
+    sweep.name = "overheads";
+    sweep.columns = {"Plain", "ASan"};
+    sweep.rows = {"sjeng", "hmmer"};
+    for (const char *bench : {"sjeng", "hmmer"}) {
+        for (const char *col : {"Plain", "ASan"}) {
+            SweepCell cell;
+            cell.bench = bench;
+            cell.column = col;
+            cell.cycles = 1000 + 7 * cell.bench.size();
+            cell.ops = 500;
+            cell.seedCycles = {990, 1010};
+            cell.scalars = {{"o3cpu.iq_full_stall_cycles", 3},
+                            {"l1d.token_evictions", 1}};
+            sweep.cells.push_back(cell);
+        }
+    }
+    sweep.baselineCycles = {{"sjeng", 1035}, {"hmmer", 1035}};
+    sweep.wtdAriMeanPct = {{"ASan", 41.5}};
+    sweep.geoMeanPct = {{"ASan", 39.25}};
+    f.sweeps.push_back(sweep);
+    return f;
+}
+
+std::string
+serialise(const ResultsFile &f)
+{
+    std::ostringstream os;
+    writeJson(f, os);
+    return os.str();
+}
+
+} // namespace
+
+TEST(Results, RoundTripPreservesEverything)
+{
+    ResultsFile f = sampleResults();
+    std::string text = serialise(f);
+
+    JsonParser parser(text);
+    JsonValue root = parser.parse();
+    ASSERT_TRUE(parser.ok()) << text;
+
+    EXPECT_EQ(root.at("schema_version").number, 1);
+    EXPECT_EQ(root.at("figure").str, "fig7");
+    EXPECT_EQ(root.at("kiloinsts").number, 10);
+    EXPECT_EQ(root.at("seeds_per_cell").number, 2);
+    EXPECT_EQ(root.at("jobs").number, 4);
+
+    const auto &sweeps = root.at("sweeps");
+    ASSERT_EQ(sweeps.kind, JsonValue::Array);
+    ASSERT_EQ(sweeps.items.size(), 1u);
+    const auto &sweep = sweeps.items[0];
+    EXPECT_EQ(sweep.at("name").str, "overheads");
+
+    // Config (column) and row names all present.
+    const auto &cols = sweep.at("columns");
+    ASSERT_EQ(cols.items.size(), 2u);
+    EXPECT_EQ(cols.items[0].str, "Plain");
+    EXPECT_EQ(cols.items[1].str, "ASan");
+    ASSERT_EQ(sweep.at("rows").items.size(), 2u);
+
+    // Every cell with cycles, ops, per-seed cycles and scalars.
+    const auto &cells = sweep.at("cells");
+    ASSERT_EQ(cells.items.size(), 4u);
+    for (const auto &cell : cells.items) {
+        EXPECT_FALSE(cell.at("bench").str.empty());
+        EXPECT_FALSE(cell.at("column").str.empty());
+        EXPECT_GT(cell.at("cycles").number, 0);
+        EXPECT_EQ(cell.at("ops").number, 500);
+        ASSERT_EQ(cell.at("seed_cycles").items.size(), 2u);
+        EXPECT_EQ(cell.at("seed_cycles").items[0].number, 990);
+        const auto &scalars = cell.at("scalars");
+        EXPECT_EQ(scalars.at("o3cpu.iq_full_stall_cycles").number, 3);
+        EXPECT_EQ(scalars.at("l1d.token_evictions").number, 1);
+    }
+
+    // Baseline and the aggregate means.
+    EXPECT_EQ(sweep.at("baseline_cycles").at("sjeng").number, 1035);
+    EXPECT_EQ(sweep.at("wtd_ari_mean_pct").at("ASan").number, 41.5);
+    EXPECT_EQ(sweep.at("geo_mean_pct").at("ASan").number, 39.25);
+}
+
+TEST(Results, SerialisationIsByteStable)
+{
+    ResultsFile f = sampleResults();
+    EXPECT_EQ(serialise(f), serialise(f));
+}
+
+TEST(Results, RealSweepSerialisesAndParses)
+{
+    // End to end with a genuine (tiny) sweep through the runner, run
+    // twice: fixed seeds must give byte-identical JSON.
+    auto buildFile = [] {
+        auto p = workload::profileByName("sjeng");
+        p.targetKiloInsts = 10;
+        auto ms = SweepRunner(2).run(
+            {makePresetJob(p, ExpConfig::Plain),
+             makePresetJob(p, ExpConfig::RestSecureFull)});
+
+        ResultsFile f;
+        f.figure = "unit";
+        f.kiloInsts = 10;
+        f.seedsPerCell = 1;
+        f.jobs = 2;
+        SweepResults sweep;
+        sweep.name = "tiny";
+        sweep.columns = {"Plain", "Secure Full"};
+        sweep.rows = {"sjeng"};
+        for (const auto &m : ms) {
+            SweepCell cell;
+            cell.bench = m.bench;
+            cell.column = m.label;
+            cell.cycles = m.cycles;
+            cell.ops = m.ops;
+            cell.seedCycles = {m.cycles};
+            cell.scalars = m.scalars;
+            sweep.cells.push_back(cell);
+        }
+        sweep.baselineCycles["sjeng"] = ms[0].cycles;
+        sweep.wtdAriMeanPct["Secure Full"] =
+            wtdAriMeanOverheadPct({ms[0].cycles}, {ms[1].cycles});
+        sweep.geoMeanPct["Secure Full"] =
+            geoMeanOverheadPct({ms[0].cycles}, {ms[1].cycles});
+        f.sweeps.push_back(sweep);
+        return f;
+    };
+
+    std::string first = serialise(buildFile());
+    std::string second = serialise(buildFile());
+    EXPECT_EQ(first, second);
+
+    JsonParser parser(first);
+    JsonValue root = parser.parse();
+    ASSERT_TRUE(parser.ok());
+    const auto &sweep = root.at("sweeps").items.at(0);
+    ASSERT_EQ(sweep.at("cells").items.size(), 2u);
+    EXPECT_EQ(sweep.at("cells").items[0].at("column").str, "Plain");
+    EXPECT_EQ(sweep.at("cells").items[1].at("column").str,
+              "Secure Full");
+    EXPECT_TRUE(sweep.at("wtd_ari_mean_pct").has("Secure Full"));
+    EXPECT_TRUE(sweep.at("geo_mean_pct").has("Secure Full"));
+    EXPECT_FALSE(
+        sweep.at("cells").items[1].at("scalars").members.empty());
+}
+
+TEST(Results, WriteJsonFileRejectsBadPath)
+{
+    EXPECT_FALSE(writeJsonFile(sampleResults(),
+                               "/nonexistent-dir/out.json"));
+}
+
+TEST(Results, WriteJsonFileRoundTripsThroughDisk)
+{
+    ResultsFile f = sampleResults();
+    std::string path = testing::TempDir() + "/rest_results_test.json";
+    ASSERT_TRUE(writeJsonFile(f, path));
+
+    std::ifstream in(path);
+    ASSERT_TRUE(in.good());
+    std::stringstream buf;
+    buf << in.rdbuf();
+    EXPECT_EQ(buf.str(), serialise(f));
+}
+
+} // namespace rest::sim

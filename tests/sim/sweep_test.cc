@@ -1,0 +1,145 @@
+/**
+ * @file
+ * The parallel ≡ serial contract of sim::SweepRunner: for any thread
+ * count, the Measurement vector is cycle-for-cycle identical to
+ * running the same jobs serially through runBench()/runCustom(), and
+ * repeated runs with the same seeds reproduce byte-identical results.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/sweep.hh"
+
+namespace rest::sim
+{
+
+namespace
+{
+
+/** 3 benchmarks × 3 configs × 2 seeds, small enough for a unit test. */
+std::vector<SweepJob>
+testMatrix()
+{
+    const char *benches[] = {"sjeng", "hmmer", "xalancbmk"};
+    const ExpConfig configs[] = {ExpConfig::Plain, ExpConfig::Asan,
+                                 ExpConfig::RestSecureFull};
+    std::vector<SweepJob> jobs;
+    for (const char *bench : benches) {
+        for (ExpConfig config : configs) {
+            for (unsigned s = 0; s < 2; ++s) {
+                auto p = workload::profileByName(bench);
+                p.targetKiloInsts = 20;
+                p.seed = p.seed + 0x1000 * s;
+                jobs.push_back(makePresetJob(p, config));
+            }
+        }
+    }
+    return jobs;
+}
+
+void
+expectIdentical(const Measurement &a, const Measurement &b)
+{
+    EXPECT_EQ(a.bench, b.bench);
+    EXPECT_EQ(a.label, b.label);
+    EXPECT_EQ(a.config, b.config);
+    EXPECT_EQ(a.seed, b.seed);
+    EXPECT_EQ(a.cycles, b.cycles);
+    EXPECT_EQ(a.ops, b.ops);
+    EXPECT_EQ(a.scalars, b.scalars);
+    EXPECT_EQ(a.detail.run.committedOps, b.detail.run.committedOps);
+    EXPECT_EQ(a.detail.armsExecuted, b.detail.armsExecuted);
+    EXPECT_EQ(a.detail.mallocCalls, b.detail.mallocCalls);
+}
+
+} // namespace
+
+TEST(SweepRunner, MatchesSerialRunBenchAtEveryThreadCount)
+{
+    const auto jobs = testMatrix();
+
+    // The serial reference: direct runBench calls, in order.
+    std::vector<Measurement> reference;
+    for (const auto &job : jobs)
+        reference.push_back(runBench(job.profile, job.config,
+                                     job.width, job.inorder));
+
+    for (unsigned threads : {1u, 2u, 8u}) {
+        SCOPED_TRACE("threads=" + std::to_string(threads));
+        auto parallel = SweepRunner(threads).run(jobs);
+        ASSERT_EQ(parallel.size(), reference.size());
+        for (std::size_t i = 0; i < reference.size(); ++i) {
+            SCOPED_TRACE("job=" + std::to_string(i));
+            expectIdentical(parallel[i], reference[i]);
+        }
+    }
+}
+
+TEST(SweepRunner, RepeatedRunsWithSameSeedsAreIdentical)
+{
+    const auto jobs = testMatrix();
+    SweepRunner runner(8);
+    auto first = runner.run(jobs);
+    auto second = runner.run(jobs);
+    ASSERT_EQ(first.size(), second.size());
+    for (std::size_t i = 0; i < first.size(); ++i) {
+        SCOPED_TRACE("job=" + std::to_string(i));
+        expectIdentical(first[i], second[i]);
+    }
+}
+
+TEST(SweepRunner, CustomConfigJobsMatchRunCustom)
+{
+    auto p = workload::profileByName("gcc");
+    p.targetKiloInsts = 20;
+    auto cfg = makeSystemConfig(ExpConfig::RestSecureFull);
+    cfg.cpuConfig.serializeRestOps = true;
+
+    std::vector<SweepJob> jobs = {
+        makeCustomJob(p, cfg, "serialized"),
+        makePresetJob(p, ExpConfig::Plain),
+    };
+    auto parallel = SweepRunner(2).run(jobs);
+    ASSERT_EQ(parallel.size(), 2u);
+
+    Measurement ref = runCustom(p, cfg, "serialized");
+    expectIdentical(parallel[0], ref);
+    EXPECT_EQ(parallel[0].label, "serialized");
+    EXPECT_EQ(parallel[1].label, "Plain");
+}
+
+TEST(SweepRunner, SeedChangesResults)
+{
+    // Guard against the sweep accidentally ignoring per-job seeds.
+    auto p = workload::profileByName("sjeng");
+    p.targetKiloInsts = 20;
+    auto p2 = p;
+    p2.seed = p.seed + 0x1000;
+    auto out = SweepRunner(2).run({makePresetJob(p, ExpConfig::Plain),
+                                   makePresetJob(p2,
+                                                 ExpConfig::Plain)});
+    EXPECT_EQ(out[0].seed, p.seed);
+    EXPECT_EQ(out[1].seed, p2.seed);
+    EXPECT_NE(out[0].cycles, out[1].cycles);
+}
+
+TEST(SweepRunner, EmptyJobListIsFine)
+{
+    EXPECT_TRUE(SweepRunner(4).run({}).empty());
+}
+
+TEST(SweepRunner, MeasurementCarriesScalars)
+{
+    auto p = workload::profileByName("hmmer");
+    p.targetKiloInsts = 20;
+    auto out = SweepRunner(1).run(
+        {makePresetJob(p, ExpConfig::RestSecureFull)});
+    ASSERT_EQ(out.size(), 1u);
+    const auto &scalars = out[0].scalars;
+    EXPECT_FALSE(scalars.empty());
+    // Representative counters from both the CPU and L1-D groups.
+    EXPECT_TRUE(scalars.count("o3cpu.iq_full_stall_cycles"));
+    EXPECT_TRUE(scalars.count("l1d.token_evictions"));
+}
+
+} // namespace rest::sim

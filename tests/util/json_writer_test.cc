@@ -1,0 +1,134 @@
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <sstream>
+
+#include "util/json_writer.hh"
+
+namespace rest::util
+{
+
+namespace
+{
+
+std::string
+compact(const std::function<void(JsonWriter &)> &build)
+{
+    std::ostringstream os;
+    JsonWriter w(os, 0);
+    build(w);
+    return os.str();
+}
+
+} // namespace
+
+TEST(JsonWriter, EmptyContainers)
+{
+    EXPECT_EQ(compact([](JsonWriter &w) {
+        w.beginObject();
+        w.endObject();
+    }), "{}");
+    EXPECT_EQ(compact([](JsonWriter &w) {
+        w.beginArray();
+        w.endArray();
+    }), "[]");
+}
+
+TEST(JsonWriter, ObjectWithMixedValues)
+{
+    auto s = compact([](JsonWriter &w) {
+        w.beginObject();
+        w.field("str", "x");
+        w.field("int", std::uint64_t(7));
+        w.field("neg", std::int64_t(-3));
+        w.field("flag", true);
+        w.key("null");
+        w.nullValue();
+        w.endObject();
+    });
+    EXPECT_EQ(s,
+              "{\"str\":\"x\",\"int\":7,\"neg\":-3,\"flag\":true,"
+              "\"null\":null}");
+}
+
+TEST(JsonWriter, NestedContainersAndCommas)
+{
+    auto s = compact([](JsonWriter &w) {
+        w.beginObject();
+        w.key("a");
+        w.beginArray();
+        w.value(std::uint64_t(1));
+        w.value(std::uint64_t(2));
+        w.beginObject();
+        w.field("b", std::uint64_t(3));
+        w.endObject();
+        w.endArray();
+        w.endObject();
+    });
+    EXPECT_EQ(s, "{\"a\":[1,2,{\"b\":3}]}");
+}
+
+TEST(JsonWriter, StringEscaping)
+{
+    auto s = compact([](JsonWriter &w) {
+        w.value("quote\" slash\\ nl\n tab\t ctl\x01");
+    });
+    EXPECT_EQ(s, "\"quote\\\" slash\\\\ nl\\n tab\\t ctl\\u0001\"");
+}
+
+TEST(JsonWriter, DoublesRoundTripAndAreStable)
+{
+    auto render = [](double d) {
+        return compact([d](JsonWriter &w) { w.value(d); });
+    };
+    EXPECT_EQ(render(2.0), render(2.0));
+    EXPECT_EQ(std::stod(render(0.1)), 0.1);
+    EXPECT_EQ(std::stod(render(123.456789012345)), 123.456789012345);
+    EXPECT_EQ(std::stod(render(-40.25)), -40.25);
+}
+
+TEST(JsonWriter, IndentedOutputIsDeterministic)
+{
+    auto build = [](JsonWriter &w) {
+        w.beginObject();
+        w.field("x", std::uint64_t(1));
+        w.key("y");
+        w.beginArray();
+        w.value("z");
+        w.endArray();
+        w.endObject();
+    };
+    std::ostringstream a, b;
+    {
+        JsonWriter w(a);
+        build(w);
+    }
+    {
+        JsonWriter w(b);
+        build(w);
+    }
+    EXPECT_EQ(a.str(), b.str());
+    EXPECT_NE(a.str().find('\n'), std::string::npos);
+}
+
+TEST(JsonWriter, MismatchedClosePanics)
+{
+    EXPECT_DEATH({
+        std::ostringstream os;
+        JsonWriter w(os);
+        w.beginObject();
+        w.endArray();
+    }, "mismatched");
+}
+
+TEST(JsonWriter, ValueWithoutKeyInObjectPanics)
+{
+    EXPECT_DEATH({
+        std::ostringstream os;
+        JsonWriter w(os);
+        w.beginObject();
+        w.value(std::uint64_t(1));
+    }, "without a key");
+}
+
+} // namespace rest::util
