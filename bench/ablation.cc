@@ -131,6 +131,7 @@ int
 main(int argc, char **argv)
 {
     auto opt = bench::parseOptions(argc, argv, "ablation");
+    bench::installGlobalTrace(opt);
 
     std::cout << "====================================\n"
               << "Design-choice ablations (see DESIGN.md)\n"

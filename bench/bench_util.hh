@@ -10,11 +10,21 @@
  *   REST_BENCH_JOBS       default sweep worker threads (default:
  *                         hardware concurrency, clamped to [1, 256])
  *
- * Command-line knobs (parseOptions()):
+ * Command-line knobs (parseOptions(); every --flag also accepts the
+ * --flag=value spelling):
  *   --jobs N / -j N       sweep worker threads for this invocation
  *   --json PATH           results file (default BENCH_<figure>.json)
  *   --no-json             disable the results file
  *   --detail              extra per-figure detail where supported
+ *   --debug-flags CSV     enable debug flags (e.g. O3Pipe,Cache; the
+ *                         REST_DEBUG_FLAGS env var is the fallback)
+ *   --debug-start T       first tick debug flags are live
+ *   --debug-end T         last tick debug flags are live
+ *   --trace-out PATH      write Chrome trace-event JSON on exit
+ *   --pipeview-out PATH   write O3PipeView instruction trace on exit
+ *   --stats-every N       periodic stat snapshots every N cycles
+ *                         (consumed by harnesses that run per-System
+ *                         sinks, e.g. trace_demo)
  *
  * runMatrix() is the shared sweep driver: it expands a benchmark ×
  * column matrix (× seeds) into sim::SweepJobs, runs them on a
@@ -31,6 +41,7 @@
 #include <cstring>
 #include <iomanip>
 #include <iostream>
+#include <memory>
 #include <string>
 #include <thread>
 #include <vector>
@@ -38,6 +49,7 @@
 #include "sim/experiment.hh"
 #include "sim/results.hh"
 #include "sim/sweep.hh"
+#include "util/trace.hh"
 #include "workload/spec_profiles.hh"
 
 namespace rest::bench
@@ -114,6 +126,29 @@ struct Options
     bool json = true;
     std::string jsonPath;
     bool detail = false;
+
+    // Tracing (all off by default; see util/trace.hh).
+    std::string debugFlags;        ///< CSV of flag names ("" = none)
+    Tick debugStart = 0;
+    Tick debugEnd = ~Tick(0);
+    std::string traceOut;          ///< Chrome trace JSON path
+    std::string pipeViewOut;       ///< O3PipeView path
+    std::uint64_t statsEvery = 0;  ///< stat snapshot period (cycles)
+
+    /** Build a TraceConfig from the parsed trace knobs. */
+    trace::TraceConfig
+    traceConfig() const
+    {
+        trace::TraceConfig cfg;
+        if (!debugFlags.empty())
+            trace::parseFlags(debugFlags, &cfg.flags);
+        cfg.debugStart = debugStart;
+        cfg.debugEnd = debugEnd;
+        cfg.traceOutPath = traceOut;
+        cfg.pipeViewPath = pipeViewOut;
+        cfg.statsEvery = statsEvery;
+        return cfg;
+    }
 };
 
 [[noreturn]] inline void
@@ -122,16 +157,35 @@ usage(const std::string &figure, int status)
     (status ? std::cerr : std::cout)
         << "usage: " << figure << " [--jobs N] [--json PATH] "
         << "[--no-json] [--detail]\n"
-        << "  --jobs N / -j N  sweep worker threads (default "
+        << "         [--debug-flags CSV] [--debug-start T] "
+        << "[--debug-end T]\n"
+        << "         [--trace-out PATH] [--pipeview-out PATH] "
+        << "[--stats-every N]\n"
+        << "  --jobs N / -j N    sweep worker threads (default "
         << defaultJobs() << ")\n"
-        << "  --json PATH      write results JSON (default BENCH_"
+        << "  --json PATH        write results JSON (default BENCH_"
         << figure << ".json)\n"
-        << "  --no-json        disable the results file\n"
-        << "  --detail         extra per-figure detail\n";
+        << "  --no-json          disable the results file\n"
+        << "  --detail           extra per-figure detail\n"
+        << "  --debug-flags CSV  enable debug flags (O3Pipe, Cache, "
+        << "TokenDetect,\n"
+        << "                     Alloc, Shadow, Sweep, or All)\n"
+        << "  --debug-start T    first tick the flags are live\n"
+        << "  --debug-end T      last tick the flags are live\n"
+        << "  --trace-out PATH   write Chrome trace-event JSON\n"
+        << "  --pipeview-out P   write an O3PipeView instruction "
+        << "trace\n"
+        << "  --stats-every N    periodic stat snapshots every N "
+        << "cycles\n";
     std::exit(status);
 }
 
-/** Parse the shared harness flags; unknown flags are fatal. */
+/**
+ * Parse the shared harness flags; unknown flags are fatal. Both
+ * "--flag value" and "--flag=value" are accepted. When any trace knob
+ * is live (or REST_DEBUG_FLAGS is set) a process-global trace sink is
+ * installed; see installGlobalTrace().
+ */
 inline Options
 parseOptions(int argc, char **argv, const std::string &figure)
 {
@@ -139,41 +193,76 @@ parseOptions(int argc, char **argv, const std::string &figure)
     opt.jobs = defaultJobs();
     opt.jsonPath = "BENCH_" + figure + ".json";
 
-    auto numArg = [&](int &i, const char *flag) -> unsigned {
-        if (i + 1 >= argc) {
+    // Expand "--flag=value" into "--flag" "value" so one loop handles
+    // both spellings.
+    std::vector<std::string> args;
+    for (int i = 1; i < argc; ++i) {
+        std::string a = argv[i];
+        std::size_t eq;
+        if (a.size() > 2 && a.compare(0, 2, "--") == 0 &&
+            (eq = a.find('=')) != std::string::npos) {
+            args.push_back(a.substr(0, eq));
+            args.push_back(a.substr(eq + 1));
+        } else {
+            args.push_back(std::move(a));
+        }
+    }
+
+    auto strArg = [&](std::size_t &i,
+                      const std::string &flag) -> std::string {
+        if (i + 1 >= args.size()) {
             std::cerr << figure << ": " << flag
                       << " requires a value\n";
             usage(figure, 1);
         }
-        const char *s = argv[++i];
+        return args[++i];
+    };
+    auto u64Arg = [&](std::size_t &i, const std::string &flag,
+                      std::uint64_t lo,
+                      std::uint64_t hi) -> std::uint64_t {
+        std::string s = strArg(i, flag);
         errno = 0;
         char *end = nullptr;
-        unsigned long long v = std::strtoull(s, &end, 10);
-        if (end == s || *end != '\0' || errno == ERANGE ||
-            std::strchr(s, '-') || v < 1 || v > 256) {
+        unsigned long long v = std::strtoull(s.c_str(), &end, 10);
+        if (end == s.c_str() || *end != '\0' || errno == ERANGE ||
+            s.find('-') != std::string::npos || v < lo || v > hi) {
             std::cerr << figure << ": bad " << flag << " value \"" << s
-                      << "\" (want 1..256)\n";
+                      << "\" (want " << lo << ".." << hi << ")\n";
             usage(figure, 1);
         }
-        return unsigned(v);
+        return v;
     };
 
-    for (int i = 1; i < argc; ++i) {
-        const char *a = argv[i];
-        if (!std::strcmp(a, "--jobs") || !std::strcmp(a, "-j")) {
-            opt.jobs = numArg(i, a);
-        } else if (!std::strcmp(a, "--json")) {
-            if (i + 1 >= argc) {
-                std::cerr << figure << ": --json requires a path\n";
+    for (std::size_t i = 0; i < args.size(); ++i) {
+        const std::string &a = args[i];
+        if (a == "--jobs" || a == "-j") {
+            opt.jobs = unsigned(u64Arg(i, a, 1, 256));
+        } else if (a == "--json") {
+            opt.jsonPath = strArg(i, a);
+            opt.json = true;
+        } else if (a == "--no-json") {
+            opt.json = false;
+        } else if (a == "--detail") {
+            opt.detail = true;
+        } else if (a == "--debug-flags") {
+            opt.debugFlags = strArg(i, a);
+            trace::FlagMask mask = 0;
+            if (!trace::parseFlags(opt.debugFlags, &mask)) {
+                std::cerr << figure << ": unknown debug flag in \""
+                          << opt.debugFlags << "\"\n";
                 usage(figure, 1);
             }
-            opt.jsonPath = argv[++i];
-            opt.json = true;
-        } else if (!std::strcmp(a, "--no-json")) {
-            opt.json = false;
-        } else if (!std::strcmp(a, "--detail")) {
-            opt.detail = true;
-        } else if (!std::strcmp(a, "--help") || !std::strcmp(a, "-h")) {
+        } else if (a == "--debug-start") {
+            opt.debugStart = u64Arg(i, a, 0, ~std::uint64_t(0));
+        } else if (a == "--debug-end") {
+            opt.debugEnd = u64Arg(i, a, 0, ~std::uint64_t(0));
+        } else if (a == "--trace-out") {
+            opt.traceOut = strArg(i, a);
+        } else if (a == "--pipeview-out") {
+            opt.pipeViewOut = strArg(i, a);
+        } else if (a == "--stats-every") {
+            opt.statsEvery = u64Arg(i, a, 1, ~std::uint64_t(0));
+        } else if (a == "--help" || a == "-h") {
             usage(figure, 0);
         } else {
             std::cerr << figure << ": unknown argument \"" << a
@@ -182,6 +271,54 @@ parseOptions(int argc, char **argv, const std::string &figure)
         }
     }
     return opt;
+}
+
+// ---------------------------------------------------------------------
+// The harness-level (process-global) trace sink
+// ---------------------------------------------------------------------
+
+/** Owns the global sink so an atexit hook can flush its outputs. */
+inline std::unique_ptr<trace::TraceSink> &
+globalTraceStorage()
+{
+    static std::unique_ptr<trace::TraceSink> storage;
+    return storage;
+}
+
+/** atexit hook: write the global sink's configured output files. */
+inline void
+writeGlobalTraceFiles()
+{
+    auto &storage = globalTraceStorage();
+    if (!storage)
+        return;
+    const trace::TraceConfig &cfg = storage->config();
+    if (!cfg.traceOutPath.empty())
+        storage->writeChromeTraceFile(cfg.traceOutPath);
+    if (!cfg.pipeViewPath.empty())
+        storage->writePipeViewFile(cfg.pipeViewPath);
+}
+
+/**
+ * Install the process-global trace sink from the parsed options (with
+ * REST_DEBUG_FLAGS as the flag fallback). All sweep workers share it;
+ * its outputs are written at exit. Returns nullptr — and installs
+ * nothing — when no trace knob is live, keeping the default run
+ * byte-identical to an uninstrumented build.
+ */
+inline trace::TraceSink *
+installGlobalTrace(const Options &opt)
+{
+    trace::TraceConfig cfg = opt.traceConfig();
+    if (cfg.flags == 0)
+        cfg.flags = trace::TraceConfig::fromEnv().flags;
+    if (!cfg.active())
+        return nullptr;
+    auto &storage = globalTraceStorage();
+    storage = std::make_unique<trace::TraceSink>(cfg);
+    trace::setGlobalSink(storage.get());
+    std::atexit(writeGlobalTraceFiles);
+    return storage.get();
 }
 
 // ---------------------------------------------------------------------
@@ -310,6 +447,11 @@ runMatrix(const std::string &sweep_name,
                 cell.seedCycles.push_back(m.cycles);
                 for (const auto &[name, v] : m.scalars)
                     cell.scalars[name] += v;
+                // Per-interval deltas of the first seed's run; empty
+                // (and thus absent from the JSON) unless the column's
+                // config enabled periodic snapshots.
+                if (s == 0)
+                    cell.statSeries = m.statSeries;
             }
             cell.cycles = Cycles(total_cycles / seeds);
             cell.ops = std::uint64_t(total_ops / seeds);

@@ -39,6 +39,7 @@ int
 main(int argc, char **argv)
 {
     auto opt = bench::parseOptions(argc, argv, "fig3");
+    bench::installGlobalTrace(opt);
 
     std::cout
         << "=====================================================\n"

@@ -49,6 +49,7 @@ int
 main(int argc, char **argv)
 {
     auto opt = bench::parseOptions(argc, argv, "fig7");
+    bench::installGlobalTrace(opt);
 
     std::cout << "==============================================\n"
               << "Figure 7: runtime overheads over plain (%)\n"

@@ -18,6 +18,7 @@ int
 main(int argc, char **argv)
 {
     auto opt = bench::parseOptions(argc, argv, "fig8");
+    bench::installGlobalTrace(opt);
 
     std::cout << "==================================================\n"
               << "Figure 8: token width overheads, secure mode (%)\n"

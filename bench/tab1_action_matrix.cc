@@ -270,6 +270,7 @@ int
 main(int argc, char **argv)
 {
     auto opt = bench::parseOptions(argc, argv, "tab1");
+    bench::installGlobalTrace(opt);
 
     std::cout << "=================================================\n"
               << "Table I: REST action matrix, observed vs spec\n"

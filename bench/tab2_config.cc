@@ -97,6 +97,7 @@ int
 main(int argc, char **argv)
 {
     auto opt = bench::parseOptions(argc, argv, "tab2");
+    bench::installGlobalTrace(opt);
 
     cpu::CpuConfig core;
     mem::DramConfig dram;

@@ -90,6 +90,7 @@ int
 main(int argc, char **argv)
 {
     auto opt = bench::parseOptions(argc, argv, "tab3");
+    bench::installGlobalTrace(opt);
 
     std::cout << "====================================================\n"
               << "Table III: hardware technique comparison\n"

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "util/bit_utils.hh"
+#include "util/trace.hh"
 
 namespace rest::cpu
 {
@@ -25,6 +26,7 @@ InOrderCpu::run(isa::TraceSource &src, std::uint64_t max_ops)
     Cycles cycle = 0;
     Addr last_line = invalidAddr;
     std::uint64_t n_stores = 0;
+    trace::TraceSink *ts = trace::sink();
 
     while (result.committedOps < max_ops && src.next(op)) {
         ++cycle; // scalar issue: one op per cycle at best
@@ -103,6 +105,8 @@ InOrderCpu::run(isa::TraceSource &src, std::uint64_t max_ops)
         ++committedOps_;
         ++result.committedOps;
         ++result.opsBySource[static_cast<unsigned>(op.source)];
+        if (ts)
+            ts->statsTick(complete);
 
         if (op.fault != isa::FaultKind::None) {
             result.violation.kind =

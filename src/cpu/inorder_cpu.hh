@@ -44,6 +44,7 @@ class InOrderCpu
                   std::uint64_t max_ops = ~std::uint64_t(0));
 
     const stats::StatGroup &statGroup() const { return stats_; }
+    stats::StatGroup &statGroup() { return stats_; }
 
   private:
     InOrderConfig cfg_;

@@ -1,11 +1,10 @@
 #include "cpu/o3_cpu.hh"
-#include <cstdio>
-#include <cstdlib>
 
 #include <algorithm>
 
 #include "util/bit_utils.hh"
 #include "util/logging.hh"
+#include "util/trace.hh"
 
 namespace rest::cpu
 {
@@ -115,6 +114,14 @@ O3Cpu::run(isa::TraceSource &src, std::uint64_t max_ops)
     RunResult result;
     isa::DynOp op;
 
+    // Tracing: the sink (if any) is fixed for the whole run — hoist
+    // the lookup so the disabled case costs one branch per op.
+    trace::TraceSink *ts = trace::sink();
+    const bool trace_pipe =
+        ts && ts->flagEnabled(trace::Flag::O3Pipe);
+    const std::uint32_t pipe_track =
+        trace_pipe ? ts->trackFor(stats_.name()) : 0;
+
     std::uint64_t n = 0;          // dynamic index
     serializeUntil_ = false;
     std::uint64_t n_loads = 0;    // loads seen (LQ ring index)
@@ -175,6 +182,11 @@ O3Cpu::run(isa::TraceSource &src, std::uint64_t max_ops)
         Cycles rob_free = robFreeAt_[n % cfg_.robEntries];
         if (rob_free > dispatch) {
             robStallCycles_ += rob_free - dispatch;
+            if (ts && ts->flagOn(trace::Flag::O3Pipe, dispatch)) {
+                ts->complete(trace::Flag::O3Pipe, pipe_track,
+                             "rob_full_stall", dispatch, rob_free,
+                             "seq", n);
+            }
             dispatch = rob_free;
         }
         // IQ slots free out of order (any issued entry releases its
@@ -183,6 +195,11 @@ O3Cpu::run(isa::TraceSource &src, std::uint64_t max_ops)
                                         iqFreeAt_.end());
         if (*iq_slot > dispatch) {
             iqFullStallCycles_ += *iq_slot - dispatch;
+            if (ts && ts->flagOn(trace::Flag::O3Pipe, dispatch)) {
+                ts->complete(trace::Flag::O3Pipe, pipe_track,
+                             "iq_full_stall", dispatch, *iq_slot,
+                             "seq", n);
+            }
             dispatch = *iq_slot;
         }
         if (op.isLoad()) {
@@ -245,16 +262,10 @@ O3Cpu::run(isa::TraceSource &src, std::uint64_t max_ops)
 
         // IQ entry occupied from dispatch until issue.
         *iq_slot = issue + 1;
-        if (getenv("REST_TRACE_PIPE") && n >= 100000 && n < 100050)
-            fprintf(stderr,
-                "n=%llu op=%d fetch=%llu disp=%llu ready=%llu "
-                "issue=%llu complete(pre)=%llu rs1=%d\n",
-                (unsigned long long)n, (int)op.op,
-                (unsigned long long)fetch_cycle,
-                (unsigned long long)dispatch,
-                (unsigned long long)ready, (unsigned long long)issue,
-                (unsigned long long)(issue + opLatency(op.cls)),
-                (int)op.rs1);
+        REST_DPRINTF(trace::Flag::O3Pipe, fetch_cycle, "o3cpu",
+                     "seq=", n, " ", isa::mnemonic(op.op),
+                     " fetch=", fetch_cycle, " dispatch=", dispatch,
+                     " ready=", ready, " issue=", issue);
 
         // ---------------- Execute ----------------
         Cycles complete = issue + opLatency(op.cls);
@@ -336,6 +347,32 @@ O3Cpu::run(isa::TraceSource &src, std::uint64_t max_ops)
             commitsThisCycle_ = 1;
         } else {
             ++commitsThisCycle_;
+        }
+
+        if (ts) {
+            if (trace_pipe && ts->flagOn(trace::Flag::O3Pipe,
+                                         fetch_cycle)) {
+                // O3PipeView record. The one-pass model has no
+                // explicit decode/rename stages; synthesise them
+                // inside the front-end span so viewers render a
+                // well-formed (monotone) pipeline.
+                trace::PipeRecord rec;
+                rec.seq = n;
+                rec.pc = op.pc;
+                rec.disasm = isa::mnemonic(op.op);
+                rec.fetch = fetch_cycle;
+                rec.decode = std::min(fetch_cycle + 1, dispatch);
+                rec.rename = std::max(
+                    rec.decode, std::min(fetch_cycle + 2, dispatch));
+                rec.dispatch = dispatch;
+                rec.issue = issue;
+                rec.complete = complete;
+                rec.retire = commit;
+                rec.storeComplete =
+                    op.isStoreLike() ? store_wr.completeAt : 0;
+                ts->pipeView(rec);
+            }
+            ts->statsTick(commit);
         }
 
         // Writeback: result becomes available to consumers.

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "util/logging.hh"
+#include "util/trace.hh"
 
 namespace rest::mem
 {
@@ -74,9 +75,15 @@ Cache::fillLine(Addr addr, Cycles now)
     }
 
     if (victim->valid) {
-        onEvict(victim->tag, *victim);
+        onEvict(victim->tag, *victim, now);
         if (victim->dirty) {
             ++writebacks_;
+            if (trace::TraceSink *ts = trace::sink();
+                ts && ts->flagOn(trace::Flag::Cache, now)) {
+                ts->instant(trace::Flag::Cache,
+                            ts->trackFor(stats_.name()), "writeback",
+                            now, "line", victim->tag);
+            }
             // Writebacks drain through the write buffer off the
             // critical path; charge them to the level below for
             // bandwidth accounting only.
@@ -89,7 +96,7 @@ Cache::fillLine(Addr addr, Cycles now)
     victim->dirty = false;
     victim->tokenBits = 0;
     victim->lastUsed = ++useCounter_;
-    onFill(la, *victim);
+    onFill(la, *victim, now);
     return *victim;
 }
 
@@ -104,9 +111,16 @@ Cache::resolveMiss(Addr line_addr, Cycles now)
             ++it;
     }
 
+    trace::TraceSink *ts = trace::sink();
+    const bool traced = ts && ts->flagOn(trace::Flag::Cache, now);
+
     // Merge with an in-flight fetch of the same line.
     if (auto it = outstanding_.find(line_addr); it != outstanding_.end()) {
         ++mshrMerges_;
+        if (traced) {
+            ts->instant(trace::Flag::Cache, ts->trackFor(stats_.name()),
+                        "mshr_merge", now, "line", line_addr);
+        }
         return it->second;
     }
 
@@ -117,6 +131,11 @@ Cache::resolveMiss(Addr line_addr, Cycles now)
         for (const auto &kv : outstanding_)
             earliest = std::min(earliest, kv.second);
         mshrStallCycles_ += earliest - now;
+        if (traced) {
+            ts->complete(trace::Flag::Cache,
+                         ts->trackFor(stats_.name()), "mshr_stall",
+                         now, earliest, "line", line_addr);
+        }
         start = earliest;
     }
 
@@ -146,6 +165,14 @@ Cache::access(Addr addr, bool is_write, Cycles now)
     lastHit_ = false;
     ++misses_;
     Cycles ready = resolveMiss(lineAddr(addr), now);
+    if (trace::TraceSink *ts = trace::sink();
+        ts && ts->flagOn(trace::Flag::Cache, now)) {
+        ts->complete(trace::Flag::Cache, ts->trackFor(stats_.name()),
+                     "fill", now, ready, "line", lineAddr(addr));
+        REST_DPRINTF(trace::Flag::Cache, now, stats_.name().c_str(),
+                     is_write ? "store" : "load", " miss addr=0x",
+                     std::hex, addr, std::dec, " ready=", ready);
+    }
     Line &line = fillLine(addr, ready);
     line.readyAt = ready;
     if (is_write)
@@ -159,7 +186,7 @@ Cache::flushAll()
     for (auto &set : sets_) {
         for (auto &line : set) {
             if (line.valid) {
-                onEvict(line.tag, line);
+                onEvict(line.tag, line, 0);
                 if (line.dirty)
                     ++writebacks_;
             }

@@ -86,11 +86,16 @@ class Cache : public MemoryDevice
      */
     Line &fillLine(Addr addr, Cycles now);
 
-    /** Hook: called after a line is installed (token detector). */
-    virtual void onFill(Addr /*line_addr*/, Line & /*line*/) { }
+    /**
+     * Hook: called after a line is installed (token detector).
+     * 'now' is the cycle the fill lands (tracing; flushAll passes 0).
+     */
+    virtual void onFill(Addr /*line_addr*/, Line & /*line*/,
+                        Cycles /*now*/) { }
 
     /** Hook: called when a valid line is evicted (token write-out). */
-    virtual void onEvict(Addr /*line_addr*/, Line & /*line*/) { }
+    virtual void onEvict(Addr /*line_addr*/, Line & /*line*/,
+                         Cycles /*now*/) { }
 
     /**
      * Resolve a miss through the MSHRs: merge with an outstanding

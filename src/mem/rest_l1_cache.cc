@@ -3,6 +3,7 @@
 #include <array>
 
 #include "util/logging.hh"
+#include "util/trace.hh"
 
 namespace rest::mem
 {
@@ -69,6 +70,7 @@ RestL1Cache::loadAccess(Addr addr, unsigned size, Cycles now)
     if (line->tokenBits & coverMask(addr, size)) {
         ++tokenViolations_;
         res.violation = core::ViolationKind::TokenAccess;
+        traceViolation("load", addr, ready);
     }
     return res;
 }
@@ -83,10 +85,25 @@ RestL1Cache::storeAccess(Addr addr, unsigned size, Cycles now)
     if (line->tokenBits & coverMask(addr, size)) {
         ++tokenViolations_;
         res.violation = core::ViolationKind::TokenAccess;
+        traceViolation("store", addr, ready);
         return res;
     }
     line->dirty = true;
     return res;
+}
+
+void
+RestL1Cache::traceViolation(const char *kind, Addr addr, Cycles now)
+{
+    trace::TraceSink *ts = trace::sink();
+    if (!ts || !ts->flagOn(trace::Flag::TokenDetect, now))
+        return;
+    ts->instant(trace::Flag::TokenDetect, ts->trackFor(stats_.name()),
+                "token_violation", now, "addr", addr);
+    ts->message(now, stats_.name().c_str(),
+                trace::detail::traceConcat(
+                    kind, " hit armed granule addr=0x", std::hex, addr,
+                    std::dec));
 }
 
 RestAccess
@@ -143,19 +160,37 @@ RestL1Cache::tokenBitSet(Addr addr) const
 }
 
 void
-RestL1Cache::onFill(Addr line_addr, Line &line)
+RestL1Cache::onFill(Addr line_addr, Line &line, Cycles now)
 {
     line.tokenBits = detector_.scan(line_addr, blockSize_);
-    if (line.tokenBits)
+    if (line.tokenBits) {
         ++tokenFills_;
+        if (trace::TraceSink *ts = trace::sink();
+            ts && ts->flagOn(trace::Flag::TokenDetect, now)) {
+            ts->instant(trace::Flag::TokenDetect,
+                        ts->trackFor(stats_.name()), "token_detect",
+                        now, "token_bits", line.tokenBits);
+            REST_DPRINTF(trace::Flag::TokenDetect, now,
+                         stats_.name().c_str(),
+                         "fill detected token(s) line=0x", std::hex,
+                         line_addr, std::dec, " bits=",
+                         unsigned(line.tokenBits));
+        }
+    }
 }
 
 void
-RestL1Cache::onEvict(Addr line_addr, Line &line)
+RestL1Cache::onEvict(Addr line_addr, Line &line, Cycles now)
 {
     if (!line.tokenBits)
         return;
     ++tokenEvictions_;
+    if (trace::TraceSink *ts = trace::sink();
+        ts && ts->flagOn(trace::Flag::TokenDetect, now)) {
+        ts->instant(trace::Flag::TokenDetect,
+                    ts->trackFor(stats_.name()), "token_evict", now,
+                    "token_bits", line.tokenBits);
+    }
     // Fill the token value into the outgoing packet (Table I): armed
     // granules leave the cache carrying the token value.
     const unsigned g = tcr_.granule();

@@ -72,12 +72,15 @@ class RestL1Cache : public Cache
     bool lineResident(Addr addr) const { return probe(addr); }
 
   protected:
-    void onFill(Addr line_addr, Line &line) override;
-    void onEvict(Addr line_addr, Line &line) override;
+    void onFill(Addr line_addr, Line &line, Cycles now) override;
+    void onEvict(Addr line_addr, Line &line, Cycles now) override;
 
   private:
     /** Bitmask of granules covered by [addr, addr+size). */
     std::uint8_t coverMask(Addr addr, unsigned size) const;
+
+    /** Emit the TokenDetect trace/debug output for a violation. */
+    void traceViolation(const char *kind, Addr addr, Cycles now);
 
     /** Bring the line in (hit or miss path), returning data-ready. */
     std::pair<Line *, Cycles> ensureLine(Addr addr, Cycles now);

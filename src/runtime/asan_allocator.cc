@@ -2,11 +2,20 @@
 
 #include <algorithm>
 
+#include "util/trace.hh"
+
 namespace rest::runtime
 {
 
 namespace
 {
+
+/** Emulate-ahead pseudo-tick (see rest_allocator.cc). */
+Tick
+allocTick(const HeapState &heap)
+{
+    return heap.mallocCalls + heap.freeCalls;
+}
 
 /**
  * ASan records a malloc/free stack trace with every allocator event
@@ -81,6 +90,17 @@ AsanAllocator::malloc(std::size_t size, OpEmitter &em)
                                                payload_bytes),
                    shadow_poison::heapRightRz, &em);
 
+    if (trace::TraceSink *ts = trace::sink();
+        ts && ts->flagOn(trace::Flag::Shadow, allocTick(heap_))) {
+        ts->instant(trace::Flag::Shadow, ts->trackFor("asan_shadow"),
+                    "shadow_poison_rz", allocTick(heap_), "bytes",
+                    chunk_bytes - payload_bytes);
+        REST_DPRINTF(trace::Flag::Shadow, allocTick(heap_),
+                     "asan_shadow", "malloc size=", size,
+                     " payload=0x", std::hex, chunk.payload, std::dec,
+                     " rz=", rz);
+    }
+
     // Out-of-band metadata record (size, alloc stack trace).
     memory_.write(chunk.metaAddr, size, 8);
     em.store(chunk.metaAddr, 8);
@@ -116,6 +136,12 @@ AsanAllocator::free(Addr payload, OpEmitter &em)
     // Poison the whole payload as freed and quarantine the chunk.
     shadow_.poison(chunk.payload, alignUp(chunk.size, 8),
                    shadow_poison::heapFreed, &em);
+    if (trace::TraceSink *ts = trace::sink();
+        ts && ts->flagOn(trace::Flag::Shadow, allocTick(heap_))) {
+        ts->instant(trace::Flag::Shadow, ts->trackFor("asan_shadow"),
+                    "shadow_poison_freed", allocTick(heap_), "bytes",
+                    alignUp(chunk.size, 8));
+    }
     em.store(chunk.metaAddr + 8, 8); // record free stack trace
     captureStackTrace(em, chunk.metaAddr);
     quarantine_.push(chunk);

@@ -2,8 +2,26 @@
 
 #include <algorithm>
 
+#include "util/trace.hh"
+
 namespace rest::runtime
 {
+
+namespace
+{
+
+/**
+ * The allocator runs during emulate-ahead, before any cycle exists;
+ * trace its events against a pseudo-tick (the running malloc+free call
+ * count) so they stay monotone and distinguishable.
+ */
+Tick
+allocTick(const HeapState &heap)
+{
+    return heap.mallocCalls + heap.freeCalls;
+}
+
+} // namespace
 
 std::size_t
 RestAllocator::redzoneBytes(std::size_t payload_size) const
@@ -85,6 +103,18 @@ RestAllocator::malloc(std::size_t size, OpEmitter &em)
     for (Addr a = right_begin; a < chunk_end; a += g)
         armGranule(a, em);
 
+    if (trace::TraceSink *ts = trace::sink();
+        ts && ts->flagOn(trace::Flag::Alloc, allocTick(heap_))) {
+        std::uint64_t armed = (chunk.payload - chunk.base) / g +
+                              (chunk_end - right_begin) / g;
+        ts->instant(trace::Flag::Alloc, ts->trackFor("rest_alloc"),
+                    "arm_redzone", allocTick(heap_), "granules", armed);
+        REST_DPRINTF(trace::Flag::Alloc, allocTick(heap_), "rest_alloc",
+                     "malloc size=", size, " payload=0x", std::hex,
+                     chunk.payload, std::dec, " rz=", rz, " armed=",
+                     armed);
+    }
+
     // Out-of-band metadata record, separated from the data by the
     // redzones themselves.
     memory_.write(chunk.metaAddr, size, 8);
@@ -142,6 +172,15 @@ RestAllocator::free(Addr payload, OpEmitter &em)
     }
     em.store(chunk.metaAddr + 8, 8);
     quarantine_.push(chunk);
+    if (trace::TraceSink *ts = trace::sink();
+        ts && ts->flagOn(trace::Flag::Alloc, allocTick(heap_))) {
+        ts->instant(trace::Flag::Alloc, ts->trackFor("rest_alloc"),
+                    "quarantine_push", allocTick(heap_), "bytes",
+                    chunk.chunkBytes);
+        REST_DPRINTF(trace::Flag::Alloc, allocTick(heap_), "rest_alloc",
+                     "free payload=0x", std::hex, payload, std::dec,
+                     " quarantined ", chunk.chunkBytes, "B");
+    }
     drainQuarantine(em);
 }
 
@@ -169,6 +208,12 @@ RestAllocator::drainQuarantine(OpEmitter &em)
         em.aluChain(3);
         em.store(chunk->metaAddr, 8);
         heap_.freeLists[chunk->chunkBytes].push_back(*chunk);
+        if (trace::TraceSink *ts = trace::sink();
+            ts && ts->flagOn(trace::Flag::Alloc, allocTick(heap_))) {
+            ts->instant(trace::Flag::Alloc, ts->trackFor("rest_alloc"),
+                        "quarantine_drain", allocTick(heap_), "bytes",
+                        chunk->chunkBytes);
+        }
     }
 }
 

@@ -92,6 +92,8 @@ runSystem(const workload::BenchProfile &profile, const SystemConfig &cfg,
     system.cpuStats().forEachScalar(snap);
     system.dcache().statGroup().forEachScalar(snap);
     system.l2cache().statGroup().forEachScalar(snap);
+    if (cfg.trace.statsEvery != 0)
+        m.statSeries = system.statSnapshots();
     return m;
 }
 

@@ -58,6 +58,9 @@ struct Measurement
     /** Component counters ("o3cpu.*", "l1d.*") snapshotted before the
      *  System is torn down; feeds the JSON results layer. */
     std::map<std::string, std::uint64_t> scalars;
+    /** Periodic per-interval stat deltas (empty unless the run's
+     *  SystemConfig enabled trace.statsEvery). */
+    std::vector<stats::StatSnapshot> statSeries;
     SystemResult detail;
 };
 

@@ -51,6 +51,21 @@ writeCell(util::JsonWriter &w, const SweepCell &cell)
     for (const auto &[name, v] : cell.scalars)
         w.field(name, v);
     w.endObject();
+    if (!cell.statSeries.empty()) {
+        w.key("stat_series");
+        w.beginArray();
+        for (const auto &snap : cell.statSeries) {
+            w.beginObject();
+            w.field("cycle", std::uint64_t(snap.cycle));
+            w.key("deltas");
+            w.beginObject();
+            for (const auto &[name, v] : snap.deltas)
+                w.field(name, v);
+            w.endObject();
+            w.endObject();
+        }
+        w.endArray();
+    }
     w.endObject();
 }
 

@@ -53,6 +53,9 @@ struct SweepCell
     std::uint64_t ops = 0;      ///< seed-averaged
     std::vector<Cycles> seedCycles;
     std::map<std::string, std::uint64_t> scalars; ///< summed over seeds
+    /** Per-interval stat deltas (first seed's run); only serialised
+     *  when non-empty, so default output stays byte-identical. */
+    std::vector<stats::StatSnapshot> statSeries;
 };
 
 /** One named sweep: a rows × columns matrix of cells. */

@@ -3,6 +3,7 @@
 #include <utility>
 
 #include "util/thread_pool.hh"
+#include "util/trace.hh"
 
 namespace rest::sim
 {
@@ -11,17 +12,23 @@ namespace
 {
 
 Measurement
-runJob(const SweepJob &job)
+runJob(const SweepJob &job, std::size_t index)
 {
+    REST_DPRINTF(trace::Flag::Sweep, index, "sweep",
+                 "job ", index, " start bench=", job.profile.name);
+    Measurement m;
     if (job.useCustomConfig) {
-        return runCustom(job.profile, job.customConfig,
-                         job.label.empty() ? std::string("custom")
-                                           : job.label);
+        m = runCustom(job.profile, job.customConfig,
+                      job.label.empty() ? std::string("custom")
+                                        : job.label);
+    } else {
+        m = runBench(job.profile, job.config, job.width, job.inorder);
+        if (!job.label.empty())
+            m.label = job.label;
     }
-    Measurement m = runBench(job.profile, job.config, job.width,
-                             job.inorder);
-    if (!job.label.empty())
-        m.label = job.label;
+    REST_DPRINTF(trace::Flag::Sweep, index, "sweep",
+                 "job ", index, " done bench=", m.bench, " label=",
+                 m.label, " cycles=", m.cycles);
     return m;
 }
 
@@ -61,7 +68,7 @@ SweepRunner::run(const std::vector<SweepJob> &jobs) const
     std::vector<Measurement> results(jobs.size());
     if (num_threads_ <= 1 || jobs.size() <= 1) {
         for (std::size_t i = 0; i < jobs.size(); ++i)
-            results[i] = runJob(jobs[i]);
+            results[i] = runJob(jobs[i], i);
         return results;
     }
 
@@ -69,7 +76,7 @@ SweepRunner::run(const std::vector<SweepJob> &jobs) const
                                                 jobs.size()));
     for (std::size_t i = 0; i < jobs.size(); ++i) {
         pool.submit([&jobs, &results, i] {
-            results[i] = runJob(jobs[i]);
+            results[i] = runJob(jobs[i], i);
         });
     }
     pool.wait();

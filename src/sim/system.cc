@@ -47,6 +47,18 @@ System::System(isa::Program program, const SystemConfig &cfg)
         o3_ = std::make_unique<cpu::O3Cpu>(
             cfg_.cpuConfig, cfg_.mode, l1i_, l1d_);
     }
+
+    if (cfg_.trace.active()) {
+        traceSink_ = std::make_unique<trace::TraceSink>(cfg_.trace);
+        if (cfg_.trace.statsEvery != 0) {
+            traceSink_->registerStatGroup(
+                o3_ ? &o3_->statGroup() : &inorder_->statGroup());
+            traceSink_->registerStatGroup(&l1i_.statGroup());
+            traceSink_->registerStatGroup(&l1d_.statGroup());
+            traceSink_->registerStatGroup(&l2_.statGroup());
+            traceSink_->registerStatGroup(&dram_.statGroup());
+        }
+    }
 }
 
 SystemResult
@@ -54,8 +66,19 @@ System::run()
 {
     SystemResult res;
     res.instrumentation = instrumentation_;
+
+    // Install this system's sink thread-locally for the duration of
+    // the run: parallel sweep jobs each trace into private storage.
+    trace::ScopedSink scoped(traceSink_.get());
     res.run = o3_ ? o3_->run(*emulator_, cfg_.maxOps)
                   : inorder_->run(*emulator_, cfg_.maxOps);
+    if (traceSink_) {
+        traceSink_->flushStats(res.run.cycles);
+        if (!cfg_.trace.traceOutPath.empty())
+            traceSink_->writeChromeTraceFile(cfg_.trace.traceOutPath);
+        if (!cfg_.trace.pipeViewPath.empty())
+            traceSink_->writePipeViewFile(cfg_.trace.pipeViewPath);
+    }
     res.armsExecuted = engine_.armsExecuted();
     res.disarmsExecuted = engine_.disarmsExecuted();
 
@@ -80,6 +103,29 @@ const stats::StatGroup &
 System::cpuStats() const
 {
     return o3_ ? o3_->statGroup() : inorder_->statGroup();
+}
+
+std::vector<stats::StatSnapshot>
+System::statSnapshots() const
+{
+    // Every registered group snapshots on the same statsTick
+    // boundaries; merge the per-group series by cycle.
+    std::map<Cycles, std::map<std::string, std::uint64_t>> merged;
+    const stats::StatGroup *groups[] = {
+        &cpuStats(), &l1i_.statGroup(), &l1d_.statGroup(),
+        &l2_.statGroup(), &dram_.statGroup(),
+    };
+    for (const auto *g : groups) {
+        for (const auto &snap : g->snapshots()) {
+            auto &cell = merged[snap.cycle];
+            cell.insert(snap.deltas.begin(), snap.deltas.end());
+        }
+    }
+    std::vector<stats::StatSnapshot> out;
+    out.reserve(merged.size());
+    for (auto &[cycle, deltas] : merged)
+        out.push_back({cycle, std::move(deltas)});
+    return out;
 }
 
 void

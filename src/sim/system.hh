@@ -25,6 +25,7 @@
 #include "runtime/instrumentation.hh"
 #include "runtime/runtime_config.hh"
 #include "sim/emulator.hh"
+#include "util/trace.hh"
 
 namespace rest::sim
 {
@@ -46,6 +47,12 @@ struct SystemConfig
 
     std::uint64_t maxOps = ~std::uint64_t(0);
     std::uint64_t tokenSeed = 0xc0ffee;
+
+    /**
+     * Tracing/metrics for this system. Default-constructed (inactive)
+     * means no sink is created and run() costs nothing extra.
+     */
+    trace::TraceConfig trace;
 };
 
 /** Outcome of a System::run(). */
@@ -95,6 +102,16 @@ class System
     /** Dump all component stats. */
     void dumpStats(std::ostream &os) const;
 
+    /** This system's private trace sink (nullptr when tracing off). */
+    trace::TraceSink *traceSink() { return traceSink_.get(); }
+
+    /**
+     * Periodic stat snapshots from every component group, merged by
+     * cycle (all groups snapshot on the same statsTick boundaries).
+     * Empty unless cfg.trace.statsEvery was set.
+     */
+    std::vector<stats::StatSnapshot> statSnapshots() const;
+
   private:
     SystemConfig cfg_;
     mem::GuestMemory memory_;
@@ -111,6 +128,7 @@ class System
     std::unique_ptr<Emulator> emulator_;
     std::unique_ptr<cpu::O3Cpu> o3_;
     std::unique_ptr<cpu::InOrderCpu> inorder_;
+    std::unique_ptr<trace::TraceSink> traceSink_;
 };
 
 } // namespace rest::sim

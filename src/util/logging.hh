@@ -13,6 +13,7 @@
 #ifndef REST_UTIL_LOGGING_HH
 #define REST_UTIL_LOGGING_HH
 
+#include <atomic>
 #include <cstdlib>
 #include <iostream>
 #include <sstream>
@@ -21,8 +22,15 @@
 namespace rest
 {
 
-/** Global verbosity switch; when false, inform() output is suppressed. */
-extern bool verboseLogging;
+/**
+ * Global verbosity switch; when false, inform() output is suppressed.
+ * Atomic: sweep-runner worker threads read it while a harness main
+ * thread may still be setting it. warn()/inform() additionally
+ * serialise their writes behind a process-wide mutex, each emitting
+ * one pre-composed line, so parallel-sweep output never interleaves
+ * mid-line.
+ */
+extern std::atomic<bool> verboseLogging;
 
 namespace detail
 {

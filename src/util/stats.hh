@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "util/logging.hh"
+#include "util/types.hh"
 
 namespace rest::stats
 {
@@ -42,14 +43,31 @@ class Scalar
     std::uint64_t value_ = 0;
 };
 
-/** A bucketed histogram with running sum for the mean. */
+/**
+ * A bucketed histogram with running sum for the mean.
+ *
+ * Bucketing convention (deterministic, relied on by tests):
+ *   - `upper_edges` are *inclusive* upper bounds in strictly
+ *     ascending order: a sample lands in the first bucket whose edge
+ *     is >= the value (so a value exactly on an edge lands in that
+ *     edge's bucket, never the next one).
+ *   - Values above the last edge land in the final overflow bucket,
+ *     so buckets() always has edges().size() + 1 entries and every
+ *     sample is counted in exactly one bucket.
+ */
 class Distribution
 {
   public:
-    /** Configure with bucket boundaries (upper edges, ascending). */
+    /** Configure with bucket boundaries (inclusive upper edges,
+     *  strictly ascending — non-ascending edges are a caller bug). */
     void
     init(std::vector<std::uint64_t> upper_edges)
     {
+        for (std::size_t i = 1; i < upper_edges.size(); ++i) {
+            rest_assert(upper_edges[i - 1] < upper_edges[i],
+                        "distribution edges must be strictly "
+                        "ascending");
+        }
         edges_ = std::move(upper_edges);
         buckets_.assign(edges_.size() + 1, 0);
     }
@@ -58,6 +76,11 @@ class Distribution
     void
     sample(std::uint64_t v)
     {
+        if (buckets_.empty()) {
+            // Never init()ed: behave as a single overflow bucket so
+            // every sample is still counted deterministically.
+            buckets_.assign(1, 0);
+        }
         ++count_;
         sum_ += v;
         if (count_ == 1 || v < min_) min_ = v;
@@ -65,8 +88,7 @@ class Distribution
         std::size_t i = 0;
         while (i < edges_.size() && v > edges_[i])
             ++i;
-        if (i < buckets_.size())
-            ++buckets_[i];
+        ++buckets_[i];
     }
 
     void
@@ -105,6 +127,19 @@ class Formula
 
   private:
     std::function<double()> fn_;
+};
+
+/**
+ * One periodic snapshot of a StatGroup: the cycle it was taken at and
+ * the per-scalar deltas accumulated since the previous snapshot.
+ * A time series of these is the `stat_series` stream in sweep results
+ * and the counter tracks in Chrome-trace output (rest::trace).
+ */
+struct StatSnapshot
+{
+    Cycles cycle = 0;
+    /** "group.stat" -> increment over the preceding interval. */
+    std::map<std::string, std::uint64_t> deltas;
 };
 
 /**
@@ -187,6 +222,63 @@ class StatGroup
     /** Dump all stats in "group.stat  value  # desc" format. */
     void dump(std::ostream &os) const;
 
+    // --- periodic snapshots (rest::trace metrics layer) ---------------
+
+    /**
+     * Enable periodic snapshotting every `n_cycles` (0 disables).
+     * The group does not own a clock: the owner's timing loop (or a
+     * trace::TraceSink it is registered with) drives time by calling
+     * maybeSnapshot(now).
+     */
+    void
+    dumpEvery(std::uint64_t n_cycles)
+    {
+        snapEvery_ = n_cycles;
+        nextSnapAt_ = n_cycles;
+    }
+
+    /** Is periodic snapshotting enabled? */
+    std::uint64_t snapshotPeriod() const { return snapEvery_; }
+
+    /**
+     * Take a snapshot if `now` has reached the next boundary. A single
+     * compare when disabled or before the boundary; intervals the
+     * clock jumps clean over collapse into one snapshot at `now`.
+     */
+    void
+    maybeSnapshot(Cycles now)
+    {
+        if (snapEvery_ == 0 || now < nextSnapAt_)
+            return;
+        takeSnapshot(now);
+        nextSnapAt_ = (now / snapEvery_ + 1) * snapEvery_;
+    }
+
+    /**
+     * Unconditionally snapshot at `now` (used to flush the final
+     * partial interval). Records every scalar's delta since the
+     * previous snapshot; a duplicate call at the same cycle is a
+     * no-op.
+     */
+    void
+    takeSnapshot(Cycles now)
+    {
+        if (!snapshots_.empty() && snapshots_.back().cycle == now)
+            return;
+        StatSnapshot snap;
+        snap.cycle = now;
+        for (const auto &[stat, scalar] : scalars_) {
+            std::uint64_t prev = lastSnapValues_[stat];
+            snap.deltas[name_ + "." + stat] = scalar.value() - prev;
+            lastSnapValues_[stat] = scalar.value();
+        }
+        snapshots_.push_back(std::move(snap));
+    }
+
+    /** The time series collected so far. */
+    const std::vector<StatSnapshot> &snapshots() const
+    { return snapshots_; }
+
     const std::string &name() const { return name_; }
 
   private:
@@ -195,6 +287,11 @@ class StatGroup
     std::map<std::string, Distribution> dists_;
     std::map<std::string, Formula> formulas_;
     std::map<std::string, std::string> descs_;
+
+    std::uint64_t snapEvery_ = 0;
+    Cycles nextSnapAt_ = 0;
+    std::map<std::string, std::uint64_t> lastSnapValues_;
+    std::vector<StatSnapshot> snapshots_;
 };
 
 } // namespace rest::stats

@@ -1,0 +1,492 @@
+#include "util/trace.hh"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+
+#include "util/json_writer.hh"
+#include "util/logging.hh"
+#include "util/stats.hh"
+
+namespace rest::trace
+{
+
+// ---------------------------------------------------------------------
+// Flag registry
+// ---------------------------------------------------------------------
+
+namespace
+{
+
+constexpr std::string_view flagNames[numFlags] = {
+    "O3Pipe", "Cache", "TokenDetect", "Alloc", "Shadow", "Sweep",
+};
+
+} // namespace
+
+std::string_view
+flagName(Flag f)
+{
+    const unsigned i = static_cast<unsigned>(f);
+    rest_assert(i < numFlags, "flagName of invalid flag ", i);
+    return flagNames[i];
+}
+
+bool
+parseFlags(std::string_view csv, FlagMask *out)
+{
+    FlagMask mask = 0;
+    std::size_t pos = 0;
+    while (pos <= csv.size()) {
+        std::size_t comma = csv.find(',', pos);
+        if (comma == std::string_view::npos)
+            comma = csv.size();
+        std::string_view name = csv.substr(pos, comma - pos);
+        pos = comma + 1;
+        if (name.empty())
+            continue; // tolerate "" and stray commas
+        if (name == "All" || name == "all") {
+            mask = allFlags;
+            continue;
+        }
+        bool found = false;
+        for (unsigned i = 0; i < numFlags; ++i) {
+            if (name == flagNames[i]) {
+                mask |= flagBit(static_cast<Flag>(i));
+                found = true;
+                break;
+            }
+        }
+        if (!found)
+            return false;
+    }
+    *out = mask;
+    return true;
+}
+
+TraceConfig
+TraceConfig::fromEnv()
+{
+    TraceConfig cfg;
+    const char *env = std::getenv("REST_DEBUG_FLAGS");
+    if (env && *env) {
+        if (!parseFlags(env, &cfg.flags)) {
+            rest_warn("REST_DEBUG_FLAGS=\"", env, "\" contains an "
+                      "unknown flag; tracing stays off (known: O3Pipe, "
+                      "Cache, TokenDetect, Alloc, Shadow, Sweep, All)");
+            cfg.flags = 0;
+        }
+    }
+    return cfg;
+}
+
+// ---------------------------------------------------------------------
+// TraceSink
+// ---------------------------------------------------------------------
+
+TraceSink::TraceSink(TraceConfig cfg) : cfg_(std::move(cfg))
+{
+    rest_assert(cfg_.ringCapacity > 0, "trace ring capacity must be >0");
+    ring_.reserve(std::min<std::size_t>(cfg_.ringCapacity, 4096));
+}
+
+void
+TraceSink::message(Tick t, std::string_view component,
+                   std::string_view msg)
+{
+    // Compose the whole line first so concurrent producers (global
+    // sink under a parallel sweep) never interleave mid-line.
+    std::string line;
+    line.reserve(component.size() + msg.size() + 24);
+    line += std::to_string(t);
+    line += ": ";
+    line += component;
+    line += ": ";
+    line += msg;
+    line += '\n';
+
+    std::lock_guard<std::mutex> lock(mu_);
+    std::ostream &os = cfg_.messageStream ? *cfg_.messageStream
+                                          : std::cerr;
+    os << line;
+}
+
+void
+TraceSink::record(const TraceEvent &ev)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    ++recorded_;
+    if (ring_.size() < cfg_.ringCapacity) {
+        ring_.push_back(ev);
+        return;
+    }
+    // Ring full: overwrite the oldest event.
+    ring_[ringHead_] = ev;
+    ringHead_ = (ringHead_ + 1) % ring_.size();
+    wrapped_ = true;
+    ++dropped_;
+}
+
+void
+TraceSink::complete(Flag f, std::uint32_t track, const char *name,
+                    Tick start, Tick end, const char *arg_name,
+                    std::uint64_t arg_value)
+{
+    TraceEvent ev;
+    ev.name = name;
+    ev.flag = f;
+    ev.kind = EventKind::Complete;
+    ev.track = track;
+    ev.start = start;
+    ev.duration = end > start ? end - start : 0;
+    ev.argName = arg_name;
+    ev.argValue = arg_value;
+    record(ev);
+}
+
+void
+TraceSink::instant(Flag f, std::uint32_t track, const char *name,
+                   Tick at, const char *arg_name,
+                   std::uint64_t arg_value)
+{
+    TraceEvent ev;
+    ev.name = name;
+    ev.flag = f;
+    ev.kind = EventKind::Instant;
+    ev.track = track;
+    ev.start = at;
+    ev.argName = arg_name;
+    ev.argValue = arg_value;
+    record(ev);
+}
+
+void
+TraceSink::counter(Flag f, std::uint32_t track, const char *name,
+                   Tick at, std::uint64_t value)
+{
+    TraceEvent ev;
+    ev.name = name;
+    ev.flag = f;
+    ev.kind = EventKind::Counter;
+    ev.track = track;
+    ev.start = at;
+    ev.argName = "value";
+    ev.argValue = value;
+    record(ev);
+}
+
+std::uint32_t
+TraceSink::trackFor(std::string_view component)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = tracks_.find(component);
+    if (it != tracks_.end())
+        return it->second;
+    std::uint32_t id = static_cast<std::uint32_t>(trackNames_.size());
+    tracks_.emplace(std::string(component), id);
+    trackNames_.emplace_back(component);
+    return id;
+}
+
+void
+TraceSink::pipeView(const PipeRecord &rec)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    if (pipe_.size() >= cfg_.pipeCapacity) {
+        ++pipeDropped_;
+        return;
+    }
+    pipe_.push_back(rec);
+}
+
+// ---------------------------------------------------------------------
+// Periodic stats
+// ---------------------------------------------------------------------
+
+void
+TraceSink::registerStatGroup(stats::StatGroup *group)
+{
+    if (cfg_.statsEvery == 0)
+        return;
+    std::lock_guard<std::mutex> lock(mu_);
+    group->dumpEvery(cfg_.statsEvery);
+    statGroups_.push_back(group);
+    nextSnapshotAt_.store(cfg_.statsEvery, std::memory_order_relaxed);
+}
+
+void
+TraceSink::statsTick(Cycles now)
+{
+    if (cfg_.statsEvery == 0 ||
+        now < nextSnapshotAt_.load(std::memory_order_relaxed)) {
+        return;
+    }
+    std::lock_guard<std::mutex> lock(mu_);
+    if (now < nextSnapshotAt_.load(std::memory_order_relaxed))
+        return; // another thread advanced the boundary first
+    for (auto *g : statGroups_)
+        g->maybeSnapshot(now);
+    nextSnapshotAt_.store((now / cfg_.statsEvery + 1) * cfg_.statsEvery,
+                          std::memory_order_relaxed);
+}
+
+void
+TraceSink::flushStats(Cycles now)
+{
+    if (cfg_.statsEvery == 0)
+        return;
+    std::lock_guard<std::mutex> lock(mu_);
+    for (auto *g : statGroups_)
+        g->takeSnapshot(now);
+}
+
+// ---------------------------------------------------------------------
+// Inspection
+// ---------------------------------------------------------------------
+
+std::vector<TraceEvent>
+TraceSink::events() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!wrapped_)
+        return ring_;
+    // Unroll the ring into chronological (recording) order.
+    std::vector<TraceEvent> out;
+    out.reserve(ring_.size());
+    for (std::size_t i = 0; i < ring_.size(); ++i)
+        out.push_back(ring_[(ringHead_ + i) % ring_.size()]);
+    return out;
+}
+
+std::uint64_t
+TraceSink::eventsRecorded() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return recorded_;
+}
+
+std::uint64_t
+TraceSink::eventsDropped() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return dropped_;
+}
+
+std::vector<PipeRecord>
+TraceSink::pipeRecords() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return pipe_;
+}
+
+std::vector<std::string>
+TraceSink::trackNames() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return trackNames_;
+}
+
+// ---------------------------------------------------------------------
+// Chrome trace-event export
+// ---------------------------------------------------------------------
+
+void
+TraceSink::writeChromeTrace(std::ostream &os) const
+{
+    // Snapshot shared state first; JsonWriter asserts on destruction
+    // and must not run under the sink lock.
+    std::vector<TraceEvent> evs = events();
+    std::vector<std::string> names = trackNames();
+    std::vector<const stats::StatGroup *> groups;
+    std::uint64_t dropped;
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        groups.assign(statGroups_.begin(), statGroups_.end());
+        dropped = dropped_;
+    }
+
+    util::JsonWriter w(os, 0);
+    w.beginObject();
+    w.field("displayTimeUnit", "ns");
+    w.key("traceEvents");
+    w.beginArray();
+
+    // Track metadata: one named thread per component.
+    for (std::size_t i = 0; i < names.size(); ++i) {
+        w.beginObject();
+        w.field("ph", "M");
+        w.field("name", "thread_name");
+        w.field("pid", std::uint64_t(1));
+        w.field("tid", std::uint64_t(i));
+        w.key("args");
+        w.beginObject();
+        w.field("name", names[i]);
+        w.endObject();
+        w.endObject();
+    }
+
+    for (const TraceEvent &ev : evs) {
+        w.beginObject();
+        switch (ev.kind) {
+          case EventKind::Complete:
+            w.field("ph", "X");
+            break;
+          case EventKind::Instant:
+            w.field("ph", "i");
+            break;
+          case EventKind::Counter:
+            w.field("ph", "C");
+            break;
+        }
+        w.field("name", ev.name);
+        w.field("cat", flagName(ev.flag));
+        w.field("pid", std::uint64_t(1));
+        w.field("tid", std::uint64_t(ev.track));
+        w.field("ts", ev.start);
+        if (ev.kind == EventKind::Complete)
+            w.field("dur", ev.duration);
+        if (ev.kind == EventKind::Instant)
+            w.field("s", "t");
+        if (ev.argName) {
+            w.key("args");
+            w.beginObject();
+            w.field(ev.argName, ev.argValue);
+            w.endObject();
+        }
+        w.endObject();
+    }
+
+    // Periodic stat snapshots as counter tracks: Perfetto renders
+    // these as per-interval delta graphs.
+    for (const auto *g : groups) {
+        for (const auto &snap : g->snapshots()) {
+            for (const auto &[name, delta] : snap.deltas) {
+                w.beginObject();
+                w.field("ph", "C");
+                w.field("name", name);
+                w.field("cat", "stats");
+                w.field("pid", std::uint64_t(2));
+                w.field("tid", std::uint64_t(0));
+                w.field("ts", snap.cycle);
+                w.key("args");
+                w.beginObject();
+                w.field("value", delta);
+                w.endObject();
+                w.endObject();
+            }
+        }
+    }
+
+    w.endArray();
+    w.field("droppedEvents", dropped);
+    w.endObject();
+    os << "\n";
+}
+
+bool
+TraceSink::writeChromeTraceFile(const std::string &path) const
+{
+    std::ofstream out(path);
+    if (!out) {
+        rest_warn("cannot open trace file ", path,
+                  "; skipping Chrome-trace output");
+        return false;
+    }
+    writeChromeTrace(out);
+    out.flush();
+    if (!out) {
+        rest_warn("short write to trace file ", path);
+        return false;
+    }
+    return true;
+}
+
+// ---------------------------------------------------------------------
+// O3PipeView export
+// ---------------------------------------------------------------------
+
+void
+TraceSink::writePipeView(std::ostream &os) const
+{
+    // gem5's O3PipeView line format (consumed unchanged by Konata and
+    // util/o3-pipeview.py):
+    //   O3PipeView:fetch:<tick>:0x<pc>:0:<seq>:<disasm>
+    //   O3PipeView:decode:<tick>
+    //   O3PipeView:rename:<tick>
+    //   O3PipeView:dispatch:<tick>
+    //   O3PipeView:issue:<tick>
+    //   O3PipeView:complete:<tick>
+    //   O3PipeView:retire:<tick>:store:<write-complete tick>
+    char pc_buf[32];
+    for (const PipeRecord &r : pipeRecords()) {
+        std::snprintf(pc_buf, sizeof(pc_buf), "0x%08llx",
+                      static_cast<unsigned long long>(r.pc));
+        os << "O3PipeView:fetch:" << r.fetch << ':' << pc_buf << ":0:"
+           << r.seq << ':' << r.disasm << '\n'
+           << "O3PipeView:decode:" << r.decode << '\n'
+           << "O3PipeView:rename:" << r.rename << '\n'
+           << "O3PipeView:dispatch:" << r.dispatch << '\n'
+           << "O3PipeView:issue:" << r.issue << '\n'
+           << "O3PipeView:complete:" << r.complete << '\n'
+           << "O3PipeView:retire:" << r.retire << ":store:"
+           << r.storeComplete << '\n';
+    }
+}
+
+bool
+TraceSink::writePipeViewFile(const std::string &path) const
+{
+    std::ofstream out(path);
+    if (!out) {
+        rest_warn("cannot open O3PipeView file ", path,
+                  "; skipping pipeline-trace output");
+        return false;
+    }
+    writePipeView(out);
+    out.flush();
+    if (!out) {
+        rest_warn("short write to O3PipeView file ", path);
+        return false;
+    }
+    return true;
+}
+
+// ---------------------------------------------------------------------
+// Sink installation
+// ---------------------------------------------------------------------
+
+namespace
+{
+
+thread_local TraceSink *tlsSink = nullptr;
+std::atomic<TraceSink *> globalSink{nullptr};
+
+} // namespace
+
+TraceSink *
+sink()
+{
+    if (tlsSink)
+        return tlsSink;
+    return globalSink.load(std::memory_order_acquire);
+}
+
+TraceSink *
+setGlobalSink(TraceSink *s)
+{
+    return globalSink.exchange(s, std::memory_order_acq_rel);
+}
+
+ScopedSink::ScopedSink(TraceSink *s) : prev_(tlsSink)
+{
+    tlsSink = s;
+}
+
+ScopedSink::~ScopedSink()
+{
+    tlsSink = prev_;
+}
+
+} // namespace rest::trace

@@ -1,0 +1,239 @@
+/**
+ * @file
+ * A minimal JSON reader for the test suite: just enough to validate
+ * round trips of util::JsonWriter output (results files, Chrome
+ * traces). Extracted from results_test.cc so every test that needs to
+ * parse JSON shares one implementation.
+ *
+ * Not a general parser: it accepts the subset JsonWriter emits (plus
+ * standard whitespace) and reports malformed input through ok() and
+ * gtest expectation failures rather than exceptions.
+ */
+
+#ifndef REST_TESTS_COMMON_JSON_READER_HH
+#define REST_TESTS_COMMON_JSON_READER_HH
+
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace rest::test
+{
+
+struct JsonValue
+{
+    enum Kind { Null, Bool, Number, String, Array, Object } kind = Null;
+    bool boolean = false;
+    double number = 0;
+    std::string str;
+    std::vector<JsonValue> items;
+    std::map<std::string, JsonValue> members;
+
+    const JsonValue &
+    at(const std::string &key) const
+    {
+        auto it = members.find(key);
+        EXPECT_NE(it, members.end()) << "missing key " << key;
+        static const JsonValue nil;
+        return it == members.end() ? nil : it->second;
+    }
+    bool has(const std::string &key) const
+    { return members.count(key) != 0; }
+};
+
+class JsonParser
+{
+  public:
+    explicit JsonParser(std::string text) : s_(std::move(text)) {}
+
+    JsonValue
+    parse()
+    {
+        JsonValue v = parseValue();
+        skipWs();
+        EXPECT_EQ(pos_, s_.size()) << "trailing garbage";
+        return v;
+    }
+
+    bool ok() const { return ok_; }
+
+  private:
+    void
+    skipWs()
+    {
+        while (pos_ < s_.size() &&
+               std::isspace(static_cast<unsigned char>(s_[pos_])))
+            ++pos_;
+    }
+
+    char
+    peek()
+    {
+        skipWs();
+        if (pos_ >= s_.size()) {
+            ok_ = false;
+            return '\0';
+        }
+        return s_[pos_];
+    }
+
+    void
+    expect(char c)
+    {
+        if (peek() != c)
+            ok_ = false;
+        else
+            ++pos_;
+    }
+
+    JsonValue
+    parseValue()
+    {
+        switch (peek()) {
+          case '{': return parseObject();
+          case '[': return parseArray();
+          case '"': return parseString();
+          case 't': case 'f': return parseBool();
+          case 'n': return parseNull();
+          default: return parseNumber();
+        }
+    }
+
+    JsonValue
+    parseObject()
+    {
+        JsonValue v;
+        v.kind = JsonValue::Object;
+        expect('{');
+        if (peek() == '}') {
+            ++pos_;
+            return v;
+        }
+        for (;;) {
+            JsonValue key = parseString();
+            expect(':');
+            v.members.emplace(key.str, parseValue());
+            if (peek() == ',') {
+                ++pos_;
+                continue;
+            }
+            break;
+        }
+        expect('}');
+        return v;
+    }
+
+    JsonValue
+    parseArray()
+    {
+        JsonValue v;
+        v.kind = JsonValue::Array;
+        expect('[');
+        if (peek() == ']') {
+            ++pos_;
+            return v;
+        }
+        for (;;) {
+            v.items.push_back(parseValue());
+            if (peek() == ',') {
+                ++pos_;
+                continue;
+            }
+            break;
+        }
+        expect(']');
+        return v;
+    }
+
+    JsonValue
+    parseString()
+    {
+        JsonValue v;
+        v.kind = JsonValue::String;
+        expect('"');
+        while (pos_ < s_.size() && s_[pos_] != '"') {
+            char c = s_[pos_++];
+            if (c == '\\' && pos_ < s_.size()) {
+                char e = s_[pos_++];
+                switch (e) {
+                  case 'n': v.str += '\n'; break;
+                  case 't': v.str += '\t'; break;
+                  case 'r': v.str += '\r'; break;
+                  case 'b': v.str += '\b'; break;
+                  case 'f': v.str += '\f'; break;
+                  case 'u':
+                    // Only \u00XX is emitted by the writer.
+                    if (pos_ + 4 <= s_.size()) {
+                        v.str += char(std::stoi(s_.substr(pos_ + 2, 2),
+                                                nullptr, 16));
+                        pos_ += 4;
+                    }
+                    break;
+                  default: v.str += e;
+                }
+            } else {
+                v.str += c;
+            }
+        }
+        expect('"');
+        return v;
+    }
+
+    JsonValue
+    parseBool()
+    {
+        JsonValue v;
+        v.kind = JsonValue::Bool;
+        if (s_.compare(pos_, 4, "true") == 0) {
+            v.boolean = true;
+            pos_ += 4;
+        } else if (s_.compare(pos_, 5, "false") == 0) {
+            v.boolean = false;
+            pos_ += 5;
+        } else {
+            ok_ = false;
+        }
+        return v;
+    }
+
+    JsonValue
+    parseNull()
+    {
+        JsonValue v;
+        if (s_.compare(pos_, 4, "null") == 0)
+            pos_ += 4;
+        else
+            ok_ = false;
+        return v;
+    }
+
+    JsonValue
+    parseNumber()
+    {
+        JsonValue v;
+        v.kind = JsonValue::Number;
+        std::size_t start = pos_;
+        while (pos_ < s_.size() &&
+               (std::isdigit(static_cast<unsigned char>(s_[pos_])) ||
+                s_[pos_] == '-' || s_[pos_] == '+' || s_[pos_] == '.' ||
+                s_[pos_] == 'e' || s_[pos_] == 'E'))
+            ++pos_;
+        if (pos_ == start) {
+            ok_ = false;
+            return v;
+        }
+        v.number = std::stod(s_.substr(start, pos_ - start));
+        return v;
+    }
+
+    std::string s_; ///< owned: callers may pass temporaries
+    std::size_t pos_ = 0;
+    bool ok_ = true;
+};
+
+} // namespace rest::test
+
+#endif // REST_TESTS_COMMON_JSON_READER_HH

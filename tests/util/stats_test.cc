@@ -42,6 +42,138 @@ TEST(Stats, DistributionTracksMoments)
         EXPECT_EQ(b, 1u); // one sample per bucket
 }
 
+TEST(Stats, DistributionEdgeValueLandsInEdgeBucket)
+{
+    // Edges are inclusive upper bounds: a sample exactly on an edge
+    // belongs to that edge's bucket, never the next one.
+    Distribution d;
+    d.init({10, 100, 1000});
+    d.sample(10);
+    d.sample(100);
+    d.sample(1000);
+    ASSERT_EQ(d.buckets().size(), 4u);
+    EXPECT_EQ(d.buckets()[0], 1u);
+    EXPECT_EQ(d.buckets()[1], 1u);
+    EXPECT_EQ(d.buckets()[2], 1u);
+    EXPECT_EQ(d.buckets()[3], 0u);
+}
+
+TEST(Stats, DistributionOverflowBucketCatchesAboveLastEdge)
+{
+    Distribution d;
+    d.init({10});
+    d.sample(11);
+    d.sample(~std::uint64_t(0));
+    ASSERT_EQ(d.buckets().size(), 2u);
+    EXPECT_EQ(d.buckets()[0], 0u);
+    EXPECT_EQ(d.buckets()[1], 2u);
+    // Every sample is in exactly one bucket.
+    EXPECT_EQ(d.buckets()[0] + d.buckets()[1], d.count());
+}
+
+TEST(Stats, DistributionZeroSampleAndZeroEdge)
+{
+    Distribution d;
+    d.init({0, 10});
+    d.sample(0); // exactly on the 0 edge -> first bucket
+    ASSERT_EQ(d.buckets().size(), 3u);
+    EXPECT_EQ(d.buckets()[0], 1u);
+    EXPECT_EQ(d.minValue(), 0u);
+    EXPECT_EQ(d.maxValue(), 0u);
+}
+
+TEST(Stats, DistributionNonAscendingEdgesDie)
+{
+    Distribution d;
+    EXPECT_DEATH(d.init({10, 10}), "ascending");
+    EXPECT_DEATH(d.init({100, 10}), "ascending");
+}
+
+TEST(Stats, DistributionUninitialisedStillCountsDeterministically)
+{
+    // Never init()ed: behaves as one overflow bucket.
+    Distribution d;
+    d.sample(7);
+    d.sample(9);
+    EXPECT_EQ(d.count(), 2u);
+    ASSERT_EQ(d.buckets().size(), 1u);
+    EXPECT_EQ(d.buckets()[0], 2u);
+}
+
+TEST(Stats, ForEachScalarVisitsEachExactlyOnce)
+{
+    StatGroup g("grp");
+    g.addScalar("b", "") += 2;
+    g.addScalar("a", "") += 1;
+    g.addScalar("c", "") += 3;
+
+    std::map<std::string, unsigned> visits;
+    std::vector<std::string> order;
+    g.forEachScalar([&](const std::string &name, std::uint64_t value) {
+        ++visits[name];
+        order.push_back(name);
+        EXPECT_EQ(value, g.scalarValue(name.substr(4)));
+    });
+
+    ASSERT_EQ(visits.size(), 3u);
+    for (const auto &[name, n] : visits)
+        EXPECT_EQ(n, 1u) << name;
+    // Stable lexicographic order (the results layer depends on it).
+    EXPECT_EQ(order,
+              (std::vector<std::string>{"grp.a", "grp.b", "grp.c"}));
+}
+
+TEST(Stats, SnapshotDeltasAndBoundaries)
+{
+    StatGroup g("cpu");
+    Scalar &ops = g.addScalar("ops", "");
+    g.dumpEvery(100);
+    EXPECT_EQ(g.snapshotPeriod(), 100u);
+
+    ops += 3;
+    g.maybeSnapshot(99); // before the boundary: no snapshot
+    EXPECT_TRUE(g.snapshots().empty());
+
+    g.maybeSnapshot(100); // on the boundary
+    ASSERT_EQ(g.snapshots().size(), 1u);
+    EXPECT_EQ(g.snapshots()[0].cycle, 100u);
+    EXPECT_EQ(g.snapshots()[0].deltas.at("cpu.ops"), 3u);
+
+    ops += 5;
+    g.maybeSnapshot(150); // inside the next interval: no snapshot
+    EXPECT_EQ(g.snapshots().size(), 1u);
+
+    // The clock jumping over several boundaries collapses them into
+    // one snapshot at `now`, with the whole accumulated delta.
+    ops += 2;
+    g.maybeSnapshot(450);
+    ASSERT_EQ(g.snapshots().size(), 2u);
+    EXPECT_EQ(g.snapshots()[1].cycle, 450u);
+    EXPECT_EQ(g.snapshots()[1].deltas.at("cpu.ops"), 7u);
+
+    // Final flush; a duplicate at the same cycle is a no-op.
+    ops += 1;
+    g.takeSnapshot(500);
+    g.takeSnapshot(500);
+    ASSERT_EQ(g.snapshots().size(), 3u);
+    EXPECT_EQ(g.snapshots()[2].deltas.at("cpu.ops"), 1u);
+
+    // Deltas over the series sum to the scalar's final value.
+    std::uint64_t total = 0;
+    for (const auto &snap : g.snapshots())
+        total += snap.deltas.at("cpu.ops");
+    EXPECT_EQ(total, ops.value());
+}
+
+TEST(Stats, SnapshotDisabledByDefault)
+{
+    StatGroup g("grp");
+    g.addScalar("s", "") += 1;
+    EXPECT_EQ(g.snapshotPeriod(), 0u);
+    g.maybeSnapshot(1000000);
+    EXPECT_TRUE(g.snapshots().empty());
+}
+
 TEST(Stats, DistributionReset)
 {
     StatGroup g("grp");
