@@ -6,10 +6,12 @@
  *      significant performance penalties"),
  *   2. debug-mode delayed store commit (the entire secure/debug gap),
  *   3. critical-word-first off (precise-exception support cost),
- *   4. quarantine budget sweep (temporal-protection window vs cost).
+ *   4. quarantine budget sweep (temporal-protection window vs cost),
+ *   5. redundant shadow-check elision (ASan with the statically
+ *      provable duplicate checks deleted, analysis/elide_checks.hh).
  *
  * Each ablation is a small matrix on the parallel sweep runner
- * (--jobs N); all four sweeps land in BENCH_ablation.json.
+ * (--jobs N); all five sweeps land in BENCH_ablation.json.
  */
 
 #include "bench_util.hh"
@@ -125,6 +127,25 @@ criticalWordFirstAblation(unsigned jobs)
     return mat;
 }
 
+bench::MatrixResult
+checkElisionAblation(unsigned jobs)
+{
+    std::cout << "\n--- Ablation 5: redundant shadow-check elision "
+                 "(static analysis) ---\n";
+    auto elide = sim::makeSystemConfig(ExpConfig::Asan);
+    elide.scheme.elideRedundantChecks = true;
+    auto mat = bench::runMatrix(
+        "check_elision", profiles({"bzip2", "hmmer", "xalancbmk"}),
+        {bench::presetColumn("asan(%)", ExpConfig::Asan),
+         bench::customColumn("asan+elide(%)", elide)},
+        jobs);
+    printOverheads(mat);
+    std::cout << "Expected: elision trims the access-validation "
+                 "component wherever the generators re-check a base "
+                 "register the dataflow already proved safe.\n";
+    return mat;
+}
+
 } // namespace
 
 int
@@ -141,6 +162,7 @@ main(int argc, char **argv)
     sweeps.push_back(storeCommitAblation(opt.jobs).sweep);
     sweeps.push_back(quarantineSweep(opt.jobs).sweep);
     sweeps.push_back(criticalWordFirstAblation(opt.jobs).sweep);
+    sweeps.push_back(checkElisionAblation(opt.jobs).sweep);
     bench::writeResults(opt, "ablation", std::move(sweeps));
     return 0;
 }

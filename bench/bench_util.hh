@@ -25,6 +25,10 @@
  *   --stats-every N       periodic stat snapshots every N cycles
  *                         (consumed by harnesses that run per-System
  *                         sinks, e.g. trace_demo)
+ *   --dump-program B[:S]  print benchmark B's generated program after
+ *                         instrumentation for scheme S (none, plain,
+ *                         asan, asan-elide, rest; default asan) and
+ *                         exit
  *
  * runMatrix() is the shared sweep driver: it expands a benchmark ×
  * column matrix (× seeds) into sim::SweepJobs, runs them on a
@@ -46,6 +50,7 @@
 #include <thread>
 #include <vector>
 
+#include "runtime/instrumentation.hh"
 #include "sim/experiment.hh"
 #include "sim/results.hh"
 #include "sim/sweep.hh"
@@ -161,6 +166,7 @@ usage(const std::string &figure, int status)
         << "[--debug-end T]\n"
         << "         [--trace-out PATH] [--pipeview-out PATH] "
         << "[--stats-every N]\n"
+        << "         [--dump-program BENCH[:SCHEME]]\n"
         << "  --jobs N / -j N    sweep worker threads (default "
         << defaultJobs() << ")\n"
         << "  --json PATH        write results JSON (default BENCH_"
@@ -176,8 +182,81 @@ usage(const std::string &figure, int status)
         << "  --pipeview-out P   write an O3PipeView instruction "
         << "trace\n"
         << "  --stats-every N    periodic stat snapshots every N "
-        << "cycles\n";
+        << "cycles\n"
+        << "  --dump-program B[:S]  print benchmark B instrumented "
+        << "for scheme S\n"
+        << "                     (none, plain, asan, asan-elide, "
+        << "rest; default asan)\n"
+        << "                     and exit\n";
     std::exit(status);
+}
+
+/**
+ * The --dump-program action: generate benchmark `bench`, instrument it
+ * for `scheme`, print the program listing plus the instrumentation
+ * summary, and exit. "none" dumps the raw generator output with its
+ * symbolic buf#N references unresolved.
+ */
+[[noreturn]] inline void
+dumpProgram(const std::string &figure, const std::string &spec)
+{
+    std::string bench = spec, scheme = "asan";
+    if (std::size_t colon = spec.find(':'); colon != std::string::npos) {
+        bench = spec.substr(0, colon);
+        scheme = spec.substr(colon + 1);
+    }
+
+    const std::vector<workload::BenchProfile> suite =
+        workload::specSuite();
+    const workload::BenchProfile *profile = nullptr;
+    for (const auto &p : suite)
+        if (p.name == bench)
+            profile = &p;
+    if (!profile) {
+        std::cerr << figure << ": unknown benchmark \"" << bench
+                  << "\"; available:";
+        for (const auto &p : suite)
+            std::cerr << " " << p.name;
+        std::cerr << "\n";
+        std::exit(1);
+    }
+
+    runtime::SchemeConfig cfg;
+    bool apply = true;
+    if (scheme == "none") {
+        apply = false;
+    } else if (scheme == "plain") {
+        cfg = runtime::SchemeConfig::plain();
+    } else if (scheme == "asan" || scheme == "asan-elide") {
+        cfg = runtime::SchemeConfig::asanFull();
+        cfg.elideRedundantChecks = scheme == "asan-elide";
+    } else if (scheme == "rest") {
+        cfg = runtime::SchemeConfig::restFull();
+    } else {
+        std::cerr << figure << ": unknown scheme \"" << scheme
+                  << "\" (want none, plain, asan, asan-elide or "
+                  << "rest)\n";
+        std::exit(1);
+    }
+
+    isa::Program prog = workload::generate(*profile);
+    if (!apply) {
+        std::cout << "; " << bench << ", generator output (symbolic "
+                  << "stack buffers)\n\n" << prog.toString();
+        std::exit(0);
+    }
+    runtime::InstrumentationSummary sum =
+        runtime::applyScheme(prog, cfg);
+    std::cout << "; " << bench << ", scheme " << cfg.name() << "\n"
+              << "; checks inserted " << sum.accessChecksInserted
+              << ", elided " << sum.accessChecksElided
+              << ", arms " << sum.armsInserted
+              << ", disarms " << sum.disarmsInserted << "\n"
+              << "; poison stores " << sum.stackPoisonStores
+              << ", pad-zero stores " << sum.padZeroStores
+              << ", frame bytes " << sum.frameBytesTotal << "\n\n"
+              << prog.toString();
+    std::exit(0);
 }
 
 /**
@@ -262,6 +341,8 @@ parseOptions(int argc, char **argv, const std::string &figure)
             opt.pipeViewOut = strArg(i, a);
         } else if (a == "--stats-every") {
             opt.statsEvery = u64Arg(i, a, 1, ~std::uint64_t(0));
+        } else if (a == "--dump-program") {
+            dumpProgram(figure, strArg(i, a));
         } else if (a == "--help" || a == "-h") {
             usage(figure, 0);
         } else {

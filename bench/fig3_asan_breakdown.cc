@@ -59,13 +59,22 @@ main(int argc, char **argv)
         cfg.useInOrderCpu = true; // Fig. 3 uses an in-order core
         columns.push_back(bench::customColumn(level_names[level], cfg));
     }
+    // The full stack again with redundant-check elision: how much of
+    // the access-validation component static analysis can trim.
+    {
+        sim::SystemConfig cfg;
+        cfg.scheme = schemeUpTo(4);
+        cfg.scheme.elideRedundantChecks = true;
+        cfg.useInOrderCpu = true;
+        columns.push_back(bench::customColumn("ChkElision", cfg));
+    }
 
     auto mat = bench::runMatrix("asan_breakdown",
                                 workload::specSuite(), columns,
                                 opt.jobs, /*with_baseline=*/false);
 
     bench::printHeader({"Allocator", "StackSetup", "AccessValid",
-                        "APIIntercept", "Total"});
+                        "APIIntercept", "Total", "Total+Elide"});
     for (std::size_t r = 0; r < mat.rowNames.size(); ++r) {
         Cycles base = mat.cells[0][r];
         std::vector<double> row;
@@ -78,12 +87,16 @@ main(int argc, char **argv)
         }
         row.push_back(100.0 * (double(prev) - double(base)) /
                       double(base));
+        row.push_back(100.0 * (double(mat.cells[5][r]) - double(base)) /
+                      double(base));
         bench::printRow(mat.rowNames[r], row);
     }
 
     std::cout << "\nPaper reference: memory-access validation is the "
                  "most persistent component;\nthe allocator dominates "
-                 "for allocation-heavy gcc/xalancbmk.\n";
+                 "for allocation-heavy gcc/xalancbmk.\n"
+                 "Total+Elide repeats the full stack with statically "
+                 "provable redundant checks deleted.\n";
 
     bench::writeResults(opt, "fig3", {std::move(mat.sweep)});
     return 0;

@@ -55,8 +55,16 @@ main(int argc, char **argv)
               << "Figure 7: runtime overheads over plain (%)\n"
               << "==============================================\n";
 
+    // ASan with statically redundant shadow checks deleted
+    // (analysis/elide_checks.hh) — same detection coverage, fewer
+    // dynamic instructions.
+    sim::SystemConfig asan_elide =
+        sim::makeSystemConfig(ExpConfig::Asan);
+    asan_elide.scheme.elideRedundantChecks = true;
+
     const std::vector<bench::MatrixColumn> columns = {
         bench::presetColumn("ASan", ExpConfig::Asan),
+        bench::customColumn("ASanElide", asan_elide),
         bench::presetColumn("DebugFull", ExpConfig::RestDebugFull),
         bench::presetColumn("SecureFull", ExpConfig::RestSecureFull),
         bench::presetColumn("PerfectHWFull", ExpConfig::PerfectHwFull),

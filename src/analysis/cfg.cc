@@ -1,0 +1,143 @@
+#include "analysis/cfg.hh"
+
+#include <algorithm>
+#include <sstream>
+
+#include "util/logging.hh"
+
+namespace rest::analysis
+{
+
+using isa::Inst;
+using isa::Opcode;
+
+bool
+isBlockTerminator(Opcode op)
+{
+    switch (op) {
+      case Opcode::Beq:
+      case Opcode::Bne:
+      case Opcode::Blt:
+      case Opcode::Bge:
+      case Opcode::Jmp:
+      case Opcode::Ret:
+      case Opcode::Halt:
+        return true;
+      default:
+        // Call transfers to another function and falls through here,
+        // so it does not end an intra-procedural block.
+        return false;
+    }
+}
+
+bool
+hasBranchTarget(Opcode op)
+{
+    switch (op) {
+      case Opcode::Beq:
+      case Opcode::Bne:
+      case Opcode::Blt:
+      case Opcode::Bge:
+      case Opcode::Jmp:
+        return true;
+      default:
+        return false;
+    }
+}
+
+bool
+fallsThrough(Opcode op)
+{
+    return op != Opcode::Jmp && op != Opcode::Ret && op != Opcode::Halt;
+}
+
+Cfg::Cfg(const isa::Function &fn) : fn_(&fn)
+{
+    const auto &insts = fn.insts;
+    const int n = static_cast<int>(insts.size());
+    rest_assert(n > 0, "CFG of empty function ", fn.name);
+
+    // 1. Leaders: entry, branch targets, instructions after control
+    //    transfers.
+    std::vector<bool> leader(insts.size(), false);
+    leader[0] = true;
+    for (int i = 0; i < n; ++i) {
+        const Inst &inst = insts[i];
+        if (hasBranchTarget(inst.op)) {
+            rest_assert(inst.target >= 0 && inst.target < n,
+                        "branch target ", inst.target,
+                        " out of range in ", fn.name,
+                        " (run the structural verifier first)");
+            leader[inst.target] = true;
+        }
+        if (isBlockTerminator(inst.op) && i + 1 < n)
+            leader[i + 1] = true;
+    }
+
+    // 2. Blocks and the instruction -> block map.
+    blockOf_.assign(insts.size(), -1);
+    for (int i = 0; i < n; ++i) {
+        if (leader[i]) {
+            BasicBlock bb;
+            bb.first = i;
+            blocks_.push_back(bb);
+        }
+        blockOf_[i] = static_cast<int>(blocks_.size()) - 1;
+        blocks_.back().last = i;
+    }
+
+    // 3. Edges.
+    for (std::size_t b = 0; b < blocks_.size(); ++b) {
+        const Inst &term = insts[blocks_[b].last];
+        auto link = [this, b](int succ) {
+            blocks_[b].succs.push_back(succ);
+            blocks_[succ].preds.push_back(static_cast<int>(b));
+        };
+        if (hasBranchTarget(term.op))
+            link(blockOf_[term.target]);
+        if (fallsThrough(term.op) && blocks_[b].last + 1 < n)
+            link(blockOf_[blocks_[b].last + 1]);
+    }
+
+    // 4. Reachability and reverse postorder, via one iterative DFS
+    //    from the entry block.
+    reachable_.assign(blocks_.size(), false);
+    std::vector<int> postorder;
+    // Stack entries: (block, next successor slot to visit).
+    std::vector<std::pair<int, std::size_t>> stack;
+    reachable_[0] = true;
+    stack.emplace_back(0, 0);
+    while (!stack.empty()) {
+        auto &[b, slot] = stack.back();
+        if (slot < blocks_[b].succs.size()) {
+            int succ = blocks_[b].succs[slot++];
+            if (!reachable_[succ]) {
+                reachable_[succ] = true;
+                stack.emplace_back(succ, 0);
+            }
+        } else {
+            postorder.push_back(b);
+            stack.pop_back();
+        }
+    }
+    rpo_.assign(postorder.rbegin(), postorder.rend());
+}
+
+std::string
+Cfg::toString() const
+{
+    std::ostringstream os;
+    os << "cfg " << fn_->name << ": " << blocks_.size() << " blocks\n";
+    for (std::size_t b = 0; b < blocks_.size(); ++b) {
+        os << "  b" << b << " [" << blocks_[b].first << ".."
+           << blocks_[b].last << "] ->";
+        for (int succ : blocks_[b].succs)
+            os << " b" << succ;
+        if (!reachable_[b])
+            os << "  ; unreachable";
+        os << "\n";
+    }
+    return os.str();
+}
+
+} // namespace rest::analysis

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Per-function control-flow graph over the mini-ISA.
+ *
+ * A Cfg partitions a Function's instruction vector into maximal basic
+ * blocks (leaders at index 0, at every branch/jump target, and after
+ * every control transfer), records successor/predecessor edges, and
+ * computes reachability plus a reverse-postorder traversal of the
+ * reachable subgraph. It is the substrate for the dominator tree
+ * (analysis/dominators.hh), the dataflow solver (analysis/dataflow.hh)
+ * and their clients, the instrumentation verifier and the
+ * redundant-check elision pass.
+ *
+ * Precondition: every intra-function branch target must be a valid
+ * instruction index. Callers that cannot guarantee this (e.g. the
+ * verifier, which diagnoses exactly such programs) must run the
+ * structural checks of analysis/verifier.hh first.
+ */
+
+#ifndef REST_ANALYSIS_CFG_HH
+#define REST_ANALYSIS_CFG_HH
+
+#include <string>
+#include <vector>
+
+#include "isa/program.hh"
+
+namespace rest::analysis
+{
+
+/** True for ops that end a basic block (Call falls through). */
+bool isBlockTerminator(isa::Opcode op);
+
+/** True for ops whose 'target' is an intra-function branch target. */
+bool hasBranchTarget(isa::Opcode op);
+
+/** True when control can fall through the op to the next inst. */
+bool fallsThrough(isa::Opcode op);
+
+/** One maximal basic block: the inclusive range [first, last]. */
+struct BasicBlock
+{
+    int first = 0;             ///< index of the leader instruction
+    int last = 0;              ///< index of the final instruction
+    std::vector<int> succs;    ///< successor block ids
+    std::vector<int> preds;    ///< predecessor block ids
+};
+
+/** Control-flow graph of one function. */
+class Cfg
+{
+  public:
+    /** Build the CFG of 'fn'; the function must outlive the Cfg. */
+    explicit Cfg(const isa::Function &fn);
+
+    const isa::Function &function() const { return *fn_; }
+
+    const std::vector<BasicBlock> &blocks() const { return blocks_; }
+
+    /** Block id containing instruction 'inst'. */
+    int blockOf(int inst) const { return blockOf_.at(inst); }
+
+    /** Per-block reachability from the entry block. */
+    const std::vector<bool> &reachable() const { return reachable_; }
+
+    /**
+     * Reachable blocks in reverse postorder (entry first); the
+     * iteration order used by the dominator and dataflow fixpoints.
+     */
+    const std::vector<int> &rpo() const { return rpo_; }
+
+    /** Render the graph for golden tests and diagnostics. */
+    std::string toString() const;
+
+  private:
+    const isa::Function *fn_;
+    std::vector<BasicBlock> blocks_;
+    std::vector<int> blockOf_;
+    std::vector<bool> reachable_;
+    std::vector<int> rpo_;
+};
+
+} // namespace rest::analysis
+
+#endif // REST_ANALYSIS_CFG_HH

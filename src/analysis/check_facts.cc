@@ -1,0 +1,138 @@
+#include "analysis/check_facts.hh"
+
+#include <algorithm>
+
+namespace rest::analysis
+{
+
+using isa::Inst;
+using isa::Opcode;
+using isa::OpSource;
+
+std::optional<CheckGroup>
+matchCheckGroup(const isa::Function &fn, int i)
+{
+    const auto &insts = fn.insts;
+    if (i < 0 || i + CheckGroup::length > static_cast<int>(insts.size()))
+        return std::nullopt;
+    for (int k = 0; k < CheckGroup::length; ++k) {
+        if (insts[i + k].tag != OpSource::AccessCheck)
+            return std::nullopt;
+    }
+    const Inst &ea = insts[i];         // addi rB, base, imm
+    const Inst &shr = insts[i + 1];    // shri rA, rB, 3
+    const Inst &bias = insts[i + 2];   // addi rA, rA, shadowBase
+    const Inst &ld = insts[i + 3];     // ld1 rA, [rA+0]
+    const Inst &chk = insts[i + 4];    // asanchk rA, rB
+    if (ea.op != Opcode::AddI || ea.rd != rCheckScratchB)
+        return std::nullopt;
+    if (shr.op != Opcode::ShrI || shr.rd != rCheckScratchA ||
+        shr.rs1 != rCheckScratchB || shr.imm != 3)
+        return std::nullopt;
+    if (bias.op != Opcode::AddI || bias.rd != rCheckScratchA ||
+        bias.rs1 != rCheckScratchA)
+        return std::nullopt;
+    if (ld.op != Opcode::Load || ld.rd != rCheckScratchA ||
+        ld.rs1 != rCheckScratchA || ld.width != 1 || ld.imm != 0)
+        return std::nullopt;
+    if (chk.op != Opcode::AsanCheck || chk.rs1 != rCheckScratchA ||
+        chk.rs2 != rCheckScratchB)
+        return std::nullopt;
+
+    CheckGroup group;
+    group.at = i;
+    group.fact = {ea.rs1, ea.imm, chk.width};
+    return group;
+}
+
+std::vector<CheckGroup>
+findCheckGroups(const isa::Function &fn)
+{
+    std::vector<CheckGroup> groups;
+    const int n = static_cast<int>(fn.insts.size());
+    for (int i = 0; i < n; ++i) {
+        if (auto group = matchCheckGroup(fn, i)) {
+            groups.push_back(*group);
+            i += CheckGroup::length - 1;
+        }
+    }
+    return groups;
+}
+
+bool
+covers(const CheckFact &have, const CheckFact &want)
+{
+    return have.base == want.base && have.offset <= want.offset &&
+        want.offset + want.width <= have.offset + have.width;
+}
+
+bool
+anyCovers(const std::set<CheckFact> &facts, const CheckFact &want)
+{
+    return std::any_of(facts.begin(), facts.end(),
+                       [&want](const CheckFact &have) {
+                           return covers(have, want);
+                       });
+}
+
+CheckFactsDomain::CheckFactsDomain(const isa::Function &fn)
+{
+    gen_.assign(fn.insts.size(), std::nullopt);
+    for (const CheckGroup &group : findCheckGroups(fn))
+        gen_[group.end()] = group.fact;
+}
+
+std::optional<CheckFact>
+CheckFactsDomain::genAt(int idx) const
+{
+    return gen_.at(idx);
+}
+
+void
+CheckFactsDomain::meet(State &into, const State &from) const
+{
+    if (!from)
+        return; // TOP contributes nothing to an intersection
+    if (!into) {
+        into = from;
+        return;
+    }
+    std::set<CheckFact> kept;
+    std::set_intersection(into->begin(), into->end(), from->begin(),
+                          from->end(),
+                          std::inserter(kept, kept.begin()));
+    *into = std::move(kept);
+}
+
+void
+CheckFactsDomain::transfer(State &st, const Inst &inst, int idx) const
+{
+    if (!st)
+        return; // unreachable prefix: stay TOP
+
+    // Events that can repoison shadow state invalidate every fact:
+    // callees poison their own frames, the runtime pseudo-ops expand
+    // into allocator/interceptor work, arm/disarm rewrite token
+    // metadata, and instrumentation-inserted stores are exactly the
+    // stack (un)poisoning sequences.
+    bool clobbers_shadow = inst.op == Opcode::Call ||
+        inst.op == Opcode::Arm || inst.op == Opcode::Disarm ||
+        isa::isRuntimeOp(inst.op) ||
+        (inst.op == Opcode::Store && inst.tag != OpSource::Program);
+    if (clobbers_shadow) {
+        st->clear();
+        return;
+    }
+
+    // A redefinition of a base register retires its facts.
+    if (inst.rd != isa::noReg && inst.rd != isa::regZero) {
+        for (auto it = st->begin(); it != st->end();) {
+            it = it->base == inst.rd ? st->erase(it) : std::next(it);
+        }
+    }
+
+    if (auto fact = gen_[idx])
+        st->insert(*fact);
+}
+
+} // namespace rest::analysis

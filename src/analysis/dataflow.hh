@@ -1,0 +1,121 @@
+/**
+ * @file
+ * A small forward-dataflow framework over a Cfg.
+ *
+ * A Domain supplies the lattice and the per-instruction transfer
+ * function:
+ *
+ *   struct Domain
+ *   {
+ *       using State = ...;            // copyable, operator==
+ *       State boundary() const;       // state at function entry
+ *       State top() const;            // meet identity (optimistic)
+ *       void meet(State &into, const State &from) const;
+ *       void transfer(State &st, const isa::Inst &inst, int idx) const;
+ *   };
+ *
+ * ForwardSolver iterates blocks in reverse postorder until the block
+ * IN/OUT states reach a fixpoint, then lets clients re-walk any block
+ * with scan() to observe the state immediately before each
+ * instruction. Unreachable blocks keep the top() state and are never
+ * scanned.
+ *
+ * For a may-analysis (union meet) top() is the empty set; for a
+ * must-analysis (intersection meet) represent top() as an explicit
+ * "universe" value, e.g. std::optional<std::set<T>> with nullopt as
+ * top (see CheckFactsDomain in analysis/check_facts.hh).
+ */
+
+#ifndef REST_ANALYSIS_DATAFLOW_HH
+#define REST_ANALYSIS_DATAFLOW_HH
+
+#include <utility>
+#include <vector>
+
+#include "analysis/cfg.hh"
+
+namespace rest::analysis
+{
+
+template <typename Domain>
+class ForwardSolver
+{
+  public:
+    using State = typename Domain::State;
+
+    ForwardSolver(const Cfg &cfg, Domain domain)
+        : cfg_(&cfg), domain_(std::move(domain))
+    {
+        solve();
+    }
+
+    const Domain &domain() const { return domain_; }
+
+    /** Fixpoint state at the entry of 'block'. */
+    const State &in(int block) const { return in_.at(block); }
+
+    /** Fixpoint state at the exit of 'block'. */
+    const State &out(int block) const { return out_.at(block); }
+
+    /**
+     * Re-walk one block, calling visit(state, inst, idx) with the
+     * dataflow state immediately *before* each instruction (i.e.
+     * before the instruction's own transfer is applied).
+     */
+    template <typename Visit>
+    void
+    scan(int block, Visit &&visit) const
+    {
+        const auto &bb = cfg_->blocks().at(block);
+        const auto &insts = cfg_->function().insts;
+        State st = in_[block];
+        for (int i = bb.first; i <= bb.last; ++i) {
+            visit(static_cast<const State &>(st), insts[i], i);
+            domain_.transfer(st, insts[i], i);
+        }
+    }
+
+  private:
+    void
+    solve()
+    {
+        const auto &blocks = cfg_->blocks();
+        const auto &rpo = cfg_->rpo();
+        const auto &insts = cfg_->function().insts;
+        in_.assign(blocks.size(), domain_.top());
+        out_.assign(blocks.size(), domain_.top());
+        if (rpo.empty())
+            return;
+        const int entry = rpo.front();
+
+        bool changed = true;
+        while (changed) {
+            changed = false;
+            for (int b : rpo) {
+                State in_state =
+                    b == entry ? domain_.boundary() : domain_.top();
+                for (int p : blocks[b].preds) {
+                    if (cfg_->reachable()[p])
+                        domain_.meet(in_state, out_[p]);
+                }
+                State out_state = in_state;
+                for (int i = blocks[b].first; i <= blocks[b].last; ++i)
+                    domain_.transfer(out_state, insts[i], i);
+                if (!(in_state == in_[b]) || !(out_state == out_[b])) {
+                    in_[b] = std::move(in_state);
+                    out_[b] = std::move(out_state);
+                    changed = true;
+                }
+            }
+        }
+    }
+
+    const Cfg *cfg_;
+    Domain domain_;
+    std::vector<State> in_;
+    std::vector<State> out_;
+};
+
+} // namespace rest::analysis
+
+#endif // REST_ANALYSIS_DATAFLOW_HH

@@ -1,0 +1,85 @@
+#include "analysis/dominators.hh"
+
+#include <sstream>
+
+namespace rest::analysis
+{
+
+DomTree::DomTree(const Cfg &cfg) : cfg_(&cfg)
+{
+    const auto &blocks = cfg.blocks();
+    const auto &rpo = cfg.rpo();
+    idom_.assign(blocks.size(), -1);
+    rpoIndex_.assign(blocks.size(), -1);
+    for (std::size_t i = 0; i < rpo.size(); ++i)
+        rpoIndex_[rpo[i]] = static_cast<int>(i);
+
+    const int entry = rpo.empty() ? 0 : rpo.front();
+    idom_[entry] = entry;
+
+    // Walk the idom chains of two finger blocks up to their meet.
+    auto intersect = [this](int a, int b) {
+        while (a != b) {
+            while (rpoIndex_[a] > rpoIndex_[b])
+                a = idom_[a];
+            while (rpoIndex_[b] > rpoIndex_[a])
+                b = idom_[b];
+        }
+        return a;
+    };
+
+    bool changed = true;
+    while (changed) {
+        changed = false;
+        for (int b : rpo) {
+            if (b == entry)
+                continue;
+            int new_idom = -1;
+            for (int p : blocks[b].preds) {
+                if (idom_[p] < 0)
+                    continue; // unreachable or not yet processed
+                new_idom = new_idom < 0 ? p : intersect(p, new_idom);
+            }
+            if (new_idom >= 0 && idom_[b] != new_idom) {
+                idom_[b] = new_idom;
+                changed = true;
+            }
+        }
+    }
+}
+
+bool
+DomTree::dominates(int a, int b) const
+{
+    if (a == b)
+        return true;
+    if (idom_[a] < 0 || idom_[b] < 0)
+        return false; // unreachable blocks
+    const int entry = cfg_->rpo().front();
+    while (b != entry) {
+        b = idom_[b];
+        if (b == a)
+            return true;
+    }
+    return a == entry;
+}
+
+std::string
+DomTree::toString() const
+{
+    std::ostringstream os;
+    os << "domtree " << cfg_->function().name << ":\n";
+    for (std::size_t b = 0; b < idom_.size(); ++b) {
+        os << "  idom(b" << b << ") = ";
+        if (idom_[b] < 0)
+            os << "-  ; unreachable";
+        else if (static_cast<int>(b) == idom_[b])
+            os << "b" << idom_[b] << "  ; entry";
+        else
+            os << "b" << idom_[b];
+        os << "\n";
+    }
+    return os.str();
+}
+
+} // namespace rest::analysis

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Dominator tree over a Cfg (Cooper/Harvey/Kennedy's iterative
+ * algorithm on the reverse-postorder of the reachable subgraph).
+ *
+ * Block A dominates block B when every path from the entry block to B
+ * passes through A. The verifier phrases "every access is preceded by
+ * its check on all paths" as a dataflow availability question, but the
+ * tree itself is exposed for golden tests and for clients that want
+ * plain dominance queries.
+ */
+
+#ifndef REST_ANALYSIS_DOMINATORS_HH
+#define REST_ANALYSIS_DOMINATORS_HH
+
+#include <string>
+#include <vector>
+
+#include "analysis/cfg.hh"
+
+namespace rest::analysis
+{
+
+/** Immediate-dominator tree of a Cfg's reachable blocks. */
+class DomTree
+{
+  public:
+    explicit DomTree(const Cfg &cfg);
+
+    /**
+     * Immediate dominator of 'block'; the entry block is its own
+     * idom, and unreachable blocks report -1.
+     */
+    int idom(int block) const { return idom_.at(block); }
+
+    /**
+     * True when 'a' dominates 'b' (reflexive: a block dominates
+     * itself). Unreachable blocks dominate nothing and are dominated
+     * by nothing but themselves.
+     */
+    bool dominates(int a, int b) const;
+
+    /** Render idom edges for golden tests. */
+    std::string toString() const;
+
+  private:
+    const Cfg *cfg_;
+    std::vector<int> idom_;
+    std::vector<int> rpoIndex_;
+};
+
+} // namespace rest::analysis
+
+#endif // REST_ANALYSIS_DOMINATORS_HH

@@ -1,0 +1,88 @@
+#include "analysis/elide_checks.hh"
+
+#include <vector>
+
+#include "analysis/cfg.hh"
+#include "analysis/check_facts.hh"
+#include "analysis/dataflow.hh"
+#include "util/logging.hh"
+
+namespace rest::analysis
+{
+
+using isa::Inst;
+
+std::size_t
+elideRedundantChecks(isa::Function &fn)
+{
+    if (fn.insts.empty())
+        return 0;
+    Cfg cfg(fn);
+    ForwardSolver<CheckFactsDomain> solver(cfg, CheckFactsDomain(fn));
+
+    // 1. Mark redundant groups, judging each against the fixpoint
+    //    state at its leader (reachable blocks only: unreachable
+    //    checks never execute, so deleting them would only churn
+    //    static layout).
+    std::vector<bool> deleted(fn.insts.size(), false);
+    std::size_t count = 0;
+    for (int b : cfg.rpo()) {
+        solver.scan(b, [&](const CheckFactsDomain::State &st,
+                           const Inst &inst, int idx) {
+            (void)inst;
+            auto group = matchCheckGroup(fn, idx);
+            if (!group)
+                return;
+            // A group is straight-line code, but a hand-written
+            // program could branch into its middle; only elide groups
+            // wholly inside one block.
+            if (cfg.blockOf(group->at) != cfg.blockOf(group->end()))
+                return;
+            if (st && anyCovers(*st, group->fact)) {
+                for (int k = 0; k < CheckGroup::length; ++k)
+                    deleted[static_cast<std::size_t>(idx + k)] = true;
+                ++count;
+            }
+        });
+    }
+    if (count == 0)
+        return 0;
+
+    // 2. Rebuild the instruction vector and remap branch targets; a
+    //    target at a deleted group resolves to the first survivor
+    //    after it (the guarded access).
+    const int n = static_cast<int>(fn.insts.size());
+    std::vector<int> map(fn.insts.size(), -1);
+    std::vector<Inst> out;
+    out.reserve(fn.insts.size() - count * CheckGroup::length);
+    for (int i = 0; i < n; ++i) {
+        if (!deleted[static_cast<std::size_t>(i)]) {
+            map[static_cast<std::size_t>(i)] =
+                static_cast<int>(out.size());
+            out.push_back(fn.insts[static_cast<std::size_t>(i)]);
+        }
+    }
+    for (Inst &inst : out) {
+        if (!hasBranchTarget(inst.op) || inst.target < 0)
+            continue;
+        int t = inst.target;
+        while (t < n && map[static_cast<std::size_t>(t)] < 0)
+            ++t;
+        rest_assert(t < n, "branch target past function end after "
+                    "elision in ", fn.name);
+        inst.target = map[static_cast<std::size_t>(t)];
+    }
+    fn.insts = std::move(out);
+    return count;
+}
+
+std::size_t
+elideRedundantChecks(isa::Program &program)
+{
+    std::size_t count = 0;
+    for (auto &fn : program.funcs)
+        count += elideRedundantChecks(fn);
+    return count;
+}
+
+} // namespace rest::analysis

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Redundant ASan shadow-check elision.
+ *
+ * A check group is redundant when, at its program point, an earlier
+ * check of the same base register with a covering offset window is
+ * available on every path from function entry (the must-dataflow of
+ * analysis/check_facts.hh) — i.e. the earlier check either already
+ * faulted or proved the whole window addressable, the base register
+ * was not redefined in between, and nothing that can rewrite shadow
+ * state (call, runtime pseudo-op, arm/disarm, instrumentation store)
+ * intervened. Deleting such a group preserves both benign behaviour
+ * and detection: the retained dominating check faults on exactly the
+ * same shadow state the elided one would have seen (DESIGN.md spells
+ * out the argument).
+ *
+ * The pass deletes whole 5-op groups and remaps branch targets; a
+ * branch that pointed at a deleted group's leader is retargeted to the
+ * first surviving instruction after it (the access the group guarded),
+ * which is precisely where instrumentation-era targets semantically
+ * point. Elision decisions use the fixpoint computed over the
+ * *unmodified* function: an elided group's fact is implied by its
+ * covering fact (coverage is transitive) and its only register writes
+ * hit the instrumentation scratch registers, so removal never
+ * invalidates another group's decision.
+ */
+
+#ifndef REST_ANALYSIS_ELIDE_CHECKS_HH
+#define REST_ANALYSIS_ELIDE_CHECKS_HH
+
+#include <cstddef>
+
+#include "isa/program.hh"
+
+namespace rest::analysis
+{
+
+/**
+ * Delete provably-redundant shadow-check groups from 'fn' in place.
+ * @return the number of groups (checks) elided.
+ */
+std::size_t elideRedundantChecks(isa::Function &fn);
+
+/** Apply elideRedundantChecks() to every function of 'program'. */
+std::size_t elideRedundantChecks(isa::Program &program);
+
+} // namespace rest::analysis
+
+#endif // REST_ANALYSIS_ELIDE_CHECKS_HH

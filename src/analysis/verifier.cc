@@ -1,0 +1,487 @@
+#include "analysis/verifier.hh"
+
+#include <optional>
+#include <set>
+#include <sstream>
+
+#include "analysis/cfg.hh"
+#include "analysis/check_facts.hh"
+#include "analysis/dataflow.hh"
+#include "util/logging.hh"
+
+namespace rest::analysis
+{
+
+using isa::Function;
+using isa::Inst;
+using isa::Opcode;
+using isa::OpSource;
+
+const char *
+diagKindName(DiagKind kind)
+{
+    switch (kind) {
+      case DiagKind::EmptyFunction: return "EmptyFunction";
+      case DiagKind::MissingExit: return "MissingExit";
+      case DiagKind::MultipleExits: return "MultipleExits";
+      case DiagKind::BranchTargetOutOfRange:
+        return "BranchTargetOutOfRange";
+      case DiagKind::BranchIntoExit: return "BranchIntoExit";
+      case DiagKind::CallTargetOutOfRange:
+        return "CallTargetOutOfRange";
+      case DiagKind::BadBufId: return "BadBufId";
+      case DiagKind::UnreachableExit: return "UnreachableExit";
+      case DiagKind::UnresolvedBufId: return "UnresolvedBufId";
+      case DiagKind::UncheckedAccess: return "UncheckedAccess";
+      case DiagKind::DoubleArm: return "DoubleArm";
+      case DiagKind::DisarmWithoutArm: return "DisarmWithoutArm";
+      case DiagKind::ArmedAtExit: return "ArmedAtExit";
+      case DiagKind::UnknownArmAddress: return "UnknownArmAddress";
+      case DiagKind::BufferOutsideFrame: return "BufferOutsideFrame";
+      case DiagKind::BufferOverlap: return "BufferOverlap";
+      case DiagKind::RedzoneOverlapsBuffer:
+        return "RedzoneOverlapsBuffer";
+    }
+    return "<bad DiagKind>";
+}
+
+std::string
+Diagnostic::toString() const
+{
+    std::ostringstream os;
+    os << "[" << diagKindName(kind) << "] " << message;
+    return os.str();
+}
+
+std::string
+formatDiagnostics(const std::vector<Diagnostic> &diags)
+{
+    std::ostringstream os;
+    for (std::size_t i = 0; i < diags.size(); ++i)
+        os << (i ? "\n" : "") << diags[i].toString();
+    return os.str();
+}
+
+namespace
+{
+
+/** Append a diagnostic, prefixing the message with its location. */
+template <typename... Args>
+void
+report(std::vector<Diagnostic> &out, DiagKind kind, const Function &fn,
+       std::size_t func_idx, int inst, Args &&...args)
+{
+    std::ostringstream os;
+    os << fn.name;
+    if (inst >= 0)
+        os << " inst " << inst;
+    os << ": ";
+    (os << ... << std::forward<Args>(args));
+    out.push_back({kind, func_idx, inst, os.str()});
+}
+
+/**
+ * Structural contract of one function. 'pre' selects the
+ * pre-instrumentation flavour (symbolic bufIds must be in range)
+ * over the post-instrumentation one (bufIds must be resolved).
+ * Returns true when the function is structurally sound, i.e. safe to
+ * build a Cfg for.
+ */
+bool
+checkStructure(const isa::Program &program, std::size_t func_idx,
+               bool pre, std::vector<Diagnostic> &out)
+{
+    const Function &fn = program.funcs[func_idx];
+    const int n = static_cast<int>(fn.insts.size());
+    if (n == 0) {
+        report(out, DiagKind::EmptyFunction, fn, func_idx, -1,
+               "function has no instructions");
+        return false;
+    }
+
+    bool sound = true;
+    const Opcode last = fn.insts.back().op;
+    if (last != Opcode::Ret && last != Opcode::Halt) {
+        report(out, DiagKind::MissingExit, fn, func_idx, n - 1,
+               "function must end in ret/halt, ends in ",
+               isa::mnemonic(last));
+        sound = false;
+    }
+
+    for (int i = 0; i < n; ++i) {
+        const Inst &inst = fn.insts[i];
+        if ((inst.op == Opcode::Ret || inst.op == Opcode::Halt) &&
+            i != n - 1) {
+            report(out, DiagKind::MultipleExits, fn, func_idx, i,
+                   "extra ", isa::mnemonic(inst.op),
+                   " before the trailing exit");
+            sound = false;
+        }
+        if (hasBranchTarget(inst.op)) {
+            if (inst.target < 0 || inst.target >= n) {
+                report(out, DiagKind::BranchTargetOutOfRange, fn,
+                       func_idx, i, "branch target ", inst.target,
+                       " outside [0, ", n, ")");
+                sound = false;
+            } else if (inst.target == n - 1 &&
+                       (last == Opcode::Ret || last == Opcode::Halt)) {
+                report(out, DiagKind::BranchIntoExit, fn, func_idx, i,
+                       "branch targets the trailing exit; the "
+                       "instrumentation contract forbids this");
+                sound = false;
+            }
+        }
+        if (inst.op == Opcode::Call &&
+            (inst.target < 0 || static_cast<std::size_t>(inst.target) >=
+                                    program.funcs.size())) {
+            report(out, DiagKind::CallTargetOutOfRange, fn, func_idx, i,
+                   "call target ", inst.target, " outside [0, ",
+                   program.funcs.size(), ")");
+        }
+        if (pre) {
+            if (inst.bufId >= 0 &&
+                static_cast<std::size_t>(inst.bufId) >= fn.bufs.size()) {
+                report(out, DiagKind::BadBufId, fn, func_idx, i,
+                       "stack-buffer reference #", inst.bufId,
+                       " out of range (function has ", fn.bufs.size(),
+                       " buffers)");
+            }
+        } else if (inst.bufId >= 0) {
+            report(out, DiagKind::UnresolvedBufId, fn, func_idx, i,
+                   "symbolic stack-buffer reference #", inst.bufId,
+                   " survived the layout pass");
+        }
+    }
+
+    if (sound) {
+        Cfg cfg(fn);
+        if (!cfg.reachable()[cfg.blockOf(n - 1)]) {
+            report(out, DiagKind::UnreachableExit, fn, func_idx, n - 1,
+                   "the trailing exit is unreachable from entry");
+            sound = false;
+        }
+    }
+    return sound;
+}
+
+// ---------------------------------------------------------------------
+// ASan access coverage
+// ---------------------------------------------------------------------
+
+void
+checkAccessCoverage(const Cfg &cfg, std::size_t func_idx,
+                    std::vector<Diagnostic> &out)
+{
+    const Function &fn = cfg.function();
+    ForwardSolver<CheckFactsDomain> solver(cfg, CheckFactsDomain(fn));
+    for (int b : cfg.rpo()) {
+        solver.scan(b, [&](const CheckFactsDomain::State &st,
+                           const Inst &inst, int idx) {
+            if (inst.tag != OpSource::Program ||
+                (inst.op != Opcode::Load && inst.op != Opcode::Store)) {
+                return;
+            }
+            CheckFact want{inst.rs1, inst.imm, inst.width};
+            if (!st || !anyCovers(*st, want)) {
+                report(out, DiagKind::UncheckedAccess, fn, func_idx,
+                       idx, isa::mnemonic(inst.op), " of [r",
+                       int(inst.rs1), (inst.imm >= 0 ? "+" : ""),
+                       inst.imm, ", +", int(inst.width),
+                       ") is not covered by a shadow check on every "
+                       "path");
+            }
+        });
+    }
+}
+
+// ---------------------------------------------------------------------
+// REST arm/disarm pairing
+// ---------------------------------------------------------------------
+
+/**
+ * The fp-relative offset an instrumentation-inserted Arm/Disarm at
+ * 'idx' targets, resolved from the adjacent "addi rX, fp, K" the
+ * arming pass emits; nullopt if the address is not of that shape.
+ */
+std::optional<std::int64_t>
+armOffsetAt(const Function &fn, int idx)
+{
+    const Inst &inst = fn.insts[idx];
+    if (idx == 0)
+        return std::nullopt;
+    const Inst &prev = fn.insts[static_cast<std::size_t>(idx) - 1];
+    if (prev.op == Opcode::AddI && prev.rd == inst.rs1 &&
+        prev.rs1 == isa::regFp && prev.bufId < 0) {
+        return prev.imm;
+    }
+    return std::nullopt;
+}
+
+/** Pairing state: must-armed (intersection) and may-armed (union). */
+struct ArmState
+{
+    /** nullopt is TOP (meet identity of the intersection). */
+    std::optional<std::set<std::int64_t>> must;
+    std::set<std::int64_t> may;
+
+    bool operator==(const ArmState &) const = default;
+};
+
+struct ArmDomain
+{
+    using State = ArmState;
+
+    explicit ArmDomain(const Function &fn)
+    {
+        offsets.assign(fn.insts.size(), std::nullopt);
+        for (std::size_t i = 0; i < fn.insts.size(); ++i) {
+            const Inst &inst = fn.insts[i];
+            if ((inst.op == Opcode::Arm || inst.op == Opcode::Disarm) &&
+                inst.tag == OpSource::StackSetup) {
+                offsets[i] = armOffsetAt(fn, static_cast<int>(i));
+            }
+        }
+    }
+
+    State boundary() const { return {std::set<std::int64_t>{}, {}}; }
+    State top() const { return {std::nullopt, {}}; }
+
+    void
+    meet(State &into, const State &from) const
+    {
+        if (from.must) {
+            if (!into.must) {
+                into.must = from.must;
+            } else {
+                std::set<std::int64_t> kept;
+                for (std::int64_t off : *into.must) {
+                    if (from.must->count(off))
+                        kept.insert(off);
+                }
+                *into.must = std::move(kept);
+            }
+        }
+        into.may.insert(from.may.begin(), from.may.end());
+    }
+
+    void
+    transfer(State &st, const Inst &inst, int idx) const
+    {
+        auto off = offsets[static_cast<std::size_t>(idx)];
+        if (!off)
+            return;
+        if (inst.op == Opcode::Arm) {
+            if (st.must)
+                st.must->insert(*off);
+            st.may.insert(*off);
+        } else if (inst.op == Opcode::Disarm) {
+            if (st.must)
+                st.must->erase(*off);
+            st.may.erase(*off);
+        }
+    }
+
+    /** Resolved fp offsets of StackSetup arms/disarms, by inst idx. */
+    std::vector<std::optional<std::int64_t>> offsets;
+};
+
+void
+checkArmPairing(const Cfg &cfg, std::size_t func_idx,
+                std::vector<Diagnostic> &out)
+{
+    const Function &fn = cfg.function();
+    ArmDomain domain(fn);
+    ForwardSolver<ArmDomain> solver(cfg, domain);
+    for (int b : cfg.rpo()) {
+        solver.scan(b, [&](const ArmState &st, const Inst &inst,
+                           int idx) {
+            bool is_arm_op =
+                inst.op == Opcode::Arm || inst.op == Opcode::Disarm;
+            if (is_arm_op && inst.tag == OpSource::StackSetup) {
+                auto off = armOffsetAt(fn, idx);
+                if (!off) {
+                    report(out, DiagKind::UnknownArmAddress, fn,
+                           func_idx, idx, isa::mnemonic(inst.op),
+                           " address is not fp+constant; pairing "
+                           "cannot be verified");
+                    return;
+                }
+                if (inst.op == Opcode::Arm && st.may.count(*off)) {
+                    report(out, DiagKind::DoubleArm, fn, func_idx, idx,
+                           "granule fp+", *off,
+                           " may already be armed here");
+                } else if (inst.op == Opcode::Disarm && st.must &&
+                           !st.must->count(*off)) {
+                    report(out, DiagKind::DisarmWithoutArm, fn,
+                           func_idx, idx, "granule fp+", *off,
+                           " is not armed on every path to this "
+                           "disarm");
+                }
+            }
+            if ((inst.op == Opcode::Ret || inst.op == Opcode::Halt) &&
+                !st.may.empty()) {
+                std::ostringstream offs;
+                for (std::int64_t off : st.may)
+                    offs << " fp+" << off;
+                report(out, DiagKind::ArmedAtExit, fn, func_idx, idx,
+                       "granules still armed at function exit:",
+                       offs.str());
+            }
+        });
+    }
+}
+
+// ---------------------------------------------------------------------
+// Frame layout
+// ---------------------------------------------------------------------
+
+/** One decoded protected frame region. */
+struct FrameRegion
+{
+    std::int64_t begin;
+    std::int64_t end;
+    int inst; ///< where it was decoded (diagnostics)
+};
+
+/** Armed granules: every "addi rX, fp, K; arm rX" StackSetup pair. */
+std::vector<FrameRegion>
+decodeArmedRegions(const Function &fn, unsigned granule)
+{
+    std::vector<FrameRegion> regions;
+    for (std::size_t i = 0; i < fn.insts.size(); ++i) {
+        const Inst &inst = fn.insts[i];
+        if (inst.op != Opcode::Arm || inst.tag != OpSource::StackSetup)
+            continue;
+        if (auto off = armOffsetAt(fn, static_cast<int>(i))) {
+            regions.push_back({*off, *off + granule,
+                               static_cast<int>(i)});
+        }
+    }
+    return regions;
+}
+
+/**
+ * ASan poison regions: the emitPoison() sequence with a non-zero
+ * pattern (zero patterns are the epilogue unpoison). Each 4-byte
+ * shadow store covers 32 application bytes.
+ */
+std::vector<FrameRegion>
+decodePoisonRegions(const Function &fn)
+{
+    std::vector<FrameRegion> regions;
+    const auto &insts = fn.insts;
+    const std::size_t n = insts.size();
+    for (std::size_t i = 0; i + 4 < n; ++i) {
+        const Inst &base = insts[i];
+        if (base.op != Opcode::AddI || base.rd != rCheckScratchB ||
+            base.rs1 != isa::regFp ||
+            base.tag != OpSource::StackSetup) {
+            continue;
+        }
+        const Inst &shr = insts[i + 1];
+        const Inst &bias = insts[i + 2];
+        const Inst &pat = insts[i + 3];
+        if (shr.op != Opcode::ShrI || shr.rd != rCheckScratchB ||
+            bias.op != Opcode::AddI || bias.rd != rCheckScratchB ||
+            pat.op != Opcode::MovImm || pat.rd != rCheckScratchA) {
+            continue;
+        }
+        std::size_t stores = 0;
+        while (i + 4 + stores < n) {
+            const Inst &st = insts[i + 4 + stores];
+            if (st.op == Opcode::Store && st.rs1 == rCheckScratchB &&
+                st.rs2 == rCheckScratchA && st.width == 4 &&
+                st.tag == OpSource::StackSetup) {
+                ++stores;
+            } else {
+                break;
+            }
+        }
+        if (stores == 0)
+            continue;
+        if ((pat.imm & 0xff) != 0) {
+            regions.push_back({base.imm,
+                               base.imm +
+                                   static_cast<std::int64_t>(32 * stores),
+                               static_cast<int>(i)});
+        }
+        i += 3 + stores;
+    }
+    return regions;
+}
+
+void
+checkFrameLayout(const Function &fn, std::size_t func_idx,
+                 unsigned granule, std::vector<Diagnostic> &out)
+{
+    // Buffers inside the frame and pairwise disjoint.
+    for (std::size_t a = 0; a < fn.bufs.size(); ++a) {
+        const isa::StackBuf &buf = fn.bufs[a];
+        std::int64_t begin = buf.offset;
+        std::int64_t end = buf.offset + buf.size;
+        if (begin < 0 || end > fn.frameSize) {
+            report(out, DiagKind::BufferOutsideFrame, fn, func_idx, -1,
+                   "buffer #", a, " [", begin, ", ", end,
+                   ") exceeds the frame [0, ", fn.frameSize, ")");
+        }
+        for (std::size_t b = a + 1; b < fn.bufs.size(); ++b) {
+            const isa::StackBuf &other = fn.bufs[b];
+            if (begin < other.offset + other.size &&
+                other.offset < end) {
+                report(out, DiagKind::BufferOverlap, fn, func_idx, -1,
+                       "buffer #", a, " [", begin, ", ", end,
+                       ") overlaps buffer #", b, " [", other.offset,
+                       ", ", other.offset + other.size, ")");
+            }
+        }
+    }
+
+    // Redzones (armed granules and ASan poison) against live buffers.
+    std::vector<FrameRegion> redzones = decodeArmedRegions(fn, granule);
+    std::vector<FrameRegion> poison = decodePoisonRegions(fn);
+    redzones.insert(redzones.end(), poison.begin(), poison.end());
+    for (const FrameRegion &rz : redzones) {
+        for (std::size_t a = 0; a < fn.bufs.size(); ++a) {
+            const isa::StackBuf &buf = fn.bufs[a];
+            if (rz.begin < buf.offset + buf.size &&
+                buf.offset < rz.end) {
+                report(out, DiagKind::RedzoneOverlapsBuffer, fn,
+                       func_idx, rz.inst, "redzone [", rz.begin, ", ",
+                       rz.end, ") overlaps buffer #", a, " [",
+                       buf.offset, ", ", buf.offset + buf.size, ")");
+            }
+        }
+    }
+}
+
+} // namespace
+
+std::vector<Diagnostic>
+verifyGeneratorContract(const isa::Program &program)
+{
+    std::vector<Diagnostic> out;
+    for (std::size_t fi = 0; fi < program.funcs.size(); ++fi)
+        checkStructure(program, fi, /*pre=*/true, out);
+    return out;
+}
+
+std::vector<Diagnostic>
+verify(const isa::Program &program, const VerifyOptions &opts)
+{
+    std::vector<Diagnostic> out;
+    for (std::size_t fi = 0; fi < program.funcs.size(); ++fi) {
+        if (!checkStructure(program, fi, /*pre=*/false, out))
+            continue; // not safe to build a CFG
+        const Function &fn = program.funcs[fi];
+        Cfg cfg(fn);
+        if (opts.expectAsanChecks)
+            checkAccessCoverage(cfg, fi, out);
+        if (opts.expectArming)
+            checkArmPairing(cfg, fi, out);
+        if (opts.checkLayout)
+            checkFrameLayout(fn, fi, opts.tokenGranule, out);
+    }
+    return out;
+}
+
+} // namespace rest::analysis

@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Static verifier of the instrumentation invariants.
+ *
+ * Two entry points:
+ *
+ *  - verifyGeneratorContract(): the structural contract every
+ *    generator-produced (pre-instrumentation) program must satisfy
+ *    before runtime::applyScheme() may splice code into it — a single
+ *    trailing Ret/Halt exit, no other exits, branch targets in range
+ *    and never at the exit, call targets in range, stack-buffer
+ *    references in range, and a reachable exit. applyScheme() rejects
+ *    programs failing these with a clear fatal error instead of
+ *    corrupting them silently.
+ *
+ *  - verify(): the full post-instrumentation invariant check. On top
+ *    of the structural contract it proves, per function, that
+ *      * every program-tagged load/store is covered by an ASan
+ *        shadow-check of the same base register and a containing
+ *        offset window on *all* paths from entry (available-checks
+ *        dataflow, so redundant-check elision cannot break coverage),
+ *      * every REST arm is disarmed on every path to the exit, no
+ *        granule is armed twice or disarmed while unarmed,
+ *      * the frame layout is sane: buffers lie inside the frame, do
+ *        not overlap each other, and no redzone (armed granule or
+ *        ASan poison region) overlaps a buffer.
+ *
+ * Both return structured diagnostics; an empty vector means the
+ * program passed.
+ */
+
+#ifndef REST_ANALYSIS_VERIFIER_HH
+#define REST_ANALYSIS_VERIFIER_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "isa/program.hh"
+
+namespace rest::analysis
+{
+
+/** What a diagnostic is about (one kind per checked invariant). */
+enum class DiagKind : std::uint8_t
+{
+    // Structural (generator contract).
+    EmptyFunction,           ///< function has no instructions
+    MissingExit,             ///< last instruction is not Ret/Halt
+    MultipleExits,           ///< Ret/Halt before the last instruction
+    BranchTargetOutOfRange,  ///< branch/jmp target outside the function
+    BranchIntoExit,          ///< branch/jmp targets the trailing exit
+    CallTargetOutOfRange,    ///< callee index outside the program
+    BadBufId,                ///< symbolic buffer id out of range
+    UnreachableExit,         ///< the trailing exit cannot be reached
+    // Post-instrumentation only.
+    UnresolvedBufId,         ///< symbolic buffer survived layout
+    UncheckedAccess,         ///< access not covered by a shadow check
+    DoubleArm,               ///< granule armed while already armed
+    DisarmWithoutArm,        ///< disarm of a not-armed granule
+    ArmedAtExit,             ///< armed granule live at function exit
+    UnknownArmAddress,       ///< arm/disarm address not fp+constant
+    BufferOutsideFrame,      ///< buffer exceeds the frame bounds
+    BufferOverlap,           ///< two buffers overlap
+    RedzoneOverlapsBuffer,   ///< redzone overlaps a live buffer
+};
+
+/** Stable name of a DiagKind (diagnostics and tests). */
+const char *diagKindName(DiagKind kind);
+
+/** One verifier finding, locatable and renderable. */
+struct Diagnostic
+{
+    DiagKind kind;
+    std::size_t func = 0;  ///< function index within the program
+    int inst = -1;         ///< instruction index, -1 if not localised
+    std::string message;   ///< human-readable, self-contained text
+
+    std::string toString() const;
+};
+
+/** What verify() should expect of the instrumented program. */
+struct VerifyOptions
+{
+    /** Scheme inserted ASan access checks: prove access coverage. */
+    bool expectAsanChecks = false;
+    /** Scheme inserted REST arms: prove arm/disarm pairing. */
+    bool expectArming = false;
+    /** Check buffer/redzone frame-layout disjointness. */
+    bool checkLayout = true;
+    /** REST token granule in bytes (armed-region size). */
+    unsigned tokenGranule = 64;
+};
+
+/** Render a diagnostic list as one newline-separated string. */
+std::string formatDiagnostics(const std::vector<Diagnostic> &diags);
+
+/** Structural pre-instrumentation contract (see file comment). */
+std::vector<Diagnostic>
+verifyGeneratorContract(const isa::Program &program);
+
+/** Full post-instrumentation invariant check (see file comment). */
+std::vector<Diagnostic> verify(const isa::Program &program,
+                               const VerifyOptions &opts);
+
+} // namespace rest::analysis
+
+#endif // REST_ANALYSIS_VERIFIER_HH

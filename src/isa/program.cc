@@ -11,16 +11,30 @@ std::string
 Inst::toString() const
 {
     std::ostringstream os;
+    // An unresolved symbolic stack-buffer reference renders inside the
+    // operand it belongs to ("buf#N+K"), so it cannot be confused with
+    // a resolved frame offset in verifier diagnostics or dumps.
+    auto immStr = [this] {
+        std::ostringstream s;
+        if (bufId >= 0)
+            s << "buf#" << bufId << (imm >= 0 ? "+" : "") << imm;
+        else
+            s << imm;
+        return s.str();
+    };
+    auto memStr = [&] {
+        std::string i = immStr();
+        std::ostringstream s;
+        s << "[r" << int(rs1) << (i[0] == '-' ? "" : "+") << i << "]";
+        return s.str();
+    };
     os << mnemonic(op);
     if (op == Opcode::Load) {
-        os << int(width) << " r" << int(rd) << ", [r" << int(rs1) << (imm >= 0 ?
-            "+" : "") << imm << "]";
-    } else if (op == Opcode::Store || op == Opcode::Arm ||
-               op == Opcode::Disarm) {
-        os << (op == Opcode::Store ? std::to_string(int(width)) : "")
-           << " [r" << int(rs1) << (imm >= 0 ? "+" : "") << imm << "]";
-        if (op == Opcode::Store)
-            os << ", r" << int(rs2);
+        os << int(width) << " r" << int(rd) << ", " << memStr();
+    } else if (op == Opcode::Store) {
+        os << int(width) << " " << memStr() << ", r" << int(rs2);
+    } else if (op == Opcode::Arm || op == Opcode::Disarm) {
+        os << " " << memStr();
     } else if (isControlOp(op)) {
         if (rs1 != noReg)
             os << " r" << int(rs1) << ", r" << int(rs2) << ",";
@@ -36,11 +50,9 @@ Inst::toString() const
             op == Opcode::AndI || op == Opcode::OrI ||
             op == Opcode::XorI || op == Opcode::ShlI ||
             op == Opcode::ShrI || op == Opcode::SltI) {
-            os << ", " << imm;
+            os << ", " << immStr();
         }
     }
-    if (bufId >= 0)
-        os << "  ; buf#" << bufId;
     return os.str();
 }
 

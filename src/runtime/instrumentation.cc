@@ -2,6 +2,9 @@
 
 #include <vector>
 
+#include "analysis/check_facts.hh"
+#include "analysis/elide_checks.hh"
+#include "analysis/verifier.hh"
 #include "runtime/shadow_memory.hh"
 #include "util/bit_utils.hh"
 #include "util/logging.hh"
@@ -17,8 +20,12 @@ using isa::Inst;
 using isa::Opcode;
 using isa::RegId;
 
-constexpr RegId rScratchA = 16; // address scratch of injected code
-constexpr RegId rScratchB = 17;
+// Scratch registers of injected code. Aliased from the analysis
+// layer's contract so the check-sequence pattern matcher
+// (analysis/check_facts.hh) and the emitted code agree by
+// construction.
+constexpr RegId rScratchA = analysis::rCheckScratchA;
+constexpr RegId rScratchB = analysis::rCheckScratchB;
 
 /** One protected region of the frame that needs poisoning/arming. */
 struct Redzone
@@ -308,9 +315,38 @@ InstrumentationSummary
 applyScheme(isa::Program &program, const SchemeConfig &scheme,
             unsigned token_granule)
 {
+    // Reject programs that violate the structural single-exit /
+    // branch-target contract before splicing anything: the passes
+    // below would silently corrupt such programs.
+    auto contract = analysis::verifyGeneratorContract(program);
+    if (!contract.empty()) {
+        rest_fatal("applyScheme(", scheme.name(), "): program violates "
+                   "the instrumentation contract:\n",
+                   analysis::formatDiagnostics(contract));
+    }
+
     InstrumentationSummary sum;
-    for (auto &fn : program.funcs)
+    for (auto &fn : program.funcs) {
         instrumentFunction(fn, scheme, token_granule, sum);
+        if (scheme.asanAccessChecks && scheme.elideRedundantChecks)
+            sum.accessChecksElided +=
+                analysis::elideRedundantChecks(fn);
+    }
+
+#ifndef NDEBUG
+    // Debug builds re-verify the full instrumentation invariants on
+    // the finished output (also with elision applied, so a missing
+    // dominating check would surface here as UncheckedAccess).
+    analysis::VerifyOptions vo;
+    vo.expectAsanChecks = scheme.asanAccessChecks;
+    vo.expectArming = scheme.restStackArming;
+    vo.tokenGranule = token_granule;
+    auto diags = analysis::verify(program, vo);
+    rest_assert(diags.empty(),
+                "instrumented program failed verification under ",
+                scheme.name(), ":\n",
+                analysis::formatDiagnostics(diags));
+#endif
     return sum;
 }
 

@@ -15,7 +15,17 @@
  *
  * Generator-produced functions must be single-exit (one trailing Ret)
  * with branch targets that never point at the Ret; the passes rely on
- * this to splice code without a full CFG rebuild.
+ * this to splice code without a full CFG rebuild. The contract is no
+ * longer implicit: applyScheme() runs the structural checks of
+ * analysis/verifier.hh first and rejects violating programs with a
+ * fatal error, and debug builds re-verify the full instrumentation
+ * invariants (check coverage, arm/disarm pairing, frame layout) on
+ * the instrumented output.
+ *
+ * When SchemeConfig::elideRedundantChecks is set (with
+ * asanAccessChecks), the redundant-check elision pass of
+ * analysis/elide_checks.hh runs after instrumentation and the number
+ * of deleted checks is reported in the summary.
  */
 
 #ifndef REST_RUNTIME_INSTRUMENTATION_HH
@@ -33,6 +43,8 @@ namespace rest::runtime
 struct InstrumentationSummary
 {
     std::uint64_t accessChecksInserted = 0;
+    /** Checks deleted again by the redundant-check elision pass. */
+    std::uint64_t accessChecksElided = 0;
     std::uint64_t stackPoisonStores = 0;
     std::uint64_t armsInserted = 0;
     std::uint64_t disarmsInserted = 0;

@@ -16,6 +16,8 @@ SchemeConfig::name() const
     }
     if (asanAccessChecks)
         os << "+checks";
+    if (asanAccessChecks && elideRedundantChecks)
+        os << "+elide";
     if (asanStackSetup)
         os << "+stack";
     if (asanIntercept)

@@ -54,6 +54,15 @@ struct SchemeConfig
     bool asanStackSetup = false;
     /** ASan: libc interceptors validate memcpy/memset argument ranges. */
     bool asanIntercept = false;
+    /**
+     * ASan: statically delete shadow checks proven redundant by the
+     * available-checks dataflow (analysis/elide_checks.hh) — a check
+     * dominated by an earlier check of the same base register and a
+     * covering offset window, with no intervening base redefinition
+     * or shadow-state change. Detection coverage is unaffected.
+     * No effect unless asanAccessChecks is set.
+     */
+    bool elideRedundantChecks = false;
 
     /** REST: arm/disarm stack redzones in prologue/epilogue. */
     bool restStackArming = false;

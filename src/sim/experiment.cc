@@ -92,6 +92,14 @@ runSystem(const workload::BenchProfile &profile, const SystemConfig &cfg,
     system.cpuStats().forEachScalar(snap);
     system.dcache().statGroup().forEachScalar(snap);
     system.l2cache().statGroup().forEachScalar(snap);
+    const auto &instr = result.instrumentation;
+    snap("instr.access_checks_inserted", instr.accessChecksInserted);
+    snap("instr.access_checks_elided", instr.accessChecksElided);
+    snap("instr.arms_inserted", instr.armsInserted);
+    snap("instr.disarms_inserted", instr.disarmsInserted);
+    snap("instr.stack_poison_stores", instr.stackPoisonStores);
+    snap("instr.pad_zero_stores", instr.padZeroStores);
+    snap("instr.frame_bytes", instr.frameBytesTotal);
     if (cfg.trace.statsEvery != 0)
         m.statSeries = system.statSnapshots();
     return m;

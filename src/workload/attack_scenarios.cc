@@ -1,5 +1,6 @@
 #include "workload/attack_scenarios.hh"
 
+#include "analysis/verifier.hh"
 #include "util/logging.hh"
 
 namespace rest::workload::attacks
@@ -47,13 +48,26 @@ emitStoreSweep(FuncBuilder &b, RegId r_base, std::int64_t words)
     b.branch(Opcode::Bne, r2, isa::regZero, loop);
 }
 
+/** Debug builds check the generator contract on every program. */
+isa::Program
+finish(isa::Program &&prog)
+{
+#ifndef NDEBUG
+    auto diags = analysis::verifyGeneratorContract(prog);
+    rest_assert(diags.empty(), "generated attack program violates the "
+                "instrumentation contract:\n",
+                analysis::formatDiagnostics(diags));
+#endif
+    return std::move(prog);
+}
+
 /** A single-function program from a builder body. */
 isa::Program
 soloProgram(FuncBuilder &&b)
 {
     isa::Program prog;
     prog.funcs.push_back(std::move(b).take());
-    return prog;
+    return finish(std::move(prog));
 }
 
 } // namespace
@@ -144,7 +158,7 @@ stackSweepProgram(std::uint32_t buf_len, std::int64_t words)
     emitStoreSweep(victim, r1, words);
     victim.ret();
     prog.funcs.push_back(std::move(victim).take());
-    return prog;
+    return finish(std::move(prog));
 }
 
 } // namespace

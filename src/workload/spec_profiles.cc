@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "analysis/verifier.hh"
 #include "runtime/runtime_config.hh"
 #include "util/bit_utils.hh"
 #include "util/logging.hh"
@@ -412,6 +413,12 @@ generate(const BenchProfile &p)
     prog.funcs.push_back(b.take());
     for (auto &fn : work)
         prog.funcs.push_back(std::move(fn));
+#ifndef NDEBUG
+    auto diags = analysis::verifyGeneratorContract(prog);
+    rest_assert(diags.empty(), "generated program for ", profile.name,
+                " violates the instrumentation contract:\n",
+                analysis::formatDiagnostics(diags));
+#endif
     return prog;
 }
 

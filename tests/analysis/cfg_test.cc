@@ -1,0 +1,203 @@
+/**
+ * @file
+ * Golden tests of the CFG builder and the dominator tree over the
+ * canonical shapes: a diamond, a natural loop, and a function with an
+ * unreachable block.
+ */
+
+#include <gtest/gtest.h>
+
+#include "analysis/cfg.hh"
+#include "analysis/dominators.hh"
+
+namespace rest::analysis
+{
+
+namespace
+{
+
+using isa::FuncBuilder;
+using isa::Opcode;
+
+constexpr isa::RegId r1 = 1, r2 = 2;
+
+/**
+ * The diamond:
+ *   0: beq r1, r0, ->3
+ *   1: addi r2, r2, 1
+ *   2: jmp ->4
+ *   3: addi r2, r2, 2
+ *   4: ret
+ */
+isa::Function
+diamond()
+{
+    FuncBuilder b("diamond");
+    b.branch(Opcode::Beq, r1, isa::regZero, 3);
+    b.addI(r2, r2, 1);
+    b.jmp(4);
+    b.addI(r2, r2, 2);
+    b.ret();
+    return std::move(b).take();
+}
+
+/**
+ * A natural loop with the backedge into the body:
+ *   0: movi r2, 10
+ *   1: addi r2, r2, -1
+ *   2: bne r2, r0, ->1
+ *   3: ret
+ */
+isa::Function
+loop()
+{
+    FuncBuilder b("loop");
+    b.movImm(r2, 10);
+    b.addI(r2, r2, -1);
+    b.branch(Opcode::Bne, r2, isa::regZero, 1);
+    b.ret();
+    return std::move(b).take();
+}
+
+/**
+ * A jumped-over (unreachable) block:
+ *   0: jmp ->2
+ *   1: addi r2, r2, 1
+ *   2: ret
+ */
+isa::Function
+skip()
+{
+    FuncBuilder b("skip");
+    b.jmp(2);
+    b.addI(r2, r2, 1);
+    b.ret();
+    return std::move(b).take();
+}
+
+} // namespace
+
+TEST(CfgOpcodes, Classification)
+{
+    EXPECT_TRUE(isBlockTerminator(Opcode::Ret));
+    EXPECT_TRUE(isBlockTerminator(Opcode::Halt));
+    EXPECT_TRUE(isBlockTerminator(Opcode::Jmp));
+    EXPECT_TRUE(isBlockTerminator(Opcode::Beq));
+    EXPECT_FALSE(isBlockTerminator(Opcode::Call));
+    EXPECT_FALSE(isBlockTerminator(Opcode::Load));
+
+    EXPECT_TRUE(hasBranchTarget(Opcode::Jmp));
+    EXPECT_TRUE(hasBranchTarget(Opcode::Bne));
+    EXPECT_FALSE(hasBranchTarget(Opcode::Call)); // targets a function
+    EXPECT_FALSE(hasBranchTarget(Opcode::Ret));
+
+    EXPECT_TRUE(fallsThrough(Opcode::Beq));
+    EXPECT_TRUE(fallsThrough(Opcode::Call));
+    EXPECT_FALSE(fallsThrough(Opcode::Jmp));
+    EXPECT_FALSE(fallsThrough(Opcode::Ret));
+    EXPECT_FALSE(fallsThrough(Opcode::Halt));
+}
+
+TEST(Cfg, DiamondGolden)
+{
+    isa::Function fn = diamond();
+    Cfg cfg(fn);
+    EXPECT_EQ(cfg.toString(),
+              "cfg diamond: 4 blocks\n"
+              "  b0 [0..0] -> b2 b1\n"
+              "  b1 [1..2] -> b3\n"
+              "  b2 [3..3] -> b3\n"
+              "  b3 [4..4] ->\n");
+
+    // The instruction -> block map and the edge lists.
+    EXPECT_EQ(cfg.blockOf(0), 0);
+    EXPECT_EQ(cfg.blockOf(2), 1);
+    EXPECT_EQ(cfg.blockOf(4), 3);
+    ASSERT_EQ(cfg.blocks().size(), 4u);
+    EXPECT_EQ(cfg.blocks()[3].preds, (std::vector<int>{1, 2}));
+
+    // All blocks reachable; entry-first reverse postorder.
+    for (bool r : cfg.reachable())
+        EXPECT_TRUE(r);
+    ASSERT_FALSE(cfg.rpo().empty());
+    EXPECT_EQ(cfg.rpo().front(), 0);
+    EXPECT_EQ(cfg.rpo().size(), 4u);
+    EXPECT_EQ(cfg.rpo().back(), 3); // the join is visited last
+}
+
+TEST(DomTree, DiamondGolden)
+{
+    isa::Function fn = diamond();
+    Cfg cfg(fn);
+    DomTree dom(cfg);
+    EXPECT_EQ(dom.toString(),
+              "domtree diamond:\n"
+              "  idom(b0) = b0  ; entry\n"
+              "  idom(b1) = b0\n"
+              "  idom(b2) = b0\n"
+              "  idom(b3) = b0\n");
+
+    // Neither arm dominates the join; the entry dominates everything.
+    EXPECT_TRUE(dom.dominates(0, 3));
+    EXPECT_FALSE(dom.dominates(1, 3));
+    EXPECT_FALSE(dom.dominates(2, 3));
+    EXPECT_TRUE(dom.dominates(1, 1));
+}
+
+TEST(Cfg, LoopGolden)
+{
+    isa::Function fn = loop();
+    Cfg cfg(fn);
+    EXPECT_EQ(cfg.toString(),
+              "cfg loop: 3 blocks\n"
+              "  b0 [0..0] -> b1\n"
+              "  b1 [1..2] -> b1 b2\n"
+              "  b2 [3..3] ->\n");
+    // The body is its own predecessor via the backedge.
+    EXPECT_EQ(cfg.blocks()[1].preds, (std::vector<int>{0, 1}));
+}
+
+TEST(DomTree, LoopBodyDominatesExit)
+{
+    isa::Function fn = loop();
+    Cfg cfg(fn);
+    DomTree dom(cfg);
+    EXPECT_EQ(dom.idom(1), 0);
+    EXPECT_EQ(dom.idom(2), 1);
+    EXPECT_TRUE(dom.dominates(1, 2));
+    EXPECT_FALSE(dom.dominates(2, 1));
+}
+
+TEST(Cfg, UnreachableBlockGolden)
+{
+    isa::Function fn = skip();
+    Cfg cfg(fn);
+    EXPECT_EQ(cfg.toString(),
+              "cfg skip: 3 blocks\n"
+              "  b0 [0..0] -> b2\n"
+              "  b1 [1..1] -> b2  ; unreachable\n"
+              "  b2 [2..2] ->\n");
+    EXPECT_TRUE(cfg.reachable()[0]);
+    EXPECT_FALSE(cfg.reachable()[1]);
+    EXPECT_TRUE(cfg.reachable()[2]);
+    // The rpo covers the reachable subgraph only.
+    EXPECT_EQ(cfg.rpo(), (std::vector<int>{0, 2}));
+}
+
+TEST(DomTree, UnreachableBlockIsolated)
+{
+    isa::Function fn = skip();
+    Cfg cfg(fn);
+    DomTree dom(cfg);
+    EXPECT_EQ(dom.toString(),
+              "domtree skip:\n"
+              "  idom(b0) = b0  ; entry\n"
+              "  idom(b1) = -  ; unreachable\n"
+              "  idom(b2) = b0\n");
+    EXPECT_EQ(dom.idom(1), -1);
+    EXPECT_FALSE(dom.dominates(1, 2));
+    EXPECT_FALSE(dom.dominates(0, 1));
+    EXPECT_TRUE(dom.dominates(1, 1)); // reflexive even when unreachable
+}
+
+} // namespace rest::analysis

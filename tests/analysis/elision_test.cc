@@ -1,0 +1,286 @@
+/**
+ * @file
+ * Tests of the redundant shadow-check elision pass: which checks it
+ * may and may not delete, that elided programs still execute cleanly
+ * with fewer dynamic instructions, and that every attack scenario is
+ * still detected with elision enabled.
+ */
+
+#include <gtest/gtest.h>
+
+#include "analysis/check_facts.hh"
+#include "analysis/elide_checks.hh"
+#include "analysis/verifier.hh"
+#include "common/test_util.hh"
+#include "runtime/instrumentation.hh"
+#include "workload/spec_profiles.hh"
+
+namespace rest::analysis
+{
+
+namespace
+{
+
+using isa::FuncBuilder;
+using isa::Opcode;
+
+constexpr isa::RegId r1 = 1, r2 = 2, r3 = 3, r4 = 4, r13 = 13;
+
+/** Instrument a single-function program with full ASan (no elision). */
+isa::Program
+instrumented(FuncBuilder &&b)
+{
+    isa::Program prog;
+    prog.funcs.push_back(std::move(b).take());
+    auto scheme = runtime::SchemeConfig::asanFull();
+    runtime::applyScheme(prog, scheme);
+    return prog;
+}
+
+/** Instrument, elide, and return (elided count, function). */
+std::size_t
+elideCount(FuncBuilder &&b)
+{
+    isa::Program prog = instrumented(std::move(b));
+    return elideRedundantChecks(prog.funcs[0]);
+}
+
+} // namespace
+
+TEST(ElideChecks, AdjacentDuplicateLoadElided)
+{
+    FuncBuilder b("main");
+    b.load(r1, r2, 0, 8);
+    b.load(r3, r2, 0, 8);
+    b.halt();
+    isa::Program prog = instrumented(std::move(b));
+    isa::Function &fn = prog.funcs[0];
+    ASSERT_EQ(findCheckGroups(fn).size(), 2u);
+    const std::size_t before = fn.insts.size();
+
+    EXPECT_EQ(elideRedundantChecks(fn), 1u);
+    EXPECT_EQ(fn.insts.size(), before - CheckGroup::length);
+    EXPECT_EQ(findCheckGroups(fn).size(), 1u);
+
+    // Both guarded accesses survive; only the duplicate check is gone.
+    int loads = 0;
+    for (const isa::Inst &inst : fn.insts) {
+        if (inst.op == Opcode::Load &&
+            inst.tag == isa::OpSource::Program) {
+            ++loads;
+        }
+    }
+    EXPECT_EQ(loads, 2);
+
+    // The result still satisfies the coverage invariant.
+    VerifyOptions opts;
+    opts.expectAsanChecks = true;
+    auto diags = verify(prog, opts);
+    EXPECT_TRUE(diags.empty()) << formatDiagnostics(diags);
+}
+
+TEST(ElideChecks, SubWindowElided)
+{
+    // An 8-byte check covers a later 4-byte access at the same base.
+    FuncBuilder b("main");
+    b.load(r1, r2, 0, 8);
+    b.load(r3, r2, 0, 4);
+    b.halt();
+    EXPECT_EQ(elideCount(std::move(b)), 1u);
+}
+
+TEST(ElideChecks, WiderWindowNotElided)
+{
+    // A 4-byte check proves nothing about a later 8-byte access.
+    FuncBuilder b("main");
+    b.load(r1, r2, 0, 4);
+    b.load(r3, r2, 0, 8);
+    b.halt();
+    EXPECT_EQ(elideCount(std::move(b)), 0u);
+}
+
+TEST(ElideChecks, DisjointOffsetNotElided)
+{
+    FuncBuilder b("main");
+    b.load(r1, r2, 0, 8);
+    b.load(r3, r2, 64, 8);
+    b.halt();
+    EXPECT_EQ(elideCount(std::move(b)), 0u);
+}
+
+TEST(ElideChecks, BaseRedefinitionKillsFact)
+{
+    FuncBuilder b("main");
+    b.load(r1, r2, 0, 8);
+    b.addI(r2, r2, 8);
+    b.load(r3, r2, 0, 8);
+    b.halt();
+    EXPECT_EQ(elideCount(std::move(b)), 0u);
+}
+
+TEST(ElideChecks, OtherRegisterWriteKeepsFact)
+{
+    FuncBuilder b("main");
+    b.load(r1, r2, 0, 8);
+    b.addI(r4, r4, 1);
+    b.load(r3, r2, 0, 8);
+    b.halt();
+    EXPECT_EQ(elideCount(std::move(b)), 1u);
+}
+
+TEST(ElideChecks, CallKillsFact)
+{
+    // A callee can repoison shadow state, so checks never survive one.
+    isa::Program prog;
+    {
+        FuncBuilder b("main");
+        b.load(r1, r2, 0, 8);
+        b.call(1);
+        b.load(r3, r2, 0, 8);
+        b.halt();
+        prog.funcs.push_back(std::move(b).take());
+    }
+    {
+        FuncBuilder b("leaf");
+        b.ret();
+        prog.funcs.push_back(std::move(b).take());
+    }
+    auto scheme = runtime::SchemeConfig::asanFull();
+    runtime::applyScheme(prog, scheme);
+    EXPECT_EQ(elideRedundantChecks(prog.funcs[0]), 0u);
+}
+
+TEST(ElideChecks, RuntimeOpKillsFact)
+{
+    FuncBuilder b("main");
+    b.load(r1, r2, 0, 8);
+    b.movImm(r13, 64);
+    b.emit({Opcode::RtMalloc, isa::noReg, r13, isa::noReg, 8, 0, -1,
+            -1});
+    b.load(r3, r2, 0, 8);
+    b.halt();
+    EXPECT_EQ(elideCount(std::move(b)), 0u);
+}
+
+TEST(ElideChecks, LoopStoreLoadPairElided)
+{
+    // The spec generators' inner-block idiom: store then reload of the
+    // same [base+off] window inside a loop body. The load's check is
+    // redundant every iteration.
+    FuncBuilder b("main");
+    b.movImm(r4, 4);
+    int top = b.here();
+    b.store(r1, r2, 0, 8);
+    b.load(r3, r2, 0, 8);
+    b.addI(r4, r4, -1);
+    b.branch(Opcode::Bne, r4, isa::regZero, top);
+    b.halt();
+    isa::Program prog = instrumented(std::move(b));
+    EXPECT_EQ(elideRedundantChecks(prog.funcs[0]), 1u);
+
+    // Branch targets were remapped: the program must still verify.
+    VerifyOptions opts;
+    opts.expectAsanChecks = true;
+    auto diags = verify(prog, opts);
+    EXPECT_TRUE(diags.empty()) << formatDiagnostics(diags);
+}
+
+// ---------------------------------------------------------------------
+// End-to-end: elided programs execute correctly and cost less
+// ---------------------------------------------------------------------
+
+namespace
+{
+
+/** A heap loop program whose loads re-check a constant base. */
+isa::Program
+heapLoopProgram()
+{
+    FuncBuilder b("main");
+    b.movImm(r13, 64);
+    b.emit({Opcode::RtMalloc, isa::noReg, r13, isa::noReg, 8, 0, -1,
+            -1});
+    b.mov(r2, isa::regRet);
+    b.movImm(r4, 50);
+    int top = b.here();
+    b.store(r1, r2, 0, 8);
+    b.load(r3, r2, 0, 8);
+    b.addI(r4, r4, -1);
+    b.branch(Opcode::Bne, r4, isa::regZero, top);
+    b.halt();
+    isa::Program prog;
+    prog.funcs.push_back(std::move(b).take());
+    return prog;
+}
+
+sim::SystemConfig
+asanConfig(bool elide)
+{
+    sim::SystemConfig cfg = sim::makeSystemConfig(sim::ExpConfig::Asan);
+    cfg.scheme.elideRedundantChecks = elide;
+    return cfg;
+}
+
+} // namespace
+
+TEST(ElideChecksEndToEnd, ElidedLoopRunsCleanWithFewerOps)
+{
+    auto plain_run = test::runProgram(heapLoopProgram(),
+                                      asanConfig(false));
+    auto elided_run = test::runProgram(heapLoopProgram(),
+                                       asanConfig(true));
+    EXPECT_EQ(test::violationOf(plain_run), core::ViolationKind::None);
+    EXPECT_EQ(test::violationOf(elided_run), core::ViolationKind::None);
+
+    EXPECT_EQ(plain_run.instrumentation.accessChecksElided, 0u);
+    EXPECT_GT(elided_run.instrumentation.accessChecksElided, 0u);
+    // 50 iterations x one 5-op check group saved.
+    EXPECT_LT(elided_run.run.committedOps, plain_run.run.committedOps);
+}
+
+TEST(ElideChecksEndToEnd, GeneratedBenchmarkSavesDynamicInstructions)
+{
+    workload::BenchProfile profile = workload::profileByName("hmmer");
+    profile.targetKiloInsts = 50;
+
+    auto plain_run = test::runProgram(workload::generate(profile),
+                                      asanConfig(false));
+    auto elided_run = test::runProgram(workload::generate(profile),
+                                       asanConfig(true));
+    EXPECT_EQ(test::violationOf(plain_run), core::ViolationKind::None);
+    EXPECT_EQ(test::violationOf(elided_run), core::ViolationKind::None);
+    EXPECT_GT(elided_run.instrumentation.accessChecksElided, 0u);
+    EXPECT_LT(elided_run.run.committedOps, plain_run.run.committedOps);
+}
+
+TEST(ElideChecksEndToEnd, AttackDetectionPreservedWithElision)
+{
+    struct Case
+    {
+        const char *name;
+        isa::Program prog;
+    };
+    std::vector<Case> cases;
+    cases.push_back({"heartbleed",
+                     workload::attacks::heartbleed(64, 256)});
+    cases.push_back({"heap-overflow",
+                     workload::attacks::heapOverflowWrite(64, 64)});
+    cases.push_back({"heap-underflow",
+                     workload::attacks::heapUnderflowRead(64, 8)});
+    cases.push_back({"uaf", workload::attacks::useAfterFree(128)});
+    cases.push_back({"double-free",
+                     workload::attacks::doubleFree(64)});
+    cases.push_back({"stack-overflow",
+                     workload::attacks::stackOverflowWrite(16, 32)});
+    cases.push_back({"strcpy-overflow",
+                     workload::attacks::strcpyOverflow(32, 150)});
+
+    for (Case &c : cases) {
+        auto result = test::runProgram(std::move(c.prog),
+                                       asanConfig(true));
+        EXPECT_NE(test::violationOf(result), core::ViolationKind::None)
+            << c.name << " went undetected with check elision on";
+    }
+}
+
+} // namespace rest::analysis

@@ -1,0 +1,495 @@
+/**
+ * @file
+ * Tests of the instrumentation verifier: every checked invariant is
+ * seeded with one violating program and must produce exactly the
+ * expected diagnostic; instrumented generator output must verify
+ * cleanly under every scheme; and applyScheme() must reject
+ * contract-violating programs with a fatal error.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "analysis/check_facts.hh"
+#include "analysis/verifier.hh"
+#include "runtime/instrumentation.hh"
+#include "runtime/runtime_config.hh"
+#include "workload/attack_scenarios.hh"
+#include "workload/spec_profiles.hh"
+
+namespace rest::analysis
+{
+
+namespace
+{
+
+using isa::FuncBuilder;
+using isa::Opcode;
+
+constexpr isa::RegId r1 = 1, r2 = 2, r3 = 3, r10 = 10;
+
+isa::Program
+solo(FuncBuilder &&b)
+{
+    isa::Program prog;
+    prog.funcs.push_back(std::move(b).take());
+    return prog;
+}
+
+std::vector<DiagKind>
+kindsOf(const std::vector<Diagnostic> &diags)
+{
+    std::vector<DiagKind> kinds;
+    for (const Diagnostic &d : diags)
+        kinds.push_back(d.kind);
+    return kinds;
+}
+
+/** Emit the exact emitAccessCheck() 5-op sequence by hand. */
+void
+emitCheck(FuncBuilder &b, isa::RegId base, std::int64_t imm,
+          std::uint8_t width)
+{
+    auto tag = [&b](isa::Inst inst) {
+        inst.tag = isa::OpSource::AccessCheck;
+        b.emit(inst);
+    };
+    auto shadow_base = static_cast<std::int64_t>(
+        runtime::AddressMap::shadowBase);
+    tag({Opcode::AddI, rCheckScratchB, base, isa::noReg, 8, imm, -1,
+         -1});
+    tag({Opcode::ShrI, rCheckScratchA, rCheckScratchB, isa::noReg, 8, 3,
+         -1, -1});
+    tag({Opcode::AddI, rCheckScratchA, rCheckScratchA, isa::noReg, 8,
+         shadow_base, -1, -1});
+    tag({Opcode::Load, rCheckScratchA, rCheckScratchA, isa::noReg, 1, 0,
+         -1, -1});
+    tag({Opcode::AsanCheck, isa::noReg, rCheckScratchA, rCheckScratchB,
+         width, 0, -1, -1});
+}
+
+/** Emit "addi r10, fp, off" + Arm/Disarm, both StackSetup-tagged. */
+void
+emitArmOp(FuncBuilder &b, Opcode op, std::int64_t off)
+{
+    isa::Inst addr{Opcode::AddI, r10, isa::regFp, isa::noReg, 8, off,
+                   -1, -1};
+    addr.tag = isa::OpSource::StackSetup;
+    b.emit(addr);
+    isa::Inst arm{op, isa::noReg, r10, isa::noReg, 8, 0, -1, -1};
+    arm.tag = isa::OpSource::StackSetup;
+    b.emit(arm);
+}
+
+} // namespace
+
+// ---------------------------------------------------------------------
+// Structural contract, one seeded violation per invariant
+// ---------------------------------------------------------------------
+
+TEST(VerifierStructure, EmptyFunction)
+{
+    isa::Program prog;
+    prog.funcs.push_back({"empty", {}, {}, 0});
+    auto diags = verifyGeneratorContract(prog);
+    ASSERT_EQ(kindsOf(diags),
+              (std::vector<DiagKind>{DiagKind::EmptyFunction}));
+    EXPECT_EQ(diags[0].toString(),
+              "[EmptyFunction] empty: function has no instructions");
+}
+
+TEST(VerifierStructure, MissingExit)
+{
+    FuncBuilder b("noexit");
+    b.addI(r1, r1, 1);
+    auto diags = verifyGeneratorContract(solo(std::move(b)));
+    ASSERT_EQ(kindsOf(diags),
+              (std::vector<DiagKind>{DiagKind::MissingExit}));
+    EXPECT_EQ(diags[0].toString(),
+              "[MissingExit] noexit inst 0: function must end in "
+              "ret/halt, ends in addi");
+}
+
+TEST(VerifierStructure, MultipleExits)
+{
+    FuncBuilder b("twice");
+    b.ret();
+    b.ret();
+    auto diags = verifyGeneratorContract(solo(std::move(b)));
+    ASSERT_EQ(kindsOf(diags),
+              (std::vector<DiagKind>{DiagKind::MultipleExits}));
+    EXPECT_EQ(diags[0].inst, 0);
+}
+
+TEST(VerifierStructure, BranchTargetOutOfRange)
+{
+    FuncBuilder b("wild");
+    b.jmp(7);
+    b.ret();
+    auto diags = verifyGeneratorContract(solo(std::move(b)));
+    ASSERT_EQ(kindsOf(diags),
+              (std::vector<DiagKind>{DiagKind::BranchTargetOutOfRange}));
+    EXPECT_EQ(diags[0].toString(),
+              "[BranchTargetOutOfRange] wild inst 0: branch target 7 "
+              "outside [0, 2)");
+}
+
+TEST(VerifierStructure, BranchIntoExit)
+{
+    FuncBuilder b("intoexit");
+    b.branch(Opcode::Beq, r1, isa::regZero, 1);
+    b.ret();
+    auto diags = verifyGeneratorContract(solo(std::move(b)));
+    ASSERT_EQ(kindsOf(diags),
+              (std::vector<DiagKind>{DiagKind::BranchIntoExit}));
+}
+
+TEST(VerifierStructure, CallTargetOutOfRange)
+{
+    FuncBuilder b("badcall");
+    b.call(3);
+    b.halt();
+    auto diags = verifyGeneratorContract(solo(std::move(b)));
+    ASSERT_EQ(kindsOf(diags),
+              (std::vector<DiagKind>{DiagKind::CallTargetOutOfRange}));
+}
+
+TEST(VerifierStructure, BadBufId)
+{
+    FuncBuilder b("badbuf");
+    b.leaBuf(r1, 0); // no stackBuf() declared
+    b.ret();
+    auto diags = verifyGeneratorContract(solo(std::move(b)));
+    ASSERT_EQ(kindsOf(diags),
+              (std::vector<DiagKind>{DiagKind::BadBufId}));
+}
+
+TEST(VerifierStructure, UnreachableExit)
+{
+    FuncBuilder b("spin");
+    b.jmp(0);
+    b.ret();
+    auto diags = verifyGeneratorContract(solo(std::move(b)));
+    ASSERT_EQ(kindsOf(diags),
+              (std::vector<DiagKind>{DiagKind::UnreachableExit}));
+}
+
+TEST(VerifierStructure, CleanProgramHasNoDiagnostics)
+{
+    FuncBuilder b("main");
+    b.movImm(r1, 3);
+    int top = b.here();
+    b.addI(r1, r1, -1);
+    b.branch(Opcode::Bne, r1, isa::regZero, top);
+    b.halt();
+    EXPECT_TRUE(verifyGeneratorContract(solo(std::move(b))).empty());
+}
+
+// ---------------------------------------------------------------------
+// Post-instrumentation invariants
+// ---------------------------------------------------------------------
+
+TEST(VerifierPost, UnresolvedBufId)
+{
+    FuncBuilder b("leftover");
+    b.stackBuf(16);
+    b.leaBuf(r1, 0);
+    b.ret();
+    VerifyOptions opts;
+    opts.checkLayout = false;
+    auto diags = verify(solo(std::move(b)), opts);
+    ASSERT_EQ(kindsOf(diags),
+              (std::vector<DiagKind>{DiagKind::UnresolvedBufId}));
+}
+
+TEST(VerifierPost, UncheckedAccess)
+{
+    FuncBuilder b("naked");
+    b.load(r1, r2, 0, 8);
+    b.halt();
+    VerifyOptions opts;
+    opts.expectAsanChecks = true;
+    opts.checkLayout = false;
+    auto diags = verify(solo(std::move(b)), opts);
+    ASSERT_EQ(kindsOf(diags),
+              (std::vector<DiagKind>{DiagKind::UncheckedAccess}));
+    EXPECT_EQ(diags[0].toString(),
+              "[UncheckedAccess] naked inst 0: ld of [r2+0, +8) is not "
+              "covered by a shadow check on every path");
+}
+
+TEST(VerifierPost, CheckedAccessIsCovered)
+{
+    FuncBuilder b("guarded");
+    emitCheck(b, r2, 0, 8);
+    b.load(r1, r2, 0, 8);
+    b.halt();
+    VerifyOptions opts;
+    opts.expectAsanChecks = true;
+    opts.checkLayout = false;
+    EXPECT_TRUE(verify(solo(std::move(b)), opts).empty());
+}
+
+TEST(VerifierPost, CheckOnOnePathOnlyIsNotCoverage)
+{
+    // The branch skips the check, so the access is unchecked on that
+    // path and the must-analysis rejects it.
+    FuncBuilder b("onepath");
+    int br = b.branch(Opcode::Beq, r3, isa::regZero);
+    emitCheck(b, r2, 0, 8);
+    b.patchTarget(br, b.here());
+    b.load(r1, r2, 0, 8);
+    b.halt();
+    VerifyOptions opts;
+    opts.expectAsanChecks = true;
+    opts.checkLayout = false;
+    auto diags = verify(solo(std::move(b)), opts);
+    ASSERT_EQ(kindsOf(diags),
+              (std::vector<DiagKind>{DiagKind::UncheckedAccess}));
+}
+
+TEST(VerifierPost, DoubleArm)
+{
+    FuncBuilder b("dblarm");
+    emitArmOp(b, Opcode::Arm, 0);
+    emitArmOp(b, Opcode::Arm, 0);
+    emitArmOp(b, Opcode::Disarm, 0);
+    b.ret();
+    VerifyOptions opts;
+    opts.expectArming = true;
+    opts.checkLayout = false;
+    auto diags = verify(solo(std::move(b)), opts);
+    ASSERT_EQ(kindsOf(diags),
+              (std::vector<DiagKind>{DiagKind::DoubleArm}));
+    EXPECT_EQ(diags[0].toString(),
+              "[DoubleArm] dblarm inst 3: granule fp+0 may already be "
+              "armed here");
+}
+
+TEST(VerifierPost, DisarmWithoutArm)
+{
+    FuncBuilder b("colddis");
+    emitArmOp(b, Opcode::Disarm, 8);
+    b.ret();
+    VerifyOptions opts;
+    opts.expectArming = true;
+    opts.checkLayout = false;
+    auto diags = verify(solo(std::move(b)), opts);
+    ASSERT_EQ(kindsOf(diags),
+              (std::vector<DiagKind>{DiagKind::DisarmWithoutArm}));
+}
+
+TEST(VerifierPost, ArmedAtExit)
+{
+    FuncBuilder b("leak");
+    emitArmOp(b, Opcode::Arm, 0);
+    b.ret();
+    VerifyOptions opts;
+    opts.expectArming = true;
+    opts.checkLayout = false;
+    auto diags = verify(solo(std::move(b)), opts);
+    ASSERT_EQ(kindsOf(diags),
+              (std::vector<DiagKind>{DiagKind::ArmedAtExit}));
+    EXPECT_EQ(diags[0].toString(),
+              "[ArmedAtExit] leak inst 2: granules still armed at "
+              "function exit: fp+0");
+}
+
+TEST(VerifierPost, UnknownArmAddress)
+{
+    FuncBuilder b("mystery");
+    isa::Inst arm{Opcode::Arm, isa::noReg, r3, isa::noReg, 8, 0, -1,
+                  -1};
+    arm.tag = isa::OpSource::StackSetup;
+    b.emit(arm);
+    b.ret();
+    VerifyOptions opts;
+    opts.expectArming = true;
+    opts.checkLayout = false;
+    auto diags = verify(solo(std::move(b)), opts);
+    ASSERT_EQ(kindsOf(diags),
+              (std::vector<DiagKind>{DiagKind::UnknownArmAddress}));
+}
+
+TEST(VerifierPost, ProgramTaggedArmIsIgnored)
+{
+    // The bruteForceDisarm attack scenario disarms from guest code;
+    // pairing only constrains instrumentation-inserted ops.
+    FuncBuilder b("guest");
+    b.emit({Opcode::Disarm, isa::noReg, r3, isa::noReg, 8, 0, -1, -1});
+    b.halt();
+    VerifyOptions opts;
+    opts.expectArming = true;
+    opts.checkLayout = false;
+    EXPECT_TRUE(verify(solo(std::move(b)), opts).empty());
+}
+
+TEST(VerifierLayout, BufferOutsideFrame)
+{
+    isa::Function fn;
+    fn.name = "oob";
+    fn.frameSize = 64;
+    fn.bufs.push_back({16, true, 100});
+    isa::Inst halt;
+    halt.op = Opcode::Halt;
+    fn.insts.push_back(halt);
+    isa::Program prog;
+    prog.funcs.push_back(std::move(fn));
+    auto diags = verify(prog, {});
+    ASSERT_EQ(kindsOf(diags),
+              (std::vector<DiagKind>{DiagKind::BufferOutsideFrame}));
+    EXPECT_EQ(diags[0].toString(),
+              "[BufferOutsideFrame] oob: buffer #0 [100, 116) exceeds "
+              "the frame [0, 64)");
+}
+
+TEST(VerifierLayout, BufferOverlap)
+{
+    isa::Function fn;
+    fn.name = "clash";
+    fn.frameSize = 64;
+    fn.bufs.push_back({16, true, 0});
+    fn.bufs.push_back({16, true, 8});
+    isa::Inst halt;
+    halt.op = Opcode::Halt;
+    fn.insts.push_back(halt);
+    isa::Program prog;
+    prog.funcs.push_back(std::move(fn));
+    auto diags = verify(prog, {});
+    ASSERT_EQ(kindsOf(diags),
+              (std::vector<DiagKind>{DiagKind::BufferOverlap}));
+}
+
+TEST(VerifierLayout, RedzoneOverlapsBuffer)
+{
+    // Armed granule [8, 72) against a live buffer at [0, 16).
+    FuncBuilder b("rzclash");
+    b.halt();
+    isa::Function fn = std::move(b).take();
+    fn.frameSize = 128;
+    fn.bufs.push_back({16, true, 0});
+    {
+        FuncBuilder arm_builder("tmp");
+        emitArmOp(arm_builder, Opcode::Arm, 8);
+        isa::Function tmp = std::move(arm_builder).take();
+        fn.insts.insert(fn.insts.begin(), tmp.insts.begin(),
+                        tmp.insts.end());
+    }
+    isa::Program prog;
+    prog.funcs.push_back(std::move(fn));
+    auto diags = verify(prog, {}); // layout only, no pairing check
+    ASSERT_EQ(kindsOf(diags),
+              (std::vector<DiagKind>{DiagKind::RedzoneOverlapsBuffer}));
+    EXPECT_EQ(diags[0].toString(),
+              "[RedzoneOverlapsBuffer] rzclash inst 1: redzone [8, 72) "
+              "overlaps buffer #0 [0, 16)");
+}
+
+// ---------------------------------------------------------------------
+// applyScheme() rejects contract-violating programs
+// ---------------------------------------------------------------------
+
+using ApplySchemeContractDeath = ::testing::Test;
+
+TEST(ApplySchemeContractDeath, RejectsBranchIntoExit)
+{
+    FuncBuilder b("main");
+    b.branch(Opcode::Beq, r1, isa::regZero, 1);
+    b.halt();
+    isa::Program prog = solo(std::move(b));
+    auto scheme = runtime::SchemeConfig::asanFull();
+    EXPECT_EXIT(runtime::applyScheme(prog, scheme),
+                ::testing::ExitedWithCode(1), "BranchIntoExit");
+}
+
+TEST(ApplySchemeContractDeath, RejectsMultipleExits)
+{
+    FuncBuilder b("main");
+    b.ret();
+    b.halt();
+    isa::Program prog = solo(std::move(b));
+    auto scheme = runtime::SchemeConfig::plain();
+    EXPECT_EXIT(runtime::applyScheme(prog, scheme),
+                ::testing::ExitedWithCode(1), "MultipleExits");
+}
+
+TEST(ApplySchemeContractDeath, RejectsWildBranch)
+{
+    FuncBuilder b("main");
+    b.jmp(42);
+    b.halt();
+    isa::Program prog = solo(std::move(b));
+    auto scheme = runtime::SchemeConfig::restFull();
+    EXPECT_EXIT(runtime::applyScheme(prog, scheme),
+                ::testing::ExitedWithCode(1),
+                "BranchTargetOutOfRange");
+}
+
+// ---------------------------------------------------------------------
+// Instrumented generator output verifies cleanly under every scheme
+// ---------------------------------------------------------------------
+
+namespace
+{
+
+struct SchemeCase
+{
+    const char *label;
+    runtime::SchemeConfig scheme;
+};
+
+std::vector<SchemeCase>
+allSchemes()
+{
+    auto elide = runtime::SchemeConfig::asanFull();
+    elide.elideRedundantChecks = true;
+    return {{"plain", runtime::SchemeConfig::plain()},
+            {"asan", runtime::SchemeConfig::asanFull()},
+            {"asan+elide", elide},
+            {"rest", runtime::SchemeConfig::restFull()},
+            {"rest-heap", runtime::SchemeConfig::restHeap()}};
+}
+
+void
+expectVerifies(isa::Program prog, const SchemeCase &sc,
+               const std::string &what)
+{
+    auto scheme = sc.scheme;
+    runtime::applyScheme(prog, scheme);
+    VerifyOptions opts;
+    opts.expectAsanChecks = scheme.asanAccessChecks;
+    opts.expectArming = scheme.restStackArming;
+    auto diags = verify(prog, opts);
+    EXPECT_TRUE(diags.empty())
+        << sc.label << " on " << what << ":\n"
+        << formatDiagnostics(diags);
+}
+
+} // namespace
+
+TEST(VerifyInstrumented, GeneratedProgramsPassAllSchemes)
+{
+    for (const char *name : {"bzip2", "hmmer", "gobmk", "gcc",
+                             "xalancbmk"}) {
+        workload::BenchProfile profile = workload::profileByName(name);
+        profile.targetKiloInsts = 50;
+        for (const SchemeCase &sc : allSchemes())
+            expectVerifies(workload::generate(profile), sc, name);
+    }
+}
+
+TEST(VerifyInstrumented, AttackProgramsPassAllSchemes)
+{
+    for (const SchemeCase &sc : allSchemes()) {
+        expectVerifies(workload::attacks::heartbleed(64, 256), sc,
+                       "heartbleed");
+        expectVerifies(workload::attacks::useAfterFree(128), sc, "uaf");
+        expectVerifies(workload::attacks::stackOverflowWrite(16, 32),
+                       sc, "stack-overflow");
+        expectVerifies(workload::attacks::bruteForceDisarm(), sc,
+                       "brute-force-disarm");
+    }
+}
+
+} // namespace rest::analysis

@@ -81,6 +81,25 @@ TEST(Program, ToStringRendersInstructions)
     EXPECT_NE(text.find("main"), std::string::npos);
 }
 
+TEST(Program, ToStringShowsAccessWidthAndSymbolicBuffers)
+{
+    FuncBuilder b("main");
+    int buf = b.stackBuf(32);
+    b.leaBuf(1, buf);
+    b.emit({Opcode::Load, 2, regFp, noReg, 4, 8, -1, buf});
+    b.load(3, 1, -16, 2);
+    b.halt();
+    Program prog;
+    prog.funcs.push_back(std::move(b).take());
+    std::string text = prog.toString();
+    // Unresolved buffer references render inside the operand, so they
+    // cannot be mistaken for resolved frame offsets.
+    EXPECT_NE(text.find("addi r1, r29, buf#0+0"), std::string::npos);
+    EXPECT_NE(text.find("ld4 r2, [r29+buf#0+8]"), std::string::npos);
+    // Widths always print, and negative offsets keep their sign.
+    EXPECT_NE(text.find("ld2 r3, [r1-16]"), std::string::npos);
+}
+
 TEST(Inst, DefaultsAreSane)
 {
     Inst inst;
