@@ -40,14 +40,13 @@ printOverheads(const bench::MatrixResult &mat)
     for (std::size_t r = 0; r < mat.rowNames.size(); ++r) {
         std::vector<double> row;
         for (std::size_t c = 0; c < mat.colNames.size(); ++c)
-            row.push_back(sim::overheadPct(mat.baseline[r],
-                                           mat.cells[c][r]));
+            row.push_back(mat.overheadAt(c, r));
         bench::printRow(mat.rowNames[r], row);
     }
 }
 
 bench::MatrixResult
-lsqSerializationAblation(unsigned jobs)
+lsqSerializationAblation(const bench::Options &opt)
 {
     std::cout << "\n--- Ablation 1: LSQ matching logic vs "
                  "serialization ---\n";
@@ -58,7 +57,7 @@ lsqSerializationAblation(unsigned jobs)
         "lsq_serialization", profiles({"xalancbmk", "gcc", "gobmk"}),
         {bench::customColumn("matching(%)", matching),
          bench::customColumn("serialized(%)", serialized)},
-        jobs);
+        opt);
     printOverheads(mat);
     std::cout << "Expected: serialization costs strictly more, "
                  "especially with frequent arm/disarm.\n";
@@ -66,7 +65,7 @@ lsqSerializationAblation(unsigned jobs)
 }
 
 bench::MatrixResult
-storeCommitAblation(unsigned jobs)
+storeCommitAblation(const bench::Options &opt)
 {
     std::cout << "\n--- Ablation 2: delayed store commit in "
                  "isolation ---\n";
@@ -78,7 +77,7 @@ storeCommitAblation(unsigned jobs)
         {bench::presetColumn("secure(%)", ExpConfig::RestSecureFull),
          bench::customColumn("sec+delay(%)", delayed),
          bench::presetColumn("debug(%)", ExpConfig::RestDebugFull)},
-        jobs);
+        opt);
     printOverheads(mat);
     std::cout << "Expected: delayed store commit accounts for nearly "
                  "the whole secure->debug gap.\n";
@@ -86,7 +85,7 @@ storeCommitAblation(unsigned jobs)
 }
 
 bench::MatrixResult
-quarantineSweep(unsigned jobs)
+quarantineSweep(const bench::Options &opt)
 {
     std::cout << "\n--- Ablation 3: quarantine budget sweep "
                  "(xalancbmk, secure heap) ---\n";
@@ -102,7 +101,7 @@ quarantineSweep(unsigned jobs)
     }
     auto mat = bench::runMatrix("quarantine_budget",
                                 profiles({"xalancbmk"}), columns,
-                                jobs);
+                                opt);
     printOverheads(mat);
     std::cout << "Larger budgets widen the UAF detection window; the "
                  "cost moves with drain/recycle behaviour.\n";
@@ -110,7 +109,7 @@ quarantineSweep(unsigned jobs)
 }
 
 bench::MatrixResult
-criticalWordFirstAblation(unsigned jobs)
+criticalWordFirstAblation(const bench::Options &opt)
 {
     std::cout << "\n--- Ablation 4: critical-word-first off "
                  "(precise-exception support, SIII-B) ---\n";
@@ -120,7 +119,7 @@ criticalWordFirstAblation(unsigned jobs)
         "critical_word_first", profiles({"astar", "libquantum"}),
         {bench::presetColumn("cwf on(%)", ExpConfig::RestSecureFull),
          bench::customColumn("cwf off(%)", off)},
-        jobs);
+        opt);
     printOverheads(mat);
     std::cout << "The fill tail shows on latency-bound (chase) "
                  "workloads and hides on bandwidth-bound ones.\n";
@@ -128,7 +127,7 @@ criticalWordFirstAblation(unsigned jobs)
 }
 
 bench::MatrixResult
-checkElisionAblation(unsigned jobs)
+checkElisionAblation(const bench::Options &opt)
 {
     std::cout << "\n--- Ablation 5: redundant shadow-check elision "
                  "(static analysis) ---\n";
@@ -138,7 +137,7 @@ checkElisionAblation(unsigned jobs)
         "check_elision", profiles({"bzip2", "hmmer", "xalancbmk"}),
         {bench::presetColumn("asan(%)", ExpConfig::Asan),
          bench::customColumn("asan+elide(%)", elide)},
-        jobs);
+        opt);
     printOverheads(mat);
     std::cout << "Expected: elision trims the access-validation "
                  "component wherever the generators re-check a base "
@@ -158,11 +157,11 @@ main(int argc, char **argv)
               << "Design-choice ablations (see DESIGN.md)\n"
               << "====================================\n";
     std::vector<sim::SweepResults> sweeps;
-    sweeps.push_back(lsqSerializationAblation(opt.jobs).sweep);
-    sweeps.push_back(storeCommitAblation(opt.jobs).sweep);
-    sweeps.push_back(quarantineSweep(opt.jobs).sweep);
-    sweeps.push_back(criticalWordFirstAblation(opt.jobs).sweep);
-    sweeps.push_back(checkElisionAblation(opt.jobs).sweep);
+    sweeps.push_back(lsqSerializationAblation(opt).sweep);
+    sweeps.push_back(storeCommitAblation(opt).sweep);
+    sweeps.push_back(quarantineSweep(opt).sweep);
+    sweeps.push_back(criticalWordFirstAblation(opt).sweep);
+    sweeps.push_back(checkElisionAblation(opt).sweep);
     bench::writeResults(opt, "ablation", std::move(sweeps));
     return 0;
 }

@@ -9,6 +9,10 @@
  *                         (default 2, clamped to [1, 64])
  *   REST_BENCH_JOBS       default sweep worker threads (default:
  *                         hardware concurrency, clamped to [1, 256])
+ *   REST_SWEEP_RETRIES    default --retries (default 1, clamp [0,16])
+ *   REST_SWEEP_FAULT      deterministic fault injection (fallback for
+ *                         --fault-inject): fail-once:IDX,
+ *                         fail-always:IDX, fail-hard:IDX, slow:IDX:MS
  *
  * Command-line knobs (parseOptions(); every --flag also accepts the
  * --flag=value spelling):
@@ -30,21 +34,42 @@
  *                         asan, asan-elide, rest; default asan) and
  *                         exit
  *
+ * Fault-tolerant execution (DESIGN.md §10):
+ *   --retries N           extra attempts for transiently failing jobs
+ *                         (default REST_SWEEP_RETRIES, else 1)
+ *   --backoff-ms N        exponential backoff base between attempts
+ *                         (default 0 = none)
+ *   --job-timeout-ms N    soft per-job timeout; an over-budget
+ *                         attempt is discarded and retried (0 = off)
+ *   --checkpoint STEM     persist completed jobs per sweep to
+ *                         STEM.<sweep_name>; a killed run loses
+ *                         nothing already measured
+ *   --resume STEM         restore completed jobs from
+ *                         STEM.<sweep_name> and run only the rest
+ *   --fault-inject SPEC   deterministic fault injection (see
+ *                         REST_SWEEP_FAULT above)
+ *
  * runMatrix() is the shared sweep driver: it expands a benchmark ×
  * column matrix (× seeds) into sim::SweepJobs, runs them on a
  * sim::SweepRunner, and aggregates exactly like the historical serial
  * loop (per-cell seed average in seed order), so tables are identical
- * at any --jobs value.
+ * at any --jobs value. Jobs that fail after retries become error
+ * cells: tables print "error", the results JSON records
+ * {"error", "attempts"}, and aggregate means are computed over the
+ * surviving rows — the harness always exits 0 with every completed
+ * measurement intact.
  */
 
 #ifndef REST_BENCH_BENCH_UTIL_HH
 #define REST_BENCH_BENCH_UTIL_HH
 
 #include <cerrno>
+#include <cmath>
 #include <cstdlib>
 #include <cstring>
 #include <iomanip>
 #include <iostream>
+#include <limits>
 #include <memory>
 #include <string>
 #include <thread>
@@ -121,6 +146,15 @@ defaultJobs()
     return v;
 }
 
+/** Default --retries: REST_SWEEP_RETRIES, else 1. */
+inline unsigned
+defaultRetries()
+{
+    static const unsigned v = unsigned(
+        parseEnvU64("REST_SWEEP_RETRIES", 1, 0, 16));
+    return v;
+}
+
 // ---------------------------------------------------------------------
 // Command line
 // ---------------------------------------------------------------------
@@ -131,6 +165,38 @@ struct Options
     bool json = true;
     std::string jsonPath;
     bool detail = false;
+
+    // Fault-tolerant sweep execution (sim::SweepOptions).
+    unsigned retries = 1;
+    std::uint64_t backoffMs = 0;
+    std::uint64_t jobTimeoutMs = 0;
+    std::string checkpointStem;    ///< --checkpoint ("" = off)
+    std::string resumeStem;        ///< --resume ("" = off)
+    std::string faultSpec;         ///< --fault-inject ("" = env)
+
+    /**
+     * Build the SweepOptions for one named sweep. Checkpoint files
+     * are per sweep (STEM.<sweep_name>) because harnesses like
+     * ablation run several sweeps per invocation.
+     */
+    sim::SweepOptions
+    sweepOptions(const std::string &sweep_name) const
+    {
+        sim::SweepOptions s;
+        s.retries = retries;
+        s.backoffBaseMs = backoffMs;
+        s.jobTimeoutMs = jobTimeoutMs;
+        if (!checkpointStem.empty())
+            s.checkpointPath = checkpointStem + "." + sweep_name;
+        if (!resumeStem.empty())
+            s.resumePath = resumeStem + "." + sweep_name;
+        if (!faultSpec.empty())
+            s.fault = sim::SweepFaultInjector::parse(faultSpec)
+                          .value_or(sim::SweepFaultInjector{});
+        else
+            s.fault = sim::SweepFaultInjector::fromEnv();
+        return s;
+    }
 
     // Tracing (all off by default; see util/trace.hh).
     std::string debugFlags;        ///< CSV of flag names ("" = none)
@@ -162,6 +228,10 @@ usage(const std::string &figure, int status)
     (status ? std::cerr : std::cout)
         << "usage: " << figure << " [--jobs N] [--json PATH] "
         << "[--no-json] [--detail]\n"
+        << "         [--retries N] [--backoff-ms N] "
+        << "[--job-timeout-ms N]\n"
+        << "         [--checkpoint STEM] [--resume STEM] "
+        << "[--fault-inject SPEC]\n"
         << "         [--debug-flags CSV] [--debug-start T] "
         << "[--debug-end T]\n"
         << "         [--trace-out PATH] [--pipeview-out PATH] "
@@ -173,6 +243,21 @@ usage(const std::string &figure, int status)
         << figure << ".json)\n"
         << "  --no-json          disable the results file\n"
         << "  --detail           extra per-figure detail\n"
+        << "  --retries N        extra attempts for transient job "
+        << "failures (default " << defaultRetries() << ")\n"
+        << "  --backoff-ms N     exponential backoff base between "
+        << "attempts (default 0)\n"
+        << "  --job-timeout-ms N soft per-job timeout; over-budget "
+        << "attempts retry (0 = off)\n"
+        << "  --checkpoint STEM  persist completed sweep jobs to "
+        << "STEM.<sweep_name>\n"
+        << "  --resume STEM      restore completed jobs from "
+        << "STEM.<sweep_name>\n"
+        << "  --fault-inject S   deterministic fault injection: "
+        << "fail-once:IDX,\n"
+        << "                     fail-always:IDX, fail-hard:IDX, "
+        << "slow:IDX:MS\n"
+        << "                     (REST_SWEEP_FAULT is the fallback)\n"
         << "  --debug-flags CSV  enable debug flags (O3Pipe, Cache, "
         << "TokenDetect,\n"
         << "                     Alloc, Shadow, Sweep, or All)\n"
@@ -270,6 +355,7 @@ parseOptions(int argc, char **argv, const std::string &figure)
 {
     Options opt;
     opt.jobs = defaultJobs();
+    opt.retries = defaultRetries();
     opt.jsonPath = "BENCH_" + figure + ".json";
 
     // Expand "--flag=value" into "--flag" "value" so one loop handles
@@ -323,6 +409,23 @@ parseOptions(int argc, char **argv, const std::string &figure)
             opt.json = false;
         } else if (a == "--detail") {
             opt.detail = true;
+        } else if (a == "--retries") {
+            opt.retries = unsigned(u64Arg(i, a, 0, 16));
+        } else if (a == "--backoff-ms") {
+            opt.backoffMs = u64Arg(i, a, 0, 60000);
+        } else if (a == "--job-timeout-ms") {
+            opt.jobTimeoutMs = u64Arg(i, a, 0, ~std::uint64_t(0));
+        } else if (a == "--checkpoint") {
+            opt.checkpointStem = strArg(i, a);
+        } else if (a == "--resume") {
+            opt.resumeStem = strArg(i, a);
+        } else if (a == "--fault-inject") {
+            opt.faultSpec = strArg(i, a);
+            if (!sim::SweepFaultInjector::parse(opt.faultSpec)) {
+                std::cerr << figure << ": bad --fault-inject spec \""
+                          << opt.faultSpec << "\"\n";
+                usage(figure, 1);
+            }
         } else if (a == "--debug-flags") {
             opt.debugFlags = strArg(i, a);
             trace::FlagMask mask = 0;
@@ -447,22 +550,53 @@ struct MatrixResult
     std::vector<std::string> colNames;
     /** Plain baseline per row (empty when run without baseline). */
     std::vector<Cycles> baseline;
+    /** False where the baseline cell failed (indexed like baseline). */
+    std::vector<bool> baselineOk;
     /** Seed-averaged cycles, indexed [column][row]. */
     std::vector<std::vector<Cycles>> cells;
+    /** False where the cell failed, indexed [column][row]. Failed
+     *  cells carry cycles == 0; consult ok before using them. */
+    std::vector<std::vector<bool>> cellOk;
+
+    /** Did every cell (and baseline) succeed? */
+    bool
+    allOk() const
+    {
+        for (bool ok : baselineOk)
+            if (!ok)
+                return false;
+        for (const auto &col : cellOk)
+            for (bool ok : col)
+                if (!ok)
+                    return false;
+        return true;
+    }
+
+    /** Overhead % for table printing; NaN when either side failed
+     *  (printRow renders non-finite values as "error"). */
+    double
+    overheadAt(std::size_t col, std::size_t row) const
+    {
+        if (!baselineOk[row] || !cellOk[col][row])
+            return std::numeric_limits<double>::quiet_NaN();
+        return sim::overheadPct(baseline[row], cells[col][row]);
+    }
+
     /** Full per-cell record for the results file. */
     sim::SweepResults sweep;
 };
 
 /**
  * Run a benchmark × column matrix, seeds expanded per cell, on a
- * SweepRunner with `jobs` threads. When `with_baseline` is set a Plain
- * column is run first and the sweep's wtd-ari/geo mean overheads are
- * computed against it.
+ * SweepRunner with opt.jobs threads and opt's retry/timeout/
+ * checkpoint policy. When `with_baseline` is set a Plain column is
+ * run first and the sweep's wtd-ari/geo mean overheads are computed
+ * against it (over the rows whose cells all succeeded).
  */
 inline MatrixResult
 runMatrix(const std::string &sweep_name,
           const std::vector<workload::BenchProfile> &rows,
-          const std::vector<MatrixColumn> &cols, unsigned jobs,
+          const std::vector<MatrixColumn> &cols, const Options &opt,
           bool with_baseline = true)
 {
     const unsigned seeds = numSeeds();
@@ -498,8 +632,9 @@ runMatrix(const std::string &sweep_name,
         }
     }
 
-    const auto measurements =
-        sim::SweepRunner(jobs).run(jobs_list);
+    const std::vector<sim::JobResult> results =
+        sim::SweepRunner(opt.jobs, opt.sweepOptions(sweep_name))
+            .run(jobs_list);
 
     MatrixResult out;
     out.sweep.name = sweep_name;
@@ -509,6 +644,7 @@ runMatrix(const std::string &sweep_name,
             out.colNames.push_back(col.name);
     }
     out.cells.resize(out.colNames.size());
+    out.cellOk.resize(out.colNames.size());
 
     std::size_t idx = 0;
     for (const auto &row : rows) {
@@ -522,7 +658,19 @@ runMatrix(const std::string &sweep_name,
             // serial measure() loop, so tables match bit-for-bit.
             double total_cycles = 0, total_ops = 0;
             for (unsigned s = 0; s < seeds; ++s) {
-                const sim::Measurement &m = measurements[idx++];
+                const sim::JobResult &jr = results[idx++];
+                cell.attempts += jr.attempts;
+                if (!jr.ok) {
+                    // The cell fails as a whole; keep the first
+                    // error and keep consuming the remaining seeds'
+                    // attempt counts.
+                    if (cell.ok) {
+                        cell.ok = false;
+                        cell.error = jr.error;
+                    }
+                    continue;
+                }
+                const sim::Measurement &m = jr.measurement;
                 total_cycles += double(m.cycles);
                 total_ops += double(m.ops);
                 cell.seedCycles.push_back(m.cycles);
@@ -534,16 +682,29 @@ runMatrix(const std::string &sweep_name,
                 if (s == 0)
                     cell.statSeries = m.statSeries;
             }
-            cell.cycles = Cycles(total_cycles / seeds);
-            cell.ops = std::uint64_t(total_ops / seeds);
+            if (cell.ok) {
+                cell.cycles = Cycles(total_cycles / seeds);
+                cell.ops = std::uint64_t(total_ops / seeds);
+            } else {
+                // Zero the measurement fields so nothing downstream
+                // mistakes a failed cell for an implausibly fast run.
+                cell.cycles = 0;
+                cell.ops = 0;
+                cell.seedCycles.clear();
+                cell.scalars.clear();
+                cell.statSeries.clear();
+            }
 
             bool is_baseline = with_baseline && c == 0;
             if (is_baseline) {
                 out.baseline.push_back(cell.cycles);
-                out.sweep.baselineCycles[row.name] = cell.cycles;
+                out.baselineOk.push_back(cell.ok);
+                if (cell.ok)
+                    out.sweep.baselineCycles[row.name] = cell.cycles;
             } else {
                 std::size_t ci = with_baseline ? c - 1 : c;
                 out.cells[ci].push_back(cell.cycles);
+                out.cellOk[ci].push_back(cell.ok);
             }
             out.sweep.cells.push_back(std::move(cell));
         }
@@ -551,10 +712,22 @@ runMatrix(const std::string &sweep_name,
 
     if (with_baseline) {
         for (std::size_t c = 0; c < out.colNames.size(); ++c) {
+            // Means over the rows whose baseline and cell both
+            // succeeded; NaN — "error" in tables, null in JSON —
+            // when no row survived.
+            std::vector<Cycles> base, cyc;
+            for (std::size_t r = 0; r < out.rowNames.size(); ++r) {
+                if (!out.baselineOk[r] || !out.cellOk[c][r])
+                    continue;
+                base.push_back(out.baseline[r]);
+                cyc.push_back(out.cells[c][r]);
+            }
+            const double nan = std::numeric_limits<double>::quiet_NaN();
             out.sweep.wtdAriMeanPct[out.colNames[c]] =
-                sim::wtdAriMeanOverheadPct(out.baseline, out.cells[c]);
+                base.empty() ? nan
+                             : sim::wtdAriMeanOverheadPct(base, cyc);
             out.sweep.geoMeanPct[out.colNames[c]] =
-                sim::geoMeanOverheadPct(out.baseline, out.cells[c]);
+                base.empty() ? nan : sim::geoMeanOverheadPct(base, cyc);
         }
     }
     return out;
@@ -588,14 +761,19 @@ measure(const workload::BenchProfile &base, sim::ExpConfig config,
 // Output
 // ---------------------------------------------------------------------
 
-/** Print one row of a percentage table. */
+/** Print one row of a percentage table. Non-finite entries are the
+ *  error-cell sentinel and render as "error". */
 inline void
 printRow(const std::string &name, const std::vector<double> &values)
 {
     std::cout << std::left << std::setw(12) << name << std::right;
-    for (double v : values)
-        std::cout << std::setw(16) << std::fixed
-                  << std::setprecision(1) << v;
+    for (double v : values) {
+        if (std::isfinite(v))
+            std::cout << std::setw(16) << std::fixed
+                      << std::setprecision(1) << v;
+        else
+            std::cout << std::setw(16) << "error";
+    }
     std::cout << "\n";
 }
 
@@ -617,8 +795,7 @@ printOverheadTable(const MatrixResult &mat)
     for (std::size_t r = 0; r < mat.rowNames.size(); ++r) {
         std::vector<double> row;
         for (std::size_t c = 0; c < mat.colNames.size(); ++c)
-            row.push_back(sim::overheadPct(mat.baseline[r],
-                                           mat.cells[c][r]));
+            row.push_back(mat.overheadAt(c, r));
         printRow(mat.rowNames[r], row);
     }
     std::cout << std::string(12 + 16 * mat.colNames.size(), '-')

@@ -71,24 +71,35 @@ main(int argc, char **argv)
 
     auto mat = bench::runMatrix("asan_breakdown",
                                 workload::specSuite(), columns,
-                                opt.jobs, /*with_baseline=*/false);
+                                opt, /*with_baseline=*/false);
 
     bench::printHeader({"Allocator", "StackSetup", "AccessValid",
                         "APIIntercept", "Total", "Total+Elide"});
+    const double nan = std::numeric_limits<double>::quiet_NaN();
     for (std::size_t r = 0; r < mat.rowNames.size(); ++r) {
+        // Differencing needs every cumulative level of the row; if
+        // any level failed, the components that touch it are
+        // undefined and print as "error".
+        auto ok = [&](std::size_t level) { return mat.cellOk[level][r]; };
         Cycles base = mat.cells[0][r];
         std::vector<double> row;
         Cycles prev = base;
         for (std::size_t level = 1; level <= 4; ++level) {
             Cycles cur = mat.cells[level][r];
-            row.push_back(100.0 * (double(cur) - double(prev)) /
-                          double(base));
+            row.push_back(ok(0) && ok(level - 1) && ok(level)
+                              ? 100.0 * (double(cur) - double(prev)) /
+                                    double(base)
+                              : nan);
             prev = cur;
         }
-        row.push_back(100.0 * (double(prev) - double(base)) /
-                      double(base));
-        row.push_back(100.0 * (double(mat.cells[5][r]) - double(base)) /
-                      double(base));
+        row.push_back(ok(0) && ok(4)
+                          ? 100.0 * (double(prev) - double(base)) /
+                                double(base)
+                          : nan);
+        row.push_back(ok(0) && ok(5)
+                          ? 100.0 * (double(mat.cells[5][r]) -
+                                     double(base)) / double(base)
+                          : nan);
         bench::printRow(mat.rowNames[r], row);
     }
 

@@ -74,7 +74,7 @@ main(int argc, char **argv)
     };
 
     auto mat = bench::runMatrix("overheads", workload::specSuite(),
-                                columns, opt.jobs);
+                                columns, opt);
     bench::printOverheadTable(mat);
 
     std::cout << "\nPaper reference (WtdAriMean): ASan ~40%+ "

@@ -40,7 +40,7 @@ main(int argc, char **argv)
     };
 
     auto mat = bench::runMatrix("token_widths", workload::specSuite(),
-                                columns, opt.jobs);
+                                columns, opt);
     bench::printOverheadTable(mat);
 
     std::cout << "\nPaper reference: no single token width makes a "

@@ -218,8 +218,8 @@ BM_SweepRunnerThroughput(benchmark::State &state)
     sim::SweepRunner runner(unsigned(state.range(0)));
     std::uint64_t ops = 0;
     for (auto _ : state) {
-        for (const auto &m : runner.run(jobs))
-            ops += m.ops;
+        for (const auto &r : runner.run(jobs))
+            ops += r.measurement.ops;
     }
     state.counters["sim_ops_per_s"] = benchmark::Counter(
         double(ops), benchmark::Counter::kIsRate);

@@ -19,6 +19,7 @@
 #include "mem/cache.hh"
 #include "mem/dram.hh"
 #include "mem/rest_l1_cache.hh"
+#include "util/logging.hh"
 #include "util/random.hh"
 
 using namespace rest;
@@ -231,6 +232,23 @@ lsqCells()
     }
 }
 
+/**
+ * Run one probe group with fatals converted to exceptions
+ * (DESIGN.md §10): a broken model records a FAIL row instead of
+ * killing the harness before the table prints.
+ */
+void
+guarded(const char *group, void (*fn)())
+{
+    util::ScopedFatalThrow fatal_throws;
+    try {
+        fn();
+    } catch (const std::exception &e) {
+        record(group, "harness", "probes complete",
+               std::string("error: ") + e.what());
+    }
+}
+
 /** Table I is not a sweep; its JSON is the cell matrix itself. */
 void
 writeJson(const bench::Options &opt, int failures)
@@ -275,8 +293,8 @@ main(int argc, char **argv)
     std::cout << "=================================================\n"
               << "Table I: REST action matrix, observed vs spec\n"
               << "=================================================\n";
-    cacheCells();
-    lsqCells();
+    guarded("cache cells", cacheCells);
+    guarded("lsq cells", lsqCells);
 
     int failures = 0;
     std::cout << std::left << std::setw(17) << "action"

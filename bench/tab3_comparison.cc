@@ -19,6 +19,7 @@
 #include "bench_util.hh"
 #include "common_probe.hh"
 #include "util/json_writer.hh"
+#include "util/logging.hh"
 
 using namespace rest;
 
@@ -54,7 +55,8 @@ const PriorRow priorWork[] = {
 
 /** The empirically probed REST row, machine-readable. */
 void
-writeJson(const bench::Options &opt, const probe::Results &rest_row)
+writeJson(const bench::Options &opt, const probe::Results &rest_row,
+          const std::string &probe_error)
 {
     if (!opt.json)
         return;
@@ -69,6 +71,8 @@ writeJson(const bench::Options &opt, const probe::Results &rest_row)
     w.field("figure", "tab3");
     w.key("rest_row");
     w.beginObject();
+    if (!probe_error.empty())
+        w.field("error", probe_error);
     w.field("spatial_linear", rest_row.spatialLinear);
     w.field("temporal_until_realloc", rest_row.temporalUntilRealloc);
     w.field("uses_shadow_space", rest_row.usesShadowSpace);
@@ -98,7 +102,20 @@ main(int argc, char **argv)
               << "====================================================\n";
 
     // ---- Empirical probes for the REST row ----
-    probe::Results rest_row = probe::probeRest();
+    // With fatals converted to exceptions (DESIGN.md §10), a broken
+    // model still prints the full table — the REST row just reads
+    // BROKEN — and the JSON carries the error.
+    probe::Results rest_row;
+    std::string probe_error;
+    {
+        util::ScopedFatalThrow fatal_throws;
+        try {
+            rest_row = probe::probeRest();
+        } catch (const std::exception &e) {
+            probe_error = e.what();
+            rest_row = probe::Results{};
+        }
+    }
 
     auto print = [](const char *name, const char *spatial,
                     const char *temporal, const char *shadow,
@@ -136,6 +153,8 @@ main(int argc, char **argv)
                       ? "missed (as specified)" : "caught") << "\n"
               << "  uninstrumented-code detection: "
               << rest_row.composable << "\n";
-    writeJson(opt, rest_row);
+    if (!probe_error.empty())
+        std::cout << "\nprobe error: " << probe_error << "\n";
+    writeJson(opt, rest_row, probe_error);
     return rest_row.allConsistent() ? 0 : 1;
 }

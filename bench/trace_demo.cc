@@ -105,8 +105,7 @@ main(int argc, char **argv)
         workload::profileByName("astar"),
     };
     std::cout << "\nsweep with per-interval stats (overhead %):\n";
-    auto mat = bench::runMatrix("stats_series", rows, columns,
-                                opt.jobs);
+    auto mat = bench::runMatrix("stats_series", rows, columns, opt);
     bench::printOverheadTable(mat);
     bench::writeResults(opt, "trace_demo", {std::move(mat.sweep)});
     return 0;

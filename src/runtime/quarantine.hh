@@ -11,6 +11,7 @@
 
 #include <deque>
 #include <optional>
+#include <unordered_map>
 
 #include "runtime/allocator.hh"
 
@@ -31,6 +32,7 @@ class Quarantine
     {
         bytes_ += chunk.chunkBytes;
         fifo_.push_back(chunk);
+        ++resident_[chunk.payload];
     }
 
     /** Over budget: the oldest chunk should be drained. */
@@ -45,18 +47,19 @@ class Quarantine
         Chunk c = fifo_.front();
         fifo_.pop_front();
         bytes_ -= c.chunkBytes;
+        auto it = resident_.find(c.payload);
+        if (it != resident_.end() && --it->second == 0)
+            resident_.erase(it);
         return c;
     }
 
-    /** Is this payload address currently quarantined? */
+    /** Is this payload address currently quarantined? O(1): at the
+     *  paper's §IV-A budgets a linear FIFO scan makes free-heavy
+     *  profiles quadratic in quarantine depth. */
     bool
     contains(Addr payload) const
     {
-        for (const auto &c : fifo_) {
-            if (c.payload == payload)
-                return true;
-        }
-        return false;
+        return resident_.count(payload) != 0;
     }
 
     std::size_t bytes() const { return bytes_; }
@@ -67,6 +70,8 @@ class Quarantine
     std::size_t budget_;
     std::size_t bytes_ = 0;
     std::deque<Chunk> fifo_;
+    /** Count per payload address, kept in sync with push()/pop(). */
+    std::unordered_map<Addr, std::size_t> resident_;
 };
 
 } // namespace rest::runtime

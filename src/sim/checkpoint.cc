@@ -1,0 +1,163 @@
+#include "sim/checkpoint.hh"
+
+#include <cstdio>
+#include <fstream>
+
+#include "util/json_reader.hh"
+#include "util/json_writer.hh"
+#include "util/logging.hh"
+
+namespace rest::sim
+{
+
+namespace
+{
+
+constexpr std::uint64_t kSchemaVersion = 1;
+
+void
+writeMeasurement(util::JsonWriter &w, const Measurement &m)
+{
+    w.beginObject();
+    w.field("bench", m.bench);
+    w.field("label", m.label);
+    w.field("config", std::uint64_t(m.config));
+    w.field("seed", m.seed);
+    w.field("cycles", std::uint64_t(m.cycles));
+    w.field("ops", m.ops);
+    w.key("scalars");
+    w.beginObject();
+    for (const auto &[name, v] : m.scalars)
+        w.field(name, v);
+    w.endObject();
+    w.endObject();
+}
+
+Measurement
+readMeasurement(const util::JsonValue &v)
+{
+    Measurement m;
+    m.bench = v.at("bench").str;
+    m.label = v.at("label").str;
+    m.config = ExpConfig(v.at("config").u64());
+    m.seed = v.at("seed").u64();
+    m.cycles = Cycles(v.at("cycles").u64());
+    m.ops = v.at("ops").u64();
+    for (const auto &[name, sv] : v.at("scalars").members)
+        m.scalars[name] = sv.u64();
+    return m;
+}
+
+} // namespace
+
+std::uint64_t
+SweepCheckpoint::jobStartsTotal() const
+{
+    std::uint64_t total = 0;
+    for (const auto &[index, entry] : entries)
+        total += entry.starts;
+    return total;
+}
+
+std::optional<SweepCheckpoint>
+SweepCheckpoint::load(const std::string &path)
+{
+    bool ok = false;
+    util::JsonValue root = util::readJsonFile(path, &ok);
+    if (!ok || root.kind != util::JsonValue::Object) {
+        rest_warn("checkpoint ", path,
+                  " is missing or corrupt; ignoring it");
+        return std::nullopt;
+    }
+    if (root.at("schema_version").u64() != kSchemaVersion) {
+        rest_warn("checkpoint ", path, " has schema version ",
+                  root.at("schema_version").u64(), " (want ",
+                  kSchemaVersion, "); ignoring it");
+        return std::nullopt;
+    }
+
+    SweepCheckpoint ck;
+    ck.totalJobs = std::size_t(root.at("total_jobs").u64());
+    for (const auto &jv : root.at("jobs").items) {
+        CheckpointEntry e;
+        e.index = std::size_t(jv.at("index").u64());
+        e.key = jv.at("key").str;
+        e.ok = jv.at("ok").boolean;
+        e.timedOut = jv.has("timed_out") && jv.at("timed_out").boolean;
+        e.attempts = unsigned(jv.at("attempts").u64());
+        e.starts = unsigned(jv.at("starts").u64());
+        e.wallMs = jv.at("wall_ms").number;
+        if (jv.has("error"))
+            e.error = jv.at("error").str;
+        if (e.ok)
+            e.measurement = readMeasurement(jv.at("measurement"));
+        ck.entries[e.index] = std::move(e);
+    }
+    return ck;
+}
+
+bool
+SweepCheckpoint::save(const std::string &path) const
+{
+    const std::string tmp = path + ".tmp";
+    {
+        std::ofstream out(tmp);
+        if (!out) {
+            rest_warn("cannot open checkpoint file ", tmp,
+                      "; skipping checkpoint write");
+            return false;
+        }
+        util::JsonWriter w(out);
+        w.beginObject();
+        w.field("schema_version", kSchemaVersion);
+        w.field("total_jobs", std::uint64_t(totalJobs));
+        w.field("job_starts_total", jobStartsTotal());
+        w.key("jobs");
+        w.beginArray();
+        for (const auto &[index, e] : entries) {
+            w.beginObject();
+            w.field("index", std::uint64_t(e.index));
+            w.field("key", e.key);
+            w.field("ok", e.ok);
+            w.field("attempts", std::uint64_t(e.attempts));
+            w.field("starts", std::uint64_t(e.starts));
+            w.field("wall_ms", e.wallMs);
+            if (e.timedOut)
+                w.field("timed_out", true);
+            if (!e.error.empty())
+                w.field("error", e.error);
+            if (e.ok) {
+                w.key("measurement");
+                writeMeasurement(w, e.measurement);
+            }
+            w.endObject();
+        }
+        w.endArray();
+        w.endObject();
+        out << "\n";
+        out.flush();
+        if (!out) {
+            rest_warn("short write to checkpoint file ", tmp);
+            return false;
+        }
+    }
+    if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+        rest_warn("cannot rename checkpoint ", tmp, " to ", path);
+        return false;
+    }
+    return true;
+}
+
+std::string
+checkpointJobKey(const SweepJob &job)
+{
+    std::string label = job.label;
+    if (label.empty())
+        label = job.useCustomConfig ? "custom"
+                                    : expConfigName(job.config);
+    return job.profile.name + "|" + label + "|" +
+           std::to_string(job.profile.seed) + "|" +
+           std::to_string(job.profile.targetKiloInsts);
+}
+
+} // namespace rest::sim

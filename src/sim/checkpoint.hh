@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Sweep checkpoint files: the persistence layer behind SweepRunner's
+ * --checkpoint/--resume support.
+ *
+ * File format (JSON, schema documented in DESIGN.md §10):
+ *
+ *   {
+ *     "schema_version": 1,
+ *     "total_jobs": 12,
+ *     "job_starts_total": 14,        // sum of "starts" below
+ *     "jobs": [
+ *       { "index": 0, "key": "perlbench|ASan|4660|1000",
+ *         "ok": true, "attempts": 1, "starts": 1, "wall_ms": 52.1,
+ *         "measurement": {
+ *           "bench": "perlbench", "label": "ASan", "config": 1,
+ *           "seed": 4660, "cycles": 120934, "ops": 41210,
+ *           "scalars": { "l1d.token_evictions": 3, ... } } },
+ *       { "index": 3, "key": "...", "ok": false, "attempts": 2,
+ *         "starts": 2, "wall_ms": 1.2, "timed_out": false,
+ *         "error": "injected fault (fail-always)" }, ... ]
+ *   }
+ *
+ * `key` fingerprints the job (bench|label|seed|kiloinsts) so a resume
+ * against a different sweep shape re-runs rather than mis-restores.
+ * `starts` accumulates executions across checkpointed runs — the
+ * resume regression tests assert from it that completed jobs are not
+ * re-executed. Restored measurements carry the aggregate fields only
+ * (no SystemResult detail, no stat series); the results layer never
+ * reads more than that.
+ *
+ * Writes are atomic (temp file + rename) and happen after every
+ * completed job, so a sweep killed at any point leaves a loadable
+ * file. load() treats missing/corrupt files as absent (warn + nullopt)
+ * rather than fatal: a truncated checkpoint must never be able to
+ * wedge the sweep that tries to resume from it.
+ */
+
+#ifndef REST_SIM_CHECKPOINT_HH
+#define REST_SIM_CHECKPOINT_HH
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+
+#include "sim/sweep.hh"
+
+namespace rest::sim
+{
+
+/** One persisted job outcome. */
+struct CheckpointEntry
+{
+    std::size_t index = 0;
+    std::string key;
+    bool ok = false;
+    bool timedOut = false;
+    unsigned attempts = 0;
+    unsigned starts = 0;
+    double wallMs = 0;
+    std::string error;
+    Measurement measurement; ///< aggregate fields only, valid iff ok
+};
+
+/** A whole checkpoint file, keyed by job submission index. */
+struct SweepCheckpoint
+{
+    std::size_t totalJobs = 0;
+    std::map<std::size_t, CheckpointEntry> entries;
+
+    std::uint64_t jobStartsTotal() const;
+
+    /** nullopt (with a warning) when missing, unreadable or corrupt. */
+    static std::optional<SweepCheckpoint> load(const std::string &path);
+
+    /** Atomic write (temp + rename); warns and returns false on I/O
+     *  failure — checkpointing must never abort the sweep it guards. */
+    bool save(const std::string &path) const;
+};
+
+/** The fingerprint recorded per entry and checked on resume. */
+std::string checkpointJobKey(const SweepJob &job);
+
+} // namespace rest::sim
+
+#endif // REST_SIM_CHECKPOINT_HH

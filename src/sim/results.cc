@@ -39,6 +39,18 @@ writeCell(util::JsonWriter &w, const SweepCell &cell)
     w.beginObject();
     w.field("bench", cell.bench);
     w.field("column", cell.column);
+    if (!cell.ok) {
+        // Failed cell: the error record replaces the measurement
+        // fields so downstream tooling cannot mistake a failure for
+        // a zero-cycle run.
+        w.field("error", cell.error);
+        w.field("attempts", std::uint64_t(cell.attempts));
+        w.endObject();
+        return;
+    }
+    if (cell.attempts != 0 &&
+        cell.attempts != unsigned(cell.seedCycles.size()))
+        w.field("attempts", std::uint64_t(cell.attempts));
     w.field("cycles", std::uint64_t(cell.cycles));
     w.field("ops", cell.ops);
     w.key("seed_cycles");

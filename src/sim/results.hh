@@ -19,6 +19,11 @@
  *             "cycles": 123, "ops": 456,
  *             "seed_cycles": [121, 125],
  *             "scalars": { "o3cpu.…": 1, "l1d.…": 2 } }, ... ],
+ *         // a cell whose job(s) failed (after retries) serialises as
+ *         //   { "bench": ..., "column": ...,
+ *         //     "error": "...", "attempts": 3 }
+ *         // instead of aborting the figure; successful cells that
+ *         // needed retries additionally carry "attempts".
  *         "baseline_cycles": { "perlbench": 100, ... },   // optional
  *         "wtd_ari_mean_pct": { "ASan": 40.1, ... },      // optional
  *         "geo_mean_pct": { "ASan": 33.0, ... }           // optional
@@ -56,6 +61,17 @@ struct SweepCell
     /** Per-interval stat deltas (first seed's run); only serialised
      *  when non-empty, so default output stays byte-identical. */
     std::vector<stats::StatSnapshot> statSeries;
+
+    /** False when any seed job failed after retries; such cells
+     *  serialise as {"error", "attempts"} records. */
+    bool ok = true;
+    /** First failed seed's error (empty iff ok). */
+    std::string error;
+    /** Execution attempts summed over the cell's seed jobs. Emitted
+     *  in the JSON only when it differs from the seed count (i.e. a
+     *  retry or a failure happened), keeping default output
+     *  byte-identical. */
+    unsigned attempts = 0;
 };
 
 /** One named sweep: a rows × columns matrix of cells. */

@@ -20,6 +20,7 @@
 #ifndef REST_UTIL_JSON_WRITER_HH
 #define REST_UTIL_JSON_WRITER_HH
 
+#include <atomic>
 #include <charconv>
 #include <cmath>
 #include <cstdint>
@@ -124,9 +125,18 @@ class JsonWriter
     value(double d)
     {
         beforeValue();
-        // JSON has no NaN/Inf; results should never contain them, so
-        // treat one as a simulator bug rather than emit invalid JSON.
-        rest_assert(std::isfinite(d), "non-finite value in JSON output");
+        // JSON has no NaN/Inf. They are legal inputs now that failed
+        // sweep cells can leave aggregates undefined (e.g. a column
+        // mean with no valid rows), so emit null — warning once per
+        // process — instead of killing the harness mid-figure.
+        if (!std::isfinite(d)) {
+            static std::atomic<bool> warned{false};
+            if (!warned.exchange(true))
+                rest_warn("non-finite value in JSON output; "
+                          "emitting null (reported once)");
+            os_ << "null";
+            return;
+        }
         char buf[32];
         auto [end, ec] = std::to_chars(buf, buf + sizeof(buf), d);
         rest_assert(ec == std::errc(), "double format failure");

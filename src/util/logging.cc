@@ -47,11 +47,21 @@ panicImpl(const char *file, int line, const std::string &msg)
     std::abort();
 }
 
+namespace
+{
+
+/** Depth of live ScopedFatalThrow guards on this thread. */
+thread_local int fatal_throw_depth = 0;
+
+} // namespace
+
 [[noreturn]] void
 fatalImpl(const char *file, int line, const std::string &msg)
 {
-    writeLine(std::cerr, "fatal: ",
-              msg + " @ " + file + ":" + std::to_string(line));
+    std::string full = msg + " @ " + file + ":" + std::to_string(line);
+    if (fatal_throw_depth > 0)
+        throw util::FatalError(full);
+    writeLine(std::cerr, "fatal: ", full);
     std::exit(1);
 }
 
@@ -69,5 +79,13 @@ informImpl(const std::string &msg)
 }
 
 } // namespace detail
+
+namespace util
+{
+
+ScopedFatalThrow::ScopedFatalThrow() { ++detail::fatal_throw_depth; }
+ScopedFatalThrow::~ScopedFatalThrow() { --detail::fatal_throw_depth; }
+
+} // namespace util
 
 } // namespace rest

@@ -8,6 +8,12 @@
  *             (bad configuration, invalid arguments); exits with status 1.
  * warn()   -- something is modelled approximately or suspiciously.
  * inform() -- normal, noteworthy status.
+ *
+ * Inside a ScopedFatalThrow region (thread-local), rest_fatal throws
+ * util::FatalError instead of exiting, so supervisors like the sweep
+ * runner can record one job's fatal as a per-job failure instead of
+ * losing the whole process. panic() still aborts unconditionally: an
+ * internal invariant violation leaves no state worth salvaging.
  */
 
 #ifndef REST_UTIL_LOGGING_HH
@@ -17,10 +23,37 @@
 #include <cstdlib>
 #include <iostream>
 #include <sstream>
+#include <stdexcept>
 #include <string>
 
 namespace rest
 {
+
+namespace util
+{
+
+/** What rest_fatal raises inside a ScopedFatalThrow region. */
+class FatalError : public std::runtime_error
+{
+  public:
+    using std::runtime_error::runtime_error;
+};
+
+/**
+ * RAII guard: while alive on this thread, rest_fatal throws FatalError
+ * instead of calling std::exit. Nests; the fatal-throws behaviour lasts
+ * until the outermost guard is destroyed.
+ */
+class ScopedFatalThrow
+{
+  public:
+    ScopedFatalThrow();
+    ~ScopedFatalThrow();
+    ScopedFatalThrow(const ScopedFatalThrow &) = delete;
+    ScopedFatalThrow &operator=(const ScopedFatalThrow &) = delete;
+};
+
+} // namespace util
 
 /**
  * Global verbosity switch; when false, inform() output is suppressed.

@@ -13,6 +13,16 @@
  * Task execution order is unspecified — callers that need deterministic
  * output must make each task pure and aggregate results by submission
  * index (see sim::SweepRunner).
+ *
+ * Fault tolerance: a task that throws does not take the pool (or the
+ * process) down. The exception is captured into an std::exception_ptr
+ * slot, completion is still accounted (pending_ is always
+ * decremented), and the remaining tasks keep running. wait() surfaces
+ * the first captured failure by rethrowing it once every task has
+ * finished; the recorded failures are cleared so the pool stays
+ * usable for the next batch. Callers that must see *every* failure
+ * (not just the first) should catch inside their tasks, as
+ * sim::SweepRunner does.
  */
 
 #ifndef REST_UTIL_THREAD_POOL_HH
@@ -21,6 +31,7 @@
 #include <condition_variable>
 #include <cstddef>
 #include <deque>
+#include <exception>
 #include <functional>
 #include <mutex>
 #include <thread>
@@ -78,12 +89,36 @@ class ThreadPool
         cv_.notify_one();
     }
 
-    /** Block until every task submitted so far has completed. */
+    /**
+     * Block until every task submitted so far has completed. If any
+     * task threw, the first captured exception is rethrown here (after
+     * all tasks finished) and the failure record is cleared, so the
+     * pool remains usable. Additional failures from the same batch are
+     * dropped; their count is reported via taskFailures() before the
+     * rethrow clears it.
+     */
     void
     wait()
     {
+        std::exception_ptr first;
+        {
+            std::unique_lock lock(mutex_);
+            done_cv_.wait(lock, [this] { return pending_ == 0; });
+            if (!failures_.empty()) {
+                first = failures_.front();
+                failures_.clear();
+            }
+        }
+        if (first)
+            std::rethrow_exception(first);
+    }
+
+    /** Number of failed tasks recorded since the last wait() rethrow. */
+    std::size_t
+    taskFailures() const
+    {
         std::unique_lock lock(mutex_);
-        done_cv_.wait(lock, [this] { return pending_ == 0; });
+        return failures_.size();
     }
 
   private:
@@ -101,9 +136,20 @@ class ThreadPool
                     return;
                 task = std::move(takeWork(self));
             }
-            task();
+            std::exception_ptr failure;
+            try {
+                task();
+            } catch (...) {
+                // Never let a task exception escape the worker thread
+                // (that would std::terminate the process) or skip the
+                // completion accounting below (that would hang wait()
+                // on the leaked pending_ count forever).
+                failure = std::current_exception();
+            }
             {
                 std::unique_lock lock(mutex_);
+                if (failure)
+                    failures_.push_back(std::move(failure));
                 if (--pending_ == 0)
                     done_cv_.notify_all();
             }
@@ -146,7 +192,8 @@ class ThreadPool
 
     std::vector<std::deque<std::function<void()>>> queues_;
     std::vector<std::thread> workers_;
-    std::mutex mutex_;
+    std::vector<std::exception_ptr> failures_;
+    mutable std::mutex mutex_;
     std::condition_variable cv_;
     std::condition_variable done_cv_;
     std::size_t next_queue_ = 0;

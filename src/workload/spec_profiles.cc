@@ -415,7 +415,7 @@ generate(const BenchProfile &p)
         prog.funcs.push_back(std::move(fn));
 #ifndef NDEBUG
     auto diags = analysis::verifyGeneratorContract(prog);
-    rest_assert(diags.empty(), "generated program for ", profile.name,
+    rest_assert(diags.empty(), "generated program for ", p.name,
                 " violates the instrumentation contract:\n",
                 analysis::formatDiagnostics(diags));
 #endif

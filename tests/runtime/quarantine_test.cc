@@ -67,4 +67,48 @@ TEST(Quarantine, ChunkCount)
     EXPECT_EQ(q.bytes(), 640u);
 }
 
+TEST(Quarantine, ContainsStaysInSyncAcrossPushPopCycles)
+{
+    // contains() is answered from a count map, not a FIFO scan; this
+    // drives many push/pop cycles (including re-quarantining the same
+    // payload) to check the map never drifts from the deque.
+    Quarantine q(1 << 20);
+    for (int cycle = 0; cycle < 5; ++cycle) {
+        for (int i = 0; i < 32; ++i)
+            q.push(chunk(0x1000 + 0x100 * i, 64));
+        for (int i = 0; i < 32; ++i)
+            EXPECT_TRUE(q.contains(0x1000 + 0x100 * i));
+        // Drain half; drained addresses leave, the rest stay.
+        for (int i = 0; i < 16; ++i)
+            EXPECT_EQ(q.pop()->payload, Addr(0x1000 + 0x100 * i));
+        for (int i = 0; i < 16; ++i)
+            EXPECT_FALSE(q.contains(0x1000 + 0x100 * i));
+        for (int i = 16; i < 32; ++i)
+            EXPECT_TRUE(q.contains(0x1000 + 0x100 * i));
+        // Drain the rest so the next cycle starts empty.
+        while (q.pop())
+            ;
+        for (int i = 0; i < 32; ++i)
+            EXPECT_FALSE(q.contains(0x1000 + 0x100 * i));
+        EXPECT_EQ(q.chunks(), 0u);
+        EXPECT_EQ(q.bytes(), 0u);
+    }
+}
+
+TEST(Quarantine, DuplicatePayloadCountsAreTracked)
+{
+    // The same payload address can sit in quarantine twice (e.g. a
+    // chunk recycled by the allocator and freed again while an alias
+    // of the first free is still queued); contains() must hold until
+    // the *last* copy drains.
+    Quarantine q(1 << 20);
+    q.push(chunk(0x5000, 64));
+    q.push(chunk(0x5000, 64));
+    EXPECT_TRUE(q.contains(0x5000));
+    q.pop();
+    EXPECT_TRUE(q.contains(0x5000));
+    q.pop();
+    EXPECT_FALSE(q.contains(0x5000));
+}
+
 } // namespace rest::runtime

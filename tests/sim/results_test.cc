@@ -123,6 +123,49 @@ TEST(Results, RoundTripPreservesEverything)
     EXPECT_EQ(sweep.at("geo_mean_pct").at("ASan").number, 39.25);
 }
 
+TEST(Results, ErrorCellsSerialiseAsErrorRecords)
+{
+    ResultsFile f = sampleResults();
+    // Fail one cell the way runMatrix() does after retries run out.
+    SweepCell &failed = f.sweeps[0].cells[1];
+    failed.ok = false;
+    failed.error = "injected fault (fail-always) at job 3";
+    failed.attempts = 3;
+    failed.cycles = 0;
+    failed.ops = 0;
+    failed.seedCycles.clear();
+    failed.scalars.clear();
+    // And mark one surviving cell as having needed a retry.
+    f.sweeps[0].cells[2].attempts = 3; // 2 seeds + 1 retry
+
+    std::string text = serialise(f);
+    JsonParser parser(text);
+    JsonValue root = parser.parse();
+    ASSERT_TRUE(parser.ok()) << text;
+
+    const auto &cells = root.at("sweeps").items[0].at("cells");
+    ASSERT_EQ(cells.items.size(), 4u);
+
+    // The failed cell is an {error, attempts} record with no
+    // measurement fields a consumer could mistake for data.
+    const auto &bad = cells.items[1];
+    EXPECT_EQ(bad.at("error").str,
+              "injected fault (fail-always) at job 3");
+    EXPECT_EQ(bad.at("attempts").number, 3);
+    EXPECT_FALSE(bad.has("cycles"));
+    EXPECT_FALSE(bad.has("ops"));
+    EXPECT_FALSE(bad.has("seed_cycles"));
+
+    // The retried-but-ok cell keeps its measurement and reports the
+    // attempt count; untouched cells stay byte-identical (no
+    // "attempts" key at all).
+    const auto &retried = cells.items[2];
+    EXPECT_EQ(retried.at("attempts").number, 3);
+    EXPECT_TRUE(retried.has("cycles"));
+    EXPECT_FALSE(cells.items[0].has("attempts"));
+    EXPECT_FALSE(cells.items[0].has("error"));
+}
+
 TEST(Results, SerialisationIsByteStable)
 {
     ResultsFile f = sampleResults();
@@ -136,7 +179,7 @@ TEST(Results, RealSweepSerialisesAndParses)
     auto buildFile = [] {
         auto p = workload::profileByName("sjeng");
         p.targetKiloInsts = 10;
-        auto ms = SweepRunner(2).run(
+        auto rs = SweepRunner(2).run(
             {makePresetJob(p, ExpConfig::Plain),
              makePresetJob(p, ExpConfig::RestSecureFull)});
 
@@ -149,7 +192,8 @@ TEST(Results, RealSweepSerialisesAndParses)
         sweep.name = "tiny";
         sweep.columns = {"Plain", "Secure Full"};
         sweep.rows = {"sjeng"};
-        for (const auto &m : ms) {
+        for (const auto &r : rs) {
+            const Measurement &m = r.measurement;
             SweepCell cell;
             cell.bench = m.bench;
             cell.column = m.label;
@@ -159,11 +203,13 @@ TEST(Results, RealSweepSerialisesAndParses)
             cell.scalars = m.scalars;
             sweep.cells.push_back(cell);
         }
-        sweep.baselineCycles["sjeng"] = ms[0].cycles;
+        Cycles base = rs[0].measurement.cycles;
+        Cycles secure = rs[1].measurement.cycles;
+        sweep.baselineCycles["sjeng"] = base;
         sweep.wtdAriMeanPct["Secure Full"] =
-            wtdAriMeanOverheadPct({ms[0].cycles}, {ms[1].cycles});
+            wtdAriMeanOverheadPct({base}, {secure});
         sweep.geoMeanPct["Secure Full"] =
-            geoMeanOverheadPct({ms[0].cycles}, {ms[1].cycles});
+            geoMeanOverheadPct({base}, {secure});
         f.sweeps.push_back(sweep);
         return f;
     };

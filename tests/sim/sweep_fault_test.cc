@@ -1,0 +1,408 @@
+/**
+ * @file
+ * The fault-tolerance layer of sim::SweepRunner: deterministic fault
+ * injection, retry with attempt accounting, soft timeouts, checkpoint
+ * persistence and resume, and the ScopedFatalThrow guard that turns
+ * rest_fatal into a catchable error inside sweep jobs.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "sim/checkpoint.hh"
+#include "sim/sweep.hh"
+#include "util/json_reader.hh"
+#include "util/logging.hh"
+
+namespace rest::sim
+{
+
+namespace
+{
+
+/** Four cheap jobs (2 benches × 2 seeds), enough to tell jobs apart. */
+std::vector<SweepJob>
+smallSweep()
+{
+    std::vector<SweepJob> jobs;
+    for (const char *bench : {"sjeng", "hmmer"}) {
+        for (unsigned s = 0; s < 2; ++s) {
+            auto p = workload::profileByName(bench);
+            p.targetKiloInsts = 10;
+            p.seed = p.seed + 0x1000 * s;
+            jobs.push_back(makePresetJob(p, ExpConfig::Plain));
+        }
+    }
+    return jobs;
+}
+
+SweepFaultInjector
+fault(const std::string &spec)
+{
+    auto inj = SweepFaultInjector::parse(spec);
+    EXPECT_TRUE(inj.has_value()) << spec;
+    return inj.value_or(SweepFaultInjector{});
+}
+
+/** Unique-ish checkpoint path under the gtest temp dir. */
+std::string
+ckPath(const std::string &name)
+{
+    std::string path = ::testing::TempDir() + "rest_ck_" + name +
+                       ".json";
+    std::remove(path.c_str());
+    return path;
+}
+
+} // namespace
+
+// ---------------------------------------------------------------------
+// Fault-injection spec parsing
+// ---------------------------------------------------------------------
+
+TEST(SweepFaultInjector, ParsesEverySpecForm)
+{
+    auto once = fault("fail-once:3");
+    EXPECT_EQ(once.mode, SweepFaultInjector::Mode::FailOnce);
+    EXPECT_EQ(once.jobIndex, 3u);
+
+    auto always = fault("fail-always:0");
+    EXPECT_EQ(always.mode, SweepFaultInjector::Mode::FailAlways);
+
+    auto hard = fault("fail-hard:12");
+    EXPECT_EQ(hard.mode, SweepFaultInjector::Mode::FailHard);
+    EXPECT_EQ(hard.jobIndex, 12u);
+
+    auto slow = fault("slow:2:250");
+    EXPECT_EQ(slow.mode, SweepFaultInjector::Mode::Slow);
+    EXPECT_EQ(slow.jobIndex, 2u);
+    EXPECT_EQ(slow.slowMs, 250u);
+}
+
+TEST(SweepFaultInjector, RejectsMalformedSpecs)
+{
+    for (const char *bad : {"", "fail-once", "fail-once:", "nope:1",
+                            "fail-once:x", "slow:1", "slow:1:",
+                            "slow:1:abc", "fail-always:-2"})
+        EXPECT_FALSE(SweepFaultInjector::parse(bad).has_value()) << bad;
+}
+
+// ---------------------------------------------------------------------
+// Retry and failure classification
+// ---------------------------------------------------------------------
+
+TEST(SweepFault, FailOnceRecoversWithTwoAttempts)
+{
+    const auto jobs = smallSweep();
+    SweepOptions opts;
+    opts.retries = 1;
+    opts.fault = fault("fail-once:1");
+    auto results = SweepRunner(2, opts).run(jobs);
+    ASSERT_EQ(results.size(), jobs.size());
+    for (std::size_t i = 0; i < results.size(); ++i) {
+        EXPECT_TRUE(results[i].ok) << "job " << i;
+        EXPECT_EQ(results[i].attempts, i == 1 ? 2u : 1u) << "job " << i;
+    }
+    // The recovered measurement matches an uninjected run exactly.
+    Measurement ref = runBench(jobs[1].profile, jobs[1].config,
+                               jobs[1].width, jobs[1].inorder);
+    EXPECT_EQ(results[1].measurement.cycles, ref.cycles);
+    EXPECT_EQ(results[1].measurement.ops, ref.ops);
+}
+
+TEST(SweepFault, FailAlwaysExhaustsRetriesAndFailsOnlyThatJob)
+{
+    const auto jobs = smallSweep();
+    SweepOptions opts;
+    opts.retries = 2;
+    opts.fault = fault("fail-always:2");
+    auto results = SweepRunner(4, opts).run(jobs);
+    ASSERT_EQ(results.size(), jobs.size());
+    for (std::size_t i = 0; i < results.size(); ++i) {
+        if (i == 2) {
+            EXPECT_FALSE(results[i].ok);
+            EXPECT_EQ(results[i].attempts, 3u); // 1 + 2 retries
+            EXPECT_NE(results[i].error.find("fail-always"),
+                      std::string::npos);
+        } else {
+            EXPECT_TRUE(results[i].ok) << "job " << i;
+            EXPECT_GT(results[i].measurement.cycles, 0u);
+        }
+    }
+}
+
+TEST(SweepFault, FailHardIsPermanentDespiteRetryBudget)
+{
+    const auto jobs = smallSweep();
+    SweepOptions opts;
+    opts.retries = 3;
+    opts.fault = fault("fail-hard:0");
+    auto results = SweepRunner(1, opts).run(jobs);
+    EXPECT_FALSE(results[0].ok);
+    EXPECT_EQ(results[0].attempts, 1u); // permanent: no retry
+    EXPECT_NE(results[0].error.find("fail-hard"), std::string::npos);
+    for (std::size_t i = 1; i < results.size(); ++i)
+        EXPECT_TRUE(results[i].ok) << "job " << i;
+}
+
+TEST(SweepFault, ZeroRetriesFailsTransientOnFirstAttempt)
+{
+    const auto jobs = smallSweep();
+    SweepOptions opts;
+    opts.retries = 0;
+    opts.fault = fault("fail-once:0");
+    auto results = SweepRunner(1, opts).run(jobs);
+    EXPECT_FALSE(results[0].ok);
+    EXPECT_EQ(results[0].attempts, 1u);
+}
+
+TEST(SweepFault, SoftTimeoutDiscardsSlowAttemptAndRetries)
+{
+    const auto jobs = smallSweep();
+    SweepOptions opts;
+    opts.retries = 1;
+    opts.jobTimeoutMs = 400;
+    // Attempt 1 of job 0 sleeps 800 ms — over budget, discarded;
+    // attempt 2 runs clean (a 10-kiloinst job is far under 400 ms).
+    opts.fault = fault("slow:0:800");
+    auto results = SweepRunner(1, opts).run(jobs);
+    EXPECT_TRUE(results[0].ok);
+    EXPECT_EQ(results[0].attempts, 2u);
+    EXPECT_FALSE(results[0].timedOut);
+}
+
+TEST(SweepFault, SoftTimeoutWithoutRetryFailsTheJob)
+{
+    const auto jobs = smallSweep();
+    SweepOptions opts;
+    opts.retries = 0;
+    opts.jobTimeoutMs = 200;
+    opts.fault = fault("slow:1:600");
+    auto results = SweepRunner(2, opts).run(jobs);
+    EXPECT_FALSE(results[1].ok);
+    EXPECT_TRUE(results[1].timedOut);
+    EXPECT_NE(results[1].error.find("soft timeout"),
+              std::string::npos);
+    // The other jobs are untouched by job 1's deadline.
+    EXPECT_TRUE(results[0].ok);
+    EXPECT_TRUE(results[2].ok);
+    EXPECT_TRUE(results[3].ok);
+}
+
+TEST(SweepFault, ResultsStayInSubmissionOrderUnderFaults)
+{
+    const auto jobs = smallSweep();
+    SweepOptions opts;
+    opts.retries = 1;
+    opts.fault = fault("fail-once:3");
+    auto faulty = SweepRunner(4, opts).run(jobs);
+    auto clean = SweepRunner(4).run(jobs);
+    ASSERT_EQ(faulty.size(), clean.size());
+    for (std::size_t i = 0; i < clean.size(); ++i) {
+        EXPECT_EQ(faulty[i].measurement.bench,
+                  clean[i].measurement.bench);
+        EXPECT_EQ(faulty[i].measurement.seed,
+                  clean[i].measurement.seed);
+        EXPECT_EQ(faulty[i].measurement.cycles,
+                  clean[i].measurement.cycles);
+    }
+}
+
+// ---------------------------------------------------------------------
+// ScopedFatalThrow: rest_fatal inside a sweep job is catchable
+// ---------------------------------------------------------------------
+
+TEST(ScopedFatalThrow, MakesRestFatalThrowWhileActive)
+{
+    util::ScopedFatalThrow guard;
+    EXPECT_THROW(rest_fatal("converted to an exception"),
+                 util::FatalError);
+}
+
+TEST(ScopedFatalThrow, NestsPerThread)
+{
+    util::ScopedFatalThrow outer;
+    {
+        util::ScopedFatalThrow inner;
+        EXPECT_THROW(rest_fatal("inner"), util::FatalError);
+    }
+    // Still inside the outer region.
+    EXPECT_THROW(rest_fatal("outer"), util::FatalError);
+}
+
+// ---------------------------------------------------------------------
+// Checkpoint persistence and resume
+// ---------------------------------------------------------------------
+
+TEST(SweepCheckpoint, SaveLoadRoundTrip)
+{
+    const auto jobs = smallSweep();
+    SweepCheckpoint ck;
+    ck.totalJobs = jobs.size();
+
+    CheckpointEntry ok_entry;
+    ok_entry.index = 0;
+    ok_entry.key = checkpointJobKey(jobs[0]);
+    ok_entry.ok = true;
+    ok_entry.attempts = 2;
+    ok_entry.starts = 2;
+    ok_entry.wallMs = 12.5;
+    ok_entry.measurement.bench = "sjeng";
+    ok_entry.measurement.label = "Plain";
+    ok_entry.measurement.seed = jobs[0].profile.seed;
+    ok_entry.measurement.cycles = 4242;
+    ok_entry.measurement.ops = 999;
+    ok_entry.measurement.scalars["l1d.misses"] = 7;
+    ck.entries[0] = ok_entry;
+
+    CheckpointEntry bad_entry;
+    bad_entry.index = 3;
+    bad_entry.key = checkpointJobKey(jobs[3]);
+    bad_entry.ok = false;
+    bad_entry.timedOut = true;
+    bad_entry.attempts = 2;
+    bad_entry.starts = 2;
+    bad_entry.error = "soft timeout: too slow";
+    ck.entries[3] = bad_entry;
+
+    const std::string path = ckPath("roundtrip");
+    ASSERT_TRUE(ck.save(path));
+
+    auto loaded = SweepCheckpoint::load(path);
+    ASSERT_TRUE(loaded.has_value());
+    EXPECT_EQ(loaded->totalJobs, jobs.size());
+    EXPECT_EQ(loaded->jobStartsTotal(), 4u);
+    ASSERT_EQ(loaded->entries.size(), 2u);
+
+    const auto &e0 = loaded->entries.at(0);
+    EXPECT_TRUE(e0.ok);
+    EXPECT_EQ(e0.key, checkpointJobKey(jobs[0]));
+    EXPECT_EQ(e0.attempts, 2u);
+    EXPECT_EQ(e0.measurement.cycles, 4242u);
+    EXPECT_EQ(e0.measurement.scalars.at("l1d.misses"), 7u);
+
+    const auto &e3 = loaded->entries.at(3);
+    EXPECT_FALSE(e3.ok);
+    EXPECT_TRUE(e3.timedOut);
+    EXPECT_EQ(e3.error, "soft timeout: too slow");
+    std::remove(path.c_str());
+}
+
+TEST(SweepCheckpoint, LoadRejectsMissingAndCorruptFiles)
+{
+    EXPECT_FALSE(
+        SweepCheckpoint::load("/nonexistent/rest.ck").has_value());
+
+    const std::string path = ckPath("corrupt");
+    std::ofstream(path) << "{ not json";
+    EXPECT_FALSE(SweepCheckpoint::load(path).has_value());
+    std::remove(path.c_str());
+}
+
+TEST(SweepFault, CheckpointFileIsWrittenDuringARun)
+{
+    const auto jobs = smallSweep();
+    const std::string path = ckPath("written");
+    SweepOptions opts;
+    opts.checkpointPath = path;
+    auto results = SweepRunner(2, opts).run(jobs);
+    for (const auto &r : results)
+        EXPECT_TRUE(r.ok);
+
+    auto ck = SweepCheckpoint::load(path);
+    ASSERT_TRUE(ck.has_value());
+    EXPECT_EQ(ck->totalJobs, jobs.size());
+    EXPECT_EQ(ck->entries.size(), jobs.size());
+    EXPECT_EQ(ck->jobStartsTotal(), jobs.size()); // one start each
+
+    // And the raw file is valid JSON by the reader's standards.
+    bool ok = false;
+    auto root = util::readJsonFile(path, &ok);
+    EXPECT_TRUE(ok);
+    EXPECT_EQ(root.at("schema_version").u64(), 1u);
+    std::remove(path.c_str());
+}
+
+TEST(SweepFault, ResumeSkipsCompletedJobsAndRerunsFailures)
+{
+    const auto jobs = smallSweep();
+    const std::string path = ckPath("resume");
+
+    // Run 1: job 2 fails permanently, everything else completes.
+    SweepOptions first;
+    first.checkpointPath = path;
+    first.fault = fault("fail-hard:2");
+    auto r1 = SweepRunner(2, first).run(jobs);
+    EXPECT_FALSE(r1[2].ok);
+
+    // Run 2: resume. Only job 2 may execute again — asserted via the
+    // job-start counts in the final checkpoint.
+    SweepOptions second;
+    second.checkpointPath = path;
+    second.resumePath = path;
+    auto r2 = SweepRunner(2, second).run(jobs);
+    ASSERT_EQ(r2.size(), jobs.size());
+    for (std::size_t i = 0; i < r2.size(); ++i) {
+        EXPECT_TRUE(r2[i].ok) << "job " << i;
+        EXPECT_EQ(r2[i].fromCheckpoint, i != 2) << "job " << i;
+    }
+
+    auto ck = SweepCheckpoint::load(path);
+    ASSERT_TRUE(ck.has_value());
+    for (std::size_t i = 0; i < jobs.size(); ++i) {
+        SCOPED_TRACE("job " + std::to_string(i));
+        // Completed jobs started exactly once (in run 1); the failed
+        // job started once per run.
+        EXPECT_EQ(ck->entries.at(i).starts, i == 2 ? 2u : 1u);
+    }
+    EXPECT_EQ(ck->jobStartsTotal(), jobs.size() + 1);
+
+    // Restored measurements equal the originals.
+    EXPECT_EQ(r2[0].measurement.cycles, r1[0].measurement.cycles);
+    EXPECT_EQ(r2[0].measurement.scalars, r1[0].measurement.scalars);
+    std::remove(path.c_str());
+}
+
+TEST(SweepFault, ResumeIgnoresEntriesWithMismatchedKeys)
+{
+    const auto jobs = smallSweep();
+    const std::string path = ckPath("mismatch");
+
+    SweepOptions first;
+    first.checkpointPath = path;
+    SweepRunner(1, first).run(jobs);
+
+    // A different sweep shape (other seeds) must not restore from it.
+    auto other = smallSweep();
+    for (auto &job : other)
+        job.profile.seed += 7;
+    SweepOptions second;
+    second.resumePath = path;
+    auto results = SweepRunner(1, second).run(other);
+    for (const auto &r : results) {
+        EXPECT_TRUE(r.ok);
+        EXPECT_FALSE(r.fromCheckpoint);
+    }
+    std::remove(path.c_str());
+}
+
+TEST(SweepFault, ResumeFromCorruptFileRunsEverything)
+{
+    const auto jobs = smallSweep();
+    const std::string path = ckPath("resume_corrupt");
+    std::ofstream(path) << "]]]] definitely not a checkpoint";
+    SweepOptions opts;
+    opts.resumePath = path;
+    auto results = SweepRunner(2, opts).run(jobs);
+    for (const auto &r : results) {
+        EXPECT_TRUE(r.ok);
+        EXPECT_FALSE(r.fromCheckpoint);
+    }
+    std::remove(path.c_str());
+}
+
+} // namespace rest::sim

@@ -70,7 +70,9 @@ TEST(SweepRunner, MatchesSerialRunBenchAtEveryThreadCount)
         ASSERT_EQ(parallel.size(), reference.size());
         for (std::size_t i = 0; i < reference.size(); ++i) {
             SCOPED_TRACE("job=" + std::to_string(i));
-            expectIdentical(parallel[i], reference[i]);
+            EXPECT_TRUE(parallel[i].ok);
+            EXPECT_EQ(parallel[i].attempts, 1u);
+            expectIdentical(parallel[i].measurement, reference[i]);
         }
     }
 }
@@ -84,7 +86,7 @@ TEST(SweepRunner, RepeatedRunsWithSameSeedsAreIdentical)
     ASSERT_EQ(first.size(), second.size());
     for (std::size_t i = 0; i < first.size(); ++i) {
         SCOPED_TRACE("job=" + std::to_string(i));
-        expectIdentical(first[i], second[i]);
+        expectIdentical(first[i].measurement, second[i].measurement);
     }
 }
 
@@ -103,9 +105,9 @@ TEST(SweepRunner, CustomConfigJobsMatchRunCustom)
     ASSERT_EQ(parallel.size(), 2u);
 
     Measurement ref = runCustom(p, cfg, "serialized");
-    expectIdentical(parallel[0], ref);
-    EXPECT_EQ(parallel[0].label, "serialized");
-    EXPECT_EQ(parallel[1].label, "Plain");
+    expectIdentical(parallel[0].measurement, ref);
+    EXPECT_EQ(parallel[0].measurement.label, "serialized");
+    EXPECT_EQ(parallel[1].measurement.label, "Plain");
 }
 
 TEST(SweepRunner, SeedChangesResults)
@@ -118,9 +120,9 @@ TEST(SweepRunner, SeedChangesResults)
     auto out = SweepRunner(2).run({makePresetJob(p, ExpConfig::Plain),
                                    makePresetJob(p2,
                                                  ExpConfig::Plain)});
-    EXPECT_EQ(out[0].seed, p.seed);
-    EXPECT_EQ(out[1].seed, p2.seed);
-    EXPECT_NE(out[0].cycles, out[1].cycles);
+    EXPECT_EQ(out[0].measurement.seed, p.seed);
+    EXPECT_EQ(out[1].measurement.seed, p2.seed);
+    EXPECT_NE(out[0].measurement.cycles, out[1].measurement.cycles);
 }
 
 TEST(SweepRunner, EmptyJobListIsFine)
@@ -135,7 +137,7 @@ TEST(SweepRunner, MeasurementCarriesScalars)
     auto out = SweepRunner(1).run(
         {makePresetJob(p, ExpConfig::RestSecureFull)});
     ASSERT_EQ(out.size(), 1u);
-    const auto &scalars = out[0].scalars;
+    const auto &scalars = out[0].measurement.scalars;
     EXPECT_FALSE(scalars.empty());
     // Representative counters from both the CPU and L1-D groups.
     EXPECT_TRUE(scalars.count("o3cpu.iq_full_stall_cycles"));

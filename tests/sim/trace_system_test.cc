@@ -268,8 +268,14 @@ TEST(TraceSystem, ResultsJsonByteIdenticalAcrossJobCounts)
         }
     }
 
-    auto serial = SweepRunner(1).run(jobs);
-    auto parallel = SweepRunner(4).run(jobs);
+    auto toMeasurements = [](const std::vector<JobResult> &rs) {
+        std::vector<Measurement> ms;
+        for (const auto &r : rs)
+            ms.push_back(r.measurement);
+        return ms;
+    };
+    auto serial = toMeasurements(SweepRunner(1).run(jobs));
+    auto parallel = toMeasurements(SweepRunner(4).run(jobs));
     EXPECT_EQ(resultsJson(serial, 1), resultsJson(parallel, 1));
 }
 

@@ -1,0 +1,91 @@
+/**
+ * @file
+ * util::JsonReader — the parser behind sweep-checkpoint loading. The
+ * key contract: everything util::JsonWriter emits parses back, and
+ * malformed input (a checkpoint truncated by a kill) reports through
+ * ok() instead of throwing or aborting.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+
+#include "util/json_reader.hh"
+#include "util/json_writer.hh"
+
+namespace rest::util
+{
+
+namespace
+{
+
+JsonValue
+parsed(const std::string &text, bool expect_ok = true)
+{
+    JsonReader reader(text);
+    JsonValue v = reader.parse();
+    EXPECT_EQ(reader.ok(), expect_ok) << text;
+    return v;
+}
+
+} // namespace
+
+TEST(JsonReader, ParsesScalarsAndContainers)
+{
+    JsonValue v = parsed("{\"a\": 1, \"b\": [true, null, -2.5], "
+                         "\"c\": \"text\"}");
+    ASSERT_EQ(v.kind, JsonValue::Object);
+    EXPECT_EQ(v.at("a").u64(), 1u);
+    const auto &arr = v.at("b");
+    ASSERT_EQ(arr.kind, JsonValue::Array);
+    ASSERT_EQ(arr.items.size(), 3u);
+    EXPECT_TRUE(arr.items[0].boolean);
+    EXPECT_EQ(arr.items[1].kind, JsonValue::Null);
+    EXPECT_EQ(arr.items[2].number, -2.5);
+    EXPECT_EQ(v.at("c").str, "text");
+    EXPECT_FALSE(v.has("missing"));
+    EXPECT_EQ(v.at("missing").kind, JsonValue::Null);
+}
+
+TEST(JsonReader, RoundTripsWriterOutput)
+{
+    std::ostringstream os;
+    {
+        JsonWriter w(os);
+        w.beginObject();
+        w.field("name", "sweep \"quoted\"\n");
+        w.field("count", std::uint64_t(42));
+        w.field("ratio", 0.125);
+        w.key("list");
+        w.beginArray();
+        w.value(std::int64_t(-7));
+        w.value(true);
+        w.endArray();
+        w.endObject();
+    }
+    JsonValue v = parsed(os.str());
+    EXPECT_EQ(v.at("name").str, "sweep \"quoted\"\n");
+    EXPECT_EQ(v.at("count").u64(), 42u);
+    EXPECT_EQ(v.at("ratio").number, 0.125);
+    ASSERT_EQ(v.at("list").items.size(), 2u);
+    EXPECT_EQ(v.at("list").items[0].number, -7);
+}
+
+TEST(JsonReader, MalformedInputSetsOkFalse)
+{
+    for (const char *bad : {"", "{", "[1, 2", "{\"a\": }",
+                            "{\"a\" 1}", "tru", "\"unterminated",
+                            "{\"a\": 1} trailing"})
+        parsed(bad, /*expect_ok=*/false);
+}
+
+TEST(JsonReader, ReadJsonFileReportsMissingFiles)
+{
+    bool ok = true;
+    JsonValue v = readJsonFile("/nonexistent/file.json", &ok);
+    EXPECT_FALSE(ok);
+    EXPECT_EQ(v.kind, JsonValue::Null);
+}
+
+} // namespace rest::util

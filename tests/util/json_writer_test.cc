@@ -1,6 +1,8 @@
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <functional>
+#include <limits>
 #include <sstream>
 
 #include "util/json_writer.hh"
@@ -109,6 +111,23 @@ TEST(JsonWriter, IndentedOutputIsDeterministic)
     }
     EXPECT_EQ(a.str(), b.str());
     EXPECT_NE(a.str().find('\n'), std::string::npos);
+}
+
+TEST(JsonWriter, NonFiniteDoublesSerialiseAsNull)
+{
+    // JSON has no NaN/Inf; failed sweep cells can produce them (e.g.
+    // a column mean over zero valid rows), so the writer must emit
+    // null and keep the document valid instead of asserting.
+    auto s = compact([](JsonWriter &w) {
+        w.beginObject();
+        w.field("nan", std::nan(""));
+        w.field("inf", std::numeric_limits<double>::infinity());
+        w.field("ninf", -std::numeric_limits<double>::infinity());
+        w.field("fine", 2.5);
+        w.endObject();
+    });
+    EXPECT_EQ(s, "{\"nan\":null,\"inf\":null,\"ninf\":null,"
+                 "\"fine\":2.5}");
 }
 
 TEST(JsonWriter, MismatchedClosePanics)
