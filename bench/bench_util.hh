@@ -20,6 +20,17 @@
  *   --json PATH           results file (default BENCH_<figure>.json)
  *   --no-json             disable the results file
  *   --detail              extra per-figure detail where supported
+ *   --bench NAME          run only the named benchmark row
+ *   --fast-functional     retire ops functionally (no pipeline model);
+ *                         detection is identical, cycles are nominal
+ *   --sample-warmup N     detailed warmup ops per sampling period
+ *                         (default 2000; needs --sample-interval)
+ *   --sample-window N     detailed measured ops per period (default
+ *                         10000)
+ *   --sample-interval N   total ops per period; the rest fast-forwards
+ *                         functionally (0 = sampling off, the default)
+ *   --perf                run the harness's simulator-throughput probe
+ *                         and record the "perf" block in the JSON
  *   --debug-flags CSV     enable debug flags (e.g. O3Pipe,Cache; the
  *                         REST_DEBUG_FLAGS env var is the fallback)
  *   --debug-start T       first tick debug flags are live
@@ -64,6 +75,7 @@
 #define REST_BENCH_BENCH_UTIL_HH
 
 #include <cerrno>
+#include <chrono>
 #include <cmath>
 #include <cstdlib>
 #include <cstring>
@@ -165,6 +177,14 @@ struct Options
     bool json = true;
     std::string jsonPath;
     bool detail = false;
+    /** --bench: run only this benchmark row ("" = all). */
+    std::string benchFilter;
+    /** --perf: run the harness's simulator-throughput probe (where
+     *  supported) and record the "perf" block in the results JSON. */
+    bool perfProbe = false;
+    /** Execution mode (--fast-functional / --sample-*); the default
+     *  is all-detailed and leaves every sweep byte-identical. */
+    sim::ExecutionConfig exec;
 
     // Fault-tolerant sweep execution (sim::SweepOptions).
     unsigned retries = 1;
@@ -228,6 +248,9 @@ usage(const std::string &figure, int status)
     (status ? std::cerr : std::cout)
         << "usage: " << figure << " [--jobs N] [--json PATH] "
         << "[--no-json] [--detail]\n"
+        << "         [--bench NAME] [--fast-functional]\n"
+        << "         [--sample-warmup N] [--sample-window N] "
+        << "[--sample-interval N]\n"
         << "         [--retries N] [--backoff-ms N] "
         << "[--job-timeout-ms N]\n"
         << "         [--checkpoint STEM] [--resume STEM] "
@@ -243,6 +266,22 @@ usage(const std::string &figure, int status)
         << figure << ".json)\n"
         << "  --no-json          disable the results file\n"
         << "  --detail           extra per-figure detail\n"
+        << "  --bench NAME       run only the named benchmark row\n"
+        << "  --perf             run the simulator-throughput probe "
+        << "and record the\n"
+        << "                     \"perf\" block in the results JSON\n"
+        << "  --fast-functional  functional retirement: identical "
+        << "fault detection,\n"
+        << "                     nominal cycles (CPI 1); for detection "
+        << "work and CI,\n"
+        << "                     never for quotable overheads\n"
+        << "  --sample-warmup N  detailed warmup ops per sampling "
+        << "period (default 2000)\n"
+        << "  --sample-window N  detailed measured ops per period "
+        << "(default 10000)\n"
+        << "  --sample-interval N  total ops per period, remainder "
+        << "fast-forwards\n"
+        << "                     functionally (0 = sampling off)\n"
         << "  --retries N        extra attempts for transient job "
         << "failures (default " << defaultRetries() << ")\n"
         << "  --backoff-ms N     exponential backoff base between "
@@ -409,6 +448,21 @@ parseOptions(int argc, char **argv, const std::string &figure)
             opt.json = false;
         } else if (a == "--detail") {
             opt.detail = true;
+        } else if (a == "--bench") {
+            opt.benchFilter = strArg(i, a);
+        } else if (a == "--perf") {
+            opt.perfProbe = true;
+        } else if (a == "--fast-functional") {
+            opt.exec.fastFunctional = true;
+        } else if (a == "--sample-warmup") {
+            opt.exec.sampling.warmupOps =
+                u64Arg(i, a, 0, ~std::uint64_t(0));
+        } else if (a == "--sample-window") {
+            opt.exec.sampling.windowOps =
+                u64Arg(i, a, 1, ~std::uint64_t(0));
+        } else if (a == "--sample-interval") {
+            opt.exec.sampling.intervalOps =
+                u64Arg(i, a, 0, ~std::uint64_t(0));
         } else if (a == "--retries") {
             opt.retries = unsigned(u64Arg(i, a, 0, 16));
         } else if (a == "--backoff-ms") {
@@ -453,6 +507,17 @@ parseOptions(int argc, char **argv, const std::string &figure)
                       << "\"\n";
             usage(figure, 1);
         }
+    }
+    if (opt.exec.fastFunctional && opt.exec.sampling.active()) {
+        std::cerr << figure << ": --fast-functional and "
+                  << "--sample-interval are mutually exclusive\n";
+        usage(figure, 1);
+    }
+    if (!opt.exec.sampling.valid()) {
+        std::cerr << figure << ": bad sampling config: need "
+                  << "--sample-warmup + --sample-window <= "
+                  << "--sample-interval\n";
+        usage(figure, 1);
     }
     return opt;
 }
@@ -602,6 +667,26 @@ runMatrix(const std::string &sweep_name,
     const unsigned seeds = numSeeds();
     const std::uint64_t ki = kiloInsts();
 
+    // --bench narrows the matrix to one row (CI perf-smoke runs one
+    // benchmark instead of the whole suite).
+    std::vector<workload::BenchProfile> rows_run;
+    if (opt.benchFilter.empty()) {
+        rows_run = rows;
+    } else {
+        for (const auto &r : rows)
+            if (r.name == opt.benchFilter)
+                rows_run.push_back(r);
+        if (rows_run.empty()) {
+            std::cerr << "sweep " << sweep_name << ": --bench \""
+                      << opt.benchFilter
+                      << "\" matches no row; available:";
+            for (const auto &r : rows)
+                std::cerr << " " << r.name;
+            std::cerr << "\n";
+            std::exit(1);
+        }
+    }
+
     // All columns as run, baseline first.
     std::vector<MatrixColumn> all_cols;
     if (with_baseline)
@@ -613,8 +698,8 @@ runMatrix(const std::string &sweep_name,
     all_cols.insert(all_cols.end(), cols.begin(), cols.end());
 
     std::vector<sim::SweepJob> jobs_list;
-    jobs_list.reserve(rows.size() * all_cols.size() * seeds);
-    for (const auto &row : rows) {
+    jobs_list.reserve(rows_run.size() * all_cols.size() * seeds);
+    for (const auto &row : rows_run) {
         for (const auto &col : all_cols) {
             for (unsigned s = 0; s < seeds; ++s) {
                 workload::BenchProfile p = row;
@@ -627,6 +712,7 @@ runMatrix(const std::string &sweep_name,
                         : sim::makePresetJob(std::move(p), col.config,
                                              col.width, col.inorder);
                 job.label = col.name;
+                job.exec = opt.exec;
                 jobs_list.push_back(std::move(job));
             }
         }
@@ -647,7 +733,7 @@ runMatrix(const std::string &sweep_name,
     out.cellOk.resize(out.colNames.size());
 
     std::size_t idx = 0;
-    for (const auto &row : rows) {
+    for (const auto &row : rows_run) {
         out.rowNames.push_back(row.name);
         out.sweep.rows.push_back(row.name);
         for (std::size_t c = 0; c < all_cols.size(); ++c) {
@@ -671,6 +757,9 @@ runMatrix(const std::string &sweep_name,
                     continue;
                 }
                 const sim::Measurement &m = jr.measurement;
+                cell.execMode = m.execMode;
+                cell.samplingErrorPct = std::max(
+                    cell.samplingErrorPct, m.samplingErrorPct);
                 total_cycles += double(m.cycles);
                 total_ops += double(m.ops);
                 cell.seedCycles.push_back(m.cycles);
@@ -757,6 +846,36 @@ measure(const workload::BenchProfile &base, sim::ExpConfig config,
     return static_cast<Cycles>(total / seeds);
 }
 
+/**
+ * Measure simulator throughput — simulated kilo-instructions retired
+ * per second of host wall-clock (KIPS) — for one benchmark under one
+ * preset and execution mode. One untimed warmup run (spins the CPU
+ * back up to full frequency and faults in the host pages), then best
+ * of 'reps' identical timed runs (standard timing methodology: the
+ * fastest is the least-contended sample on a shared host), no seed
+ * averaging: this measures the simulator, not the simulated machine.
+ */
+inline double
+measureKips(const workload::BenchProfile &base, sim::ExpConfig config,
+            const sim::ExecutionConfig &exec = {}, unsigned reps = 3)
+{
+    workload::BenchProfile p = base;
+    p.targetKiloInsts = kiloInsts();
+    double best = 0.0;
+    sim::runBench(p, config, core::TokenWidth::Bytes64, false, exec);
+    for (unsigned r = 0; r < reps; ++r) {
+        sim::Measurement m = sim::runBench(
+            p, config, core::TokenWidth::Bytes64, false, exec);
+        // Simulation time only (workload generation and System
+        // construction excluded) — the fast modes finish in tens of
+        // milliseconds, where setup would otherwise dominate.
+        if (m.simWallSeconds > 0)
+            best = std::max(best,
+                            double(m.ops) / 1000.0 / m.simWallSeconds);
+    }
+    return best;
+}
+
 // ---------------------------------------------------------------------
 // Output
 // ---------------------------------------------------------------------
@@ -809,10 +928,13 @@ printOverheadTable(const MatrixResult &mat)
     printRow("GeoMean", geo);
 }
 
-/** Assemble and write BENCH_<figure>.json if enabled. */
+/** Assemble and write BENCH_<figure>.json if enabled. A valid `perf`
+ *  record (from measureKips() probes) serialises as the optional
+ *  "perf" block. */
 inline void
 writeResults(const Options &opt, const std::string &figure,
-             std::vector<sim::SweepResults> sweeps)
+             std::vector<sim::SweepResults> sweeps,
+             const sim::PerfRecord &perf = {})
 {
     if (!opt.json)
         return;
@@ -821,6 +943,7 @@ writeResults(const Options &opt, const std::string &figure,
     f.kiloInsts = kiloInsts();
     f.seedsPerCell = numSeeds();
     f.jobs = opt.jobs;
+    f.perf = perf;
     f.sweeps = std::move(sweeps);
     if (sim::writeJsonFile(f, opt.jsonPath))
         std::cout << "\nresults: " << opt.jsonPath << "\n";

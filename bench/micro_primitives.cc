@@ -8,7 +8,6 @@
 
 #include <benchmark/benchmark.h>
 
-#include <deque>
 
 #include "core/rest_engine.hh"
 #include "cpu/bpred.hh"
@@ -145,7 +144,7 @@ allocatorPairCost(benchmark::State &state, MakeAlloc make)
             core::RestMode::Secure);
         core::RestEngine engine(tcr);
         auto alloc = make(memory, engine);
-        std::deque<isa::DynOp> q;
+        isa::OpQueue q;
         runtime::OpEmitter em(q, 0x600000, false);
         state.ResumeTiming();
 

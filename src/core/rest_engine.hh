@@ -13,6 +13,7 @@
 #ifndef REST_CORE_REST_ENGINE_HH
 #define REST_CORE_REST_ENGINE_HH
 
+#include <array>
 #include <cstdint>
 #include <unordered_set>
 
@@ -49,7 +50,8 @@ class RestEngine
     {
         if (!isAligned(addr, tcr_.granule()))
             return {ViolationKind::MisalignedRestInst};
-        armed_.insert(addr);
+        if (armed_.insert(addr).second)
+            filterAdd(addr);
         ++armsExecuted_;
         return {};
     }
@@ -70,6 +72,7 @@ class RestEngine
         if (it == armed_.end())
             return {ViolationKind::DisarmUnarmed};
         armed_.erase(it);
+        filterRemove(addr);
         ++disarmsExecuted_;
         return {};
     }
@@ -86,7 +89,10 @@ class RestEngine
         Addr first = alignDown(addr, g);
         Addr last = alignDown(addr + size - 1, g);
         for (Addr a = first; a <= last; a += g) {
-            if (armed_.count(a))
+            // Direct-mapped filter first: the common benign access
+            // rejects on one bit of the hot bitmap (8 KiB — stays
+            // L1-resident) instead of a hash probe.
+            if (filterHit(a) && armed_.count(a))
                 return {ViolationKind::TokenAccess};
         }
         return {};
@@ -116,12 +122,65 @@ class RestEngine
     reset()
     {
         armed_.clear();
+        filterCounts_.fill(0);
+        filterBits_.fill(0);
         armsExecuted_ = disarmsExecuted_ = 0;
     }
 
   private:
+    /**
+     * Direct-mapped occupancy filter in front of the armed set: slot
+     * (addr >> 4) & mask counts the armed granules hashing there
+     * (granule starts are >= 16-byte aligned, so >> 4 never aliases
+     * two distinct granules to the same low bits). A zero slot proves
+     * no armed granule maps there — checkAccess() skips the hash
+     * probe, which is the hot path for every benign load/store.
+     *
+     * The filter is split into a cold counting array (touched only by
+     * arm/disarm) and a hot occupancy bitmap derived from it (count
+     * != 0), so the per-access probe reads one bit of an 8 KiB array
+     * that stays L1-resident instead of one byte of a 64 KiB one. A
+     * count that saturates at 255 sticks (never decremented), keeping
+     * the filter conservative: false positives only cost the probe.
+     */
+    static constexpr std::size_t filterSlots = 1u << 16;
+
+    static std::size_t
+    filterSlot(Addr granule_addr)
+    {
+        return (granule_addr >> 4) & (filterSlots - 1);
+    }
+
+    bool
+    filterHit(Addr addr) const
+    {
+        const std::size_t s = filterSlot(addr);
+        return filterBits_[s >> 3] & (1u << (s & 7));
+    }
+
+    void
+    filterAdd(Addr addr)
+    {
+        const std::size_t s = filterSlot(addr);
+        std::uint8_t &count = filterCounts_[s];
+        if (count != 255)
+            ++count;
+        filterBits_[s >> 3] |= std::uint8_t(1u << (s & 7));
+    }
+
+    void
+    filterRemove(Addr addr)
+    {
+        const std::size_t s = filterSlot(addr);
+        std::uint8_t &count = filterCounts_[s];
+        if (count != 255 && --count == 0)
+            filterBits_[s >> 3] &= std::uint8_t(~(1u << (s & 7)));
+    }
+
     const TokenConfigRegister &tcr_;
     std::unordered_set<Addr> armed_;
+    std::array<std::uint8_t, filterSlots> filterCounts_{};
+    std::array<std::uint8_t, filterSlots / 8> filterBits_{};
     std::uint64_t armsExecuted_ = 0;
     std::uint64_t disarmsExecuted_ = 0;
 };

@@ -46,6 +46,28 @@ O3Cpu::O3Cpu(const CpuConfig &cfg, core::RestMode mode,
     }
 }
 
+void
+O3Cpu::resetPipeline()
+{
+    fetchCycle_ = 0;
+    fetchedThisCycle_ = 0;
+    lastFetchLine_ = invalidAddr;
+    std::fill(robFreeAt_.begin(), robFreeAt_.end(), 0);
+    std::fill(iqFreeAt_.begin(), iqFreeAt_.end(), 0);
+    std::fill(lqFreeAt_.begin(), lqFreeAt_.end(), 0);
+    issueCnt_.assign(issueWindow, 0);
+    issueEpoch_.assign(issueWindow, ~Cycles(0));
+    for (unsigned pool = 0; pool < 4; ++pool) {
+        fuCnt_[pool].assign(issueWindow, 0);
+        fuEpoch_[pool].assign(issueWindow, ~Cycles(0));
+    }
+    regReadyAt_.fill(0);
+    serializeUntil_ = false;
+    lastCommitCycle_ = 0;
+    commitsThisCycle_ = 0;
+    lsq_.clear();
+}
+
 Cycles
 O3Cpu::claimIssueSlot(Cycles when, unsigned pool, Cycles fu_busy)
 {

@@ -69,6 +69,18 @@ class O3Cpu
     RunResult run(isa::TraceSource &src,
                   std::uint64_t max_ops = ~std::uint64_t(0));
 
+    /**
+     * Reset the transient pipeline state (fetch, occupancy rings,
+     * issue/FU windows, scoreboard, LSQ, commit clock) to the
+     * just-constructed state, so the next run() starts timing from
+     * cycle 0. Long-lived predictor state (branch predictor) and the
+     * accumulated stats survive — this is the window checkpoint/
+     * restore the sampled execution mode is built on: each detailed
+     * window warms the pipeline from empty while the predictor and
+     * caches carry realistic history across fast-forward gaps.
+     */
+    void resetPipeline();
+
     const stats::StatGroup &statGroup() const { return stats_; }
     stats::StatGroup &statGroup() { return stats_; }
     const BranchPredictor &branchPredictor() const { return bpred_; }

@@ -1,0 +1,127 @@
+/**
+ * @file
+ * Decoded-op cache: per-static-instruction DynOp templates.
+ *
+ * The emulator builds one DynOp per dynamic instruction; everything
+ * except the data-dependent fields (seq, eaddr, branch outcome,
+ * fault) is a pure function of the static Inst and its position —
+ * pc, opcode, class, source tag, register ids, access width. The
+ * cache decodes each static instruction once per program and hands
+ * the emulator a template to copy, so the per-op decode work (the
+ * isRuntimeOp/opClassOf classification and pc arithmetic) is paid
+ * once instead of per dynamic op.
+ *
+ * Templates are stored in an Arena, one contiguous run per function,
+ * and the arena's blocks are recycled when a different program is
+ * prepared (eviction on program change).
+ */
+
+#ifndef REST_ISA_DECODE_CACHE_HH
+#define REST_ISA_DECODE_CACHE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "isa/dyn_op.hh"
+#include "isa/program.hh"
+#include "util/arena.hh"
+#include "util/logging.hh"
+
+namespace rest::isa
+{
+
+class DecodeCache
+{
+  public:
+    /**
+     * (Re)build the template table for 'program' unless it is already
+     * the cached one. Identity is the Program object plus its total
+     * instruction count, so re-preparing after in-place modification
+     * (e.g. re-instrumentation) also rebuilds.
+     * @return true when a (re)build happened.
+     */
+    bool
+    prepare(const Program &program)
+    {
+        if (cachedFor(program))
+            return false;
+        arena_.reset();
+        funcs_.clear();
+        funcs_.reserve(program.funcs.size());
+        for (std::size_t f = 0; f < program.funcs.size(); ++f) {
+            const auto &insts = program.funcs[f].insts;
+            DynOp *run = arena_.alloc<DynOp>(insts.size());
+            const Addr pc_base = program.pcBase(f);
+            for (std::size_t i = 0; i < insts.size(); ++i)
+                decodeInto(run[i], insts[i], pc_base + 4 * i);
+            funcs_.push_back({run, insts.size()});
+        }
+        program_ = &program;
+        numInsts_ = program.numInsts();
+        ++rebuilds_;
+        return true;
+    }
+
+    /** Is the table currently built for exactly this program? */
+    bool
+    cachedFor(const Program &program) const
+    {
+        return program_ == &program && numInsts_ == program.numInsts();
+    }
+
+    /** Template for static instruction 'inst' of function 'func'. */
+    const DynOp &
+    entry(std::size_t func, std::size_t inst) const
+    {
+        rest_assert(func < funcs_.size() && inst < funcs_[func].count,
+                    "decode-cache index out of range");
+        return funcs_[func].run[inst];
+    }
+
+    /**
+     * Whole template row for 'func' — lets a consumer that steps
+     * through one function hoist the table lookup (and its bounds
+     * check) out of its per-instruction path. Valid until the next
+     * prepare().
+     */
+    const DynOp *
+    row(std::size_t func) const
+    {
+        rest_assert(func < funcs_.size(), "decode-cache row out of range");
+        return funcs_[func].run;
+    }
+
+    /** Times the table was (re)built — eviction observability. */
+    std::uint64_t rebuilds() const { return rebuilds_; }
+
+  private:
+    struct FuncRun
+    {
+        DynOp *run = nullptr;
+        std::size_t count = 0;
+    };
+
+    static void
+    decodeInto(DynOp &op, const Inst &inst, Addr pc)
+    {
+        op.pc = pc;
+        op.op = inst.op;
+        op.cls = isRuntimeOp(inst.op) ? OpClass::Branch
+                                      : opClassOf(inst.op);
+        op.source = inst.tag;
+        op.rd = inst.rd;
+        op.rs1 = inst.rs1;
+        op.rs2 = inst.rs2;
+        op.size = inst.width;
+    }
+
+    const Program *program_ = nullptr;
+    std::size_t numInsts_ = 0;
+    util::Arena arena_;
+    std::vector<FuncRun> funcs_;
+    std::uint64_t rebuilds_ = 0;
+};
+
+} // namespace rest::isa
+
+#endif // REST_ISA_DECODE_CACHE_HH

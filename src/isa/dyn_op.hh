@@ -14,7 +14,9 @@
 #ifndef REST_ISA_DYN_OP_HH
 #define REST_ISA_DYN_OP_HH
 
+#include <cstddef>
 #include <cstdint>
+#include <vector>
 
 #include "isa/inst.hh"
 #include "isa/opcode.hh"
@@ -71,6 +73,45 @@ struct DynOp
 };
 
 /**
+ * FIFO of dynamic ops between the emulator's step machinery and its
+ * consumers. Vector-backed with a head index instead of std::deque:
+ * the queue fully drains between program instructions (runtime
+ * sequences are short and bounded), so popping just advances the head
+ * and the storage is recycled whenever the queue empties — no per-op
+ * segment bookkeeping in the hot path.
+ */
+class OpQueue
+{
+  public:
+    bool empty() const { return head_ == buf_.size(); }
+    std::size_t size() const { return buf_.size() - head_; }
+    void push_back(const DynOp &op) { buf_.push_back(op); }
+    DynOp &back() { return buf_.back(); }
+    const DynOp &front() const { return buf_[head_]; }
+
+    void
+    pop_front()
+    {
+        if (++head_ == buf_.size())
+            clear();
+    }
+
+    void
+    clear()
+    {
+        buf_.clear();
+        head_ = 0;
+    }
+
+    auto begin() const { return buf_.begin() + long(head_); }
+    auto end() const { return buf_.end(); }
+
+  private:
+    std::vector<DynOp> buf_;
+    std::size_t head_ = 0;
+};
+
+/**
  * Pull interface for dynamic op streams. The functional emulator and
  * the directed test drivers implement this; CPU models consume it.
  */
@@ -85,6 +126,23 @@ class TraceSource
      * @return false when the stream is exhausted (program halted).
      */
     virtual bool next(DynOp &out) = 0;
+
+    /**
+     * Produce up to 'max' ops into 'out'. Semantically identical to
+     * calling next() 'max' times; one virtual dispatch per batch
+     * instead of per op, and implementations can keep their stepping
+     * state in registers across the whole batch. A short fill means
+     * the stream drained (halt or fault) — exactly like next()
+     * returning false.
+     */
+    virtual std::size_t
+    nextBatch(DynOp *out, std::size_t max)
+    {
+        std::size_t n = 0;
+        while (n < max && next(out[n]))
+            ++n;
+        return n;
+    }
 };
 
 } // namespace rest::isa

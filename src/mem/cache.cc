@@ -196,4 +196,14 @@ Cache::flushAll()
     outstanding_.clear();
 }
 
+void
+Cache::resetTiming()
+{
+    for (auto &set : sets_)
+        for (auto &line : set)
+            line.readyAt = 0;
+    outstanding_.clear();
+    below_.resetTiming();
+}
+
 } // namespace rest::mem

@@ -11,6 +11,7 @@
 #ifndef REST_MEM_GUEST_MEMORY_HH
 #define REST_MEM_GUEST_MEMORY_HH
 
+#include <algorithm>
 #include <array>
 #include <cstdint>
 #include <cstring>
@@ -35,6 +36,15 @@ class GuestMemory
     read(Addr addr, unsigned size) const
     {
         std::uint64_t v = 0;
+        const std::size_t off = addr & (pageSize - 1);
+        if (off + size <= pageSize) {
+            // Fast path: the access fits in one page — one lookup and
+            // a fixed-size copy (a variable-length memcpy would be an
+            // out-of-line call on every access).
+            if (const Page *p = findPage(addr >> pageBits))
+                copyFixed(&v, p->data() + off, size);
+            return v;
+        }
         readBytes(addr, {reinterpret_cast<std::uint8_t *>(&v), size});
         return v;
     }
@@ -43,6 +53,11 @@ class GuestMemory
     void
     write(Addr addr, std::uint64_t value, unsigned size)
     {
+        const std::size_t off = addr & (pageSize - 1);
+        if (off + size <= pageSize) {
+            copyFixed(page(addr).data() + off, &value, size);
+            return;
+        }
         writeBytes(addr,
                    {reinterpret_cast<const std::uint8_t *>(&value), size});
     }
@@ -51,33 +66,53 @@ class GuestMemory
     void
     readBytes(Addr addr, std::span<std::uint8_t> out) const
     {
-        for (std::size_t i = 0; i < out.size(); ++i)
-            out[i] = readByte(addr + i);
+        std::size_t done = 0;
+        while (done < out.size()) {
+            const std::size_t off = (addr + done) & (pageSize - 1);
+            const std::size_t n =
+                std::min(out.size() - done, pageSize - off);
+            if (const Page *p = findPage((addr + done) >> pageBits))
+                std::memcpy(out.data() + done, p->data() + off, n);
+            else
+                std::memset(out.data() + done, 0, n);
+            done += n;
+        }
     }
 
     /** Copy in a byte range. */
     void
     writeBytes(Addr addr, std::span<const std::uint8_t> in)
     {
-        for (std::size_t i = 0; i < in.size(); ++i)
-            writeByte(addr + i, in[i]);
+        std::size_t done = 0;
+        while (done < in.size()) {
+            const std::size_t off = (addr + done) & (pageSize - 1);
+            const std::size_t n =
+                std::min(in.size() - done, pageSize - off);
+            std::memcpy(page(addr + done).data() + off,
+                        in.data() + done, n);
+            done += n;
+        }
     }
 
     /** Fill [addr, addr+len) with a byte value. */
     void
     fill(Addr addr, std::uint8_t value, std::size_t len)
     {
-        for (std::size_t i = 0; i < len; ++i)
-            writeByte(addr + i, value);
+        std::size_t done = 0;
+        while (done < len) {
+            const std::size_t off = (addr + done) & (pageSize - 1);
+            const std::size_t n = std::min(len - done, pageSize - off);
+            std::memset(page(addr + done).data() + off, value, n);
+            done += n;
+        }
     }
 
     std::uint8_t
     readByte(Addr addr) const
     {
-        auto it = pages_.find(addr >> pageBits);
-        if (it == pages_.end())
-            return 0;
-        return (*it->second)[addr & (pageSize - 1)];
+        if (const Page *p = findPage(addr >> pageBits))
+            return (*p)[addr & (pageSize - 1)];
+        return 0;
     }
 
     void
@@ -105,18 +140,70 @@ class GuestMemory
   private:
     using Page = std::array<std::uint8_t, pageSize>;
 
+    /** Copy a scalar of 1/2/4/8 bytes (any other size falls back to
+     *  memcpy) so each case compiles to one mov instead of a
+     *  variable-length memcpy call. */
+    static void
+    copyFixed(void *dst, const void *src, unsigned size)
+    {
+        switch (size) {
+          case 1: std::memcpy(dst, src, 1); break;
+          case 2: std::memcpy(dst, src, 2); break;
+          case 4: std::memcpy(dst, src, 4); break;
+          case 8: std::memcpy(dst, src, 8); break;
+          default: std::memcpy(dst, src, size); break;
+        }
+    }
+
+    /**
+     * Direct-mapped page-lookup cache (a software TLB). The emulator
+     * interleaves stack, heap and shadow accesses, so a handful of
+     * entries indexed by the page number's low bits captures nearly
+     * every lookup with one compare. Pages are never freed, so a
+     * cached pointer cannot dangle; misses are deliberately not
+     * cached (a later write may create the page).
+     */
+    static constexpr std::size_t tlbSlots = 16;
+
+    struct TlbEntry
+    {
+        Addr idx = ~Addr(0);
+        Page *page = nullptr;
+    };
+
+    const Page *
+    findPage(Addr page_idx) const
+    {
+        TlbEntry &e = tlb_[page_idx & (tlbSlots - 1)];
+        if (e.idx == page_idx)
+            return e.page;
+        auto it = pages_.find(page_idx);
+        if (it == pages_.end())
+            return nullptr;
+        e.idx = page_idx;
+        e.page = it->second.get();
+        return e.page;
+    }
+
     Page &
     page(Addr addr)
     {
-        auto &slot = pages_[addr >> pageBits];
+        const Addr idx = addr >> pageBits;
+        TlbEntry &e = tlb_[idx & (tlbSlots - 1)];
+        if (e.idx == idx)
+            return *e.page;
+        auto &slot = pages_[idx];
         if (!slot) {
             slot = std::make_unique<Page>();
             slot->fill(0);
         }
+        e.idx = idx;
+        e.page = slot.get();
         return *slot;
     }
 
     std::unordered_map<Addr, std::unique_ptr<Page>> pages_;
+    mutable std::array<TlbEntry, tlbSlots> tlb_{};
 };
 
 } // namespace rest::mem

@@ -16,7 +16,6 @@
 #ifndef REST_RUNTIME_OP_EMITTER_HH
 #define REST_RUNTIME_OP_EMITTER_HH
 
-#include <deque>
 
 #include "isa/dyn_op.hh"
 #include "runtime/runtime_config.hh"
@@ -41,7 +40,7 @@ class OpEmitter
      * @param perfect_hw when true, arm/disarm emit as plain stores
      *        (the PerfectHW limit study).
      */
-    OpEmitter(std::deque<isa::DynOp> &queue, Addr pc_base,
+    OpEmitter(isa::OpQueue &queue, Addr pc_base,
               bool perfect_hw)
         : queue_(queue), pcBase_(pc_base), perfectHw_(perfect_hw)
     {}
@@ -159,7 +158,7 @@ class OpEmitter
         queue_.push_back(make(opc, rd, rs1, rs2, eaddr, size));
     }
 
-    std::deque<isa::DynOp> &queue_;
+    isa::OpQueue &queue_;
     Addr pcBase_;
     bool perfectHw_;
     isa::OpSource source_ = isa::OpSource::Allocator;

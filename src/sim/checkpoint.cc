@@ -25,6 +25,14 @@ writeMeasurement(util::JsonWriter &w, const Measurement &m)
     w.field("seed", m.seed);
     w.field("cycles", std::uint64_t(m.cycles));
     w.field("ops", m.ops);
+    if (m.execMode != "detailed") {
+        w.field("exec_mode", m.execMode);
+        if (m.sampleWindows != 0) {
+            w.field("sampling_error_pct", m.samplingErrorPct);
+            w.field("sample_windows", m.sampleWindows);
+            w.field("fast_forwarded_ops", m.fastForwardedOps);
+        }
+    }
     w.key("scalars");
     w.beginObject();
     for (const auto &[name, v] : m.scalars)
@@ -43,6 +51,13 @@ readMeasurement(const util::JsonValue &v)
     m.seed = v.at("seed").u64();
     m.cycles = Cycles(v.at("cycles").u64());
     m.ops = v.at("ops").u64();
+    if (v.has("exec_mode"))
+        m.execMode = v.at("exec_mode").str;
+    if (v.has("sampling_error_pct")) {
+        m.samplingErrorPct = v.at("sampling_error_pct").number;
+        m.sampleWindows = v.at("sample_windows").u64();
+        m.fastForwardedOps = v.at("fast_forwarded_ops").u64();
+    }
     for (const auto &[name, sv] : v.at("scalars").members)
         m.scalars[name] = sv.u64();
     return m;
@@ -155,9 +170,22 @@ checkpointJobKey(const SweepJob &job)
     if (label.empty())
         label = job.useCustomConfig ? "custom"
                                     : expConfigName(job.config);
-    return job.profile.name + "|" + label + "|" +
-           std::to_string(job.profile.seed) + "|" +
-           std::to_string(job.profile.targetKiloInsts);
+    std::string key = job.profile.name + "|" + label + "|" +
+                      std::to_string(job.profile.seed) + "|" +
+                      std::to_string(job.profile.targetKiloInsts);
+    // Non-detailed execution changes what the measurement means, so it
+    // must not restore into (or from) a detailed sweep's entries.
+    // Detailed jobs keep the historical key byte-for-byte.
+    if (!job.exec.detailed()) {
+        key += std::string("|") + job.exec.modeName();
+        if (job.exec.sampling.active()) {
+            const SamplingConfig &sc = job.exec.sampling;
+            key += "|" + std::to_string(sc.warmupOps) + "/" +
+                   std::to_string(sc.windowOps) + "/" +
+                   std::to_string(sc.intervalOps);
+        }
+    }
+    return key;
 }
 
 } // namespace rest::sim

@@ -1,6 +1,5 @@
 #include "sim/emulator.hh"
 
-#include "runtime/shadow_memory.hh"
 #include "util/bit_utils.hh"
 #include "util/logging.hh"
 
@@ -18,9 +17,10 @@ Emulator::Emulator(const isa::Program &program, mem::GuestMemory &memory,
                    const runtime::SchemeConfig &scheme)
     : program_(program), memory_(memory), engine_(engine),
       allocator_(allocator), scheme_(scheme),
-      interceptors_(memory, engine, scheme_)
+      interceptors_(memory, engine, scheme_), shadow_(memory)
 {
     rest_assert(!program.funcs.empty(), "program has no functions");
+    decode_.prepare(program);
     pcBases_.reserve(program.funcs.size());
     for (std::size_t i = 0; i < program.funcs.size(); ++i)
         pcBases_.push_back(program.pcBase(i));
@@ -28,22 +28,18 @@ Emulator::Emulator(const isa::Program &program, mem::GuestMemory &memory,
     regs_[isa::regFp] = runtime::AddressMap::stackTop;
     emitter_ = std::make_unique<runtime::OpEmitter>(
         queue_, runtime::AddressMap::runtimeTextBase, scheme.perfectHw);
+    enterFunc(0);
 }
 
-DynOp
-Emulator::makeOp(const Inst &inst) const
+void
+Emulator::enterFunc(std::size_t f)
 {
-    DynOp op;
-    op.pc = pcBases_[funcIdx_] + 4 * instIdx_;
-    op.op = inst.op;
-    op.cls = isa::isRuntimeOp(inst.op) ? isa::OpClass::Branch
-                                       : isa::opClassOf(inst.op);
-    op.source = inst.tag;
-    op.rd = inst.rd;
-    op.rs1 = inst.rs1;
-    op.rs2 = inst.rs2;
-    op.size = inst.width;
-    return op;
+    funcIdx_ = f;
+    const auto &fn = program_.funcs[f];
+    insts_ = fn.insts.data();
+    fnInsts_ = fn.insts.size();
+    decodeRow_ = decode_.row(f);
+    pcBase_ = pcBases_[f];
 }
 
 void
@@ -55,16 +51,21 @@ Emulator::raise(DynOp &op, FaultKind kind)
 }
 
 void
-Emulator::step()
+Emulator::step(DynOp *direct)
 {
-    const auto &fn = program_.funcs[funcIdx_];
-    if (instIdx_ >= fn.insts.size()) {
+    if (instIdx_ >= fnInsts_) {
         // Fell off the end of a function without Ret: treat as halt.
         halted_ = true;
         return;
     }
-    const Inst &inst = fn.insts[instIdx_];
-    DynOp op = makeOp(inst);
+    const Inst &inst = insts_[instIdx_];
+    // Build the op in the consumer's slot when possible (the common,
+    // queue-empty case): one copy from the decode template, zero
+    // copies afterwards. Runtime-expanding cases push into the queue
+    // themselves and never reach the final direct hand-off.
+    const bool use_direct = direct != nullptr && queue_.empty();
+    DynOp &op = use_direct ? *direct : scratch_;
+    op = decodeRow_[instIdx_];
 
     auto reg = [&](isa::RegId r) -> std::uint64_t {
         return r == isa::noReg ? 0 : regs_[r];
@@ -224,8 +225,7 @@ Emulator::step()
       case Opcode::AsanCheck: {
         Addr ea = reg(inst.rs2);
         op.eaddr = invalidAddr; // check op itself is not a memory op
-        runtime::ShadowMemory shadow(memory_);
-        if (!shadow.accessOk(ea, inst.width)) {
+        if (!shadow_.accessOk(ea, inst.width)) {
             raise(op, FaultKind::AsanReport);
             advance = false;
         }
@@ -252,7 +252,7 @@ Emulator::step()
             instIdx_ = static_cast<std::size_t>(inst.target);
             advance = false;
         }
-        op.nextPc = pcBases_[funcIdx_] +
+        op.nextPc = pcBase_ +
             4 * (taken ? static_cast<std::size_t>(inst.target)
                        : instIdx_ + 1);
         break;
@@ -261,7 +261,7 @@ Emulator::step()
         op.isBranch = true;
         op.taken = true;
         instIdx_ = static_cast<std::size_t>(inst.target);
-        op.nextPc = pcBases_[funcIdx_] + 4 * instIdx_;
+        op.nextPc = pcBase_ + 4 * instIdx_;
         advance = false;
         break;
       case Opcode::Call: {
@@ -269,9 +269,9 @@ Emulator::step()
         op.taken = true;
         callStack_.push_back({funcIdx_, instIdx_ + 1,
                               regs_[isa::regFp], regs_[isa::regSp]});
-        funcIdx_ = static_cast<std::size_t>(inst.target);
+        enterFunc(static_cast<std::size_t>(inst.target));
         instIdx_ = 0;
-        op.nextPc = pcBases_[funcIdx_];
+        op.nextPc = pcBase_;
         advance = false;
         break;
       }
@@ -285,9 +285,9 @@ Emulator::step()
         // conventional pop of the saved fp).
         regs_[isa::regFp] = frame.savedFp;
         regs_[isa::regSp] = frame.savedSp;
-        funcIdx_ = frame.funcIdx;
+        enterFunc(frame.funcIdx);
         instIdx_ = frame.retInstIdx;
-        op.nextPc = pcBases_[funcIdx_] + 4 * instIdx_;
+        op.nextPc = pcBase_ + 4 * instIdx_;
         advance = false;
         break;
       }
@@ -347,7 +347,12 @@ Emulator::step()
                    static_cast<int>(inst.op));
     }
 
-    queue_.push_back(op);
+    // Hot path: one op, no runtime expansion — it is already in the
+    // consumer's slot; otherwise it queues behind older ops.
+    if (use_direct)
+        directProduced_ = true;
+    else
+        queue_.push_back(op);
     if (advance)
         ++instIdx_;
     return;
@@ -367,12 +372,15 @@ Emulator::step()
 bool
 Emulator::next(DynOp &out)
 {
-    while (queue_.empty() && !halted_)
-        step();
-    if (queue_.empty())
-        return false;
-    out = queue_.front();
-    queue_.pop_front();
+    directProduced_ = false;
+    while (!directProduced_ && queue_.empty() && !halted_)
+        step(&out);
+    if (!directProduced_) {
+        if (queue_.empty())
+            return false;
+        out = queue_.front();
+        queue_.pop_front();
+    }
     out.seq = seq_++;
     if (out.fault != FaultKind::None) {
         // Nothing after the faulting op executes.
@@ -381,6 +389,40 @@ Emulator::next(DynOp &out)
         queue_.clear();
     }
     return true;
+}
+
+std::size_t
+Emulator::nextBatch(DynOp *out, std::size_t max)
+{
+    // Same semantics as next() in a loop, but the whole drain runs in
+    // this translation unit — step() inlines into the loop, the
+    // stepping state stays hot, and the common one-op-per-step case
+    // goes straight into the caller's slot with no queue traffic.
+    std::size_t n = 0;
+    while (n < max) {
+        DynOp &slot = out[n];
+        if (!queue_.empty()) {
+            slot = queue_.front();
+            queue_.pop_front();
+        } else if (halted_) {
+            break;
+        } else {
+            directProduced_ = false;
+            step(&slot);
+            if (!directProduced_)
+                continue; // runtime expansion queued ops, or halt
+        }
+        slot.seq = seq_++;
+        ++n;
+        if (slot.fault != FaultKind::None) {
+            // Nothing after the faulting op executes.
+            halted_ = true;
+            fault_ = slot.fault;
+            queue_.clear();
+            break;
+        }
+    }
+    return n;
 }
 
 } // namespace rest::sim

@@ -15,17 +15,18 @@
 #define REST_SIM_EMULATOR_HH
 
 #include <array>
-#include <deque>
 #include <memory>
 #include <vector>
 
 #include "core/rest_engine.hh"
+#include "isa/decode_cache.hh"
 #include "isa/dyn_op.hh"
 #include "isa/program.hh"
 #include "mem/guest_memory.hh"
 #include "runtime/allocator.hh"
 #include "runtime/interceptors.hh"
 #include "runtime/runtime_config.hh"
+#include "runtime/shadow_memory.hh"
 
 namespace rest::sim
 {
@@ -47,6 +48,9 @@ class Emulator : public isa::TraceSource
 
     /** TraceSource: produce the next dynamic op. */
     bool next(isa::DynOp &out) override;
+
+    /** TraceSource: batch drain — the fast-functional hot loop. */
+    std::size_t nextBatch(isa::DynOp *out, std::size_t max) override;
 
     /** Architectural register read (test support). */
     std::uint64_t reg(isa::RegId r) const { return regs_[r]; }
@@ -73,13 +77,25 @@ class Emulator : public isa::TraceSource
     };
 
     /** Execute one static instruction, emitting op(s) to the queue. */
-    void step();
-
-    /** Emit the program-level DynOp for the current static inst. */
-    isa::DynOp makeOp(const isa::Inst &inst) const;
+    /**
+     * Execute one guest instruction. When 'direct' is non-null and
+     * the instruction produces exactly one op (no runtime expansion),
+     * the op is written straight into *direct and directProduced_ is
+     * set — the hot path skips the queue round-trip entirely.
+     * Runtime services always go through the queue.
+     */
+    void step(isa::DynOp *direct = nullptr);
 
     /** Mark execution faulted at the given queued op. */
     void raise(isa::DynOp &op, isa::FaultKind kind);
+
+    /**
+     * Switch the stepping state to function 'f': caches the
+     * instruction array, decode-template row, length and PC base so
+     * step() touches no per-function tables — they change only on
+     * Call/Ret, not per instruction.
+     */
+    void enterFunc(std::size_t f);
 
     const isa::Program &program_;
     mem::GuestMemory &memory_;
@@ -87,15 +103,32 @@ class Emulator : public isa::TraceSource
     runtime::Allocator &allocator_;
     runtime::SchemeConfig scheme_;
     runtime::Interceptors interceptors_;
+    /** Static-decode work (pc/class/source/regs) paid once per
+     *  program; step() copies templates instead of re-deriving. */
+    isa::DecodeCache decode_;
+    /** Shadow view reused across AsanCheck ops (check-sequence
+     *  state hoisted out of the per-op path). */
+    runtime::ShadowMemory shadow_;
 
     std::array<std::uint64_t, isa::numRegs> regs_{};
     std::vector<Frame> callStack_;
     std::size_t funcIdx_ = 0;
     std::size_t instIdx_ = 0;
     std::vector<Addr> pcBases_;
+    /** Cached view of funcs[funcIdx_] (see enterFunc()). */
+    const isa::Inst *insts_ = nullptr;
+    const isa::DynOp *decodeRow_ = nullptr;
+    std::size_t fnInsts_ = 0;
+    Addr pcBase_ = 0;
 
-    std::deque<isa::DynOp> queue_;
+    isa::OpQueue queue_;
     std::unique_ptr<runtime::OpEmitter> emitter_;
+    /** step() wrote its op into the caller's direct slot. */
+    bool directProduced_ = false;
+    /** Scratch op record for steps with no direct slot — a member so
+     *  the hot path never default-constructs a DynOp; the decode
+     *  template assignment overwrites every field before use. */
+    isa::DynOp scratch_;
 
     bool halted_ = false;
     isa::FaultKind fault_ = isa::FaultKind::None;

@@ -1,5 +1,6 @@
 #include "sim/experiment.hh"
 
+#include <chrono>
 #include <cmath>
 
 #include "util/logging.hh"
@@ -73,7 +74,10 @@ runSystem(const workload::BenchProfile &profile, const SystemConfig &cfg,
           const std::string &label, ExpConfig config)
 {
     System system(workload::generate(profile), cfg);
+    const auto run_t0 = std::chrono::steady_clock::now();
     SystemResult result = system.run();
+    const double run_wall = std::chrono::duration<double>(
+        std::chrono::steady_clock::now() - run_t0).count();
     rest_assert(!result.faulted(),
                 "benign benchmark ", profile.name, " faulted under ",
                 label, ": ", result.run.violation.toString());
@@ -85,6 +89,13 @@ runSystem(const workload::BenchProfile &profile, const SystemConfig &cfg,
     m.seed = profile.seed;
     m.cycles = result.cycles();
     m.ops = result.run.committedOps;
+    m.execMode = cfg.exec.modeName();
+    m.simWallSeconds = run_wall;
+    if (result.sampled) {
+        m.samplingErrorPct = result.sampling.cpiStdErrPct;
+        m.sampleWindows = result.sampling.windows;
+        m.fastForwardedOps = result.sampling.fastForwardedOps;
+    }
     m.detail = result;
     auto snap = [&m](const std::string &name, std::uint64_t v) {
         m.scalars.emplace(name, v);
@@ -109,10 +120,12 @@ runSystem(const workload::BenchProfile &profile, const SystemConfig &cfg,
 
 Measurement
 runBench(const workload::BenchProfile &profile, ExpConfig config,
-         core::TokenWidth width, bool inorder)
+         core::TokenWidth width, bool inorder,
+         const ExecutionConfig &exec)
 {
-    return runSystem(profile, makeSystemConfig(config, width, inorder),
-                     expConfigName(config), config);
+    SystemConfig cfg = makeSystemConfig(config, width, inorder);
+    cfg.exec = exec;
+    return runSystem(profile, cfg, expConfigName(config), config);
 }
 
 Measurement

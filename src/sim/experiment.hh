@@ -55,6 +55,20 @@ struct Measurement
     std::uint64_t seed = 0;
     Cycles cycles = 0;
     std::uint64_t ops = 0;
+    /** Execution mode the measurement ran under: "detailed",
+     *  "fast-functional" or "sampled" (ExecutionConfig::modeName()). */
+    std::string execMode = "detailed";
+    /** Sampled runs: standard error of per-window CPI as % of the
+     *  mean, and how the run split between detailed and functional
+     *  execution. Zero for detailed and fast-functional runs. */
+    double samplingErrorPct = 0.0;
+    std::uint64_t sampleWindows = 0;
+    std::uint64_t fastForwardedOps = 0;
+    /** Host wall-clock seconds spent inside System::run() — workload
+     *  generation, instrumentation and System construction excluded,
+     *  so ops/simWallSeconds is simulator throughput (the same
+     *  convention as gem5's host_inst_rate). */
+    double simWallSeconds = 0.0;
     /** Component counters ("o3cpu.*", "l1d.*") snapshotted before the
      *  System is torn down; feeds the JSON results layer. */
     std::map<std::string, std::uint64_t> scalars;
@@ -70,11 +84,14 @@ struct Measurement
  * @param config experiment preset.
  * @param width token width.
  * @param inorder use the in-order core.
+ * @param exec execution mode (detailed / fast-functional / sampled);
+ *        the default runs the historical all-detailed path.
  */
 Measurement runBench(const workload::BenchProfile &profile,
                      ExpConfig config,
                      core::TokenWidth width = core::TokenWidth::Bytes64,
-                     bool inorder = false);
+                     bool inorder = false,
+                     const ExecutionConfig &exec = {});
 
 /**
  * Run one benchmark under an explicit SystemConfig (ablations and

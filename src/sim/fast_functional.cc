@@ -1,0 +1,100 @@
+#include "sim/fast_functional.hh"
+
+#include <algorithm>
+#include <array>
+
+namespace rest::sim
+{
+
+FastFunctional::FastFunctional(core::RestMode mode)
+    : mode_(mode), stats_("fastfunc"),
+      retiredOps_(stats_.addScalar("retired_ops",
+          "dynamic ops retired functionally")),
+      nominalCycles_(stats_.addScalar("nominal_cycles",
+          "nominal cycles (CPI == 1; not a timing result)")),
+      batches_(stats_.addScalar("batches",
+          "arena batches pulled from the op stream"))
+{}
+
+cpu::RunResult
+FastFunctional::run(isa::TraceSource &src, std::uint64_t max_ops)
+{
+    cpu::RunResult result;
+    std::array<std::uint64_t, 5> by_source{};
+    const bool debug_mode = mode_ == core::RestMode::Debug;
+    bool stop = false;
+
+    // One arena block of op records, constructed once and recycled
+    // (overwritten in place) by every batch — the fill is a plain
+    // assignment loop with no per-batch construction cost.
+    isa::DynOp *block = batch_;
+    if (block == nullptr)
+        block = batch_ = arena_.alloc<isa::DynOp>(batchOps);
+
+    while (!stop && result.committedOps < max_ops) {
+        const std::uint64_t want = std::min<std::uint64_t>(
+            batchOps, max_ops - result.committedOps);
+        // A faulting op halts the source, so the fill stops right
+        // after it and the batch is exact.
+        const std::uint64_t filled = src.nextBatch(block, want);
+        if (filled < want)
+            stop = true; // stream drained (halt or fault)
+
+        std::uint64_t retired = 0;
+        for (std::uint64_t i = 0; i < filled; ++i) {
+            const isa::DynOp &op = block[i];
+            ++by_source[static_cast<unsigned>(op.source)];
+            ++retired;
+
+            if (op.fault == isa::FaultKind::None)
+                continue;
+
+            // Same FaultKind -> ViolationKind mapping and precision
+            // policy as the detailed O3 commit stage; the faulting op
+            // retires, nothing after it does.
+            core::ViolationKind kind = core::ViolationKind::None;
+            switch (op.fault) {
+              case isa::FaultKind::RestTokenAccess:
+                kind = core::ViolationKind::TokenAccess;
+                break;
+              case isa::FaultKind::RestDisarmUnarmed:
+                kind = core::ViolationKind::DisarmUnarmed;
+                break;
+              case isa::FaultKind::RestMisaligned:
+                kind = core::ViolationKind::MisalignedRestInst;
+                break;
+              case isa::FaultKind::AsanReport:
+                kind = core::ViolationKind::AsanCheckFailed;
+                break;
+              case isa::FaultKind::None:
+                break;
+            }
+            result.violation.kind = kind;
+            result.violation.faultAddr = op.eaddr;
+            result.violation.pc = op.pc;
+            result.violation.seq = op.seq;
+            result.violation.reportCycle = result.committedOps + retired;
+            bool precise = debug_mode ||
+                kind == core::ViolationKind::MisalignedRestInst ||
+                kind == core::ViolationKind::AsanCheckFailed;
+            result.violation.precision = precise
+                ? core::Precision::Precise
+                : core::Precision::Imprecise;
+            stop = true;
+            break;
+        }
+
+        // Batched stat flush: one scalar update per batch.
+        result.committedOps += retired;
+        retiredOps_ += retired;
+        ++batches_;
+    }
+
+    for (unsigned s = 0; s < by_source.size(); ++s)
+        result.opsBySource[s] = by_source[s];
+    result.cycles = result.committedOps; // nominal CPI == 1
+    nominalCycles_.set(result.cycles);
+    return result;
+}
+
+} // namespace rest::sim

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Fast-functional retirement driver.
+ *
+ * Pulls DynOps from a TraceSource (the emulator) and retires them
+ * with no pipeline bookkeeping at all: no ROB/IQ/LSQ occupancy, no
+ * branch predictor, no cache timing. Ops are pulled in arena-allocated
+ * batches whose storage is recycled block-for-block every batch, and
+ * stat updates are flushed once per batch rather than per op.
+ *
+ * Equivalence contract (DESIGN.md §11): all *architectural* fault
+ * detection lives in the emulator and rides on the DynOp, so the fast
+ * path reports byte-identical verdicts, fault PCs/addresses and
+ * retired-op counts to the detailed model. What it does NOT model are
+ * the LSQ in-flight refinements (a TokenForward raised while an arm
+ * is still in the store queue) — the same op still faults, with the
+ * architectural kind. Cycle counts are nominal (CPI == 1) and never
+ * quotable as performance results.
+ */
+
+#ifndef REST_SIM_FAST_FUNCTIONAL_HH
+#define REST_SIM_FAST_FUNCTIONAL_HH
+
+#include <cstdint>
+
+#include "core/token.hh"
+#include "cpu/o3_cpu.hh"
+#include "isa/dyn_op.hh"
+#include "util/arena.hh"
+#include "util/stats.hh"
+
+namespace rest::sim
+{
+
+class FastFunctional
+{
+  public:
+    /** Ops pulled and retired per arena batch. */
+    static constexpr std::uint64_t batchOps = 512;
+
+    /** @param mode secure or debug; only affects the reported
+     *         precision of a violation, exactly like the O3 model. */
+    explicit FastFunctional(core::RestMode mode);
+
+    /**
+     * Retire the stream to completion / fault / cap. The returned
+     * RunResult has the same committedOps/opsBySource/violation a
+     * detailed run would produce; cycles are nominal (== ops).
+     */
+    cpu::RunResult run(isa::TraceSource &src,
+                       std::uint64_t max_ops = ~std::uint64_t(0));
+
+    const stats::StatGroup &statGroup() const { return stats_; }
+    stats::StatGroup &statGroup() { return stats_; }
+
+  private:
+    core::RestMode mode_;
+    util::Arena arena_;
+    /** The recycled batch block (lazily carved from the arena). */
+    isa::DynOp *batch_ = nullptr;
+    stats::StatGroup stats_;
+    stats::Scalar &retiredOps_;
+    stats::Scalar &nominalCycles_;
+    stats::Scalar &batches_;
+};
+
+} // namespace rest::sim
+
+#endif // REST_SIM_FAST_FUNCTIONAL_HH

@@ -53,6 +53,11 @@ writeCell(util::JsonWriter &w, const SweepCell &cell)
         w.field("attempts", std::uint64_t(cell.attempts));
     w.field("cycles", std::uint64_t(cell.cycles));
     w.field("ops", cell.ops);
+    if (cell.execMode != "detailed") {
+        w.field("exec_mode", cell.execMode);
+        if (cell.execMode == "sampled")
+            w.field("sampling_error_pct", cell.samplingErrorPct);
+    }
     w.key("seed_cycles");
     w.beginArray();
     for (Cycles c : cell.seedCycles)
@@ -119,6 +124,20 @@ writeJson(const ResultsFile &results, std::ostream &os)
     w.field("kiloinsts", results.kiloInsts);
     w.field("seeds_per_cell", results.seedsPerCell);
     w.field("jobs", results.jobs);
+    if (results.perf.valid()) {
+        w.key("perf");
+        w.beginObject();
+        w.field("bench", results.perf.bench);
+        w.field("kiloinsts", results.perf.kiloInsts);
+        w.field("kips_detailed", results.perf.kipsDetailed);
+        w.field("kips_fast_functional",
+                results.perf.kipsFastFunctional);
+        w.field("kips_sampled", results.perf.kipsSampled);
+        w.field("speedup_fast_functional",
+                results.perf.speedupFastFunctional);
+        w.field("speedup_sampled", results.perf.speedupSampled);
+        w.endObject();
+    }
     w.key("sweeps");
     w.beginArray();
     for (const auto &sweep : results.sweeps)

@@ -9,6 +9,14 @@
  *     "schema_version": 1,
  *     "figure": "fig7",
  *     "kiloinsts": 1000, "seeds_per_cell": 2, "jobs": 8,
+ *     // optional: simulator throughput per execution mode, present
+ *     // only when the harness ran its perf probe (--perf):
+ *     "perf": { "bench": "gcc", "kiloinsts": 1000,
+ *               "kips_detailed": 810.0,
+ *               "kips_fast_functional": 14200.0,
+ *               "kips_sampled": 5100.0,
+ *               "speedup_fast_functional": 17.5,
+ *               "speedup_sampled": 6.3 },
  *     "sweeps": [
  *       {
  *         "name": "overheads",
@@ -17,6 +25,9 @@
  *         "cells": [
  *           { "bench": "perlbench", "column": "ASan",
  *             "cycles": 123, "ops": 456,
+ *             // only for non-detailed runs ("fast-functional" or
+ *             // "sampled"; sampled cells add "sampling_error_pct"):
+ *             "exec_mode": "sampled", "sampling_error_pct": 2.1,
  *             "seed_cycles": [121, 125],
  *             "scalars": { "o3cpu.…": 1, "l1d.…": 2 } }, ... ],
  *         // a cell whose job(s) failed (after retries) serialises as
@@ -56,6 +67,11 @@ struct SweepCell
     std::string column;
     Cycles cycles = 0;          ///< seed-averaged, as printed
     std::uint64_t ops = 0;      ///< seed-averaged
+    /** Execution mode the cell's jobs ran under; only serialised when
+     *  not "detailed", so default output stays byte-identical. */
+    std::string execMode = "detailed";
+    /** Worst per-seed sampling error (sampled cells only). */
+    double samplingErrorPct = 0.0;
     std::vector<Cycles> seedCycles;
     std::map<std::string, std::uint64_t> scalars; ///< summed over seeds
     /** Per-interval stat deltas (first seed's run); only serialised
@@ -88,6 +104,25 @@ struct SweepResults
     std::map<std::string, double> geoMeanPct;
 };
 
+/**
+ * Simulator-throughput record: simulated kilo-instructions per second
+ * of host wall-clock for each execution mode on one probe benchmark.
+ * Serialised as the optional "perf" object (only when valid()), so
+ * harnesses that never measure throughput emit unchanged JSON.
+ */
+struct PerfRecord
+{
+    std::string bench;
+    std::uint64_t kiloInsts = 0;
+    double kipsDetailed = 0.0;
+    double kipsFastFunctional = 0.0;
+    double kipsSampled = 0.0;
+    double speedupFastFunctional = 0.0;
+    double speedupSampled = 0.0;
+
+    bool valid() const { return kipsDetailed > 0.0; }
+};
+
 /** A whole results file: every sweep one harness invocation ran. */
 struct ResultsFile
 {
@@ -95,6 +130,7 @@ struct ResultsFile
     std::uint64_t kiloInsts = 0;
     unsigned seedsPerCell = 0;
     unsigned jobs = 0;
+    PerfRecord perf;
     std::vector<SweepResults> sweeps;
 };
 

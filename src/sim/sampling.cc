@@ -1,0 +1,53 @@
+#include "sim/sampling.hh"
+
+#include <cmath>
+
+namespace rest::sim
+{
+
+SamplingEstimate
+estimateCycles(const std::vector<WindowSample> &windows,
+               std::uint64_t detailed_ops, Cycles detailed_cycles,
+               std::uint64_t fast_forwarded_ops)
+{
+    SamplingEstimate est;
+    est.windows = windows.size();
+    est.detailedOps = detailed_ops;
+    est.detailedCycles = detailed_cycles;
+    est.fastForwardedOps = fast_forwarded_ops;
+
+    std::uint64_t w_ops = 0;
+    Cycles w_cycles = 0;
+    for (const auto &w : windows) {
+        w_ops += w.ops;
+        w_cycles += w.cycles;
+    }
+    // Ops-weighted mean CPI: total window cycles over total window
+    // ops, so short tail windows don't get outsized weight.
+    est.windowCpi =
+        w_ops ? double(w_cycles) / double(w_ops) : 0.0;
+
+    if (windows.size() >= 2 && est.windowCpi > 0) {
+        double mean = 0;
+        for (const auto &w : windows)
+            mean += double(w.cycles) / double(w.ops);
+        mean /= double(windows.size());
+        double var = 0;
+        for (const auto &w : windows) {
+            double d = double(w.cycles) / double(w.ops) - mean;
+            var += d * d;
+        }
+        var /= double(windows.size() - 1);
+        double stderr_cpi =
+            std::sqrt(var / double(windows.size()));
+        est.cpiStdErrPct = 100.0 * stderr_cpi / mean;
+    }
+
+    est.extrapolatedCycles =
+        detailed_cycles +
+        Cycles(std::llround(double(fast_forwarded_ops) *
+                            est.windowCpi));
+    return est;
+}
+
+} // namespace rest::sim

@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Execution-mode configuration and the sampling estimator.
+ *
+ * Three execution modes (DESIGN.md §11):
+ *   - detailed: the timing CPU consumes every op (the default; the
+ *     only mode whose cycle counts are directly quotable),
+ *   - fast-functional: ops are retired with no pipeline bookkeeping;
+ *     detection verdicts are byte-identical, cycles are nominal,
+ *   - sampled: SMARTS-style interleaving of detailed O3 windows with
+ *     functional fast-forward; total cycles are extrapolated from the
+ *     window CPI samples and reported with an error estimate.
+ *
+ * SamplingConfig with intervalOps == 0 is *inactive*: the run takes
+ * exactly the always-detailed code path and its output is
+ * byte-identical to a default run (tests/sim/sampling_test.cc pins
+ * this down).
+ */
+
+#ifndef REST_SIM_SAMPLING_HH
+#define REST_SIM_SAMPLING_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "util/types.hh"
+
+namespace rest::sim
+{
+
+/** Periodic-sampling parameters (ops, not cycles). */
+struct SamplingConfig
+{
+    /** Detailed ops run before each window to warm µarch state;
+     *  their cycles are discarded. */
+    std::uint64_t warmupOps = 2000;
+    /** Detailed ops whose CPI is measured per period. */
+    std::uint64_t windowOps = 10000;
+    /** Period length; ops beyond warmup+window fast-forward
+     *  functionally. 0 disables sampling entirely. */
+    std::uint64_t intervalOps = 0;
+
+    bool active() const { return intervalOps != 0; }
+
+    /** An active config must fit warmup+window inside the period. */
+    bool
+    valid() const
+    {
+        return !active() ||
+               (windowOps > 0 && warmupOps + windowOps <= intervalOps);
+    }
+};
+
+/** How System::run() executes the op stream. */
+struct ExecutionConfig
+{
+    /** Retire every op functionally; no timing model at all. */
+    bool fastFunctional = false;
+    /** Interleave detailed windows with fast-forward (O3 only). */
+    SamplingConfig sampling;
+
+    bool detailed() const { return !fastFunctional && !sampling.active(); }
+
+    const char *
+    modeName() const
+    {
+        if (fastFunctional)
+            return "fast-functional";
+        return sampling.active() ? "sampled" : "detailed";
+    }
+};
+
+/** One detailed window's CPI sample. */
+struct WindowSample
+{
+    std::uint64_t ops = 0;
+    Cycles cycles = 0;
+};
+
+/** What a sampled run reports alongside the extrapolated cycles. */
+struct SamplingEstimate
+{
+    std::uint64_t windows = 0;          ///< CPI samples taken
+    std::uint64_t detailedOps = 0;      ///< warmup + window ops
+    std::uint64_t fastForwardedOps = 0; ///< functionally skipped ops
+    Cycles detailedCycles = 0;          ///< all detailed segments
+    double windowCpi = 0;               ///< ops-weighted mean CPI
+    /** Standard error of the per-window CPI samples as a percentage
+     *  of the mean (0 with fewer than two windows). */
+    double cpiStdErrPct = 0;
+    Cycles extrapolatedCycles = 0;
+};
+
+/**
+ * Combine window CPI samples into a whole-run cycle estimate:
+ * extrapolated = detailed cycles + skipped ops x mean window CPI.
+ * Pure function of its inputs (unit-tested directly).
+ */
+SamplingEstimate estimateCycles(const std::vector<WindowSample> &windows,
+                                std::uint64_t detailed_ops,
+                                Cycles detailed_cycles,
+                                std::uint64_t fast_forwarded_ops);
+
+} // namespace rest::sim
+
+#endif // REST_SIM_SAMPLING_HH

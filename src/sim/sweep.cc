@@ -36,11 +36,17 @@ runJob(const SweepJob &job, std::size_t index)
                  "job ", index, " start bench=", job.profile.name);
     Measurement m;
     if (job.useCustomConfig) {
-        m = runCustom(job.profile, job.customConfig,
+        SystemConfig cfg = job.customConfig;
+        // A non-default job-level mode wins; the default leaves
+        // whatever the custom config already carries untouched.
+        if (!job.exec.detailed())
+            cfg.exec = job.exec;
+        m = runCustom(job.profile, cfg,
                       job.label.empty() ? std::string("custom")
                                         : job.label);
     } else {
-        m = runBench(job.profile, job.config, job.width, job.inorder);
+        m = runBench(job.profile, job.config, job.width, job.inorder,
+                     job.exec);
         if (!job.label.empty())
             m.label = job.label;
     }

@@ -63,6 +63,11 @@ struct SweepJob
     bool useCustomConfig = false;
     SystemConfig customConfig;
 
+    /** Execution mode for this cell. Applied to preset jobs directly;
+     *  for custom jobs a non-default value overrides
+     *  customConfig.exec (the default leaves customConfig alone). */
+    ExecutionConfig exec;
+
     /** Column label recorded in the Measurement; defaults to
      *  expConfigName(config) when empty. */
     std::string label;

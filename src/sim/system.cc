@@ -40,19 +40,41 @@ System::System(isa::Program program, const SystemConfig &cfg)
     emulator_ = std::make_unique<Emulator>(
         program_, memory_, engine_, *allocator_, cfg_.scheme);
 
-    if (cfg_.useInOrderCpu) {
-        inorder_ = std::make_unique<cpu::InOrderCpu>(
-            cfg_.inorderConfig, l1i_, l1d_);
-    } else {
-        o3_ = std::make_unique<cpu::O3Cpu>(
-            cfg_.cpuConfig, cfg_.mode, l1i_, l1d_);
+    if (!cfg_.exec.sampling.valid()) {
+        rest_fatal("bad sampling config: need windowOps > 0 and "
+                   "warmupOps + windowOps <= intervalOps");
     }
+    if (cfg_.exec.fastFunctional && cfg_.exec.sampling.active()) {
+        rest_fatal("fast-functional and sampled execution are "
+                   "mutually exclusive");
+    }
+    if (cfg_.exec.sampling.active() && cfg_.useInOrderCpu) {
+        rest_fatal("sampled execution requires the out-of-order "
+                   "cpu (the in-order model has no window "
+                   "checkpoint/restore)");
+    }
+
+    // Fast-functional runs need no timing CPU at all; sampled runs
+    // need both the O3 core and the functional driver.
+    if (!cfg_.exec.fastFunctional) {
+        if (cfg_.useInOrderCpu) {
+            inorder_ = std::make_unique<cpu::InOrderCpu>(
+                cfg_.inorderConfig, l1i_, l1d_);
+        } else {
+            o3_ = std::make_unique<cpu::O3Cpu>(
+                cfg_.cpuConfig, cfg_.mode, l1i_, l1d_);
+        }
+    }
+    if (!cfg_.exec.detailed())
+        fast_ = std::make_unique<FastFunctional>(cfg_.mode);
 
     if (cfg_.trace.active()) {
         traceSink_ = std::make_unique<trace::TraceSink>(cfg_.trace);
         if (cfg_.trace.statsEvery != 0) {
             traceSink_->registerStatGroup(
-                o3_ ? &o3_->statGroup() : &inorder_->statGroup());
+                o3_ ? &o3_->statGroup()
+                    : inorder_ ? &inorder_->statGroup()
+                               : &fast_->statGroup());
             traceSink_->registerStatGroup(&l1i_.statGroup());
             traceSink_->registerStatGroup(&l1d_.statGroup());
             traceSink_->registerStatGroup(&l2_.statGroup());
@@ -70,8 +92,16 @@ System::run()
     // Install this system's sink thread-locally for the duration of
     // the run: parallel sweep jobs each trace into private storage.
     trace::ScopedSink scoped(traceSink_.get());
-    res.run = o3_ ? o3_->run(*emulator_, cfg_.maxOps)
-                  : inorder_->run(*emulator_, cfg_.maxOps);
+    if (cfg_.exec.fastFunctional) {
+        res.fastFunctional = true;
+        res.run = fast_->run(*emulator_, cfg_.maxOps);
+    } else if (cfg_.exec.sampling.active()) {
+        res.sampled = true;
+        res.run = runSampledLoop(res.sampling);
+    } else {
+        res.run = o3_ ? o3_->run(*emulator_, cfg_.maxOps)
+                      : inorder_->run(*emulator_, cfg_.maxOps);
+    }
     if (traceSink_) {
         traceSink_->flushStats(res.run.cycles);
         if (!cfg_.trace.traceOutPath.empty())
@@ -99,10 +129,105 @@ System::run()
     return res;
 }
 
+cpu::RunResult
+System::runSampledLoop(SamplingEstimate &est)
+{
+    const SamplingConfig &sc = cfg_.exec.sampling;
+    cpu::RunResult total;
+    std::vector<WindowSample> windows;
+    std::uint64_t detailed_ops = 0, ff_ops = 0;
+    Cycles detailed_cycles = 0;
+
+    // Fold one detailed segment into the totals. The O3 model's
+    // violation.seq is local to its run() call; offsetting by the ops
+    // retired before the call restores the global sequence number
+    // (identical to what an unbroken detailed run reports).
+    auto absorbDetailed = [&total](const cpu::RunResult &r,
+                                   std::uint64_t ops_before) {
+        total.committedOps += r.committedOps;
+        for (unsigned s = 0; s < r.opsBySource.size(); ++s)
+            total.opsBySource[s] += r.opsBySource[s];
+        if (r.faulted()) {
+            total.violation = r.violation;
+            total.violation.seq += ops_before;
+        }
+    };
+
+    auto more = [this, &total] {
+        return !total.faulted() && !emulator_->halted() &&
+               total.committedOps < cfg_.maxOps;
+    };
+
+    while (more()) {
+        // Detailed segment: warmup (cycles discarded) + window. The
+        // pipeline clock restarts at 0, so the memory hierarchy must
+        // drop any absolute in-flight timestamps recorded under the
+        // previous segment's clock (contents survive; only fills that
+        // would otherwise read as still-pending are forgotten).
+        o3_->resetPipeline();
+        l1i_.resetTiming();
+        l1d_.resetTiming();
+        Cycles seg_cycles = 0, warm_cycles = 0;
+        std::uint64_t warm = std::min(
+            sc.warmupOps, cfg_.maxOps - total.committedOps);
+        if (warm != 0) {
+            std::uint64_t before = total.committedOps;
+            cpu::RunResult r = o3_->run(*emulator_, warm);
+            warm_cycles = seg_cycles = r.cycles;
+            detailed_ops += r.committedOps;
+            absorbDetailed(r, before);
+        }
+        if (more()) {
+            std::uint64_t want = std::min(
+                sc.windowOps, cfg_.maxOps - total.committedOps);
+            std::uint64_t before = total.committedOps;
+            cpu::RunResult r = o3_->run(*emulator_, want);
+            // O3 pipeline state persists across run() calls, so
+            // r.cycles is the commit clock since resetPipeline();
+            // the window's own cost is the delta past the warmup.
+            if (r.committedOps != 0)
+                windows.push_back(
+                    {r.committedOps, r.cycles - warm_cycles});
+            seg_cycles = r.cycles;
+            detailed_ops += r.committedOps;
+            absorbDetailed(r, before);
+        }
+        detailed_cycles += seg_cycles;
+
+        // Functional fast-forward to the end of the period. Fault
+        // detection is architectural (the emulator), so a violation
+        // inside the gap surfaces identically; its seq is already
+        // the emulator's global sequence number.
+        if (more()) {
+            std::uint64_t skip = std::min(
+                sc.intervalOps - sc.warmupOps - sc.windowOps,
+                cfg_.maxOps - total.committedOps);
+            if (skip != 0) {
+                cpu::RunResult r = fast_->run(*emulator_, skip);
+                total.committedOps += r.committedOps;
+                for (unsigned s = 0; s < r.opsBySource.size(); ++s)
+                    total.opsBySource[s] += r.opsBySource[s];
+                if (r.faulted())
+                    total.violation = r.violation;
+                ff_ops += r.committedOps;
+            }
+        }
+    }
+
+    est = estimateCycles(windows, detailed_ops, detailed_cycles,
+                         ff_ops);
+    total.cycles = est.extrapolatedCycles;
+    return total;
+}
+
 const stats::StatGroup &
 System::cpuStats() const
 {
-    return o3_ ? o3_->statGroup() : inorder_->statGroup();
+    if (o3_)
+        return o3_->statGroup();
+    if (inorder_)
+        return inorder_->statGroup();
+    return fast_->statGroup();
 }
 
 std::vector<stats::StatSnapshot>

@@ -25,6 +25,8 @@
 #include "runtime/instrumentation.hh"
 #include "runtime/runtime_config.hh"
 #include "sim/emulator.hh"
+#include "sim/fast_functional.hh"
+#include "sim/sampling.hh"
 #include "util/trace.hh"
 
 namespace rest::sim
@@ -49,6 +51,13 @@ struct SystemConfig
     std::uint64_t tokenSeed = 0xc0ffee;
 
     /**
+     * Execution mode: detailed (default), fast-functional, or
+     * sampled (see sim/sampling.hh). The default takes exactly the
+     * historical all-detailed code path.
+     */
+    ExecutionConfig exec;
+
+    /**
      * Tracing/metrics for this system. Default-constructed (inactive)
      * means no sink is created and run() costs nothing extra.
      */
@@ -60,6 +69,12 @@ struct SystemResult
 {
     cpu::RunResult run;
     runtime::InstrumentationSummary instrumentation;
+    /** Run retired functionally (cycles are nominal, CPI == 1). */
+    bool fastFunctional = false;
+    /** Run was sampled; `run.cycles` is the extrapolated estimate
+     *  and `sampling` carries the window/error breakdown. */
+    bool sampled = false;
+    SamplingEstimate sampling;
     std::uint64_t armsExecuted = 0;
     std::uint64_t disarmsExecuted = 0;
     std::uint64_t mallocCalls = 0;
@@ -113,6 +128,10 @@ class System
     std::vector<stats::StatSnapshot> statSnapshots() const;
 
   private:
+    /** The sampled-mode interleave loop (detailed windows on the O3
+     *  core, functional fast-forward between them). */
+    cpu::RunResult runSampledLoop(SamplingEstimate &est);
+
     SystemConfig cfg_;
     mem::GuestMemory memory_;
     Xoshiro256ss rng_;
@@ -128,6 +147,7 @@ class System
     std::unique_ptr<Emulator> emulator_;
     std::unique_ptr<cpu::O3Cpu> o3_;
     std::unique_ptr<cpu::InOrderCpu> inorder_;
+    std::unique_ptr<FastFunctional> fast_;
     std::unique_ptr<trace::TraceSink> traceSink_;
 };
 

@@ -1,0 +1,168 @@
+/**
+ * @file
+ * Block-recycling bump allocator for per-op transient state.
+ *
+ * The fast-functional driver allocates a batch of DynOp records per
+ * retire block; a general-purpose heap would pay malloc/free per
+ * batch and scatter the records across memory. The Arena instead
+ * carves allocations out of large blocks with a bump pointer, and
+ * reset() rewinds to the first block *without returning memory to the
+ * OS*, so a steady-state caller touches the same hot cache lines on
+ * every batch and performs zero heap traffic after warm-up.
+ *
+ * Only trivially-destructible types may live in an arena: reset()
+ * and the destructor never run element destructors (alloc<T> enforces
+ * this statically).
+ */
+
+#ifndef REST_UTIL_ARENA_HH
+#define REST_UTIL_ARENA_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <new>
+#include <type_traits>
+#include <vector>
+
+#include "util/logging.hh"
+
+namespace rest::util
+{
+
+class Arena
+{
+  public:
+    /** Default block size: big enough for a few thousand DynOps. */
+    static constexpr std::size_t defaultBlockBytes = 1u << 16;
+
+    explicit Arena(std::size_t block_bytes = defaultBlockBytes)
+        : blockBytes_(block_bytes)
+    {
+        rest_assert(block_bytes > 0, "arena block size must be > 0");
+    }
+
+    /**
+     * Allocate 'bytes' with the given alignment. Oversized requests
+     * (larger than the block size) get a dedicated block of exactly
+     * the requested size; it is recycled like any other block.
+     */
+    void *
+    allocate(std::size_t bytes, std::size_t align)
+    {
+        rest_assert(align != 0 && (align & (align - 1)) == 0,
+                    "arena alignment must be a power of two");
+        if (cur_ < blocks_.size()) {
+            std::uintptr_t base = reinterpret_cast<std::uintptr_t>(
+                blocks_[cur_].data.get());
+            std::uintptr_t p = (base + offset_ + align - 1) &
+                               ~(std::uintptr_t(align) - 1);
+            if (p + bytes <= base + blocks_[cur_].size) {
+                offset_ = p + bytes - base;
+                ++allocations_;
+                return reinterpret_cast<void *>(p);
+            }
+        }
+        return allocateSlow(bytes, align);
+    }
+
+    /**
+     * Allocate and default-construct an array of n Ts. T must be
+     * trivially destructible: the arena never runs destructors.
+     */
+    template <typename T>
+    T *
+    alloc(std::size_t n)
+    {
+        static_assert(std::is_trivially_destructible_v<T>,
+                      "arena-allocated types must be trivially "
+                      "destructible");
+        T *p = static_cast<T *>(allocate(n * sizeof(T), alignof(T)));
+        for (std::size_t i = 0; i < n; ++i)
+            new (p + i) T();
+        return p;
+    }
+
+    /**
+     * Rewind to empty. All blocks are kept and reused by subsequent
+     * allocations in the same order, so a caller with a stable
+     * allocation pattern gets back the same addresses every cycle.
+     */
+    void
+    reset()
+    {
+        cur_ = 0;
+        offset_ = 0;
+        ++resets_;
+    }
+
+    /** Free every block (memory returned to the OS). */
+    void
+    release()
+    {
+        blocks_.clear();
+        blocks_.shrink_to_fit();
+        cur_ = 0;
+        offset_ = 0;
+    }
+
+    /** Blocks currently owned (allocated once, recycled forever). */
+    std::size_t blockCount() const { return blocks_.size(); }
+
+    /** Total bytes of owned block storage. */
+    std::size_t
+    bytesReserved() const
+    {
+        std::size_t total = 0;
+        for (const auto &b : blocks_)
+            total += b.size;
+        return total;
+    }
+
+    std::uint64_t allocations() const { return allocations_; }
+    std::uint64_t resets() const { return resets_; }
+
+  private:
+    struct Block
+    {
+        std::unique_ptr<std::byte[]> data;
+        std::size_t size = 0;
+    };
+
+    /** Move to the next (possibly new) block and allocate from it. */
+    void *
+    allocateSlow(std::size_t bytes, std::size_t align)
+    {
+        // Worst case the bump start needs align-1 bytes of padding.
+        const std::size_t need = bytes + align - 1;
+        std::size_t next = cur_ < blocks_.size() ? cur_ + 1 : cur_;
+        while (next < blocks_.size() && blocks_[next].size < need)
+            ++next;
+        if (next == blocks_.size()) {
+            Block b;
+            b.size = std::max(blockBytes_, need);
+            b.data = std::make_unique<std::byte[]>(b.size);
+            blocks_.push_back(std::move(b));
+        }
+        cur_ = next;
+        offset_ = 0;
+        std::uintptr_t base = reinterpret_cast<std::uintptr_t>(
+            blocks_[cur_].data.get());
+        std::uintptr_t p =
+            (base + align - 1) & ~(std::uintptr_t(align) - 1);
+        offset_ = p + bytes - base;
+        ++allocations_;
+        return reinterpret_cast<void *>(p);
+    }
+
+    std::size_t blockBytes_;
+    std::vector<Block> blocks_;
+    std::size_t cur_ = 0;     ///< block currently bumped (may == size)
+    std::size_t offset_ = 0;  ///< bump offset within blocks_[cur_]
+    std::uint64_t allocations_ = 0;
+    std::uint64_t resets_ = 0;
+};
+
+} // namespace rest::util
+
+#endif // REST_UTIL_ARENA_HH

@@ -8,7 +8,10 @@
 
 #include <gtest/gtest.h>
 
+#include <sstream>
+
 #include "common/test_util.hh"
+#include "sim/results.hh"
 #include "workload/spec_profiles.hh"
 
 namespace rest
@@ -99,6 +102,74 @@ TEST(Determinism, SchemesPreserveProgramSemantics)
             EXPECT_EQ(program_ops, ref_ops)
                 << sim::expConfigName(config);
     }
+}
+
+namespace
+{
+
+/**
+ * Run gobmk/30ki under a config + execution mode and serialise the
+ * measurement through the results-file writer, so the determinism
+ * claim covers the whole reporting path (cycles, scalars, exec-mode
+ * and sampling-error fields), not just the cycle count.
+ */
+std::string
+jsonFor(ExpConfig config, const sim::ExecutionConfig &exec)
+{
+    auto p = workload::profileByName("gobmk");
+    p.targetKiloInsts = 30;
+    sim::Measurement m = sim::runBench(
+        p, config, core::TokenWidth::Bytes64, false, exec);
+
+    sim::SweepCell cell;
+    cell.bench = m.bench;
+    cell.column = m.label;
+    cell.cycles = m.cycles;
+    cell.ops = m.ops;
+    cell.execMode = m.execMode;
+    cell.samplingErrorPct = m.samplingErrorPct;
+    cell.seedCycles = {m.cycles};
+    cell.scalars = m.scalars;
+
+    sim::SweepResults sweep;
+    sweep.name = "determinism";
+    sweep.columns = {m.label};
+    sweep.rows = {m.bench};
+    sweep.cells.push_back(std::move(cell));
+
+    sim::ResultsFile f;
+    f.figure = "determinism";
+    f.kiloInsts = 30;
+    f.seedsPerCell = 1;
+    f.jobs = 1;
+    f.sweeps.push_back(std::move(sweep));
+
+    std::ostringstream os;
+    sim::writeJson(f, os);
+    return os.str();
+}
+
+} // namespace
+
+TEST(Determinism, FastFunctionalSameSeedSameJson)
+{
+    sim::ExecutionConfig exec;
+    exec.fastFunctional = true;
+    EXPECT_EQ(jsonFor(ExpConfig::RestSecureFull, exec),
+              jsonFor(ExpConfig::RestSecureFull, exec));
+}
+
+TEST(Determinism, SampledSameSeedSameJson)
+{
+    sim::ExecutionConfig exec;
+    exec.sampling.warmupOps = 500;
+    exec.sampling.windowOps = 2000;
+    exec.sampling.intervalOps = 5000;
+    std::string a = jsonFor(ExpConfig::RestSecureFull, exec);
+    EXPECT_EQ(a, jsonFor(ExpConfig::RestSecureFull, exec));
+    // And the sampled record really is marked as such.
+    EXPECT_NE(a.find("\"exec_mode\""), std::string::npos) << a;
+    EXPECT_NE(a.find("\"sampled\""), std::string::npos) << a;
 }
 
 } // namespace rest

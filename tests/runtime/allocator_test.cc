@@ -6,7 +6,6 @@
 
 #include <gtest/gtest.h>
 
-#include <deque>
 
 #include "core/rest_engine.hh"
 #include "runtime/asan_allocator.hh"
@@ -22,7 +21,7 @@ namespace
 
 struct Emitted
 {
-    std::deque<isa::DynOp> q;
+    isa::OpQueue q;
     OpEmitter em{q, AddressMap::runtimeTextBase, false};
 
     unsigned
@@ -267,7 +266,7 @@ TEST_P(RestAllocatorTest, MallocEmitsArms)
 
 TEST_P(RestAllocatorTest, PerfectHwEmitsStoresInstead)
 {
-    std::deque<isa::DynOp> q;
+    isa::OpQueue q;
     OpEmitter perfect(q, AddressMap::runtimeTextBase, true);
     alloc->malloc(64, perfect);
     unsigned arms = 0, stores = 0;

@@ -1,6 +1,5 @@
 #include <gtest/gtest.h>
 
-#include <deque>
 
 #include "core/rest_engine.hh"
 #include "runtime/interceptors.hh"
@@ -35,7 +34,7 @@ class InterceptorsTest : public ::testing::Test
     core::TokenConfigRegister tcr;
     std::unique_ptr<core::RestEngine> engine;
     SchemeConfig scheme_;
-    std::deque<isa::DynOp> q;
+    isa::OpQueue q;
 };
 
 TEST_F(InterceptorsTest, MemcpyCopiesBytes)

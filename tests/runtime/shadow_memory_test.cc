@@ -1,6 +1,5 @@
 #include <gtest/gtest.h>
 
-#include <deque>
 
 #include "runtime/shadow_memory.hh"
 
@@ -68,7 +67,7 @@ TEST_F(ShadowMemoryTest, StraddlingAccessChecksBothGranules)
 
 TEST_F(ShadowMemoryTest, EmitterCountsPoisonStores)
 {
-    std::deque<isa::DynOp> q;
+    isa::OpQueue q;
     OpEmitter em(q, 0x600000, false);
     // 64 application bytes = 8 shadow bytes = one 8-byte store.
     shadow.poison(0x5000, 64, shadow_poison::heapLeftRz, &em);
@@ -80,7 +79,7 @@ TEST_F(ShadowMemoryTest, EmitterCountsPoisonStores)
 
 TEST_F(ShadowMemoryTest, LargeRangeUsesWideStores)
 {
-    std::deque<isa::DynOp> q;
+    isa::OpQueue q;
     OpEmitter em(q, 0x600000, false);
     // 64 KiB app = 8 KiB shadow >= 128: vectorized path, one store
     // per 64 shadow bytes = 128 stores.

@@ -1,0 +1,245 @@
+/**
+ * @file
+ * Simulation-fidelity layer, part 2: the sampled execution mode.
+ *
+ * Proves (a) the estimator math on hand-built window sets, (b) that
+ * an inactive sampling config (--sample-interval 0) takes exactly the
+ * historical all-detailed path — cycle counts and the full stats dump
+ * are byte-identical, (c) that sampled CPI extrapolation lands within
+ * a stated error bound of the full-detailed run, (d) that faults
+ * inside both detailed windows and fast-forward gaps surface with the
+ * same verdict and global sequence number as a detailed run, and
+ * (e) that invalid configurations are rejected with rest_fatal.
+ *
+ * Registered under the `fidelity` ctest label; CI runs it under both
+ * ASan and TSan.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+#include "common/test_util.hh"
+#include "util/logging.hh"
+#include "workload/spec_profiles.hh"
+
+namespace rest
+{
+
+using core::ViolationKind;
+using sim::ExpConfig;
+
+namespace
+{
+
+sim::SystemConfig
+sampledConfig(ExpConfig config, std::uint64_t warmup,
+              std::uint64_t window, std::uint64_t interval)
+{
+    sim::SystemConfig cfg = sim::makeSystemConfig(config);
+    cfg.exec.sampling.warmupOps = warmup;
+    cfg.exec.sampling.windowOps = window;
+    cfg.exec.sampling.intervalOps = interval;
+    return cfg;
+}
+
+} // namespace
+
+// ---------------------------------------------------------------------
+// The estimator
+// ---------------------------------------------------------------------
+
+TEST(SamplingEstimate, NoWindowsExtrapolatesNothing)
+{
+    sim::SamplingEstimate est = sim::estimateCycles({}, 100, 450, 0);
+    EXPECT_EQ(est.windows, 0u);
+    EXPECT_EQ(est.detailedCycles, Cycles(450));
+    EXPECT_EQ(est.extrapolatedCycles, Cycles(450));
+    EXPECT_EQ(est.cpiStdErrPct, 0.0);
+}
+
+TEST(SamplingEstimate, SingleWindowHasNoErrorEstimate)
+{
+    // One 1000-op window at CPI 2; 5000 skipped ops extrapolate at
+    // that CPI on top of the 3000 detailed cycles.
+    sim::SamplingEstimate est =
+        sim::estimateCycles({{1000, 2000}}, 1500, 3000, 5000);
+    EXPECT_EQ(est.windows, 1u);
+    EXPECT_DOUBLE_EQ(est.windowCpi, 2.0);
+    EXPECT_EQ(est.cpiStdErrPct, 0.0);
+    EXPECT_EQ(est.extrapolatedCycles, Cycles(3000 + 10000));
+}
+
+TEST(SamplingEstimate, MeanIsOpsWeightedAndErrorIsStdErr)
+{
+    // Two windows, CPI 1 and CPI 3, equal op counts: ops-weighted
+    // mean CPI 2; per-window sample stddev = sqrt(2), stderr =
+    // sqrt(2)/sqrt(2) = 1, i.e. 50% of the mean.
+    sim::SamplingEstimate est = sim::estimateCycles(
+        {{1000, 1000}, {1000, 3000}}, 2000, 4000, 10000);
+    EXPECT_EQ(est.windows, 2u);
+    EXPECT_DOUBLE_EQ(est.windowCpi, 2.0);
+    EXPECT_NEAR(est.cpiStdErrPct, 50.0, 1e-9);
+    EXPECT_EQ(est.extrapolatedCycles, Cycles(4000 + 20000));
+    EXPECT_EQ(est.detailedOps, 2000u);
+    EXPECT_EQ(est.fastForwardedOps, 10000u);
+}
+
+TEST(SamplingEstimate, IdenticalWindowsHaveZeroError)
+{
+    sim::SamplingEstimate est = sim::estimateCycles(
+        {{500, 750}, {500, 750}, {500, 750}}, 1500, 2250, 3000);
+    EXPECT_DOUBLE_EQ(est.windowCpi, 1.5);
+    EXPECT_EQ(est.cpiStdErrPct, 0.0);
+}
+
+// ---------------------------------------------------------------------
+// Inactive sampling == the historical detailed path, byte for byte
+// ---------------------------------------------------------------------
+
+TEST(Sampling, IntervalZeroIsByteIdenticalToDetailed)
+{
+    auto p = workload::profileByName("gobmk");
+    p.targetKiloInsts = 20;
+
+    sim::SystemConfig plain_cfg =
+        sim::makeSystemConfig(ExpConfig::RestSecureFull);
+    sim::System detailed(workload::generate(p), plain_cfg);
+    sim::SystemResult dr = detailed.run();
+
+    // Explicit interval 0 (what --sample-interval 0 produces) must be
+    // indistinguishable from never mentioning sampling at all.
+    sim::SystemConfig zero_cfg =
+        sampledConfig(ExpConfig::RestSecureFull, 2000, 10000, 0);
+    sim::System zeroed(workload::generate(p), zero_cfg);
+    sim::SystemResult zr = zeroed.run();
+
+    EXPECT_FALSE(zr.sampled);
+    EXPECT_EQ(dr.cycles(), zr.cycles());
+    EXPECT_EQ(dr.run.committedOps, zr.run.committedOps);
+
+    std::ostringstream ds, zs;
+    detailed.dumpStats(ds);
+    zeroed.dumpStats(zs);
+    EXPECT_EQ(ds.str(), zs.str());
+}
+
+// ---------------------------------------------------------------------
+// Accuracy: extrapolated cycles near the full-detailed truth
+// ---------------------------------------------------------------------
+
+TEST(Sampling, ExtrapolatedCpiWithinErrorBound)
+{
+    for (ExpConfig config :
+         {ExpConfig::Plain, ExpConfig::RestSecureFull}) {
+        auto p = workload::profileByName("gobmk");
+        p.targetKiloInsts = 60;
+        isa::Program prog = workload::generate(p);
+
+        sim::System detailed(prog, sim::makeSystemConfig(config));
+        sim::SystemResult dr = detailed.run();
+        ASSERT_FALSE(dr.faulted());
+
+        sim::System sampled(prog,
+                            sampledConfig(config, 500, 2000, 5000));
+        sim::SystemResult sr = sampled.run();
+        ASSERT_FALSE(sr.faulted());
+        EXPECT_TRUE(sr.sampled);
+        EXPECT_EQ(sr.run.committedOps, dr.run.committedOps);
+        EXPECT_GE(sr.sampling.windows, 2u);
+        EXPECT_GT(sr.sampling.fastForwardedOps, 0u);
+
+        // The contract the docs state: sampled numbers are quotable
+        // only with the error estimate attached, and on these
+        // periodic-phase workloads the estimate bounds the truth.
+        const double detailed_cpi = double(dr.cycles()) /
+                                    double(dr.run.committedOps);
+        const double sampled_cpi = double(sr.cycles()) /
+                                   double(sr.run.committedOps);
+        const double err_pct =
+            100.0 * std::abs(sampled_cpi - detailed_cpi) /
+            detailed_cpi;
+        EXPECT_LT(err_pct, 10.0)
+            << sim::expConfigName(config) << ": detailed CPI "
+            << detailed_cpi << " vs sampled " << sampled_cpi
+            << " (reported stderr " << sr.sampling.cpiStdErrPct
+            << "%)";
+    }
+}
+
+// ---------------------------------------------------------------------
+// Detection equivalence through windows and gaps
+// ---------------------------------------------------------------------
+
+TEST(Sampling, FaultInFastForwardGapDetectedIdentically)
+{
+    // Default sampling geometry puts the (early) attack fault inside
+    // the first detailed window; a tiny window forces it into the
+    // functional gap instead. Both must match the detailed verdict.
+    for (auto [warmup, window, interval] :
+         {std::tuple<std::uint64_t, std::uint64_t, std::uint64_t>
+              {200, 1000, 4000},
+          std::tuple<std::uint64_t, std::uint64_t, std::uint64_t>
+              {2, 2, 50}}) {
+        auto build = [] {
+            return workload::attacks::heapOverflowWrite(64, 64);
+        };
+        sim::SystemResult dr = test::runUnder(
+            build(), ExpConfig::RestSecureFull);
+        ASSERT_TRUE(dr.faulted());
+
+        sim::System sampled(
+            build(), sampledConfig(ExpConfig::RestSecureFull, warmup,
+                                   window, interval));
+        sim::SystemResult sr = sampled.run();
+        ASSERT_TRUE(sr.faulted());
+        auto norm = [](ViolationKind k) {
+            return k == ViolationKind::TokenForward
+                       ? ViolationKind::TokenAccess
+                       : k;
+        };
+        EXPECT_EQ(norm(sr.run.violation.kind),
+                  norm(dr.run.violation.kind));
+        EXPECT_EQ(sr.run.violation.pc, dr.run.violation.pc);
+        EXPECT_EQ(sr.run.violation.seq, dr.run.violation.seq);
+        EXPECT_EQ(sr.run.committedOps, dr.run.committedOps);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Config validation
+// ---------------------------------------------------------------------
+
+TEST(Sampling, InvalidConfigsAreFatal)
+{
+    util::ScopedFatalThrow guard;
+    auto p = workload::profileByName("hmmer");
+    p.targetKiloInsts = 5;
+
+    // warmup + window > interval.
+    EXPECT_THROW(
+        {
+            sim::System s(workload::generate(p),
+                          sampledConfig(ExpConfig::Plain, 5000, 10000,
+                                        12000));
+        },
+        util::FatalError);
+
+    // Sampling needs the O3 core.
+    sim::SystemConfig inorder_cfg =
+        sampledConfig(ExpConfig::Plain, 100, 100, 1000);
+    inorder_cfg.useInOrderCpu = true;
+    EXPECT_THROW(
+        { sim::System s(workload::generate(p), inorder_cfg); },
+        util::FatalError);
+
+    // Fast-functional and sampling are mutually exclusive.
+    sim::SystemConfig both_cfg =
+        sampledConfig(ExpConfig::Plain, 100, 100, 1000);
+    both_cfg.exec.fastFunctional = true;
+    EXPECT_THROW({ sim::System s(workload::generate(p), both_cfg); },
+                 util::FatalError);
+}
+
+} // namespace rest
