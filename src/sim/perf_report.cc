@@ -1,0 +1,144 @@
+#include "sim/perf_report.hh"
+
+#include <cmath>
+#include <iomanip>
+
+#include "util/json_reader.hh"
+#include "util/logging.hh"
+
+namespace rest::sim
+{
+
+std::optional<PerfBaseline>
+loadPerfBaseline(const std::string &path)
+{
+    bool ok = false;
+    util::JsonValue doc = util::readJsonFile(path, &ok);
+    if (!ok) {
+        rest_warn("perf baseline \"", path,
+                  "\" is missing or malformed");
+        return std::nullopt;
+    }
+    if (!doc.has("perf") ||
+        doc.at("perf").kind != util::JsonValue::Object) {
+        rest_warn("perf baseline \"", path, "\" has no \"perf\" block "
+                  "(was the harness run with --perf?)");
+        return std::nullopt;
+    }
+    const util::JsonValue &p = doc.at("perf");
+
+    PerfBaseline base;
+    base.path = path;
+    base.figure = doc.at("figure").str;
+    base.kiloInsts = doc.at("kiloinsts").u64();
+    base.perf.bench = p.at("bench").str;
+    base.perf.kiloInsts = p.at("kiloinsts").u64();
+    base.perf.kipsDetailed = p.at("kips_detailed").number;
+    base.perf.kipsFastFunctional = p.at("kips_fast_functional").number;
+    base.perf.kipsSampled = p.at("kips_sampled").number;
+    base.perf.speedupFastFunctional =
+        p.at("speedup_fast_functional").number;
+    base.perf.speedupSampled = p.at("speedup_sampled").number;
+    if (!base.perf.valid()) {
+        rest_warn("perf baseline \"", path,
+                  "\" has a perf block with no detailed KIPS");
+        return std::nullopt;
+    }
+    return base;
+}
+
+PerfReport
+comparePerf(const PerfRecord &baseline, const PerfRecord &current,
+            double threshold_pct, double speedup_floor)
+{
+    PerfReport report;
+    report.thresholdPct = threshold_pct;
+    report.speedupFloor = speedup_floor;
+
+    const struct
+    {
+        const char *mode;
+        double base, cur;
+    } modes[] = {
+        {"detailed", baseline.kipsDetailed, current.kipsDetailed},
+        {"fast-functional", baseline.kipsFastFunctional,
+         current.kipsFastFunctional},
+        {"sampled", baseline.kipsSampled, current.kipsSampled},
+    };
+    for (const auto &m : modes) {
+        if (m.base <= 0.0 || m.cur <= 0.0)
+            continue; // mode not measured on one side: no verdict
+        PerfDelta d;
+        d.mode = m.mode;
+        d.baselineKips = m.base;
+        d.currentKips = m.cur;
+        d.deltaPct = (m.cur - m.base) / m.base * 100.0;
+        d.regressed = d.deltaPct < -threshold_pct;
+        report.rows.push_back(std::move(d));
+    }
+
+    report.baselineSpeedupFast = baseline.speedupFastFunctional;
+    report.currentSpeedupFast = current.speedupFastFunctional;
+    if (speedup_floor > 0.0) {
+        report.baselineFloorMet =
+            baseline.speedupFastFunctional >= speedup_floor;
+        report.currentFloorMet =
+            current.speedupFastFunctional >= speedup_floor;
+    }
+    return report;
+}
+
+PerfReport
+checkBaseline(const PerfRecord &baseline, double speedup_floor)
+{
+    PerfReport report;
+    report.speedupFloor = speedup_floor;
+    report.baselineSpeedupFast = baseline.speedupFastFunctional;
+    report.currentSpeedupFast = baseline.speedupFastFunctional;
+    if (speedup_floor > 0.0) {
+        report.baselineFloorMet =
+            baseline.speedupFastFunctional >= speedup_floor;
+        report.currentFloorMet = report.baselineFloorMet;
+    }
+    return report;
+}
+
+void
+printPerfReport(const PerfReport &report, std::ostream &os)
+{
+    const auto flags = os.flags();
+    os << std::fixed;
+    if (!report.rows.empty()) {
+        os << std::left << std::setw(17) << "mode" << std::right
+           << std::setw(15) << "baseline KIPS" << std::setw(15)
+           << "current KIPS" << std::setw(10) << "delta %"
+           << std::setw(10) << "verdict" << "\n"
+           << std::string(67, '-') << "\n";
+        for (const auto &row : report.rows) {
+            os << std::left << std::setw(17) << row.mode << std::right
+               << std::setw(15) << std::setprecision(1)
+               << row.baselineKips << std::setw(15) << row.currentKips
+               << std::setw(10) << std::setprecision(2) << row.deltaPct
+               << std::setw(10)
+               << (row.regressed ? "REGRESSED" : "ok") << "\n";
+        }
+        os << std::string(67, '-') << "\n";
+        os << "regression threshold: -" << std::setprecision(1)
+           << report.thresholdPct << "%\n";
+    }
+    if (report.speedupFloor > 0.0) {
+        os << "fast-functional speedup: baseline "
+           << std::setprecision(1) << report.baselineSpeedupFast
+           << "x, current " << report.currentSpeedupFast << "x (floor "
+           << report.speedupFloor << "x)  "
+           << (report.baselineFloorMet && report.currentFloorMet
+                   ? "ok"
+                   : "BELOW FLOOR")
+           << "\n";
+    }
+    os << "verdict: "
+       << (report.anyRegression() ? "REGRESSION" : "ok") << "\n";
+    os.flags(flags);
+}
+
+} // namespace rest::sim

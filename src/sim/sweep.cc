@@ -9,6 +9,7 @@
 #include <utility>
 
 #include "sim/checkpoint.hh"
+#include "sim/sweep_events.hh"
 #include "util/logging.hh"
 #include "util/thread_pool.hh"
 #include "util/trace.hh"
@@ -27,6 +28,31 @@ elapsedMs(Clock::time_point since)
     return std::chrono::duration<double, std::milli>(Clock::now() -
                                                      since)
         .count();
+}
+
+/** The column label telemetry reports for a job (matches what the
+ *  Measurement will carry). */
+std::string
+eventLabel(const SweepJob &job)
+{
+    if (!job.label.empty())
+        return job.label;
+    return job.useCustomConfig ? std::string("custom")
+                               : expConfigName(job.config);
+}
+
+/** Start a lifecycle event for one job (seq is assigned on publish). */
+SweepEvent
+jobEvent(const SweepOptions &options, SweepEventKind kind,
+         const SweepJob &job, std::size_t index)
+{
+    SweepEvent e;
+    e.kind = kind;
+    e.sweep = options.sweepName;
+    e.job = index;
+    e.bench = job.profile.name;
+    e.label = eventLabel(job);
+    return e;
 }
 
 Measurement
@@ -332,6 +358,12 @@ SweepRunner::executeJob(const SweepJob &job, std::size_t index,
     for (unsigned attempt = 1; attempt <= max_attempts; ++attempt) {
         r.attempts = attempt;
         r.starts = prior_starts + attempt;
+        if (options_.events) {
+            SweepEvent e = jobEvent(options_, SweepEventKind::Running,
+                                    job, index);
+            e.attempt = attempt;
+            options_.events->publish(std::move(e));
+        }
         const auto t0 = Clock::now();
         bool transient = false;
         try {
@@ -348,6 +380,14 @@ SweepRunner::executeJob(const SweepJob &job, std::size_t index,
                 r.timedOut = false;
                 r.error.clear();
                 r.measurement = std::move(m);
+                if (options_.events) {
+                    SweepEvent e = jobEvent(
+                        options_, SweepEventKind::Done, job, index);
+                    e.attempt = attempt;
+                    e.wallMs = r.wallMs;
+                    e.ops = r.measurement.ops;
+                    options_.events->publish(std::move(e));
+                }
                 return r;
             }
             // Completed, but over the soft deadline: the measurement
@@ -376,7 +416,19 @@ SweepRunner::executeJob(const SweepJob &job, std::size_t index,
         rest_warn("sweep job ", index, " (", job.profile.name,
                   ") attempt ", attempt, "/", max_attempts,
                   " failed: ", r.error);
-        if (!transient || attempt == max_attempts)
+        const bool terminal = !transient || attempt == max_attempts;
+        if (options_.events) {
+            SweepEvent e = jobEvent(options_,
+                                    terminal ? SweepEventKind::Failed
+                                             : SweepEventKind::Retrying,
+                                    job, index);
+            e.attempt = attempt;
+            e.wallMs = r.wallMs;
+            e.timedOut = r.timedOut;
+            e.error = r.error;
+            options_.events->publish(std::move(e));
+        }
+        if (terminal)
             return r;
         if (options_.backoffBaseMs) {
             std::uint64_t delay = std::min<std::uint64_t>(
@@ -394,6 +446,18 @@ SweepRunner::run(const std::vector<SweepJob> &jobs) const
     std::vector<JobResult> results(jobs.size());
     std::vector<unsigned> prior_starts(jobs.size(), 0);
     CheckpointWriter writer(options_.checkpointPath, jobs.size());
+
+    if (options_.events) {
+        SweepEvent begin;
+        begin.kind = SweepEventKind::SweepBegin;
+        begin.sweep = options_.sweepName;
+        begin.totalJobs = jobs.size();
+        begin.threads = num_threads_;
+        options_.events->publish(std::move(begin));
+        for (std::size_t i = 0; i < jobs.size(); ++i)
+            options_.events->publish(
+                jobEvent(options_, SweepEventKind::Queued, jobs[i], i));
+    }
 
     // Restore completed jobs from the resume file, if any.
     if (!options_.resumePath.empty()) {
@@ -420,6 +484,16 @@ SweepRunner::run(const std::vector<SweepJob> &jobs) const
                 r.measurement = entry.measurement;
                 writer.record(index, jobs[index], r, /*flush=*/false);
                 ++restored;
+                if (options_.events) {
+                    SweepEvent e = jobEvent(
+                        options_, SweepEventKind::Done, jobs[index],
+                        index);
+                    e.attempt = r.attempts;
+                    e.wallMs = r.wallMs;
+                    e.ops = r.measurement.ops;
+                    e.fromCheckpoint = true;
+                    options_.events->publish(std::move(e));
+                }
             }
             rest_inform("resumed ", restored, " of ", jobs.size(),
                         " sweep jobs from ", options_.resumePath);
@@ -445,6 +519,8 @@ SweepRunner::run(const std::vector<SweepJob> &jobs) const
     } else {
         util::ThreadPool pool(
             std::min<std::size_t>(num_threads_, todo.size()));
+        if (options_.registry)
+            pool.publishMetrics(*options_.registry, "sweep");
         for (std::size_t i : todo)
             pool.submit([&exec, i] { exec(i); });
         pool.wait();

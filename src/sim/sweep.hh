@@ -45,8 +45,15 @@
 
 #include "sim/experiment.hh"
 
+namespace rest::telemetry
+{
+class MetricRegistry;
+} // namespace rest::telemetry
+
 namespace rest::sim
 {
+
+class SweepEventBus;
 
 /** One cell of a sweep: a benchmark run under one configuration. */
 struct SweepJob
@@ -145,6 +152,17 @@ struct SweepOptions
     /** Restore completed jobs from this file ("" = off). */
     std::string resumePath;
     SweepFaultInjector fault;
+
+    // --- telemetry (DESIGN.md §12; all off by default) ---------------
+    /** Sweep display name carried on every published event. */
+    std::string sweepName;
+    /** Lifecycle event bus (nullptr = no events; the runner's output
+     *  and results are byte-identical either way). */
+    SweepEventBus *events = nullptr;
+    /** When set alongside a thread pool, the pool's queue-depth and
+     *  active-worker gauges are published here for the sweep's
+     *  duration. */
+    telemetry::MetricRegistry *registry = nullptr;
 };
 
 /** The per-job outcome of a fault-tolerant sweep. */

@@ -1,0 +1,160 @@
+/**
+ * @file
+ * Per-job lifecycle events for sweep telemetry (DESIGN.md §12).
+ *
+ * The SweepRunner publishes one SweepEvent per lifecycle transition:
+ *
+ *   sweep-begin            once per run(), carrying total_jobs/threads
+ *   queued                 every job, in submission order
+ *   running                each attempt's start (attempt = 1, 2, ...)
+ *   retrying               a transient failure with attempts left
+ *   done                   terminal success (wall_ms, ops filled in;
+ *                          from_checkpoint marks restored jobs)
+ *   failed                 terminal failure (error, timed_out)
+ *
+ * Events flow through a SweepEventBus: publish() assigns monotonic
+ * sequence numbers and fans out to the subscribed listeners *under the
+ * bus lock*, so every listener observes the same total order and
+ * sequence numbers appear in order in every sink. Two listeners ship
+ * with the runner: SweepStatusTracker (sim/sweep_status.hh, feeds the
+ * /status and /metrics endpoints) and SweepEventLog (--event-log, a
+ * JSONL file with one event per line).
+ *
+ * The JSONL schema is stable and replayable: every field is emitted on
+ * every line in a fixed order, and fromJson()/writeJsonLine() round-
+ * trip byte-exactly (tests/sim/telemetry_test.cc enforces this), so
+ * downstream tooling can parse, transform and re-emit logs without
+ * drift.
+ */
+
+#ifndef REST_SIM_SWEEP_EVENTS_HH
+#define REST_SIM_SWEEP_EVENTS_HH
+
+#include <cstdint>
+#include <fstream>
+#include <functional>
+#include <mutex>
+#include <optional>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace rest::util
+{
+struct JsonValue;
+} // namespace rest::util
+
+namespace rest::sim
+{
+
+enum class SweepEventKind
+{
+    SweepBegin,
+    Queued,
+    Running,
+    Retrying,
+    Done,
+    Failed,
+};
+
+/** Stable wire name ("sweep-begin", "queued", ...). */
+const char *sweepEventName(SweepEventKind kind);
+
+/** Inverse of sweepEventName(); nullopt for unknown names. */
+std::optional<SweepEventKind>
+sweepEventFromName(const std::string &name);
+
+struct SweepEvent
+{
+    /** Monotonic per-bus sequence number (assigned by publish()). */
+    std::uint64_t seq = 0;
+    SweepEventKind kind = SweepEventKind::Queued;
+    /** Sweep display name (SweepOptions::sweepName). */
+    std::string sweep;
+    /** Job submission index (0 for sweep-begin). */
+    std::size_t job = 0;
+    std::string bench;
+    std::string label;
+    /** Attempt number for running/retrying/done/failed (1-based). */
+    unsigned attempt = 0;
+    /** sweep-begin only. */
+    std::size_t totalJobs = 0;
+    unsigned threads = 0;
+    bool fromCheckpoint = false;
+    bool timedOut = false;
+    /** Final attempt's wall time (done/failed). */
+    double wallMs = 0.0;
+    /** Simulated ops of a done job (drives live-KIPS derivation). */
+    std::uint64_t ops = 0;
+    /** Empty unless retrying/failed. */
+    std::string error;
+
+    /** One compact JSON object + '\n', every field, fixed key order. */
+    void writeJsonLine(std::ostream &os) const;
+
+    /** Parse one logged object; nullopt when the schema is violated. */
+    static std::optional<SweepEvent>
+    fromJson(const util::JsonValue &v);
+};
+
+/**
+ * Fan-out bus. subscribe() is not thread-safe against publish(): wire
+ * up all listeners before handing the bus to a SweepRunner.
+ */
+class SweepEventBus
+{
+  public:
+    using Listener = std::function<void(const SweepEvent &)>;
+
+    void subscribe(Listener listener)
+    { listeners_.push_back(std::move(listener)); }
+
+    /**
+     * Assign the next sequence number and deliver to every listener.
+     * Serialised: listeners see a total order consistent with seq.
+     * Listeners must not publish re-entrantly.
+     */
+    void
+    publish(SweepEvent event)
+    {
+        std::lock_guard lock(mutex_);
+        event.seq = next_seq_++;
+        for (const auto &listener : listeners_)
+            listener(event);
+    }
+
+    std::uint64_t
+    eventCount() const
+    {
+        std::lock_guard lock(mutex_);
+        return next_seq_;
+    }
+
+  private:
+    mutable std::mutex mutex_;
+    std::uint64_t next_seq_ = 0;
+    std::vector<Listener> listeners_;
+};
+
+/**
+ * The --event-log sink: one JSONL line per event, flushed per line so
+ * a killed sweep's log is complete up to the last event delivered.
+ */
+class SweepEventLog
+{
+  public:
+    /** Opens (truncates) `path`; warns and disables itself on failure. */
+    explicit SweepEventLog(const std::string &path);
+
+    bool ok() const { return os_.is_open(); }
+
+    void append(const SweepEvent &event);
+
+  private:
+    std::ofstream os_;
+    std::mutex mutex_;
+};
+
+} // namespace rest::sim
+
+#endif // REST_SIM_SWEEP_EVENTS_HH

@@ -1,0 +1,283 @@
+#include "sim/sweep_status.hh"
+
+#include <sstream>
+
+#include "util/json_writer.hh"
+#include "util/metrics.hh"
+
+namespace rest::sim
+{
+
+namespace
+{
+
+/** Job-state wire name for /status (jobs never show sweep-begin). */
+const char *
+jobStateName(SweepEventKind state)
+{
+    return sweepEventName(state);
+}
+
+double
+elapsedMsSince(std::chrono::steady_clock::time_point t0)
+{
+    return std::chrono::duration<double, std::milli>(
+               std::chrono::steady_clock::now() - t0)
+        .count();
+}
+
+} // namespace
+
+SweepStatusTracker::SweepStatusTracker(
+    telemetry::MetricRegistry *registry)
+    : registry_(registry)
+{
+    if (!registry_)
+        return;
+    // Register the families up front so /metrics is stable from the
+    // first scrape, not dependent on which events happened yet.
+    wallMsHist_ = &registry_->histogram(
+        "rest_sweep_job_wall_ms",
+        "Wall-clock time of terminal job attempts (ms)",
+        {1, 10, 100, 1000, 10000, 100000});
+    runningGauge_ = &registry_->gauge(
+        "rest_sweep_jobs_running", "Jobs currently executing");
+    progressGauge_ = &registry_->gauge(
+        "rest_sweep_progress_ratio",
+        "Completed fraction of the current sweep");
+    totalJobsGauge_ = &registry_->gauge(
+        "rest_sweep_total_jobs", "Jobs in the current sweep");
+    for (auto kind : {SweepEventKind::SweepBegin,
+                      SweepEventKind::Queued, SweepEventKind::Running,
+                      SweepEventKind::Retrying, SweepEventKind::Done,
+                      SweepEventKind::Failed})
+        registry_->counter("rest_sweep_events_total",
+                           "Sweep lifecycle events by kind",
+                           {{"event", sweepEventName(kind)}});
+    registry_->counter("rest_sweep_jobs_completed_total",
+                       "Terminal job outcomes", {{"result", "done"}});
+    registry_->counter("rest_sweep_jobs_completed_total",
+                       "Terminal job outcomes",
+                       {{"result", "failed"}});
+    registry_->counter("rest_sweep_job_retries_total",
+                       "Transient job failures that were retried");
+    registry_->counter("rest_sweep_jobs_restored_total",
+                       "Jobs restored from a checkpoint");
+    registry_->counter("rest_sweep_sweeps_total", "Sweeps started");
+}
+
+void
+SweepStatusTracker::onEvent(const SweepEvent &event)
+{
+    {
+        std::lock_guard lock(mutex_);
+        switch (event.kind) {
+          case SweepEventKind::SweepBegin:
+            sweep_ = event.sweep;
+            threads_ = event.threads;
+            restored_ = 0;
+            ++sweepsStarted_;
+            jobs_.assign(event.totalJobs, JobStatus{});
+            sweepStart_ = std::chrono::steady_clock::now();
+            break;
+          case SweepEventKind::Queued:
+          case SweepEventKind::Running:
+          case SweepEventKind::Retrying:
+          case SweepEventKind::Done:
+          case SweepEventKind::Failed: {
+            if (event.job >= jobs_.size())
+                jobs_.resize(event.job + 1);
+            JobStatus &j = jobs_[event.job];
+            j.state = event.kind;
+            if (!event.bench.empty())
+                j.bench = event.bench;
+            if (!event.label.empty())
+                j.label = event.label;
+            if (event.attempt)
+                j.attempts = event.attempt;
+            if (event.kind == SweepEventKind::Done ||
+                event.kind == SweepEventKind::Failed) {
+                j.wallMs = event.wallMs;
+                j.ops = event.ops;
+                j.fromCheckpoint = event.fromCheckpoint;
+                j.timedOut = event.timedOut;
+                j.error = event.error;
+                if (event.fromCheckpoint)
+                    ++restored_;
+            }
+            break;
+          }
+        }
+    }
+    if (registry_)
+        publishMetrics(event);
+}
+
+void
+SweepStatusTracker::publishMetrics(const SweepEvent &event)
+{
+    registry_
+        ->counter("rest_sweep_events_total",
+                  "Sweep lifecycle events by kind",
+                  {{"event", sweepEventName(event.kind)}})
+        .inc();
+    switch (event.kind) {
+      case SweepEventKind::SweepBegin:
+        registry_->counter("rest_sweep_sweeps_total", "Sweeps started")
+            .inc();
+        break;
+      case SweepEventKind::Retrying:
+        registry_
+            ->counter("rest_sweep_job_retries_total",
+                      "Transient job failures that were retried")
+            .inc();
+        break;
+      case SweepEventKind::Done:
+      case SweepEventKind::Failed:
+        registry_
+            ->counter("rest_sweep_jobs_completed_total",
+                      "Terminal job outcomes",
+                      {{"result", event.kind == SweepEventKind::Done
+                                      ? "done"
+                                      : "failed"}})
+            .inc();
+        if (event.fromCheckpoint)
+            registry_
+                ->counter("rest_sweep_jobs_restored_total",
+                          "Jobs restored from a checkpoint")
+                .inc();
+        else
+            wallMsHist_->observe(std::uint64_t(event.wallMs));
+        break;
+      case SweepEventKind::Queued:
+      case SweepEventKind::Running:
+        break;
+    }
+
+    std::lock_guard lock(mutex_);
+    std::size_t running = 0, terminal = 0;
+    for (const auto &j : jobs_) {
+        if (j.state == SweepEventKind::Running ||
+            j.state == SweepEventKind::Retrying)
+            ++running;
+        if (j.state == SweepEventKind::Done ||
+            j.state == SweepEventKind::Failed)
+            ++terminal;
+    }
+    runningGauge_->set(double(running));
+    totalJobsGauge_->set(double(jobs_.size()));
+    progressGauge_->set(
+        jobs_.empty() ? 0.0 : double(terminal) / double(jobs_.size()));
+}
+
+std::size_t
+SweepStatusTracker::completedJobs() const
+{
+    std::lock_guard lock(mutex_);
+    std::size_t n = 0;
+    for (const auto &j : jobs_)
+        if (j.state == SweepEventKind::Done ||
+            j.state == SweepEventKind::Failed)
+            ++n;
+    return n;
+}
+
+std::string
+SweepStatusTracker::statusJson() const
+{
+    std::lock_guard lock(mutex_);
+
+    std::size_t counts[5] = {0, 0, 0, 0, 0}; // q, run, retry, done, fail
+    double completedWallMs = 0.0, completedOps = 0.0;
+    std::size_t completedTimed = 0;
+    for (const auto &j : jobs_) {
+        switch (j.state) {
+          case SweepEventKind::Queued: ++counts[0]; break;
+          case SweepEventKind::Running: ++counts[1]; break;
+          case SweepEventKind::Retrying: ++counts[2]; break;
+          case SweepEventKind::Done: ++counts[3]; break;
+          case SweepEventKind::Failed: ++counts[4]; break;
+          case SweepEventKind::SweepBegin: break; // not a job state
+        }
+        if ((j.state == SweepEventKind::Done ||
+             j.state == SweepEventKind::Failed) &&
+            !j.fromCheckpoint && j.wallMs > 0) {
+            ++completedTimed;
+            completedWallMs += j.wallMs;
+            completedOps += double(j.ops);
+        }
+    }
+    const std::size_t terminal = counts[3] + counts[4];
+    const std::size_t remaining = jobs_.size() - terminal;
+
+    std::ostringstream os;
+    util::JsonWriter w(os);
+    w.beginObject();
+    w.field("schema_version", std::uint64_t(1));
+    w.field("sweep", sweep_);
+    w.field("sweeps_started", sweepsStarted_);
+    w.field("total_jobs", std::uint64_t(jobs_.size()));
+    w.field("threads", threads_);
+    w.field("elapsed_ms",
+            sweepsStarted_ ? elapsedMsSince(sweepStart_) : 0.0);
+    w.field("progress", jobs_.empty()
+                            ? 0.0
+                            : double(terminal) / double(jobs_.size()));
+    // ETA: mean wall time of the jobs measured this process, scaled by
+    // what is left and divided across the workers. Null until the
+    // first job completes (no basis for extrapolation yet).
+    w.key("eta_ms");
+    if (completedTimed == 0)
+        w.nullValue();
+    else
+        w.value(completedWallMs / double(completedTimed) *
+                double(remaining) /
+                double(threads_ ? threads_ : 1));
+    // Live simulated throughput over everything measured so far:
+    // ops / wall-ms == kilo-ops per second.
+    w.key("kips_live");
+    if (completedWallMs <= 0)
+        w.nullValue();
+    else
+        w.value(completedOps / completedWallMs);
+    w.key("checkpoint");
+    w.beginObject();
+    w.field("restored", restored_);
+    w.endObject();
+    w.key("state_counts");
+    w.beginObject();
+    w.field("queued", std::uint64_t(counts[0]));
+    w.field("running", std::uint64_t(counts[1]));
+    w.field("retrying", std::uint64_t(counts[2]));
+    w.field("done", std::uint64_t(counts[3]));
+    w.field("failed", std::uint64_t(counts[4]));
+    w.endObject();
+    w.key("jobs");
+    w.beginArray();
+    for (std::size_t i = 0; i < jobs_.size(); ++i) {
+        const JobStatus &j = jobs_[i];
+        w.beginObject();
+        w.field("index", std::uint64_t(i));
+        w.field("bench", j.bench);
+        w.field("label", j.label);
+        w.field("state", jobStateName(j.state));
+        w.field("attempts", j.attempts);
+        w.field("wall_ms", j.wallMs);
+        w.field("ops", j.ops);
+        w.key("kips");
+        if (j.state == SweepEventKind::Done && j.wallMs > 0)
+            w.value(double(j.ops) / j.wallMs);
+        else
+            w.nullValue();
+        w.field("from_checkpoint", j.fromCheckpoint);
+        w.field("timed_out", j.timedOut);
+        w.field("error", j.error);
+        w.endObject();
+    }
+    w.endArray();
+    w.endObject();
+    os << "\n";
+    return os.str();
+}
+
+} // namespace rest::sim

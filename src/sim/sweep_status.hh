@@ -1,0 +1,107 @@
+/**
+ * @file
+ * SweepStatusTracker: the aggregation listener behind the /status and
+ * /metrics endpoints (DESIGN.md §12).
+ *
+ * Subscribed to a SweepEventBus, it maintains a per-job state machine
+ * (queued → running → retrying → … → done | failed) and derives the
+ * live view a poll wants: state counts, progress fraction, an ETA
+ * extrapolated from completed jobs, aggregate simulated KIPS, and
+ * checkpoint/restore counts. statusJson() renders the whole document;
+ * when constructed with a MetricRegistry it additionally publishes
+ * counters (events, completions, retries, restores), gauges (running,
+ * progress, total jobs) and a job-wall-time histogram on every event.
+ *
+ * /status schema (schema_version 1; all fields always present):
+ *   {
+ *     "schema_version": 1,
+ *     "sweep": "overheads",          // current (or last) sweep
+ *     "sweeps_started": 1,
+ *     "total_jobs": 4, "threads": 2,
+ *     "elapsed_ms": 123.4,           // since sweep-begin
+ *     "progress": 0.5,               // (done + failed) / total
+ *     "eta_ms": 130.1,               // null until a job completes
+ *     "kips_live": 820.5,            // null until a job completes
+ *     "checkpoint": { "restored": 0 },
+ *     "state_counts": { "queued": n, "running": n, "retrying": n,
+ *                       "done": n, "failed": n },
+ *     "jobs": [ { "index": 0, "bench": "gcc", "label": "Plain",
+ *                 "state": "done", "attempts": 1, "wall_ms": 12.5,
+ *                 "ops": 10240, "kips": 819.2,
+ *                 "from_checkpoint": false, "timed_out": false,
+ *                 "error": "" }, ... ]
+ *   }
+ */
+
+#ifndef REST_SIM_SWEEP_STATUS_HH
+#define REST_SIM_SWEEP_STATUS_HH
+
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "sim/sweep_events.hh"
+
+namespace rest::telemetry
+{
+class MetricRegistry;
+class Histogram;
+class Gauge;
+} // namespace rest::telemetry
+
+namespace rest::sim
+{
+
+class SweepStatusTracker
+{
+  public:
+    /** @param registry optional; when set, sweep metrics are published
+     *         there on every event. */
+    explicit SweepStatusTracker(
+        telemetry::MetricRegistry *registry = nullptr);
+
+    /** Bus listener (thread-safe; the bus already serialises). */
+    void onEvent(const SweepEvent &event);
+
+    /** Render the /status document (deterministic field order). */
+    std::string statusJson() const;
+
+    /** Jobs in a terminal state (done + failed) of the current sweep. */
+    std::size_t completedJobs() const;
+
+  private:
+    struct JobStatus
+    {
+        std::string bench;
+        std::string label;
+        SweepEventKind state = SweepEventKind::Queued;
+        unsigned attempts = 0;
+        double wallMs = 0.0;
+        std::uint64_t ops = 0;
+        bool fromCheckpoint = false;
+        bool timedOut = false;
+        std::string error;
+    };
+
+    void publishMetrics(const SweepEvent &event);
+
+    mutable std::mutex mutex_;
+    std::string sweep_;
+    std::uint64_t sweepsStarted_ = 0;
+    unsigned threads_ = 0;
+    std::uint64_t restored_ = 0;
+    std::vector<JobStatus> jobs_;
+    std::chrono::steady_clock::time_point sweepStart_{};
+
+    telemetry::MetricRegistry *registry_;
+    telemetry::Histogram *wallMsHist_ = nullptr;
+    telemetry::Gauge *runningGauge_ = nullptr;
+    telemetry::Gauge *progressGauge_ = nullptr;
+    telemetry::Gauge *totalJobsGauge_ = nullptr;
+};
+
+} // namespace rest::sim
+
+#endif // REST_SIM_SWEEP_STATUS_HH

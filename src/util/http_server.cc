@@ -1,0 +1,203 @@
+#include "util/http_server.hh"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "util/logging.hh"
+
+namespace rest::telemetry
+{
+
+namespace
+{
+
+const char *
+statusText(int status)
+{
+    switch (status) {
+      case 200: return "OK";
+      case 400: return "Bad Request";
+      case 404: return "Not Found";
+      case 405: return "Method Not Allowed";
+      default: return "Error";
+    }
+}
+
+/** write() the whole buffer; best-effort (client may have gone away). */
+void
+sendAll(int fd, const std::string &data)
+{
+    std::size_t off = 0;
+    while (off < data.size()) {
+        ssize_t n = ::send(fd, data.data() + off, data.size() - off,
+                           MSG_NOSIGNAL);
+        if (n <= 0)
+            return;
+        off += std::size_t(n);
+    }
+}
+
+} // namespace
+
+HttpServer::~HttpServer()
+{
+    stop();
+}
+
+void
+HttpServer::route(const std::string &path, Handler handler)
+{
+    rest_assert(!running(), "HttpServer::route() after start()");
+    routes_[path] = std::move(handler);
+}
+
+bool
+HttpServer::start(std::uint16_t port)
+{
+    rest_assert(!running(), "HttpServer::start() while running");
+
+    int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0) {
+        rest_warn("telemetry http server: socket() failed: ",
+                  std::strerror(errno));
+        return false;
+    }
+    int one = 1;
+    ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_ANY);
+    addr.sin_port = htons(port);
+    if (::bind(fd, reinterpret_cast<sockaddr *>(&addr),
+               sizeof(addr)) != 0 ||
+        ::listen(fd, 16) != 0) {
+        rest_warn("telemetry http server: cannot listen on port ",
+                  port, ": ", std::strerror(errno));
+        ::close(fd);
+        return false;
+    }
+
+    socklen_t len = sizeof(addr);
+    if (::getsockname(fd, reinterpret_cast<sockaddr *>(&addr),
+                      &len) == 0)
+        port_ = ntohs(addr.sin_port);
+    else
+        port_ = port;
+
+    listen_fd_ = fd;
+    stopping_.store(false, std::memory_order_relaxed);
+    thread_ = std::thread([this] { acceptLoop(); });
+    return true;
+}
+
+void
+HttpServer::stop()
+{
+    if (!running())
+        return;
+    stopping_.store(true, std::memory_order_relaxed);
+    // Wake the blocking accept(): shutdown does it on Linux; the
+    // self-connect nudge covers platforms where it does not.
+    ::shutdown(listen_fd_, SHUT_RDWR);
+    int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd >= 0) {
+        sockaddr_in addr{};
+        addr.sin_family = AF_INET;
+        addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+        addr.sin_port = htons(port_);
+        ::connect(fd, reinterpret_cast<sockaddr *>(&addr),
+                  sizeof(addr));
+        ::close(fd);
+    }
+    thread_.join();
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+}
+
+void
+HttpServer::acceptLoop()
+{
+    while (!stopping_.load(std::memory_order_relaxed)) {
+        int fd = ::accept(listen_fd_, nullptr, nullptr);
+        if (fd < 0) {
+            if (stopping_.load(std::memory_order_relaxed))
+                break;
+            if (errno == EINTR || errno == ECONNABORTED)
+                continue;
+            break; // listen socket gone; nothing left to serve
+        }
+        if (stopping_.load(std::memory_order_relaxed)) {
+            ::close(fd);
+            break;
+        }
+        handleConnection(fd);
+        ::close(fd);
+    }
+}
+
+void
+HttpServer::handleConnection(int fd)
+{
+    // Bound how long a slow client can hold the (serial) server.
+    timeval tv{};
+    tv.tv_sec = 5;
+    ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+
+    // Read until the end of the request headers (or a sane cap);
+    // bodies are ignored — the telemetry endpoints are all GET.
+    std::string req;
+    char buf[2048];
+    while (req.find("\r\n\r\n") == std::string::npos &&
+           req.size() < 16384) {
+        ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+        if (n <= 0)
+            break;
+        req.append(buf, std::size_t(n));
+    }
+
+    HttpResponse resp;
+    std::size_t eol = req.find("\r\n");
+    std::size_t sp1 = req.find(' ');
+    std::size_t sp2 =
+        sp1 == std::string::npos ? sp1 : req.find(' ', sp1 + 1);
+    if (eol == std::string::npos || sp1 == std::string::npos ||
+        sp2 == std::string::npos || sp2 > eol) {
+        resp.status = 400;
+        resp.body = "bad request\n";
+    } else {
+        HttpRequest parsed;
+        parsed.method = req.substr(0, sp1);
+        parsed.path = req.substr(sp1 + 1, sp2 - sp1 - 1);
+        if (std::size_t q = parsed.path.find('?');
+            q != std::string::npos)
+            parsed.path.resize(q);
+        if (parsed.method != "GET" && parsed.method != "HEAD") {
+            resp.status = 405;
+            resp.body = "method not allowed\n";
+        } else if (auto it = routes_.find(parsed.path);
+                   it != routes_.end()) {
+            resp = it->second(parsed);
+        } else {
+            resp.status = 404;
+            resp.body = "not found\n";
+        }
+        if (parsed.method == "HEAD")
+            resp.body.clear();
+    }
+
+    std::string out = "HTTP/1.1 " + std::to_string(resp.status) + " " +
+                      statusText(resp.status) + "\r\n" +
+                      "Content-Type: " + resp.contentType + "\r\n" +
+                      "Content-Length: " +
+                      std::to_string(resp.body.size()) + "\r\n" +
+                      "Connection: close\r\n\r\n" + resp.body;
+    sendAll(fd, out);
+}
+
+} // namespace rest::telemetry

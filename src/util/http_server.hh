@@ -1,0 +1,89 @@
+/**
+ * @file
+ * A minimal embedded HTTP/1.1 server for the telemetry endpoints
+ * (DESIGN.md §12) — /metrics, /status, /healthz.
+ *
+ * Deliberately tiny and dependency-free (POSIX sockets only): one
+ * blocking accept loop on its own thread, requests handled serially,
+ * GET only, Connection: close on every response. That is exactly
+ * enough for a scrape endpoint — Prometheus and curl both speak it —
+ * and keeps the server out of the simulator's way: a stuck client can
+ * stall other *scrapes* (a receive timeout bounds even that) but never
+ * the sweep itself, which only touches the registry through atomics.
+ *
+ * Routing is exact-match on the path (query strings are stripped);
+ * handlers return an HttpResponse and run on the server thread, so
+ * they should be quick and must be thread-safe against the publishing
+ * threads (MetricRegistry and SweepStatusTracker are).
+ */
+
+#ifndef REST_UTIL_HTTP_SERVER_HH
+#define REST_UTIL_HTTP_SERVER_HH
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <thread>
+
+namespace rest::telemetry
+{
+
+struct HttpRequest
+{
+    std::string method;
+    std::string path; ///< query string stripped
+};
+
+struct HttpResponse
+{
+    int status = 200;
+    std::string contentType = "text/plain; charset=utf-8";
+    std::string body;
+};
+
+class HttpServer
+{
+  public:
+    using Handler = std::function<HttpResponse(const HttpRequest &)>;
+
+    HttpServer() = default;
+    ~HttpServer();
+    HttpServer(const HttpServer &) = delete;
+    HttpServer &operator=(const HttpServer &) = delete;
+
+    /** Register a handler for an exact path. Call before start(). */
+    void route(const std::string &path, Handler handler);
+
+    /**
+     * Bind, listen and start the accept thread. @param port TCP port;
+     * 0 picks an ephemeral port (see port()). Returns false — with a
+     * warning, the process carries on unserved — when the socket
+     * cannot be set up (port taken, no permission).
+     */
+    bool start(std::uint16_t port);
+
+    /** The bound port (resolves port 0), valid after start(). */
+    std::uint16_t port() const { return port_; }
+
+    bool running() const { return thread_.joinable(); }
+
+    /** Stop accepting, join the thread, close the socket. Idempotent;
+     *  also run by the destructor. */
+    void stop();
+
+  private:
+    void acceptLoop();
+    void handleConnection(int fd);
+
+    std::map<std::string, Handler> routes_;
+    int listen_fd_ = -1;
+    std::uint16_t port_ = 0;
+    std::atomic<bool> stopping_{false};
+    std::thread thread_;
+};
+
+} // namespace rest::telemetry
+
+#endif // REST_UTIL_HTTP_SERVER_HH

@@ -1,0 +1,220 @@
+#include "util/metrics.hh"
+
+#include <charconv>
+#include <cmath>
+#include <sstream>
+
+#include "util/logging.hh"
+
+namespace rest::telemetry
+{
+
+namespace
+{
+
+/** Shortest round-trip double, matching util::JsonWriter's convention
+ *  so scraped values compare bit-exactly against JSON outputs.
+ *  Prometheus accepts NaN/Inf spellings, unlike JSON. */
+std::string
+formatDouble(double d)
+{
+    if (std::isnan(d))
+        return "NaN";
+    if (std::isinf(d))
+        return d > 0 ? "+Inf" : "-Inf";
+    char buf[32];
+    auto [end, ec] = std::to_chars(buf, buf + sizeof(buf), d);
+    rest_assert(ec == std::errc(), "double format failure");
+    return std::string(buf, end);
+}
+
+/** Escape a label value per the exposition format. */
+std::string
+escapeLabelValue(const std::string &v)
+{
+    std::string out;
+    out.reserve(v.size());
+    for (char c : v) {
+        switch (c) {
+          case '\\': out += "\\\\"; break;
+          case '"': out += "\\\""; break;
+          case '\n': out += "\\n"; break;
+          default: out += c;
+        }
+    }
+    return out;
+}
+
+const char *
+typeName(int kind)
+{
+    switch (kind) {
+      case 0: return "counter";
+      case 1: return "gauge";
+      default: return "histogram";
+    }
+}
+
+/** Merge a family's label string with an extra label (histogram `le`). */
+std::string
+withExtraLabel(const std::string &labels, const std::string &key,
+               const std::string &value)
+{
+    std::string extra = key + "=\"" + value + "\"";
+    if (labels.empty())
+        return "{" + extra + "}";
+    // labels is "{...}"; splice before the closing brace.
+    return labels.substr(0, labels.size() - 1) + "," + extra + "}";
+}
+
+} // namespace
+
+std::string
+renderLabels(const Labels &labels)
+{
+    if (labels.empty())
+        return "";
+    std::string out = "{";
+    bool first = true;
+    for (const auto &[k, v] : labels) {
+        if (!first)
+            out += ",";
+        first = false;
+        out += k + "=\"" + escapeLabelValue(v) + "\"";
+    }
+    out += "}";
+    return out;
+}
+
+MetricRegistry::Family &
+MetricRegistry::family(const std::string &name, Family::Kind kind,
+                       const std::string &help)
+{
+    auto [it, inserted] = families_.try_emplace(name);
+    if (inserted) {
+        it->second.kind = kind;
+        it->second.help = help;
+    } else {
+        rest_assert(it->second.kind == kind,
+                    "metric family ", name,
+                    " re-registered with a different kind");
+    }
+    return it->second;
+}
+
+Counter &
+MetricRegistry::counter(const std::string &name, const std::string &help,
+                        const Labels &labels)
+{
+    std::lock_guard lock(mutex_);
+    Family &fam = family(name, Family::Kind::Counter, help);
+    auto [it, inserted] =
+        fam.counters.try_emplace(renderLabels(labels));
+    if (inserted)
+        it->second = std::make_unique<Counter>();
+    return *it->second;
+}
+
+Gauge &
+MetricRegistry::gauge(const std::string &name, const std::string &help,
+                      const Labels &labels)
+{
+    std::lock_guard lock(mutex_);
+    Family &fam = family(name, Family::Kind::Gauge, help);
+    auto [it, inserted] = fam.gauges.try_emplace(renderLabels(labels));
+    if (inserted)
+        it->second = std::make_unique<Gauge>();
+    return *it->second;
+}
+
+Histogram &
+MetricRegistry::histogram(const std::string &name,
+                          const std::string &help,
+                          std::vector<std::uint64_t> edges,
+                          const Labels &labels)
+{
+    std::lock_guard lock(mutex_);
+    Family &fam = family(name, Family::Kind::Histogram, help);
+    auto [it, inserted] = fam.hists.try_emplace(renderLabels(labels));
+    if (inserted)
+        it->second = std::make_unique<Histogram>(std::move(edges));
+    return *it->second;
+}
+
+std::uint64_t
+MetricRegistry::gaugeCallback(const std::string &name,
+                              const std::string &help,
+                              const Labels &labels,
+                              std::function<double()> fn)
+{
+    std::lock_guard lock(mutex_);
+    Family &fam = family(name, Family::Kind::Gauge, help);
+    std::uint64_t id = next_callback_id_++;
+    fam.callbacks[renderLabels(labels)] = {id, std::move(fn)};
+    return id;
+}
+
+void
+MetricRegistry::removeCallback(std::uint64_t id)
+{
+    std::lock_guard lock(mutex_);
+    for (auto &[name, fam] : families_) {
+        for (auto it = fam.callbacks.begin();
+             it != fam.callbacks.end();) {
+            if (it->second.id == id)
+                it = fam.callbacks.erase(it);
+            else
+                ++it;
+        }
+    }
+}
+
+void
+MetricRegistry::writePrometheus(std::ostream &os) const
+{
+    std::lock_guard lock(mutex_);
+    for (const auto &[name, fam] : families_) {
+        // A family whose only instances were callback gauges since
+        // removed still prints its header; harmless and keeps the
+        // output a pure function of what was registered.
+        os << "# HELP " << name << " " << fam.help << "\n";
+        os << "# TYPE " << name << " "
+           << typeName(int(fam.kind)) << "\n";
+        for (const auto &[labels, c] : fam.counters)
+            os << name << labels << " " << c->value() << "\n";
+        for (const auto &[labels, g] : fam.gauges)
+            os << name << labels << " " << formatDouble(g->value())
+               << "\n";
+        for (const auto &[labels, cb] : fam.callbacks)
+            os << name << labels << " " << formatDouble(cb.fn())
+               << "\n";
+        for (const auto &[labels, h] : fam.hists) {
+            const stats::Distribution d = h->snapshot();
+            std::uint64_t cum = 0;
+            const auto &buckets = d.buckets();
+            const auto &edges = d.edges();
+            for (std::size_t i = 0; i < buckets.size(); ++i) {
+                cum += buckets[i];
+                const std::string le =
+                    i < edges.size() ? std::to_string(edges[i])
+                                     : std::string("+Inf");
+                os << name << "_bucket"
+                   << withExtraLabel(labels, "le", le) << " " << cum
+                   << "\n";
+            }
+            os << name << "_sum" << labels << " " << d.sum() << "\n";
+            os << name << "_count" << labels << " " << d.count()
+               << "\n";
+        }
+    }
+}
+
+std::string
+MetricRegistry::prometheusText() const
+{
+    std::ostringstream os;
+    writePrometheus(os);
+    return os.str();
+}
+
+} // namespace rest::telemetry

@@ -1,0 +1,201 @@
+/**
+ * @file
+ * rest::telemetry — a thread-safe metric registry for live experiment
+ * telemetry (DESIGN.md §12).
+ *
+ * Where stats::StatGroup is the *simulated* machine's counters (owned
+ * by one System, torn down with it), the MetricRegistry is *host-side*
+ * observability: process-lifetime counters, gauges and histograms that
+ * concurrent sweep workers publish into and an embedded HTTP server
+ * (util/http_server.hh) scrapes out of as Prometheus text exposition.
+ *
+ * Three instrument kinds, each addressable by (name, labels):
+ *   - Counter:   monotonically increasing 64-bit count,
+ *   - Gauge:     a settable double, or a callback evaluated at scrape
+ *                time (e.g. a ThreadPool's live queue depth),
+ *   - Histogram: stats::Distribution bucketing (inclusive upper edges,
+ *                matching Prometheus `le` semantics) plus the
+ *                percentile accessors Distribution gained for this.
+ *
+ * Thread-safety: registration and exposition lock the registry;
+ * Counter/Gauge updates are lock-free atomics and Histogram::observe
+ * takes a per-instance mutex, so hot-path publishing never contends
+ * with a scrape for longer than one instrument. Callback gauges are
+ * invoked during exposition with the registry lock held: they must not
+ * touch the registry themselves.
+ */
+
+#ifndef REST_UTIL_METRICS_HH
+#define REST_UTIL_METRICS_HH
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "util/stats.hh"
+
+namespace rest::telemetry
+{
+
+/** Ordered label set; rendered in the order given (keep it stable). */
+using Labels = std::vector<std::pair<std::string, std::string>>;
+
+/** A monotonically increasing counter. */
+class Counter
+{
+  public:
+    void inc(std::uint64_t n = 1)
+    { value_.fetch_add(n, std::memory_order_relaxed); }
+
+    std::uint64_t value() const
+    { return value_.load(std::memory_order_relaxed); }
+
+  private:
+    std::atomic<std::uint64_t> value_{0};
+};
+
+/** A gauge: a value that can go up and down. */
+class Gauge
+{
+  public:
+    void set(double v) { value_.store(v, std::memory_order_relaxed); }
+
+    void
+    add(double d)
+    {
+        double cur = value_.load(std::memory_order_relaxed);
+        while (!value_.compare_exchange_weak(cur, cur + d,
+                                             std::memory_order_relaxed))
+            ;
+    }
+
+    double value() const
+    { return value_.load(std::memory_order_relaxed); }
+
+  private:
+    std::atomic<double> value_{0.0};
+};
+
+/** A bucketed histogram over stats::Distribution. */
+class Histogram
+{
+  public:
+    explicit Histogram(std::vector<std::uint64_t> edges)
+    {
+        dist_.init(std::move(edges));
+    }
+
+    void
+    observe(std::uint64_t v)
+    {
+        std::lock_guard lock(mutex_);
+        dist_.sample(v);
+    }
+
+    /** Consistent copy of the underlying distribution (exposition and
+     *  the percentile accessors go through this). */
+    stats::Distribution
+    snapshot() const
+    {
+        std::lock_guard lock(mutex_);
+        return dist_;
+    }
+
+    double
+    percentile(double p) const
+    {
+        std::lock_guard lock(mutex_);
+        return dist_.percentile(p);
+    }
+
+  private:
+    mutable std::mutex mutex_;
+    stats::Distribution dist_;
+};
+
+/**
+ * The registry: a process-wide namespace of metric families. Each
+ * family has one kind and help string; instances within a family are
+ * distinguished by labels. Lookups are get-or-create and return stable
+ * references (instances are never deleted; only callback gauges can be
+ * unregistered, because they reference external objects).
+ */
+class MetricRegistry
+{
+  public:
+    MetricRegistry() = default;
+    MetricRegistry(const MetricRegistry &) = delete;
+    MetricRegistry &operator=(const MetricRegistry &) = delete;
+
+    Counter &counter(const std::string &name, const std::string &help,
+                     const Labels &labels = {});
+    Gauge &gauge(const std::string &name, const std::string &help,
+                 const Labels &labels = {});
+    Histogram &histogram(const std::string &name,
+                         const std::string &help,
+                         std::vector<std::uint64_t> edges,
+                         const Labels &labels = {});
+
+    /**
+     * Register a gauge whose value is computed at scrape time. Returns
+     * a handle for removeCallback(); the callback must stay valid (and
+     * must not touch this registry) until removed.
+     */
+    std::uint64_t gaugeCallback(const std::string &name,
+                                const std::string &help,
+                                const Labels &labels,
+                                std::function<double()> fn);
+
+    /** Remove a callback gauge; unknown ids are ignored. */
+    void removeCallback(std::uint64_t id);
+
+    /**
+     * Prometheus text exposition format (version 0.0.4): families in
+     * lexicographic name order, instances in label order, `# HELP` and
+     * `# TYPE` per family; histograms expose cumulative `_bucket`
+     * series with inclusive `le` edges plus `_sum`/`_count`.
+     */
+    void writePrometheus(std::ostream &os) const;
+    std::string prometheusText() const;
+
+  private:
+    struct CallbackGauge
+    {
+        std::uint64_t id;
+        std::function<double()> fn;
+    };
+
+    struct Family
+    {
+        enum class Kind { Counter, Gauge, Histogram };
+        Kind kind = Kind::Counter;
+        std::string help;
+        /** Keyed by rendered label string ("" or {k="v",...}). */
+        std::map<std::string, std::unique_ptr<Counter>> counters;
+        std::map<std::string, std::unique_ptr<Gauge>> gauges;
+        std::map<std::string, CallbackGauge> callbacks;
+        std::map<std::string, std::unique_ptr<Histogram>> hists;
+    };
+
+    Family &family(const std::string &name, Family::Kind kind,
+                   const std::string &help);
+
+    mutable std::mutex mutex_;
+    std::map<std::string, Family> families_;
+    std::uint64_t next_callback_id_ = 1;
+};
+
+/** Render labels as {k="v",...} with Prometheus escaping ("" when
+ *  empty). Exposed for tests. */
+std::string renderLabels(const Labels &labels);
+
+} // namespace rest::telemetry
+
+#endif // REST_UTIL_METRICS_HH

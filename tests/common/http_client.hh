@@ -1,0 +1,90 @@
+/**
+ * @file
+ * A tiny blocking loopback HTTP client for the telemetry tests: just
+ * enough to GET an endpoint off util/http_server.hh and split the
+ * response into status / headers / body. Raw POSIX sockets so the
+ * tests exercise the server over a real TCP connection, the same way
+ * curl and Prometheus will.
+ */
+
+#ifndef REST_TESTS_COMMON_HTTP_CLIENT_HH
+#define REST_TESTS_COMMON_HTTP_CLIENT_HH
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstdint>
+#include <string>
+
+namespace rest::test
+{
+
+struct HttpClientResponse
+{
+    bool ok = false;     ///< transport-level success
+    int status = 0;      ///< parsed status code
+    std::string headers; ///< raw header block (incl. status line)
+    std::string body;
+};
+
+/** Send `request` verbatim to 127.0.0.1:port and read to EOF. */
+inline HttpClientResponse
+httpRaw(std::uint16_t port, const std::string &request)
+{
+    HttpClientResponse out;
+    int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0)
+        return out;
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(port);
+    if (::connect(fd, reinterpret_cast<sockaddr *>(&addr),
+                  sizeof(addr)) != 0) {
+        ::close(fd);
+        return out;
+    }
+    std::size_t off = 0;
+    while (off < request.size()) {
+        ssize_t n = ::send(fd, request.data() + off,
+                           request.size() - off, 0);
+        if (n <= 0) {
+            ::close(fd);
+            return out;
+        }
+        off += std::size_t(n);
+    }
+    std::string resp;
+    char buf[4096];
+    ssize_t n;
+    while ((n = ::recv(fd, buf, sizeof(buf), 0)) > 0)
+        resp.append(buf, std::size_t(n));
+    ::close(fd);
+
+    std::size_t split = resp.find("\r\n\r\n");
+    if (split == std::string::npos)
+        return out;
+    out.headers = resp.substr(0, split);
+    out.body = resp.substr(split + 4);
+    // "HTTP/1.1 200 OK"
+    if (out.headers.size() >= 12 &&
+        out.headers.compare(0, 5, "HTTP/") == 0)
+        out.status = std::atoi(out.headers.c_str() + 9);
+    out.ok = out.status != 0;
+    return out;
+}
+
+/** GET a path; the usual entry point. */
+inline HttpClientResponse
+httpGet(std::uint16_t port, const std::string &path)
+{
+    return httpRaw(port, "GET " + path + " HTTP/1.1\r\n"
+                         "Host: 127.0.0.1\r\n"
+                         "Connection: close\r\n\r\n");
+}
+
+} // namespace rest::test
+
+#endif // REST_TESTS_COMMON_HTTP_CLIENT_HH

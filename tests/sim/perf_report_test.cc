@@ -1,0 +1,220 @@
+/**
+ * @file
+ * The perf-trajectory regression library (sim/perf_report.hh): baseline
+ * loading from results-file JSON, delta computation against thresholds,
+ * the fast-functional speedup floor, and the printed verdict.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "sim/perf_report.hh"
+
+namespace rest::sim
+{
+
+namespace
+{
+
+std::string
+tmpFile(const std::string &name, const std::string &content)
+{
+    std::string path =
+        ::testing::TempDir() + "rest_perf_" + name + ".json";
+    std::ofstream(path) << content;
+    return path;
+}
+
+/** A minimal results file with a healthy perf block. */
+std::string
+baselineJson()
+{
+    return R"({
+  "figure": "fig7",
+  "kiloinsts": 1000,
+  "perf": {
+    "bench": "xalancbmk",
+    "kiloinsts": 1000,
+    "kips_detailed": 6410.6,
+    "kips_fast_functional": 95582.1,
+    "kips_sampled": 30040.3,
+    "speedup_fast_functional": 14.91,
+    "speedup_sampled": 4.69
+  }
+})";
+}
+
+PerfRecord
+record(double detailed, double fast, double sampled)
+{
+    PerfRecord p;
+    p.bench = "xalancbmk";
+    p.kiloInsts = 1000;
+    p.kipsDetailed = detailed;
+    p.kipsFastFunctional = fast;
+    p.kipsSampled = sampled;
+    if (detailed > 0) {
+        p.speedupFastFunctional = fast / detailed;
+        p.speedupSampled = sampled / detailed;
+    }
+    return p;
+}
+
+} // namespace
+
+TEST(PerfReport, LoadsBaselineFromResultsFile)
+{
+    auto base = loadPerfBaseline(tmpFile("ok", baselineJson()));
+    ASSERT_TRUE(base.has_value());
+    EXPECT_EQ(base->figure, "fig7");
+    EXPECT_EQ(base->kiloInsts, 1000u);
+    EXPECT_EQ(base->perf.bench, "xalancbmk");
+    EXPECT_DOUBLE_EQ(base->perf.kipsDetailed, 6410.6);
+    EXPECT_DOUBLE_EQ(base->perf.speedupFastFunctional, 14.91);
+}
+
+TEST(PerfReport, MissingFileIsNullopt)
+{
+    EXPECT_FALSE(
+        loadPerfBaseline("/nonexistent/nope.json").has_value());
+}
+
+TEST(PerfReport, FileWithoutPerfBlockIsNullopt)
+{
+    auto path = tmpFile("noperf",
+                        "{\"figure\": \"fig7\", \"kiloinsts\": 10}");
+    EXPECT_FALSE(loadPerfBaseline(path).has_value());
+}
+
+TEST(PerfReport, PerfBlockWithoutDetailedKipsIsNullopt)
+{
+    auto path = tmpFile("zerokips", R"({
+  "figure": "fig7", "kiloinsts": 10,
+  "perf": {"bench": "gcc", "kiloinsts": 10, "kips_detailed": 0,
+           "kips_fast_functional": 0, "kips_sampled": 0,
+           "speedup_fast_functional": 0, "speedup_sampled": 0}
+})");
+    EXPECT_FALSE(loadPerfBaseline(path).has_value());
+}
+
+TEST(PerfReport, MalformedJsonIsNullopt)
+{
+    auto path = tmpFile("broken", "{\"figure\": ");
+    EXPECT_FALSE(loadPerfBaseline(path).has_value());
+}
+
+TEST(PerfReport, NoRegressionWithinThreshold)
+{
+    auto base = record(1000, 15000, 5000);
+    auto cur = record(950, 14000, 5100); // -5%, -6.7%, +2%
+    PerfReport r = comparePerf(base, cur, 20.0, 10.0);
+    ASSERT_EQ(r.rows.size(), 3u);
+    for (const auto &row : r.rows)
+        EXPECT_FALSE(row.regressed) << row.mode;
+    EXPECT_TRUE(r.baselineFloorMet);
+    EXPECT_TRUE(r.currentFloorMet);
+    EXPECT_FALSE(r.anyRegression());
+}
+
+TEST(PerfReport, FlagsModeBeyondThreshold)
+{
+    auto base = record(1000, 15000, 5000);
+    auto cur = record(700, 14900, 5000); // detailed -30%
+    PerfReport r = comparePerf(base, cur, 20.0, 0.0);
+    ASSERT_EQ(r.rows.size(), 3u);
+    EXPECT_EQ(r.rows[0].mode, "detailed");
+    EXPECT_TRUE(r.rows[0].regressed);
+    EXPECT_NEAR(r.rows[0].deltaPct, -30.0, 1e-9);
+    EXPECT_FALSE(r.rows[1].regressed);
+    EXPECT_TRUE(r.anyRegression());
+}
+
+TEST(PerfReport, ImprovementIsNeverARegression)
+{
+    auto base = record(1000, 15000, 5000);
+    auto cur = record(5000, 75000, 25000); // 5x faster everywhere
+    PerfReport r = comparePerf(base, cur, 5.0, 10.0);
+    EXPECT_FALSE(r.anyRegression());
+}
+
+TEST(PerfReport, ModesMissingOnEitherSideAreSkipped)
+{
+    auto base = record(1000, 15000, 0); // no sampled baseline
+    auto cur = record(1000, 0, 5000);   // no fast-functional current
+    PerfReport r = comparePerf(base, cur, 20.0, 0.0);
+    ASSERT_EQ(r.rows.size(), 1u);
+    EXPECT_EQ(r.rows[0].mode, "detailed");
+}
+
+TEST(PerfReport, SpeedupFloorCatchesBothSides)
+{
+    // Baseline meets the 10x fast-functional floor, current does not.
+    auto base = record(1000, 15000, 5000);
+    auto cur = record(1000, 8000, 5000);
+    PerfReport r = comparePerf(base, cur, 50.0, 10.0);
+    EXPECT_TRUE(r.baselineFloorMet);
+    EXPECT_FALSE(r.currentFloorMet);
+    EXPECT_TRUE(r.anyRegression());
+
+    // A stale baseline below the floor is caught too.
+    PerfReport r2 = comparePerf(cur, base, 50.0, 10.0);
+    EXPECT_FALSE(r2.baselineFloorMet);
+    EXPECT_TRUE(r2.currentFloorMet);
+    EXPECT_TRUE(r2.anyRegression());
+
+    // Floor 0 disables the check.
+    PerfReport r3 = comparePerf(base, cur, 50.0, 0.0);
+    EXPECT_FALSE(r3.anyRegression());
+}
+
+TEST(PerfReport, CheckBaselineStandalone)
+{
+    auto base = record(1000, 15000, 5000);
+    PerfReport ok = checkBaseline(base, 10.0);
+    EXPECT_TRUE(ok.rows.empty());
+    EXPECT_FALSE(ok.anyRegression());
+
+    PerfReport bad = checkBaseline(record(1000, 5000, 5000), 10.0);
+    EXPECT_TRUE(bad.anyRegression());
+}
+
+TEST(PerfReport, PrintedVerdictTable)
+{
+    auto base = record(1000, 15000, 5000);
+    auto cur = record(700, 14000, 5000);
+    PerfReport r = comparePerf(base, cur, 20.0, 10.0);
+    std::ostringstream os;
+    printPerfReport(r, os);
+    const std::string out = os.str();
+    EXPECT_NE(out.find("detailed"), std::string::npos);
+    EXPECT_NE(out.find("fast-functional"), std::string::npos);
+    EXPECT_NE(out.find("REGRESSED"), std::string::npos);
+    EXPECT_NE(out.find("verdict: REGRESSION"), std::string::npos);
+
+    PerfReport ok = comparePerf(base, record(1000, 15000, 5000),
+                                20.0, 10.0);
+    std::ostringstream os2;
+    printPerfReport(ok, os2);
+    EXPECT_NE(os2.str().find("verdict: ok"), std::string::npos);
+}
+
+TEST(PerfReport, CommittedTrajectoryRoundTrips)
+{
+    // The same shape the harness writes: loading the synthetic file
+    // and comparing it against itself is a zero-delta ok verdict.
+    auto base = loadPerfBaseline(tmpFile("self", baselineJson()));
+    ASSERT_TRUE(base.has_value());
+    PerfReport r = comparePerf(base->perf, base->perf, 1.0, 10.0);
+    ASSERT_EQ(r.rows.size(), 3u);
+    for (const auto &row : r.rows)
+        EXPECT_DOUBLE_EQ(row.deltaPct, 0.0);
+    EXPECT_FALSE(r.anyRegression());
+    // The committed BENCH_fig7.json claim: >= 10x fast-functional.
+    EXPECT_GE(base->perf.speedupFastFunctional, 10.0);
+}
+
+} // namespace rest::sim

@@ -1,0 +1,475 @@
+/**
+ * @file
+ * The live-telemetry layer end to end (DESIGN.md §12): sweep lifecycle
+ * events on the bus and in the --event-log JSONL file (byte-exact
+ * round-trip), the /status and /metrics documents over a deterministic
+ * two-job sweep, and a genuine mid-sweep HTTP poll against a running
+ * SweepRunner via the slow fault injector.
+ */
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/http_client.hh"
+#include "sim/sweep.hh"
+#include "sim/sweep_events.hh"
+#include "sim/sweep_status.hh"
+#include "util/http_server.hh"
+#include "util/json_reader.hh"
+#include "util/metrics.hh"
+
+namespace rest::sim
+{
+
+namespace
+{
+
+/** Two cheap, distinguishable jobs. */
+std::vector<SweepJob>
+twoJobSweep()
+{
+    std::vector<SweepJob> jobs;
+    for (const char *bench : {"sjeng", "hmmer"}) {
+        auto p = workload::profileByName(bench);
+        p.targetKiloInsts = 10;
+        jobs.push_back(makePresetJob(p, ExpConfig::Plain));
+    }
+    return jobs;
+}
+
+std::string
+tmpPath(const std::string &name)
+{
+    std::string path = ::testing::TempDir() + "rest_telemetry_" +
+                       name + ".jsonl";
+    std::remove(path.c_str());
+    return path;
+}
+
+std::vector<std::string>
+readLines(const std::string &path)
+{
+    std::ifstream in(path);
+    std::vector<std::string> lines;
+    std::string line;
+    while (std::getline(in, line))
+        lines.push_back(line);
+    return lines;
+}
+
+util::JsonValue
+parseJson(const std::string &text)
+{
+    util::JsonReader reader(text);
+    util::JsonValue v = reader.parse();
+    EXPECT_TRUE(reader.ok()) << text;
+    return v;
+}
+
+} // namespace
+
+// ---------------------------------------------------------------------
+// Event bus and JSONL log
+// ---------------------------------------------------------------------
+
+TEST(SweepEvents, NamesRoundTrip)
+{
+    for (auto kind : {SweepEventKind::SweepBegin,
+                      SweepEventKind::Queued, SweepEventKind::Running,
+                      SweepEventKind::Retrying, SweepEventKind::Done,
+                      SweepEventKind::Failed}) {
+        auto back = sweepEventFromName(sweepEventName(kind));
+        ASSERT_TRUE(back.has_value());
+        EXPECT_EQ(*back, kind);
+    }
+    EXPECT_FALSE(sweepEventFromName("exploded").has_value());
+}
+
+TEST(SweepEvents, BusAssignsMonotonicSeqAcrossListeners)
+{
+    SweepEventBus bus;
+    std::vector<std::uint64_t> a, b;
+    bus.subscribe([&](const SweepEvent &e) { a.push_back(e.seq); });
+    bus.subscribe([&](const SweepEvent &e) { b.push_back(e.seq); });
+    for (int i = 0; i < 5; ++i)
+        bus.publish(SweepEvent{});
+    EXPECT_EQ(bus.eventCount(), 5u);
+    ASSERT_EQ(a.size(), 5u);
+    EXPECT_EQ(a, b); // every listener sees the same total order
+    for (std::uint64_t i = 0; i < 5; ++i)
+        EXPECT_EQ(a[i], i);
+}
+
+TEST(SweepTelemetry, EventLogIsReplayableByteExactly)
+{
+    const std::string path = tmpPath("event_log");
+    SweepEventBus bus;
+    SweepEventLog log(path);
+    ASSERT_TRUE(log.ok());
+    bus.subscribe([&](const SweepEvent &e) { log.append(e); });
+
+    SweepOptions opts;
+    opts.sweepName = "unit";
+    opts.events = &bus;
+    const auto jobs = twoJobSweep();
+    const auto results = SweepRunner(1, opts).run(jobs);
+    ASSERT_EQ(results.size(), 2u);
+    EXPECT_TRUE(results[0].ok);
+    EXPECT_TRUE(results[1].ok);
+
+    const auto lines = readLines(path);
+    // sweep-begin + 2 queued + 2 running + 2 done.
+    ASSERT_EQ(lines.size(), 7u);
+    ASSERT_EQ(bus.eventCount(), lines.size());
+
+    for (std::size_t i = 0; i < lines.size(); ++i) {
+        util::JsonValue v = parseJson(lines[i]);
+        auto event = SweepEvent::fromJson(v);
+        ASSERT_TRUE(event.has_value()) << lines[i];
+        // Sequence numbers are monotonic in file order.
+        EXPECT_EQ(event->seq, i);
+        EXPECT_EQ(event->sweep, "unit");
+        // Byte-exact replay: parse -> re-serialise reproduces the
+        // logged line exactly.
+        std::ostringstream os;
+        event->writeJsonLine(os);
+        EXPECT_EQ(os.str(), lines[i] + "\n");
+    }
+
+    // The lifecycle shape: begin first (with the totals), then both
+    // queued events, then running/done per job in submission order.
+    std::vector<SweepEvent> events;
+    for (const auto &l : lines)
+        events.push_back(*SweepEvent::fromJson(parseJson(l)));
+    EXPECT_EQ(events[0].kind, SweepEventKind::SweepBegin);
+    EXPECT_EQ(events[0].totalJobs, 2u);
+    EXPECT_EQ(events[0].threads, 1u);
+    EXPECT_EQ(events[1].kind, SweepEventKind::Queued);
+    EXPECT_EQ(events[2].kind, SweepEventKind::Queued);
+    std::size_t done_seen = 0;
+    for (const auto &e : events) {
+        if (e.kind != SweepEventKind::Done)
+            continue;
+        ++done_seen;
+        EXPECT_EQ(e.attempt, 1u);
+        EXPECT_GT(e.ops, 0u);
+        EXPECT_FALSE(e.fromCheckpoint);
+    }
+    EXPECT_EQ(done_seen, 2u);
+}
+
+TEST(SweepTelemetry, RetryLifecycleShowsInEvents)
+{
+    SweepEventBus bus;
+    std::vector<SweepEvent> events;
+    bus.subscribe([&](const SweepEvent &e) { events.push_back(e); });
+
+    SweepOptions opts;
+    opts.sweepName = "retry";
+    opts.events = &bus;
+    opts.retries = 1;
+    opts.fault = SweepFaultInjector::parse("fail-once:0").value();
+    const auto results = SweepRunner(1, opts).run(twoJobSweep());
+    EXPECT_TRUE(results[0].ok);
+    EXPECT_EQ(results[0].attempts, 2u);
+
+    std::vector<SweepEventKind> job0;
+    for (const auto &e : events)
+        if (e.kind != SweepEventKind::SweepBegin && e.job == 0)
+            job0.push_back(e.kind);
+    EXPECT_EQ(job0, (std::vector<SweepEventKind>{
+                        SweepEventKind::Queued, SweepEventKind::Running,
+                        SweepEventKind::Retrying,
+                        SweepEventKind::Running, SweepEventKind::Done}));
+}
+
+TEST(SweepTelemetry, FromJsonRejectsSchemaViolations)
+{
+    // A well-formed line...
+    SweepEvent e;
+    e.kind = SweepEventKind::Done;
+    std::ostringstream os;
+    e.writeJsonLine(os);
+    ASSERT_TRUE(
+        SweepEvent::fromJson(parseJson(os.str())).has_value());
+    // ...but unknown event names and missing fields are rejected.
+    EXPECT_FALSE(SweepEvent::fromJson(
+                     parseJson("{\"seq\": 0, \"event\": \"nope\"}"))
+                     .has_value());
+    EXPECT_FALSE(
+        SweepEvent::fromJson(parseJson("{\"seq\": 0}")).has_value());
+    EXPECT_FALSE(
+        SweepEvent::fromJson(parseJson("[1, 2]")).has_value());
+}
+
+// ---------------------------------------------------------------------
+// /status document
+// ---------------------------------------------------------------------
+
+TEST(SweepTelemetry, StatusSchemaAfterDeterministicSweep)
+{
+    SweepEventBus bus;
+    SweepStatusTracker tracker;
+    bus.subscribe(
+        [&](const SweepEvent &e) { tracker.onEvent(e); });
+
+    SweepOptions opts;
+    opts.sweepName = "overheads";
+    opts.events = &bus;
+    const auto results = SweepRunner(1, opts).run(twoJobSweep());
+    ASSERT_TRUE(results[0].ok && results[1].ok);
+    EXPECT_EQ(tracker.completedJobs(), 2u);
+
+    util::JsonValue v = parseJson(tracker.statusJson());
+    EXPECT_EQ(v.at("schema_version").u64(), 1u);
+    EXPECT_EQ(v.at("sweep").str, "overheads");
+    EXPECT_EQ(v.at("sweeps_started").u64(), 1u);
+    EXPECT_EQ(v.at("total_jobs").u64(), 2u);
+    EXPECT_EQ(v.at("threads").u64(), 1u);
+    EXPECT_GE(v.at("elapsed_ms").number, 0.0);
+    EXPECT_DOUBLE_EQ(v.at("progress").number, 1.0);
+    // Complete sweep: nothing remains, so the ETA extrapolates to 0.
+    ASSERT_EQ(v.at("eta_ms").kind, util::JsonValue::Number);
+    EXPECT_DOUBLE_EQ(v.at("eta_ms").number, 0.0);
+    // Live KIPS is derivable once jobs completed with wall time.
+    EXPECT_EQ(v.at("kips_live").kind, util::JsonValue::Number);
+    EXPECT_GT(v.at("kips_live").number, 0.0);
+    EXPECT_EQ(v.at("checkpoint").at("restored").u64(), 0u);
+
+    const util::JsonValue &counts = v.at("state_counts");
+    EXPECT_EQ(counts.at("queued").u64(), 0u);
+    EXPECT_EQ(counts.at("running").u64(), 0u);
+    EXPECT_EQ(counts.at("retrying").u64(), 0u);
+    EXPECT_EQ(counts.at("done").u64(), 2u);
+    EXPECT_EQ(counts.at("failed").u64(), 0u);
+
+    ASSERT_EQ(v.at("jobs").kind, util::JsonValue::Array);
+    ASSERT_EQ(v.at("jobs").items.size(), 2u);
+    const char *benches[] = {"sjeng", "hmmer"};
+    for (std::size_t i = 0; i < 2; ++i) {
+        const util::JsonValue &job = v.at("jobs").items[i];
+        EXPECT_EQ(job.at("index").u64(), i);
+        EXPECT_EQ(job.at("bench").str, benches[i]);
+        EXPECT_EQ(job.at("label").str, "Plain");
+        EXPECT_EQ(job.at("state").str, "done");
+        EXPECT_EQ(job.at("attempts").u64(), 1u);
+        EXPECT_GT(job.at("ops").u64(), 0u);
+        EXPECT_FALSE(job.at("from_checkpoint").boolean);
+        EXPECT_FALSE(job.at("timed_out").boolean);
+        EXPECT_EQ(job.at("error").str, "");
+        if (job.at("wall_ms").number > 0)
+            EXPECT_EQ(job.at("kips").kind, util::JsonValue::Number);
+    }
+}
+
+TEST(SweepTelemetry, StatusBeforeAnySweepIsEmptyButValid)
+{
+    SweepStatusTracker tracker;
+    util::JsonValue v = parseJson(tracker.statusJson());
+    EXPECT_EQ(v.at("schema_version").u64(), 1u);
+    EXPECT_EQ(v.at("sweep").str, "");
+    EXPECT_EQ(v.at("total_jobs").u64(), 0u);
+    EXPECT_DOUBLE_EQ(v.at("progress").number, 0.0);
+    EXPECT_EQ(v.at("eta_ms").kind, util::JsonValue::Null);
+    EXPECT_EQ(v.at("kips_live").kind, util::JsonValue::Null);
+    EXPECT_TRUE(v.at("jobs").items.empty());
+}
+
+// ---------------------------------------------------------------------
+// /metrics document
+// ---------------------------------------------------------------------
+
+TEST(SweepTelemetry, MetricsGoldenAfterDeterministicSweep)
+{
+    telemetry::MetricRegistry registry;
+    SweepEventBus bus;
+    SweepStatusTracker tracker(&registry);
+    bus.subscribe(
+        [&](const SweepEvent &e) { tracker.onEvent(e); });
+
+    SweepOptions opts;
+    opts.sweepName = "overheads";
+    opts.events = &bus;
+    opts.registry = &registry;
+    const auto results = SweepRunner(1, opts).run(twoJobSweep());
+    ASSERT_TRUE(results[0].ok && results[1].ok);
+
+    // The job-wall-time histogram instances are timing-dependent;
+    // everything else is a pure function of the lifecycle and must
+    // reproduce byte-for-byte.
+    std::istringstream in(registry.prometheusText());
+    std::string line, stable;
+    std::size_t wall_ms_samples = 0;
+    while (std::getline(in, line)) {
+        if (line.rfind("rest_sweep_job_wall_ms", 0) == 0) {
+            if (line.rfind("rest_sweep_job_wall_ms_count", 0) == 0)
+                wall_ms_samples =
+                    std::stoul(line.substr(line.rfind(' ') + 1));
+            continue;
+        }
+        stable += line + "\n";
+    }
+    EXPECT_EQ(wall_ms_samples, 2u);
+    EXPECT_EQ(
+        stable,
+        "# HELP rest_sweep_events_total Sweep lifecycle events by "
+        "kind\n"
+        "# TYPE rest_sweep_events_total counter\n"
+        "rest_sweep_events_total{event=\"done\"} 2\n"
+        "rest_sweep_events_total{event=\"failed\"} 0\n"
+        "rest_sweep_events_total{event=\"queued\"} 2\n"
+        "rest_sweep_events_total{event=\"retrying\"} 0\n"
+        "rest_sweep_events_total{event=\"running\"} 2\n"
+        "rest_sweep_events_total{event=\"sweep-begin\"} 1\n"
+        "# HELP rest_sweep_job_retries_total Transient job failures "
+        "that were retried\n"
+        "# TYPE rest_sweep_job_retries_total counter\n"
+        "rest_sweep_job_retries_total 0\n"
+        "# HELP rest_sweep_job_wall_ms Wall-clock time of terminal "
+        "job attempts (ms)\n"
+        "# TYPE rest_sweep_job_wall_ms histogram\n"
+        "# HELP rest_sweep_jobs_completed_total Terminal job "
+        "outcomes\n"
+        "# TYPE rest_sweep_jobs_completed_total counter\n"
+        "rest_sweep_jobs_completed_total{result=\"done\"} 2\n"
+        "rest_sweep_jobs_completed_total{result=\"failed\"} 0\n"
+        "# HELP rest_sweep_jobs_restored_total Jobs restored from a "
+        "checkpoint\n"
+        "# TYPE rest_sweep_jobs_restored_total counter\n"
+        "rest_sweep_jobs_restored_total 0\n"
+        "# HELP rest_sweep_jobs_running Jobs currently executing\n"
+        "# TYPE rest_sweep_jobs_running gauge\n"
+        "rest_sweep_jobs_running 0\n"
+        "# HELP rest_sweep_progress_ratio Completed fraction of the "
+        "current sweep\n"
+        "# TYPE rest_sweep_progress_ratio gauge\n"
+        "rest_sweep_progress_ratio 1\n"
+        "# HELP rest_sweep_sweeps_total Sweeps started\n"
+        "# TYPE rest_sweep_sweeps_total counter\n"
+        "rest_sweep_sweeps_total 1\n"
+        "# HELP rest_sweep_total_jobs Jobs in the current sweep\n"
+        "# TYPE rest_sweep_total_jobs gauge\n"
+        "rest_sweep_total_jobs 2\n");
+}
+
+// ---------------------------------------------------------------------
+// Mid-sweep HTTP polling
+// ---------------------------------------------------------------------
+
+TEST(SweepTelemetry, MidSweepHttpPollSeesRunningJobs)
+{
+    telemetry::MetricRegistry registry;
+    SweepEventBus bus;
+    SweepStatusTracker tracker(&registry);
+    bus.subscribe(
+        [&](const SweepEvent &e) { tracker.onEvent(e); });
+
+    telemetry::HttpServer server;
+    server.route("/metrics", [&](const telemetry::HttpRequest &) {
+        telemetry::HttpResponse r;
+        r.contentType = "text/plain; version=0.0.4; charset=utf-8";
+        r.body = registry.prometheusText();
+        return r;
+    });
+    server.route("/status", [&](const telemetry::HttpRequest &) {
+        telemetry::HttpResponse r;
+        r.contentType = "application/json";
+        r.body = tracker.statusJson();
+        return r;
+    });
+    server.route("/healthz", [](const telemetry::HttpRequest &) {
+        telemetry::HttpResponse r;
+        r.body = "ok\n";
+        return r;
+    });
+    ASSERT_TRUE(server.start(0));
+
+    EXPECT_EQ(test::httpGet(server.port(), "/healthz").body, "ok\n");
+
+    // Job 0 sleeps 1.5 s on its first attempt, so with two workers the
+    // sweep is guaranteed to be mid-flight while we poll.
+    SweepOptions opts;
+    opts.sweepName = "poll";
+    opts.events = &bus;
+    opts.registry = &registry;
+    opts.fault = SweepFaultInjector::parse("slow:0:1500").value();
+    std::vector<JobResult> results;
+    std::thread sweep([&] {
+        results = SweepRunner(2, opts).run(twoJobSweep());
+    });
+
+    bool saw_midflight = false;
+    const auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::seconds(20);
+    while (std::chrono::steady_clock::now() < deadline) {
+        auto resp = test::httpGet(server.port(), "/status");
+        ASSERT_TRUE(resp.ok);
+        util::JsonValue v = parseJson(resp.body);
+        const util::JsonValue &counts = v.at("state_counts");
+        if (counts.at("running").u64() >= 1 &&
+            v.at("progress").number < 1.0) {
+            saw_midflight = true;
+            // The pool gauges are live while the sweep runs.
+            auto metrics = test::httpGet(server.port(), "/metrics");
+            EXPECT_NE(metrics.body.find(
+                          "rest_pool_threads{pool=\"sweep\"} 2\n"),
+                      std::string::npos);
+            break;
+        }
+        std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    }
+    sweep.join();
+    EXPECT_TRUE(saw_midflight);
+
+    ASSERT_EQ(results.size(), 2u);
+    EXPECT_TRUE(results[0].ok && results[1].ok);
+    auto final_status = test::httpGet(server.port(), "/status");
+    util::JsonValue v = parseJson(final_status.body);
+    EXPECT_DOUBLE_EQ(v.at("progress").number, 1.0);
+    EXPECT_EQ(v.at("state_counts").at("done").u64(), 2u);
+}
+
+// ---------------------------------------------------------------------
+// Byte-identity with telemetry off
+// ---------------------------------------------------------------------
+
+TEST(SweepTelemetry, ResultsIdenticalWithAndWithoutTelemetry)
+{
+    const auto jobs = twoJobSweep();
+
+    SweepOptions plain_opts;
+    const auto plain = SweepRunner(1, plain_opts).run(jobs);
+
+    telemetry::MetricRegistry registry;
+    SweepEventBus bus;
+    SweepStatusTracker tracker(&registry);
+    bus.subscribe(
+        [&](const SweepEvent &e) { tracker.onEvent(e); });
+    const std::string path = tmpPath("identity");
+    SweepEventLog log(path);
+    bus.subscribe([&](const SweepEvent &e) { log.append(e); });
+    SweepOptions tele_opts;
+    tele_opts.sweepName = "identity";
+    tele_opts.events = &bus;
+    tele_opts.registry = &registry;
+    const auto observed = SweepRunner(2, tele_opts).run(jobs);
+
+    ASSERT_EQ(plain.size(), observed.size());
+    for (std::size_t i = 0; i < plain.size(); ++i) {
+        EXPECT_EQ(plain[i].ok, observed[i].ok);
+        EXPECT_EQ(plain[i].attempts, observed[i].attempts);
+        EXPECT_EQ(plain[i].measurement.cycles,
+                  observed[i].measurement.cycles);
+        EXPECT_EQ(plain[i].measurement.ops,
+                  observed[i].measurement.ops);
+    }
+}
+
+} // namespace rest::sim

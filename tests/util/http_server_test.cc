@@ -1,0 +1,146 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <string>
+
+#include "common/http_client.hh"
+#include "util/http_server.hh"
+
+namespace rest::telemetry
+{
+
+using test::httpGet;
+using test::httpRaw;
+
+namespace
+{
+
+/** A server with one echo-ish route, started on an ephemeral port. */
+class HttpServerTest : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        server.route("/hello", [this](const HttpRequest &req) {
+            ++hits;
+            HttpResponse r;
+            r.contentType = "text/plain; charset=utf-8";
+            r.body = "hello " + req.method + " " + req.path + "\n";
+            return r;
+        });
+        ASSERT_TRUE(server.start(0));
+        ASSERT_NE(server.port(), 0);
+    }
+
+    HttpServer server;
+    std::atomic<int> hits{0};
+};
+
+} // namespace
+
+TEST_F(HttpServerTest, GetKnownRoute)
+{
+    auto resp = httpGet(server.port(), "/hello");
+    ASSERT_TRUE(resp.ok);
+    EXPECT_EQ(resp.status, 200);
+    EXPECT_EQ(resp.body, "hello GET /hello\n");
+    EXPECT_NE(resp.headers.find("Connection: close"),
+              std::string::npos);
+    EXPECT_NE(resp.headers.find("Content-Length: 17"),
+              std::string::npos);
+    EXPECT_EQ(hits.load(), 1);
+}
+
+TEST_F(HttpServerTest, QueryStringIsStripped)
+{
+    auto resp = httpGet(server.port(), "/hello?x=1&y=2");
+    ASSERT_TRUE(resp.ok);
+    EXPECT_EQ(resp.status, 200);
+    EXPECT_EQ(resp.body, "hello GET /hello\n");
+}
+
+TEST_F(HttpServerTest, UnknownRouteIs404)
+{
+    auto resp = httpGet(server.port(), "/nope");
+    ASSERT_TRUE(resp.ok);
+    EXPECT_EQ(resp.status, 404);
+    EXPECT_EQ(hits.load(), 0);
+}
+
+TEST_F(HttpServerTest, NonGetIs405)
+{
+    auto resp = httpRaw(server.port(),
+                        "POST /hello HTTP/1.1\r\n"
+                        "Host: x\r\nContent-Length: 0\r\n\r\n");
+    ASSERT_TRUE(resp.ok);
+    EXPECT_EQ(resp.status, 405);
+    EXPECT_EQ(hits.load(), 0);
+}
+
+TEST_F(HttpServerTest, HeadGetsHeadersOnly)
+{
+    auto resp = httpRaw(server.port(),
+                        "HEAD /hello HTTP/1.1\r\nHost: x\r\n\r\n");
+    ASSERT_TRUE(resp.ok);
+    EXPECT_EQ(resp.status, 200);
+    EXPECT_TRUE(resp.body.empty());
+    EXPECT_EQ(hits.load(), 1); // the handler still ran
+}
+
+TEST_F(HttpServerTest, MalformedRequestIs400)
+{
+    auto resp = httpRaw(server.port(), "nonsense\r\n\r\n");
+    ASSERT_TRUE(resp.ok);
+    EXPECT_EQ(resp.status, 400);
+}
+
+TEST_F(HttpServerTest, ServesManySequentialRequests)
+{
+    for (int i = 0; i < 20; ++i) {
+        auto resp = httpGet(server.port(), "/hello");
+        ASSERT_TRUE(resp.ok) << "request " << i;
+        EXPECT_EQ(resp.status, 200);
+    }
+    EXPECT_EQ(hits.load(), 20);
+}
+
+TEST_F(HttpServerTest, StopIsIdempotentAndJoins)
+{
+    EXPECT_TRUE(server.running());
+    server.stop();
+    EXPECT_FALSE(server.running());
+    server.stop(); // idempotent
+    // A connect after stop must fail (nothing is listening).
+    auto resp = httpGet(server.port(), "/hello");
+    EXPECT_FALSE(resp.ok);
+}
+
+TEST(HttpServer, PortTakenFailsGracefully)
+{
+    HttpServer a;
+    ASSERT_TRUE(a.start(0));
+    HttpServer b;
+    // Same fixed port: bind fails, start() warns and returns false,
+    // the process carries on.
+    EXPECT_FALSE(b.start(a.port()));
+    EXPECT_FALSE(b.running());
+}
+
+TEST(HttpServer, TwoServersOnEphemeralPorts)
+{
+    HttpServer a, b;
+    a.route("/which", [](const HttpRequest &) {
+        return HttpResponse{200, "text/plain", "a"};
+    });
+    b.route("/which", [](const HttpRequest &) {
+        return HttpResponse{200, "text/plain", "b"};
+    });
+    ASSERT_TRUE(a.start(0));
+    ASSERT_TRUE(b.start(0));
+    EXPECT_NE(a.port(), b.port());
+    EXPECT_EQ(httpGet(a.port(), "/which").body, "a");
+    EXPECT_EQ(httpGet(b.port(), "/which").body, "b");
+}
+
+} // namespace rest::telemetry

@@ -1,0 +1,172 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "util/metrics.hh"
+
+namespace rest::telemetry
+{
+
+TEST(Metrics, CounterStartsAtZeroAndAccumulates)
+{
+    MetricRegistry reg;
+    Counter &c = reg.counter("rest_events_total", "events");
+    EXPECT_EQ(c.value(), 0u);
+    c.inc();
+    c.inc(41);
+    EXPECT_EQ(c.value(), 42u);
+}
+
+TEST(Metrics, LookupIsGetOrCreate)
+{
+    MetricRegistry reg;
+    Counter &a = reg.counter("rest_x_total", "x", {{"k", "v"}});
+    Counter &b = reg.counter("rest_x_total", "x", {{"k", "v"}});
+    EXPECT_EQ(&a, &b); // same (name, labels) -> same instance
+    Counter &c = reg.counter("rest_x_total", "x", {{"k", "w"}});
+    EXPECT_NE(&a, &c); // different labels -> distinct instance
+}
+
+TEST(Metrics, GaugeSetAndAdd)
+{
+    MetricRegistry reg;
+    Gauge &g = reg.gauge("rest_depth", "queue depth");
+    g.set(4.0);
+    g.add(-1.5);
+    EXPECT_DOUBLE_EQ(g.value(), 2.5);
+}
+
+TEST(Metrics, HistogramObservesAndExposesPercentiles)
+{
+    MetricRegistry reg;
+    Histogram &h =
+        reg.histogram("rest_wall_ms", "wall", {10, 100, 1000});
+    for (std::uint64_t v : {1u, 2u, 50u, 60u, 500u})
+        h.observe(v);
+    stats::Distribution d = h.snapshot();
+    EXPECT_EQ(d.count(), 5u);
+    EXPECT_EQ(d.sum(), 613u);
+    EXPECT_DOUBLE_EQ(h.percentile(100), 500.0);
+}
+
+TEST(Metrics, RenderLabels)
+{
+    EXPECT_EQ(renderLabels({}), "");
+    EXPECT_EQ(renderLabels({{"a", "b"}}), "{a=\"b\"}");
+    EXPECT_EQ(renderLabels({{"a", "b"}, {"c", "d"}}),
+              "{a=\"b\",c=\"d\"}");
+    // Backslash, quote and newline are escaped per the exposition
+    // format.
+    EXPECT_EQ(renderLabels({{"p", "a\\b\"c\nd"}}),
+              "{p=\"a\\\\b\\\"c\\nd\"}");
+}
+
+TEST(Metrics, PrometheusGoldenText)
+{
+    MetricRegistry reg;
+    reg.counter("rest_jobs_total", "Jobs run", {{"result", "done"}})
+        .inc(3);
+    reg.counter("rest_jobs_total", "Jobs run", {{"result", "failed"}})
+        .inc(1);
+    reg.gauge("rest_progress_ratio", "Sweep progress").set(0.5);
+    Histogram &h = reg.histogram("rest_wall_ms", "Job wall time",
+                                 {10, 100});
+    h.observe(5);
+    h.observe(50);
+    h.observe(5000);
+
+    // Families in name order, # HELP/# TYPE per family, cumulative
+    // histogram buckets with inclusive le edges plus +Inf, _sum and
+    // _count.
+    EXPECT_EQ(reg.prometheusText(),
+              "# HELP rest_jobs_total Jobs run\n"
+              "# TYPE rest_jobs_total counter\n"
+              "rest_jobs_total{result=\"done\"} 3\n"
+              "rest_jobs_total{result=\"failed\"} 1\n"
+              "# HELP rest_progress_ratio Sweep progress\n"
+              "# TYPE rest_progress_ratio gauge\n"
+              "rest_progress_ratio 0.5\n"
+              "# HELP rest_wall_ms Job wall time\n"
+              "# TYPE rest_wall_ms histogram\n"
+              "rest_wall_ms_bucket{le=\"10\"} 1\n"
+              "rest_wall_ms_bucket{le=\"100\"} 2\n"
+              "rest_wall_ms_bucket{le=\"+Inf\"} 3\n"
+              "rest_wall_ms_sum 5055\n"
+              "rest_wall_ms_count 3\n");
+}
+
+TEST(Metrics, HistogramBucketsMergeWithInstanceLabels)
+{
+    MetricRegistry reg;
+    Histogram &h = reg.histogram("rest_ms", "t", {10},
+                                 {{"sweep", "overheads"}});
+    h.observe(3);
+    std::string text = reg.prometheusText();
+    EXPECT_NE(text.find("rest_ms_bucket{sweep=\"overheads\","
+                        "le=\"10\"} 1\n"),
+              std::string::npos);
+    EXPECT_NE(text.find("rest_ms_sum{sweep=\"overheads\"} 3\n"),
+              std::string::npos);
+}
+
+TEST(Metrics, CallbackGaugeEvaluatedAtScrapeAndRemovable)
+{
+    MetricRegistry reg;
+    double live = 1.0;
+    std::uint64_t id = reg.gaugeCallback(
+        "rest_live", "live value", {{"pool", "sweep"}},
+        [&] { return live; });
+    EXPECT_NE(reg.prometheusText().find("rest_live{pool=\"sweep\"} 1\n"),
+              std::string::npos);
+    live = 7.0; // scrape-time evaluation, not registration-time
+    EXPECT_NE(reg.prometheusText().find("rest_live{pool=\"sweep\"} 7\n"),
+              std::string::npos);
+
+    reg.removeCallback(id);
+    std::string text = reg.prometheusText();
+    // The family header survives; the instance is gone.
+    EXPECT_NE(text.find("# TYPE rest_live gauge\n"), std::string::npos);
+    EXPECT_EQ(text.find("rest_live{"), std::string::npos);
+    reg.removeCallback(id); // unknown ids are ignored
+}
+
+TEST(Metrics, KindConflictDies)
+{
+    MetricRegistry reg;
+    reg.counter("rest_thing", "a counter");
+    EXPECT_DEATH(reg.gauge("rest_thing", "now a gauge?"),
+                 "different kind");
+}
+
+TEST(Metrics, ConcurrentPublishersAndScrapers)
+{
+    MetricRegistry reg;
+    Counter &c = reg.counter("rest_ops_total", "ops");
+    Histogram &h = reg.histogram("rest_lat", "lat", {10, 100});
+    std::atomic<bool> stop{false};
+
+    std::vector<std::thread> workers;
+    for (int t = 0; t < 4; ++t) {
+        workers.emplace_back([&] {
+            for (int i = 0; i < 10000; ++i) {
+                c.inc();
+                h.observe(std::uint64_t(i % 200));
+            }
+        });
+    }
+    std::thread scraper([&] {
+        while (!stop.load())
+            (void)reg.prometheusText();
+    });
+    for (auto &w : workers)
+        w.join();
+    stop = true;
+    scraper.join();
+
+    EXPECT_EQ(c.value(), 40000u);
+    EXPECT_EQ(h.snapshot().count(), 40000u);
+}
+
+} // namespace rest::telemetry
