@@ -8,10 +8,13 @@
  *   3. critical-word-first off (precise-exception support cost),
  *   4. quarantine budget sweep (temporal-protection window vs cost),
  *   5. redundant shadow-check elision (ASan with the statically
- *      provable duplicate checks deleted, analysis/elide_checks.hh).
+ *      provable duplicate checks deleted, analysis/elide_checks.hh),
+ *   6. loop-check optimization (invariant checks hoisted to loop
+ *      preheaders and adjacent windows coalesced, on top of elision;
+ *      analysis/hoist_checks.hh, analysis/coalesce_checks.hh).
  *
  * Each ablation is a small matrix on the parallel sweep runner
- * (--jobs N); all five sweeps land in BENCH_ablation.json.
+ * (--jobs N); all six sweeps land in BENCH_ablation.json.
  */
 
 #include "bench_util.hh"
@@ -145,6 +148,35 @@ checkElisionAblation(const bench::Options &opt)
     return mat;
 }
 
+bench::MatrixResult
+loopOptimizerAblation(const bench::Options &opt)
+{
+    std::cout << "\n--- Ablation 6: loop-check hoisting + coalescing "
+                 "(static analysis) ---\n";
+    auto elide = sim::makeSystemConfig(ExpConfig::Asan);
+    elide.scheme.elideRedundantChecks = true;
+    auto hoist = elide;
+    hoist.scheme.hoistLoopChecks = true;
+    auto coalesce = elide;
+    coalesce.scheme.coalesceChecks = true;
+    auto both = hoist;
+    both.scheme.coalesceChecks = true;
+    // Loop-heavy streaming/scan profiles: their hot loops re-check
+    // invariant bases every iteration, the hoister's best case.
+    auto mat = bench::runMatrix(
+        "loop_optimizer", profiles({"hmmer", "libquantum", "lbm"}),
+        {bench::customColumn("elide(%)", elide),
+         bench::customColumn("+hoist(%)", hoist),
+         bench::customColumn("+coalesce(%)", coalesce),
+         bench::customColumn("+both(%)", both)},
+        opt);
+    printOverheads(mat);
+    std::cout << "Expected: hoisting removes per-iteration checks of "
+                 "loop-invariant bases, so +hoist executes strictly "
+                 "fewer dynamic check ops than elide alone.\n";
+    return mat;
+}
+
 } // namespace
 
 int
@@ -163,6 +195,7 @@ main(int argc, char **argv)
     sweeps.push_back(quarantineSweep(opt).sweep);
     sweeps.push_back(criticalWordFirstAblation(opt).sweep);
     sweeps.push_back(checkElisionAblation(opt).sweep);
+    sweeps.push_back(loopOptimizerAblation(opt).sweep);
     bench::writeResults(opt, "ablation", std::move(sweeps));
     return 0;
 }

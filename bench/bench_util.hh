@@ -42,8 +42,10 @@
  *                         sinks, e.g. trace_demo)
  *   --dump-program B[:S]  print benchmark B's generated program after
  *                         instrumentation for scheme S (none, plain,
- *                         asan, asan-elide, rest; default asan) and
- *                         exit
+ *                         rest, or asan with optional +elide/+hoist/
+ *                         +coalesce suffixes; "asan-elide" is the
+ *                         legacy spelling of asan+elide; default
+ *                         asan) and exit
  *
  * Fault-tolerant execution (DESIGN.md §10):
  *   --retries N           extra attempts for transiently failing jobs
@@ -96,6 +98,7 @@
 #include <thread>
 #include <vector>
 
+#include "analysis/verifier.hh"
 #include "runtime/instrumentation.hh"
 #include "sim/experiment.hh"
 #include "sim/results.hh"
@@ -376,9 +379,10 @@ usage(const std::string &figure, int status)
         << "cycles\n"
         << "  --dump-program B[:S]  print benchmark B instrumented "
         << "for scheme S\n"
-        << "                     (none, plain, asan, asan-elide, "
-        << "rest; default asan)\n"
-        << "                     and exit\n";
+        << "                     (none, plain, rest, or asan with "
+        << "optional +elide/\n"
+        << "                     +hoist/+coalesce suffixes; default "
+        << "asan) and exit\n";
     std::exit(status);
 }
 
@@ -412,21 +416,58 @@ dumpProgram(const std::string &figure, const std::string &spec)
         std::exit(1);
     }
 
+    // Base scheme plus optional "+"-separated optimizer suffixes
+    // ("asan+elide+hoist+coalesce"); "asan-elide" is the legacy
+    // spelling of "asan+elide".
+    std::string base = scheme;
+    std::vector<std::string> suffixes;
+    if (std::size_t plus = scheme.find('+'); plus != std::string::npos) {
+        base = scheme.substr(0, plus);
+        std::string rest = scheme.substr(plus + 1);
+        while (!rest.empty()) {
+            std::size_t next = rest.find('+');
+            suffixes.push_back(rest.substr(0, next));
+            rest = next == std::string::npos ? ""
+                                             : rest.substr(next + 1);
+        }
+    }
+    if (base == "asan-elide") {
+        base = "asan";
+        suffixes.push_back("elide");
+    }
+
     runtime::SchemeConfig cfg;
     bool apply = true;
-    if (scheme == "none") {
+    bool bad_scheme = false;
+    if (base == "none") {
         apply = false;
-    } else if (scheme == "plain") {
+        bad_scheme = !suffixes.empty();
+    } else if (base == "plain") {
         cfg = runtime::SchemeConfig::plain();
-    } else if (scheme == "asan" || scheme == "asan-elide") {
+        bad_scheme = !suffixes.empty();
+    } else if (base == "asan") {
         cfg = runtime::SchemeConfig::asanFull();
-        cfg.elideRedundantChecks = scheme == "asan-elide";
-    } else if (scheme == "rest") {
+        for (const std::string &s : suffixes) {
+            if (s == "elide")
+                cfg.elideRedundantChecks = true;
+            else if (s == "hoist")
+                cfg.hoistLoopChecks = true;
+            else if (s == "coalesce")
+                cfg.coalesceChecks = true;
+            else
+                bad_scheme = true;
+        }
+    } else if (base == "rest") {
         cfg = runtime::SchemeConfig::restFull();
+        bad_scheme = !suffixes.empty();
     } else {
+        bad_scheme = true;
+    }
+    if (bad_scheme) {
         std::cerr << figure << ": unknown scheme \"" << scheme
-                  << "\" (want none, plain, asan, asan-elide or "
-                  << "rest)\n";
+                  << "\" (want none, plain, rest, or asan with "
+                  << "optional +elide/+hoist/+coalesce suffixes, "
+                  << "e.g. asan+elide+hoist)\n";
         std::exit(1);
     }
 
@@ -438,9 +479,26 @@ dumpProgram(const std::string &figure, const std::string &spec)
     }
     runtime::InstrumentationSummary sum =
         runtime::applyScheme(prog, cfg);
+    // Re-run the full post-instrumentation verifier on the optimized
+    // output in every build type (applyScheme only re-verifies in
+    // debug builds); CI asserts on this line for optimized schemes.
+    analysis::VerifyOptions vo;
+    vo.expectAsanChecks = cfg.asanAccessChecks;
+    vo.expectArming = cfg.restStackArming;
+    auto diags = analysis::verify(prog, vo);
+    if (!diags.empty()) {
+        std::cerr << figure << ": instrumented " << bench
+                  << " failed verification under " << cfg.name()
+                  << ":\n" << analysis::formatDiagnostics(diags)
+                  << "\n";
+        std::exit(1);
+    }
     std::cout << "; " << bench << ", scheme " << cfg.name() << "\n"
+              << "; verifier: ok (0 diagnostics)\n"
               << "; checks inserted " << sum.accessChecksInserted
               << ", elided " << sum.accessChecksElided
+              << ", hoisted " << sum.accessChecksHoisted
+              << ", coalesced " << sum.accessChecksCoalesced
               << ", arms " << sum.armsInserted
               << ", disarms " << sum.disarmsInserted << "\n"
               << "; poison stores " << sum.stackPoisonStores

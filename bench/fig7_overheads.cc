@@ -109,9 +109,17 @@ main(int argc, char **argv)
         sim::makeSystemConfig(ExpConfig::Asan);
     asan_elide.scheme.elideRedundantChecks = true;
 
+    // ... plus the loop optimizer: invariant checks hoisted to
+    // preheaders (analysis/hoist_checks.hh) and adjacent shadow
+    // windows coalesced (analysis/coalesce_checks.hh).
+    sim::SystemConfig asan_opt = asan_elide;
+    asan_opt.scheme.hoistLoopChecks = true;
+    asan_opt.scheme.coalesceChecks = true;
+
     const std::vector<bench::MatrixColumn> columns = {
         bench::presetColumn("ASan", ExpConfig::Asan),
         bench::customColumn("ASanElide", asan_elide),
+        bench::customColumn("ASanOpt", asan_opt),
         bench::presetColumn("DebugFull", ExpConfig::RestDebugFull),
         bench::presetColumn("SecureFull", ExpConfig::RestSecureFull),
         bench::presetColumn("PerfectHWFull", ExpConfig::PerfectHwFull),

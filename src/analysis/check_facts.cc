@@ -104,27 +104,82 @@ CheckFactsDomain::meet(State &into, const State &from) const
     *into = std::move(kept);
 }
 
+bool
+clobbersShadowState(const Inst &inst)
+{
+    // Events that can repoison shadow state invalidate every fact:
+    // callees poison their own frames, the runtime pseudo-ops expand
+    // into allocator/interceptor work, arm/disarm rewrite token
+    // metadata, and instrumentation-inserted stores are exactly the
+    // stack (un)poisoning sequences.
+    return inst.op == Opcode::Call || inst.op == Opcode::Arm ||
+        inst.op == Opcode::Disarm || isa::isRuntimeOp(inst.op) ||
+        (inst.op == Opcode::Store && inst.tag != OpSource::Program);
+}
+
 void
 CheckFactsDomain::transfer(State &st, const Inst &inst, int idx) const
 {
     if (!st)
         return; // unreachable prefix: stay TOP
 
-    // Events that can repoison shadow state invalidate every fact:
-    // callees poison their own frames, the runtime pseudo-ops expand
-    // into allocator/interceptor work, arm/disarm rewrite token
-    // metadata, and instrumentation-inserted stores are exactly the
-    // stack (un)poisoning sequences.
-    bool clobbers_shadow = inst.op == Opcode::Call ||
-        inst.op == Opcode::Arm || inst.op == Opcode::Disarm ||
-        isa::isRuntimeOp(inst.op) ||
-        (inst.op == Opcode::Store && inst.tag != OpSource::Program);
-    if (clobbers_shadow) {
+    if (clobbersShadowState(inst)) {
         st->clear();
         return;
     }
 
     // A redefinition of a base register retires its facts.
+    if (inst.rd != isa::noReg && inst.rd != isa::regZero) {
+        for (auto it = st->begin(); it != st->end();) {
+            it = it->base == inst.rd ? st->erase(it) : std::next(it);
+        }
+    }
+
+    if (auto fact = gen_[idx])
+        st->insert(*fact);
+}
+
+AnticipatedChecksDomain::AnticipatedChecksDomain(const isa::Function &fn)
+{
+    gen_.assign(fn.insts.size(), std::nullopt);
+    for (const CheckGroup &group : findCheckGroups(fn))
+        gen_[group.at] = group.fact;
+}
+
+void
+AnticipatedChecksDomain::meet(State &into, const State &from) const
+{
+    if (!from)
+        return; // TOP contributes nothing to an intersection
+    if (!into) {
+        into = from;
+        return;
+    }
+    std::set<CheckFact> kept;
+    std::set_intersection(into->begin(), into->end(), from->begin(),
+                          from->end(),
+                          std::inserter(kept, kept.begin()));
+    *into = std::move(kept);
+}
+
+void
+AnticipatedChecksDomain::transfer(State &st, const Inst &inst,
+                                  int idx) const
+{
+    if (!st)
+        return; // stays TOP until an exit path is seen
+
+    // Backward through a shadow clobber: a check executing after the
+    // clobber observes different shadow state than a check at the
+    // earlier point would, so nothing later counts as anticipated.
+    if (clobbersShadowState(inst)) {
+        st->clear();
+        return;
+    }
+
+    // Backward through a register definition: facts naming inst.rd as
+    // base refer to the *new* value; they are not anticipated for the
+    // value the register holds before this instruction.
     if (inst.rd != isa::noReg && inst.rd != isa::regZero) {
         for (auto it = st->begin(); it != st->end();) {
             it = it->base == inst.rd ? st->erase(it) : std::next(it);

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Shadow-check coalescing: merge same-base, adjacent or overlapping
+ * check windows within a basic block into one widened check.
+ *
+ * Two groups in one block with no intervening shadow clobber or base
+ * redefinition check the same memory state of the same register's
+ * address space; if their windows touch, one check of the union
+ * window [min(offset), max(offset+width)) reports exactly what the
+ * pair would. The emulated AsanCheck validates the *entire* window
+ * through shadow memory (the loaded shadow byte only models the
+ * access's timing), so widening is semantically exact for any union
+ * width that fits the instruction's 8-bit width field.
+ *
+ * Both groups execute unconditionally in the original block
+ * (straight-line code), so checking the second window early at the
+ * first group's site can neither invent a detection (the second
+ * check was going to run on the unchanged shadow state) nor mask one
+ * (the widened fact covers both windows for the rest of the block).
+ * The argument is spelled out in DESIGN.md §13.
+ */
+
+#ifndef REST_ANALYSIS_COALESCE_CHECKS_HH
+#define REST_ANALYSIS_COALESCE_CHECKS_HH
+
+#include <cstddef>
+
+#include "isa/program.hh"
+
+namespace rest::analysis
+{
+
+struct CoalesceOptions
+{
+    /**
+     * Merge across intervening program loads/stores. Exact when the
+     * scheme can never arm REST tokens (a plain access then cannot
+     * fault, so reordering a check before it is unobservable); under
+     * a token-arming scheme an intervening access could raise a REST
+     * fault that the widened earlier check would preempt with an
+     * ASan report, so the caller must turn this off to keep fault
+     * *kinds* byte-identical (runtime/instrumentation.cc does).
+     */
+    bool acrossAccesses = true;
+};
+
+/**
+ * Coalesce mergeable check groups of 'fn' in place; returns the
+ * number of groups folded away into a widened neighbour.
+ */
+std::size_t coalesceChecks(isa::Function &fn,
+                           const CoalesceOptions &opts = {});
+
+/** Program-wide coalescing; returns the total groups folded away. */
+std::size_t coalesceChecks(isa::Program &program,
+                           const CoalesceOptions &opts = {});
+
+} // namespace rest::analysis
+
+#endif // REST_ANALYSIS_COALESCE_CHECKS_HH

@@ -24,6 +24,14 @@
  * must-analysis (intersection meet) represent top() as an explicit
  * "universe" value, e.g. std::optional<std::set<T>> with nullopt as
  * top (see CheckFactsDomain in analysis/check_facts.hh).
+ *
+ * BackwardSolver is the dual: boundary() is the state at function
+ * *exit*, the meet runs over successors, and a block's transfer walks
+ * its instructions last-to-first (the Domain's transfer maps the
+ * state *after* an instruction to the state *before* it). in(b) is
+ * the fixpoint before the block's first instruction — for the
+ * anticipated-checks domain, "which checks run on every path from
+ * here" (see AnticipatedChecksDomain in analysis/check_facts.hh).
  */
 
 #ifndef REST_ANALYSIS_DATAFLOW_HH
@@ -102,6 +110,96 @@ class ForwardSolver
                 for (int i = blocks[b].first; i <= blocks[b].last; ++i)
                     domain_.transfer(out_state, insts[i], i);
                 if (!(in_state == in_[b]) || !(out_state == out_[b])) {
+                    in_[b] = std::move(in_state);
+                    out_[b] = std::move(out_state);
+                    changed = true;
+                }
+            }
+        }
+    }
+
+    const Cfg *cfg_;
+    Domain domain_;
+    std::vector<State> in_;
+    std::vector<State> out_;
+};
+
+/**
+ * Backward worklist solver; the dual of ForwardSolver (see the file
+ * comment). Exit blocks — reachable blocks with no successors — take
+ * the boundary() state at their out edge.
+ */
+template <typename Domain>
+class BackwardSolver
+{
+  public:
+    using State = typename Domain::State;
+
+    BackwardSolver(const Cfg &cfg, Domain domain)
+        : cfg_(&cfg), domain_(std::move(domain))
+    {
+        solve();
+    }
+
+    const Domain &domain() const { return domain_; }
+
+    /** Fixpoint state *before* the first instruction of 'block'. */
+    const State &in(int block) const { return in_.at(block); }
+
+    /** Fixpoint state *after* the last instruction of 'block'. */
+    const State &out(int block) const { return out_.at(block); }
+
+    /**
+     * Re-walk one block last-to-first, calling visit(state, inst,
+     * idx) with the dataflow state immediately *after* each
+     * instruction (i.e. before the instruction's own backward
+     * transfer is applied).
+     */
+    template <typename Visit>
+    void
+    scan(int block, Visit &&visit) const
+    {
+        const auto &bb = cfg_->blocks().at(block);
+        const auto &insts = cfg_->function().insts;
+        State st = out_[block];
+        for (int i = bb.last; i >= bb.first; --i) {
+            visit(static_cast<const State &>(st), insts[i], i);
+            domain_.transfer(st, insts[i], i);
+        }
+    }
+
+  private:
+    void
+    solve()
+    {
+        const auto &blocks = cfg_->blocks();
+        const auto &rpo = cfg_->rpo();
+        const auto &insts = cfg_->function().insts;
+        in_.assign(blocks.size(), domain_.top());
+        out_.assign(blocks.size(), domain_.top());
+        if (rpo.empty())
+            return;
+
+        bool changed = true;
+        while (changed) {
+            changed = false;
+            for (auto it = rpo.rbegin(); it != rpo.rend(); ++it) {
+                const int b = *it;
+                bool exit_block = true;
+                State out_state = domain_.top();
+                for (int s : blocks[b].succs) {
+                    if (!cfg_->reachable()[s])
+                        continue;
+                    exit_block = false;
+                    domain_.meet(out_state, in_[s]);
+                }
+                if (exit_block)
+                    out_state = domain_.boundary();
+                State in_state = out_state;
+                for (int i = blocks[b].last; i >= blocks[b].first; --i)
+                    domain_.transfer(in_state, insts[i], i);
+                if (!(in_state == in_[b]) ||
+                    !(out_state == out_[b])) {
                     in_[b] = std::move(in_state);
                     out_[b] = std::move(out_state);
                     changed = true;

@@ -5,7 +5,7 @@
 #include "analysis/cfg.hh"
 #include "analysis/check_facts.hh"
 #include "analysis/dataflow.hh"
-#include "util/logging.hh"
+#include "analysis/rewrite.hh"
 
 namespace rest::analysis
 {
@@ -50,30 +50,11 @@ elideRedundantChecks(isa::Function &fn)
 
     // 2. Rebuild the instruction vector and remap branch targets; a
     //    target at a deleted group resolves to the first survivor
-    //    after it (the guarded access).
-    const int n = static_cast<int>(fn.insts.size());
-    std::vector<int> map(fn.insts.size(), -1);
-    std::vector<Inst> out;
-    out.reserve(fn.insts.size() - count * CheckGroup::length);
-    for (int i = 0; i < n; ++i) {
-        if (!deleted[static_cast<std::size_t>(i)]) {
-            map[static_cast<std::size_t>(i)] =
-                static_cast<int>(out.size());
-            out.push_back(fn.insts[static_cast<std::size_t>(i)]);
-        }
-    }
-    for (Inst &inst : out) {
-        if (!hasBranchTarget(inst.op) || inst.target < 0)
-            continue;
-        int t = inst.target;
-        while (t < n && map[static_cast<std::size_t>(t)] < 0)
-            ++t;
-        rest_assert(t < n, "branch target past function end after "
-                    "elision in ", fn.name);
-        inst.target = map[static_cast<std::size_t>(t)];
-    }
-    fn.insts = std::move(out);
-    return count;
+    //    after it (the guarded access), and a trailing group with no
+    //    survivor after a branch target is rescued (kept) by the
+    //    shared rewrite helper rather than corrupting the branch.
+    RewriteMap map = deleteInstructions(fn, deleted);
+    return map.removed / static_cast<std::size_t>(CheckGroup::length);
 }
 
 std::size_t

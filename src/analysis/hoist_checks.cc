@@ -1,0 +1,273 @@
+#include "analysis/hoist_checks.hh"
+
+#include <algorithm>
+#include <numeric>
+#include <set>
+
+#include "analysis/cfg.hh"
+#include "analysis/dataflow.hh"
+#include "analysis/dominators.hh"
+#include "analysis/loops.hh"
+#include "analysis/rewrite.hh"
+#include "util/logging.hh"
+
+namespace rest::analysis
+{
+
+using isa::Inst;
+
+namespace
+{
+
+/**
+ * True when the loop header can take a preheader spliced in front of
+ * it: no in-loop predecessor may fall through into the header, or the
+ * inserted code would execute on every iteration instead of once.
+ */
+bool
+preheaderFeasible(const Cfg &cfg, const Loop &loop)
+{
+    const auto &blocks = cfg.blocks();
+    const int hfirst = blocks[static_cast<std::size_t>(loop.header)].first;
+    for (int p : blocks[static_cast<std::size_t>(loop.header)].preds) {
+        if (!loop.contains(p))
+            continue;
+        const auto &pb = blocks[static_cast<std::size_t>(p)];
+        if (pb.last + 1 == hfirst &&
+            fallsThrough(cfg.function().insts[
+                static_cast<std::size_t>(pb.last)].op))
+            return false;
+    }
+    return true;
+}
+
+/**
+ * Analyze 'fn', hoist the candidates of the first loop (outermost
+ * first) that has any, and fold the edit into 'res'. Returns false
+ * when no loop changed (fixpoint). One loop per round: every edit
+ * invalidates the CFG, dominators and dataflow fixpoints.
+ */
+bool
+hoistOneLoop(isa::Function &fn, HoistResult &res)
+{
+    Cfg cfg(fn);
+    DomTree dom(cfg);
+    LoopForest forest(cfg, dom);
+    // Never transform irreducible control flow: a retreating edge
+    // whose target does not dominate its source has no unique
+    // preheader point, and guessing one could miscompile.
+    if (forest.irreducible() || forest.loops().empty())
+        return false;
+    BackwardSolver<AnticipatedChecksDomain> antic(
+        cfg, AnticipatedChecksDomain(fn));
+
+    // Outermost loops first: a group anticipated at an outer header
+    // leaves the whole nest in one move instead of rippling through
+    // every level (and being counted once per level).
+    std::vector<std::size_t> order(forest.loops().size());
+    std::iota(order.begin(), order.end(), std::size_t{0});
+    std::sort(order.begin(), order.end(),
+              [&](std::size_t a, std::size_t b) {
+                  const Loop &la = forest.loops()[a];
+                  const Loop &lb = forest.loops()[b];
+                  if (la.depth != lb.depth)
+                      return la.depth < lb.depth;
+                  return la.header < lb.header;
+              });
+
+    for (std::size_t li : order) {
+        const Loop &loop = forest.loops()[li];
+        if (!preheaderFeasible(cfg, loop))
+            continue;
+
+        // Loop-wide guards: any shadow-state clobber in the body
+        // makes every verdict iteration-dependent (nothing hoists),
+        // and a register defined in the body disqualifies facts based
+        // on it.
+        bool killed = false;
+        std::set<isa::RegId> defined;
+        for (int b : loop.blocks) {
+            const auto &bb = cfg.blocks()[static_cast<std::size_t>(b)];
+            for (int i = bb.first; i <= bb.last && !killed; ++i) {
+                const Inst &inst =
+                    fn.insts[static_cast<std::size_t>(i)];
+                if (clobbersShadowState(inst)) {
+                    killed = true;
+                    break;
+                }
+                if (inst.rd != isa::noReg && inst.rd != isa::regZero)
+                    defined.insert(inst.rd);
+            }
+            if (killed)
+                break;
+        }
+        if (killed)
+            continue;
+
+        const auto &ant = antic.in(loop.header);
+        if (!ant)
+            continue; // degenerate: no path from header reaches exit
+
+        // Candidate groups: wholly inside one body block, invariant
+        // base, fact anticipated at the header.
+        std::vector<CheckGroup> cands;
+        for (int b : loop.blocks) {
+            const auto &bb = cfg.blocks()[static_cast<std::size_t>(b)];
+            for (int i = bb.first; i <= bb.last; ++i) {
+                auto group = matchCheckGroup(fn, i);
+                if (!group || group->end() > bb.last)
+                    continue;
+                i = group->end();
+                if (defined.count(group->fact.base) != 0)
+                    continue;
+                if (!anyCovers(*ant, group->fact))
+                    continue;
+                cands.push_back(*group);
+            }
+        }
+        if (cands.empty())
+            continue;
+
+        // One preheader group per fact, minus facts covered by a
+        // wider kept fact (the preheader coalesces for free).
+        std::set<CheckFact> facts;
+        for (const CheckGroup &c : cands)
+            facts.insert(c.fact);
+        std::vector<CheckFact> kept;
+        for (const CheckFact &f : facts) {
+            bool covered = std::any_of(
+                facts.begin(), facts.end(), [&](const CheckFact &g) {
+                    return !(g == f) && covers(g, f);
+                });
+            if (!covered)
+                kept.push_back(f);
+        }
+        auto keptCovering = [&](const CheckFact &f) {
+            for (std::size_t k = 0; k < kept.size(); ++k) {
+                if (covers(kept[k], f))
+                    return static_cast<int>(k);
+            }
+            return -1;
+        };
+
+        // The preheader body is a verbatim copy of one in-loop group
+        // per kept fact (this keeps the shadow-base bias constant out
+        // of the analysis layer: the copied AddI already carries it).
+        std::vector<Inst> pre;
+        std::vector<int> keptOffset;
+        for (const CheckFact &f : kept) {
+            for (const CheckGroup &c : cands) {
+                if (!(c.fact == f))
+                    continue;
+                keptOffset.push_back(static_cast<int>(pre.size()));
+                for (int k = 0; k < CheckGroup::length; ++k)
+                    pre.push_back(fn.insts[
+                        static_cast<std::size_t>(c.at + k)]);
+                break;
+            }
+        }
+
+        const int old_n = static_cast<int>(fn.insts.size());
+        const int hfirst =
+            cfg.blocks()[static_cast<std::size_t>(loop.header)].first;
+        std::vector<bool> in_loop_pre(fn.insts.size(), false);
+        for (int b : loop.blocks) {
+            const auto &bb = cfg.blocks()[static_cast<std::size_t>(b)];
+            for (int i = bb.first; i <= bb.last; ++i)
+                in_loop_pre[static_cast<std::size_t>(i)] = true;
+        }
+        std::vector<bool> marked(fn.insts.size(), false);
+        for (const CheckGroup &c : cands) {
+            for (int k = 0; k < CheckGroup::length; ++k)
+                marked[static_cast<std::size_t>(c.at + k)] = true;
+        }
+
+        RewriteMap del = deleteInstructions(fn, marked);
+        rest_assert(del.removed % CheckGroup::length == 0,
+                    "partial check group deleted in ", fn.name);
+
+        std::vector<bool> in_loop_post(fn.insts.size(), false);
+        for (int i = 0; i < old_n; ++i) {
+            if (!marked[static_cast<std::size_t>(i)])
+                in_loop_post[static_cast<std::size_t>(
+                    del.translate(i))] =
+                    in_loop_pre[static_cast<std::size_t>(i)];
+        }
+        const int pos = del.translate(hfirst);
+
+        // Splice the preheader: loop-entry edges fall into it, back
+        // edges (branches from inside the loop) skip it.
+        RewriteMap ins = insertInstructions(
+            fn, pos, pre, [&](int j) {
+                return in_loop_post[static_cast<std::size_t>(j)];
+            });
+        auto translate = [&](int idx) {
+            return ins.translate(del.translate(idx));
+        };
+
+        std::vector<HoistRecord> recs(kept.size());
+        for (std::size_t k = 0; k < kept.size(); ++k) {
+            recs[k].fact = kept[k];
+            recs[k].preheaderAt = pos + keptOffset[k];
+        }
+        for (const CheckGroup &c : cands) {
+            if (!marked[static_cast<std::size_t>(c.at)])
+                continue; // rescued by the rewrite helper, not hoisted
+            int k = keptCovering(c.fact);
+            rest_assert(k >= 0, "hoisted fact lost its preheader group "
+                        "in ", fn.name);
+            recs[static_cast<std::size_t>(k)].guardedSites.push_back(
+                translate(c.at));
+        }
+
+        // Re-base earlier records; a preheader group re-hoisted out
+        // of an enclosing loop folds its sites into the new record.
+        std::vector<HoistRecord> updated;
+        for (HoistRecord &old : res.records) {
+            if (old.preheaderAt < old_n &&
+                marked[static_cast<std::size_t>(old.preheaderAt)]) {
+                int k = keptCovering(old.fact);
+                rest_assert(k >= 0, "re-hoisted fact lost its "
+                            "preheader group in ", fn.name);
+                for (int s : old.guardedSites)
+                    recs[static_cast<std::size_t>(k)]
+                        .guardedSites.push_back(translate(s));
+                continue;
+            }
+            old.preheaderAt = translate(old.preheaderAt);
+            for (int &s : old.guardedSites)
+                s = translate(s);
+            updated.push_back(std::move(old));
+        }
+        for (HoistRecord &r : recs)
+            updated.push_back(std::move(r));
+        res.records = std::move(updated);
+        res.hoisted += del.removed / CheckGroup::length;
+        return true;
+    }
+    return false;
+}
+
+} // namespace
+
+HoistResult
+hoistLoopChecks(isa::Function &fn)
+{
+    HoistResult res;
+    if (fn.insts.empty())
+        return res;
+    while (hoistOneLoop(fn, res)) {
+    }
+    return res;
+}
+
+std::size_t
+hoistLoopChecks(isa::Program &program)
+{
+    std::size_t count = 0;
+    for (auto &fn : program.funcs)
+        count += hoistLoopChecks(fn).hoisted;
+    return count;
+}
+
+} // namespace rest::analysis

@@ -1,0 +1,135 @@
+#include "analysis/loops.hh"
+
+#include <algorithm>
+#include <map>
+#include <sstream>
+
+namespace rest::analysis
+{
+
+LoopForest::LoopForest(const Cfg &cfg, const DomTree &dom)
+{
+    const auto &blocks = cfg.blocks();
+    const auto &rpo = cfg.rpo();
+
+    std::vector<int> rpo_index(blocks.size(), -1);
+    for (std::size_t i = 0; i < rpo.size(); ++i)
+        rpo_index[static_cast<std::size_t>(rpo[i])] =
+            static_cast<int>(i);
+
+    // Classify edges among reachable blocks: an edge u -> v with
+    // rpo(v) <= rpo(u) retreats; it is a back edge iff v dominates u,
+    // and any other retreating edge witnesses irreducibility.
+    std::map<int, std::vector<int>> latches_of; // header -> latches
+    for (int u : rpo) {
+        for (int v : blocks[static_cast<std::size_t>(u)].succs) {
+            if (!cfg.reachable()[static_cast<std::size_t>(v)])
+                continue;
+            if (rpo_index[static_cast<std::size_t>(v)] >
+                rpo_index[static_cast<std::size_t>(u)])
+                continue; // forward or cross edge
+            if (dom.dominates(v, u))
+                latches_of[v].push_back(u);
+            else
+                irreducible_ = true;
+        }
+    }
+
+    // Body of each loop: backward reachability from the latches,
+    // stopping at the header.
+    for (auto &[header, latches] : latches_of) {
+        Loop loop;
+        loop.header = header;
+        std::sort(latches.begin(), latches.end());
+        loop.latches = latches;
+        loop.blocks.insert(header);
+        std::vector<int> work;
+        for (int latch : latches) {
+            if (loop.blocks.insert(latch).second)
+                work.push_back(latch);
+        }
+        while (!work.empty()) {
+            int b = work.back();
+            work.pop_back();
+            for (int p : blocks[static_cast<std::size_t>(b)].preds) {
+                if (!cfg.reachable()[static_cast<std::size_t>(p)])
+                    continue;
+                if (loop.blocks.insert(p).second)
+                    work.push_back(p);
+            }
+        }
+        loops_.push_back(std::move(loop));
+    }
+
+    // Nesting: the parent of a loop is the smallest other loop that
+    // strictly contains its body (equal bodies cannot happen — the
+    // headers would coincide and the loops would have been merged).
+    for (std::size_t i = 0; i < loops_.size(); ++i) {
+        int best = -1;
+        for (std::size_t j = 0; j < loops_.size(); ++j) {
+            if (i == j)
+                continue;
+            const auto &inner = loops_[i].blocks;
+            const auto &outer = loops_[j].blocks;
+            if (outer.size() <= inner.size())
+                continue;
+            if (!std::includes(outer.begin(), outer.end(),
+                               inner.begin(), inner.end()))
+                continue;
+            if (best < 0 || outer.size() <
+                    loops_[static_cast<std::size_t>(best)].blocks.size())
+                best = static_cast<int>(j);
+        }
+        loops_[i].parent = best;
+    }
+    for (auto &loop : loops_) {
+        int depth = 1;
+        for (int p = loop.parent; p >= 0;
+             p = loops_[static_cast<std::size_t>(p)].parent)
+            ++depth;
+        loop.depth = depth;
+    }
+}
+
+int
+LoopForest::innermostLoopOf(int block) const
+{
+    int best = -1;
+    for (std::size_t i = 0; i < loops_.size(); ++i) {
+        if (!loops_[i].contains(block))
+            continue;
+        if (best < 0 ||
+            loops_[i].blocks.size() <
+                loops_[static_cast<std::size_t>(best)].blocks.size())
+            best = static_cast<int>(i);
+    }
+    return best;
+}
+
+std::string
+LoopForest::toString() const
+{
+    std::ostringstream os;
+    for (std::size_t i = 0; i < loops_.size(); ++i) {
+        const Loop &loop = loops_[i];
+        os << "loop" << i << ": header=b" << loop.header
+           << " depth=" << loop.depth;
+        if (loop.parent >= 0)
+            os << " parent=loop" << loop.parent;
+        os << " latches={";
+        for (std::size_t k = 0; k < loop.latches.size(); ++k)
+            os << (k ? "," : "") << "b" << loop.latches[k];
+        os << "} body={";
+        bool first = true;
+        for (int b : loop.blocks) {
+            os << (first ? "" : ",") << "b" << b;
+            first = false;
+        }
+        os << "}\n";
+    }
+    if (irreducible_)
+        os << "irreducible\n";
+    return os.str();
+}
+
+} // namespace rest::analysis

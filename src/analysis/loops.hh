@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Natural-loop forest over a Cfg.
+ *
+ * A back edge is an edge latch -> header where the header dominates
+ * the latch; its natural loop is the header plus every block that can
+ * reach the latch without passing through the header. Back edges
+ * sharing a header are merged into one loop, and loops nest by body
+ * containment (a loop's parent is the smallest strictly-containing
+ * loop).
+ *
+ * Retreating edges that are *not* back edges (the target does not
+ * dominate the source) witness an irreducible region. The forest
+ * still reports the natural loops it found, but flags the function as
+ * irreducible; the hoisting pass conservatively skips such functions
+ * entirely — an irreducible cycle has no unique preheader-insertion
+ * point, and miscompiling is not an option.
+ *
+ * The forest only describes the function; synthesizing a preheader
+ * mutates it and lives in the hoisting pass (analysis/hoist_checks).
+ */
+
+#ifndef REST_ANALYSIS_LOOPS_HH
+#define REST_ANALYSIS_LOOPS_HH
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "analysis/cfg.hh"
+#include "analysis/dominators.hh"
+
+namespace rest::analysis
+{
+
+/** One natural loop (blocks are Cfg block ids). */
+struct Loop
+{
+    int header = -1;            ///< the single entry block
+    std::vector<int> latches;   ///< sources of back edges, ascending
+    std::set<int> blocks;       ///< body, header included
+    int parent = -1;            ///< index of enclosing loop, -1 if top
+    int depth = 1;              ///< 1 for top-level loops
+
+    bool contains(int block) const { return blocks.count(block) != 0; }
+};
+
+/** All natural loops of one function, innermost knowledge included. */
+class LoopForest
+{
+  public:
+    /** Build from a Cfg and its dominator tree (same Cfg instance). */
+    LoopForest(const Cfg &cfg, const DomTree &dom);
+
+    /** Loops ordered by ascending header block id. */
+    const std::vector<Loop> &loops() const { return loops_; }
+
+    /**
+     * True when some reachable retreating edge is not a back edge:
+     * the function has an irreducible region and loop-based
+     * transforms must not touch it.
+     */
+    bool irreducible() const { return irreducible_; }
+
+    /** Innermost loop containing 'block', -1 if none. */
+    int innermostLoopOf(int block) const;
+
+    /** Render headers/latches/bodies/nesting for golden tests. */
+    std::string toString() const;
+
+  private:
+    std::vector<Loop> loops_;
+    bool irreducible_ = false;
+};
+
+} // namespace rest::analysis
+
+#endif // REST_ANALYSIS_LOOPS_HH

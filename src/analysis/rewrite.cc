@@ -1,0 +1,104 @@
+#include "analysis/rewrite.hh"
+
+#include "analysis/cfg.hh"
+#include "util/logging.hh"
+
+namespace rest::analysis
+{
+
+using isa::Inst;
+
+RewriteMap
+deleteInstructions(isa::Function &fn, std::vector<bool> &marked)
+{
+    const int n = static_cast<int>(fn.insts.size());
+    rest_assert(marked.size() == fn.insts.size(),
+                "deletion mask size mismatch in ", fn.name);
+
+    // Rescue branch targets that would be left with no survivor at or
+    // after them: keep the contiguous marked run containing the
+    // target (a whole trailing check group, when marks are
+    // group-granular). Unmarking only creates survivors, so one pass
+    // suffices.
+    for (const Inst &inst : fn.insts) {
+        if (!hasBranchTarget(inst.op) || inst.target < 0)
+            continue;
+        bool survivor = false;
+        for (int i = inst.target; i < n; ++i) {
+            if (!marked[static_cast<std::size_t>(i)]) {
+                survivor = true;
+                break;
+            }
+        }
+        if (!survivor) {
+            for (int i = inst.target;
+                 i < n && marked[static_cast<std::size_t>(i)]; ++i)
+                marked[static_cast<std::size_t>(i)] = false;
+        }
+    }
+
+    // Assign post-edit slots to survivors.
+    std::vector<int> direct(fn.insts.size(), -1);
+    std::vector<Inst> out;
+    out.reserve(fn.insts.size());
+    for (int i = 0; i < n; ++i) {
+        if (!marked[static_cast<std::size_t>(i)]) {
+            direct[static_cast<std::size_t>(i)] =
+                static_cast<int>(out.size());
+            out.push_back(fn.insts[static_cast<std::size_t>(i)]);
+        }
+    }
+    rest_assert(!out.empty(), "deleting every instruction of ", fn.name);
+
+    RewriteMap map;
+    map.removed = fn.insts.size() - out.size();
+    map.oldToNew.resize(fn.insts.size());
+    int next = static_cast<int>(out.size()) - 1;
+    for (int i = n - 1; i >= 0; --i) {
+        if (direct[static_cast<std::size_t>(i)] >= 0)
+            next = direct[static_cast<std::size_t>(i)];
+        map.oldToNew[static_cast<std::size_t>(i)] = next;
+    }
+
+    for (Inst &inst : out) {
+        if (hasBranchTarget(inst.op) && inst.target >= 0)
+            inst.target = map.oldToNew[
+                static_cast<std::size_t>(inst.target)];
+    }
+    fn.insts = std::move(out);
+    return map;
+}
+
+RewriteMap
+insertInstructions(isa::Function &fn, int pos,
+                   const std::vector<isa::Inst> &insts,
+                   const std::function<bool(int)> &skipInserted)
+{
+    const int n = static_cast<int>(fn.insts.size());
+    rest_assert(pos >= 0 && pos <= n, "splice position ", pos,
+                " out of range in ", fn.name);
+    const int len = static_cast<int>(insts.size());
+
+    // Retarget the original instructions while indices are still
+    // pre-edit: targets beyond the splice always shift; targets at
+    // the splice point shift only when the branch site asks to skip
+    // the inserted code (back edges re-entering a loop header).
+    for (int i = 0; i < n; ++i) {
+        Inst &inst = fn.insts[static_cast<std::size_t>(i)];
+        if (!hasBranchTarget(inst.op) || inst.target < 0)
+            continue;
+        if (inst.target > pos ||
+            (inst.target == pos && skipInserted(i)))
+            inst.target += len;
+    }
+    fn.insts.insert(fn.insts.begin() + pos, insts.begin(), insts.end());
+
+    RewriteMap map;
+    map.oldToNew.resize(static_cast<std::size_t>(n));
+    for (int i = 0; i < n; ++i)
+        map.oldToNew[static_cast<std::size_t>(i)] =
+            i < pos ? i : i + len;
+    return map;
+}
+
+} // namespace rest::analysis

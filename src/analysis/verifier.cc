@@ -7,6 +7,7 @@
 #include "analysis/cfg.hh"
 #include "analysis/check_facts.hh"
 #include "analysis/dataflow.hh"
+#include "analysis/dominators.hh"
 #include "util/logging.hh"
 
 namespace rest::analysis
@@ -41,6 +42,11 @@ diagKindName(DiagKind kind)
       case DiagKind::BufferOverlap: return "BufferOverlap";
       case DiagKind::RedzoneOverlapsBuffer:
         return "RedzoneOverlapsBuffer";
+      case DiagKind::HoistedGroupMalformed:
+        return "HoistedGroupMalformed";
+      case DiagKind::HoistNotDominating: return "HoistNotDominating";
+      case DiagKind::HoistedFactUnavailable:
+        return "HoistedFactUnavailable";
     }
     return "<bad DiagKind>";
 }
@@ -480,6 +486,67 @@ verify(const isa::Program &program, const VerifyOptions &opts)
             checkArmPairing(cfg, fi, out);
         if (opts.checkLayout)
             checkFrameLayout(fn, fi, opts.tokenGranule, out);
+    }
+    return out;
+}
+
+std::vector<Diagnostic>
+verifyHoistedChecks(const isa::Function &fn, std::size_t func_idx,
+                    const std::vector<HoistRecord> &records)
+{
+    std::vector<Diagnostic> out;
+    if (records.empty())
+        return out;
+    Cfg cfg(fn);
+    DomTree dom(cfg);
+    ForwardSolver<CheckFactsDomain> solver(cfg, CheckFactsDomain(fn));
+    const int n = static_cast<int>(fn.insts.size());
+
+    for (const HoistRecord &rec : records) {
+        auto group = rec.preheaderAt >= 0 && rec.preheaderAt < n
+            ? matchCheckGroup(fn, rec.preheaderAt)
+            : std::nullopt;
+        if (!group || !(group->fact == rec.fact)) {
+            report(out, DiagKind::HoistedGroupMalformed, fn, func_idx,
+                   rec.preheaderAt, "hoist record for base r",
+                   int(rec.fact.base), " window [",
+                   rec.fact.offset, ", +", int(rec.fact.width),
+                   ") does not name a matching preheader group");
+            continue;
+        }
+        const int pre_block = cfg.blockOf(rec.preheaderAt);
+        for (int site : rec.guardedSites) {
+            if (site < 0 || site >= n) {
+                report(out, DiagKind::HoistedGroupMalformed, fn,
+                       func_idx, site, "guarded site out of range");
+                continue;
+            }
+            const int site_block = cfg.blockOf(site);
+            if (!dom.dominates(pre_block, site_block)) {
+                report(out, DiagKind::HoistNotDominating, fn, func_idx,
+                       site, "preheader group at inst ",
+                       rec.preheaderAt,
+                       " does not dominate the site it replaced");
+                continue;
+            }
+            bool available = false;
+            solver.scan(site_block,
+                        [&](const CheckFactsDomain::State &st,
+                            const Inst &, int idx) {
+                            if (idx == site && st &&
+                                anyCovers(*st, rec.fact))
+                                available = true;
+                        });
+            if (!available) {
+                report(out, DiagKind::HoistedFactUnavailable, fn,
+                       func_idx, site, "hoisted window [base r",
+                       int(rec.fact.base), (rec.fact.offset >= 0 ?
+                       "+" : ""), rec.fact.offset, ", +",
+                       int(rec.fact.width),
+                       ") is not available on every path to the site "
+                       "it replaced");
+            }
+        }
     }
     return out;
 }

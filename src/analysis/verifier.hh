@@ -36,6 +36,7 @@
 #include <string>
 #include <vector>
 
+#include "analysis/hoist_checks.hh"
 #include "isa/program.hh"
 
 namespace rest::analysis
@@ -63,6 +64,10 @@ enum class DiagKind : std::uint8_t
     BufferOutsideFrame,      ///< buffer exceeds the frame bounds
     BufferOverlap,           ///< two buffers overlap
     RedzoneOverlapsBuffer,   ///< redzone overlaps a live buffer
+    // Post-optimization soundness (hoisted checks).
+    HoistedGroupMalformed,   ///< hoist record points at no such group
+    HoistNotDominating,      ///< preheader does not dominate a site
+    HoistedFactUnavailable,  ///< hoisted window not available at site
 };
 
 /** Stable name of a DiagKind (diagnostics and tests). */
@@ -102,6 +107,24 @@ verifyGeneratorContract(const isa::Program &program);
 /** Full post-instrumentation invariant check (see file comment). */
 std::vector<Diagnostic> verify(const isa::Program &program,
                                const VerifyOptions &opts);
+
+/**
+ * Post-optimization soundness mode: re-prove, on the transformed
+ * function, what the hoisting pass claims its records establish —
+ * each record's preheader group exists with the recorded window, its
+ * block dominates the block of every site whose per-iteration check
+ * it replaced, and the hoisted window is available (forward
+ * must-dataflow) at each such site on all paths. Together with the
+ * access-coverage check of verify() this shows hoisting can neither
+ * mask a detection (sites stay covered) nor invent one (the
+ * anticipation condition the pass enforced is recorded per site and
+ * dominated by the preheader). Run it between hoisting and
+ * coalescing — coalescing may widen or fold preheader groups,
+ * invalidating the recorded indices.
+ */
+std::vector<Diagnostic>
+verifyHoistedChecks(const isa::Function &fn, std::size_t func_idx,
+                    const std::vector<HoistRecord> &records);
 
 } // namespace rest::analysis
 

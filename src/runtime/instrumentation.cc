@@ -3,7 +3,9 @@
 #include <vector>
 
 #include "analysis/check_facts.hh"
+#include "analysis/coalesce_checks.hh"
 #include "analysis/elide_checks.hh"
+#include "analysis/hoist_checks.hh"
 #include "analysis/verifier.hh"
 #include "runtime/shadow_memory.hh"
 #include "util/bit_utils.hh"
@@ -326,11 +328,37 @@ applyScheme(isa::Program &program, const SchemeConfig &scheme,
     }
 
     InstrumentationSummary sum;
-    for (auto &fn : program.funcs) {
+    for (std::size_t fi = 0; fi < program.funcs.size(); ++fi) {
+        auto &fn = program.funcs[fi];
         instrumentFunction(fn, scheme, token_granule, sum);
         if (scheme.asanAccessChecks && scheme.elideRedundantChecks)
             sum.accessChecksElided +=
                 analysis::elideRedundantChecks(fn);
+        if (scheme.asanAccessChecks && scheme.hoistLoopChecks) {
+            analysis::HoistResult hoist =
+                analysis::hoistLoopChecks(fn);
+            sum.accessChecksHoisted += hoist.hoisted;
+#ifndef NDEBUG
+            // Re-prove the hoists on the transformed function before
+            // coalescing may rewrite the preheader groups.
+            auto hdiags = analysis::verifyHoistedChecks(
+                fn, fi, hoist.records);
+            rest_assert(hdiags.empty(),
+                        "hoisted checks failed verification under ",
+                        scheme.name(), ":\n",
+                        analysis::formatDiagnostics(hdiags));
+#endif
+        }
+        if (scheme.asanAccessChecks && scheme.coalesceChecks) {
+            // Keep fault kinds byte-identical: merging across a
+            // program access is only unobservable when that access
+            // can never raise a REST token fault.
+            analysis::CoalesceOptions co;
+            co.acrossAccesses = scheme.allocator != AllocatorKind::Rest
+                && !scheme.restStackArming;
+            sum.accessChecksCoalesced +=
+                analysis::coalesceChecks(fn, co);
+        }
     }
 
 #ifndef NDEBUG

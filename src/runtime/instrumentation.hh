@@ -25,7 +25,12 @@
  * When SchemeConfig::elideRedundantChecks is set (with
  * asanAccessChecks), the redundant-check elision pass of
  * analysis/elide_checks.hh runs after instrumentation and the number
- * of deleted checks is reported in the summary.
+ * of deleted checks is reported in the summary. hoistLoopChecks and
+ * coalesceChecks chain the loop hoisting and window-coalescing
+ * optimizers behind it (elide -> hoist -> coalesce); debug builds
+ * additionally re-prove every hoist's dominance and availability
+ * claims (analysis::verifyHoistedChecks) before coalescing may
+ * rewrite the preheader groups.
  */
 
 #ifndef REST_RUNTIME_INSTRUMENTATION_HH
@@ -45,6 +50,10 @@ struct InstrumentationSummary
     std::uint64_t accessChecksInserted = 0;
     /** Checks deleted again by the redundant-check elision pass. */
     std::uint64_t accessChecksElided = 0;
+    /** Checks moved out of loop bodies into preheaders. */
+    std::uint64_t accessChecksHoisted = 0;
+    /** Checks folded into a widened same-block neighbour. */
+    std::uint64_t accessChecksCoalesced = 0;
     std::uint64_t stackPoisonStores = 0;
     std::uint64_t armsInserted = 0;
     std::uint64_t disarmsInserted = 0;

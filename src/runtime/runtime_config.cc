@@ -18,6 +18,10 @@ SchemeConfig::name() const
         os << "+checks";
     if (asanAccessChecks && elideRedundantChecks)
         os << "+elide";
+    if (asanAccessChecks && hoistLoopChecks)
+        os << "+hoist";
+    if (asanAccessChecks && coalesceChecks)
+        os << "+coalesce";
     if (asanStackSetup)
         os << "+stack";
     if (asanIntercept)

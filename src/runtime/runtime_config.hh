@@ -63,6 +63,23 @@ struct SchemeConfig
      * No effect unless asanAccessChecks is set.
      */
     bool elideRedundantChecks = false;
+    /**
+     * ASan: hoist loop-invariant shadow checks into a synthesized
+     * loop preheader (analysis/hoist_checks.hh) — a check whose base
+     * is not redefined in the loop, whose fact is anticipated at the
+     * loop header on every path, and whose loop body cannot change
+     * shadow state executes once per loop entry instead of once per
+     * iteration. Detection verdicts are preserved exactly.
+     * No effect unless asanAccessChecks is set.
+     */
+    bool hoistLoopChecks = false;
+    /**
+     * ASan: merge same-base, adjacent or overlapping check windows
+     * within a basic block into one widened check
+     * (analysis/coalesce_checks.hh). No effect unless
+     * asanAccessChecks is set.
+     */
+    bool coalesceChecks = false;
 
     /** REST: arm/disarm stack redzones in prologue/epilogue. */
     bool restStackArming = false;

@@ -3,6 +3,7 @@
 #include <chrono>
 #include <cmath>
 
+#include "isa/opcode.hh"
 #include "util/logging.hh"
 
 namespace rest::sim
@@ -106,6 +107,11 @@ runSystem(const workload::BenchProfile &profile, const SystemConfig &cfg,
     const auto &instr = result.instrumentation;
     snap("instr.access_checks_inserted", instr.accessChecksInserted);
     snap("instr.access_checks_elided", instr.accessChecksElided);
+    snap("instr.access_checks_hoisted", instr.accessChecksHoisted);
+    snap("instr.access_checks_coalesced", instr.accessChecksCoalesced);
+    snap("instr.access_check_ops_executed",
+         result.run.opsBySource[
+             static_cast<unsigned>(isa::OpSource::AccessCheck)]);
     snap("instr.arms_inserted", instr.armsInserted);
     snap("instr.disarms_inserted", instr.disarmsInserted);
     snap("instr.stack_poison_stores", instr.stackPoisonStores);

@@ -11,6 +11,7 @@
 #include "sim/checkpoint.hh"
 #include "sim/sweep_events.hh"
 #include "util/logging.hh"
+#include "util/metrics.hh"
 #include "util/thread_pool.hh"
 #include "util/trace.hh"
 
@@ -344,6 +345,48 @@ SweepFaultInjector::inject(std::size_t job_index,
 // SweepRunner
 // ---------------------------------------------------------------------
 
+namespace
+{
+
+/**
+ * Export the check-optimizer effectiveness of one finished job as
+ * live rest_instr_checks_* counters, so /metrics shows what the
+ * elision/hoisting/coalescing passes are achieving mid-sweep.
+ */
+void
+publishInstrMetrics(const SweepOptions &options, const Measurement &m)
+{
+    if (!options.registry)
+        return;
+    static constexpr struct
+    {
+        const char *scalar;
+        const char *metric;
+        const char *help;
+    } kInstrCounters[] = {
+        {"instr.access_checks_inserted", "rest_instr_checks_emitted",
+         "Shadow-check groups emitted by instrumentation"},
+        {"instr.access_checks_elided", "rest_instr_checks_elided",
+         "Shadow-check groups deleted as redundant"},
+        {"instr.access_checks_hoisted", "rest_instr_checks_hoisted",
+         "Shadow-check groups hoisted into loop preheaders"},
+        {"instr.access_checks_coalesced",
+         "rest_instr_checks_coalesced",
+         "Shadow-check groups folded into a widened neighbour"},
+    };
+    for (const auto &entry : kInstrCounters) {
+        auto it = m.scalars.find(entry.scalar);
+        if (it == m.scalars.end())
+            continue;
+        options.registry
+            ->counter(entry.metric, entry.help,
+                      {{"sweep", options.sweepName}})
+            .inc(it->second);
+    }
+}
+
+} // namespace
+
 SweepRunner::SweepRunner(unsigned num_threads, SweepOptions options)
     : num_threads_(std::max(1u, num_threads)),
       options_(std::move(options))
@@ -380,6 +423,7 @@ SweepRunner::executeJob(const SweepJob &job, std::size_t index,
                 r.timedOut = false;
                 r.error.clear();
                 r.measurement = std::move(m);
+                publishInstrMetrics(options_, r.measurement);
                 if (options_.events) {
                     SweepEvent e = jobEvent(
                         options_, SweepEventKind::Done, job, index);

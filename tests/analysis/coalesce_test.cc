@@ -1,0 +1,214 @@
+/**
+ * @file
+ * Tests of shadow-check coalescing: which same-base windows merge
+ * into one widened check, the boundaries that must flush a pending
+ * merge, the acrossAccesses exactness gate, and end-to-end runs
+ * showing fewer dynamic operations with detection preserved.
+ */
+
+#include <gtest/gtest.h>
+
+#include "analysis/check_facts.hh"
+#include "analysis/coalesce_checks.hh"
+#include "analysis/verifier.hh"
+#include "common/test_util.hh"
+#include "runtime/instrumentation.hh"
+#include "workload/spec_profiles.hh"
+
+namespace rest::analysis
+{
+
+namespace
+{
+
+using isa::FuncBuilder;
+using isa::Opcode;
+
+constexpr isa::RegId r1 = 1, r2 = 2, r3 = 3, r4 = 4, r13 = 13;
+
+/** Instrument a single-function program with full ASan. */
+isa::Program
+instrumented(FuncBuilder &&b)
+{
+    isa::Program prog;
+    prog.funcs.push_back(std::move(b).take());
+    auto scheme = runtime::SchemeConfig::asanFull();
+    runtime::applyScheme(prog, scheme);
+    return prog;
+}
+
+std::size_t
+coalesceCount(FuncBuilder &&b, const CoalesceOptions &opts = {})
+{
+    isa::Program prog = instrumented(std::move(b));
+    return coalesceChecks(prog.funcs[0], opts);
+}
+
+/** The check facts present in 'fn', in instruction order. */
+std::vector<CheckFact>
+factsOf(const isa::Function &fn)
+{
+    std::vector<CheckFact> out;
+    for (const CheckGroup &g : findCheckGroups(fn))
+        out.push_back(g.fact);
+    return out;
+}
+
+} // namespace
+
+TEST(CoalesceChecks, AdjacentWindowsMergeIntoUnion)
+{
+    // [r2+0, +8) and [r2+8, +16) touch: one 16-byte check suffices.
+    FuncBuilder b("main");
+    b.load(r1, r2, 0, 8);
+    b.load(r3, r2, 8, 8);
+    b.halt();
+    isa::Program prog = instrumented(std::move(b));
+    isa::Function &fn = prog.funcs[0];
+
+    EXPECT_EQ(coalesceChecks(fn), 1u);
+    auto facts = factsOf(fn);
+    ASSERT_EQ(facts.size(), 1u);
+    EXPECT_EQ(facts[0], (CheckFact{r2, 0, 16}));
+
+    // Both guarded accesses survive and the program still verifies.
+    VerifyOptions opts;
+    opts.expectAsanChecks = true;
+    auto diags = verify(prog, opts);
+    EXPECT_TRUE(diags.empty()) << formatDiagnostics(diags);
+}
+
+TEST(CoalesceChecks, OverlappingWindowsMerge)
+{
+    FuncBuilder b("main");
+    b.load(r1, r2, 0, 8);
+    b.load(r3, r2, 4, 8);
+    b.halt();
+    isa::Program prog = instrumented(std::move(b));
+    isa::Function &fn = prog.funcs[0];
+    EXPECT_EQ(coalesceChecks(fn), 1u);
+    auto facts = factsOf(fn);
+    ASSERT_EQ(facts.size(), 1u);
+    EXPECT_EQ(facts[0], (CheckFact{r2, 0, 12}));
+}
+
+TEST(CoalesceChecks, DisjointWindowsDoNotMerge)
+{
+    // A widened check would cover bytes neither access touches and
+    // could report an overflow the original program never detects.
+    FuncBuilder b("main");
+    b.load(r1, r2, 0, 8);
+    b.load(r3, r2, 64, 8);
+    b.halt();
+    EXPECT_EQ(coalesceCount(std::move(b)), 0u);
+}
+
+TEST(CoalesceChecks, DifferentBasesDoNotMerge)
+{
+    FuncBuilder b("main");
+    b.load(r1, r2, 0, 8);
+    b.load(r3, r4, 8, 8);
+    b.halt();
+    EXPECT_EQ(coalesceCount(std::move(b)), 0u);
+}
+
+TEST(CoalesceChecks, BaseRedefinitionFlushesPendingMerge)
+{
+    FuncBuilder b("main");
+    b.load(r1, r2, 0, 8);
+    b.addI(r2, r2, 8);
+    b.load(r3, r2, 0, 8);
+    b.halt();
+    EXPECT_EQ(coalesceCount(std::move(b)), 0u);
+}
+
+TEST(CoalesceChecks, RuntimeOpFlushesPendingMerge)
+{
+    // The allocator can repoison shadow between the two checks; a
+    // pre-merged wide check would see the older state.
+    FuncBuilder b("main");
+    b.load(r1, r2, 0, 8);
+    b.movImm(r13, 64);
+    b.emit({Opcode::RtMalloc, isa::noReg, r13, isa::noReg, 8, 0, -1,
+            -1});
+    b.load(r3, r2, 8, 8);
+    b.halt();
+    EXPECT_EQ(coalesceCount(std::move(b)), 0u);
+}
+
+TEST(CoalesceChecks, BlockBoundaryFlushesPendingMerge)
+{
+    // Same windows, but the second check is conditionally executed:
+    // merging would check it on the path that skips it.
+    FuncBuilder b("main");
+    b.load(r1, r2, 0, 8);
+    b.branch(Opcode::Beq, r1, isa::regZero, 3);
+    b.load(r3, r2, 8, 8);
+    b.addI(r13, r13, 1);
+    b.halt();
+    EXPECT_EQ(coalesceCount(std::move(b)), 0u);
+}
+
+TEST(CoalesceChecks, AcrossAccessesGateBlocksMerging)
+{
+    // Between two instrumented checks there is always the first
+    // group's guarded access; with the gate off (token-arming
+    // schemes) that access could itself fault, so no merge may
+    // reorder a check across it.
+    FuncBuilder b("main");
+    b.load(r1, r2, 0, 8);
+    b.load(r3, r2, 8, 8);
+    b.halt();
+    CoalesceOptions opts;
+    opts.acrossAccesses = false;
+    EXPECT_EQ(coalesceCount(std::move(b), opts), 0u);
+}
+
+TEST(CoalesceEndToEnd, CoalescedRunIsCleanAndCheaper)
+{
+    auto makeProgram = [] {
+        FuncBuilder b("main");
+        b.movImm(r13, 64);
+        b.emit({Opcode::RtMalloc, isa::noReg, r13, isa::noReg, 8, 0,
+                -1, -1});
+        b.mov(r2, isa::regRet);
+        b.movImm(r4, 50);
+        int top = b.here();
+        b.load(r1, r2, 0, 8);
+        b.load(r3, r2, 8, 8);
+        b.addI(r4, r4, -1);
+        b.branch(Opcode::Bne, r4, isa::regZero, top);
+        b.halt();
+        isa::Program prog;
+        prog.funcs.push_back(std::move(b).take());
+        return prog;
+    };
+    auto config = [](bool coalesce) {
+        sim::SystemConfig cfg =
+            sim::makeSystemConfig(sim::ExpConfig::Asan);
+        cfg.scheme.coalesceChecks = coalesce;
+        return cfg;
+    };
+
+    auto plain = test::runProgram(makeProgram(), config(false));
+    auto merged = test::runProgram(makeProgram(), config(true));
+    EXPECT_EQ(test::violationOf(plain), core::ViolationKind::None);
+    EXPECT_EQ(test::violationOf(merged), core::ViolationKind::None);
+    EXPECT_GT(merged.instrumentation.accessChecksCoalesced, 0u);
+    EXPECT_LT(merged.run.committedOps, plain.run.committedOps);
+}
+
+TEST(CoalesceEndToEnd, GeneratedBenchmarkCoalescesAndStaysClean)
+{
+    workload::BenchProfile profile = workload::profileByName("hmmer");
+    profile.targetKiloInsts = 50;
+
+    sim::SystemConfig cfg = sim::makeSystemConfig(sim::ExpConfig::Asan);
+    cfg.scheme.elideRedundantChecks = true;
+    cfg.scheme.coalesceChecks = true;
+    auto run = test::runProgram(workload::generate(profile), cfg);
+    EXPECT_EQ(test::violationOf(run), core::ViolationKind::None);
+    EXPECT_GT(run.instrumentation.accessChecksCoalesced, 0u);
+}
+
+} // namespace rest::analysis

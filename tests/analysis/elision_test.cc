@@ -185,6 +185,51 @@ TEST(ElideChecks, LoopStoreLoadPairElided)
     EXPECT_TRUE(diags.empty()) << formatDiagnostics(diags);
 }
 
+TEST(ElideChecks, TrailingTargetedGroupIsKeptNotDangled)
+{
+    // Regression: a redundant check group that ends the function AND
+    // is a branch target. Deleting it would leave the branch with no
+    // instruction to land on; the rewrite layer must rescue (keep)
+    // the group instead.
+    auto group = [](isa::RegId base, std::int64_t off,
+                    std::uint8_t width) {
+        using isa::noReg;
+        using isa::OpSource;
+        constexpr isa::RegId rA = rCheckScratchA, rB = rCheckScratchB;
+        return std::vector<isa::Inst>{
+            {Opcode::AddI, rB, base, noReg, 8, off, -1, -1,
+             OpSource::AccessCheck},
+            {Opcode::ShrI, rA, rB, noReg, 8, 3, -1, -1,
+             OpSource::AccessCheck},
+            {Opcode::AddI, rA, rA, noReg, 8, 1l << 44, -1, -1,
+             OpSource::AccessCheck},
+            {Opcode::Load, rA, rA, noReg, 1, 0, -1, -1,
+             OpSource::AccessCheck},
+            {Opcode::AsanCheck, noReg, rA, rB, width, 0, -1, -1,
+             OpSource::AccessCheck},
+        };
+    };
+
+    isa::Function fn;
+    fn.name = "trailing";
+    for (const isa::Inst &inst : group(r2, 0, 8)) // 0..4: group A
+        fn.insts.push_back(inst);
+    fn.insts.push_back({Opcode::Load, r1, r2, isa::noReg, 8, 0, -1,
+                        -1}); // 5: the guarded access
+    fn.insts.push_back({Opcode::Beq, isa::noReg, r3, isa::regZero, 8,
+                        0, 7, -1}); // 6: targets group B's leader
+    for (const isa::Inst &inst : group(r2, 0, 8)) // 7..11: group B
+        fn.insts.push_back(inst);
+    ASSERT_EQ(findCheckGroups(fn).size(), 2u);
+
+    // Group B is provably redundant, but it is the branch target and
+    // nothing follows it: elision must keep it rather than dangle.
+    EXPECT_EQ(elideRedundantChecks(fn), 0u);
+    EXPECT_EQ(fn.insts.size(), 12u);
+    EXPECT_EQ(fn.insts[6].target, 7);
+    EXPECT_EQ(findCheckGroups(fn).size(), 2u);
+}
+
 // ---------------------------------------------------------------------
 // End-to-end: elided programs execute correctly and cost less
 // ---------------------------------------------------------------------

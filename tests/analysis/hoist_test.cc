@@ -1,0 +1,506 @@
+/**
+ * @file
+ * Tests of loop-invariant check hoisting: the anticipated-checks
+ * backward dataflow it rests on, which groups it may and may not move,
+ * the audit trail the verifier re-proves, and end-to-end runs showing
+ * hoisted programs execute strictly fewer dynamic check operations
+ * with a byte-identical attack-detection verdict.
+ */
+
+#include <gtest/gtest.h>
+
+#include "analysis/check_facts.hh"
+#include "analysis/dataflow.hh"
+#include "analysis/elide_checks.hh"
+#include "analysis/hoist_checks.hh"
+#include "analysis/verifier.hh"
+#include "common/test_util.hh"
+#include "runtime/instrumentation.hh"
+#include "workload/spec_profiles.hh"
+
+namespace rest::analysis
+{
+
+namespace
+{
+
+using isa::FuncBuilder;
+using isa::Opcode;
+
+constexpr isa::RegId r1 = 1, r2 = 2, r3 = 3, r4 = 4, r13 = 13;
+
+/** Instrument a single-function program with full ASan (no elision). */
+isa::Program
+instrumented(FuncBuilder &&b)
+{
+    isa::Program prog;
+    prog.funcs.push_back(std::move(b).take());
+    auto scheme = runtime::SchemeConfig::asanFull();
+    runtime::applyScheme(prog, scheme);
+    return prog;
+}
+
+/** Instrument and hoist; returns the group count moved. */
+std::size_t
+hoistCount(FuncBuilder &&b)
+{
+    isa::Program prog = instrumented(std::move(b));
+    return hoistLoopChecks(prog.funcs[0]).hoisted;
+}
+
+/** A counted loop re-checking a loop-invariant base every iteration. */
+FuncBuilder
+invariantLoop()
+{
+    FuncBuilder b("main");
+    b.movImm(r4, 10);
+    int top = b.here();
+    b.load(r1, r2, 0, 8);
+    b.addI(r4, r4, -1);
+    b.branch(Opcode::Bne, r4, isa::regZero, top);
+    b.halt();
+    return b;
+}
+
+} // namespace
+
+// ---------------------------------------------------------------------
+// The anticipated-checks backward dataflow
+// ---------------------------------------------------------------------
+
+namespace
+{
+
+/**
+ * Anticipation state immediately after the first Program-tagged
+ * conditional branch of the instrumented function: the meet over
+ * everything that follows on all paths.
+ */
+AnticipatedChecksDomain::State
+stateAfterFirstBranch(const isa::Function &fn)
+{
+    int branch_at = -1;
+    for (std::size_t i = 0; i < fn.insts.size(); ++i) {
+        if (fn.insts[i].op == Opcode::Beq &&
+            fn.insts[i].tag == isa::OpSource::Program) {
+            branch_at = static_cast<int>(i);
+            break;
+        }
+    }
+    EXPECT_GE(branch_at, 0) << "no program branch found";
+
+    Cfg cfg(fn);
+    BackwardSolver<AnticipatedChecksDomain> solver(
+        cfg, AnticipatedChecksDomain(fn));
+    AnticipatedChecksDomain::State at_branch;
+    solver.scan(cfg.blockOf(branch_at),
+                [&](const AnticipatedChecksDomain::State &st,
+                    const isa::Inst &, int idx) {
+                    if (idx == branch_at)
+                        at_branch = st;
+                });
+    return at_branch;
+}
+
+} // namespace
+
+TEST(AnticipatedChecks, CheckOnBothArmsIsAnticipated)
+{
+    // 0: beq ->3; 1: load [r2+0]8; 2: jmp ->4; 3: load [r2+0]8;
+    // 4: join; 5: halt — the same window is checked on every path.
+    FuncBuilder b("main");
+    b.branch(Opcode::Beq, r1, isa::regZero, 3);
+    b.load(r3, r2, 0, 8);
+    b.jmp(4);
+    b.load(r4, r2, 0, 8);
+    b.addI(r13, r13, 1);
+    b.halt();
+    isa::Program prog = instrumented(std::move(b));
+
+    auto st = stateAfterFirstBranch(prog.funcs[0]);
+    ASSERT_TRUE(st.has_value());
+    EXPECT_TRUE(anyCovers(*st, CheckFact{r2, 0, 8}));
+}
+
+TEST(AnticipatedChecks, CheckOnOneArmIsNotAnticipated)
+{
+    // The else arm never checks r2: the meet drops the fact.
+    FuncBuilder b("main");
+    b.branch(Opcode::Beq, r1, isa::regZero, 3);
+    b.load(r3, r2, 0, 8);
+    b.jmp(4);
+    b.addI(r4, r4, 1);
+    b.addI(r13, r13, 1);
+    b.halt();
+    isa::Program prog = instrumented(std::move(b));
+
+    auto st = stateAfterFirstBranch(prog.funcs[0]);
+    ASSERT_TRUE(st.has_value());
+    EXPECT_FALSE(anyCovers(*st, CheckFact{r2, 0, 8}));
+}
+
+TEST(AnticipatedChecks, BaseRedefinitionBeforeCheckKillsFact)
+{
+    // Both arms redefine the base before checking it: the check that
+    // follows proves nothing about the branch point's r2.
+    FuncBuilder b("main");
+    b.branch(Opcode::Beq, r1, isa::regZero, 4);
+    b.addI(r2, r2, 8);
+    b.load(r3, r2, 0, 8);
+    b.jmp(6);
+    b.addI(r2, r2, 8);
+    b.load(r4, r2, 0, 8);
+    b.addI(r13, r13, 1);
+    b.halt();
+    isa::Program prog = instrumented(std::move(b));
+
+    auto st = stateAfterFirstBranch(prog.funcs[0]);
+    ASSERT_TRUE(st.has_value());
+    EXPECT_FALSE(anyCovers(*st, CheckFact{r2, 0, 8}));
+}
+
+// ---------------------------------------------------------------------
+// What hoists and what must not
+// ---------------------------------------------------------------------
+
+TEST(HoistChecks, InvariantLoopCheckHoists)
+{
+    isa::Program prog = instrumented(invariantLoop());
+    isa::Function &fn = prog.funcs[0];
+    const std::size_t groups_before = findCheckGroups(fn).size();
+
+    HoistResult res = hoistLoopChecks(fn);
+    EXPECT_EQ(res.hoisted, 1u);
+    ASSERT_EQ(res.records.size(), 1u);
+    EXPECT_EQ(res.records[0].fact, (CheckFact{r2, 0, 8}));
+    EXPECT_EQ(res.records[0].guardedSites.size(), 1u);
+    // The group moved, it did not vanish.
+    EXPECT_EQ(findCheckGroups(fn).size(), groups_before);
+
+    // The audit trail re-proves on the transformed function...
+    auto hdiags = verifyHoistedChecks(fn, 0, res.records);
+    EXPECT_TRUE(hdiags.empty()) << formatDiagnostics(hdiags);
+    // ...and the program still satisfies the coverage invariant.
+    VerifyOptions opts;
+    opts.expectAsanChecks = true;
+    auto diags = verify(prog, opts);
+    EXPECT_TRUE(diags.empty()) << formatDiagnostics(diags);
+}
+
+TEST(HoistChecks, BaseRedefinedInLoopDoesNotHoist)
+{
+    FuncBuilder b("main");
+    b.movImm(r4, 10);
+    int top = b.here();
+    b.load(r1, r2, 0, 8);
+    b.addI(r2, r2, 8); // walking pointer: not invariant
+    b.addI(r4, r4, -1);
+    b.branch(Opcode::Bne, r4, isa::regZero, top);
+    b.halt();
+    EXPECT_EQ(hoistCount(std::move(b)), 0u);
+}
+
+TEST(HoistChecks, CallInLoopDoesNotHoist)
+{
+    // A callee may repoison shadow state mid-loop: the per-iteration
+    // verdict is not invariant and the group must stay.
+    isa::Program prog;
+    {
+        FuncBuilder b("main");
+        b.movImm(r4, 10);
+        int top = b.here();
+        b.load(r1, r2, 0, 8);
+        b.call(1);
+        b.addI(r4, r4, -1);
+        b.branch(Opcode::Bne, r4, isa::regZero, top);
+        b.halt();
+        prog.funcs.push_back(std::move(b).take());
+    }
+    {
+        FuncBuilder b("leaf");
+        b.ret();
+        prog.funcs.push_back(std::move(b).take());
+    }
+    auto scheme = runtime::SchemeConfig::asanFull();
+    runtime::applyScheme(prog, scheme);
+    EXPECT_EQ(hoistLoopChecks(prog.funcs[0]).hoisted, 0u);
+}
+
+TEST(HoistChecks, EarlyExitCheckIsNotAnticipatedAndStays)
+{
+    // 0: movi r4, 10
+    // 1: beq r4, r0, ->5   <- loop header: may exit before checking
+    // 2: load [r2+0]8
+    // 3: addi r4, r4, -1
+    // 4: bne r4, r0, ->1
+    // 5: addi; 6: halt
+    // Hoisting would check r2 on the iteration that immediately
+    // exits — a detection the original program never raises.
+    FuncBuilder b("main");
+    b.movImm(r4, 10);
+    b.branch(Opcode::Beq, r4, isa::regZero, 5);
+    b.load(r1, r2, 0, 8);
+    b.addI(r4, r4, -1);
+    b.branch(Opcode::Bne, r4, isa::regZero, 1);
+    b.addI(r13, r13, 1);
+    b.halt();
+    EXPECT_EQ(hoistCount(std::move(b)), 0u);
+}
+
+TEST(HoistChecks, IrreducibleFunctionIsLeftAlone)
+{
+    // The two-entry cycle from loops_test, now with a memory access
+    // inside: the hoister must refuse the whole function.
+    FuncBuilder b("main");
+    b.branch(Opcode::Beq, r1, isa::regZero, 4);
+    b.load(r3, r2, 0, 8);
+    b.jmp(4);
+    b.addI(r4, r4, 1);
+    b.branch(Opcode::Bne, r4, isa::regZero, 1);
+    b.halt();
+    isa::Program prog = instrumented(std::move(b));
+    isa::Function &fn = prog.funcs[0];
+    const std::size_t size_before = fn.insts.size();
+
+    EXPECT_EQ(hoistLoopChecks(fn).hoisted, 0u);
+    EXPECT_EQ(fn.insts.size(), size_before);
+}
+
+TEST(HoistChecks, FallThroughHeaderEntryHasNoPreheaderSlot)
+{
+    // 0: jmp ->2; 1: load [r2+0]8 (body); 2: addi (header);
+    // 3: bne ->1; 4: halt — the body block falls through into the
+    // header, so no preheader can be spliced before it.
+    FuncBuilder b("main");
+    b.jmp(2);
+    b.load(r1, r2, 0, 8);
+    b.addI(r4, r4, -1);
+    b.branch(Opcode::Bne, r4, isa::regZero, 1);
+    b.halt();
+    EXPECT_EQ(hoistCount(std::move(b)), 0u);
+}
+
+TEST(HoistChecks, NestedLoopCheckHoistsPastBothLoops)
+{
+    // The invariant check sits in the inner loop; outermost-first
+    // rounds move it all the way out of the nest.
+    FuncBuilder b("main");
+    b.movImm(r3, 3);
+    int outer = b.here();
+    b.movImm(r4, 3);
+    int inner = b.here();
+    b.load(r1, r2, 0, 8);
+    b.addI(r4, r4, -1);
+    b.branch(Opcode::Bne, r4, isa::regZero, inner);
+    b.addI(r3, r3, -1);
+    b.branch(Opcode::Bne, r3, isa::regZero, outer);
+    b.halt();
+
+    isa::Program prog = instrumented(std::move(b));
+    isa::Function &fn = prog.funcs[0];
+    HoistResult res = hoistLoopChecks(fn);
+    EXPECT_GE(res.hoisted, 1u);
+
+    auto hdiags = verifyHoistedChecks(fn, 0, res.records);
+    EXPECT_TRUE(hdiags.empty()) << formatDiagnostics(hdiags);
+    VerifyOptions opts;
+    opts.expectAsanChecks = true;
+    auto diags = verify(prog, opts);
+    EXPECT_TRUE(diags.empty()) << formatDiagnostics(diags);
+}
+
+TEST(HoistChecks, ComposesWithElision)
+{
+    // The pipeline order used by applyScheme: elide, then hoist.
+    isa::Program prog = instrumented(invariantLoop());
+    isa::Function &fn = prog.funcs[0];
+    elideRedundantChecks(fn);
+    HoistResult res = hoistLoopChecks(fn);
+    EXPECT_EQ(res.hoisted, 1u);
+    VerifyOptions opts;
+    opts.expectAsanChecks = true;
+    auto diags = verify(prog, opts);
+    EXPECT_TRUE(diags.empty()) << formatDiagnostics(diags);
+}
+
+// ---------------------------------------------------------------------
+// The post-hoist verifier mode catches tampered audit trails
+// ---------------------------------------------------------------------
+
+TEST(VerifyHoistedChecks, RejectsRecordPointingAtNonGroup)
+{
+    isa::Program prog = instrumented(invariantLoop());
+    isa::Function &fn = prog.funcs[0];
+    HoistResult res = hoistLoopChecks(fn);
+    ASSERT_EQ(res.records.size(), 1u);
+
+    HoistRecord bogus = res.records[0];
+    bogus.preheaderAt = 0; // the frame setup, not a check group
+    auto diags = verifyHoistedChecks(fn, 0, {bogus});
+    ASSERT_FALSE(diags.empty());
+    EXPECT_EQ(diags[0].kind, DiagKind::HoistedGroupMalformed);
+}
+
+TEST(VerifyHoistedChecks, RejectsWrongFact)
+{
+    isa::Program prog = instrumented(invariantLoop());
+    isa::Function &fn = prog.funcs[0];
+    HoistResult res = hoistLoopChecks(fn);
+    ASSERT_EQ(res.records.size(), 1u);
+
+    HoistRecord bogus = res.records[0];
+    bogus.fact.width = 16; // claims a wider window than was proven
+    auto diags = verifyHoistedChecks(fn, 0, {bogus});
+    ASSERT_FALSE(diags.empty());
+    EXPECT_EQ(diags[0].kind, DiagKind::HoistedGroupMalformed);
+}
+
+// ---------------------------------------------------------------------
+// End-to-end: fewer dynamic checks, identical verdicts
+// ---------------------------------------------------------------------
+
+namespace
+{
+
+sim::SystemConfig
+asanConfig(bool elide, bool hoist, bool coalesce = false)
+{
+    sim::SystemConfig cfg = sim::makeSystemConfig(sim::ExpConfig::Asan);
+    cfg.scheme.elideRedundantChecks = elide;
+    cfg.scheme.hoistLoopChecks = hoist;
+    cfg.scheme.coalesceChecks = coalesce;
+    return cfg;
+}
+
+std::uint64_t
+dynamicCheckOps(const sim::SystemResult &result)
+{
+    return result.run.opsBySource[
+        static_cast<unsigned>(isa::OpSource::AccessCheck)];
+}
+
+/** A heap loop whose loads re-check a constant malloc'd base. */
+isa::Program
+heapLoopProgram()
+{
+    FuncBuilder b("main");
+    b.movImm(r13, 64);
+    b.emit({Opcode::RtMalloc, isa::noReg, r13, isa::noReg, 8, 0, -1,
+            -1});
+    b.mov(r2, isa::regRet);
+    b.movImm(r4, 50);
+    int top = b.here();
+    b.load(r3, r2, 0, 8);
+    b.addI(r4, r4, -1);
+    b.branch(Opcode::Bne, r4, isa::regZero, top);
+    b.halt();
+    isa::Program prog;
+    prog.funcs.push_back(std::move(b).take());
+    return prog;
+}
+
+} // namespace
+
+TEST(HoistEndToEnd, LoopCheckExecutesOncePerEntryNotPerIteration)
+{
+    auto elided = test::runProgram(heapLoopProgram(),
+                                   asanConfig(true, false));
+    auto hoisted = test::runProgram(heapLoopProgram(),
+                                    asanConfig(true, true));
+    EXPECT_EQ(test::violationOf(elided), core::ViolationKind::None);
+    EXPECT_EQ(test::violationOf(hoisted), core::ViolationKind::None);
+
+    EXPECT_GT(hoisted.instrumentation.accessChecksHoisted, 0u);
+    // 50 iterations collapse to one preheader execution: the hoisted
+    // run performs strictly fewer dynamic check ops.
+    EXPECT_LT(dynamicCheckOps(hoisted), dynamicCheckOps(elided));
+}
+
+TEST(HoistEndToEnd, GeneratedBenchmarksExecuteStrictlyFewerChecks)
+{
+    // The headline acceptance criterion: on loop-heavy generated
+    // benchmarks, asan+elide+hoist executes strictly fewer dynamic
+    // access-check operations than asan+elide.
+    for (const char *bench : {"hmmer", "libquantum", "lbm"}) {
+        workload::BenchProfile profile =
+            workload::profileByName(bench);
+        profile.targetKiloInsts = 50;
+
+        auto elided = test::runProgram(workload::generate(profile),
+                                       asanConfig(true, false));
+        auto hoisted = test::runProgram(workload::generate(profile),
+                                        asanConfig(true, true));
+        EXPECT_EQ(test::violationOf(elided),
+                  core::ViolationKind::None) << bench;
+        EXPECT_EQ(test::violationOf(hoisted),
+                  core::ViolationKind::None) << bench;
+        EXPECT_GT(hoisted.instrumentation.accessChecksHoisted, 0u)
+            << bench;
+        EXPECT_LT(dynamicCheckOps(hoisted), dynamicCheckOps(elided))
+            << bench << ": hoisting must strictly reduce dynamic "
+            << "check operations";
+    }
+}
+
+TEST(HoistEndToEnd, DetectionMatrixIdenticalAcrossOptimizationLevels)
+{
+    // The tab1 guarantee: every attack scenario yields the same
+    // violation verdict at every optimization level.
+    struct Scenario
+    {
+        const char *name;
+        isa::Program (*make)();
+    };
+    const Scenario scenarios[] = {
+        {"heartbleed",
+         [] { return workload::attacks::heartbleed(64, 256); }},
+        {"heap-overflow",
+         [] { return workload::attacks::heapOverflowWrite(64, 64); }},
+        {"heap-underflow",
+         [] { return workload::attacks::heapUnderflowRead(64, 8); }},
+        {"uaf", [] { return workload::attacks::useAfterFree(128); }},
+        {"double-free",
+         [] { return workload::attacks::doubleFree(64); }},
+        {"stack-overflow",
+         [] { return workload::attacks::stackOverflowWrite(16, 32); }},
+        {"strcpy-overflow",
+         [] { return workload::attacks::strcpyOverflow(32, 150); }},
+    };
+
+    for (const Scenario &s : scenarios) {
+        const auto baseline = test::violationOf(test::runProgram(
+            s.make(), asanConfig(false, false)));
+        EXPECT_NE(baseline, core::ViolationKind::None) << s.name;
+        const auto hoist = test::violationOf(test::runProgram(
+            s.make(), asanConfig(true, true)));
+        const auto full = test::violationOf(test::runProgram(
+            s.make(), asanConfig(true, true, true)));
+        EXPECT_EQ(baseline, hoist)
+            << s.name << ": hoisting changed the verdict";
+        EXPECT_EQ(baseline, full)
+            << s.name << ": coalescing changed the verdict";
+    }
+}
+
+TEST(HoistEndToEnd, VerifierAcceptsEveryOptimizedBenchmark)
+{
+    for (const workload::BenchProfile &base : workload::specSuite()) {
+        workload::BenchProfile profile = base;
+        profile.targetKiloInsts = 20;
+        isa::Program prog = workload::generate(profile);
+
+        auto scheme = runtime::SchemeConfig::asanFull();
+        scheme.elideRedundantChecks = true;
+        scheme.hoistLoopChecks = true;
+        scheme.coalesceChecks = true;
+        runtime::applyScheme(prog, scheme);
+
+        VerifyOptions opts;
+        opts.expectAsanChecks = true;
+        auto diags = verify(prog, opts);
+        EXPECT_TRUE(diags.empty())
+            << profile.name << ":\n" << formatDiagnostics(diags);
+    }
+}
+
+} // namespace rest::analysis

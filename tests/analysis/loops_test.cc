@@ -1,0 +1,230 @@
+/**
+ * @file
+ * Tests of the natural-loop forest on well-behaved and adversarial
+ * CFGs: multiple back edges into one header, nested and sibling
+ * loops, unreachable cycles, and irreducible regions (which must be
+ * flagged and skipped, never miscompiled).
+ */
+
+#include <gtest/gtest.h>
+
+#include "analysis/cfg.hh"
+#include "analysis/dominators.hh"
+#include "analysis/loops.hh"
+
+namespace rest::analysis
+{
+
+namespace
+{
+
+using isa::FuncBuilder;
+using isa::Opcode;
+
+constexpr isa::RegId r1 = 1, r2 = 2, r3 = 3;
+
+LoopForest
+forestOf(const isa::Function &fn)
+{
+    Cfg cfg(fn);
+    DomTree dom(cfg);
+    return LoopForest(cfg, dom);
+}
+
+} // namespace
+
+TEST(LoopForest, StraightLineHasNoLoops)
+{
+    FuncBuilder b("straight");
+    b.movImm(r2, 1);
+    b.addI(r2, r2, 1);
+    b.ret();
+    LoopForest forest = forestOf(std::move(b).take());
+    EXPECT_TRUE(forest.loops().empty());
+    EXPECT_FALSE(forest.irreducible());
+    EXPECT_EQ(forest.innermostLoopOf(0), -1);
+}
+
+TEST(LoopForest, SelfLoopGolden)
+{
+    // 0: movi; 1: addi; 2: bne ->1; 3: ret — header == latch.
+    FuncBuilder b("loop");
+    b.movImm(r2, 10);
+    b.addI(r2, r2, -1);
+    b.branch(Opcode::Bne, r2, isa::regZero, 1);
+    b.ret();
+    LoopForest forest = forestOf(std::move(b).take());
+    EXPECT_EQ(forest.toString(),
+              "loop0: header=b1 depth=1 latches={b1} body={b1}\n");
+    EXPECT_FALSE(forest.irreducible());
+    EXPECT_EQ(forest.innermostLoopOf(1), 0);
+    EXPECT_EQ(forest.innermostLoopOf(0), -1);
+    EXPECT_EQ(forest.innermostLoopOf(2), -1);
+}
+
+TEST(LoopForest, TwoBackEdgesOneHeaderMerge)
+{
+    /*
+     * 0: movi r2, 10
+     * 1: addi r2, r2, -1     <- header (b1 [1..2])
+     * 2: beq  r2, r3, ->5
+     * 3: addi r3, r3, 1      <- b2, latch 1
+     * 4: bne  r3, r0, ->1
+     * 5: addi r2, r2, -1     <- b3, latch 2
+     * 6: bne  r2, r0, ->1
+     * 7: ret
+     */
+    FuncBuilder b("twolatch");
+    b.movImm(r2, 10);
+    b.addI(r2, r2, -1);
+    b.branch(Opcode::Beq, r2, r3, 5);
+    b.addI(r3, r3, 1);
+    b.branch(Opcode::Bne, r3, isa::regZero, 1);
+    b.addI(r2, r2, -1);
+    b.branch(Opcode::Bne, r2, isa::regZero, 1);
+    b.ret();
+    LoopForest forest = forestOf(std::move(b).take());
+    // One loop, not two: back edges sharing a header merge.
+    EXPECT_EQ(forest.toString(),
+              "loop0: header=b1 depth=1 latches={b2,b3} "
+              "body={b1,b2,b3}\n");
+}
+
+TEST(LoopForest, NestedLoopsGolden)
+{
+    /*
+     * 0: movi r2, 3
+     * 1: movi r3, 3          <- outer header (b1)
+     * 2: addi r3, r3, -1     <- inner header == latch (b2 [2..3])
+     * 3: bne  r3, r0, ->2
+     * 4: addi r2, r2, -1     <- outer latch (b3 [4..5])
+     * 5: bne  r2, r0, ->1
+     * 6: ret
+     */
+    FuncBuilder b("nested");
+    b.movImm(r2, 3);
+    b.movImm(r3, 3);
+    b.addI(r3, r3, -1);
+    b.branch(Opcode::Bne, r3, isa::regZero, 2);
+    b.addI(r2, r2, -1);
+    b.branch(Opcode::Bne, r2, isa::regZero, 1);
+    b.ret();
+    LoopForest forest = forestOf(std::move(b).take());
+    EXPECT_EQ(forest.toString(),
+              "loop0: header=b1 depth=1 latches={b3} "
+              "body={b1,b2,b3}\n"
+              "loop1: header=b2 depth=2 parent=loop0 latches={b2} "
+              "body={b2}\n");
+    // The inner block belongs to both loops; innermost wins.
+    EXPECT_EQ(forest.innermostLoopOf(2), 1);
+    EXPECT_EQ(forest.innermostLoopOf(1), 0);
+    EXPECT_EQ(forest.innermostLoopOf(3), 0);
+}
+
+TEST(LoopForest, SiblingLoopsAreIndependent)
+{
+    /*
+     * 0: movi r2, 3
+     * 1: addi r2, r2, -1     <- loop A (b1 [1..2])
+     * 2: bne  r2, r0, ->1
+     * 3: movi r3, 3          <- b2
+     * 4: addi r3, r3, -1     <- loop B (b3 [4..5])
+     * 5: bne  r3, r0, ->4
+     * 6: ret
+     */
+    FuncBuilder b("siblings");
+    b.movImm(r2, 3);
+    b.addI(r2, r2, -1);
+    b.branch(Opcode::Bne, r2, isa::regZero, 1);
+    b.movImm(r3, 3);
+    b.addI(r3, r3, -1);
+    b.branch(Opcode::Bne, r3, isa::regZero, 4);
+    b.ret();
+    LoopForest forest = forestOf(std::move(b).take());
+    ASSERT_EQ(forest.loops().size(), 2u);
+    EXPECT_EQ(forest.loops()[0].parent, -1);
+    EXPECT_EQ(forest.loops()[1].parent, -1);
+    EXPECT_EQ(forest.loops()[0].depth, 1);
+    EXPECT_EQ(forest.loops()[1].depth, 1);
+}
+
+TEST(LoopForest, UnreachableCycleIsIgnored)
+{
+    /*
+     * 0: jmp ->3
+     * 1: addi r2, r2, -1     <- unreachable self-cycle (b1 [1..2])
+     * 2: bne  r2, r0, ->1
+     * 3: ret
+     */
+    FuncBuilder b("deadloop");
+    b.jmp(3);
+    b.addI(r2, r2, -1);
+    b.branch(Opcode::Bne, r2, isa::regZero, 1);
+    b.ret();
+    LoopForest forest = forestOf(std::move(b).take());
+    // Dead cycles are neither loops nor evidence of irreducibility.
+    EXPECT_TRUE(forest.loops().empty());
+    EXPECT_FALSE(forest.irreducible());
+}
+
+TEST(LoopForest, IrreducibleRegionIsFlagged)
+{
+    /*
+     * Two blocks jumping to each other, both entered from the entry
+     * branch — a cycle with two entries, so no natural-loop header:
+     *
+     * 0: beq r1, r0, ->3
+     * 1: addi r2, r2, 1      <- X (b1 [1..2])
+     * 2: jmp ->3
+     * 3: addi r3, r3, 1      <- Y (b2 [3..4])
+     * 4: bne r3, r0, ->1
+     * 5: ret
+     */
+    FuncBuilder b("irreducible");
+    b.branch(Opcode::Beq, r1, isa::regZero, 3);
+    b.addI(r2, r2, 1);
+    b.jmp(3);
+    b.addI(r3, r3, 1);
+    b.branch(Opcode::Bne, r3, isa::regZero, 1);
+    b.ret();
+    LoopForest forest = forestOf(std::move(b).take());
+    EXPECT_TRUE(forest.irreducible());
+    // Whatever retreating edge the DFS happened to see is not a back
+    // edge, so no natural loop may be reported for the cycle.
+    EXPECT_TRUE(forest.loops().empty());
+}
+
+TEST(LoopForest, ReducibleLoopBesideIrreducibleRegion)
+{
+    /*
+     * A clean self-loop followed by the two-entry cycle: the forest
+     * still finds the natural loop but keeps the irreducible flag, so
+     * the hoister refuses the whole function.
+     *
+     * 0: movi r2, 3
+     * 1: addi r2, r2, -1     <- natural loop (b1 [1..2])
+     * 2: bne  r2, r0, ->1
+     * 3: beq  r1, r0, ->6
+     * 4: addi r2, r2, 1      <- X
+     * 5: jmp ->6
+     * 6: addi r3, r3, 1      <- Y
+     * 7: bne  r3, r0, ->4
+     * 8: ret
+     */
+    FuncBuilder b("mixed");
+    b.movImm(r2, 3);
+    b.addI(r2, r2, -1);
+    b.branch(Opcode::Bne, r2, isa::regZero, 1);
+    b.branch(Opcode::Beq, r1, isa::regZero, 6);
+    b.addI(r2, r2, 1);
+    b.jmp(6);
+    b.addI(r3, r3, 1);
+    b.branch(Opcode::Bne, r3, isa::regZero, 4);
+    b.ret();
+    LoopForest forest = forestOf(std::move(b).take());
+    EXPECT_TRUE(forest.irreducible());
+    ASSERT_EQ(forest.loops().size(), 1u);
+    EXPECT_EQ(forest.loops()[0].header, 1);
+}
+
+} // namespace rest::analysis

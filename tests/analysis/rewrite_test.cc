@@ -1,0 +1,170 @@
+/**
+ * @file
+ * Tests of the shared instruction-vector rewriting helpers: deletion
+ * with branch-target remapping (including the trailing-run rescue
+ * that keeps a branch target from dangling past the function end)
+ * and insertion with per-branch splice-point retargeting.
+ */
+
+#include <gtest/gtest.h>
+
+#include "analysis/rewrite.hh"
+
+namespace rest::analysis
+{
+
+namespace
+{
+
+using isa::FuncBuilder;
+using isa::Opcode;
+
+constexpr isa::RegId r1 = 1, r2 = 2, r3 = 3;
+
+} // namespace
+
+TEST(DeleteInstructions, RemapsBackwardBranchOverDeletion)
+{
+    // 0: movi; 1: addi; 2: addi (deleted); 3: bne ->1; 4: ret
+    FuncBuilder b("f");
+    b.movImm(r2, 10);
+    b.addI(r2, r2, -1);
+    b.addI(r3, r3, 1);
+    b.branch(Opcode::Bne, r2, isa::regZero, 1);
+    b.ret();
+    isa::Function fn = std::move(b).take();
+
+    std::vector<bool> marked(fn.insts.size(), false);
+    marked[2] = true;
+    RewriteMap map = deleteInstructions(fn, marked);
+
+    EXPECT_EQ(map.removed, 1u);
+    ASSERT_EQ(fn.insts.size(), 4u);
+    EXPECT_EQ(fn.insts[2].op, Opcode::Bne);
+    EXPECT_EQ(fn.insts[2].target, 1);
+    // Deleted indices map forward to the first survivor.
+    EXPECT_EQ(map.translate(1), 1);
+    EXPECT_EQ(map.translate(2), 2);
+    EXPECT_EQ(map.translate(3), 2);
+    EXPECT_EQ(map.translate(4), 3);
+}
+
+TEST(DeleteInstructions, DeletedBranchTargetMovesToNextSurvivor)
+{
+    // 0: beq ->2; 1: addi; 2: addi (deleted target); 3: ret
+    FuncBuilder b("f");
+    b.branch(Opcode::Beq, r1, isa::regZero, 2);
+    b.addI(r2, r2, 1);
+    b.addI(r3, r3, 1);
+    b.ret();
+    isa::Function fn = std::move(b).take();
+
+    std::vector<bool> marked(fn.insts.size(), false);
+    marked[2] = true;
+    RewriteMap map = deleteInstructions(fn, marked);
+
+    EXPECT_EQ(map.removed, 1u);
+    ASSERT_EQ(fn.insts.size(), 3u);
+    // The branch lands on what followed the deleted instruction.
+    EXPECT_EQ(fn.insts[0].target, 2);
+    EXPECT_EQ(fn.insts[2].op, Opcode::Ret);
+}
+
+TEST(DeleteInstructions, TrailingRunWithBranchTargetIsRescued)
+{
+    // 0: beq ->2; 1: addi; 2: addi (marked); 3: halt (marked).
+    // Deleting [2..3] would leave the branch with no survivor at or
+    // after its target — the run must be unmarked and kept instead.
+    FuncBuilder b("f");
+    b.branch(Opcode::Beq, r1, isa::regZero, 2);
+    b.addI(r2, r2, 1);
+    b.addI(r3, r3, 1);
+    b.halt();
+    isa::Function fn = std::move(b).take();
+
+    std::vector<bool> marked(fn.insts.size(), false);
+    marked[2] = true;
+    marked[3] = true;
+    RewriteMap map = deleteInstructions(fn, marked);
+
+    EXPECT_EQ(map.removed, 0u);
+    EXPECT_EQ(fn.insts.size(), 4u);
+    EXPECT_EQ(fn.insts[0].target, 2);
+    // The in-place mark vector reflects that nothing was deleted.
+    EXPECT_EQ(marked, std::vector<bool>(4, false));
+}
+
+TEST(DeleteInstructions, TrailingRunWithoutTargetStillDeletes)
+{
+    // Same trailing run, but no branch targets it: deletion proceeds.
+    FuncBuilder b("f");
+    b.branch(Opcode::Beq, r1, isa::regZero, 1);
+    b.addI(r2, r2, 1);
+    b.addI(r3, r3, 1);
+    b.halt();
+    isa::Function fn = std::move(b).take();
+
+    std::vector<bool> marked(fn.insts.size(), false);
+    marked[2] = true;
+    marked[3] = true;
+    RewriteMap map = deleteInstructions(fn, marked);
+
+    EXPECT_EQ(map.removed, 2u);
+    EXPECT_EQ(fn.insts.size(), 2u);
+}
+
+TEST(InsertInstructions, SplicePointChoosesPerBranch)
+{
+    /*
+     * 0: beq ->2   (loop-entry edge: must fall into the splice)
+     * 1: addi
+     * 2: addi      <- splice point (header)
+     * 3: bne ->2   (back edge: must skip the splice)
+     * 4: ret
+     */
+    FuncBuilder b("f");
+    b.branch(Opcode::Beq, r1, isa::regZero, 2);
+    b.addI(r3, r3, 1);
+    b.addI(r2, r2, -1);
+    b.branch(Opcode::Bne, r2, isa::regZero, 2);
+    b.ret();
+    isa::Function fn = std::move(b).take();
+
+    std::vector<isa::Inst> pre;
+    pre.push_back({Opcode::MovImm, r3, isa::noReg, isa::noReg, 8, 7,
+                   -1, -1});
+    RewriteMap map = insertInstructions(
+        fn, 2, pre, [](int branch_idx) { return branch_idx == 3; });
+
+    ASSERT_EQ(fn.insts.size(), 6u);
+    EXPECT_EQ(fn.insts[2].op, Opcode::MovImm);
+    // Entry edge enters the inserted code; back edge skips it.
+    EXPECT_EQ(fn.insts[0].target, 2);
+    EXPECT_EQ(fn.insts[4].op, Opcode::Bne);
+    EXPECT_EQ(fn.insts[4].target, 3);
+    // Pre-edit indices at or beyond the splice shift by its length.
+    EXPECT_EQ(map.translate(1), 1);
+    EXPECT_EQ(map.translate(2), 3);
+    EXPECT_EQ(map.translate(4), 5);
+}
+
+TEST(InsertInstructions, TargetsBeyondSpliceAlwaysShift)
+{
+    // 0: beq ->3; 1: addi; 2: addi; 3: ret — insert at 1.
+    FuncBuilder b("f");
+    b.branch(Opcode::Beq, r1, isa::regZero, 3);
+    b.addI(r2, r2, 1);
+    b.addI(r3, r3, 1);
+    b.ret();
+    isa::Function fn = std::move(b).take();
+
+    std::vector<isa::Inst> pre;
+    pre.push_back({Opcode::MovImm, r3, isa::noReg, isa::noReg, 8, 7,
+                   -1, -1});
+    insertInstructions(fn, 1, pre, [](int) { return false; });
+
+    ASSERT_EQ(fn.insts.size(), 5u);
+    EXPECT_EQ(fn.insts[0].target, 4);
+}
+
+} // namespace rest::analysis

@@ -319,6 +319,22 @@ TEST(SweepTelemetry, MetricsGoldenAfterDeterministicSweep)
     EXPECT_EQ(wall_ms_samples, 2u);
     EXPECT_EQ(
         stable,
+        "# HELP rest_instr_checks_coalesced Shadow-check groups "
+        "folded into a widened neighbour\n"
+        "# TYPE rest_instr_checks_coalesced counter\n"
+        "rest_instr_checks_coalesced{sweep=\"overheads\"} 0\n"
+        "# HELP rest_instr_checks_elided Shadow-check groups deleted "
+        "as redundant\n"
+        "# TYPE rest_instr_checks_elided counter\n"
+        "rest_instr_checks_elided{sweep=\"overheads\"} 0\n"
+        "# HELP rest_instr_checks_emitted Shadow-check groups "
+        "emitted by instrumentation\n"
+        "# TYPE rest_instr_checks_emitted counter\n"
+        "rest_instr_checks_emitted{sweep=\"overheads\"} 0\n"
+        "# HELP rest_instr_checks_hoisted Shadow-check groups "
+        "hoisted into loop preheaders\n"
+        "# TYPE rest_instr_checks_hoisted counter\n"
+        "rest_instr_checks_hoisted{sweep=\"overheads\"} 0\n"
         "# HELP rest_sweep_events_total Sweep lifecycle events by "
         "kind\n"
         "# TYPE rest_sweep_events_total counter\n"
