@@ -11,13 +11,17 @@
  *      provable duplicate checks deleted, analysis/elide_checks.hh),
  *   6. loop-check optimization (invariant checks hoisted to loop
  *      preheaders and adjacent windows coalesced, on top of elision;
- *      analysis/hoist_checks.hh, analysis/coalesce_checks.hh).
+ *      analysis/hoist_checks.hh, analysis/coalesce_checks.hh),
+ *   7. protection-scheme backends (every registered ProtectionScheme
+ *      — asan, rest, mte, pauth — on the same rows, overhead against
+ *      the shared plain baseline; runtime/protection_scheme.hh).
  *
  * Each ablation is a small matrix on the parallel sweep runner
- * (--jobs N); all six sweeps land in BENCH_ablation.json.
+ * (--jobs N); all seven sweeps land in BENCH_ablation.json.
  */
 
 #include "bench_util.hh"
+#include "runtime/protection_scheme.hh"
 #include "sim/system.hh"
 
 using namespace rest;
@@ -177,6 +181,32 @@ loopOptimizerAblation(const bench::Options &opt)
     return mat;
 }
 
+bench::MatrixResult
+schemeBackendAblation(const bench::Options &opt)
+{
+    std::cout << "\n--- Ablation 7: protection-scheme backends "
+                 "(registry sweep) ---\n";
+    std::vector<bench::MatrixColumn> columns;
+    for (const runtime::ProtectionScheme *ps : runtime::allSchemes()) {
+        if (std::string(ps->id()) == "plain")
+            continue; // the shared baseline column
+        auto cfg = sim::makeSystemConfig(ExpConfig::Plain);
+        cfg.scheme = ps->baseConfig();
+        columns.push_back(
+            bench::customColumn(std::string(ps->id()) + "(%)", cfg));
+    }
+    auto mat = bench::runMatrix("scheme_backends",
+                                profiles({"bzip2", "gobmk", "sjeng"}),
+                                columns, opt);
+    printOverheads(mat);
+    std::cout << "asan pays for inline shadow checks, rest for token "
+                 "sprinkling/arming; mte and\npauth only pay "
+                 "allocator-side tag costs (and mte's 16B granule "
+                 "rounding can pack\nthe heap tighter than libc size "
+                 "classes, reading as negative overhead).\n";
+    return mat;
+}
+
 } // namespace
 
 int
@@ -196,6 +226,7 @@ main(int argc, char **argv)
     sweeps.push_back(criticalWordFirstAblation(opt).sweep);
     sweeps.push_back(checkElisionAblation(opt).sweep);
     sweeps.push_back(loopOptimizerAblation(opt).sweep);
+    sweeps.push_back(schemeBackendAblation(opt).sweep);
     bench::writeResults(opt, "ablation", std::move(sweeps));
     return 0;
 }

@@ -100,6 +100,7 @@
 
 #include "analysis/verifier.hh"
 #include "runtime/instrumentation.hh"
+#include "runtime/protection_scheme.hh"
 #include "sim/experiment.hh"
 #include "sim/results.hh"
 #include "sim/sweep.hh"
@@ -230,6 +231,9 @@ struct Options
     bool detail = false;
     /** --bench: run only this benchmark row ("" = all). */
     std::string benchFilter;
+    /** --schemes: comma-separated registry ids to measure ("" = the
+     *  harness default; tab3 runs every registered scheme). */
+    std::string schemes;
     /** --perf: run the harness's simulator-throughput probe (where
      *  supported) and record the "perf" block in the results JSON. */
     bool perfProbe = false;
@@ -377,12 +381,18 @@ usage(const std::string &figure, int status)
         << "trace\n"
         << "  --stats-every N    periodic stat snapshots every N "
         << "cycles\n"
+        << "  --schemes CSV      registered protection schemes to "
+        << "measure (tab3;\n"
+        << "                     any of plain,asan,rest,mte,pauth; "
+        << "default all)\n"
         << "  --dump-program B[:S]  print benchmark B instrumented "
         << "for scheme S\n"
-        << "                     (none, plain, rest, or asan with "
-        << "optional +elide/\n"
-        << "                     +hoist/+coalesce suffixes; default "
-        << "asan) and exit\n";
+        << "                     (none, or a registered scheme: "
+        << "plain, asan, rest,\n"
+        << "                     mte, pauth, with optional +elide/"
+        << "+hoist/+coalesce\n"
+        << "                     suffixes on asan; default asan) "
+        << "and exit\n";
     std::exit(status);
 }
 
@@ -416,59 +426,23 @@ dumpProgram(const std::string &figure, const std::string &spec)
         std::exit(1);
     }
 
-    // Base scheme plus optional "+"-separated optimizer suffixes
-    // ("asan+elide+hoist+coalesce"); "asan-elide" is the legacy
-    // spelling of "asan+elide".
-    std::string base = scheme;
-    std::vector<std::string> suffixes;
-    if (std::size_t plus = scheme.find('+'); plus != std::string::npos) {
-        base = scheme.substr(0, plus);
-        std::string rest = scheme.substr(plus + 1);
-        while (!rest.empty()) {
-            std::size_t next = rest.find('+');
-            suffixes.push_back(rest.substr(0, next));
-            rest = next == std::string::npos ? ""
-                                             : rest.substr(next + 1);
-        }
-    }
-    if (base == "asan-elide") {
-        base = "asan";
-        suffixes.push_back("elide");
-    }
-
+    // "none" dumps the raw generator output; every other spec resolves
+    // through the ProtectionScheme registry ("asan-elide" remains the
+    // legacy spelling of "asan+elide").
     runtime::SchemeConfig cfg;
-    bool apply = true;
-    bool bad_scheme = false;
-    if (base == "none") {
-        apply = false;
-        bad_scheme = !suffixes.empty();
-    } else if (base == "plain") {
-        cfg = runtime::SchemeConfig::plain();
-        bad_scheme = !suffixes.empty();
-    } else if (base == "asan") {
-        cfg = runtime::SchemeConfig::asanFull();
-        for (const std::string &s : suffixes) {
-            if (s == "elide")
-                cfg.elideRedundantChecks = true;
-            else if (s == "hoist")
-                cfg.hoistLoopChecks = true;
-            else if (s == "coalesce")
-                cfg.coalesceChecks = true;
-            else
-                bad_scheme = true;
+    const bool apply = scheme != "none";
+    if (apply) {
+        std::string err;
+        if (!runtime::parseSchemeSpec(scheme, cfg, err)) {
+            std::cerr << figure << ": " << err << " (want none, or a "
+                      << "registered scheme:";
+            for (const runtime::ProtectionScheme *ps :
+                 runtime::allSchemes())
+                std::cerr << " " << ps->id();
+            std::cerr << "; asan takes optional +elide/+hoist/"
+                      << "+coalesce suffixes, e.g. asan+elide+hoist)\n";
+            std::exit(1);
         }
-    } else if (base == "rest") {
-        cfg = runtime::SchemeConfig::restFull();
-        bad_scheme = !suffixes.empty();
-    } else {
-        bad_scheme = true;
-    }
-    if (bad_scheme) {
-        std::cerr << figure << ": unknown scheme \"" << scheme
-                  << "\" (want none, plain, rest, or asan with "
-                  << "optional +elide/+hoist/+coalesce suffixes, "
-                  << "e.g. asan+elide+hoist)\n";
-        std::exit(1);
     }
 
     isa::Program prog = workload::generate(*profile);
@@ -575,6 +549,8 @@ parseOptions(int argc, char **argv, const std::string &figure)
             opt.detail = true;
         } else if (a == "--bench") {
             opt.benchFilter = strArg(i, a);
+        } else if (a == "--schemes") {
+            opt.schemes = strArg(i, a);
         } else if (a == "--perf") {
             opt.perfProbe = true;
         } else if (a == "--fast-functional") {

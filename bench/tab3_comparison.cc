@@ -2,22 +2,36 @@
  * @file
  * Reproduces paper Table III: comparison of hardware memory-safety
  * proposals. The rows for prior work are encoded from the paper; the
- * REST row is *probed empirically* against this implementation:
- *   - spatial protection: linear (sweeps caught, targeted jumps over
- *     redzones missed),
- *   - temporal protection: until reallocation (UAF caught while
- *     quarantined, missed after recycling),
- *   - no shadow space,
- *   - composability: uninstrumented "library" code still protected,
- *   - hardware cost: 1 metadata bit per L1-D granule + comparator.
+ * rows for every *registered* ProtectionScheme (plain, asan, rest,
+ * mte, pauth) are measured live against this implementation:
+ *
+ *   - each scheme runs the shared attack-scenario matrix
+ *     (sim/scheme_matrix.hh) and its verdicts are classified into the
+ *     paper's spatial/temporal protection classes,
+ *   - measured verdicts are checked against the scheme's declared
+ *     DetectionProfile (a conformance failure fails the run),
+ *   - seed-dependent declarations (MTE's 4-bit tag-reuse escape) are
+ *     witnessed across a seed sweep: both outcomes must occur,
+ *   - runtime overhead is probed on a small SPEC-like profile against
+ *     the plain baseline,
+ *   - hardware cost comes from each scheme's HardwareCost descriptor.
+ *
+ * The legacy REST probe row (bench/common_probe.hh) is retained
+ * unchanged: its JSON block is byte-compatible with schema v1 and its
+ * printed row renders BROKEN in *every* column when the probe faults
+ * (a broken probe must not print default-constructed measurements).
  */
 
 #include <fstream>
 #include <iomanip>
 #include <iostream>
+#include <sstream>
+#include <vector>
 
 #include "bench_util.hh"
 #include "common_probe.hh"
+#include "sim/experiment.hh"
+#include "sim/scheme_matrix.hh"
 #include "util/json_writer.hh"
 #include "util/logging.hh"
 
@@ -53,10 +67,106 @@ const PriorRow priorWork[] = {
     {"ARM PAC", "Targeted", "None", "no", "yes", "Negligible"},
 };
 
-/** The empirically probed REST row, machine-readable. */
+/** Token/tag seed for the single-run scenario matrix. */
+constexpr std::uint64_t matrixSeed = 0xc0ffee;
+/** Seed sweep witnessing both outcomes of SeedDependent entries. */
+constexpr std::uint64_t sweepFirstSeed = 1;
+constexpr unsigned sweepNumSeeds = 32;
+
+/** Everything measured about one registered scheme. */
+struct SchemeRow
+{
+    const runtime::ProtectionScheme *scheme = nullptr;
+    sim::SchemeVerdicts verdicts;
+    runtime::DetectionProfile declared;
+    runtime::HardwareCost cost;
+    bool conforms = false;
+    std::string spatialClass;
+    std::string temporalClass;
+    double overheadPct = 0.0;
+    bool overheadOk = false;
+    /** Set when the declared profile has SeedDependent entries. */
+    bool swept = false;
+    sim::SeedSweepResult sweep;
+};
+
+/** Does this profile declare any seed-dependent scenario? */
+bool
+hasSeedDependent(const runtime::DetectionProfile &p)
+{
+    for (const sim::ScenarioInfo &s : sim::attackScenarios())
+        if (p.*(s.declared) == runtime::Expect::SeedDependent)
+            return true;
+    return false;
+}
+
+/**
+ * Resolve --schemes (comma-separated registry ids, suffixes allowed
+ * on asan) into scheme pointers; empty means every registered scheme.
+ * The paired SchemeConfig carries any optimizer suffixes.
+ */
+std::vector<std::pair<const runtime::ProtectionScheme *,
+                      runtime::SchemeConfig>>
+resolveSchemes(const std::string &csv)
+{
+    std::vector<std::pair<const runtime::ProtectionScheme *,
+                          runtime::SchemeConfig>> out;
+    if (csv.empty()) {
+        for (const runtime::ProtectionScheme *ps :
+             runtime::allSchemes())
+            out.emplace_back(ps, ps->baseConfig());
+        return out;
+    }
+    std::stringstream ss(csv);
+    std::string item;
+    while (std::getline(ss, item, ',')) {
+        if (item.empty())
+            continue;
+        runtime::SchemeConfig cfg;
+        std::string err;
+        if (!runtime::parseSchemeSpec(item, cfg, err)) {
+            std::cerr << "tab3: --schemes: " << err << "; registered:";
+            for (const runtime::ProtectionScheme *ps :
+                 runtime::allSchemes())
+                std::cerr << " " << ps->id();
+            std::cerr << "\n";
+            std::exit(1);
+        }
+        out.emplace_back(&runtime::schemeForConfig(cfg), cfg);
+    }
+    return out;
+}
+
+/**
+ * Overhead probe: one small detailed run of a SPEC-like profile per
+ * scheme against a shared plain baseline. Deliberately small (the
+ * point of this bench is the detection matrix, not fig3's sweep) but
+ * long enough to amortise the live-ring warm-up allocations, whose
+ * per-granule tag stores would otherwise dominate the mte row.
+ */
+constexpr std::uint64_t overheadKiloInsts = 400;
+
+workload::BenchProfile
+overheadProfile()
+{
+    workload::BenchProfile p = workload::specSuite().front();
+    p.targetKiloInsts = overheadKiloInsts;
+    return p;
+}
+
+sim::Measurement
+overheadRun(const runtime::SchemeConfig &scheme)
+{
+    sim::SystemConfig cfg;
+    cfg.scheme = scheme;
+    cfg.tokenSeed = matrixSeed;
+    return sim::runCustom(overheadProfile(), cfg, scheme.name());
+}
+
 void
 writeJson(const bench::Options &opt, const probe::Results &rest_row,
-          const std::string &probe_error)
+          const std::string &probe_error,
+          const std::vector<SchemeRow> &rows, bool all_conform)
 {
     if (!opt.json)
         return;
@@ -67,8 +177,10 @@ writeJson(const bench::Options &opt, const probe::Results &rest_row,
     }
     util::JsonWriter w(out);
     w.beginObject();
-    w.field("schema_version", std::uint64_t(1));
+    w.field("schema_version", std::uint64_t(2));
     w.field("figure", "tab3");
+    // The legacy empirically probed REST row: field set and order are
+    // byte-identical to schema v1.
     w.key("rest_row");
     w.beginObject();
     if (!probe_error.empty())
@@ -83,6 +195,69 @@ writeJson(const bench::Options &opt, const probe::Results &rest_row,
     w.field("uaf_after_recycle_missed", rest_row.uafAfterRecycleMissed);
     w.field("all_consistent", rest_row.allConsistent());
     w.endObject();
+
+    // Schema v2: the measured per-scheme matrix.
+    w.key("schemes");
+    w.beginArray();
+    for (const SchemeRow &row : rows) {
+        w.beginObject();
+        w.field("id", row.verdicts.scheme);
+        w.field("description", row.scheme->description());
+        w.field("spatial_class", row.spatialClass);
+        w.field("temporal_class", row.temporalClass);
+        w.field("conforms", row.conforms);
+        w.key("scenarios");
+        w.beginObject();
+        for (const sim::ScenarioInfo &s : sim::attackScenarios()) {
+            w.key(s.key);
+            w.beginObject();
+            w.field("caught", row.verdicts.*(s.measured));
+            w.field("declared",
+                    runtime::expectName(row.declared.*(s.declared)));
+            w.endObject();
+        }
+        w.endObject();
+        if (row.overheadOk)
+            w.field("overhead_pct", row.overheadPct);
+        w.key("hardware_cost");
+        w.beginObject();
+        w.field("summary", row.cost.summary);
+        w.field("metadata_bits_per_data_byte",
+                row.cost.metadataBitsPerDataByte);
+        w.field("overhead_class", row.cost.overheadClass);
+        w.field("uses_shadow_space", row.cost.usesShadowSpace);
+        w.endObject();
+        if (row.swept) {
+            w.key("uaf_recycled_seed_sweep");
+            w.beginObject();
+            w.field("seeds", std::uint64_t(sweepNumSeeds));
+            w.field("caught", std::uint64_t(row.sweep.caught));
+            w.field("missed", std::uint64_t(row.sweep.missed));
+            w.field("both_witnessed", row.sweep.bothWitnessed());
+            if (row.sweep.caught)
+                w.field("first_caught_seed", row.sweep.firstCaughtSeed);
+            if (row.sweep.missed)
+                w.field("first_missed_seed", row.sweep.firstMissedSeed);
+            w.endObject();
+        }
+        w.endObject();
+    }
+    w.endArray();
+
+    w.key("prior_work");
+    w.beginArray();
+    for (const PriorRow &row : priorWork) {
+        w.beginObject();
+        w.field("name", row.name);
+        w.field("spatial", row.spatial);
+        w.field("temporal", row.temporal);
+        w.field("uses_shadow_space", std::string(row.shadow) != "no");
+        w.field("composable", row.composable);
+        w.field("hw_cost", row.overhead);
+        w.endObject();
+    }
+    w.endArray();
+    w.field("all_schemes_conform", all_conform);
     w.endObject();
     out << "\n";
     std::cout << "\nresults: " << opt.jsonPath << "\n";
@@ -99,13 +274,13 @@ main(int argc, char **argv)
 
     std::cout << "====================================================\n"
               << "Table III: hardware technique comparison\n"
-              << "(REST row derived empirically from this build)\n"
+              << "(scheme rows measured live from this build)\n"
               << "====================================================\n";
 
-    // ---- Empirical probes for the REST row ----
+    // ---- Legacy empirical probes for the REST row ----
     // With fatals converted to exceptions (DESIGN.md §10), a broken
     // model still prints the full table — the REST row just reads
-    // BROKEN — and the JSON carries the error.
+    // BROKEN in every column — and the JSON carries the error.
     probe::Results rest_row;
     std::string probe_error;
     {
@@ -118,9 +293,46 @@ main(int argc, char **argv)
         }
     }
 
-    auto print = [](const char *name, const char *spatial,
-                    const char *temporal, const char *shadow,
-                    const char *composable, const char *overhead) {
+    // ---- Measured matrix over the registered schemes ----
+    const auto selected = resolveSchemes(opt.schemes);
+    const sim::Measurement plain_base =
+        overheadRun(runtime::SchemeConfig::plain());
+
+    std::vector<SchemeRow> rows;
+    bool all_conform = true;
+    for (const auto &[scheme, cfg] : selected) {
+        SchemeRow row;
+        row.scheme = scheme;
+        row.verdicts = sim::measureScheme(cfg, matrixSeed);
+        row.declared = scheme->declaredProfile();
+        row.cost = scheme->hardwareCost();
+        row.conforms = sim::matchesProfile(row.verdicts, row.declared);
+        row.spatialClass = sim::spatialClassOf(row.verdicts);
+        row.temporalClass = sim::temporalClassOf(row.verdicts);
+        if (hasSeedDependent(row.declared)) {
+            row.swept = true;
+            row.sweep = sim::sweepUafRecycled(cfg, sweepFirstSeed,
+                                              sweepNumSeeds);
+            // A SeedDependent declaration is only honest when the
+            // sweep actually exhibits both outcomes.
+            row.conforms &= row.sweep.bothWitnessed();
+        }
+        {
+            const sim::Measurement m = overheadRun(cfg);
+            row.overheadOk = plain_base.cycles > 0 && m.cycles > 0;
+            if (row.overheadOk)
+                row.overheadPct =
+                    sim::overheadPct(plain_base.cycles, m.cycles);
+        }
+        all_conform &= row.conforms;
+        rows.push_back(std::move(row));
+    }
+
+    auto print = [](const std::string &name, const std::string &spatial,
+                    const std::string &temporal,
+                    const std::string &shadow,
+                    const std::string &composable,
+                    const std::string &overhead) {
         std::cout << std::left << std::setw(17) << name
                   << std::setw(11) << spatial << std::setw(15)
                   << temporal << std::setw(8) << shadow
@@ -134,28 +346,95 @@ main(int argc, char **argv)
         print(row.name, row.spatial, row.temporal, row.shadow,
               row.composable, row.overhead);
     std::cout << std::string(75, '-') << "\n";
-    print("REST (this impl)",
-          rest_row.spatialLinear ? "Linear" : "BROKEN",
-          rest_row.temporalUntilRealloc ? "Until realloc" : "BROKEN",
-          rest_row.usesShadowSpace ? "yes" : "no",
-          rest_row.composable ? "yes" : "no",
+
+    // Measured rows: one per selected scheme, classes derived from
+    // the scenario verdicts, shadow/composability from the scheme's
+    // cost descriptor and uninstrumented-library verdict.
+    for (const SchemeRow &row : rows) {
+        std::ostringstream cost;
+        cost << row.cost.overheadClass;
+        if (row.overheadOk)
+            cost << " (" << std::fixed << std::setprecision(1)
+                 << row.overheadPct << "% here)";
+        print(row.verdicts.scheme + " (measured)", row.spatialClass,
+              row.temporalClass,
+              row.cost.usesShadowSpace ? "yes" : "no",
+              row.verdicts.uninstrumentedLibrary ? "yes" : "no",
+              cost.str());
+    }
+    std::cout << std::string(75, '-') << "\n"
+              << "overhead probed on " << overheadProfile().name << ", "
+              << overheadKiloInsts << " kiloinsts, 1 seed; negative "
+              << "values mean the scheme's\nallocator packs the heap "
+              << "tighter than libc's size classes (16B granule\n"
+              << "rounding vs power-of-two), outweighing its check "
+              << "cost on this small probe\n"
+              << std::string(75, '-') << "\n";
+
+    const sim::RestRowText rest_text = sim::formatRestRow(
+        {rest_row.spatialLinear, rest_row.temporalUntilRealloc,
+         rest_row.usesShadowSpace, rest_row.composable},
+        probe_error);
+    print("REST (probe)", rest_text.spatial, rest_text.temporal,
+          rest_text.shadow, rest_text.composable,
           "1 bit/L1-D granule + comparator");
 
-    std::cout << "\nProbe details:\n"
-              << "  linear overflow caught:        "
-              << rest_row.linearCaught << "\n"
-              << "  targeted jump over redzone:    "
-              << (rest_row.targetedMissed ? "missed (as specified)"
-                                          : "caught") << "\n"
-              << "  UAF while quarantined caught:  "
-              << rest_row.uafCaught << "\n"
-              << "  UAF after recycling missed:    "
-              << (rest_row.uafAfterRecycleMissed
-                      ? "missed (as specified)" : "caught") << "\n"
-              << "  uninstrumented-code detection: "
-              << rest_row.composable << "\n";
-    if (!probe_error.empty())
+    // ---- Per-scheme scenario detail ----
+    std::cout << "\nScenario verdicts (C = caught, . = missed; "
+              << "* = declared seed-dependent):\n";
+    std::cout << std::left << std::setw(26) << "  scenario";
+    for (const SchemeRow &row : rows)
+        std::cout << std::setw(9) << row.verdicts.scheme;
+    std::cout << "\n";
+    for (const sim::ScenarioInfo &s : sim::attackScenarios()) {
+        std::cout << "  " << std::left << std::setw(24) << s.key;
+        for (const SchemeRow &row : rows) {
+            std::string cell = row.verdicts.*(s.measured) ? "C" : ".";
+            if (row.declared.*(s.declared) ==
+                runtime::Expect::SeedDependent)
+                cell += "*";
+            std::cout << std::setw(9) << cell;
+        }
+        std::cout << "\n";
+    }
+    for (const SchemeRow &row : rows) {
+        if (!row.swept)
+            continue;
+        std::cout << "\n" << row.verdicts.scheme
+                  << " uaf_recycled seed sweep (" << sweepNumSeeds
+                  << " seeds): caught " << row.sweep.caught
+                  << ", missed " << row.sweep.missed
+                  << (row.sweep.bothWitnessed()
+                          ? " — both outcomes witnessed"
+                          : " — ONLY ONE OUTCOME SEEN")
+                  << "\n";
+    }
+    for (const SchemeRow &row : rows)
+        if (!row.conforms)
+            std::cout << "\nCONFORMANCE FAILURE: "
+                      << row.verdicts.scheme << " measured verdicts "
+                      << "do not match its declared profile\n";
+
+    if (probe_error.empty()) {
+        std::cout << "\nREST probe details:\n"
+                  << "  linear overflow caught:        "
+                  << rest_row.linearCaught << "\n"
+                  << "  targeted jump over redzone:    "
+                  << (rest_row.targetedMissed ? "missed (as specified)"
+                                              : "caught") << "\n"
+                  << "  UAF while quarantined caught:  "
+                  << rest_row.uafCaught << "\n"
+                  << "  UAF after recycling missed:    "
+                  << (rest_row.uafAfterRecycleMissed
+                          ? "missed (as specified)" : "caught") << "\n"
+                  << "  uninstrumented-code detection: "
+                  << rest_row.composable << "\n";
+    } else {
         std::cout << "\nprobe error: " << probe_error << "\n";
-    writeJson(opt, rest_row, probe_error);
-    return rest_row.allConsistent() ? 0 : 1;
+    }
+    writeJson(opt, rest_row, probe_error, rows, all_conform);
+    return rest_row.allConsistent() && probe_error.empty() &&
+                   all_conform
+               ? 0
+               : 1;
 }

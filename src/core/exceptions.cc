@@ -15,6 +15,8 @@ violationKindName(ViolationKind kind)
       case ViolationKind::DisarmUnarmed: return "disarm-unarmed";
       case ViolationKind::MisalignedRestInst: return "misaligned-rest";
       case ViolationKind::AsanCheckFailed: return "asan-check";
+      case ViolationKind::TagMismatch: return "tag-mismatch";
+      case ViolationKind::PauthCheckFailed: return "pauth-check";
       default: return "<bad>";
     }
 }

@@ -33,6 +33,11 @@ enum class ViolationKind : std::uint8_t
     MisalignedRestInst,
     /** ASan software check failed (for the baseline scheme). */
     AsanCheckFailed,
+    /** Memory-tagging check failed (MTE-style lock-and-key scheme). */
+    TagMismatch,
+    /** Pointer-authentication check failed (signature missing or
+     *  revoked). */
+    PauthCheckFailed,
 };
 
 /** How the exception was reported relative to the faulting op. */

@@ -109,10 +109,27 @@ InOrderCpu::run(isa::TraceSource &src, std::uint64_t max_ops)
             ts->statsTick(complete);
 
         if (op.fault != isa::FaultKind::None) {
-            result.violation.kind =
-                op.fault == isa::FaultKind::AsanReport
-                    ? core::ViolationKind::AsanCheckFailed
-                    : core::ViolationKind::TokenAccess;
+            // The in-order model reports coarsely: software-detected
+            // kinds keep their identity, all REST hardware faults
+            // collapse to TokenAccess.
+            switch (op.fault) {
+              case isa::FaultKind::AsanReport:
+                result.violation.kind =
+                    core::ViolationKind::AsanCheckFailed;
+                break;
+              case isa::FaultKind::MteTagMismatch:
+                result.violation.kind =
+                    core::ViolationKind::TagMismatch;
+                break;
+              case isa::FaultKind::PauthCheckFailed:
+                result.violation.kind =
+                    core::ViolationKind::PauthCheckFailed;
+                break;
+              default:
+                result.violation.kind =
+                    core::ViolationKind::TokenAccess;
+                break;
+            }
             result.violation.pc = op.pc;
             result.violation.faultAddr = op.eaddr;
             result.violation.seq = result.committedOps - 1;

@@ -435,6 +435,12 @@ O3Cpu::run(isa::TraceSource &src, std::uint64_t max_ops)
           case isa::FaultKind::AsanReport:
             arch_fault = core::ViolationKind::AsanCheckFailed;
             break;
+          case isa::FaultKind::MteTagMismatch:
+            arch_fault = core::ViolationKind::TagMismatch;
+            break;
+          case isa::FaultKind::PauthCheckFailed:
+            arch_fault = core::ViolationKind::PauthCheckFailed;
+            break;
           case isa::FaultKind::None:
             break;
         }
@@ -451,7 +457,9 @@ O3Cpu::run(isa::TraceSource &src, std::uint64_t max_ops)
             // everything else is precise only in debug mode.
             bool precise = debug_mode ||
                 arch_fault == core::ViolationKind::MisalignedRestInst ||
-                arch_fault == core::ViolationKind::AsanCheckFailed;
+                arch_fault == core::ViolationKind::AsanCheckFailed ||
+                arch_fault == core::ViolationKind::TagMismatch ||
+                arch_fault == core::ViolationKind::PauthCheckFailed;
             result.violation.precision = precise
                 ? core::Precision::Precise
                 : core::Precision::Imprecise;

@@ -37,6 +37,12 @@ enum class FaultKind : std::uint8_t
     RestMisaligned,
     /** ASan shadow check failed (software-detected violation). */
     AsanReport,
+    /** MTE-style lock-and-key tag check failed (pointer tag did not
+     *  match the memory granule's tag). */
+    MteTagMismatch,
+    /** Pointer-authentication check failed (missing or revoked
+     *  signature on a data pointer). */
+    PauthCheckFailed,
 };
 
 /** One dynamic operation as consumed by a timing CPU model. */

@@ -1,0 +1,48 @@
+/**
+ * @file
+ * AccessPolicy: the per-access detection predicate of a pointer-based
+ * protection scheme (MTE-style tagging, pointer authentication).
+ *
+ * REST and ASan detect violations through state the emulator already
+ * consults inline (the armed-granule set, the shadow). Schemes that
+ * carry metadata in pointer bits >= 48 instead need two hooks on the
+ * load/store path:
+ *   - checkAccess(): validate the (possibly tagged) effective address
+ *     before the access — what the hardware tag/PAC check does,
+ *   - canonical(): strip the metadata bits so the functional access
+ *     (and the address handed to the memory hierarchy) targets the
+ *     real 48-bit location.
+ *
+ * A null policy means the scheme has no pointer-borne metadata and
+ * the emulator takes its historical inline path verbatim.
+ */
+
+#ifndef REST_RUNTIME_ACCESS_POLICY_HH
+#define REST_RUNTIME_ACCESS_POLICY_HH
+
+#include "isa/dyn_op.hh"
+#include "util/types.hh"
+
+namespace rest::runtime
+{
+
+/** Per-access detection predicate for pointer-tagging schemes. */
+class AccessPolicy
+{
+  public:
+    virtual ~AccessPolicy() = default;
+
+    /**
+     * Validate one program access at (possibly tagged) address 'ea'.
+     * @return the fault this access raises, or FaultKind::None.
+     */
+    virtual isa::FaultKind checkAccess(Addr ea,
+                                       unsigned size) const = 0;
+
+    /** Strip metadata bits: the real 48-bit guest address. */
+    virtual Addr canonical(Addr ea) const = 0;
+};
+
+} // namespace rest::runtime
+
+#endif // REST_RUNTIME_ACCESS_POLICY_HH

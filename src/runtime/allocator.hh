@@ -70,6 +70,9 @@ class Allocator
 
     /** Number of live (not yet freed) allocations. */
     virtual std::size_t liveAllocations() const = 0;
+
+    /** Shared chunk bookkeeping (call counters, live map, pools). */
+    virtual const class HeapState &heapState() const = 0;
 };
 
 /** Segregated size-class helpers shared by all three allocators. */

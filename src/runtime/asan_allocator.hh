@@ -53,7 +53,7 @@ class AsanAllocator : public Allocator
     const ShadowMemory &shadow() const { return shadow_; }
     ShadowMemory &shadow() { return shadow_; }
     const Quarantine &quarantine() const { return quarantine_; }
-    const HeapState &heapState() const { return heap_; }
+    const HeapState &heapState() const override { return heap_; }
 
   private:
     void drainQuarantine(OpEmitter &em);

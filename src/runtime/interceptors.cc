@@ -38,7 +38,10 @@ Interceptors::memcpy(Addr dst, Addr src, std::size_t len, OpEmitter &em)
 
     // The copy loop itself is plain library code, present under every
     // scheme: 8 bytes per load/store pair, loop overhead per 64 B.
+    // Checks see the raw (tagged) pointers; ops and functional memory
+    // go through the canonical form.
     em.setSource(isa::OpSource::Program);
+    const Addr src_c = canon(src), dst_c = canon(dst);
     std::array<std::uint8_t, 8> buf;
     for (std::size_t i = 0; i < len; i += 8) {
         unsigned span = static_cast<unsigned>(std::min<std::size_t>(
@@ -47,22 +50,24 @@ Interceptors::memcpy(Addr dst, Addr src, std::size_t len, OpEmitter &em)
             em.alu(scratch3, scratch3);
             em.branch(i + 64 < len);
         }
-        em.load(scratch2, src + i, span);
-        if (tokenHit(src + i, span)) {
-            em.faultLast(isa::FaultKind::RestTokenAccess);
+        em.load(scratch2, src_c + i, span);
+        if (auto f = faultKindAt(src + i, span);
+            f != isa::FaultKind::None) {
+            em.faultLast(f);
             res.faulted = true;
             res.bytesDone = i;
             return res;
         }
-        em.store(dst + i, span, scratch2);
-        if (tokenHit(dst + i, span)) {
-            em.faultLast(isa::FaultKind::RestTokenAccess);
+        em.store(dst_c + i, span, scratch2);
+        if (auto f = faultKindAt(dst + i, span);
+            f != isa::FaultKind::None) {
+            em.faultLast(f);
             res.faulted = true;
             res.bytesDone = i;
             return res;
         }
-        memory_.readBytes(src + i, {buf.data(), span});
-        memory_.writeBytes(dst + i, {buf.data(), span});
+        memory_.readBytes(src_c + i, {buf.data(), span});
+        memory_.writeBytes(dst_c + i, {buf.data(), span});
         res.bytesDone = i + span;
     }
     return res;
@@ -83,6 +88,7 @@ Interceptors::memset(Addr dst, std::uint8_t value, std::size_t len,
     }
 
     em.setSource(isa::OpSource::Program);
+    const Addr dst_c = canon(dst);
     for (std::size_t i = 0; i < len; i += 8) {
         unsigned span = static_cast<unsigned>(std::min<std::size_t>(
             8, len - i));
@@ -90,14 +96,15 @@ Interceptors::memset(Addr dst, std::uint8_t value, std::size_t len,
             em.alu(scratch3, scratch3);
             em.branch(i + 64 < len);
         }
-        em.store(dst + i, span, scratch2);
-        if (tokenHit(dst + i, span)) {
-            em.faultLast(isa::FaultKind::RestTokenAccess);
+        em.store(dst_c + i, span, scratch2);
+        if (auto f = faultKindAt(dst + i, span);
+            f != isa::FaultKind::None) {
+            em.faultLast(f);
             res.faulted = true;
             res.bytesDone = i;
             return res;
         }
-        memory_.fill(dst + i, value, span);
+        memory_.fill(dst_c + i, value, span);
         res.bytesDone = i + span;
     }
     return res;
@@ -110,8 +117,9 @@ Interceptors::strcpy(Addr dst, Addr src, OpEmitter &em)
     em_perfect_ = em.perfectHw();
 
     // Functional length (bounded: a lost NUL ends at 64 KiB).
+    const Addr src_c = canon(src), dst_c = canon(dst);
     std::size_t len = 0;
-    while (len < (64u << 10) && memory_.readByte(src + len) != 0)
+    while (len < (64u << 10) && memory_.readByte(src_c + len) != 0)
         ++len;
     std::size_t total = len + 1; // include the NUL
 
@@ -120,9 +128,10 @@ Interceptors::strcpy(Addr dst, Addr src, OpEmitter &em)
         // then validates both ranges before copying.
         em.setSource(isa::OpSource::Interceptor);
         for (std::size_t i = 0; i < total; i += 8) {
-            em.load(scratch2, src + i, 1);
-            if (tokenHit(src + i, 1)) {
-                em.faultLast(isa::FaultKind::RestTokenAccess);
+            em.load(scratch2, src_c + i, 1);
+            if (auto f = faultKindAt(src + i, 1);
+                f != isa::FaultKind::None) {
+                em.faultLast(f);
                 res.faulted = true;
                 return res;
             }
@@ -144,22 +153,24 @@ Interceptors::strcpy(Addr dst, Addr src, OpEmitter &em)
             em.alu(scratch3, scratch3);
             em.branch(i + 64 < total);
         }
-        em.load(scratch2, src + i, span);
-        if (tokenHit(src + i, span)) {
-            em.faultLast(isa::FaultKind::RestTokenAccess);
+        em.load(scratch2, src_c + i, span);
+        if (auto f = faultKindAt(src + i, span);
+            f != isa::FaultKind::None) {
+            em.faultLast(f);
             res.faulted = true;
             res.bytesDone = i;
             return res;
         }
-        em.store(dst + i, span, scratch2);
-        if (tokenHit(dst + i, span)) {
-            em.faultLast(isa::FaultKind::RestTokenAccess);
+        em.store(dst_c + i, span, scratch2);
+        if (auto f = faultKindAt(dst + i, span);
+            f != isa::FaultKind::None) {
+            em.faultLast(f);
             res.faulted = true;
             res.bytesDone = i;
             return res;
         }
-        memory_.readBytes(src + i, {buf.data(), span});
-        memory_.writeBytes(dst + i, {buf.data(), span});
+        memory_.readBytes(src_c + i, {buf.data(), span});
+        memory_.writeBytes(dst_c + i, {buf.data(), span});
         res.bytesDone = i + span;
     }
     return res;

@@ -15,6 +15,7 @@
 
 #include "core/rest_engine.hh"
 #include "mem/guest_memory.hh"
+#include "runtime/access_policy.hh"
 #include "runtime/op_emitter.hh"
 #include "runtime/runtime_config.hh"
 #include "runtime/shadow_memory.hh"
@@ -35,10 +36,15 @@ struct InterceptResult
 class Interceptors
 {
   public:
+    /**
+     * @param policy per-access check predicate for pointer-tagging
+     *        schemes; null keeps the historical REST-token path.
+     */
     Interceptors(mem::GuestMemory &memory, core::RestEngine &engine,
-                 const SchemeConfig &scheme)
+                 const SchemeConfig &scheme,
+                 const AccessPolicy *policy = nullptr)
         : memory_(memory), engine_(engine), shadow_(memory),
-          scheme_(scheme)
+          scheme_(scheme), policy_(policy)
     {}
 
     /**
@@ -77,10 +83,32 @@ class Interceptors
         return !em_perfect_ && engine_.overlapsArmed(addr, size);
     }
 
+    /**
+     * Hardware verdict for one access at 'addr' (raw, tag bits
+     * included): the access policy when one is active, the REST token
+     * check otherwise.
+     */
+    isa::FaultKind
+    faultKindAt(Addr addr, unsigned size) const
+    {
+        if (policy_)
+            return policy_->checkAccess(addr, size);
+        return tokenHit(addr, size) ? isa::FaultKind::RestTokenAccess
+                                    : isa::FaultKind::None;
+    }
+
+    /** Canonical (tag-stripped) form; identity without a policy. */
+    Addr
+    canon(Addr addr) const
+    {
+        return policy_ ? policy_->canonical(addr) : addr;
+    }
+
     mem::GuestMemory &memory_;
     core::RestEngine &engine_;
     ShadowMemory shadow_;
     const SchemeConfig &scheme_;
+    const AccessPolicy *policy_;
     bool em_perfect_ = false;
 };
 

@@ -38,7 +38,7 @@ class LibcAllocator : public Allocator
     std::size_t liveAllocations() const override
     { return heap_.live.size(); }
 
-    const HeapState &heapState() const { return heap_; }
+    const HeapState &heapState() const override { return heap_; }
 
   private:
     static constexpr std::size_t headerBytes = 16;

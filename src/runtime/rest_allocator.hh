@@ -67,7 +67,7 @@ class RestAllocator : public Allocator
     const Quarantine &quarantine() const { return quarantine_; }
     /** Decoy granules armed so far (sprinkling hardening). */
     std::uint64_t decoysArmed() const { return decoysArmed_; }
-    const HeapState &heapState() const { return heap_; }
+    const HeapState &heapState() const override { return heap_; }
     const core::RestEngine &engine() const { return engine_; }
 
   private:

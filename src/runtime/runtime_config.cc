@@ -13,6 +13,8 @@ SchemeConfig::name() const
       case AllocatorKind::Libc: os << "libc"; break;
       case AllocatorKind::Asan: os << "asan"; break;
       case AllocatorKind::Rest: os << "rest"; break;
+      case AllocatorKind::Mte: os << "mte"; break;
+      case AllocatorKind::Pauth: os << "pauth"; break;
     }
     if (asanAccessChecks)
         os << "+checks";

@@ -25,6 +25,8 @@ enum class AllocatorKind : std::uint8_t
     Libc,  ///< stock performance-first allocator, immediate reuse
     Asan,  ///< shadow-poisoning redzones + quarantine
     Rest,  ///< token redzones + armed quarantine, zeroed free pool
+    Mte,   ///< MTE-style 4-bit granule tags, retag on free
+    Pauth, ///< pointer-authentication signatures, revoked on free
 };
 
 /** Guest address-space layout. */
@@ -138,6 +140,27 @@ struct SchemeConfig
     {
         SchemeConfig c;
         c.allocator = AllocatorKind::Rest;
+        return c;
+    }
+
+    /**
+     * MTE-style lock-and-key tagging: no program instrumentation,
+     * detection is the per-access tag check in the load/store path.
+     */
+    static SchemeConfig
+    mte()
+    {
+        SchemeConfig c;
+        c.allocator = AllocatorKind::Mte;
+        return c;
+    }
+
+    /** CryptSan-style data-pointer authentication. */
+    static SchemeConfig
+    pauth()
+    {
+        SchemeConfig c;
+        c.allocator = AllocatorKind::Pauth;
         return c;
     }
 

@@ -14,10 +14,11 @@ using isa::Opcode;
 Emulator::Emulator(const isa::Program &program, mem::GuestMemory &memory,
                    core::RestEngine &engine,
                    runtime::Allocator &allocator,
-                   const runtime::SchemeConfig &scheme)
+                   const runtime::SchemeConfig &scheme,
+                   const runtime::AccessPolicy *policy)
     : program_(program), memory_(memory), engine_(engine),
-      allocator_(allocator), scheme_(scheme),
-      interceptors_(memory, engine, scheme_), shadow_(memory)
+      allocator_(allocator), scheme_(scheme), policy_(policy),
+      interceptors_(memory, engine, scheme_, policy), shadow_(memory)
 {
     rest_assert(!program.funcs.empty(), "program has no functions");
     decode_.prepare(program);
@@ -166,22 +167,46 @@ Emulator::step(DynOp *direct)
 
       case Opcode::Load: {
         Addr ea = reg(inst.rs1) + static_cast<std::uint64_t>(inst.imm);
-        op.eaddr = ea;
-        if (tokenCheck(ea, inst.width)) {
-            raise(op, FaultKind::RestTokenAccess);
-            advance = false;
-            break;
+        if (policy_) {
+            // Tag-checking schemes: authenticate the raw pointer,
+            // then access through the canonical (tag-stripped) form.
+            const FaultKind pf = policy_->checkAccess(ea, inst.width);
+            ea = policy_->canonical(ea);
+            op.eaddr = ea;
+            if (pf != FaultKind::None) {
+                raise(op, pf);
+                advance = false;
+                break;
+            }
+        } else {
+            op.eaddr = ea;
+            if (tokenCheck(ea, inst.width)) {
+                raise(op, FaultKind::RestTokenAccess);
+                advance = false;
+                break;
+            }
         }
         setReg(inst.rd, memory_.read(ea, inst.width));
         break;
       }
       case Opcode::Store: {
         Addr ea = reg(inst.rs1) + static_cast<std::uint64_t>(inst.imm);
-        op.eaddr = ea;
-        if (tokenCheck(ea, inst.width)) {
-            raise(op, FaultKind::RestTokenAccess);
-            advance = false;
-            break;
+        if (policy_) {
+            const FaultKind pf = policy_->checkAccess(ea, inst.width);
+            ea = policy_->canonical(ea);
+            op.eaddr = ea;
+            if (pf != FaultKind::None) {
+                raise(op, pf);
+                advance = false;
+                break;
+            }
+        } else {
+            op.eaddr = ea;
+            if (tokenCheck(ea, inst.width)) {
+                raise(op, FaultKind::RestTokenAccess);
+                advance = false;
+                break;
+            }
         }
         memory_.write(ea, reg(inst.rs2), inst.width);
         break;

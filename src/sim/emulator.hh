@@ -23,6 +23,7 @@
 #include "isa/dyn_op.hh"
 #include "isa/program.hh"
 #include "mem/guest_memory.hh"
+#include "runtime/access_policy.hh"
 #include "runtime/allocator.hh"
 #include "runtime/interceptors.hh"
 #include "runtime/runtime_config.hh"
@@ -41,10 +42,14 @@ class Emulator : public isa::TraceSource
      * @param engine REST architectural referee.
      * @param allocator the linked-in allocator model.
      * @param scheme active software configuration.
+     * @param policy per-access check predicate for pointer-tagging
+     *        schemes (mte, pauth); null keeps the historical inline
+     *        token/shadow path untouched.
      */
     Emulator(const isa::Program &program, mem::GuestMemory &memory,
              core::RestEngine &engine, runtime::Allocator &allocator,
-             const runtime::SchemeConfig &scheme);
+             const runtime::SchemeConfig &scheme,
+             const runtime::AccessPolicy *policy = nullptr);
 
     /** TraceSource: produce the next dynamic op. */
     bool next(isa::DynOp &out) override;
@@ -102,6 +107,8 @@ class Emulator : public isa::TraceSource
     core::RestEngine &engine_;
     runtime::Allocator &allocator_;
     runtime::SchemeConfig scheme_;
+    /** Non-null for tag-checking schemes; owned by the allocator. */
+    const runtime::AccessPolicy *policy_;
     runtime::Interceptors interceptors_;
     /** Static-decode work (pc/class/source/regs) paid once per
      *  program; step() copies templates instead of re-deriving. */

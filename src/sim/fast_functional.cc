@@ -66,6 +66,12 @@ FastFunctional::run(isa::TraceSource &src, std::uint64_t max_ops)
               case isa::FaultKind::AsanReport:
                 kind = core::ViolationKind::AsanCheckFailed;
                 break;
+              case isa::FaultKind::MteTagMismatch:
+                kind = core::ViolationKind::TagMismatch;
+                break;
+              case isa::FaultKind::PauthCheckFailed:
+                kind = core::ViolationKind::PauthCheckFailed;
+                break;
               case isa::FaultKind::None:
                 break;
             }
@@ -76,7 +82,9 @@ FastFunctional::run(isa::TraceSource &src, std::uint64_t max_ops)
             result.violation.reportCycle = result.committedOps + retired;
             bool precise = debug_mode ||
                 kind == core::ViolationKind::MisalignedRestInst ||
-                kind == core::ViolationKind::AsanCheckFailed;
+                kind == core::ViolationKind::AsanCheckFailed ||
+                kind == core::ViolationKind::TagMismatch ||
+                kind == core::ViolationKind::PauthCheckFailed;
             result.violation.precision = precise
                 ? core::Precision::Precise
                 : core::Precision::Imprecise;

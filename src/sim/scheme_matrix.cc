@@ -1,0 +1,176 @@
+#include "sim/scheme_matrix.hh"
+
+#include "sim/system.hh"
+#include "workload/attack_scenarios.hh"
+
+namespace rest::sim
+{
+
+namespace
+{
+
+/** Scenario parameters shared by every scheme. */
+constexpr std::uint32_t smallBuf = 64;
+constexpr std::uint32_t uafBuf = 96;
+constexpr std::uint32_t recycleChurn = 80;
+/**
+ * Zero-budget quarantine: every free drains immediately, so the
+ * churn loop recycles the exact stale chunk deterministically (a
+ * larger budget leaves the verdict hostage to pool-rotation order —
+ * the stale chunk may still sit poisoned in quarantine at load time).
+ */
+constexpr std::size_t recycleQuarantine = 0;
+
+/** Run one attack program under 'scheme'; did it fault? */
+bool
+faults(isa::Program program, const runtime::SchemeConfig &scheme,
+       std::uint64_t token_seed)
+{
+    SystemConfig cfg;
+    cfg.scheme = scheme;
+    cfg.tokenSeed = token_seed;
+    // Detection is architectural (the emulator), so the functional
+    // path gives the same verdicts as a detailed run, faster.
+    cfg.exec.fastFunctional = true;
+    System s(std::move(program), cfg);
+    return s.run().faulted();
+}
+
+} // namespace
+
+const std::vector<ScenarioInfo> &
+attackScenarios()
+{
+    static const std::vector<ScenarioInfo> table = {
+        {"linear_overflow", &SchemeVerdicts::linearOverflow,
+         &runtime::DetectionProfile::linearOverflow},
+        {"jump_over_redzone", &SchemeVerdicts::jumpOverRedzone,
+         &runtime::DetectionProfile::jumpOverRedzone},
+        {"pointer_diff_jump", &SchemeVerdicts::pointerDiffJump,
+         &runtime::DetectionProfile::pointerDiffJump},
+        {"pointer_corruption", &SchemeVerdicts::pointerCorruption,
+         &runtime::DetectionProfile::pointerCorruption},
+        {"uaf_quarantined", &SchemeVerdicts::uafQuarantined,
+         &runtime::DetectionProfile::uafQuarantined},
+        {"uaf_recycled", &SchemeVerdicts::uafRecycled,
+         &runtime::DetectionProfile::uafRecycled},
+        {"double_free", &SchemeVerdicts::doubleFree,
+         &runtime::DetectionProfile::doubleFree},
+        {"stack_overflow", &SchemeVerdicts::stackOverflow,
+         &runtime::DetectionProfile::stackOverflow},
+        {"uninstrumented_library",
+         &SchemeVerdicts::uninstrumentedLibrary,
+         &runtime::DetectionProfile::uninstrumentedLibrary},
+    };
+    return table;
+}
+
+SchemeVerdicts
+measureScheme(const runtime::SchemeConfig &scheme,
+              std::uint64_t token_seed)
+{
+    namespace attacks = workload::attacks;
+    SchemeVerdicts v;
+    v.scheme = runtime::schemeForConfig(scheme).id();
+
+    v.linearOverflow =
+        faults(attacks::heapOverflowWrite(smallBuf, 32), scheme,
+               token_seed);
+    v.jumpOverRedzone =
+        faults(attacks::heapJumpOverRedzone(smallBuf, 4096, 2048),
+               scheme, token_seed);
+    v.pointerDiffJump =
+        faults(attacks::pointerDiffJump(smallBuf, smallBuf), scheme,
+               token_seed);
+    v.pointerCorruption =
+        faults(attacks::rawPointerLoad(smallBuf), scheme, token_seed);
+    v.uafQuarantined =
+        faults(attacks::useAfterFree(uafBuf), scheme, token_seed);
+    {
+        // Recycle probe: shrink any quarantine so the churn loop
+        // drains it and the chunk is genuinely reused.
+        runtime::SchemeConfig recycled = scheme;
+        recycled.quarantineBudget = recycleQuarantine;
+        v.uafRecycled =
+            faults(attacks::useAfterRecycle(uafBuf, recycleChurn),
+                   recycled, token_seed);
+    }
+    v.doubleFree =
+        faults(attacks::doubleFree(smallBuf), scheme, token_seed);
+    v.stackOverflow =
+        faults(attacks::stackOverflowWrite(smallBuf, 24), scheme,
+               token_seed);
+    v.uninstrumentedLibrary =
+        faults(attacks::heartbleed(smallBuf, 256), scheme, token_seed);
+    return v;
+}
+
+bool
+matchesProfile(const SchemeVerdicts &v,
+               const runtime::DetectionProfile &p)
+{
+    for (const ScenarioInfo &s : attackScenarios())
+        if (!verdictMatches(p.*(s.declared), v.*(s.measured)))
+            return false;
+    return true;
+}
+
+SeedSweepResult
+sweepUafRecycled(const runtime::SchemeConfig &scheme,
+                 std::uint64_t first_seed, unsigned num_seeds)
+{
+    runtime::SchemeConfig recycled = scheme;
+    recycled.quarantineBudget = recycleQuarantine;
+
+    SeedSweepResult res;
+    for (unsigned i = 0; i < num_seeds; ++i) {
+        const std::uint64_t seed = first_seed + i;
+        const bool caught =
+            faults(workload::attacks::useAfterRecycle(uafBuf,
+                                                      recycleChurn),
+                   recycled, seed);
+        if (caught) {
+            ++res.caught;
+            if (res.firstCaughtSeed == ~std::uint64_t(0))
+                res.firstCaughtSeed = seed;
+        } else {
+            ++res.missed;
+            if (res.firstMissedSeed == ~std::uint64_t(0))
+                res.firstMissedSeed = seed;
+        }
+    }
+    return res;
+}
+
+std::string
+spatialClassOf(const SchemeVerdicts &v)
+{
+    if (v.linearOverflow)
+        return v.jumpOverRedzone ? "Granular" : "Linear";
+    return v.pointerCorruption ? "Targeted" : "None";
+}
+
+std::string
+temporalClassOf(const SchemeVerdicts &v)
+{
+    if (v.uafQuarantined && v.uafRecycled)
+        return "Complete";
+    return v.uafQuarantined ? "Until realloc" : "None";
+}
+
+RestRowText
+formatRestRow(const RestRowFacts &facts, const std::string &probe_error)
+{
+    if (!probe_error.empty()) {
+        // The probe produced no measurements: every column says so.
+        // (Printing default-constructed facts here once mislabelled
+        // shadow/composable as measured values.)
+        return {"BROKEN", "BROKEN", "BROKEN", "BROKEN"};
+    }
+    return {facts.spatialLinear ? "Linear" : "UNEXPECTED",
+            facts.temporalUntilRealloc ? "Until realloc" : "UNEXPECTED",
+            facts.usesShadowSpace ? "yes" : "no",
+            facts.composable ? "yes" : "no"};
+}
+
+} // namespace rest::sim

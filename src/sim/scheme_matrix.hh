@@ -1,0 +1,129 @@
+/**
+ * @file
+ * The shared attack-scenario matrix: every registered
+ * ProtectionScheme runs the same directed attack programs and its
+ * measured verdicts are compared against its declared
+ * DetectionProfile. The measured Table III (bench/tab3_comparison)
+ * and the scheme-conformance test suite are both built on this.
+ */
+
+#ifndef REST_SIM_SCHEME_MATRIX_HH
+#define REST_SIM_SCHEME_MATRIX_HH
+
+#include <string>
+#include <vector>
+
+#include "runtime/protection_scheme.hh"
+
+namespace rest::sim
+{
+
+/** Measured detection verdicts for one scheme (true == caught). */
+struct SchemeVerdicts
+{
+    std::string scheme;
+    bool linearOverflow = false;
+    bool jumpOverRedzone = false;
+    bool pointerDiffJump = false;
+    bool pointerCorruption = false;
+    bool uafQuarantined = false;
+    bool uafRecycled = false;
+    bool doubleFree = false;
+    bool stackOverflow = false;
+    bool uninstrumentedLibrary = false;
+};
+
+/** One row of the scenario table: name + field accessors. */
+struct ScenarioInfo
+{
+    const char *key;
+    bool SchemeVerdicts::*measured;
+    runtime::Expect runtime::DetectionProfile::*declared;
+};
+
+/** The scenario matrix, in display order. */
+const std::vector<ScenarioInfo> &attackScenarios();
+
+/**
+ * Run every attack scenario under 'scheme' and record whether it
+ * faulted. 'token_seed' feeds the token generator and the tag/PAC
+ * randomness of the mte/pauth backends.
+ */
+SchemeVerdicts measureScheme(const runtime::SchemeConfig &scheme,
+                             std::uint64_t token_seed = 0xc0ffee);
+
+/** Does a measured verdict satisfy a declared expectation? */
+inline bool
+verdictMatches(runtime::Expect declared, bool caught)
+{
+    switch (declared) {
+      case runtime::Expect::Caught:
+        return caught;
+      case runtime::Expect::Missed:
+        return !caught;
+      case runtime::Expect::SeedDependent:
+        return true; // either outcome is conformant per seed
+    }
+    return false;
+}
+
+/** All scenarios conform to the declared profile? */
+bool matchesProfile(const SchemeVerdicts &v,
+                    const runtime::DetectionProfile &p);
+
+/** Outcome tallies of a seed sweep over the uafRecycled scenario. */
+struct SeedSweepResult
+{
+    unsigned caught = 0;
+    unsigned missed = 0;
+    /** First seed producing each outcome (~0 when never seen). */
+    std::uint64_t firstCaughtSeed = ~std::uint64_t(0);
+    std::uint64_t firstMissedSeed = ~std::uint64_t(0);
+
+    bool bothWitnessed() const { return caught != 0 && missed != 0; }
+};
+
+/**
+ * Sweep the use-after-recycle scenario over 'num_seeds' consecutive
+ * seeds: witnesses both outcomes of a SeedDependent declaration
+ * (e.g. MTE's 4-bit tag-reuse escape).
+ */
+SeedSweepResult sweepUafRecycled(const runtime::SchemeConfig &scheme,
+                                 std::uint64_t first_seed,
+                                 unsigned num_seeds);
+
+/** Table III spatial class implied by the measured verdicts. */
+std::string spatialClassOf(const SchemeVerdicts &v);
+
+/** Table III temporal class implied by the measured verdicts. */
+std::string temporalClassOf(const SchemeVerdicts &v);
+
+/** The facts behind the legacy REST row (see bench/common_probe.hh). */
+struct RestRowFacts
+{
+    bool spatialLinear = false;
+    bool temporalUntilRealloc = false;
+    bool usesShadowSpace = true;
+    bool composable = false;
+};
+
+/** The four printed cells of the REST row. */
+struct RestRowText
+{
+    std::string spatial;
+    std::string temporal;
+    std::string shadow;
+    std::string composable;
+};
+
+/**
+ * Render the REST row of Table III. When 'probe_error' is non-empty
+ * the probe did not produce measurements and every cell reads
+ * "BROKEN" — no column may fall back to default-constructed facts.
+ */
+RestRowText formatRestRow(const RestRowFacts &facts,
+                          const std::string &probe_error);
+
+} // namespace rest::sim
+
+#endif // REST_SIM_SCHEME_MATRIX_HH

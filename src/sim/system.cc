@@ -1,8 +1,6 @@
 #include "sim/system.hh"
 
-#include "runtime/asan_allocator.hh"
-#include "runtime/libc_allocator.hh"
-#include "runtime/rest_allocator.hh"
+#include "runtime/protection_scheme.hh"
 #include "util/logging.hh"
 
 namespace rest::sim
@@ -19,26 +17,21 @@ System::System(isa::Program program, const SystemConfig &cfg)
     tcr_.writePrivileged(
         core::TokenValue::generate(rng_, cfg.tokenWidth), cfg.mode);
 
-    switch (cfg_.scheme.allocator) {
-      case runtime::AllocatorKind::Libc:
-        allocator_ = std::make_unique<runtime::LibcAllocator>(memory_);
-        break;
-      case runtime::AllocatorKind::Asan:
-        allocator_ = std::make_unique<runtime::AsanAllocator>(
-            memory_, cfg_.scheme.quarantineBudget);
-        break;
-      case runtime::AllocatorKind::Rest:
-        allocator_ = std::make_unique<runtime::RestAllocator>(
-            memory_, engine_, cfg_.scheme.quarantineBudget,
-            cfg_.scheme.sprinkleTokensEvery);
-        break;
-    }
+    // The registered backend for this config supplies the allocator,
+    // the (optional) per-access check policy, and the
+    // instrumentation pass.
+    const runtime::ProtectionScheme &ps =
+        runtime::schemeForConfig(cfg_.scheme);
+    runtime::SchemeParts parts = ps.instantiate(
+        {memory_, engine_, cfg_.scheme, cfg_.tokenSeed});
+    allocator_ = std::move(parts.allocator);
+    policy_ = parts.policy;
 
-    instrumentation_ = runtime::applyScheme(
-        program_, cfg_.scheme, tcr_.granule());
+    instrumentation_ =
+        ps.instrument(program_, cfg_.scheme, tcr_.granule());
 
     emulator_ = std::make_unique<Emulator>(
-        program_, memory_, engine_, *allocator_, cfg_.scheme);
+        program_, memory_, engine_, *allocator_, cfg_.scheme, policy_);
 
     if (!cfg_.exec.sampling.valid()) {
         rest_fatal("bad sampling config: need windowOps > 0 and "
@@ -112,20 +105,8 @@ System::run()
     res.armsExecuted = engine_.armsExecuted();
     res.disarmsExecuted = engine_.disarmsExecuted();
 
-    // Allocator call counts (per concrete type).
-    if (auto *a = dynamic_cast<runtime::LibcAllocator *>(
-            allocator_.get())) {
-        res.mallocCalls = a->heapState().mallocCalls;
-        res.freeCalls = a->heapState().freeCalls;
-    } else if (auto *a = dynamic_cast<runtime::AsanAllocator *>(
-                   allocator_.get())) {
-        res.mallocCalls = a->heapState().mallocCalls;
-        res.freeCalls = a->heapState().freeCalls;
-    } else if (auto *a = dynamic_cast<runtime::RestAllocator *>(
-                   allocator_.get())) {
-        res.mallocCalls = a->heapState().mallocCalls;
-        res.freeCalls = a->heapState().freeCalls;
-    }
+    res.mallocCalls = allocator_->heapState().mallocCalls;
+    res.freeCalls = allocator_->heapState().freeCalls;
     return res;
 }
 

@@ -142,6 +142,8 @@ class System
     mem::Cache l1i_;
     mem::RestL1Cache l1d_;
     std::unique_ptr<runtime::Allocator> allocator_;
+    /** Tag-check predicate for mte/pauth; owned by allocator_. */
+    const runtime::AccessPolicy *policy_ = nullptr;
     isa::Program program_;
     runtime::InstrumentationSummary instrumentation_;
     std::unique_ptr<Emulator> emulator_;

@@ -129,17 +129,47 @@ JsonReader::parseString()
               case 'r': v.str += '\r'; break;
               case 'b': v.str += '\b'; break;
               case 'f': v.str += '\f'; break;
-              case 'u':
-                // Only \u00XX is emitted by the writer.
-                if (pos_ + 4 <= s_.size()) {
-                    v.str += char(std::strtol(
-                        s_.substr(pos_ + 2, 2).c_str(), nullptr, 16));
-                    pos_ += 4;
-                } else {
+              case 'u': {
+                // Full BMP escape: four hex digits decoded to UTF-8.
+                // Surrogate halves are a hard error — the writer
+                // never emits them and decoding one alone would
+                // produce invalid UTF-8 silently.
+                if (pos_ + 4 > s_.size()) {
                     ok_ = false;
                     pos_ = s_.size();
+                    break;
+                }
+                unsigned cp = 0;
+                bool bad_hex = false;
+                for (unsigned i = 0; i < 4; ++i) {
+                    const char h = s_[pos_ + i];
+                    cp <<= 4;
+                    if (h >= '0' && h <= '9')
+                        cp |= unsigned(h - '0');
+                    else if (h >= 'a' && h <= 'f')
+                        cp |= unsigned(h - 'a' + 10);
+                    else if (h >= 'A' && h <= 'F')
+                        cp |= unsigned(h - 'A' + 10);
+                    else
+                        bad_hex = true;
+                }
+                pos_ += 4;
+                if (bad_hex || (cp >= 0xd800 && cp <= 0xdfff)) {
+                    ok_ = false;
+                    break;
+                }
+                if (cp < 0x80) {
+                    v.str += char(cp);
+                } else if (cp < 0x800) {
+                    v.str += char(0xc0 | (cp >> 6));
+                    v.str += char(0x80 | (cp & 0x3f));
+                } else {
+                    v.str += char(0xe0 | (cp >> 12));
+                    v.str += char(0x80 | ((cp >> 6) & 0x3f));
+                    v.str += char(0x80 | (cp & 0x3f));
                 }
                 break;
+              }
               default: v.str += e;
             }
         } else {

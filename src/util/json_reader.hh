@@ -7,8 +7,9 @@
  * corrupt file (e.g. a checkpoint from a killed sweep) as "absent"
  * and carry on.
  *
- * Not a general-purpose parser: no surrogate pairs, no full \uXXXX
- * range (the writer only emits \u00XX), numbers via std::strtod.
+ * Not a general-purpose parser: \uXXXX escapes cover the BMP (decoded
+ * to UTF-8); surrogate pairs are rejected as malformed rather than
+ * silently mangled, numbers go via std::strtod.
  */
 
 #ifndef REST_UTIL_JSON_READER_HH

@@ -105,6 +105,73 @@ heapOverflowWrite(std::uint32_t buf_len, std::uint32_t n)
 }
 
 isa::Program
+heapJumpOverRedzone(std::uint32_t a_len, std::uint32_t b_len,
+                    std::uint32_t jump)
+{
+    rest_assert(jump > a_len && jump < b_len,
+                "jump must leap past a's end into b's payload");
+    FuncBuilder b("main");
+    emitMalloc(b, r1, a_len);
+    emitMalloc(b, r2, b_len);
+    emitMemset(b, r2, 0x33, b_len); // b is live, its payload valid
+    // The leap: far enough past a's end to clear any redzone, well
+    // inside b's (much larger) payload.
+    b.movImm(r3, 0x5a);
+    b.store(r3, r1, jump, 8);
+    b.halt();
+    return soloProgram(std::move(b));
+}
+
+isa::Program
+pointerDiffJump(std::uint32_t a_len, std::uint32_t b_len)
+{
+    FuncBuilder b("main");
+    emitMalloc(b, r1, a_len);
+    emitMalloc(b, r2, b_len);
+    // a + (b - a) == b bit-exactly: redzones are skipped and any
+    // pointer metadata (tag, PAC) survives the round trip.
+    b.alu(Opcode::Sub, r3, r2, r1);
+    b.alu(Opcode::Add, r4, r1, r3);
+    b.load(r5, r4, 0, 8);
+    b.halt();
+    return soloProgram(std::move(b));
+}
+
+isa::Program
+rawPointerLoad(std::uint32_t buf_len)
+{
+    FuncBuilder b("main");
+    emitMalloc(b, r1, buf_len);
+    // Forge a raw (metadata-stripped) pointer to the same location.
+    b.emit({Opcode::AndI, r2, r1, isa::noReg, 8,
+            static_cast<std::int64_t>((1ll << 48) - 1), -1, -1});
+    b.load(r5, r2, 0, 8);
+    b.halt();
+    return soloProgram(std::move(b));
+}
+
+isa::Program
+useAfterRecycle(std::uint32_t buf_len, std::uint32_t churn)
+{
+    FuncBuilder b("main");
+    emitMalloc(b, r1, buf_len); // the dangling pointer
+    b.emit({Opcode::RtFree, isa::noReg, r1, isa::noReg, 8, 0, -1, -1});
+    // Churn until any quarantine recycles the chunk.
+    b.movImm(r2, churn);
+    int loop = b.here();
+    emitMalloc(b, r3, buf_len);
+    b.emit({Opcode::RtFree, isa::noReg, r3, isa::noReg, 8, 0, -1, -1});
+    b.addI(r2, r2, -1);
+    b.branch(Opcode::Bne, r2, isa::regZero, loop);
+    // One live allocation that (very likely) recycles the chunk.
+    emitMalloc(b, r4, buf_len);
+    // The dangling access.
+    b.load(r5, r1, 0, 8);
+    b.halt();
+    return soloProgram(std::move(b));
+}
+
+isa::Program
 heapUnderflowRead(std::uint32_t buf_len, std::uint32_t offset)
 {
     FuncBuilder b("main");

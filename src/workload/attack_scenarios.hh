@@ -40,6 +40,40 @@ isa::Program heartbleed(std::uint32_t benign_len,
 /** Sequential heap overflow: write 'n' 8-byte words from buf[0]. */
 isa::Program heapOverflowWrite(std::uint32_t buf_len, std::uint32_t n);
 
+/**
+ * Non-linear overflow: allocate a ('a_len' bytes) then b ('b_len'
+ * bytes) and store at a[jump], choosing 'jump' to leap over any
+ * redzone between them straight into b's live payload. Redzone-based
+ * schemes (ASan, REST) never see it; whole-object colouring (MTE)
+ * does.
+ */
+isa::Program heapJumpOverRedzone(std::uint32_t a_len,
+                                 std::uint32_t b_len,
+                                 std::uint32_t jump);
+
+/**
+ * Pointer-arithmetic evasion: load through a + (b - a), which
+ * reconstructs b's pointer bit-exactly — tag and signature included —
+ * from two live pointers. No scheme in the registry catches this.
+ */
+isa::Program pointerDiffJump(std::uint32_t a_len, std::uint32_t b_len);
+
+/**
+ * Pointer corruption: strip the metadata bits (tag/PAC) off a heap
+ * pointer with a 48-bit mask — modelling a forged/leaked raw address
+ * — and load through it. Address-based schemes see a valid location;
+ * lock-and-key schemes see a key mismatch.
+ */
+isa::Program rawPointerLoad(std::uint32_t buf_len);
+
+/**
+ * UAF after the chunk has left quarantine and been recycled: free,
+ * churn 'churn' malloc/free pairs of the same size, allocate once
+ * more (recycling the chunk), then load through the stale pointer.
+ */
+isa::Program useAfterRecycle(std::uint32_t buf_len,
+                             std::uint32_t churn);
+
 /** Heap underflow read: load at buf[-offset]. */
 isa::Program heapUnderflowRead(std::uint32_t buf_len,
                                std::uint32_t offset);

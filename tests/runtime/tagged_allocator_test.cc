@@ -1,0 +1,155 @@
+/**
+ * Unit tests for the pointer-tagging allocator models: MTE granule
+ * tags and pauth signatures, at the allocator/policy level (no
+ * system, no timing).
+ */
+
+#include <gtest/gtest.h>
+
+#include "runtime/mte_allocator.hh"
+#include "runtime/pauth_allocator.hh"
+
+namespace rest::runtime
+{
+
+namespace
+{
+
+class TaggedAllocTest : public ::testing::Test
+{
+  protected:
+    OpEmitter
+    emitter()
+    {
+        q.clear();
+        return OpEmitter(q, AddressMap::runtimeTextBase, false);
+    }
+
+    /** Fault marked on any op emitted by the last call? */
+    isa::FaultKind
+    emittedFault() const
+    {
+        for (const auto &op : q)
+            if (op.fault != isa::FaultKind::None)
+                return op.fault;
+        return isa::FaultKind::None;
+    }
+
+    mem::GuestMemory memory;
+    isa::OpQueue q;
+};
+
+} // namespace
+
+TEST_F(TaggedAllocTest, MtePointersCarryNonZeroTags)
+{
+    MteAllocator alloc(memory, 42);
+    auto em = emitter();
+    Addr p = alloc.malloc(64, em);
+    EXPECT_NE(MteAllocator::pointerTag(p), 0u);
+    // The canonical payload is tagged to match the pointer.
+    EXPECT_EQ(alloc.checkAccess(p, 8), isa::FaultKind::None);
+    EXPECT_EQ(alloc.canonical(p), p & MteAllocator::addrMask);
+    EXPECT_EQ(alloc.allocationSize(p), 64u);
+}
+
+TEST_F(TaggedAllocTest, MteAdjacentAllocationsDifferInTag)
+{
+    MteAllocator alloc(memory, 42);
+    auto em = emitter();
+    Addr a = alloc.malloc(64, em);
+    Addr b = alloc.malloc(64, em);
+    // Left-neighbour exclusion: a's tag never equals b's, so the
+    // first out-of-bounds granule always mismatches.
+    EXPECT_NE(MteAllocator::pointerTag(a), MteAllocator::pointerTag(b));
+    EXPECT_NE(alloc.checkAccess(a + 64, 8), isa::FaultKind::None);
+}
+
+TEST_F(TaggedAllocTest, MteFreeRetagsAndCatchesDoubleFree)
+{
+    MteAllocator alloc(memory, 7);
+    auto em = emitter();
+    Addr p = alloc.malloc(32, em);
+    alloc.free(p, em);
+    // Dangling access: the granule was re-randomised away from p's
+    // tag.
+    EXPECT_EQ(alloc.checkAccess(p, 8),
+              isa::FaultKind::MteTagMismatch);
+    // Double free faults through the emitted op stream.
+    auto em2 = emitter();
+    alloc.free(p, em2);
+    EXPECT_EQ(emittedFault(), isa::FaultKind::MteTagMismatch);
+}
+
+TEST_F(TaggedAllocTest, MteUntaggedRegionsPassUntaggedPointers)
+{
+    MteAllocator alloc(memory, 7);
+    // Stack/global addresses carry tag 0 and were never coloured.
+    EXPECT_EQ(alloc.checkAccess(AddressMap::stackTop - 64, 8),
+              isa::FaultKind::None);
+    EXPECT_EQ(alloc.checkAccess(AddressMap::globalsBase, 8),
+              isa::FaultKind::None);
+}
+
+TEST_F(TaggedAllocTest, PauthPointersCarryUniqueSignatures)
+{
+    PauthAllocator alloc(memory, 99);
+    auto em = emitter();
+    Addr a = alloc.malloc(64, em);
+    Addr b = alloc.malloc(64, em);
+    EXPECT_NE(PauthAllocator::pointerPac(a), 0u);
+    EXPECT_NE(PauthAllocator::pointerPac(b), 0u);
+    EXPECT_NE(PauthAllocator::pointerPac(a),
+              PauthAllocator::pointerPac(b));
+    EXPECT_EQ(alloc.liveSignatures(), 2u);
+    EXPECT_EQ(alloc.checkAccess(a, 8), isa::FaultKind::None);
+    EXPECT_EQ(alloc.allocationSize(a), 64u);
+}
+
+TEST_F(TaggedAllocTest, PauthStrippedPointerIntoHeapFails)
+{
+    PauthAllocator alloc(memory, 99);
+    auto em = emitter();
+    Addr a = alloc.malloc(64, em);
+    const Addr raw = a & ((Addr(1) << 48) - 1);
+    EXPECT_EQ(alloc.checkAccess(raw, 8),
+              isa::FaultKind::PauthCheckFailed);
+    // Unsigned pointers outside heap data (stack) stay valid.
+    EXPECT_EQ(alloc.checkAccess(AddressMap::stackTop - 64, 8),
+              isa::FaultKind::None);
+}
+
+TEST_F(TaggedAllocTest, PauthFreeRevokesForever)
+{
+    PauthAllocator alloc(memory, 5);
+    auto em = emitter();
+    Addr a = alloc.malloc(48, em);
+    alloc.free(a, em);
+    EXPECT_EQ(alloc.liveSignatures(), 0u);
+    EXPECT_EQ(alloc.checkAccess(a, 8),
+              isa::FaultKind::PauthCheckFailed);
+
+    // Recycle the chunk: the new pointer has a fresh signature, the
+    // stale one still fails.
+    auto em2 = emitter();
+    Addr b = alloc.malloc(48, em2);
+    EXPECT_EQ(b & ((Addr(1) << 48) - 1), a & ((Addr(1) << 48) - 1));
+    EXPECT_NE(PauthAllocator::pointerPac(b),
+              PauthAllocator::pointerPac(a));
+    EXPECT_EQ(alloc.checkAccess(b, 8), isa::FaultKind::None);
+    EXPECT_EQ(alloc.checkAccess(a, 8),
+              isa::FaultKind::PauthCheckFailed);
+}
+
+TEST_F(TaggedAllocTest, PauthDoubleFreeFaults)
+{
+    PauthAllocator alloc(memory, 5);
+    auto em = emitter();
+    Addr a = alloc.malloc(48, em);
+    alloc.free(a, em);
+    auto em2 = emitter();
+    alloc.free(a, em2);
+    EXPECT_EQ(emittedFault(), isa::FaultKind::PauthCheckFailed);
+}
+
+} // namespace rest::runtime

@@ -1,0 +1,163 @@
+/**
+ * Scheme conformance: every registered ProtectionScheme runs the full
+ * attack-scenario matrix and its measured verdicts must match its
+ * declared DetectionProfile — REST's paper-documented spatial and
+ * temporal gaps witnessed, MTE's tag-reuse escape witnessed across a
+ * seed sweep, pauth's complete temporal protection measured.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/scheme_matrix.hh"
+
+namespace rest::sim
+{
+
+using runtime::Expect;
+
+namespace
+{
+
+SchemeVerdicts
+verdictsFor(const char *id)
+{
+    const runtime::ProtectionScheme *ps = runtime::findScheme(id);
+    EXPECT_NE(ps, nullptr) << id;
+    return measureScheme(ps->baseConfig());
+}
+
+} // namespace
+
+TEST(SchemeConformance, EveryBackendMatchesItsDeclaredProfile)
+{
+    for (const runtime::ProtectionScheme *ps : runtime::allSchemes()) {
+        SchemeVerdicts v = measureScheme(ps->baseConfig());
+        const runtime::DetectionProfile p = ps->declaredProfile();
+        for (const ScenarioInfo &s : attackScenarios()) {
+            EXPECT_TRUE(verdictMatches(p.*(s.declared),
+                                       v.*(s.measured)))
+                << ps->id() << "/" << s.key << ": declared "
+                << runtime::expectName(p.*(s.declared))
+                << ", measured "
+                << (v.*(s.measured) ? "caught" : "missed");
+        }
+        EXPECT_TRUE(matchesProfile(v, p)) << ps->id();
+    }
+}
+
+TEST(SchemeConformance, PlainCatchesNothing)
+{
+    SchemeVerdicts v = verdictsFor("plain");
+    for (const ScenarioInfo &s : attackScenarios())
+        EXPECT_FALSE(v.*(s.measured)) << s.key;
+    EXPECT_EQ(spatialClassOf(v), "None");
+    EXPECT_EQ(temporalClassOf(v), "None");
+}
+
+TEST(SchemeConformance, RestGapsAreWitnessed)
+{
+    SchemeVerdicts v = verdictsFor("rest");
+    // The paper's claims: linear overflows and quarantined UAF caught,
+    // composably, including in uninstrumented library code.
+    EXPECT_TRUE(v.linearOverflow);
+    EXPECT_TRUE(v.uafQuarantined);
+    EXPECT_TRUE(v.doubleFree);
+    EXPECT_TRUE(v.stackOverflow);
+    EXPECT_TRUE(v.uninstrumentedLibrary);
+    // The paper's documented gaps, each witnessed by a live attack:
+    // jumping the redzone, re-deriving a pointer, and dangling
+    // accesses after the chunk leaves quarantine.
+    EXPECT_FALSE(v.jumpOverRedzone);
+    EXPECT_FALSE(v.pointerDiffJump);
+    EXPECT_FALSE(v.pointerCorruption);
+    EXPECT_FALSE(v.uafRecycled);
+    EXPECT_EQ(spatialClassOf(v), "Linear");
+    EXPECT_EQ(temporalClassOf(v), "Until realloc");
+}
+
+TEST(SchemeConformance, MteCatchesJumpsButNotDerivedPointers)
+{
+    SchemeVerdicts v = verdictsFor("mte");
+    EXPECT_TRUE(v.linearOverflow);
+    EXPECT_TRUE(v.jumpOverRedzone);    // whole-object colouring
+    EXPECT_TRUE(v.pointerCorruption);  // stripped tag mismatches
+    EXPECT_FALSE(v.pointerDiffJump);   // a + (b - a) keeps b's tag
+    EXPECT_FALSE(v.stackOverflow);     // stack untagged
+    EXPECT_TRUE(v.uafQuarantined);
+    EXPECT_TRUE(v.doubleFree);
+    EXPECT_TRUE(v.uninstrumentedLibrary);
+    EXPECT_EQ(spatialClassOf(v), "Granular");
+}
+
+TEST(SchemeConformance, MteTagReuseEscapeWitnessedAcrossSeeds)
+{
+    // The 4-bit birthday: the recycled chunk's fresh tag collides
+    // with the stale pointer's ~1 time in 14 — a seed sweep must see
+    // both the catch and the escape.
+    SeedSweepResult sweep = sweepUafRecycled(
+        runtime::findScheme("mte")->baseConfig(), 1, 64);
+    EXPECT_TRUE(sweep.bothWitnessed())
+        << "caught=" << sweep.caught << " missed=" << sweep.missed;
+    // Detection dominates: a collision is the rare case.
+    EXPECT_GT(sweep.caught, sweep.missed);
+}
+
+TEST(SchemeConformance, PauthTemporalIsCompleteSpatialIsTargeted)
+{
+    SchemeVerdicts v = verdictsFor("pauth");
+    EXPECT_TRUE(v.uafQuarantined);
+    EXPECT_TRUE(v.uafRecycled); // revocation outlives recycling
+    EXPECT_TRUE(v.doubleFree);
+    EXPECT_TRUE(v.pointerCorruption);
+    EXPECT_FALSE(v.linearOverflow); // offsets keep the signature
+    EXPECT_FALSE(v.jumpOverRedzone);
+    EXPECT_EQ(spatialClassOf(v), "Targeted");
+    EXPECT_EQ(temporalClassOf(v), "Complete");
+}
+
+TEST(SchemeConformance, PauthRevocationIsSeedIndependent)
+{
+    SeedSweepResult sweep = sweepUafRecycled(
+        runtime::findScheme("pauth")->baseConfig(), 1, 8);
+    EXPECT_EQ(sweep.missed, 0u);
+    EXPECT_EQ(sweep.caught, 8u);
+}
+
+TEST(FormatRestRow, MeasuredFactsRenderAsTableCells)
+{
+    RestRowFacts facts;
+    facts.spatialLinear = true;
+    facts.temporalUntilRealloc = true;
+    facts.usesShadowSpace = false;
+    facts.composable = true;
+    RestRowText row = formatRestRow(facts, "");
+    EXPECT_EQ(row.spatial, "Linear");
+    EXPECT_EQ(row.temporal, "Until realloc");
+    EXPECT_EQ(row.shadow, "no");
+    EXPECT_EQ(row.composable, "yes");
+}
+
+TEST(FormatRestRow, ProbeFaultBreaksTheWholeRow)
+{
+    // Regression: when the probe threw, spatial/temporal printed
+    // BROKEN but shadow/composable printed default-constructed values
+    // as if measured. A probe error must break every column.
+    RestRowFacts defaults; // what a throw used to leave behind
+    RestRowText row =
+        formatRestRow(defaults, "probe fault: injected failure");
+    EXPECT_EQ(row.spatial, "BROKEN");
+    EXPECT_EQ(row.temporal, "BROKEN");
+    EXPECT_EQ(row.shadow, "BROKEN");
+    EXPECT_EQ(row.composable, "BROKEN");
+}
+
+TEST(FormatRestRow, UnexpectedFactsAreNotMaskedByEmptyError)
+{
+    RestRowFacts facts; // all-false defaults, shadow=true
+    RestRowText row = formatRestRow(facts, "");
+    EXPECT_EQ(row.spatial, "UNEXPECTED");
+    EXPECT_EQ(row.temporal, "UNEXPECTED");
+    EXPECT_EQ(row.shadow, "yes");
+}
+
+} // namespace rest::sim

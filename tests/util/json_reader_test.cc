@@ -72,6 +72,49 @@ TEST(JsonReader, RoundTripsWriterOutput)
     EXPECT_EQ(v.at("list").items[0].number, -7);
 }
 
+TEST(JsonReader, UnicodeEscapesDecodeToUtf8)
+{
+    // Control range (what JsonWriter emits as \u00XX).
+    EXPECT_EQ(parsed("\"\\u0041\\u0009\"").str, "A\t");
+    EXPECT_EQ(parsed("\"\\u0000x\"", true).str.size(), 2u);
+    // Two-byte UTF-8: U+00E9 (é), U+03B1 (α).
+    EXPECT_EQ(parsed("\"\\u00e9\"").str, "\xc3\xa9");
+    EXPECT_EQ(parsed("\"\\u03B1\"").str, "\xce\xb1");
+    // Three-byte UTF-8: U+20AC (€), U+FFFD.
+    EXPECT_EQ(parsed("\"\\u20ac\"").str, "\xe2\x82\xac");
+    EXPECT_EQ(parsed("\"\\uFFFD\"").str, "\xef\xbf\xbd");
+    // Regression: the old decoder read only the LAST two hex digits,
+    // so \u0041 ('A') came back as '\x41'... but \u4100 came back as
+    // '\0'. The full code point must be honoured.
+    EXPECT_EQ(parsed("\"\\u4e2d\"").str, "\xe4\xb8\xad"); // U+4E2D 中
+}
+
+TEST(JsonReader, UnicodeEscapesRoundTripThroughWriter)
+{
+    std::ostringstream os;
+    {
+        JsonWriter w(os);
+        w.beginObject();
+        w.field("s", std::string("ctl\x01\x1f end"));
+        w.endObject();
+    }
+    JsonValue v = parsed(os.str());
+    EXPECT_EQ(v.at("s").str, "ctl\x01\x1f end");
+}
+
+TEST(JsonReader, BadUnicodeEscapesAreHardErrors)
+{
+    // Non-hex digits.
+    parsed("\"\\u00zz\"", /*expect_ok=*/false);
+    parsed("\"\\u12g4\"", /*expect_ok=*/false);
+    // Truncated escape at end of input.
+    parsed("\"\\u12", /*expect_ok=*/false);
+    // Surrogate halves: rejected, not silently mangled.
+    parsed("\"\\ud800\"", /*expect_ok=*/false);
+    parsed("\"\\udfff\"", /*expect_ok=*/false);
+    parsed("\"\\ud83d\\ude00\"", /*expect_ok=*/false);
+}
+
 TEST(JsonReader, MalformedInputSetsOkFalse)
 {
     for (const char *bad : {"", "{", "[1, 2", "{\"a\": }",
