@@ -21,6 +21,13 @@
  *   --no-json             disable the results file
  *   --detail              extra per-figure detail where supported
  *   --bench NAME          run only the named benchmark row
+ *   --schemes CSV         registered protection schemes to measure
+ *                         (tab3, multicore_scaling; default all)
+ *   --cores N             largest core count of the multicore scaling
+ *                         sweep (power-of-two counts up to N, plus N
+ *                         itself when it is not a power of two)
+ *   --workload NAME       multicore workload shape ("server": the
+ *                         Zipf-popularity server mix)
  *   --fast-functional     retire ops functionally (no pipeline model);
  *                         detection is identical, cycles are nominal
  *   --sample-warmup N     detailed warmup ops per sampling period
@@ -234,6 +241,13 @@ struct Options
     /** --schemes: comma-separated registry ids to measure ("" = the
      *  harness default; tab3 runs every registered scheme). */
     std::string schemes;
+    /** --cores: largest core count of the multicore scaling sweep
+     *  (multicore_scaling runs power-of-two counts up to this, plus
+     *  N itself when it is not a power of two). */
+    unsigned cores = 8;
+    /** --workload: multicore workload shape; "server" (the Zipf
+     *  server mix) is the only registered shape. */
+    std::string workload = "server";
     /** --perf: run the harness's simulator-throughput probe (where
      *  supported) and record the "perf" block in the results JSON. */
     bool perfProbe = false;
@@ -382,9 +396,17 @@ usage(const std::string &figure, int status)
         << "  --stats-every N    periodic stat snapshots every N "
         << "cycles\n"
         << "  --schemes CSV      registered protection schemes to "
-        << "measure (tab3;\n"
-        << "                     any of plain,asan,rest,mte,pauth; "
-        << "default all)\n"
+        << "measure (tab3,\n"
+        << "                     multicore_scaling; any of plain,asan,"
+        << "rest,mte,pauth;\n"
+        << "                     default all)\n"
+        << "  --cores N          largest core count of the multicore "
+        << "scaling sweep\n"
+        << "                     (power-of-two counts up to N, plus N "
+        << "itself;\n"
+        << "                     default 8)\n"
+        << "  --workload NAME    multicore workload shape (server, "
+        << "the default)\n"
         << "  --dump-program B[:S]  print benchmark B instrumented "
         << "for scheme S\n"
         << "                     (none, or a registered scheme: "
@@ -551,6 +573,15 @@ parseOptions(int argc, char **argv, const std::string &figure)
             opt.benchFilter = strArg(i, a);
         } else if (a == "--schemes") {
             opt.schemes = strArg(i, a);
+        } else if (a == "--cores") {
+            opt.cores = unsigned(u64Arg(i, a, 1, 64));
+        } else if (a == "--workload") {
+            opt.workload = strArg(i, a);
+            if (opt.workload != "server") {
+                std::cerr << figure << ": unknown --workload \""
+                          << opt.workload << "\" (want server)\n";
+                usage(figure, 1);
+            }
         } else if (a == "--perf") {
             opt.perfProbe = true;
         } else if (a == "--fast-functional") {

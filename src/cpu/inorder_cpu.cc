@@ -23,8 +23,8 @@ InOrderCpu::run(isa::TraceSource &src, std::uint64_t max_ops)
 {
     RunResult result;
     isa::DynOp op;
-    Cycles cycle = 0;
-    Addr last_line = invalidAddr;
+    Cycles cycle = cycle_;
+    Addr last_line = lastLine_;
     std::uint64_t n_stores = 0;
     trace::TraceSink *ts = trace::sink();
 
@@ -138,6 +138,8 @@ InOrderCpu::run(isa::TraceSource &src, std::uint64_t max_ops)
         }
     }
 
+    cycle_ = cycle;
+    lastLine_ = last_line;
     result.cycles = cycle;
     totalCycles_.set(cycle);
     return result;

@@ -54,6 +54,11 @@ class InOrderCpu
 
     std::array<Cycles, isa::numRegs> regReadyAt_{};
     std::vector<Cycles> wbFreeAt_;
+    /** Persistent core clock and fetch-line state: like the O3 model,
+     *  consecutive run() calls continue the same timeline, so quantum-
+     *  sliced multicore execution accumulates naturally. */
+    Cycles cycle_ = 0;
+    Addr lastLine_ = invalidAddr;
 
     stats::StatGroup stats_;
     stats::Scalar &committedOps_;

@@ -2,11 +2,28 @@
 
 #include <algorithm>
 
+#include "mem/coherence.hh"
 #include "util/logging.hh"
 #include "util/trace.hh"
 
 namespace rest::mem
 {
+
+const char *
+mesiName(Mesi m)
+{
+    switch (m) {
+      case Mesi::Invalid:
+        return "I";
+      case Mesi::Shared:
+        return "S";
+      case Mesi::Exclusive:
+        return "E";
+      case Mesi::Modified:
+        return "M";
+    }
+    return "?";
+}
 
 Cache::Cache(const CacheConfig &cfg, MemoryDevice &below)
     : cfg_(cfg), below_(below), blockSize_(cfg.blockSize),
@@ -95,9 +112,74 @@ Cache::fillLine(Addr addr, Cycles now)
     victim->valid = true;
     victim->dirty = false;
     victim->tokenBits = 0;
+    victim->mesi = Mesi::Invalid;
     victim->lastUsed = ++useCounter_;
     onFill(la, *victim, now);
     return *victim;
+}
+
+Mesi
+Cache::coherenceMissSnoop(Addr line_addr, bool is_write, Cycles now)
+{
+    if (!bus_)
+        return Mesi::Invalid;
+    return bus_->requestLine(*this, line_addr, is_write, now);
+}
+
+void
+Cache::coherenceWriteHit(Line &line, Addr line_addr, Cycles now)
+{
+    if (!bus_)
+        return;
+    if (line.mesi == Mesi::Shared)
+        bus_->upgrade(*this, line_addr, now);
+    line.mesi = Mesi::Modified;
+}
+
+Mesi
+Cache::snoopShared(Addr line_addr, Cycles now)
+{
+    Line *line = findLine(line_addr);
+    if (!line)
+        return Mesi::Invalid;
+    const Mesi prior = line->mesi;
+    if (prior == Mesi::Modified) {
+        // Flush: the requester fills from below, so our copy's data —
+        // and any deferred token values — must reach it first.
+        onCoherenceFlush(line_addr, *line, now);
+        if (line->dirty) {
+            ++writebacks_;
+            below_.access(line_addr, true, now);
+            line->dirty = false;
+        }
+    }
+    line->mesi = Mesi::Shared;
+    return prior;
+}
+
+Mesi
+Cache::snoopInvalidate(Addr line_addr, Cycles now)
+{
+    Line *line = findLine(line_addr);
+    if (!line)
+        return Mesi::Invalid;
+    const Mesi prior = line->mesi;
+    // Full eviction semantics: token write-out via onEvict, then the
+    // dirty write-back, then the line is gone.
+    onEvict(line_addr, *line, now);
+    if (line->dirty) {
+        ++writebacks_;
+        below_.access(line_addr, true, now);
+    }
+    *line = Line{};
+    return prior;
+}
+
+Mesi
+Cache::mesiState(Addr addr) const
+{
+    const Line *line = findLine(addr);
+    return line ? line->mesi : Mesi::Invalid;
 }
 
 Cycles
@@ -151,8 +233,10 @@ Cache::access(Addr addr, bool is_write, Cycles now)
         lastHit_ = true;
         ++hits_;
         line->lastUsed = ++useCounter_;
-        if (is_write)
+        if (is_write) {
             line->dirty = true;
+            coherenceWriteHit(*line, lineAddr(addr), now);
+        }
         // A "hit" on a line whose fill is still in flight waits for
         // the data (MSHR target merge).
         if (line->readyAt > now) {
@@ -164,6 +248,9 @@ Cache::access(Addr addr, bool is_write, Cycles now)
 
     lastHit_ = false;
     ++misses_;
+    // Snoop before the fill so a remote Modified copy lands in the
+    // level below (and its token values in memory) first.
+    Mesi fill_state = coherenceMissSnoop(lineAddr(addr), is_write, now);
     Cycles ready = resolveMiss(lineAddr(addr), now);
     if (trace::TraceSink *ts = trace::sink();
         ts && ts->flagOn(trace::Flag::Cache, now)) {
@@ -175,6 +262,7 @@ Cache::access(Addr addr, bool is_write, Cycles now)
     }
     Line &line = fillLine(addr, ready);
     line.readyAt = ready;
+    line.mesi = fill_state;
     if (is_write)
         line.dirty = true;
     return ready;

@@ -23,6 +23,23 @@
 namespace rest::mem
 {
 
+class CoherenceBus;
+
+/**
+ * MESI coherence state of one cache line. Meaningful only for caches
+ * attached to a CoherenceBus (mem/coherence.hh); detached caches —
+ * the historical uniprocessor hierarchy — never read or write it.
+ */
+enum class Mesi : std::uint8_t
+{
+    Invalid,
+    Shared,
+    Exclusive,
+    Modified,
+};
+
+const char *mesiName(Mesi m);
+
 /**
  * One cache level. Subclassed by RestL1Cache, which adds the per-line
  * token bits and the fill-path token detector.
@@ -45,6 +62,8 @@ class Cache : public MemoryDevice
          * plain caches; maintained by RestL1Cache.
          */
         std::uint8_t tokenBits = 0;
+        /** MESI state (bus-attached caches only). */
+        Mesi mesi = Mesi::Invalid;
     };
 
     Cache(const CacheConfig &cfg, MemoryDevice &below);
@@ -67,6 +86,36 @@ class Cache : public MemoryDevice
 
     /** Is the line currently resident? (no LRU side effects) */
     bool probe(Addr addr) const;
+
+    /**
+     * Join a snooping coherence bus. Detached (the default) the cache
+     * behaves exactly as the historical uniprocessor model; attached,
+     * misses and write-hit upgrades broadcast on the bus and remote
+     * snoops may downgrade or invalidate resident lines.
+     */
+    void attachBus(CoherenceBus *bus) { bus_ = bus; }
+
+    /** Coherence state of the line holding 'addr' (Invalid: absent).
+     *  No LRU side effects; test/stat support. */
+    Mesi mesiState(Addr addr) const;
+
+    // --- snoop interface (CoherenceBus only) -------------------------
+    /**
+     * Remote read of 'line_addr': a Modified copy writes its data (and
+     * any deferred token values, via onCoherenceFlush) back so the
+     * requester can fill from below; M/E copies downgrade to Shared.
+     * @return the state held before the snoop (Invalid: not resident).
+     */
+    Mesi snoopShared(Addr line_addr, Cycles now);
+
+    /**
+     * Remote write of 'line_addr': the copy is invalidated outright.
+     * Takes the full eviction path (onEvict token write-out + dirty
+     * write-back), so token-bearing lines leave their token values in
+     * memory for the requester's fill-path detector to find.
+     * @return the state held before the snoop (Invalid: not resident).
+     */
+    Mesi snoopInvalidate(Addr line_addr, Cycles now);
 
     /** Invalidate and write back everything (test support). */
     void flushAll();
@@ -105,6 +154,15 @@ class Cache : public MemoryDevice
                          Cycles /*now*/) { }
 
     /**
+     * Hook: a Modified line is flushed by a remote-read snoop but
+     * stays resident (M -> S). The outgoing coherence packet must
+     * carry any deferred token values (RestL1Cache writes them out),
+     * so the requester's fill still sees the tokens.
+     */
+    virtual void onCoherenceFlush(Addr /*line_addr*/, Line & /*line*/,
+                                  Cycles /*now*/) { }
+
+    /**
      * Resolve a miss through the MSHRs: merge with an outstanding
      * fetch of the same line if one exists, otherwise allocate an
      * MSHR (stalling for a free one if necessary) and fetch from
@@ -115,8 +173,21 @@ class Cache : public MemoryDevice
 
     unsigned setIndex(Addr addr) const;
 
+    /**
+     * Broadcast a miss on the bus (no-op when detached) and return the
+     * MESI state the incoming line should be installed in: Modified
+     * for write misses, Shared/Exclusive for read misses depending on
+     * whether any remote copy survived the snoop.
+     */
+    Mesi coherenceMissSnoop(Addr line_addr, bool is_write, Cycles now);
+
+    /** Write hit: upgrade a Shared line to Modified via the bus;
+     *  E -> M is silent. No-op when detached. */
+    void coherenceWriteHit(Line &line, Addr line_addr, Cycles now);
+
     CacheConfig cfg_;
     MemoryDevice &below_;
+    CoherenceBus *bus_ = nullptr;
     unsigned blockSize_;
     unsigned numSets_;
     std::vector<std::vector<Line>> sets_;

@@ -1,0 +1,90 @@
+#include "mem/coherence.hh"
+
+#include <algorithm>
+
+#include "util/logging.hh"
+#include "util/trace.hh"
+
+namespace rest::mem
+{
+
+CoherenceBus::CoherenceBus()
+    : stats_("coherence_bus"),
+      busReads_(stats_.addScalar("bus_reads",
+          "read-miss broadcasts (BusRd)")),
+      busReadXs_(stats_.addScalar("bus_readxs",
+          "write-miss broadcasts (BusRdX)")),
+      upgrades_(stats_.addScalar("upgrades",
+          "S->M upgrade broadcasts (BusUpgr)")),
+      invalidations_(stats_.addScalar("invalidations",
+          "remote copies invalidated by snoops")),
+      downgrades_(stats_.addScalar("downgrades",
+          "remote M/E copies downgraded to Shared")),
+      dirtyFlushes_(stats_.addScalar("dirty_flushes",
+          "remote Modified copies forced to write back")),
+      transfers_(stats_.addScalar("transfers",
+          "misses served while another cache held the line"))
+{
+}
+
+void
+CoherenceBus::attach(Cache &cache)
+{
+    rest_assert(std::find(caches_.begin(), caches_.end(), &cache) ==
+                    caches_.end(),
+                "cache attached to the coherence bus twice");
+    caches_.push_back(&cache);
+}
+
+Mesi
+CoherenceBus::requestLine(Cache &requester, Addr line_addr,
+                          bool is_write, Cycles now)
+{
+    if (is_write)
+        ++busReadXs_;
+    else
+        ++busReads_;
+
+    bool held = false;
+    for (Cache *c : caches_) {
+        if (c == &requester)
+            continue;
+        const Mesi prior = is_write ? c->snoopInvalidate(line_addr, now)
+                                    : c->snoopShared(line_addr, now);
+        if (prior == Mesi::Invalid)
+            continue;
+        held = true;
+        if (is_write)
+            ++invalidations_;
+        else if (prior != Mesi::Shared)
+            ++downgrades_;
+        if (prior == Mesi::Modified)
+            ++dirtyFlushes_;
+    }
+    if (held) {
+        ++transfers_;
+        if (trace::TraceSink *ts = trace::sink();
+            ts && ts->flagOn(trace::Flag::Cache, now)) {
+            ts->instant(trace::Flag::Cache, ts->trackFor("coherence_bus"),
+                        is_write ? "bus_readx_hit" : "bus_read_hit", now,
+                        "line", line_addr);
+        }
+    }
+    if (is_write)
+        return Mesi::Modified;
+    return held ? Mesi::Shared : Mesi::Exclusive;
+}
+
+void
+CoherenceBus::upgrade(Cache &requester, Addr line_addr, Cycles now)
+{
+    ++upgrades_;
+    for (Cache *c : caches_) {
+        if (c == &requester)
+            continue;
+        if (c->snoopInvalidate(line_addr, now) != Mesi::Invalid)
+            ++invalidations_;
+    }
+}
+
+} // namespace rest::mem

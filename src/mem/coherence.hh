@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Snooping MESI coherence bus over the private L1 data caches.
+ *
+ * The multicore machine (sim/multicore.hh) gives every core a private
+ * L1-D over one shared L2/DRAM; this bus keeps those L1s coherent with
+ * the textbook MESI protocol:
+ *
+ *   - read miss (BusRd): every remote copy is snooped. A Modified
+ *     owner flushes — data to the level below, deferred REST token
+ *     values to memory (Cache::onCoherenceFlush) — and downgrades to
+ *     Shared, as does an Exclusive copy. The requester installs in
+ *     Shared when any remote copy survived, Exclusive otherwise.
+ *   - write miss (BusRdX): every remote copy is invalidated through
+ *     the full eviction path (token write-out + dirty write-back);
+ *     the requester installs in Modified.
+ *   - write hit on Shared (BusUpgr): remote copies are invalidated;
+ *     the writer's line moves S -> M without a refill.
+ *
+ * REST invariant kept by this design: detection stays a fill-path
+ * property of each private L1. A token-bearing line migrating between
+ * cores always passes its token values through memory (flush on M->S,
+ * onEvict on invalidation), so the destination L1's fill-path detector
+ * re-scans them and re-arms its own token bits — a cross-core access
+ * to an armed granule traps exactly like a local one (test-enforced
+ * in tests/mem/coherence_test.cc).
+ *
+ * The bus is a correctness + traffic-accounting model, not a latency
+ * model: snoops are resolved at the requesting access's issue cycle
+ * and add no extra latency (contention shows up through the shared
+ * L2/DRAM and the invalidation-induced extra misses). All traffic is
+ * counted in the bus's StatGroup for the multicore_scaling bench.
+ */
+
+#ifndef REST_MEM_COHERENCE_HH
+#define REST_MEM_COHERENCE_HH
+
+#include <vector>
+
+#include "mem/cache.hh"
+#include "util/stats.hh"
+#include "util/types.hh"
+
+namespace rest::mem
+{
+
+/** The snooping bus connecting the private L1 data caches. */
+class CoherenceBus
+{
+  public:
+    CoherenceBus();
+
+    /**
+     * Register one private cache. The cache must also be pointed back
+     * at the bus via Cache::attachBus(); sim::MultiCoreSystem does
+     * both sides.
+     */
+    void attach(Cache &cache);
+
+    std::size_t numCaches() const { return caches_.size(); }
+
+    /**
+     * Broadcast a miss by 'requester' and snoop every other attached
+     * cache.
+     * @return the MESI state the requester should install the line
+     *         in: Modified for writes, else Shared iff a remote copy
+     *         survived the snoop, Exclusive otherwise.
+     */
+    Mesi requestLine(Cache &requester, Addr line_addr, bool is_write,
+                     Cycles now);
+
+    /** BusUpgr: invalidate every remote copy on a S -> M write hit. */
+    void upgrade(Cache &requester, Addr line_addr, Cycles now);
+
+    const stats::StatGroup &statGroup() const { return stats_; }
+    stats::StatGroup &statGroup() { return stats_; }
+
+  private:
+    std::vector<Cache *> caches_;
+
+    stats::StatGroup stats_;
+    stats::Scalar &busReads_;      ///< read-miss broadcasts (BusRd)
+    stats::Scalar &busReadXs_;     ///< write-miss broadcasts (BusRdX)
+    stats::Scalar &upgrades_;      ///< S->M upgrade broadcasts
+    stats::Scalar &invalidations_; ///< remote copies invalidated
+    stats::Scalar &downgrades_;    ///< remote M/E copies moved to S
+    stats::Scalar &dirtyFlushes_;  ///< remote M copies forced to flush
+    stats::Scalar &transfers_;     ///< misses served while a remote
+                                   ///< cache held the line
+};
+
+} // namespace rest::mem
+
+#endif // REST_MEM_COHERENCE_HH

@@ -21,7 +21,9 @@ RestL1Cache::RestL1Cache(const CacheConfig &cfg, MemoryDevice &below,
       armMisses_(stats_.addScalar("arm_misses", "arm ops that missed")),
       disarmOps_(stats_.addScalar("disarm_ops", "disarm ops executed")),
       tokenViolations_(stats_.addScalar("token_violations",
-          "accesses that touched a token granule"))
+          "accesses that touched a token granule")),
+      tokenCoherenceFlushes_(stats_.addScalar("token_coherence_flushes",
+          "remote-read snoops that flushed deferred token values"))
 {
 }
 
@@ -40,12 +42,14 @@ RestL1Cache::coverMask(Addr addr, unsigned size) const
 }
 
 std::pair<Cache::Line *, Cycles>
-RestL1Cache::ensureLine(Addr addr, Cycles now)
+RestL1Cache::ensureLine(Addr addr, bool is_write, Cycles now)
 {
     if (Line *line = findLine(addr)) {
         lastHit_ = true;
         ++hits_;
         line->lastUsed = ++useCounter_;
+        if (is_write)
+            coherenceWriteHit(*line, lineAddr(addr), now);
         if (line->readyAt > now) {
             ++mshrMerges_;
             return {line, line->readyAt};
@@ -54,16 +58,18 @@ RestL1Cache::ensureLine(Addr addr, Cycles now)
     }
     lastHit_ = false;
     ++misses_;
+    Mesi fill_state = coherenceMissSnoop(lineAddr(addr), is_write, now);
     Cycles ready = resolveMiss(lineAddr(addr), now);
     Line &line = fillLine(addr, ready);
     line.readyAt = ready;
+    line.mesi = fill_state;
     return {&line, ready};
 }
 
 RestAccess
 RestL1Cache::loadAccess(Addr addr, unsigned size, Cycles now)
 {
-    auto [line, ready] = ensureLine(addr, now);
+    auto [line, ready] = ensureLine(addr, false, now);
     RestAccess res;
     res.hit = lastHit_;
     res.completeAt = ready;
@@ -78,7 +84,7 @@ RestL1Cache::loadAccess(Addr addr, unsigned size, Cycles now)
 RestAccess
 RestL1Cache::storeAccess(Addr addr, unsigned size, Cycles now)
 {
-    auto [line, ready] = ensureLine(addr, now);
+    auto [line, ready] = ensureLine(addr, true, now);
     RestAccess res;
     res.hit = lastHit_;
     res.completeAt = ready;
@@ -111,7 +117,7 @@ RestL1Cache::armAccess(Addr addr, Cycles now)
 {
     rest_assert(isAligned(addr, tcr_.granule()),
                 "arm address must be granule-aligned at the cache");
-    auto [line, ready] = ensureLine(addr, now);
+    auto [line, ready] = ensureLine(addr, true, now);
     RestAccess res;
     res.hit = lastHit_;
     if (res.hit)
@@ -131,7 +137,7 @@ RestL1Cache::disarmAccess(Addr addr, Cycles now)
 {
     rest_assert(isAligned(addr, tcr_.granule()),
                 "disarm address must be granule-aligned at the cache");
-    auto [line, ready] = ensureLine(addr, now);
+    auto [line, ready] = ensureLine(addr, true, now);
     RestAccess res;
     res.hit = lastHit_;
     ++disarmOps_;
@@ -198,6 +204,31 @@ RestL1Cache::onEvict(Addr line_addr, Line &line, Cycles now)
     for (unsigned i = 0; i * g < blockSize_; ++i) {
         if ((line.tokenBits >> i) & 1u)
             memory_.writeBytes(line_addr + i * g, token);
+    }
+}
+
+void
+RestL1Cache::onCoherenceFlush(Addr line_addr, Line &line, Cycles now)
+{
+    // A remote read snoops our Modified copy (M -> S). The line stays
+    // resident with its token bits, but the flushed packet must carry
+    // the deferred token values so the requester's fill-path detector
+    // re-arms its own bits — cross-core accesses to an armed granule
+    // trap exactly like local ones.
+    if (!line.tokenBits)
+        return;
+    ++tokenCoherenceFlushes_;
+    const unsigned g = tcr_.granule();
+    auto token = tcr_.token().bytes();
+    for (unsigned i = 0; i * g < blockSize_; ++i) {
+        if ((line.tokenBits >> i) & 1u)
+            memory_.writeBytes(line_addr + i * g, token);
+    }
+    if (trace::TraceSink *ts = trace::sink();
+        ts && ts->flagOn(trace::Flag::TokenDetect, now)) {
+        ts->instant(trace::Flag::TokenDetect,
+                    ts->trackFor(stats_.name()), "token_coherence_flush",
+                    now, "token_bits", line.tokenBits);
     }
 }
 

@@ -74,6 +74,8 @@ class RestL1Cache : public Cache
   protected:
     void onFill(Addr line_addr, Line &line, Cycles now) override;
     void onEvict(Addr line_addr, Line &line, Cycles now) override;
+    void onCoherenceFlush(Addr line_addr, Line &line,
+                          Cycles now) override;
 
   private:
     /** Bitmask of granules covered by [addr, addr+size). */
@@ -82,8 +84,10 @@ class RestL1Cache : public Cache
     /** Emit the TokenDetect trace/debug output for a violation. */
     void traceViolation(const char *kind, Addr addr, Cycles now);
 
-    /** Bring the line in (hit or miss path), returning data-ready. */
-    std::pair<Line *, Cycles> ensureLine(Addr addr, Cycles now);
+    /** Bring the line in (hit or miss path), returning data-ready.
+     *  'is_write' covers stores and arm/disarm for coherence. */
+    std::pair<Line *, Cycles> ensureLine(Addr addr, bool is_write,
+                                         Cycles now);
 
     GuestMemory &memory_;
     TokenDetector detector_;
@@ -95,6 +99,7 @@ class RestL1Cache : public Cache
     stats::Scalar &armMisses_;
     stats::Scalar &disarmOps_;
     stats::Scalar &tokenViolations_;
+    stats::Scalar &tokenCoherenceFlushes_;
 };
 
 } // namespace rest::mem

@@ -36,6 +36,7 @@ MteAllocator::setTagRange(Addr canon, std::size_t bytes,
 Addr
 MteAllocator::malloc(std::size_t size, OpEmitter &em)
 {
+    std::lock_guard<std::mutex> lock(mu_);
     em.setSource(isa::OpSource::Allocator);
     ++heap_.mallocCalls;
 
@@ -94,6 +95,7 @@ MteAllocator::malloc(std::size_t size, OpEmitter &em)
 void
 MteAllocator::free(Addr payload, OpEmitter &em)
 {
+    std::lock_guard<std::mutex> lock(mu_);
     em.setSource(isa::OpSource::Allocator);
     ++heap_.freeCalls;
 

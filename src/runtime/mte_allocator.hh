@@ -19,6 +19,7 @@
 #ifndef REST_RUNTIME_MTE_ALLOCATOR_HH
 #define REST_RUNTIME_MTE_ALLOCATOR_HH
 
+#include <mutex>
 #include <unordered_map>
 
 #include "mem/guest_memory.hh"
@@ -87,6 +88,10 @@ class MteAllocator : public Allocator, public AccessPolicy
                      OpEmitter &em);
 
     mem::GuestMemory &memory_;
+    /** Serialises the malloc/free service paths (free lists, live
+     *  map, tag table) for host-threaded callers; see
+     *  tests/runtime/allocator_stress_test.cc. */
+    std::mutex mu_;
     HeapState heap_;
     std::unordered_map<Addr, std::uint8_t> tags_; ///< by granule base
     std::uint64_t lcg_;

@@ -41,6 +41,7 @@ PauthAllocator::sign(Addr canon)
 Addr
 PauthAllocator::malloc(std::size_t size, OpEmitter &em)
 {
+    std::lock_guard<std::mutex> lock(mu_);
     em.setSource(isa::OpSource::Allocator);
     ++heap_.mallocCalls;
 
@@ -85,6 +86,7 @@ PauthAllocator::malloc(std::size_t size, OpEmitter &em)
 void
 PauthAllocator::free(Addr payload, OpEmitter &em)
 {
+    std::lock_guard<std::mutex> lock(mu_);
     em.setSource(isa::OpSource::Allocator);
     ++heap_.freeCalls;
 

@@ -20,6 +20,7 @@
 #ifndef REST_RUNTIME_PAUTH_ALLOCATOR_HH
 #define REST_RUNTIME_PAUTH_ALLOCATOR_HH
 
+#include <mutex>
 #include <unordered_map>
 
 #include "mem/guest_memory.hh"
@@ -82,6 +83,10 @@ class PauthAllocator : public Allocator, public AccessPolicy
     }
 
     mem::GuestMemory &memory_;
+    /** Serialises the malloc/free service paths (free lists, live
+     *  map, signature tables) for host-threaded callers; see
+     *  tests/runtime/allocator_stress_test.cc. */
+    std::mutex mu_;
     HeapState heap_;
     /** Signature -> number of live allocations carrying it. */
     std::unordered_map<std::uint16_t, unsigned> liveSigs_;

@@ -97,6 +97,11 @@ class AsanScheme : public ProtectionScheme
         p.doubleFree = Expect::Caught;
         p.stackOverflow = Expect::Caught;
         p.uninstrumentedLibrary = Expect::Caught; // interceptors
+        // Shadow state is process-global: the poisoning a free on one
+        // thread leaves behind is visible to every other thread.
+        p.crossThreadUaf = Expect::Caught;
+        p.racyDoubleFree = Expect::Caught;
+        p.handoffOverflow = Expect::Caught;
         return p;
     }
 
@@ -147,6 +152,12 @@ class RestScheme : public ProtectionScheme
         p.doubleFree = Expect::Caught;
         p.stackOverflow = Expect::Caught;
         p.uninstrumentedLibrary = Expect::Caught; // HW sees every access
+        // Tokens live in memory, detection in every private L1's fill
+        // path: a coherence transfer of an armed line re-detects the
+        // token on the consuming core (mem/coherence.hh).
+        p.crossThreadUaf = Expect::Caught;
+        p.racyDoubleFree = Expect::Caught;
+        p.handoffOverflow = Expect::Caught;
         return p;
     }
 
@@ -201,6 +212,12 @@ class MteScheme : public ProtectionScheme
         p.doubleFree = Expect::Caught;
         p.stackOverflow = Expect::Missed; // stack untagged
         p.uninstrumentedLibrary = Expect::Caught; // HW-checked
+        // A handed-off pointer carries its tag; free's re-colouring
+        // and the granule tags are global state, so cross-thread
+        // misuse mismatches just like local misuse.
+        p.crossThreadUaf = Expect::Caught;
+        p.racyDoubleFree = Expect::Caught;
+        p.handoffOverflow = Expect::Caught;
         return p;
     }
 
@@ -252,6 +269,11 @@ class PauthScheme : public ProtectionScheme
         p.uafRecycled = Expect::Caught; // revocation is permanent
         p.doubleFree = Expect::Caught;
         // Stack/globals unsigned, library copies carry valid PACs.
+        // Signature revocation is global, so stale pointers fail on
+        // any thread — but a live, correctly signed pointer indexes
+        // out of bounds freely (no spatial check to hand off).
+        p.crossThreadUaf = Expect::Caught;
+        p.racyDoubleFree = Expect::Caught;
         return p;
     }
 

@@ -62,6 +62,14 @@ struct DetectionProfile
     Expect doubleFree = Expect::Missed;
     Expect stackOverflow = Expect::Missed;
     Expect uninstrumentedLibrary = Expect::Missed;
+
+    // Concurrency scenarios, measured on the multicore machine
+    // (sim/multicore.hh): the access that should trap happens on a
+    // different core — and through a different private L1 — than the
+    // allocation/free that armed the trap.
+    Expect crossThreadUaf = Expect::Missed;
+    Expect racyDoubleFree = Expect::Missed;
+    Expect handoffOverflow = Expect::Missed;
 };
 
 /** Hardware cost descriptor (the Table III "HW cost" column). */

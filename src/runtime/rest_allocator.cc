@@ -60,6 +60,7 @@ RestAllocator::disarmGranule(Addr addr, OpEmitter &em)
 Addr
 RestAllocator::malloc(std::size_t size, OpEmitter &em)
 {
+    std::lock_guard<std::mutex> lock(mu_);
     em.setSource(isa::OpSource::Allocator);
     ++heap_.mallocCalls;
 
@@ -142,6 +143,7 @@ RestAllocator::malloc(std::size_t size, OpEmitter &em)
 void
 RestAllocator::free(Addr payload, OpEmitter &em)
 {
+    std::lock_guard<std::mutex> lock(mu_);
     em.setSource(isa::OpSource::Allocator);
     ++heap_.freeCalls;
 

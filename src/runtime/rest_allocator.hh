@@ -16,6 +16,8 @@
 #ifndef REST_RUNTIME_REST_ALLOCATOR_HH
 #define REST_RUNTIME_REST_ALLOCATOR_HH
 
+#include <mutex>
+
 #include "core/rest_engine.hh"
 #include "mem/guest_memory.hh"
 #include "runtime/allocator.hh"
@@ -83,6 +85,12 @@ class RestAllocator : public Allocator
 
     mem::GuestMemory &memory_;
     core::RestEngine &engine_;
+    /** Serialises malloc/free: the free lists, quarantine, live map
+     *  and the engine's armed-granule set are shared by every thread
+     *  of the process (tests/runtime/allocator_stress_test.cc runs
+     *  the service paths under TSan). The simulated multicore machine
+     *  is single-host-threaded and never contends. */
+    std::mutex mu_;
     Quarantine quarantine_;
     HeapState heap_;
     unsigned sprinkleEvery_ = 0;

@@ -15,7 +15,7 @@ Emulator::Emulator(const isa::Program &program, mem::GuestMemory &memory,
                    core::RestEngine &engine,
                    runtime::Allocator &allocator,
                    const runtime::SchemeConfig &scheme,
-                   const runtime::AccessPolicy *policy)
+                   const runtime::AccessPolicy *policy, Addr stack_top)
     : program_(program), memory_(memory), engine_(engine),
       allocator_(allocator), scheme_(scheme), policy_(policy),
       interceptors_(memory, engine, scheme_, policy), shadow_(memory)
@@ -25,8 +25,8 @@ Emulator::Emulator(const isa::Program &program, mem::GuestMemory &memory,
     pcBases_.reserve(program.funcs.size());
     for (std::size_t i = 0; i < program.funcs.size(); ++i)
         pcBases_.push_back(program.pcBase(i));
-    regs_[isa::regSp] = runtime::AddressMap::stackTop;
-    regs_[isa::regFp] = runtime::AddressMap::stackTop;
+    regs_[isa::regSp] = stack_top;
+    regs_[isa::regFp] = stack_top;
     emitter_ = std::make_unique<runtime::OpEmitter>(
         queue_, runtime::AddressMap::runtimeTextBase, scheme.perfectHw);
     enterFunc(0);

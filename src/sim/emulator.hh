@@ -45,11 +45,15 @@ class Emulator : public isa::TraceSource
      * @param policy per-access check predicate for pointer-tagging
      *        schemes (mte, pauth); null keeps the historical inline
      *        token/shadow path untouched.
+     * @param stack_top initial sp/fp. The default is the historical
+     *        single-core stack; the multicore machine gives every
+     *        core's emulator a disjoint slice below it.
      */
     Emulator(const isa::Program &program, mem::GuestMemory &memory,
              core::RestEngine &engine, runtime::Allocator &allocator,
              const runtime::SchemeConfig &scheme,
-             const runtime::AccessPolicy *policy = nullptr);
+             const runtime::AccessPolicy *policy = nullptr,
+             Addr stack_top = runtime::AddressMap::stackTop);
 
     /** TraceSource: produce the next dynamic op. */
     bool next(isa::DynOp &out) override;

@@ -1,0 +1,167 @@
+/**
+ * @file
+ * MultiCoreSystem: N cores over a MESI-coherent cache hierarchy.
+ *
+ * The single-core System models the paper's evaluation machine; this
+ * assembles the server-shaped variant (ROADMAP): every core gets a
+ * private L1-I/L1-D pair — the L1-D is the REST-modified cache, so
+ * token detection stays a per-L1 fill-path property — behind one
+ * snooping CoherenceBus (mem/coherence.hh), over the shared L2 and
+ * DRAM. Guest memory, the token config register, the REST engine and
+ * the allocator are shared machine-wide: core B touching a granule
+ * that core A's free() armed traps exactly like a local dangling
+ * access, through the coherence transfer of the token-bearing line.
+ *
+ * Each core runs its own guest program (its "thread": a server request
+ * handler, an attack victim, ...) on its own functional emulator with
+ * a disjoint stack slice. Execution interleaves the cores round-robin
+ * in fixed op quanta on one host thread — the per-core pipeline clocks
+ * (both timing models keep their commit clock across run() calls) and
+ * the shared hierarchy make the interleaving deterministic: same seed,
+ * same programs, same schedule, byte-identical results.
+ *
+ * A 1-core machine attaches no bus and runs its program in a single
+ * unsliced call: it is exactly the single-core System configuration
+ * (tests/sim/multicore_test.cc holds the two equal cycle-for-cycle).
+ */
+
+#ifndef REST_SIM_MULTICORE_HH
+#define REST_SIM_MULTICORE_HH
+
+#include <memory>
+#include <vector>
+
+#include "core/rest_engine.hh"
+#include "core/token.hh"
+#include "cpu/inorder_cpu.hh"
+#include "cpu/o3_cpu.hh"
+#include "isa/program.hh"
+#include "mem/cache.hh"
+#include "mem/coherence.hh"
+#include "mem/dram.hh"
+#include "mem/guest_memory.hh"
+#include "mem/rest_l1_cache.hh"
+#include "runtime/allocator.hh"
+#include "runtime/instrumentation.hh"
+#include "sim/emulator.hh"
+#include "sim/fast_functional.hh"
+#include "sim/system.hh"
+
+namespace rest::sim
+{
+
+/** Configuration of one multicore machine. */
+struct MultiCoreConfig
+{
+    /** Per-core machine + scheme configuration. Detailed and
+     *  fast-functional execution are supported; sampled execution is
+     *  not (base.exec.sampling must be inactive). `base.maxOps` caps
+     *  each core individually. */
+    SystemConfig base;
+    /** Number of cores; must equal the number of programs. */
+    unsigned cores = 1;
+    /** Ops per round-robin scheduling slice (cores > 1 only). */
+    std::uint64_t quantumOps = 8192;
+    /** Stack bytes reserved per core below AddressMap::stackTop. */
+    std::uint64_t perCoreStackBytes = std::uint64_t(1) << 20;
+};
+
+/** Outcome of one MultiCoreSystem::run(). */
+struct MultiCoreResult
+{
+    /** Per-core timing results. cycles is that core's commit clock;
+     *  committedOps its retirement count; violation.seq is core-local
+     *  (the core's own retirement sequence). */
+    std::vector<cpu::RunResult> cores;
+    /** Index of the first faulting core in schedule order, or ~0u
+     *  when the run retired cleanly. */
+    unsigned faultCore = ~0u;
+    /** Machine cycles: the slowest core's commit clock. */
+    Cycles cycles = 0;
+    /** Ops retired machine-wide (sum over cores). */
+    std::uint64_t committedOps = 0;
+    /** Run retired functionally (cycles are nominal, CPI == 1). */
+    bool fastFunctional = false;
+    /** Per-core instrumentation summaries (index == core). */
+    std::vector<runtime::InstrumentationSummary> instrumentation;
+    std::uint64_t armsExecuted = 0;
+    std::uint64_t disarmsExecuted = 0;
+    std::uint64_t mallocCalls = 0;
+    std::uint64_t freeCalls = 0;
+
+    bool faulted() const { return faultCore != ~0u; }
+
+    /** The first (and only — the machine stops) violation. */
+    const core::Violation &
+    violation() const
+    {
+        return cores.at(faultCore).violation;
+    }
+};
+
+/** One simulated N-core machine. */
+class MultiCoreSystem
+{
+  public:
+    /**
+     * @param programs one un-instrumented program per core (each is
+     *        copied, then finalised for the configured scheme).
+     * @param cfg machine configuration; cfg.cores must match
+     *        programs.size().
+     */
+    MultiCoreSystem(std::vector<isa::Program> programs,
+                    const MultiCoreConfig &cfg);
+
+    /** Run all cores to completion / first fault / per-core op cap. */
+    MultiCoreResult run();
+
+    unsigned numCores() const { return cfg_.cores; }
+    mem::GuestMemory &memory() { return memory_; }
+    core::RestEngine &engine() { return engine_; }
+    const core::TokenConfigRegister &tokenRegister() const
+    { return tcr_; }
+    runtime::Allocator &allocator() { return *allocator_; }
+    Emulator &emulator(unsigned core) { return *emulators_[core]; }
+    mem::RestL1Cache &dcache(unsigned core) { return *l1d_[core]; }
+    mem::Cache &icache(unsigned core) { return *l1i_[core]; }
+    mem::Cache &l2cache() { return l2_; }
+    mem::Dram &dram() { return dram_; }
+    /** The snooping bus; nullptr on a 1-core machine. */
+    mem::CoherenceBus *bus() { return bus_.get(); }
+    const MultiCoreConfig &config() const { return cfg_; }
+
+    /** Timing/functional stats of one core's model. */
+    const stats::StatGroup &cpuStats(unsigned core) const;
+
+    /** Dump all component stats (per-core models + shared levels). */
+    void dumpStats(std::ostream &os) const;
+
+  private:
+    /** Run up to 'ops' more ops on 'core'; fold into res.cores. */
+    void runSlice(unsigned core, std::uint64_t ops,
+                  MultiCoreResult &res);
+
+    MultiCoreConfig cfg_;
+    mem::GuestMemory memory_;
+    Xoshiro256ss rng_;
+    core::TokenConfigRegister tcr_;
+    core::RestEngine engine_;
+    mem::Dram dram_;
+    mem::Cache l2_;
+    std::unique_ptr<mem::CoherenceBus> bus_;
+    std::unique_ptr<runtime::Allocator> allocator_;
+    /** Tag-check predicate for mte/pauth; owned by allocator_. */
+    const runtime::AccessPolicy *policy_ = nullptr;
+    std::vector<isa::Program> programs_;
+    std::vector<runtime::InstrumentationSummary> instrumentation_;
+    std::vector<std::unique_ptr<mem::Cache>> l1i_;
+    std::vector<std::unique_ptr<mem::RestL1Cache>> l1d_;
+    std::vector<std::unique_ptr<Emulator>> emulators_;
+    std::vector<std::unique_ptr<cpu::O3Cpu>> o3_;
+    std::vector<std::unique_ptr<cpu::InOrderCpu>> inorder_;
+    std::vector<std::unique_ptr<FastFunctional>> fast_;
+};
+
+} // namespace rest::sim
+
+#endif // REST_SIM_MULTICORE_HH

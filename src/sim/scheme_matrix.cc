@@ -1,7 +1,9 @@
 #include "sim/scheme_matrix.hh"
 
+#include "sim/multicore.hh"
 #include "sim/system.hh"
 #include "workload/attack_scenarios.hh"
+#include "workload/server_mix.hh"
 
 namespace rest::sim
 {
@@ -110,6 +112,85 @@ matchesProfile(const SchemeVerdicts &v,
                const runtime::DetectionProfile &p)
 {
     for (const ScenarioInfo &s : attackScenarios())
+        if (!verdictMatches(p.*(s.declared), v.*(s.measured)))
+            return false;
+    return true;
+}
+
+namespace
+{
+
+/** Run one two-core attack pair on the multicore machine. */
+bool
+faultsMulticore(std::vector<isa::Program> pair, unsigned cores,
+                const runtime::SchemeConfig &scheme, bool detailed,
+                std::uint64_t token_seed)
+{
+    MultiCoreConfig cfg;
+    cfg.cores = cores < 2 ? 2 : cores;
+    cfg.base.scheme = scheme;
+    cfg.base.tokenSeed = token_seed;
+    cfg.base.exec.fastFunctional = !detailed;
+
+    std::vector<isa::Program> progs = std::move(pair);
+    if (cfg.cores > 2) {
+        // Pad with benign hand-off-free handlers so the verdict is
+        // measured under genuine multi-core cache contention.
+        workload::ServerMixConfig filler;
+        filler.cores = cfg.cores;
+        filler.requestsPerCore = 8;
+        filler.handoffEvery = 0;
+        std::vector<isa::Program> handlers =
+            workload::serverMix(filler);
+        for (unsigned i = 2; i < cfg.cores; ++i)
+            progs.push_back(std::move(handlers[i]));
+    }
+
+    MultiCoreSystem sys(std::move(progs), cfg);
+    return sys.run().faulted();
+}
+
+} // namespace
+
+const std::vector<ConcurrencyScenarioInfo> &
+concurrencyScenarios()
+{
+    static const std::vector<ConcurrencyScenarioInfo> table = {
+        {"cross_thread_uaf", &ConcurrencyVerdicts::crossThreadUaf,
+         &runtime::DetectionProfile::crossThreadUaf},
+        {"racy_double_free", &ConcurrencyVerdicts::racyDoubleFree,
+         &runtime::DetectionProfile::racyDoubleFree},
+        {"handoff_overflow", &ConcurrencyVerdicts::handoffOverflow,
+         &runtime::DetectionProfile::handoffOverflow},
+    };
+    return table;
+}
+
+ConcurrencyVerdicts
+measureSchemeMulticore(const runtime::SchemeConfig &scheme,
+                       unsigned cores, bool detailed,
+                       std::uint64_t token_seed)
+{
+    namespace attacks = workload::attacks;
+    ConcurrencyVerdicts v;
+    v.scheme = runtime::schemeForConfig(scheme).id();
+    v.crossThreadUaf =
+        faultsMulticore(attacks::crossThreadUseAfterFree(uafBuf),
+                        cores, scheme, detailed, token_seed);
+    v.racyDoubleFree =
+        faultsMulticore(attacks::racyDoubleFree(uafBuf), cores,
+                        scheme, detailed, token_seed);
+    v.handoffOverflow =
+        faultsMulticore(attacks::handoffThenOverflow(smallBuf, 32),
+                        cores, scheme, detailed, token_seed);
+    return v;
+}
+
+bool
+matchesConcurrencyProfile(const ConcurrencyVerdicts &v,
+                          const runtime::DetectionProfile &p)
+{
+    for (const ConcurrencyScenarioInfo &s : concurrencyScenarios())
         if (!verdictMatches(p.*(s.declared), v.*(s.measured)))
             return false;
     return true;

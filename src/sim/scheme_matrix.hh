@@ -52,6 +52,44 @@ const std::vector<ScenarioInfo> &attackScenarios();
 SchemeVerdicts measureScheme(const runtime::SchemeConfig &scheme,
                              std::uint64_t token_seed = 0xc0ffee);
 
+/**
+ * Measured verdicts for the concurrency scenarios: two-core attack
+ * pairs (workload/attack_scenarios.hh) run on the multicore machine,
+ * optionally padded with benign server handlers up to 'cores'.
+ */
+struct ConcurrencyVerdicts
+{
+    std::string scheme;
+    bool crossThreadUaf = false;
+    bool racyDoubleFree = false;
+    bool handoffOverflow = false;
+};
+
+/** One row of the concurrency scenario table. */
+struct ConcurrencyScenarioInfo
+{
+    const char *key;
+    bool ConcurrencyVerdicts::*measured;
+    runtime::Expect runtime::DetectionProfile::*declared;
+};
+
+/** The concurrency scenario matrix, in display order. */
+const std::vector<ConcurrencyScenarioInfo> &concurrencyScenarios();
+
+/**
+ * Run the concurrency attacks under 'scheme' on a 'cores'-core
+ * machine (>= 2; the attack pair occupies cores 0/1, any further
+ * cores run benign hand-off-free server handlers). 'detailed' runs
+ * the timing models — the REST verdict then flows through the per-L1
+ * token-detector trap on a real coherence transfer — while the
+ * default functional path measures the same architectural verdicts
+ * faster.
+ */
+ConcurrencyVerdicts
+measureSchemeMulticore(const runtime::SchemeConfig &scheme,
+                       unsigned cores = 2, bool detailed = false,
+                       std::uint64_t token_seed = 0xc0ffee);
+
 /** Does a measured verdict satisfy a declared expectation? */
 inline bool
 verdictMatches(runtime::Expect declared, bool caught)
@@ -70,6 +108,10 @@ verdictMatches(runtime::Expect declared, bool caught)
 /** All scenarios conform to the declared profile? */
 bool matchesProfile(const SchemeVerdicts &v,
                     const runtime::DetectionProfile &p);
+
+/** All concurrency scenarios conform to the declared profile? */
+bool matchesConcurrencyProfile(const ConcurrencyVerdicts &v,
+                               const runtime::DetectionProfile &p);
 
 /** Outcome tallies of a seed sweep over the uafRecycled scenario. */
 struct SeedSweepResult

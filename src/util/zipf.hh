@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Zipf-distributed sampling for server-shaped workload synthesis.
+ *
+ * Request keys and allocation sizes in server traces are famously
+ * skewed: a handful of hot keys take most of the traffic while a long
+ * tail is touched rarely (the YCSB "zipfian" request distribution).
+ * workload::ServerMix draws key and handler popularity through this
+ * generator at program-generation time, so the synthesized guest
+ * programs — and therefore every simulation of them — are a pure
+ * function of the seed.
+ *
+ * The sampler inverts the cumulative Zipf mass by binary search over a
+ * precomputed table: O(n) setup, O(log n) per draw, and exactly one
+ * Xoshiro256ss draw per sample so the consumption of generator state
+ * is independent of the outcome (important for golden tests).
+ */
+
+#ifndef REST_UTIL_ZIPF_HH
+#define REST_UTIL_ZIPF_HH
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "util/logging.hh"
+#include "util/random.hh"
+
+namespace rest::util
+{
+
+/**
+ * Zipf(n, theta) sampler over ranks [0, n): rank k is drawn with
+ * probability proportional to 1 / (k + 1)^theta. theta = 0 degrades
+ * to uniform; theta ~= 0.99 is the classic YCSB skew.
+ */
+class Zipf
+{
+  public:
+    Zipf(std::uint64_t n, double theta) : theta_(theta)
+    {
+        rest_assert(n > 0, "Zipf needs a nonempty rank space");
+        cdf_.reserve(n);
+        double mass = 0.0;
+        for (std::uint64_t k = 0; k < n; ++k) {
+            mass += 1.0 / std::pow(double(k + 1), theta);
+            cdf_.push_back(mass);
+        }
+        // Normalise once; the final entry becomes exactly 1.0 so every
+        // u in [0, 1) lands inside the table.
+        for (double &c : cdf_)
+            c /= mass;
+        cdf_.back() = 1.0;
+    }
+
+    std::uint64_t size() const { return cdf_.size(); }
+    double theta() const { return theta_; }
+
+    /** Draw one rank; consumes exactly one rng draw. */
+    std::uint64_t
+    operator()(Xoshiro256ss &rng)
+    {
+        const double u = rng.real();
+        auto it = std::upper_bound(cdf_.begin(), cdf_.end(), u);
+        if (it == cdf_.end())
+            --it;
+        return static_cast<std::uint64_t>(it - cdf_.begin());
+    }
+
+    /** Probability mass of rank k (for the distribution tests). */
+    double
+    mass(std::uint64_t k) const
+    {
+        rest_assert(k < cdf_.size(), "Zipf rank out of range");
+        return k == 0 ? cdf_[0] : cdf_[k] - cdf_[k - 1];
+    }
+
+  private:
+    double theta_;
+    std::vector<double> cdf_; ///< normalised cumulative mass
+};
+
+} // namespace rest::util
+
+#endif // REST_UTIL_ZIPF_HH

@@ -1,6 +1,7 @@
 #include "workload/attack_scenarios.hh"
 
 #include "analysis/verifier.hh"
+#include "runtime/runtime_config.hh"
 #include "util/logging.hh"
 
 namespace rest::workload::attacks
@@ -268,6 +269,125 @@ bruteForceDisarm()
     b.emit({Opcode::Disarm, isa::noReg, r1, isa::noReg, 8, 0, -1, -1});
     b.halt();
     return soloProgram(std::move(b));
+}
+
+namespace
+{
+
+// Spin-flag mailbox in the globals segment shared by the two-core
+// scenario pairs (the single-core builders never touch it).
+constexpr RegId r6 = 6, r7 = 7;
+constexpr Addr mboxBase = runtime::AddressMap::globalsBase + 0x2000;
+constexpr std::int64_t mboxPtr = 0;    ///< the handed-off pointer
+constexpr std::int64_t mboxReady = 8;  ///< producer: pointer published
+constexpr std::int64_t mboxAck = 16;   ///< consumer: pointer taken
+constexpr std::int64_t mboxFreed = 24; ///< producer: free() retired
+
+/** Emit: spin until [r6 + off] != 0. */
+void
+emitSpinWait(FuncBuilder &b, std::int64_t off)
+{
+    int loop = b.here();
+    b.load(r7, r6, off, 8);
+    b.branch(Opcode::Beq, r7, isa::regZero, loop);
+}
+
+/** Emit: [r6 + off] = 1. */
+void
+emitFlagSet(FuncBuilder &b, std::int64_t off)
+{
+    b.movImm(r7, 1);
+    b.store(r7, r6, off, 8);
+}
+
+/**
+ * The producer half shared by the cross-thread UAF and racy
+ * double-free pairs: allocate, publish, await the ack, free,
+ * announce the free.
+ */
+isa::Program
+handoffProducer(std::uint32_t buf_len)
+{
+    FuncBuilder b("producer");
+    emitMalloc(b, r1, buf_len);
+    emitMemset(b, r1, 0x22, buf_len);
+    b.movImm(r6, static_cast<std::int64_t>(mboxBase));
+    b.store(r1, r6, mboxPtr, 8);
+    emitFlagSet(b, mboxReady);
+    emitSpinWait(b, mboxAck);
+    b.emit({Opcode::RtFree, isa::noReg, r1, isa::noReg, 8, 0, -1, -1});
+    emitFlagSet(b, mboxFreed);
+    b.halt();
+    return soloProgram(std::move(b));
+}
+
+/** The consumer prologue: await the pointer, take it, ack. */
+void
+emitTakeHandoff(FuncBuilder &b)
+{
+    b.movImm(r6, static_cast<std::int64_t>(mboxBase));
+    emitSpinWait(b, mboxReady);
+    b.load(r1, r6, mboxPtr, 8);
+    emitFlagSet(b, mboxAck);
+}
+
+} // namespace
+
+std::vector<isa::Program>
+crossThreadUseAfterFree(std::uint32_t buf_len)
+{
+    FuncBuilder b("consumer");
+    emitTakeHandoff(b);
+    emitSpinWait(b, mboxFreed);
+    // The cross-thread dangling dereference.
+    b.load(r2, r1, 0, 8);
+    b.halt();
+
+    std::vector<isa::Program> progs;
+    progs.push_back(handoffProducer(buf_len));
+    progs.push_back(soloProgram(std::move(b)));
+    return progs;
+}
+
+std::vector<isa::Program>
+racyDoubleFree(std::uint32_t buf_len)
+{
+    FuncBuilder b("consumer");
+    emitTakeHandoff(b);
+    emitSpinWait(b, mboxFreed);
+    // The second free of a chunk the producer already released.
+    b.emit({Opcode::RtFree, isa::noReg, r1, isa::noReg, 8, 0, -1, -1});
+    b.halt();
+
+    std::vector<isa::Program> progs;
+    progs.push_back(handoffProducer(buf_len));
+    progs.push_back(soloProgram(std::move(b)));
+    return progs;
+}
+
+std::vector<isa::Program>
+handoffThenOverflow(std::uint32_t buf_len, std::uint32_t n)
+{
+    rest_assert(std::uint64_t(n) * 8 > buf_len,
+                "hand-off overflow needs n words past the buffer");
+    // The producer only publishes; the buffer stays live.
+    FuncBuilder p("producer");
+    emitMalloc(p, r1, buf_len);
+    p.movImm(r6, static_cast<std::int64_t>(mboxBase));
+    p.store(r1, r6, mboxPtr, 8);
+    emitFlagSet(p, mboxReady);
+    p.halt();
+
+    FuncBuilder b("consumer");
+    emitTakeHandoff(b);
+    // Trusting the producer's length: sweep past the end.
+    emitStoreSweep(b, r1, n);
+    b.halt();
+
+    std::vector<isa::Program> progs;
+    progs.push_back(soloProgram(std::move(p)));
+    progs.push_back(soloProgram(std::move(b)));
+    return progs;
 }
 
 } // namespace rest::workload::attacks

@@ -19,6 +19,7 @@
 #define REST_WORKLOAD_ATTACK_SCENARIOS_HH
 
 #include <cstdint>
+#include <vector>
 
 #include "isa/program.hh"
 
@@ -111,6 +112,40 @@ isa::Program strcpyOverflow(std::uint32_t buf_len,
  */
 isa::Program stackPadOverflow(std::uint32_t buf_len,
                               std::uint32_t overflow_bytes);
+
+// --- Concurrency scenarios (one program per core) ---
+//
+// The two-core builders below return {producer, accomplice} program
+// pairs for the multicore machine (sim/multicore.hh). Cores
+// synchronise through a spin-flag mailbox in the guest globals
+// segment, so the attack interleaving is deterministic under the
+// round-robin scheduler: hand-off strictly precedes the free, the
+// free strictly precedes the victim access.
+
+/**
+ * Cross-thread use-after-free: core 0 allocates a buffer, hands the
+ * pointer to core 1, waits for the ack, then frees it; core 1 loads
+ * through the received pointer only after the free has retired. The
+ * dangling access happens on a different core (and L1) than both the
+ * allocation and the free.
+ */
+std::vector<isa::Program> crossThreadUseAfterFree(std::uint32_t buf_len);
+
+/**
+ * Racy double free: core 0 allocates, hands the pointer over, frees;
+ * core 1 then frees the same chunk again — the classic TOCTOU bug of
+ * two request handlers both believing they own the object.
+ */
+std::vector<isa::Program> racyDoubleFree(std::uint32_t buf_len);
+
+/**
+ * Hand-off-then-overflow: core 0 allocates a 'buf_len'-byte buffer
+ * and hands it to core 1, which (trusting the producer's length
+ * field) writes 'n' 8-byte words from buf[0] — a linear overflow on a
+ * core that never saw the allocation.
+ */
+std::vector<isa::Program> handoffThenOverflow(std::uint32_t buf_len,
+                                              std::uint32_t n);
 
 } // namespace rest::workload::attacks
 

@@ -1,0 +1,211 @@
+#include "workload/server_mix.hh"
+
+#include <vector>
+
+#include "analysis/verifier.hh"
+#include "runtime/runtime_config.hh"
+#include "util/logging.hh"
+#include "util/random.hh"
+#include "util/zipf.hh"
+
+namespace rest::workload
+{
+
+using isa::FuncBuilder;
+using isa::Opcode;
+using isa::RegId;
+
+namespace
+{
+
+// Register conventions of the generated handlers.
+constexpr RegId r2 = 2;  ///< address formation
+constexpr RegId r3 = 3;  ///< load destination
+constexpr RegId r4 = 4;  ///< object pointer
+constexpr RegId r5 = 5;  ///< store data
+constexpr RegId r6 = 6;  ///< mailbox channel base
+constexpr RegId r7 = 7;  ///< spin/flag scratch
+constexpr RegId r13 = 13; ///< runtime-call argument
+
+/** Globals-segment layout of the server mix. */
+struct Layout
+{
+    static constexpr Addr base = runtime::AddressMap::globalsBase;
+
+    /** Ring channel c: [ptr, flag] (16 bytes). */
+    static Addr chan(unsigned c) { return base + 0x3000 + 16 * c; }
+    /** Shared read-mostly hot table, 8 bytes per object. */
+    static Addr hot(std::uint64_t k) { return base + 0x4000 + 8 * k; }
+    /** Core-private slot table (heap pointers parked in memory). */
+    static Addr
+    slot(unsigned core, unsigned s)
+    {
+        return base + 0x8000 + 0x200 * core + 8 * s;
+    }
+};
+
+/** Emit: r_dst = malloc(bytes). */
+void
+emitMalloc(FuncBuilder &b, RegId r_dst, std::int64_t bytes)
+{
+    b.movImm(r13, bytes);
+    b.emit({Opcode::RtMalloc, isa::noReg, r13, isa::noReg, 8, 0, -1,
+            -1});
+    b.mov(r_dst, isa::regRet);
+}
+
+/** Emit: free(r_ptr). */
+void
+emitFree(FuncBuilder &b, RegId r_ptr)
+{
+    b.emit({Opcode::RtFree, isa::noReg, r_ptr, isa::noReg, 8, 0, -1,
+            -1});
+}
+
+/** Per-slot generator state (sampling happens at build time). */
+struct SlotState
+{
+    bool live = false;
+    std::uint32_t bytes = 0;
+    std::uint64_t uses = 0;
+};
+
+/** Object size for popularity class k. */
+std::uint32_t
+objectBytes(const ServerMixConfig &cfg, std::uint64_t k)
+{
+    return cfg.baseObjectBytes +
+           8 * static_cast<std::uint32_t>(k % 8);
+}
+
+/** Emit one request: hot-table read + slot-object touch/churn. */
+void
+emitRequest(FuncBuilder &b, const ServerMixConfig &cfg, unsigned core,
+            std::vector<SlotState> &slots, std::uint64_t k)
+{
+    // Popularity lookup in the shared table: read-only sharing.
+    b.movImm(r2, static_cast<std::int64_t>(
+                     Layout::hot(k % cfg.hotObjects)));
+    b.load(r3, r2, 0, 8);
+
+    // The object behind the request, popularity-mapped to a slot.
+    const unsigned s = static_cast<unsigned>(k % cfg.localSlots);
+    SlotState &st = slots[s];
+    const Addr slot_addr = Layout::slot(core, s);
+    b.movImm(r2, static_cast<std::int64_t>(slot_addr));
+    if (!st.live) {
+        emitMalloc(b, r4, objectBytes(cfg, k));
+        b.store(r4, r2, 0, 8);
+        st = {true, objectBytes(cfg, k), 0};
+    } else {
+        b.load(r4, r2, 0, 8);
+        if (cfg.churnEvery != 0 && ++st.uses % cfg.churnEvery == 0) {
+            // Recycle: the tail of the popularity curve keeps the
+            // allocator and quarantine busy.
+            emitFree(b, r4);
+            emitMalloc(b, r4, objectBytes(cfg, k));
+            b.store(r4, r2, 0, 8);
+            st.bytes = objectBytes(cfg, k);
+        }
+    }
+
+    // Touch the object: first and last word, then a read back.
+    b.movImm(r5, 0x5a);
+    b.store(r5, r4, 0, 8);
+    if (st.bytes >= 16)
+        b.store(r5, r4, st.bytes - 8, 8);
+    b.load(r3, r4, 0, 8);
+}
+
+/** Emit: publish a fresh buffer into this core's ring channel. */
+void
+emitProduce(FuncBuilder &b, unsigned core)
+{
+    emitMalloc(b, r4, 32);
+    b.movImm(r5, 0x77);
+    b.store(r5, r4, 0, 8);
+    b.movImm(r6, static_cast<std::int64_t>(Layout::chan(core)));
+    // Wait for the previous hand-off to be consumed (flag == 0).
+    int loop = b.here();
+    b.load(r7, r6, 8, 8);
+    b.branch(Opcode::Bne, r7, isa::regZero, loop);
+    b.store(r4, r6, 0, 8);
+    b.movImm(r7, 1);
+    b.store(r7, r6, 8, 8);
+}
+
+/** Emit: take, dirty and free a buffer from channel 'from'. */
+void
+emitConsume(FuncBuilder &b, unsigned from)
+{
+    b.movImm(r6, static_cast<std::int64_t>(Layout::chan(from)));
+    int loop = b.here();
+    b.load(r7, r6, 8, 8);
+    b.branch(Opcode::Beq, r7, isa::regZero, loop);
+    b.load(r4, r6, 0, 8);
+    b.store(isa::regZero, r6, 8, 8); // clear the flag
+    // The consumer writes into the received buffer (a dirty
+    // cross-core transfer), then releases it.
+    b.movImm(r5, 0x33);
+    b.store(r5, r4, 8, 8);
+    emitFree(b, r4);
+}
+
+/** Build the handler program for one core. */
+isa::Program
+buildHandler(const ServerMixConfig &cfg, unsigned core)
+{
+    // Per-core sampling stream: handlers are decoupled, and adding a
+    // core never perturbs the others' request sequences.
+    Xoshiro256ss rng(cfg.seed + 0x9e3779b97f4a7c15ull * core);
+    util::Zipf zipf(cfg.hotObjects, cfg.zipfTheta);
+    std::vector<SlotState> slots(cfg.localSlots);
+
+    FuncBuilder b("handler");
+    for (std::uint64_t r = 0; r < cfg.requestsPerCore; ++r) {
+        emitRequest(b, cfg, core, slots, zipf(rng));
+        if (cfg.handoffEvery != 0 &&
+            (r + 1) % cfg.handoffEvery == 0) {
+            emitProduce(b, core);
+            emitConsume(b, (core + cfg.cores - 1) % cfg.cores);
+        }
+    }
+    // Drain: release the long-lived slot objects.
+    for (unsigned s = 0; s < cfg.localSlots; ++s) {
+        if (!slots[s].live)
+            continue;
+        b.movImm(r2, static_cast<std::int64_t>(Layout::slot(core, s)));
+        b.load(r4, r2, 0, 8);
+        emitFree(b, r4);
+    }
+    b.halt();
+
+    isa::Program prog;
+    prog.funcs.push_back(std::move(b).take());
+#ifndef NDEBUG
+    auto diags = analysis::verifyGeneratorContract(prog);
+    rest_assert(diags.empty(),
+                "generated server-mix handler violates the "
+                "instrumentation contract:\n",
+                analysis::formatDiagnostics(diags));
+#endif
+    return prog;
+}
+
+} // namespace
+
+std::vector<isa::Program>
+serverMix(const ServerMixConfig &cfg)
+{
+    rest_assert(cfg.cores >= 1, "server mix needs >= 1 core");
+    rest_assert(cfg.localSlots >= 1 && cfg.localSlots <= 64,
+                "localSlots must fit the per-core slot table");
+    rest_assert(cfg.hotObjects >= 1, "hot table cannot be empty");
+    std::vector<isa::Program> progs;
+    progs.reserve(cfg.cores);
+    for (unsigned i = 0; i < cfg.cores; ++i)
+        progs.push_back(buildHandler(cfg, i));
+    return progs;
+}
+
+} // namespace rest::workload

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Server-shaped multicore workload: N concurrent request handlers
+ * with Zipf-distributed object popularity.
+ *
+ * Each core runs one generated "request handler" program. Per
+ * request the handler
+ *   - reads the shared hot table (read-mostly sharing: every core's
+ *     L1 ends up holding the popular lines in Shared state),
+ *   - touches a heap object from its local slot table, where the slot
+ *     is chosen by a Zipf(hotObjects, theta) sample — popular slots
+ *     stay L1-resident, the tail churns through malloc/free and the
+ *     quarantine,
+ *   - every handoffEvery-th request hands a freshly allocated buffer
+ *     to the next core in the ring (spin-flag mailbox in the globals
+ *     segment) and consumes, writes to and frees one received from
+ *     the previous core — the cross-core dirty-transfer traffic of a
+ *     producer/consumer server.
+ *
+ * All sampling happens at program-generation time from a per-core
+ * Xoshiro stream, so the returned programs — and any simulation of
+ * them — are a pure function of the config (deterministic per seed).
+ * Builders return un-instrumented programs; finalisation for a
+ * protection scheme happens inside the (multicore) system.
+ */
+
+#ifndef REST_WORKLOAD_SERVER_MIX_HH
+#define REST_WORKLOAD_SERVER_MIX_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "isa/program.hh"
+
+namespace rest::workload
+{
+
+/** Shape of the generated server mix. */
+struct ServerMixConfig
+{
+    /** Number of cores == number of generated handler programs. */
+    unsigned cores = 4;
+    /** Requests each handler serves before draining and halting. */
+    std::uint64_t requestsPerCore = 64;
+    /** Zipf population: number of distinct hot-table objects. */
+    std::uint64_t hotObjects = 64;
+    /** Zipf skew (0 == uniform; 0.99 == the YCSB default). */
+    double zipfTheta = 0.99;
+    /** Seed for the per-core sampling streams. */
+    std::uint64_t seed = 0x5e11e;
+    /** Long-lived heap objects per core (popularity-mapped). */
+    unsigned localSlots = 8;
+    /** Smallest object size; the class index scales it. */
+    std::uint32_t baseObjectBytes = 32;
+    /** A slot's object is freed and reallocated every churnEvery-th
+     *  hit (0 disables churn). */
+    unsigned churnEvery = 4;
+    /** Ring hand-off period in requests (0 disables hand-offs). */
+    unsigned handoffEvery = 8;
+};
+
+/** Generate one handler program per core. */
+std::vector<isa::Program> serverMix(const ServerMixConfig &cfg);
+
+} // namespace rest::workload
+
+#endif // REST_WORKLOAD_SERVER_MIX_HH

@@ -1,0 +1,210 @@
+/**
+ * @file
+ * MESI state-machine matrix over the snooping CoherenceBus: every
+ * transition edge, requester- and remote-side, plus the REST invariant
+ * that coherence transfers of token-bearing lines keep detection a
+ * fill-path property of each private L1.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/token.hh"
+#include "mem/cache.hh"
+#include "mem/coherence.hh"
+#include "mem/dram.hh"
+#include "mem/rest_l1_cache.hh"
+
+namespace rest::mem
+{
+
+class CoherenceTest : public ::testing::TestWithParam<core::TokenWidth>
+{
+  protected:
+    void
+    SetUp() override
+    {
+        Xoshiro256ss rng(33);
+        tcr_.writePrivileged(
+            core::TokenValue::generate(rng, GetParam()),
+            core::RestMode::Secure);
+        dram_ = std::make_unique<Dram>();
+        l2_ = std::make_unique<Cache>(CacheConfig::l2(), *dram_);
+        bus_ = std::make_unique<CoherenceBus>();
+        for (auto *l1 : {&l1a_, &l1b_, &l1c_}) {
+            *l1 = std::make_unique<RestL1Cache>(CacheConfig::l1d(),
+                                                *l2_, memory_, tcr_);
+            (*l1)->attachBus(bus_.get());
+            bus_->attach(**l1);
+        }
+    }
+
+    unsigned g() const { return tcr_.granule(); }
+
+    std::uint64_t
+    busStat(const char *name) const
+    {
+        return bus_->statGroup().scalarValue(name);
+    }
+
+    GuestMemory memory_;
+    core::TokenConfigRegister tcr_;
+    std::unique_ptr<Dram> dram_;
+    std::unique_ptr<Cache> l2_;
+    std::unique_ptr<CoherenceBus> bus_;
+    std::unique_ptr<RestL1Cache> l1a_, l1b_, l1c_;
+};
+
+// I -> E: read miss with no remote copy.
+TEST_P(CoherenceTest, ReadMissAloneInstallsExclusive)
+{
+    l1a_->loadAccess(0x1000, 8, 0);
+    EXPECT_EQ(l1a_->mesiState(0x1000), Mesi::Exclusive);
+    EXPECT_EQ(busStat("bus_reads"), 1u);
+    EXPECT_EQ(busStat("transfers"), 0u);
+}
+
+// I -> S (requester) and E -> S (remote): read miss on a remote
+// Exclusive copy.
+TEST_P(CoherenceTest, ReadMissOnRemoteExclusiveShares)
+{
+    l1a_->loadAccess(0x1000, 8, 0);
+    l1b_->loadAccess(0x1000, 8, 100);
+    EXPECT_EQ(l1a_->mesiState(0x1000), Mesi::Shared);
+    EXPECT_EQ(l1b_->mesiState(0x1000), Mesi::Shared);
+    EXPECT_EQ(busStat("transfers"), 1u);
+    EXPECT_EQ(busStat("downgrades"), 1u);
+}
+
+// S -> S: a third reader joins; everyone stays Shared.
+TEST_P(CoherenceTest, ThirdReaderKeepsEveryoneShared)
+{
+    l1a_->loadAccess(0x1000, 8, 0);
+    l1b_->loadAccess(0x1000, 8, 100);
+    l1c_->loadAccess(0x1000, 8, 200);
+    EXPECT_EQ(l1a_->mesiState(0x1000), Mesi::Shared);
+    EXPECT_EQ(l1b_->mesiState(0x1000), Mesi::Shared);
+    EXPECT_EQ(l1c_->mesiState(0x1000), Mesi::Shared);
+}
+
+// I -> M: write miss invalidates every remote copy (S -> I, E -> I).
+TEST_P(CoherenceTest, WriteMissInvalidatesRemotes)
+{
+    l1a_->loadAccess(0x2000, 8, 0);
+    l1b_->loadAccess(0x2000, 8, 100);
+    l1c_->storeAccess(0x2000, 8, 200);
+    EXPECT_EQ(l1c_->mesiState(0x2000), Mesi::Modified);
+    EXPECT_EQ(l1a_->mesiState(0x2000), Mesi::Invalid);
+    EXPECT_EQ(l1b_->mesiState(0x2000), Mesi::Invalid);
+    EXPECT_FALSE(l1a_->lineResident(0x2000));
+    EXPECT_EQ(busStat("bus_readxs"), 1u);
+    EXPECT_EQ(busStat("invalidations"), 2u);
+}
+
+// E -> M: write hit on an Exclusive line is silent (no BusUpgr).
+TEST_P(CoherenceTest, WriteHitOnExclusiveSilentlyModifies)
+{
+    l1a_->loadAccess(0x3000, 8, 0);
+    ASSERT_EQ(l1a_->mesiState(0x3000), Mesi::Exclusive);
+    l1a_->storeAccess(0x3000, 8, 100);
+    EXPECT_EQ(l1a_->mesiState(0x3000), Mesi::Modified);
+    EXPECT_EQ(busStat("upgrades"), 0u);
+}
+
+// S -> M (writer) and S -> I (remote): write hit on a Shared line
+// broadcasts BusUpgr.
+TEST_P(CoherenceTest, WriteHitOnSharedUpgrades)
+{
+    l1a_->loadAccess(0x4000, 8, 0);
+    l1b_->loadAccess(0x4000, 8, 100);
+    l1a_->storeAccess(0x4000, 8, 200);
+    EXPECT_EQ(l1a_->mesiState(0x4000), Mesi::Modified);
+    EXPECT_EQ(l1b_->mesiState(0x4000), Mesi::Invalid);
+    EXPECT_EQ(busStat("upgrades"), 1u);
+    EXPECT_EQ(busStat("invalidations"), 1u);
+}
+
+// M -> S: remote read forces the owner to flush and downgrade.
+TEST_P(CoherenceTest, RemoteReadFlushesModifiedOwner)
+{
+    l1a_->storeAccess(0x5000, 8, 0);
+    ASSERT_EQ(l1a_->mesiState(0x5000), Mesi::Modified);
+    const auto wb_before =
+        l1a_->statGroup().scalarValue("writebacks");
+    l1b_->loadAccess(0x5000, 8, 100);
+    EXPECT_EQ(l1a_->mesiState(0x5000), Mesi::Shared);
+    EXPECT_EQ(l1b_->mesiState(0x5000), Mesi::Shared);
+    EXPECT_EQ(l1a_->statGroup().scalarValue("writebacks"),
+              wb_before + 1);
+    EXPECT_EQ(busStat("dirty_flushes"), 1u);
+}
+
+// M -> I: remote write invalidates the owner (with write-back).
+TEST_P(CoherenceTest, RemoteWriteInvalidatesModifiedOwner)
+{
+    l1a_->storeAccess(0x6000, 8, 0);
+    l1b_->storeAccess(0x6000, 8, 100);
+    EXPECT_EQ(l1a_->mesiState(0x6000), Mesi::Invalid);
+    EXPECT_EQ(l1b_->mesiState(0x6000), Mesi::Modified);
+    EXPECT_EQ(busStat("dirty_flushes"), 1u);
+    EXPECT_GE(l1a_->statGroup().scalarValue("writebacks"), 1u);
+}
+
+// The REST invariant, read-transfer direction: core A arms a granule
+// (token value still deferred in its M line); core B's load of that
+// line must flush A's tokens through memory, re-detect them on B's
+// fill, and trap.
+TEST_P(CoherenceTest, TokenLineReadTransferStillTraps)
+{
+    l1a_->armAccess(0x7000, 0);
+    ASSERT_EQ(l1a_->mesiState(0x7000), Mesi::Modified);
+    RestAccess res = l1b_->loadAccess(0x7000, 8, 100);
+    EXPECT_EQ(res.violation, core::ViolationKind::TokenAccess);
+    EXPECT_TRUE(l1b_->tokenBitSet(0x7000));
+    // A kept its copy (M -> S) with the token bit intact.
+    EXPECT_EQ(l1a_->mesiState(0x7000), Mesi::Shared);
+    EXPECT_TRUE(l1a_->tokenBitSet(0x7000));
+    EXPECT_GE(l1a_->statGroup().scalarValue("token_coherence_flushes"),
+              1u);
+}
+
+// The REST invariant, write-transfer direction: the invalidation path
+// (onEvict) must carry the token values just the same.
+TEST_P(CoherenceTest, TokenLineWriteTransferStillTraps)
+{
+    l1a_->armAccess(0x8000, 0);
+    RestAccess res = l1b_->storeAccess(0x8000, 8, 100);
+    EXPECT_EQ(res.violation, core::ViolationKind::TokenAccess);
+    EXPECT_TRUE(l1b_->tokenBitSet(0x8000));
+    EXPECT_FALSE(l1a_->lineResident(0x8000));
+    EXPECT_GE(l1a_->statGroup().scalarValue("token_evictions"), 1u);
+}
+
+// Cross-core disarm: the free-side core disarms a granule the
+// arm-side core still holds; the fill-path detector restores the bit
+// before the disarm clears it.
+TEST_P(CoherenceTest, CrossCoreDisarmSucceeds)
+{
+    l1a_->armAccess(0x9000, 0);
+    RestAccess res = l1b_->disarmAccess(0x9000, 100);
+    EXPECT_FALSE(res.faulted());
+    EXPECT_FALSE(l1b_->tokenBitSet(0x9000));
+}
+
+// A detached cache is the historical uniprocessor model: no states,
+// no bus traffic.
+TEST_P(CoherenceTest, DetachedCacheStaysInvalidState)
+{
+    RestL1Cache solo(CacheConfig::l1d(), *l2_, memory_, tcr_);
+    solo.loadAccess(0xa000, 8, 0);
+    EXPECT_TRUE(solo.lineResident(0xa000));
+    EXPECT_EQ(solo.mesiState(0xa000), Mesi::Invalid);
+    solo.storeAccess(0xa000, 8, 10);
+    EXPECT_EQ(solo.mesiState(0xa000), Mesi::Invalid);
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, CoherenceTest,
+                         ::testing::Values(core::TokenWidth::Bytes16,
+                                           core::TokenWidth::Bytes32,
+                                           core::TokenWidth::Bytes64));
+
+} // namespace rest::mem

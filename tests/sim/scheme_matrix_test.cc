@@ -123,6 +123,43 @@ TEST(SchemeConformance, PauthRevocationIsSeedIndependent)
     EXPECT_EQ(sweep.caught, 8u);
 }
 
+TEST(SchemeConformance, EveryBackendMatchesItsConcurrencyProfile)
+{
+    for (const runtime::ProtectionScheme *ps : runtime::allSchemes()) {
+        ConcurrencyVerdicts v =
+            measureSchemeMulticore(ps->baseConfig());
+        const runtime::DetectionProfile p = ps->declaredProfile();
+        for (const ConcurrencyScenarioInfo &s :
+             concurrencyScenarios()) {
+            EXPECT_TRUE(verdictMatches(p.*(s.declared),
+                                       v.*(s.measured)))
+                << ps->id() << "/" << s.key << ": declared "
+                << runtime::expectName(p.*(s.declared))
+                << ", measured "
+                << (v.*(s.measured) ? "caught" : "missed");
+        }
+        EXPECT_TRUE(matchesConcurrencyProfile(v, p)) << ps->id();
+    }
+}
+
+TEST(SchemeConformance, ConcurrencyVerdictsHoldUnderContention)
+{
+    // Same verdicts on a 4-core machine with busy benign neighbours,
+    // through the detailed timing models and the coherent hierarchy.
+    ConcurrencyVerdicts v = measureSchemeMulticore(
+        runtime::findScheme("rest")->baseConfig(), 4,
+        /*detailed=*/true);
+    EXPECT_TRUE(v.crossThreadUaf);
+    EXPECT_TRUE(v.racyDoubleFree);
+    EXPECT_TRUE(v.handoffOverflow);
+
+    ConcurrencyVerdicts pauth = measureSchemeMulticore(
+        runtime::findScheme("pauth")->baseConfig(), 4,
+        /*detailed=*/true);
+    EXPECT_TRUE(pauth.crossThreadUaf);
+    EXPECT_FALSE(pauth.handoffOverflow); // no spatial check to hand off
+}
+
 TEST(FormatRestRow, MeasuredFactsRenderAsTableCells)
 {
     RestRowFacts facts;

@@ -1,0 +1,92 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "util/random.hh"
+#include "util/zipf.hh"
+
+namespace rest::util
+{
+
+TEST(Zipf, DeterministicPerSeed)
+{
+    Zipf za(1000, 0.99), zb(1000, 0.99);
+    Xoshiro256ss ra(0x5eed), rb(0x5eed);
+    for (int i = 0; i < 5000; ++i)
+        EXPECT_EQ(za(ra), zb(rb));
+}
+
+TEST(Zipf, GoldenSequence)
+{
+    // Frozen draws: any change to the sampler, the cdf construction,
+    // or the rng consumption discipline breaks server-mix program
+    // generation (and therefore every committed multicore baseline),
+    // so it must show up here first.
+    const std::vector<std::uint64_t> golden = {
+        0, 7, 48, 2, 54, 1, 2, 59, 0, 1, 4, 25, 2, 16, 31, 36};
+    Zipf z(64, 0.99);
+    Xoshiro256ss rng(0xc0ffee);
+    for (std::size_t i = 0; i < golden.size(); ++i)
+        EXPECT_EQ(z(rng), golden[i]) << "draw " << i;
+}
+
+TEST(Zipf, OneDrawPerSample)
+{
+    // The sampler must consume exactly one rng draw per sample, so
+    // generator state stays in lockstep regardless of which rank is
+    // drawn.
+    Zipf z(128, 0.8);
+    Xoshiro256ss a(99), b(99);
+    for (int i = 0; i < 100; ++i)
+        z(a);
+    for (int i = 0; i < 100; ++i)
+        (void)b.real();
+    EXPECT_EQ(a(), b());
+}
+
+TEST(Zipf, HeadDominatesTail)
+{
+    // With YCSB-style skew the hottest rank should take far more
+    // traffic than its uniform share, and empirical frequencies should
+    // track the analytic mass.
+    const std::uint64_t n = 100;
+    Zipf z(n, 0.99);
+    Xoshiro256ss rng(0x5eed);
+    std::vector<std::uint64_t> counts(n, 0);
+    const int draws = 200000;
+    for (int i = 0; i < draws; ++i)
+        ++counts[z(rng)];
+    const double f0 = double(counts[0]) / draws;
+    EXPECT_GT(f0, 5.0 / n);               // way above uniform
+    EXPECT_NEAR(f0, z.mass(0), 0.01);     // matches analytic mass
+    // Tail mass: the bottom half of the rank space stays a minority.
+    std::uint64_t tail = 0;
+    for (std::uint64_t k = n / 2; k < n; ++k)
+        tail += counts[k];
+    EXPECT_LT(double(tail) / draws, 0.25);
+}
+
+TEST(Zipf, ThetaZeroIsUniform)
+{
+    const std::uint64_t n = 10;
+    Zipf z(n, 0.0);
+    for (std::uint64_t k = 0; k < n; ++k)
+        EXPECT_NEAR(z.mass(k), 1.0 / n, 1e-12);
+    Xoshiro256ss rng(1);
+    std::vector<std::uint64_t> counts(n, 0);
+    for (int i = 0; i < 50000; ++i)
+        ++counts[z(rng)];
+    for (std::uint64_t k = 0; k < n; ++k)
+        EXPECT_NEAR(double(counts[k]) / 50000.0, 0.1, 0.02);
+}
+
+TEST(Zipf, MassSumsToOne)
+{
+    Zipf z(37, 1.2);
+    double sum = 0;
+    for (std::uint64_t k = 0; k < z.size(); ++k)
+        sum += z.mass(k);
+    EXPECT_NEAR(sum, 1.0, 1e-9);
+}
+
+} // namespace rest::util
